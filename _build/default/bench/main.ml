@@ -1,0 +1,712 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Sec. 5), plus the ablations called out in DESIGN.md.
+
+     dune exec bench/main.exe                 # all figures, quick scale
+     dune exec bench/main.exe -- --full       # paper-scale datasets
+     dune exec bench/main.exe -- --fig 4a --fig 6b
+     dune exec bench/main.exe -- --list
+
+   Quick scale uses a 40K-row census table (the paper's is 150K); TB and
+   FIN run at paper scale in both modes.  Shapes, not absolute numbers,
+   are the reproduction target; see EXPERIMENTS.md. *)
+
+open Selest
+open Selest_workload
+
+(* ---- configuration -------------------------------------------------------- *)
+
+type cfg = {
+  figs : string list;  (* empty = all *)
+  full : bool;
+  seed : int;
+  max_queries : int;
+}
+
+let known_figs =
+  [
+    "sanity"; "4a"; "4b"; "4c"; "5a"; "5b"; "5c"; "6a"; "6b"; "6c"; "7a"; "7b"; "7c";
+    "range"; "structure"; "ablation-score"; "ablation-join"; "bechamel";
+  ]
+
+let parse_args () =
+  let figs = ref [] and full = ref false and seed = ref 1 in
+  let max_queries = ref 20_000 in
+  let rec go = function
+    | [] -> ()
+    | "--fig" :: f :: rest ->
+      if not (List.mem f known_figs) then begin
+        Printf.eprintf "unknown figure %S; use --list\n" f;
+        exit 1
+      end;
+      figs := !figs @ [ f ];
+      go rest
+    | "--full" :: rest ->
+      full := true;
+      go rest
+    | "--seed" :: s :: rest ->
+      seed := int_of_string s;
+      go rest
+    | "--max-queries" :: s :: rest ->
+      max_queries := int_of_string s;
+      go rest
+    | "--list" :: _ ->
+      List.iter print_endline known_figs;
+      exit 0
+    | arg :: _ ->
+      Printf.eprintf "unknown argument %S\n" arg;
+      exit 1
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  { figs = !figs; full = !full; seed = !seed; max_queries = !max_queries }
+
+let cfg = parse_args ()
+
+let wants fig = cfg.figs = [] || List.mem fig cfg.figs
+
+let section title =
+  Printf.printf "\n==============================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "==============================================================\n%!"
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (x, Unix.gettimeofday () -. t0)
+
+(* ---- datasets --------------------------------------------------------------- *)
+
+let census_rows = if cfg.full then Synth.Census.default_rows else 40_000
+
+let census = lazy (Synth.Census.generate ~rows:census_rows ~seed:cfg.seed ())
+let tb = lazy (Synth.Tb.generate ~seed:cfg.seed ())
+let fin = lazy (Synth.Financial.generate ~seed:cfg.seed ())
+
+(* ---- generic sweep machinery -------------------------------------------------- *)
+
+let kb b = Printf.sprintf "%.1fK" (float_of_int b /. 1024.0)
+
+(* One row per budget, one (err, size) column pair per method. *)
+let sweep ~db ~suite ~budgets ~methods =
+  let rows =
+    List.map
+      (fun budget ->
+        let ests = List.map (fun build -> build budget) methods in
+        let outcomes = Runner.run_all db suite ests ~max_queries:cfg.max_queries ~seed:cfg.seed () in
+        (kb budget, outcomes))
+      budgets
+  in
+  Report.print (Report.sweep_table ~xlabel:"budget" ~rows)
+
+let avi_for db attrs = fun _budget -> Est.Avi.build ~attrs db
+
+let mhist_for db ~table ~attrs = fun budget ->
+  Est.Mhist.build ~table ~attrs ~budget_bytes:budget db
+
+let wavelet_for db ~table ~attrs = fun budget ->
+  Est.Wavelet.build ~table ~attrs ~budget_bytes:budget db
+
+let sample_for db ~attrs = fun budget ->
+  Est.Sample.build ~rows:(max 1 (budget / (4 * List.length attrs))) ~seed:cfg.seed ~attrs db
+
+let bn_for db ~table ?attrs ~kind () = fun budget ->
+  Est.Bn_est.build ~table ?attrs ~budget_bytes:budget ~kind ~seed:cfg.seed db
+
+let prm_for db = fun budget -> Est.Prm_est.build ~budget_bytes:budget ~seed:cfg.seed db
+
+let bn_uj_for db = fun budget -> Est.Prm_est.build_bn_uj ~budget_bytes:budget ~seed:cfg.seed db
+
+(* whole-join SAMPLE for multi-table dbs: store all attributes *)
+let join_sample_for db ~n_attrs = fun budget ->
+  Est.Sample.build ~rows:(max 1 (budget / (4 * n_attrs))) ~seed:cfg.seed db
+
+let join_synopses_for db = fun budget ->
+  Est.Join_synopses.build ~budget_bytes:budget ~seed:cfg.seed db
+
+(* ---- F1: Fig. 1 sanity --------------------------------------------------------- *)
+
+let fig_sanity () =
+  section "F1 (Fig. 1): factored representation reproduces the joint exactly";
+  let joint =
+    [|
+      (0, 0, 0, 0.270); (0, 0, 1, 0.030); (0, 1, 0, 0.105); (0, 1, 1, 0.045);
+      (0, 2, 0, 0.005); (0, 2, 1, 0.045); (1, 0, 0, 0.135); (1, 0, 1, 0.015);
+      (1, 1, 0, 0.063); (1, 1, 1, 0.027); (1, 2, 0, 0.006); (1, 2, 1, 0.054);
+      (2, 0, 0, 0.018); (2, 0, 1, 0.002); (2, 1, 0, 0.042); (2, 1, 1, 0.018);
+      (2, 2, 0, 0.012); (2, 2, 1, 0.108);
+    |]
+  in
+  let e = ref [] and i = ref [] and h = ref [] in
+  Array.iter
+    (fun (ev, iv, hv, p) ->
+      for _ = 1 to int_of_float (p *. 1000.0 +. 0.5) do
+        e := ev :: !e;
+        i := iv :: !i;
+        h := hv :: !h
+      done)
+    joint;
+  let data =
+    Bn.Data.create ~names:[| "E"; "I"; "H" |] ~cards:[| 3; 3; 2 |]
+      [| Array.of_list !e; Array.of_list !i; Array.of_list !h |]
+  in
+  let dag = Bn.Dag.add_edge (Bn.Dag.empty 3) ~src:0 ~dst:1 in
+  let dag = Bn.Dag.add_edge dag ~src:1 ~dst:2 in
+  let model = Bn.Bn.fit data ~dag ~kind:Bn.Cpd.Tables in
+  let max_err = ref 0.0 in
+  Array.iter
+    (fun (ev, iv, hv, p) ->
+      max_err := Float.max !max_err (abs_float (Bn.Bn.joint_prob model [| ev; iv; hv |] -. p)))
+    joint;
+  Printf.printf "18 joint cells, 11 free parameters, max abs error %.2e\n" !max_err;
+  (* the independence approximation is NOT exact: *)
+  let indep = Bn.Bn.fit data ~dag:(Bn.Dag.empty 3) ~kind:Bn.Cpd.Tables in
+  let max_err_indep = ref 0.0 in
+  Array.iter
+    (fun (ev, iv, hv, p) ->
+      max_err_indep :=
+        Float.max !max_err_indep (abs_float (Bn.Bn.joint_prob indep [| ev; iv; hv |] -. p)))
+    joint;
+  Printf.printf "attribute-value independence max abs error: %.3f\n" !max_err_indep
+
+(* ---- F4: small-subset comparisons ----------------------------------------------- *)
+
+let fig4 ~label ~attrs ~budgets () =
+  let db = Lazy.force census in
+  section
+    (Printf.sprintf
+       "F%s (Fig. %s): error vs storage, %d-attribute suite {%s}, census %dK rows"
+       label label (List.length attrs) (String.concat ", " attrs) (census_rows / 1000));
+  let suite = Suite.single_table ~name:label ~table:"person" ~attrs in
+  Printf.printf "%d equality queries per point (cap %d)\n" (Suite.n_queries db suite)
+    cfg.max_queries;
+  let pairs = List.map (fun a -> ("person", a)) attrs in
+  sweep ~db ~suite ~budgets
+    ~methods:
+      [
+        avi_for db pairs;
+        mhist_for db ~table:"person" ~attrs;
+        wavelet_for db ~table:"person" ~attrs;
+        sample_for db ~attrs:pairs;
+        bn_for db ~table:"person" ~attrs ~kind:Bn.Cpd.Trees ();
+      ]
+
+(* 4a is two-dimensional, so the SVD technique (applicable only there, as
+   the paper notes) joins the comparison. *)
+let fig4a () =
+  let db = Lazy.force census in
+  let attrs = [ "Age"; "Income" ] in
+  section
+    (Printf.sprintf
+       "F4a (Fig. 4a): error vs storage, 2-attribute suite {Age, Income}, census %dK rows"
+       (census_rows / 1000));
+  let suite = Suite.single_table ~name:"4a" ~table:"person" ~attrs in
+  Printf.printf "%d equality queries per point (cap %d)\n" (Suite.n_queries db suite)
+    cfg.max_queries;
+  let pairs = List.map (fun a -> ("person", a)) attrs in
+  sweep ~db ~suite ~budgets:[ 300; 500; 700; 900; 1100; 1300 ]
+    ~methods:
+      [
+        avi_for db pairs;
+        mhist_for db ~table:"person" ~attrs;
+        wavelet_for db ~table:"person" ~attrs;
+        (fun budget -> Est.Svd.build ~table:"person" ~x:"Age" ~y:"Income" ~budget_bytes:budget db);
+        sample_for db ~attrs:pairs;
+        bn_for db ~table:"person" ~attrs ~kind:Bn.Cpd.Trees ();
+      ]
+
+let fig4b () =
+  fig4 ~label:"4b" ~attrs:[ "Age"; "Education"; "Income" ]
+    ~budgets:[ 500; 1000; 1500; 2500; 3500 ] ()
+
+let fig4c () =
+  fig4 ~label:"4c"
+    ~attrs:[ "Age"; "Education"; "Income"; "EmployType" ]
+    ~budgets:[ 500; 1500; 2500; 3500; 4500; 5500 ] ()
+
+(* ---- F5: whole-table models ------------------------------------------------------ *)
+
+let fig5 ~label ~attrs ~budgets () =
+  let db = Lazy.force census in
+  section
+    (Printf.sprintf
+       "F%s (Fig. %s): whole-table (12-attr) models, queried on {%s}" label label
+       (String.concat ", " attrs));
+  let suite = Suite.single_table ~name:label ~table:"person" ~attrs in
+  Printf.printf "%d equality queries per point (cap %d)\n" (Suite.n_queries db suite)
+    cfg.max_queries;
+  let all_attrs = Array.to_list Synth.Census.attr_names in
+  let all_pairs = List.map (fun a -> ("person", a)) all_attrs in
+  sweep ~db ~suite ~budgets
+    ~methods:
+      [
+        sample_for db ~attrs:all_pairs;
+        bn_for db ~table:"person" ~kind:Bn.Cpd.Trees ();
+        bn_for db ~table:"person" ~kind:Bn.Cpd.Tables ();
+      ]
+
+let fig5a () =
+  fig5 ~label:"5a"
+    ~attrs:[ "WorkerClass"; "Education"; "MaritalStatus" ]
+    ~budgets:[ 1500; 2500; 3500; 4500 ] ()
+
+let fig5b () =
+  fig5 ~label:"5b"
+    ~attrs:[ "Income"; "Industry"; "Age"; "EmployType" ]
+    ~budgets:[ 1500; 3500; 5500; 7500; 9500 ] ()
+
+let fig5c () =
+  let db = Lazy.force census in
+  section "F5c (Fig. 5c): per-query comparison, SAMPLE vs PRM at ~9.3KB";
+  let attrs = [ "Income"; "Industry"; "Age" ] in
+  let suite = Suite.single_table ~name:"5c" ~table:"person" ~attrs in
+  let all_pairs = List.map (fun a -> ("person", a)) (Array.to_list Synth.Census.attr_names) in
+  let budget = 9_523 in
+  let sample = sample_for db ~attrs:all_pairs budget in
+  let prm = bn_for db ~table:"person" ~kind:Bn.Cpd.Trees () budget in
+  let pairs_s = Runner.per_query db suite sample ~max_queries:cfg.max_queries ~seed:cfg.seed () in
+  let pairs_p = Runner.per_query db suite prm ~max_queries:cfg.max_queries ~seed:cfg.seed () in
+  Printf.printf "SAMPLE %dB vs PRM(tree) %dB\n" sample.Est.Estimator.bytes prm.Est.Estimator.bytes;
+  print_endline (Report.scatter_summary pairs_s pairs_p);
+  (* coarse joint histogram of the two error distributions *)
+  let bucket e = if e <= 10.0 then 0 else if e <= 50.0 then 1 else if e <= 100.0 then 2 else 3 in
+  let hist = Array.make_matrix 4 4 0 in
+  List.iter2
+    (fun (t, es) (_, ep) ->
+      let err est = Est.Estimator.adjusted_relative_error ~truth:t ~estimate:est in
+      hist.(bucket (err es)).(bucket (err ep)) <- hist.(bucket (err es)).(bucket (err ep)) + 1)
+    pairs_s pairs_p;
+  let labels = [| "<=10%"; "<=50%"; "<=100%"; ">100%" |] in
+  print_endline "rows: SAMPLE error band; columns: PRM error band; cells: #queries";
+  let header = Array.append [| "SAMPLE\\PRM" |] labels in
+  let rows =
+    Array.mapi
+      (fun i row -> Array.append [| labels.(i) |] (Array.map string_of_int row))
+      hist
+  in
+  Util.Tablefmt.print ~header rows
+
+(* ---- F6: select-join suites -------------------------------------------------------- *)
+
+let tb_skeleton3 =
+  Db.Query.create
+    ~tvars:[ ("c", "contact"); ("p", "patient"); ("s", "strain") ]
+    ~joins:
+      [
+        Db.Query.join ~child:"c" ~fk:"patient" ~parent:"p";
+        Db.Query.join ~child:"p" ~fk:"strain" ~parent:"s";
+      ]
+    ()
+
+let fin_skeleton3 =
+  Db.Query.create
+    ~tvars:[ ("t", "transaction"); ("a", "account"); ("d", "district") ]
+    ~joins:
+      [
+        Db.Query.join ~child:"t" ~fk:"account" ~parent:"a";
+        Db.Query.join ~child:"a" ~fk:"district" ~parent:"d";
+      ]
+    ()
+
+let fig6a () =
+  let db = Lazy.force tb in
+  section "F6a (Fig. 6a): error vs storage, TB 3-table select-join suite";
+  let suite =
+    Suite.make ~name:"6a" ~skeleton:tb_skeleton3
+      ~attrs:[ ("c", "Contype"); ("p", "USBorn"); ("s", "Unique") ]
+  in
+  Printf.printf "%d queries per point; all queries join contact-patient-strain\n"
+    (Suite.n_queries db suite);
+  sweep ~db ~suite
+    ~budgets:[ 600; 1300; 2300; 3300; 4300 ]
+    ~methods:
+      [ join_sample_for db ~n_attrs:13; join_synopses_for db; bn_uj_for db; prm_for db ]
+
+let tb_suites =
+  [
+    ("Q1: c.Contype x p.Age", [ ("c", "Contype"); ("p", "Age") ]);
+    ("Q2: p.USBorn x s.Unique x c.Infected",
+     [ ("c", "Infected"); ("p", "USBorn"); ("s", "Unique") ]);
+    ("Q3: c.Age x p.Homeless x s.DrugResist",
+     [ ("c", "Age"); ("p", "Homeless"); ("s", "DrugResist") ]);
+  ]
+
+let fin_suites =
+  [
+    ("Q1: t.TxType x a.Balance", [ ("t", "TxType"); ("a", "Balance") ]);
+    ("Q2: t.Amount x a.Frequency x d.Size",
+     [ ("t", "Amount"); ("a", "Frequency"); ("d", "Size") ]);
+    ("Q3: t.Operation x a.CardType x d.AvgSalary",
+     [ ("t", "Operation"); ("a", "CardType"); ("d", "AvgSalary") ]);
+  ]
+
+let fig6_sets ~label ~db ~skeleton ~suites ~budget ~n_attrs () =
+  section
+    (Printf.sprintf "F%s (Fig. %s): three select-join query suites at %s" label label
+       (kb budget));
+  let ests =
+    [ join_sample_for db ~n_attrs budget; bn_uj_for db budget; prm_for db budget ]
+  in
+  let rows =
+    List.map
+      (fun (name, attrs) ->
+        let suite = Suite.make ~name ~skeleton ~attrs in
+        let outcomes = Runner.run_all db suite ests ~max_queries:cfg.max_queries ~seed:cfg.seed () in
+        (name, outcomes))
+      suites
+  in
+  Report.print (Report.sweep_table ~xlabel:"suite" ~rows)
+
+let fig6b () =
+  fig6_sets ~label:"6b" ~db:(Lazy.force tb) ~skeleton:tb_skeleton3 ~suites:tb_suites
+    ~budget:4_500 ~n_attrs:13 ()
+
+let fig6c () =
+  fig6_sets ~label:"6c" ~db:(Lazy.force fin) ~skeleton:fin_skeleton3 ~suites:fin_suites
+    ~budget:2_048 ~n_attrs:12 ()
+
+(* ---- F7: running time ---------------------------------------------------------------- *)
+
+let learn_census ~kind ~budget ~rows =
+  let db =
+    if rows = census_rows then Lazy.force census
+    else Synth.Census.generate ~rows ~seed:cfg.seed ()
+  in
+  let data = Bn.Data.of_table (Db.Database.table db "person") in
+  let config = { (Bn.Learn.default_config ~budget_bytes:budget) with Bn.Learn.kind } in
+  Bn.Learn.learn ~config data
+
+let fig7a () =
+  section "F7a (Fig. 7a): construction time vs model storage (census)";
+  let budgets = [ 800; 1500; 2500; 3500; 4500; 6500; 8500 ] in
+  let header = [| "budget"; "trees (s)"; "trees bytes"; "tables (s)"; "tables bytes" |] in
+  let rows =
+    List.map
+      (fun b ->
+        let rt, tt = time (fun () -> learn_census ~kind:Bn.Cpd.Trees ~budget:b ~rows:census_rows) in
+        let rb, tb = time (fun () -> learn_census ~kind:Bn.Cpd.Tables ~budget:b ~rows:census_rows) in
+        [| kb b; Printf.sprintf "%.2f" tt; string_of_int rt.Bn.Learn.bytes;
+           Printf.sprintf "%.2f" tb; string_of_int rb.Bn.Learn.bytes |])
+      budgets
+  in
+  Util.Tablefmt.print ~header (Array.of_list rows)
+
+let fig7b () =
+  section "F7b (Fig. 7b): construction time vs data size (fixed 3.5KB budget)";
+  let sizes =
+    if cfg.full then [ 16_000; 32_000; 48_000; 64_000; 96_000; 128_000 ]
+    else [ 8_000; 16_000; 24_000; 32_000; 40_000 ]
+  in
+  let header = [| "rows"; "trees (s)"; "tables (s)" |] in
+  let rows =
+    List.map
+      (fun n ->
+        let _, tt = time (fun () -> learn_census ~kind:Bn.Cpd.Trees ~budget:3_584 ~rows:n) in
+        let _, tb = time (fun () -> learn_census ~kind:Bn.Cpd.Tables ~budget:3_584 ~rows:n) in
+        [| string_of_int n; Printf.sprintf "%.2f" tt; Printf.sprintf "%.2f" tb |])
+      sizes
+  in
+  Util.Tablefmt.print ~header (Array.of_list rows)
+
+(* Estimation latency: per-query inference without suite caching. *)
+let estimation_latency bn q_selects =
+  let t0 = Unix.gettimeofday () in
+  let n = 50 in
+  for _ = 1 to n do
+    ignore (Bn.Bn.prob_of bn q_selects)
+  done;
+  (Unix.gettimeofday () -. t0) /. float_of_int n *. 1e6
+
+let fig7c () =
+  section "F7c (Fig. 7c): estimation time vs model size (microseconds per query)";
+  let data = Bn.Data.of_table (Db.Database.table (Lazy.force census) "person") in
+  let budgets = [ 1_000; 3_000; 5_000; 7_000; 9_000 ] in
+  let q = [ (10, Db.Query.Eq 7); (2, Db.Query.Eq 9); (0, Db.Query.Eq 5) ] in
+  let header = [| "budget"; "trees us/query"; "trees bytes"; "tables us/query"; "tables bytes" |] in
+  let rows =
+    List.map
+      (fun b ->
+        let tr =
+          Bn.Learn.learn
+            ~config:{ (Bn.Learn.default_config ~budget_bytes:b) with Bn.Learn.kind = Bn.Cpd.Trees }
+            data
+        in
+        let tbl =
+          Bn.Learn.learn
+            ~config:{ (Bn.Learn.default_config ~budget_bytes:b) with Bn.Learn.kind = Bn.Cpd.Tables }
+            data
+        in
+        [| kb b;
+           Printf.sprintf "%.1f" (estimation_latency tr.Bn.Learn.bn q);
+           string_of_int tr.Bn.Learn.bytes;
+           Printf.sprintf "%.1f" (estimation_latency tbl.Bn.Learn.bn q);
+           string_of_int tbl.Bn.Learn.bytes |])
+      budgets
+  in
+  Util.Tablefmt.print ~header (Array.of_list rows)
+
+(* ---- range queries (Sec. 2.3) -------------------------------------------------------------- *)
+
+let fig_range () =
+  section "R1 (Sec. 2.3): range queries at no extra cost (census, 2KB models)";
+  let db = Lazy.force census in
+  let attrs = [ "Age"; "Income" ] in
+  let pairs = List.map (fun a -> ("person", a)) attrs in
+  let budget = 2_048 in
+  let ests =
+    [
+      Est.Avi.build ~attrs:pairs db;
+      Est.Mhist.build ~table:"person" ~attrs ~budget_bytes:budget db;
+      Est.Wavelet.build ~table:"person" ~attrs ~budget_bytes:budget db;
+      Est.Sample.build ~rows:(budget / 8) ~seed:cfg.seed ~attrs:pairs db;
+      Est.Bn_est.build ~table:"person" ~attrs ~budget_bytes:budget ~seed:cfg.seed db;
+    ]
+  in
+  (* Random range queries over both attributes. *)
+  let rng = Util.Rng.create (cfg.seed lxor 0x7A6E) in
+  let n_queries = 1_000 in
+  let random_range card =
+    let a = Util.Rng.int rng card and b = Util.Rng.int rng card in
+    (min a b, max a b)
+  in
+  let queries =
+    List.init n_queries (fun _ ->
+        let alo, ahi = random_range 18 in
+        let ilo, ihi = random_range 42 in
+        Db.Query.create ~tvars:[ ("t", "person") ]
+          ~selects:[ Db.Query.range "t" "Age" alo ahi; Db.Query.range "t" "Income" ilo ihi ]
+          ())
+  in
+  let header = [| "estimator"; "avg err %"; "median %"; "storage" |] in
+  let rows =
+    List.map
+      (fun est ->
+        let errors =
+          List.filter_map
+            (fun q ->
+              match est.Est.Estimator.estimate q with
+              | e ->
+                Some (Est.Estimator.adjusted_relative_error ~truth:(true_size db q) ~estimate:e)
+              | exception Est.Estimator.Unsupported _ -> None)
+            queries
+        in
+        let arr = Array.of_list errors in
+        [| est.Est.Estimator.name;
+           Util.Tablefmt.float_cell (Util.Arrayx.mean arr);
+           Util.Tablefmt.float_cell (Util.Arrayx.median arr);
+           string_of_int est.Est.Estimator.bytes |])
+      ests
+  in
+  Util.Tablefmt.print ~header (Array.of_list rows)
+
+(* ---- structure recovery --------------------------------------------------------------------- *)
+
+(* The census generator's ground-truth dependencies (parent, child), by
+   attribute name; see lib/synth/census.ml. *)
+let census_true_edges =
+  [
+    ("Age", "Education"); ("Age", "MaritalStatus"); ("Age", "WorkerClass");
+    ("Age", "EmployType"); ("Age", "Income"); ("Age", "Children");
+    ("Education", "WorkerClass"); ("Education", "Industry"); ("Education", "Income");
+    ("WorkerClass", "Industry"); ("WorkerClass", "EmployType");
+    ("EmployType", "Income"); ("Income", "Earner"); ("Income", "Children");
+    ("EmployType", "Earner"); ("MaritalStatus", "Children");
+    ("MaritalStatus", "ChildSupport"); ("Children", "ChildSupport");
+  ]
+
+let fig_structure () =
+  section "S1: skeleton recovery vs the generator's ground truth (census)";
+  let data = Bn.Data.of_table (Db.Database.table (Lazy.force census) "person") in
+  let name i = Synth.Census.attr_names.(i) in
+  let true_adj =
+    List.map (fun (a, b) -> if a < b then (a, b) else (b, a)) census_true_edges
+    |> List.sort_uniq compare
+  in
+  let header = [| "budget"; "learned edges"; "true pos"; "precision"; "recall" |] in
+  let rows =
+    List.map
+      (fun budget ->
+        let r = Bn.Learn.learn ~config:(Bn.Learn.default_config ~budget_bytes:budget) data in
+        let learned =
+          List.map
+            (fun (u, v) ->
+              let a = name u and b = name v in
+              if a < b then (a, b) else (b, a))
+            (Bn.Dag.edges r.Bn.Learn.bn.Bn.Bn.dag)
+          |> List.sort_uniq compare
+        in
+        let tp = List.length (List.filter (fun e -> List.mem e true_adj) learned) in
+        [| kb budget;
+           string_of_int (List.length learned);
+           string_of_int tp;
+           Printf.sprintf "%.2f" (float_of_int tp /. float_of_int (max 1 (List.length learned)));
+           Printf.sprintf "%.2f" (float_of_int tp /. float_of_int (List.length true_adj)) |])
+      [ 1_000; 2_000; 4_000; 8_000 ]
+  in
+  Util.Tablefmt.print ~header (Array.of_list rows);
+  print_endline
+    "(adjacency is compared undirected: BN equivalence classes do not fix edge directions)"
+
+(* ---- ablations -------------------------------------------------------------------------- *)
+
+let ablation_score () =
+  section "A1 (Sec. 4.3.3): move-selection rules Naive vs SSN vs MDL (census)";
+  let data = Bn.Data.of_table (Db.Database.table (Lazy.force census) "person") in
+  let suite =
+    Suite.single_table ~name:"a1" ~table:"person" ~attrs:[ "Age"; "Education"; "Income" ]
+  in
+  let db = Lazy.force census in
+  let header = [| "budget"; "rule"; "loglik (bits/row)"; "bytes"; "avg err %" |] in
+  let rows = ref [] in
+  List.iter
+    (fun budget ->
+      List.iter
+        (fun (rname, rule) ->
+          let config =
+            { (Bn.Learn.default_config ~budget_bytes:budget) with Bn.Learn.rule }
+          in
+          let r = Bn.Learn.learn ~config data in
+          let prob = Bn.Bn.cached_prob r.Bn.Learn.bn in
+          let est = {
+            Est.Estimator.name = rname;
+            bytes = r.Bn.Learn.bytes;
+            estimate =
+              (fun q ->
+                let ev =
+                  List.map
+                    (fun s ->
+                      let rec idx i =
+                        if Synth.Census.attr_names.(i) = s.Db.Query.sel_attr then i
+                        else idx (i + 1)
+                      in
+                      (idx 0, s.Db.Query.pred))
+                    q.Db.Query.selects
+                in
+                float_of_int census_rows *. prob ev);
+          } in
+          let o = Runner.run db suite est ~max_queries:4_000 ~seed:cfg.seed () in
+          rows :=
+            [| kb budget; rname;
+               Printf.sprintf "%.3f" (r.Bn.Learn.loglik /. float_of_int census_rows);
+               string_of_int r.Bn.Learn.bytes;
+               Printf.sprintf "%.1f" o.Runner.avg_error |]
+            :: !rows)
+        [ ("naive", Bn.Learn.Naive); ("ssn", Bn.Learn.Ssn); ("mdl", Bn.Learn.Mdl) ])
+    [ 1_000; 2_000; 4_000 ];
+  Util.Tablefmt.print ~header (Array.of_list (List.rev !rows))
+
+let ablation_join () =
+  section "A2: what the relational extensions buy (TB join suites)";
+  let db = Lazy.force tb in
+  let budget = 4_500 in
+  let full = prm_for db budget in
+  let no_join_parents =
+    let c =
+      { (Prm.Learn.default_config ~budget_bytes:budget) with
+        Prm.Learn.allow_join_parents = false; seed = cfg.seed }
+    in
+    let r = Prm.Learn.learn ~config:c db in
+    { (Est.Prm_est.of_model ~name:"PRM-noJ" r.Prm.Learn.model
+         ~sizes:(Prm.Estimate.sizes_of_db db))
+      with Est.Estimator.bytes = r.Prm.Learn.bytes }
+  in
+  let uj = bn_uj_for db budget in
+  let rows =
+    List.map
+      (fun (name, attrs) ->
+        let suite = Suite.make ~name ~skeleton:tb_skeleton3 ~attrs in
+        let outcomes =
+          Runner.run_all db suite [ uj; no_join_parents; full ]
+            ~max_queries:cfg.max_queries ~seed:cfg.seed ()
+        in
+        (name, outcomes))
+      tb_suites
+  in
+  Report.print (Report.sweep_table ~xlabel:"suite" ~rows);
+  print_endline
+    "BN+UJ: no cross-table parents, uniform joins. PRM-noJ: cross-table parents\n\
+     but uniform joins. PRM: full model with join-indicator parents."
+
+(* ---- bechamel micro-benchmarks ------------------------------------------------------------ *)
+
+let bechamel_suite () =
+  section "Bechamel micro-benchmarks (inference and counting kernels)";
+  let open Bechamel in
+  let data = Bn.Data.of_table (Db.Database.table (Lazy.force census) "person") in
+  let tree_bn =
+    (Bn.Learn.learn ~config:(Bn.Learn.default_config ~budget_bytes:4_096) data).Bn.Learn.bn
+  in
+  let table_bn =
+    (Bn.Learn.learn
+       ~config:
+         { (Bn.Learn.default_config ~budget_bytes:4_096) with Bn.Learn.kind = Bn.Cpd.Tables }
+       data).Bn.Learn.bn
+  in
+  let q = [ (10, Db.Query.Eq 7); (2, Db.Query.Eq 9) ] in
+  let prm_model = lazy (learn_prm ~budget_bytes:4_096 ~seed:cfg.seed (Lazy.force tb)) in
+  let tb_db = Lazy.force tb in
+  let sizes = Prm.Estimate.sizes_of_db tb_db in
+  let join_q =
+    Db.Query.with_selects tb_skeleton3
+      [ Db.Query.eq "p" "USBorn" 1; Db.Query.eq "c" "Contype" 0 ]
+  in
+  let tests =
+    [
+      Test.make ~name:"bn-ve-tree-cpds (select query)" (Staged.stage (fun () ->
+          ignore (Bn.Bn.prob_of tree_bn q)));
+      Test.make ~name:"bn-ve-table-cpds (select query)" (Staged.stage (fun () ->
+          ignore (Bn.Bn.prob_of table_bn q)));
+      Test.make ~name:"prm-estimate (3-table join query)" (Staged.stage (fun () ->
+          ignore (Prm.Estimate.estimate (Lazy.force prm_model) ~sizes join_q)));
+      Test.make ~name:"contingency-count (40K rows x 2 attrs)" (Staged.stage (fun () ->
+          ignore (Bn.Data.contingency data [| 0; 10 |])));
+    ]
+  in
+  let benchmark test =
+    let instance = Toolkit.Instance.monotonic_clock in
+    let cfg_b =
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) ()
+    in
+    let raw = Benchmark.all cfg_b [ instance ] test in
+    let results =
+      Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+        instance raw
+    in
+    results
+  in
+  List.iter
+    (fun test ->
+      let results = benchmark (Test.make_grouped ~name:"g" [ test ]) in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "%-45s %12.1f ns/run\n" name est
+          | _ -> Printf.printf "%-45s (no estimate)\n" name)
+        results)
+    tests;
+  flush stdout
+
+(* ---- main ---------------------------------------------------------------------------------- *)
+
+let () =
+  Printf.printf "selest bench | %s scale | seed %d | census rows %d\n"
+    (if cfg.full then "paper (--full)" else "quick")
+    cfg.seed census_rows;
+  let total_t0 = Unix.gettimeofday () in
+  if wants "sanity" then fig_sanity ();
+  if wants "4a" then fig4a ();
+  if wants "4b" then fig4b ();
+  if wants "4c" then fig4c ();
+  if wants "5a" then fig5a ();
+  if wants "5b" then fig5b ();
+  if wants "5c" then fig5c ();
+  if wants "6a" then fig6a ();
+  if wants "6b" then fig6b ();
+  if wants "6c" then fig6c ();
+  if wants "7a" then fig7a ();
+  if wants "7b" then fig7b ();
+  if wants "7c" then fig7c ();
+  if wants "range" then fig_range ();
+  if wants "structure" then fig_structure ();
+  if wants "ablation-score" then ablation_score ();
+  if wants "ablation-join" then ablation_join ();
+  if wants "bechamel" then bechamel_suite ();
+  Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. total_t0)

@@ -1,0 +1,390 @@
+(* selest: command-line interface to the selectivity-estimation library.
+
+   Subcommands: gen, inspect, learn, estimate, compare.  Run
+   `selest <cmd> --help` for details. *)
+
+open Cmdliner
+open Selest
+
+(* ---- shared options ------------------------------------------------------ *)
+
+let dataset_conv = Arg.enum [ ("census", `Census); ("tb", `Tb); ("fin", `Fin) ]
+
+let dataset_arg =
+  Arg.(
+    value
+    & opt dataset_conv `Census
+    & info [ "d"; "dataset" ] ~docv:"NAME" ~doc:"Dataset: census, tb or fin.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Generator seed.")
+
+let scale_arg =
+  Arg.(
+    value
+    & opt float 1.0
+    & info [ "scale" ] ~docv:"X"
+        ~doc:"Scale factor on the dataset's paper-default row counts.")
+
+let from_dir_arg =
+  Arg.(
+    value
+    & opt (some dir) None
+    & info [ "from-dir" ] ~docv:"DIR"
+        ~doc:"Load the dataset's tables from CSVs in $(docv) instead of generating.")
+
+let budget_arg =
+  Arg.(
+    value
+    & opt int 4096
+    & info [ "b"; "budget" ] ~docv:"BYTES" ~doc:"Model storage budget in bytes.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log learner progress to stderr.")
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let scaled x f = max 1 (int_of_float (float_of_int x *. f))
+
+let make_db dataset ~scale ~seed ~from_dir =
+  let schema =
+    match dataset with
+    | `Census -> Synth.Census.schema
+    | `Tb -> Synth.Tb.schema
+    | `Fin -> Synth.Financial.schema
+  in
+  match from_dir with
+  | Some dir -> Db.Csv.load_database schema ~dir
+  | None -> (
+    match dataset with
+    | `Census ->
+      Synth.Census.generate ~rows:(scaled Synth.Census.default_rows scale) ~seed ()
+    | `Tb ->
+      Synth.Tb.generate
+        ~patients:(scaled Synth.Tb.default_patients scale)
+        ~contacts:(scaled Synth.Tb.default_contacts scale)
+        ~strains:(scaled Synth.Tb.default_strains scale)
+        ~seed ()
+    | `Fin ->
+      Synth.Financial.generate
+        ~districts:(scaled Synth.Financial.default_districts scale)
+        ~accounts:(scaled Synth.Financial.default_accounts scale)
+        ~transactions:(scaled Synth.Financial.default_transactions scale)
+        ~seed ())
+
+(* ---- gen ------------------------------------------------------------------ *)
+
+let gen_cmd =
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Output directory for the CSV files.")
+  in
+  let run dataset seed scale out =
+    let db = make_db dataset ~scale ~seed ~from_dir:None in
+    Db.Csv.save_database db ~dir:out;
+    Format.printf "%a" Db.Database.pp_summary db;
+    Printf.printf "written to %s\n" out
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a synthetic dataset and write it as CSV files.")
+    Term.(const run $ dataset_arg $ seed_arg $ scale_arg $ out)
+
+(* ---- inspect ---------------------------------------------------------------- *)
+
+let inspect_cmd =
+  let run dataset seed scale from_dir =
+    let db = make_db dataset ~scale ~seed ~from_dir in
+    Format.printf "%a" Db.Database.pp_summary db;
+    Format.printf "%a" Db.Schema.pp (Db.Database.schema db);
+    Format.printf "%a" Db.Integrity.pp_report (Db.Integrity.audit db)
+  in
+  Cmd.v
+    (Cmd.info "inspect" ~doc:"Print schema, sizes, integrity and join-fanout statistics.")
+    Term.(const run $ dataset_arg $ seed_arg $ scale_arg $ from_dir_arg)
+
+(* ---- learn ------------------------------------------------------------------- *)
+
+let kind_arg =
+  Arg.(
+    value
+    & opt (enum [ ("tree", Bn.Cpd.Trees); ("table", Bn.Cpd.Tables) ]) Bn.Cpd.Trees
+    & info [ "cpd" ] ~docv:"KIND" ~doc:"CPD representation: tree or table.")
+
+let rule_arg =
+  Arg.(
+    value
+    & opt
+        (enum [ ("ssn", Bn.Learn.Ssn); ("mdl", Bn.Learn.Mdl); ("naive", Bn.Learn.Naive) ])
+        Bn.Learn.Ssn
+    & info [ "rule" ] ~docv:"RULE" ~doc:"Move-selection rule: ssn, mdl or naive.")
+
+let bn_uj_arg =
+  Arg.(
+    value & flag
+    & info [ "bn-uj" ]
+        ~doc:"Restrict to per-table BNs + uniform join (the BN+UJ baseline).")
+
+let save_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "save" ] ~docv:"FILE" ~doc:"Write the learned model to $(docv).")
+
+let learn_cmd =
+  let run dataset seed scale from_dir budget kind rule bn_uj save verbose =
+    setup_logs verbose;
+    let db = make_db dataset ~scale ~seed ~from_dir in
+    let base =
+      if bn_uj then Prm.Learn.bn_uj_config ~budget_bytes:budget
+      else Prm.Learn.default_config ~budget_bytes:budget
+    in
+    let cfg = { base with Prm.Learn.kind; rule; seed } in
+    let t0 = Unix.gettimeofday () in
+    let r = Prm.Learn.learn ~config:cfg db in
+    Printf.printf "learned in %.2fs: %d bytes, %d accepted moves\n\n"
+      (Unix.gettimeofday () -. t0)
+      r.Prm.Learn.bytes r.Prm.Learn.iterations;
+    Format.printf "%a" Prm.Model.pp r.Prm.Learn.model;
+    match save with
+    | Some path ->
+      Prm.Serialize.save path r.Prm.Learn.model;
+      Printf.printf "saved to %s\n" path
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "learn"
+       ~doc:"Learn a PRM from a dataset under a storage budget and print it.")
+    Term.(
+      const run $ dataset_arg $ seed_arg $ scale_arg $ from_dir_arg $ budget_arg
+      $ kind_arg $ rule_arg $ bn_uj_arg $ save_arg $ verbose_arg)
+
+(* ---- estimate ------------------------------------------------------------------ *)
+
+let estimate_cmd =
+  let tv_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "t"; "tv" ] ~docv:"TV=TABLE"
+          ~doc:"Tuple variable binding, e.g. p=patient (repeatable).")
+  in
+  let join_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "j"; "join" ] ~docv:"C.FK=P"
+          ~doc:"Keyjoin clause, e.g. c.patient=p (repeatable).")
+  in
+  let select_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "s"; "select" ] ~docv:"TV.ATTR=V"
+          ~doc:
+            "Selection, e.g. p.USBorn=yes, p.Age=1..3 or c.Contype={household,roommate} \
+             (repeatable).")
+  in
+  let truth_arg =
+    Arg.(value & flag & info [ "truth" ] ~doc:"Also compute the exact size (scans the data).")
+  in
+  let explain_arg =
+    Arg.(
+      value & flag
+      & info [ "explain" ] ~doc:"Print the upward closure and query-evaluation network size.")
+  in
+  let model_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "model" ] ~docv:"FILE"
+          ~doc:"Load a previously saved model instead of learning one.")
+  in
+  let sql_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "sql" ] ~docv:"QUERY"
+          ~doc:
+            "A SELECT COUNT(*) query, e.g. \"SELECT COUNT(*) FROM contact c JOIN \
+             patient p ON c.patient = p.id WHERE p.USBorn = 'yes'\".  Replaces \
+             --tv/--join/--select.")
+  in
+  let run dataset seed scale from_dir budget tvs joins selects truth explain model_file sql =
+    let db = make_db dataset ~scale ~seed ~from_dir in
+    let q =
+      match sql with
+      | Some text -> Db.Sql.parse db text
+      | None ->
+        if tvs = [] then failwith "estimate: need --sql or at least one --tv";
+        Db.Qparse.parse db ~tvars:tvs ~joins ~selects ()
+    in
+    Format.printf "query: %a@." Db.Query.pp q;
+    let model =
+      match model_file with
+      | Some path -> Prm.Serialize.load path ~schema:(Db.Database.schema db)
+      | None -> learn_prm ~budget_bytes:budget ~seed db
+    in
+    if explain then begin
+      let closed = Prm.Estimate.upward_closure model q in
+      Format.printf "closure: %a@." Db.Query.pp closed;
+      let desc, _, _ = Prm.Estimate.query_eval_network model q in
+      Printf.printf "network: %s\n" desc
+    end;
+    Printf.printf "estimate: %.1f\n" (estimate model db q);
+    if truth then Printf.printf "truth:    %.0f\n" (true_size db q)
+  in
+  Cmd.v
+    (Cmd.info "estimate"
+       ~doc:"Learn a PRM and estimate the result size of one query.")
+    Term.(
+      const run $ dataset_arg $ seed_arg $ scale_arg $ from_dir_arg $ budget_arg
+      $ tv_arg $ join_arg $ select_arg $ truth_arg $ explain_arg $ model_arg $ sql_arg)
+
+(* ---- compare -------------------------------------------------------------------- *)
+
+let compare_cmd =
+  let attrs_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "attrs" ] ~docv:"A,B,..."
+          ~doc:"Comma-separated attributes of the (single-table) suite.")
+  in
+  let table_arg =
+    Arg.(
+      value
+      & opt string "person"
+      & info [ "table" ] ~docv:"TABLE" ~doc:"Table the suite selects from.")
+  in
+  let max_q_arg =
+    Arg.(
+      value
+      & opt int 20_000
+      & info [ "max-queries" ] ~docv:"N" ~doc:"Subsample cap on suite instantiations.")
+  in
+  let run dataset seed scale from_dir budget attrs table max_queries =
+    let db = make_db dataset ~scale ~seed ~from_dir in
+    let attrs = String.split_on_char ',' attrs |> List.map String.trim in
+    let suite =
+      Workload.Suite.single_table ~name:(String.concat "," attrs) ~table ~attrs
+    in
+    let pairs = List.map (fun a -> (table, a)) attrs in
+    let estimators =
+      [
+        Est.Avi.build ~attrs:pairs db;
+        Est.Mhist.build ~table ~attrs ~budget_bytes:budget db;
+        Est.Wavelet.build ~table ~attrs ~budget_bytes:budget db;
+        Est.Sample.build
+          ~rows:(max 1 (budget / (4 * List.length attrs)))
+          ~seed ~attrs:pairs db;
+        Est.Bn_est.build ~table ~attrs ~budget_bytes:budget ~seed db;
+      ]
+    in
+    let outcomes = Workload.Runner.run_all db suite estimators ~max_queries ~seed () in
+    Workload.Report.print (Workload.Report.outcomes_table outcomes)
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:
+         "Compare AVI, MHIST, SAMPLE and the BN estimator at equal storage on an \
+          all-instantiations equality-query suite.")
+    Term.(
+      const run $ dataset_arg $ seed_arg $ scale_arg $ from_dir_arg $ budget_arg
+      $ attrs_arg $ table_arg $ max_q_arg)
+
+(* ---- plan ----------------------------------------------------------------------- *)
+
+let plan_cmd =
+  let tv_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "t"; "tv" ] ~docv:"TV=TABLE" ~doc:"Tuple variable binding (repeatable).")
+  in
+  let join_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "j"; "join" ] ~docv:"C.FK=P" ~doc:"Keyjoin clause (repeatable).")
+  in
+  let select_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "s"; "select" ] ~docv:"TV.ATTR=V" ~doc:"Selection (repeatable).")
+  in
+  let sql_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "sql" ] ~docv:"QUERY" ~doc:"A SELECT COUNT(*) query (replaces --tv/--join/--select).")
+  in
+  let run dataset seed scale from_dir budget tvs joins selects sql =
+    let db = make_db dataset ~scale ~seed ~from_dir in
+    let q =
+      match sql with
+      | Some text -> Db.Sql.parse db text
+      | None -> Db.Qparse.parse db ~tvars:tvs ~joins ~selects ()
+    in
+    let model = learn_prm ~budget_bytes:budget ~seed db in
+    let prm_oracle =
+      Prm.Estimate.cached_estimator model ~sizes:(Prm.Estimate.sizes_of_db db)
+    in
+    let truth qq = true_size db qq in
+    Format.printf "query: %a@.@." Db.Query.pp q;
+    print_endline "plan (left-deep order)            |    PRM cost |   true cost";
+    List.iter
+      (fun plan ->
+        Printf.printf "%-34s| %11.0f | %11.0f\n" (String.concat " > " plan)
+          (Workload.Planner.plan_cost prm_oracle q plan)
+          (Workload.Planner.plan_cost truth q plan))
+      (Workload.Planner.plans q);
+    let best, cost = Workload.Planner.best_plan prm_oracle q in
+    Printf.printf "\nchosen: %s (estimated cost %.0f)\n" (String.concat " > " best) cost
+  in
+  Cmd.v
+    (Cmd.info "plan"
+       ~doc:"Rank left-deep join orders of a query by PRM-estimated cost.")
+    Term.(
+      const run $ dataset_arg $ seed_arg $ scale_arg $ from_dir_arg $ budget_arg
+      $ tv_arg $ join_arg $ select_arg $ sql_arg)
+
+(* ---- sample --------------------------------------------------------------------- *)
+
+let sample_cmd =
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Output directory for the synthetic CSVs.")
+  in
+  let run dataset seed scale from_dir budget out =
+    let db = make_db dataset ~scale ~seed ~from_dir in
+    let model = learn_prm ~budget_bytes:budget ~seed db in
+    let rng = Util.Rng.create (seed lxor 0x5A) in
+    let synthetic =
+      Prm.Sample.database rng model ~sizes:(Prm.Estimate.sizes_of_db db)
+    in
+    Db.Csv.save_database synthetic ~dir:out;
+    Format.printf "%a" Db.Database.pp_summary synthetic;
+    Printf.printf
+      "synthetic database (sampled from a %dB model, not from the data) written to %s\n"
+      (Prm.Model.size_bytes model) out
+  in
+  Cmd.v
+    (Cmd.info "sample"
+       ~doc:
+         "Learn a PRM and emit a synthetic database sampled from it (model-based \
+          synthetic data).")
+    Term.(const run $ dataset_arg $ seed_arg $ scale_arg $ from_dir_arg $ budget_arg $ out)
+
+(* ---- main ------------------------------------------------------------------------ *)
+
+let () =
+  let doc = "selectivity estimation with probabilistic models (SIGMOD 2001)" in
+  let info = Cmd.info "selest" ~doc ~version:"1.0.0" in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ gen_cmd; inspect_cmd; learn_cmd; estimate_cmd; compare_cmd; plan_cmd; sample_cmd ]))

@@ -1,0 +1,1 @@
+examples/approx_count.ml: Db Float Format Printf Prm Selest Synth

@@ -1,0 +1,1 @@
+examples/approx_count.mli:

@@ -1,0 +1,1 @@
+examples/census_queries.ml: Db Est List Printf Report Runner Selest Selest_workload String Suite Synth

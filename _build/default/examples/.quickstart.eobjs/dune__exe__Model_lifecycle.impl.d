@@ -1,0 +1,1 @@
+examples/model_lifecycle.ml: Db Filename Format Printf Prm Selest Synth Sys Util

@@ -1,0 +1,1 @@
+examples/optimizer.ml: Db Est Float Format List Planner Printf Prm Selest Selest_workload String Synth

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bn Db Est Float Format List Printf Selest Synth

@@ -1,0 +1,1 @@
+examples/tb_join_queries.ml: Array Db Est Format List Printf Prm Selest Synth

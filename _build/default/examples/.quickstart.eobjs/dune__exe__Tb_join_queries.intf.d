@@ -1,0 +1,1 @@
+examples/tb_join_queries.mli:

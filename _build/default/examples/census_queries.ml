@@ -1,0 +1,51 @@
+(* Single-table workload study (the setting of the paper's Fig. 4/5):
+   compare AVI, MHIST, SAMPLE and the BN-based estimator at equal storage
+   on suites of multi-attribute equality queries over the census table.
+
+   Run with: dune exec examples/census_queries.exe *)
+
+open Selest
+open Selest_workload
+
+let budget = 1_500
+
+let () =
+  let db = Synth.Census.generate ~rows:40_000 ~seed:2 () in
+  Printf.printf "census: %d rows; all estimators get ~%dB of storage\n\n"
+    (Db.Database.n_rows db "person") budget;
+  let run_suite attrs =
+    let suite =
+      Suite.single_table ~name:(String.concat "," attrs) ~table:"person" ~attrs
+    in
+    let pairs = List.map (fun a -> ("person", a)) attrs in
+    let estimators =
+      [
+        Est.Avi.build ~attrs:pairs db;
+        Est.Mhist.build ~table:"person" ~attrs ~budget_bytes:budget db;
+        Est.Sample.build ~rows:(budget / (4 * List.length attrs)) ~seed:9 ~attrs:pairs db;
+        Est.Bn_est.build ~table:"person" ~attrs ~budget_bytes:budget db;
+      ]
+    in
+    Printf.printf "suite over {%s}: %d equality queries\n" (String.concat ", " attrs)
+      (Suite.n_queries db suite);
+    let outcomes = Runner.run_all db suite estimators () in
+    Report.print (Report.outcomes_table outcomes);
+    print_newline ()
+  in
+  run_suite [ "Age"; "Income" ];
+  run_suite [ "Age"; "Education"; "Income" ];
+  run_suite [ "Income"; "EmployType"; "Earner" ];
+
+  (* The headline property (Sec. 1): one BN over the WHOLE table answers
+     any select query; histograms must pick their attributes in advance. *)
+  print_endline "one whole-table model, three different query suites:";
+  let whole = Est.Bn_est.build ~table:"person" ~budget_bytes:4_000 db in
+  List.iter
+    (fun attrs ->
+      let suite =
+        Suite.single_table ~name:(String.concat "," attrs) ~table:"person" ~attrs
+      in
+      let o = Runner.run db suite whole ~max_queries:3_000 () in
+      Printf.printf "  {%s}: avg error %.1f%% over %d queries\n"
+        (String.concat ", " attrs) o.Runner.avg_error o.Runner.n_queries)
+    [ [ "WorkerClass"; "Education" ]; [ "Age"; "Children" ]; [ "Income"; "Industry"; "Sex" ] ]

@@ -1,0 +1,81 @@
+(* The lifecycle of a deployed model: learn offline, persist, load at query
+   time, detect drift as the database changes, refresh parameters, and
+   sample synthetic data from the model (Sec. 1's offline/online split and
+   Sec. 6's maintenance discussion).
+
+   Run with: dune exec examples/model_lifecycle.exe *)
+
+open Selest
+
+let q_infected =
+  Db.Query.create
+    ~tvars:[ ("c", "contact"); ("p", "patient") ]
+    ~joins:[ Db.Query.join ~child:"c" ~fk:"patient" ~parent:"p" ]
+    ~selects:[ Db.Query.eq "c" "Infected" 1; Db.Query.eq "p" "HIV" 1 ]
+    ()
+
+let report label model db =
+  Printf.printf "%-28s estimate %8.1f | truth %6.0f\n" label
+    (estimate model db q_infected) (true_size db q_infected)
+
+let () =
+  (* Day 0: learn and persist. *)
+  let db0 = Synth.Tb.generate ~seed:20 () in
+  let model = learn_prm ~budget_bytes:4_000 db0 in
+  let path = Filename.temp_file "tb_model" ".prm" in
+  Prm.Serialize.save path model;
+  Printf.printf "saved %dB model to %s\n\n" (Prm.Model.size_bytes model) path;
+
+  (* Query time: load, estimate. *)
+  let loaded = Prm.Serialize.load path ~schema:Synth.Tb.schema in
+  report "day 0 (loaded model)" loaded db0;
+
+  (* Day 30: the database has drifted — a new outbreak wave with different
+     infection dynamics (simulated by regenerating with another seed and
+     more contacts). *)
+  let db30 = Synth.Tb.generate ~contacts:24_000 ~seed:77 () in
+  report "day 30 (stale parameters)" loaded db30;
+  let d = Prm.Update.drift loaded db30 in
+  Printf.printf "drift: stale %.0f vs fresh %.0f bits; worst family gap %.4f bits/unit\n"
+    d.Prm.Update.stale_loglik d.Prm.Update.fresh_loglik d.Prm.Update.gap_per_unit;
+  (match Prm.Update.maintain loaded db30 with
+  | `Fresh refreshed ->
+    print_endline "maintenance: parameter refresh sufficed";
+    report "day 30 (refreshed)" refreshed db30
+  | `Restructure_advised refreshed ->
+    print_endline "maintenance: drift is structural - relearning advised";
+    report "day 30 (refreshed anyway)" refreshed db30;
+    let relearned = learn_prm ~budget_bytes:4_000 db30 in
+    report "day 30 (relearned)" relearned db30);
+  print_newline ();
+
+  (* Synthetic data: sample a database from the model alone — the 4KB model
+     stands in for the 100K-value database (e.g. for sharing or testing). *)
+  let rng = Util.Rng.create 5 in
+  let synthetic =
+    Prm.Sample.database rng loaded ~sizes:(Prm.Estimate.sizes_of_db db0)
+  in
+  Printf.printf "synthetic database sampled from the model:\n";
+  Format.printf "%a" Db.Database.pp_summary synthetic;
+  (* The synthetic data reproduces the modelled statistics... *)
+  Printf.printf "P(Infected) real %.3f vs synthetic %.3f\n"
+    (true_size db0
+       (Db.Query.create ~tvars:[ ("c", "contact") ]
+          ~selects:[ Db.Query.eq "c" "Infected" 1 ] ())
+    /. 19_000.0)
+    (true_size synthetic
+       (Db.Query.create ~tvars:[ ("c", "contact") ]
+          ~selects:[ Db.Query.eq "c" "Infected" 1 ] ())
+    /. 19_000.0);
+  Printf.printf "join-skew check, contacts of middle-aged patients: real %.0f vs synthetic %.0f\n"
+    (true_size db0
+       (Db.Query.create
+          ~tvars:[ ("c", "contact"); ("p", "patient") ]
+          ~joins:[ Db.Query.join ~child:"c" ~fk:"patient" ~parent:"p" ]
+          ~selects:[ Db.Query.eq "p" "Age" 2 ] ()))
+    (true_size synthetic
+       (Db.Query.create
+          ~tvars:[ ("c", "contact"); ("p", "patient") ]
+          ~joins:[ Db.Query.join ~child:"c" ~fk:"patient" ~parent:"p" ]
+          ~selects:[ Db.Query.eq "p" "Age" 2 ] ()));
+  Sys.remove path

@@ -1,0 +1,1 @@
+lib/bn/bn.ml: Array Arrayx Bytesize Cpd Dag Data Factor Format Hashtbl List Rng Selest_db Selest_prob Selest_util String Ve

@@ -1,0 +1,1 @@
+lib/bn/bn.mli: Cpd Dag Data Format Selest_db Selest_prob Selest_util

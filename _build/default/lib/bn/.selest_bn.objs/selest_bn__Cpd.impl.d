@@ -1,0 +1,1 @@
+lib/bn/cpd.ml: Array Bytesize Selest_util Table_cpd Tree_cpd

@@ -1,0 +1,1 @@
+lib/bn/cpd.mli: Data Selest_prob Table_cpd Tree_cpd

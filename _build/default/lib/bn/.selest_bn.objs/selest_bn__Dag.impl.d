@@ -1,0 +1,1 @@
+lib/bn/dag.ml: Array Format List Queue String

@@ -1,0 +1,1 @@
+lib/bn/dag.mli: Format

@@ -1,0 +1,1 @@
+lib/bn/data.ml: Array Contingency Option Printf Schema Selest_db Selest_prob Selest_util Table Value

@@ -1,0 +1,1 @@
+lib/bn/data.mli: Selest_db Selest_prob

@@ -1,0 +1,1 @@
+lib/bn/learn.ml: Array Bn Bytesize Cpd Dag Data Float List Logs Printf Rng Score Selest_util

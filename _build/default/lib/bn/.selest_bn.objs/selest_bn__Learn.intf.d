@@ -1,0 +1,1 @@
+lib/bn/learn.mli: Bn Cpd Data

@@ -1,0 +1,1 @@
+lib/bn/score.ml: Array Arrayx Bytesize Cpd Dag Data Float Hashtbl Info List Selest_prob Selest_util Table_cpd Tree_cpd

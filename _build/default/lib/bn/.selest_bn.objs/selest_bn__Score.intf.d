@@ -1,0 +1,1 @@
+lib/bn/score.mli: Cpd Dag Data

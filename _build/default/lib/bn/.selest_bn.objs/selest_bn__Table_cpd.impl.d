@@ -1,0 +1,1 @@
+lib/bn/table_cpd.ml: Array Arrayx Data Factor Float Selest_prob Selest_util

@@ -1,0 +1,1 @@
+lib/bn/table_cpd.mli: Data Selest_prob

@@ -1,0 +1,1 @@
+lib/bn/tree_cpd.ml: Array Arrayx Data Dist Factor Float Format List Selest_prob Selest_util

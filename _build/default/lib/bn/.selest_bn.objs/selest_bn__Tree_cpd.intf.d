@@ -1,0 +1,1 @@
+lib/bn/tree_cpd.mli: Data Format Selest_prob

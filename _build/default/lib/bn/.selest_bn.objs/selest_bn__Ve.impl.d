@@ -1,0 +1,1 @@
+lib/bn/ve.ml: Array Factor Hashtbl List Option Query Selest_db Selest_prob

@@ -1,0 +1,1 @@
+lib/bn/ve.mli: Selest_db Selest_prob

@@ -1,0 +1,129 @@
+open Selest_util
+open Selest_prob
+
+type t = {
+  names : string array;
+  cards : int array;
+  dag : Dag.t;
+  cpds : Cpd.t array;
+  mutable factor_memo : Factor.t list option;
+      (* Converting tree CPDs to dense factors is linear in the factor
+         size, so the conversion is done once per network, not per query. *)
+}
+
+let fit data ~dag ~kind =
+  if Dag.n_nodes dag <> Data.n_vars data then
+    invalid_arg "Bn.fit: dag/data variable count mismatch";
+  let cpds =
+    Array.init (Data.n_vars data) (fun v ->
+        Cpd.fit kind data ~child:v ~parents:(Dag.parents dag v) ())
+  in
+  { names = data.Data.names; cards = data.Data.cards; dag; cpds; factor_memo = None }
+
+let of_cpds ~names ~cards ~dag cpds =
+  let n = Array.length names in
+  if Dag.n_nodes dag <> n || Array.length cpds <> n || Array.length cards <> n then
+    invalid_arg "Bn.of_cpds: size mismatch";
+  Array.iteri
+    (fun v cpd ->
+      if Cpd.parents cpd <> Dag.parents dag v then
+        invalid_arg "Bn.of_cpds: CPD parents disagree with DAG";
+      if Cpd.child_card cpd <> cards.(v) then
+        invalid_arg "Bn.of_cpds: CPD arity disagrees with cards")
+    cpds;
+  { names; cards; dag; cpds; factor_memo = None }
+
+let n_vars t = Array.length t.names
+
+let joint_prob t assignment =
+  if Array.length assignment <> n_vars t then invalid_arg "Bn.joint_prob: arity";
+  let acc = ref 1.0 in
+  Array.iteri
+    (fun v cpd ->
+      let parents = Cpd.parents cpd in
+      let pvals = Array.map (fun p -> assignment.(p)) parents in
+      acc := !acc *. (Cpd.dist cpd pvals).(assignment.(v)))
+    t.cpds;
+  !acc
+
+let loglik t data =
+  Arrayx.fold_lefti (fun acc v cpd -> acc +. Cpd.loglik cpd data ~child:v) 0.0 t.cpds
+
+let size_bytes t =
+  Array.fold_left (fun acc cpd -> acc + Cpd.size_bytes cpd) 0 t.cpds
+  + Bytesize.values (n_vars t)
+
+let factors t =
+  match t.factor_memo with
+  | Some fs -> fs
+  | None ->
+    let fs =
+      Array.to_list
+        (Array.mapi (fun v cpd -> Cpd.to_factor ~var_of:(fun x -> x) ~child:v cpd) t.cpds)
+    in
+    t.factor_memo <- Some fs;
+    fs
+
+let prob_of t evidence = Ve.prob_of_evidence (factors t) evidence
+
+let cached_prob t =
+  (* Suite amortization: for all-equality evidence over a variable set, the
+     joint posterior over that set answers every instantiation by lookup. *)
+  let posterior_cache : (int list, Factor.t) Hashtbl.t = Hashtbl.create 8 in
+  fun evidence ->
+    let all_eq =
+      List.for_all
+        (fun (_, p) -> match p with Selest_db.Query.Eq _ -> true | _ -> false)
+        evidence
+    in
+    let vars = List.sort_uniq compare (List.map fst evidence) in
+    if all_eq && List.length vars = List.length evidence then begin
+      let posterior =
+        match Hashtbl.find_opt posterior_cache vars with
+        | Some f -> f
+        | None ->
+          let f = Ve.posterior (factors t) [] ~keep:(Array.of_list vars) in
+          Hashtbl.add posterior_cache vars f;
+          f
+      in
+      let vars_arr = Array.of_list vars in
+      let values = Array.make (Array.length vars_arr) 0 in
+      List.iter
+        (fun (v, p) ->
+          let pos = ref 0 in
+          while vars_arr.(!pos) <> v do incr pos done;
+          match p with Selest_db.Query.Eq x -> values.(!pos) <- x | _ -> assert false)
+        evidence;
+      Factor.get posterior values
+    end
+    else prob_of t evidence
+
+let sample rng t =
+  let order = Dag.topological_order t.dag in
+  let out = Array.make (n_vars t) (-1) in
+  Array.iter
+    (fun v ->
+      let cpd = t.cpds.(v) in
+      let pvals = Array.map (fun p -> out.(p)) (Cpd.parents cpd) in
+      out.(v) <- Rng.categorical rng (Array.copy (Cpd.dist cpd pvals)))
+    order;
+  out
+
+let marginal t v =
+  let f = Ve.posterior (factors t) [] ~keep:[| v |] in
+  Factor.data f
+
+let pp ppf t =
+  Format.fprintf ppf "BN over %d variables, %d edges, %d bytes@." (n_vars t)
+    (Dag.n_edges t.dag) (size_bytes t);
+  Array.iteri
+    (fun v cpd ->
+      let parents = Cpd.parents cpd in
+      if Array.length parents > 0 then
+        Format.fprintf ppf "  %s <- %s (%d params, %s)@." t.names.(v)
+          (String.concat ", "
+             (Array.to_list (Array.map (fun p -> t.names.(p)) parents)))
+          (Cpd.n_params cpd)
+          (match Cpd.kind_of cpd with Cpd.Tables -> "table" | Cpd.Trees -> "tree")
+      else Format.fprintf ppf "  %s (marginal, %d params)@." t.names.(v) (Cpd.n_params cpd))
+    t.cpds

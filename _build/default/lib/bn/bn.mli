@@ -1,0 +1,56 @@
+(** Bayesian networks over the value attributes of one table (Sec. 2.2).
+
+    A DAG plus one CPD per variable; the joint distribution is the chain-
+    rule product of the CPDs.  A fitted network approximates the normalized
+    joint frequency distribution P_R of Sec. 2, so any select query's
+    probability — and hence its size, via Eq. (1) — can be read off it. *)
+
+type t = private {
+  names : string array;
+  cards : int array;
+  dag : Dag.t;
+  cpds : Cpd.t array;
+  mutable factor_memo : Selest_prob.Factor.t list option;
+      (** internal: memoized {!factors} *)
+}
+
+val fit : Data.t -> dag:Dag.t -> kind:Cpd.kind -> t
+(** Maximum-likelihood CPDs for the given structure. *)
+
+val of_cpds : names:string array -> cards:int array -> dag:Dag.t -> Cpd.t array -> t
+(** Assemble from explicit CPDs; validates that each CPD's parents match
+    the DAG. *)
+
+val n_vars : t -> int
+
+val joint_prob : t -> int array -> float
+(** Chain-rule probability of one full assignment. *)
+
+val loglik : t -> Data.t -> float
+(** Total data log-likelihood in bits (Eq. 3). *)
+
+val size_bytes : t -> int
+(** Model storage under the library-wide accounting: CPD parameters plus
+    structure. *)
+
+val factors : t -> Selest_prob.Factor.t list
+(** One factor per CPD over variable ids [0..n-1], for inference. *)
+
+val prob_of : t -> (int * Selest_db.Query.pred) list -> float
+(** [prob_of bn evidence]: the probability that each listed variable
+    satisfies its predicate, computed by variable elimination — the P(E_q)
+    of Sec. 2.3, including range and set predicates. *)
+
+val cached_prob : t -> ((int * Selest_db.Query.pred) list -> float)
+(** A query function that amortizes over suites: for all-equality evidence
+    it computes the joint posterior of each queried variable set once and
+    answers later instantiations by table lookup.  Agrees with {!prob_of}
+    exactly; other predicates fall through to it. *)
+
+val sample : Selest_util.Rng.t -> t -> int array
+(** Draw one joint assignment (used by generator-validation tests). *)
+
+val marginal : t -> int -> float array
+(** Single-variable marginal distribution. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,50 @@
+open Selest_util
+
+type t = Table of Table_cpd.t | Tree of Tree_cpd.t
+type kind = Tables | Trees
+
+let fit kind data ~child ~parents ?param_budget () =
+  match kind with
+  | Tables ->
+    let cpd = Table_cpd.fit data ~child ~parents in
+    (match param_budget with
+    | Some b when Table_cpd.n_params cpd > b ->
+      invalid_arg "Cpd.fit: table CPD exceeds parameter budget"
+    | _ -> ());
+    Table cpd
+  | Trees -> Tree (Tree_cpd.fit data ~child ~parents ?param_budget ())
+
+let parents = function
+  | Table c -> c.Table_cpd.parents
+  | Tree c -> c.Tree_cpd.parents
+
+let child_card = function
+  | Table c -> c.Table_cpd.child_card
+  | Tree c -> c.Tree_cpd.child_card
+
+let dist t pvals =
+  match t with Table c -> Table_cpd.dist c pvals | Tree c -> Tree_cpd.dist c pvals
+
+let n_params = function
+  | Table c -> Table_cpd.n_params c
+  | Tree c -> Tree_cpd.n_params c
+
+let size_bytes t =
+  (* Parameters plus one slot per conditioning parent (structure record). *)
+  Bytesize.params (n_params t) + Bytesize.values (Array.length (parents t))
+
+let loglik t data ~child =
+  match t with
+  | Table c -> Table_cpd.loglik c data ~child
+  | Tree c -> Tree_cpd.loglik c data ~child
+
+let to_factor ~var_of ~child = function
+  | Table c -> Table_cpd.to_factor ~var_of ~child c
+  | Tree c -> Tree_cpd.to_factor ~var_of ~child c
+
+let kind_of = function Table _ -> Tables | Tree _ -> Trees
+
+let refit t data ~child =
+  match t with
+  | Table c -> Table (Table_cpd.fit data ~child ~parents:c.Table_cpd.parents)
+  | Tree c -> Tree (Tree_cpd.refit c data ~child)

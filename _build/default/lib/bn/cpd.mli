@@ -1,0 +1,32 @@
+(** Conditional probability distributions: table or tree representation
+    behind one interface. *)
+
+type t = Table of Table_cpd.t | Tree of Tree_cpd.t
+
+type kind = Tables | Trees
+
+val fit :
+  kind -> Data.t -> child:int -> parents:int array -> ?param_budget:int -> unit -> t
+(** Maximum-likelihood fit with the requested representation.  For tables
+    the parameter budget is checked, not optimized: a table that would
+    exceed it raises [Invalid_argument] (the structure search treats that
+    as an infeasible move). *)
+
+val parents : t -> int array
+val child_card : t -> int
+val dist : t -> int array -> float array
+(** Child distribution given parent values (in {!parents} order). *)
+
+val n_params : t -> int
+val size_bytes : t -> int
+(** {!n_params} plus per-parent structure overhead, in {!Selest_util.Bytesize}
+    units — the quantity the learner's storage budget constrains. *)
+
+val loglik : t -> Data.t -> child:int -> float
+val to_factor : var_of:(int -> int) -> child:int -> t -> Selest_prob.Factor.t
+val kind_of : t -> kind
+
+val refit : t -> Data.t -> child:int -> t
+(** Refresh parameters on new data without changing structure: a table CPD
+    is refitted over the same parents; a tree CPD keeps its splits and
+    refreshes leaf distributions. *)

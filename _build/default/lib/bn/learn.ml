@@ -1,0 +1,246 @@
+open Selest_util
+
+let log_src = Logs.Src.create "selest.bn.learn" ~doc:"Bayesian-network structure search"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type rule = Naive | Ssn | Mdl
+
+type config = {
+  kind : Cpd.kind;
+  budget_bytes : int;
+  max_parents : int;
+  rule : rule;
+  random_restarts : int;
+  random_walk_length : int;
+  seed : int;
+}
+
+let default_config ~budget_bytes =
+  {
+    kind = Cpd.Trees;
+    budget_bytes;
+    max_parents = 4;
+    rule = Ssn;
+    random_restarts = 2;
+    random_walk_length = 3;
+    seed = 0;
+  }
+
+type result = {
+  bn : Bn.t;
+  loglik : float;
+  bytes : int;
+  iterations : int;
+  family_evaluations : int;
+}
+
+type move = Add of int * int | Remove of int * int
+
+let move_dst = function Add (_, v) -> v | Remove (_, v) -> v
+
+(* Search state: the DAG plus the family actually chosen for each node
+   (which may be a budget-capped tree, so it must be remembered — a later
+   cache lookup without the cap would return a bigger fit). *)
+type state = {
+  mutable dag : Dag.t;
+  families : Score.family array;
+  mutable size : int;
+}
+
+let apply_move dag = function
+  | Add (u, v) -> Dag.add_edge dag ~src:u ~dst:v
+  | Remove (u, v) -> Dag.remove_edge dag ~src:u ~dst:v
+
+(* Candidate moves legal w.r.t. acyclicity and the parent bound. *)
+let candidate_moves cfg dag =
+  let n = Dag.n_nodes dag in
+  let out = ref [] in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v then
+        if Dag.has_edge dag ~src:u ~dst:v then out := Remove (u, v) :: !out
+        else if
+          Array.length (Dag.parents dag v) < cfg.max_parents
+          && not (Dag.creates_cycle dag ~src:u ~dst:v)
+        then out := Add (u, v) :: !out
+    done
+  done;
+  !out
+
+let with_parent parents u =
+  let ps = Array.append parents [| u |] in
+  Array.sort compare ps;
+  ps
+
+let without_parent parents u =
+  Array.of_list (List.filter (fun p -> p <> u) (Array.to_list parents))
+
+(* A dense table over the prospective parent set can be enormous; its size
+   is known without fitting, so infeasible table moves are rejected before
+   paying (memory or time) for the fit. *)
+let table_family_bytes data ~child ~parents =
+  let configs =
+    Array.fold_left
+      (fun acc p ->
+        let c = data.Data.cards.(p) in
+        if acc > (max_int / 8) / c then max_int / 8 else acc * c)
+      1 parents
+  in
+  let params = configs * (data.Data.cards.(child) - 1) in
+  Bytesize.params params + Bytesize.values (Array.length parents)
+
+(* Evaluate a move: the new family (possibly budget-capped), its score and
+   size deltas.  [None] when the move cannot fit the budget. *)
+let evaluate cfg cache data st move =
+  let v = move_dst move in
+  let old_f = st.families.(v) in
+  let old_parents = Dag.parents st.dag v in
+  let new_parents =
+    match move with
+    | Add (u, _) -> with_parent old_parents u
+    | Remove (u, _) -> without_parent old_parents u
+  in
+  let headroom_bytes =
+    cfg.budget_bytes - st.size + old_f.Score.bytes
+    - Bytesize.values (Array.length new_parents)
+  in
+  let max_params = headroom_bytes / Bytesize.per_param in
+  if max_params < 1 then None
+  else begin
+    let feasible_upper_bound =
+      match cfg.kind with
+      | Cpd.Tables ->
+        st.size - old_f.Score.bytes + table_family_bytes data ~child:v ~parents:new_parents
+        <= cfg.budget_bytes
+      | Cpd.Trees -> true
+    in
+    if not feasible_upper_bound then None
+    else begin
+      let new_f = Score.family ~max_params cache ~child:v ~parents:new_parents in
+      let dbytes = new_f.Score.bytes - old_f.Score.bytes in
+      if st.size + dbytes > cfg.budget_bytes then None
+      else
+        Some
+          ( new_f,
+            new_f.Score.loglik -. old_f.Score.loglik,
+            dbytes,
+            new_f.Score.params - old_f.Score.params )
+    end
+  end
+
+let criterion cfg ~mdl_penalty (dscore, dbytes, dparams) =
+  match cfg.rule with
+  | Naive -> dscore
+  | Ssn ->
+    if dbytes > 0 then dscore /. float_of_int dbytes
+    else if dscore > 0.0 then Float.infinity
+    else dscore
+  | Mdl -> dscore -. (mdl_penalty *. float_of_int dparams)
+
+let eps = 1e-6
+
+let accept st move new_f dbytes =
+  st.dag <- apply_move st.dag move;
+  st.families.(move_dst move) <- new_f;
+  st.size <- st.size + dbytes
+
+let climb cfg cache data ~mdl_penalty st =
+  let moves_taken = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let best = ref None in
+    List.iter
+      (fun move ->
+        match evaluate cfg cache data st move with
+        | None -> ()
+        | Some (new_f, dscore, dbytes, dparams) ->
+          let value = criterion cfg ~mdl_penalty (dscore, dbytes, dparams) in
+          (* Tie-break deterministically by preferring score, then space. *)
+          if value > eps then begin
+            match !best with
+            | Some (v0, ds0, _, _, _) when v0 > value || (v0 = value && ds0 >= dscore) -> ()
+            | _ -> best := Some (value, dscore, dbytes, new_f, move)
+          end)
+      (candidate_moves cfg st.dag);
+    match !best with
+    | None -> continue := false
+    | Some (value, dscore, dbytes, new_f, move) ->
+      Log.debug (fun m ->
+          m "accept %s: dscore=%.1f dbytes=%d value=%.3f"
+            (match move with
+            | Add (u, v) -> Printf.sprintf "add %d->%d" u v
+            | Remove (u, v) -> Printf.sprintf "remove %d->%d" u v)
+            dscore dbytes value);
+      accept st move new_f dbytes;
+      incr moves_taken
+  done;
+  !moves_taken
+
+let random_walk cfg cache data rng st =
+  for _ = 1 to cfg.random_walk_length do
+    let feasible =
+      List.filter_map
+        (fun move ->
+          match evaluate cfg cache data st move with
+          | Some (new_f, _, dbytes, _) -> Some (move, new_f, dbytes)
+          | None -> None)
+        (candidate_moves cfg st.dag)
+    in
+    if feasible <> [] then begin
+      let move, new_f, dbytes = List.nth feasible (Rng.int rng (List.length feasible)) in
+      accept st move new_f dbytes
+    end
+  done
+
+let state_loglik st =
+  Array.fold_left (fun acc f -> acc +. f.Score.loglik) 0.0 st.families
+
+let snapshot st = (st.dag, Array.copy st.families, st.size)
+
+let restore st (dag, families, size) =
+  st.dag <- dag;
+  Array.blit families 0 st.families 0 (Array.length families);
+  st.size <- size
+
+let learn ~config:cfg data =
+  let n = Data.n_vars data in
+  let cache = Score.create_cache ~kind:cfg.kind data in
+  let mdl_penalty = Score.mdl_penalty_per_param data in
+  let families = Array.init n (fun v -> Score.family cache ~child:v ~parents:[||]) in
+  let base_size =
+    Array.fold_left (fun acc f -> acc + f.Score.bytes) (Bytesize.values n) families
+  in
+  if base_size > cfg.budget_bytes then
+    invalid_arg
+      (Printf.sprintf
+         "Learn.learn: budget %dB cannot hold even the empty model (%dB of marginals)"
+         cfg.budget_bytes base_size);
+  let st = { dag = Dag.empty n; families; size = base_size } in
+  let rng = Rng.create cfg.seed in
+  let iterations = ref (climb cfg cache data ~mdl_penalty st) in
+  let best = ref (snapshot st, state_loglik st) in
+  for _ = 1 to cfg.random_restarts do
+    random_walk cfg cache data rng st;
+    iterations := !iterations + climb cfg cache data ~mdl_penalty st;
+    let ll = state_loglik st in
+    if ll > snd !best then best := (snapshot st, ll)
+  done;
+  restore st (fst !best);
+  Log.info (fun m ->
+      m "learned BN: %d vars, %d edges, %dB of %dB budget, loglik %.1f bits, %d family fits"
+        n (Dag.n_edges st.dag) st.size cfg.budget_bytes (snd !best)
+        (Score.n_evaluations cache));
+  let cpds = Array.map (fun f -> f.Score.cpd) st.families in
+  let bn = Bn.of_cpds ~names:data.Data.names ~cards:data.Data.cards ~dag:st.dag cpds in
+  {
+    bn;
+    loglik = snd !best;
+    bytes = st.size;
+    iterations = !iterations;
+    family_evaluations = Score.n_evaluations cache;
+  }
+
+let learn_bn ?(budget_bytes = 8192) ?(kind = Cpd.Trees) ?(rule = Ssn) ?(seed = 0) data =
+  let cfg = { (default_config ~budget_bytes) with kind; rule; seed } in
+  (learn ~config:cfg data).bn

@@ -1,0 +1,43 @@
+(** Greedy structure search under a storage budget (Sec. 4.3).
+
+    Hill-climbing over edge additions and deletions, with three move-
+    selection rules from Sec. 4.3.3:
+    {ul
+    {- [Naive] — largest raw likelihood improvement;}
+    {- [Ssn] — storage-size-normalized: largest improvement per byte of
+       model growth (the knapsack heuristic);}
+    {- [Mdl] — improvement net of a description-length charge per added
+       parameter.}}
+
+    Every candidate structure must fit in [budget_bytes]; local maxima are
+    escaped with bounded random walks (deterministic in [seed]), keeping
+    the best structure seen. *)
+
+type rule = Naive | Ssn | Mdl
+
+type config = {
+  kind : Cpd.kind;  (** table or tree CPDs *)
+  budget_bytes : int;  (** hard cap on model storage *)
+  max_parents : int;  (** bound on parent-set size (Sec. 4.3.2) *)
+  rule : rule;
+  random_restarts : int;  (** random-walk + re-climb rounds after convergence *)
+  random_walk_length : int;  (** feasible random moves per walk *)
+  seed : int;
+}
+
+val default_config : budget_bytes:int -> config
+(** Trees, SSN, [max_parents = 4], 2 restarts of length 3, seed 0. *)
+
+type result = {
+  bn : Bn.t;
+  loglik : float;  (** training log-likelihood, bits *)
+  bytes : int;  (** achieved model storage *)
+  iterations : int;  (** accepted moves, including random-walk moves *)
+  family_evaluations : int;  (** distinct families fitted (cache misses) *)
+}
+
+val learn : config:config -> Data.t -> result
+
+val learn_bn : ?budget_bytes:int -> ?kind:Cpd.kind -> ?rule:rule -> ?seed:int ->
+  Data.t -> Bn.t
+(** Convenience wrapper with library defaults (8KB budget). *)

@@ -1,0 +1,99 @@
+open Selest_util
+open Selest_prob
+
+type family = { loglik : float; params : int; bytes : int; cpd : Cpd.t }
+
+type cache = {
+  kind : Cpd.kind;
+  data : Data.t;
+  table : (int * int list * int option, family) Hashtbl.t;
+  mutable evaluations : int;
+}
+
+let create_cache ~kind data = { kind; data; table = Hashtbl.create 256; evaluations = 0 }
+
+let family_bytes ~params ~n_parents = Bytesize.params params + Bytesize.values n_parents
+
+let compute cache ~child ~parents ~max_params =
+  cache.evaluations <- cache.evaluations + 1;
+  match cache.kind with
+  | Cpd.Tables ->
+    let cpd = Table_cpd.fit cache.data ~child ~parents in
+    (* For ML table CPDs the data log-likelihood equals -N·H(child|parents),
+       but computing it from the fitted table in one scan is just as fast
+       and shares the code path with trees. *)
+    let loglik = Table_cpd.loglik cpd cache.data ~child in
+    let params = Table_cpd.n_params cpd in
+    {
+      loglik;
+      params;
+      bytes = family_bytes ~params ~n_parents:(Array.length parents);
+      cpd = Cpd.Table cpd;
+    }
+  | Cpd.Trees ->
+    let cpd = Tree_cpd.fit cache.data ~child ~parents ?param_budget:max_params () in
+    let loglik = Tree_cpd.loglik cpd cache.data ~child in
+    let params = Tree_cpd.n_params cpd in
+    {
+      loglik;
+      params;
+      bytes = family_bytes ~params ~n_parents:(Array.length parents);
+      cpd = Cpd.Tree cpd;
+    }
+
+let family ?max_params cache ~child ~parents =
+  (* The unconstrained fit is tried (and cached) first; a parameter cap
+     only produces a distinct entry when the natural tree exceeds it, so a
+     search under a tight budget still reuses most fits. *)
+  let base_key = (child, Array.to_list parents, None) in
+  let base =
+    match Hashtbl.find_opt cache.table base_key with
+    | Some f -> f
+    | None ->
+      let f = compute cache ~child ~parents ~max_params:None in
+      Hashtbl.add cache.table base_key f;
+      f
+  in
+  match max_params with
+  | None -> base
+  | Some cap when base.params <= cap || cache.kind = Cpd.Tables -> base
+  | Some cap -> (
+    let key = (child, Array.to_list parents, Some cap) in
+    match Hashtbl.find_opt cache.table key with
+    | Some f -> f
+    | None ->
+      let f = compute cache ~child ~parents ~max_params:(Some cap) in
+      Hashtbl.add cache.table key f;
+      f)
+
+let structure_loglik cache dag =
+  let acc = ref 0.0 in
+  for v = 0 to Dag.n_nodes dag - 1 do
+    acc := !acc +. (family cache ~child:v ~parents:(Dag.parents dag v)).loglik
+  done;
+  !acc
+
+let structure_bytes cache dag =
+  let acc = ref (Bytesize.values (Dag.n_nodes dag)) in
+  for v = 0 to Dag.n_nodes dag - 1 do
+    acc := !acc + (family cache ~child:v ~parents:(Dag.parents dag v)).bytes
+  done;
+  !acc
+
+let mutual_information data xs ys =
+  let all = Array.of_list (List.sort_uniq compare (Array.to_list xs @ Array.to_list ys)) in
+  let joint = Data.contingency data all in
+  let pos v =
+    let rec loop i = if all.(i) = v then i else loop (i + 1) in
+    loop 0
+  in
+  let positions group =
+    let p = Array.map pos group in
+    Array.sort compare p;
+    p
+  in
+  Info.mutual_information joint (positions xs) (positions ys)
+
+let mdl_penalty_per_param data = Arrayx.log2 (Float.max 2.0 (Data.total_weight data)) /. 2.0
+
+let n_evaluations cache = cache.evaluations

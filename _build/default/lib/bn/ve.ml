@@ -1,0 +1,159 @@
+open Selest_prob
+open Selest_db
+
+type evidence = (int * Query.pred) list
+
+let apply_evidence f ev =
+  List.fold_left
+    (fun f (v, pred) ->
+      match pred with
+      | Query.Eq x -> Factor.restrict f v x
+      | Query.In_set xs -> Factor.observe f v (fun u -> List.mem u xs)
+      | Query.Range (lo, hi) -> Factor.observe f v (fun u -> lo <= u && u <= hi))
+    f ev
+
+let var_card factors v =
+  let rec scan = function
+    | [] -> raise Not_found
+    | f :: rest ->
+      let vars = Factor.vars f and cards = Factor.cards f in
+      let rec look i =
+        if i >= Array.length vars then scan rest
+        else if vars.(i) = v then cards.(i)
+        else look (i + 1)
+      in
+      look 0
+  in
+  scan factors
+
+let all_vars factors =
+  List.sort_uniq compare
+    (List.concat_map (fun f -> Array.to_list (Factor.vars f)) factors)
+
+let mentions f v = Array.exists (fun u -> u = v) (Factor.vars f)
+
+(* Cost of eliminating v: size of the factor produced by multiplying all
+   factors that mention v (product of the cards of their scope union). *)
+let elimination_cost factors v =
+  let scope = Hashtbl.create 8 in
+  List.iter
+    (fun f ->
+      if mentions f v then begin
+        let vars = Factor.vars f and cards = Factor.cards f in
+        Array.iteri (fun i u -> Hashtbl.replace scope u cards.(i)) vars
+      end)
+    factors;
+  Hashtbl.fold (fun _ c acc -> acc *. float_of_int c) scope 1.0
+
+let eliminate_var factors v =
+  let touching, rest = List.partition (fun f -> mentions f v) factors in
+  match touching with
+  | [] -> factors
+  | f :: fs ->
+    let prod = List.fold_left Factor.product f fs in
+    Factor.sum_out prod v :: rest
+
+let eliminate_all factors =
+  let rec loop factors =
+    match all_vars factors with
+    | [] ->
+      List.fold_left (fun acc f -> acc *. Factor.total f) 1.0 factors
+    | vars ->
+      let v =
+        List.fold_left
+          (fun best v ->
+            match best with
+            | None -> Some (v, elimination_cost factors v)
+            | Some (_, c0) ->
+              let c = elimination_cost factors v in
+              if c < c0 then Some (v, c) else best)
+          None vars
+        |> Option.get |> fst
+      in
+      loop (eliminate_var factors v)
+  in
+  loop factors
+
+(* Merge multiple predicates on one variable into a single allowed-value
+   set (their conjunction).  Restricting a factor twice on the same
+   variable would silently ignore the second predicate, so this
+   normalization is required for correctness, not just tidiness. *)
+let normalize_evidence factors ev =
+  let allowed : (int, bool array) Hashtbl.t = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun (v, pred) ->
+      let card =
+        try var_card factors v
+        with Not_found -> invalid_arg "Ve: evidence variable not in any factor"
+      in
+      let check x =
+        if x < 0 || x >= card then invalid_arg "Ve: evidence value out of range"
+      in
+      (match pred with
+      | Query.Eq x -> check x
+      | Query.In_set xs -> List.iter check xs
+      | Query.Range (lo, hi) ->
+        check lo;
+        check hi);
+      let mask =
+        match Hashtbl.find_opt allowed v with
+        | Some m -> m
+        | None ->
+          let m = Array.make card true in
+          Hashtbl.add allowed v m;
+          order := v :: !order;
+          m
+      in
+      for x = 0 to card - 1 do
+        if not (Query.pred_holds pred x) then mask.(x) <- false
+      done)
+    ev;
+  let merged =
+    List.rev_map
+      (fun v ->
+        let mask = Hashtbl.find allowed v in
+        let values = ref [] in
+        Array.iteri (fun x ok -> if ok then values := x :: !values) mask;
+        (v, match !values with [ x ] -> Query.Eq x | xs -> Query.In_set xs))
+      !order
+  in
+  if List.exists (fun (_, p) -> p = Query.In_set []) merged then None else Some merged
+
+let prob_of_evidence factors ev =
+  match normalize_evidence factors ev with
+  | None -> 0.0 (* contradictory evidence: empty event *)
+  | Some merged ->
+    let restricted = List.map (fun f -> apply_evidence f merged) factors in
+    eliminate_all restricted
+
+let posterior factors ev ~keep =
+  let merged =
+    match normalize_evidence factors ev with
+    | Some m -> m
+    | None -> invalid_arg "Ve.posterior: contradictory evidence"
+  in
+  let restricted = List.map (fun f -> apply_evidence f merged) factors in
+  let keep_list = Array.to_list keep in
+  let rec loop factors =
+    let vars = List.filter (fun v -> not (List.mem v keep_list)) (all_vars factors) in
+    match vars with
+    | [] -> (
+      match factors with
+      | [] -> Factor.constant 1.0
+      | f :: fs -> Factor.normalize (List.fold_left Factor.product f fs))
+    | vars ->
+      let v =
+        List.fold_left
+          (fun best v ->
+            match best with
+            | None -> Some (v, elimination_cost factors v)
+            | Some (_, c0) ->
+              let c = elimination_cost factors v in
+              if c < c0 then Some (v, c) else best)
+          None vars
+        |> Option.get |> fst
+      in
+      loop (eliminate_var factors v)
+  in
+  loop restricted

@@ -1,0 +1,25 @@
+(** Variable elimination (the standard exact BN inference of [19]).
+
+    Works on bags of factors, so the same engine serves single-table BNs
+    and the query-evaluation networks PRMs build (Def. 3.5).  Elimination
+    order is chosen greedily by minimum intermediate-factor size, which is
+    effective on the sparse structures learned in practice (Sec. 2.3). *)
+
+type evidence = (int * Selest_db.Query.pred) list
+(** Variable id paired with the predicate it must satisfy.  [Eq] evidence
+    slices factors; set/range evidence zeroes disallowed values and lets
+    elimination sum the allowed ones — range queries cost nothing extra. *)
+
+val apply_evidence : Selest_prob.Factor.t -> evidence -> Selest_prob.Factor.t
+
+val eliminate_all : Selest_prob.Factor.t list -> float
+(** Multiply all factors and sum out every variable: the total mass. *)
+
+val prob_of_evidence : Selest_prob.Factor.t list -> evidence -> float
+(** P(evidence) under the normalized distribution the factors define.
+    When the factors are a BN's CPDs the distribution is already
+    normalized and this is simply the evidence mass. *)
+
+val posterior :
+  Selest_prob.Factor.t list -> evidence -> keep:int array -> Selest_prob.Factor.t
+(** Normalized joint marginal of the [keep] variables given the evidence. *)

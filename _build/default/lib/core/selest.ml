@@ -1,0 +1,24 @@
+module Util = Selest_util
+module Prob = Selest_prob
+module Db = Selest_db
+module Synth = Selest_synth
+module Bn = Selest_bn
+module Prm = Selest_prm
+module Est = Selest_est
+module Workload = Selest_workload
+
+let learn_bn ?(budget_bytes = 8192) ?(kind = Selest_bn.Cpd.Trees)
+    ?(rule = Selest_bn.Learn.Ssn) ?(seed = 0) table =
+  let data = Selest_bn.Data.of_table table in
+  Selest_bn.Learn.learn_bn ~budget_bytes ~kind ~rule ~seed data
+
+let learn_prm ?(budget_bytes = 8192) ?(seed = 0) db =
+  Selest_prm.Learn.learn_prm ~budget_bytes ~seed db
+
+let estimate model db q =
+  Selest_prm.Estimate.estimate model ~sizes:(Selest_prm.Estimate.sizes_of_db db) q
+
+let prm_estimator ~budget_bytes ?(seed = 0) db =
+  Selest_est.Prm_est.build ~budget_bytes ~seed db
+
+let true_size db q = Selest_db.Exec.query_size db q

@@ -1,0 +1,58 @@
+(** Selest: selectivity estimation with probabilistic models.
+
+    An OCaml implementation of Getoor, Taskar & Koller, {e "Selectivity
+    Estimation using Probabilistic Models"}, SIGMOD 2001: Bayesian networks
+    for single-table select selectivity, probabilistic relational models
+    (PRMs) for select–foreign-key-join selectivity, and the paper's
+    baselines (AVI, MHIST, SAMPLE, BN+UJ) behind one estimator interface.
+
+    {2 Quick start}
+
+    {[
+      let db = Selest.Synth.Census.generate ~rows:50_000 ~seed:1 () in
+      let est = Selest.prm_estimator ~budget_bytes:4096 db in
+      let q =
+        Selest.Db.Query.create
+          ~tvars:[ ("t", "person") ]
+          ~selects:[ Selest.Db.Query.eq "t" "Income" 7 ]
+          ()
+      in
+      Printf.printf "estimated size: %.1f\n" (est.Selest.Est.Estimator.estimate q)
+    ]}
+
+    The submodules below re-export the full library; see each module's own
+    documentation. *)
+
+(** {1 Library layers} *)
+
+module Util = Selest_util
+module Prob = Selest_prob
+module Db = Selest_db
+module Synth = Selest_synth
+module Bn = Selest_bn
+module Prm = Selest_prm
+module Est = Selest_est
+module Workload = Selest_workload
+
+(** {1 One-call pipelines} *)
+
+val learn_bn :
+  ?budget_bytes:int -> ?kind:Selest_bn.Cpd.kind -> ?rule:Selest_bn.Learn.rule ->
+  ?seed:int -> Selest_db.Table.t -> Selest_bn.Bn.t
+(** Learn a Bayesian network over one table's attributes (offline phase,
+    single-table case). *)
+
+val learn_prm :
+  ?budget_bytes:int -> ?seed:int -> Selest_db.Database.t -> Selest_prm.Model.t
+(** Learn a full PRM over a database (offline phase, relational case). *)
+
+val estimate :
+  Selest_prm.Model.t -> Selest_db.Database.t -> Selest_db.Query.t -> float
+(** Online phase: estimated result size of a select–keyjoin query. *)
+
+val prm_estimator :
+  budget_bytes:int -> ?seed:int -> Selest_db.Database.t -> Selest_est.Estimator.t
+(** Learn a PRM and package it behind the common estimator interface. *)
+
+val true_size : Selest_db.Database.t -> Selest_db.Query.t -> float
+(** Exact result size (for validation; scans the database). *)

@@ -1,0 +1,1 @@
+lib/db/csv.ml: Array Database Filename Fun In_channel List Printf Schema String Sys Table Value

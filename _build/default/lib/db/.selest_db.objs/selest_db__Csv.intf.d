@@ -1,0 +1,1 @@
+lib/db/csv.mli: Database Schema Table

@@ -1,0 +1,1 @@
+lib/db/database.ml: Array Format List Printf Schema Table

@@ -1,0 +1,1 @@
+lib/db/exec.ml: Array Contingency Database Hashtbl List Option Printf Query Queue Schema Selest_prob Selest_util Table Value

@@ -1,0 +1,1 @@
+lib/db/exec.mli: Database Query Selest_prob

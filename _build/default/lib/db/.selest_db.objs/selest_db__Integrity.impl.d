@@ -1,0 +1,1 @@
+lib/db/integrity.ml: Array Database Format Index List Schema Table Value

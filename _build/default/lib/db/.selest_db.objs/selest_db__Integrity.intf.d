@@ -1,0 +1,1 @@
+lib/db/integrity.mli: Database Format

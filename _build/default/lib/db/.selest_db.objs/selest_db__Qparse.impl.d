@@ -1,0 +1,1 @@
+lib/db/qparse.ml: Database Exec List Printf Query Schema String Table Value

@@ -1,0 +1,1 @@
+lib/db/qparse.mli: Database Query

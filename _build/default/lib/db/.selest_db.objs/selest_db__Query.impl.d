@@ -1,0 +1,1 @@
+lib/db/query.ml: Format List String

@@ -1,0 +1,1 @@
+lib/db/sql.ml: Buffer Database Exec List Option Printf Query Schema String Table Value

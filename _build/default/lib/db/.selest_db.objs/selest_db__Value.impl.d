@@ -1,0 +1,1 @@
+lib/db/value.ml: Array Format Hashtbl String

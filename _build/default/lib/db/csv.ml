@@ -1,0 +1,117 @@
+(* Minimal CSV: no quoting; labels never contain commas (enforced below). *)
+
+let split_line line = String.split_on_char ',' line
+
+let check_label l =
+  if String.contains l ',' || String.contains l '\n' then
+    invalid_arg ("Csv: label contains a separator: " ^ l)
+
+let save_table tbl path =
+  let ts = Table.schema tbl in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let headers =
+        Array.to_list (Array.map (fun a -> a.Schema.aname) ts.Schema.attrs)
+        @ Array.to_list (Array.map (fun f -> f.Schema.fkname) ts.Schema.fks)
+      in
+      List.iter check_label headers;
+      output_string oc (String.concat "," headers);
+      output_char oc '\n';
+      for row = 0 to Table.size tbl - 1 do
+        let cells =
+          Array.to_list
+            (Array.mapi
+               (fun ai a ->
+                 let l = Value.label a.Schema.domain (Table.col tbl ai).(row) in
+                 check_label l;
+                 l)
+               ts.Schema.attrs)
+          @ Array.to_list
+              (Array.mapi (fun fi _ -> string_of_int (Table.fk_col tbl fi).(row)) ts.Schema.fks)
+        in
+        output_string oc (String.concat "," cells);
+        output_char oc '\n'
+      done)
+
+let load_table ts path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let header =
+        match In_channel.input_line ic with
+        | Some l -> Array.of_list (split_line l)
+        | None -> failwith (path ^ ": empty file")
+      in
+      let col_pos name =
+        let rec loop i =
+          if i >= Array.length header then
+            failwith (Printf.sprintf "%s: missing column %s" path name)
+          else if header.(i) = name then i
+          else loop (i + 1)
+        in
+        loop 0
+      in
+      let attr_pos = Array.map (fun a -> col_pos a.Schema.aname) ts.Schema.attrs in
+      let fk_pos = Array.map (fun f -> col_pos f.Schema.fkname) ts.Schema.fks in
+      let rows = ref [] in
+      let lineno = ref 1 in
+      (try
+         while true do
+           match In_channel.input_line ic with
+           | None -> raise Exit
+           | Some l ->
+             incr lineno;
+             if String.trim l <> "" then rows := Array.of_list (split_line l) :: !rows
+         done
+       with Exit -> ());
+      let rows = Array.of_list (List.rev !rows) in
+      let n = Array.length rows in
+      let get row j =
+        if j >= Array.length rows.(row) then
+          failwith (Printf.sprintf "%s: short row at line %d" path (row + 2))
+        else rows.(row).(j)
+      in
+      let cols =
+        Array.mapi
+          (fun ai a ->
+            Array.init n (fun row ->
+                let cell = get row attr_pos.(ai) in
+                try Value.code a.Schema.domain cell
+                with Not_found ->
+                  failwith
+                    (Printf.sprintf "%s: unknown label %S for %s at line %d" path cell
+                       a.Schema.aname (row + 2))))
+          ts.Schema.attrs
+      in
+      let fk_cols =
+        Array.mapi
+          (fun fi f ->
+            Array.init n (fun row ->
+                let cell = get row fk_pos.(fi) in
+                match int_of_string_opt cell with
+                | Some v -> v
+                | None ->
+                  failwith
+                    (Printf.sprintf "%s: non-integer fk %S for %s at line %d" path cell
+                       f.Schema.fkname (row + 2))))
+          ts.Schema.fks
+      in
+      Table.create ts ~cols ~fk_cols)
+
+let save_database db ~dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  Array.iter
+    (fun tbl -> save_table tbl (Filename.concat dir (Table.name tbl ^ ".csv")))
+    (Database.tables db)
+
+let load_database schema ~dir =
+  let tables =
+    Array.to_list
+      (Array.map
+         (fun ts -> load_table ts (Filename.concat dir (ts.Schema.tname ^ ".csv")))
+         (Schema.tables schema))
+  in
+  Database.create schema tables

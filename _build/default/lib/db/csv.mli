@@ -1,0 +1,19 @@
+(** CSV import/export of tables.
+
+    The CLI uses this to let a user inspect generated datasets and to load
+    external categorical data.  The format is deliberately plain: one header
+    row with column names, attribute values written as their domain labels,
+    foreign keys written as integer row ids. *)
+
+val save_table : Table.t -> string -> unit
+(** Write a table to a file.  Raises [Sys_error] on I/O failure. *)
+
+val load_table : Schema.table_schema -> string -> Table.t
+(** Read a table whose header matches the schema's attribute and foreign-key
+    columns (in any order).  Unknown labels, missing columns or short rows
+    raise [Failure] with a line number. *)
+
+val save_database : Database.t -> dir:string -> unit
+(** One [<table>.csv] per table inside [dir] (created if missing). *)
+
+val load_database : Schema.t -> dir:string -> Database.t

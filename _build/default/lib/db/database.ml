@@ -1,0 +1,59 @@
+type t = { schema : Schema.t; tables : Table.t array }
+
+(* Referential-integrity check (Sec. 1's standing assumption): every
+   foreign-key value must be a valid row index of the target table. *)
+let check_integrity schema tables =
+  let size_of name =
+    let i = Schema.table_index schema name in
+    Table.size tables.(i)
+  in
+  Array.iter
+    (fun tbl ->
+      let ts = Table.schema tbl in
+      Array.iteri
+        (fun fi f ->
+          let target_size = size_of f.Schema.target in
+          Array.iter
+            (fun v ->
+              if v < 0 || v >= target_size then
+                invalid_arg
+                  (Printf.sprintf
+                     "Database.create: %s.%s = %d violates referential integrity (|%s| = %d)"
+                     ts.Schema.tname f.Schema.fkname v f.Schema.target target_size))
+            (Table.fk_col tbl fi))
+        ts.Schema.fks)
+    tables
+
+let create schema table_list =
+  let schema_tables = Schema.tables schema in
+  let n = Array.length schema_tables in
+  if List.length table_list <> n then
+    invalid_arg "Database.create: table count does not match schema";
+  let tables =
+    Array.map
+      (fun ts ->
+        match
+          List.find_opt (fun tbl -> Table.name tbl = ts.Schema.tname) table_list
+        with
+        | Some tbl -> tbl
+        | None -> invalid_arg ("Database.create: missing table " ^ ts.Schema.tname))
+      schema_tables
+  in
+  check_integrity schema tables;
+  { schema; tables }
+
+let schema t = t.schema
+let table t name = t.tables.(Schema.table_index t.schema name)
+let table_at t i = t.tables.(i)
+let tables t = Array.copy t.tables
+let n_rows t name = Table.size (table t name)
+let total_rows t = Array.fold_left (fun acc tbl -> acc + Table.size tbl) 0 t.tables
+
+let pp_summary ppf t =
+  Array.iter
+    (fun tbl ->
+      Format.fprintf ppf "%s: %d rows, %d attrs, %d fks@."
+        (Table.name tbl) (Table.size tbl)
+        (Array.length (Table.schema tbl).Schema.attrs)
+        (Array.length (Table.schema tbl).Schema.fks))
+    t.tables

@@ -1,0 +1,18 @@
+(** A database: a schema plus one table instance per schema table. *)
+
+type t
+
+val create : Schema.t -> Table.t list -> t
+(** Tables must match the schema's tables one-to-one (by name, any order).
+    Referential integrity is checked ({!Integrity.check}); raises
+    [Invalid_argument] on violations. *)
+
+val schema : t -> Schema.t
+val table : t -> string -> Table.t
+(** Raises [Not_found]. *)
+
+val table_at : t -> int -> Table.t
+val tables : t -> Table.t array
+val n_rows : t -> string -> int
+val total_rows : t -> int
+val pp_summary : Format.formatter -> t -> unit

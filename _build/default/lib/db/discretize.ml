@@ -1,0 +1,73 @@
+type t = { n_bins : int; bin_of : int array; width : int array }
+
+let of_boundaries ~card boundaries =
+  (* [boundaries] are the exclusive upper codes of each bin, increasing,
+     ending at [card]. *)
+  let n_bins = Array.length boundaries in
+  let bin_of = Array.make card 0 in
+  let width = Array.make n_bins 0 in
+  let b = ref 0 in
+  for v = 0 to card - 1 do
+    while v >= boundaries.(!b) do incr b done;
+    bin_of.(v) <- !b;
+    width.(!b) <- width.(!b) + 1
+  done;
+  { n_bins; bin_of; width }
+
+let equi_width ~card ~bins =
+  if card <= 0 then invalid_arg "Discretize.equi_width: card <= 0";
+  let bins = max 1 (min bins card) in
+  let boundaries =
+    Array.init bins (fun i -> (i + 1) * card / bins)
+  in
+  of_boundaries ~card boundaries
+
+let equi_depth ~column ~card ~bins =
+  if card <= 0 then invalid_arg "Discretize.equi_depth: card <= 0";
+  let bins = max 1 (min bins card) in
+  let counts = Array.make card 0 in
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= card then invalid_arg "Discretize.equi_depth: value out of range";
+      counts.(v) <- counts.(v) + 1)
+    column;
+  let total = Array.fold_left ( + ) 0 counts in
+  let per_bin = float_of_int total /. float_of_int bins in
+  let boundaries = ref [] in
+  let acc = ref 0 and filled = ref 0 in
+  for v = 0 to card - 1 do
+    acc := !acc + counts.(v);
+    (* Close the current bin when its share is reached, but never create
+       more bins than remaining codes allow. *)
+    let target = per_bin *. float_of_int (!filled + 1) in
+    if
+      float_of_int !acc >= target
+      && !filled < bins - 1
+      && card - v - 1 >= bins - !filled - 1
+    then begin
+      boundaries := (v + 1) :: !boundaries;
+      incr filled
+    end
+  done;
+  boundaries := card :: !boundaries;
+  of_boundaries ~card (Array.of_list (List.rev !boundaries))
+
+let apply t column = Array.map (fun v -> t.bin_of.(v)) column
+
+let domain t original =
+  let lo = Array.make t.n_bins max_int and hi = Array.make t.n_bins (-1) in
+  Array.iteri
+    (fun v b ->
+      if v < lo.(b) then lo.(b) <- v;
+      if v > hi.(b) then hi.(b) <- v)
+    t.bin_of;
+  let labels =
+    Array.init t.n_bins (fun b ->
+        if lo.(b) = hi.(b) then Value.label original lo.(b)
+        else Value.label original lo.(b) ^ ".." ^ Value.label original hi.(b))
+  in
+  Value.labeled ~ordinal:true labels
+
+let base_estimate t ~bucket_estimate ~bin =
+  if bin < 0 || bin >= t.n_bins then invalid_arg "Discretize.base_estimate";
+  bucket_estimate /. float_of_int t.width.(bin)

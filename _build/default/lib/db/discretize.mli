@@ -1,0 +1,31 @@
+(** Discretization of large ordinal domains (Sec. 2.3).
+
+    The paper's models assume moderately sized domains and handle larger
+    ones by bucketizing; a base-level equality query is then answered by
+    estimating the bucket query and assuming uniformity within the result.
+    This module produces the bucket mapping and the per-bucket widths needed
+    for that final division. *)
+
+type t = {
+  n_bins : int;
+  bin_of : int array;  (** original code -> bin *)
+  width : int array;  (** number of original codes per bin *)
+}
+
+val equi_width : card:int -> bins:int -> t
+(** Partition [0..card-1] into [bins] contiguous ranges of (nearly) equal
+    width.  [bins] is clamped to [card]. *)
+
+val equi_depth : column:int array -> card:int -> bins:int -> t
+(** Contiguous ranges chosen so each holds (nearly) the same number of rows
+    of [column] — the classic equi-depth histogram boundary rule. *)
+
+val apply : t -> int array -> int array
+(** Map a column to bin codes. *)
+
+val domain : t -> Value.domain -> Value.domain
+(** Bucketized domain with labels "lo..hi" derived from the original. *)
+
+val base_estimate : t -> bucket_estimate:float -> bin:int -> float
+(** Uniformity-within-bucket correction: the estimate for one base-level
+    value inside [bin] given the bucket-level estimate. *)

@@ -1,0 +1,67 @@
+type violation =
+  | Dangling_fk of { table : string; fk : string; row : int; value : int }
+  | Value_out_of_domain of { table : string; attr : string; row : int; value : int }
+
+type report = {
+  violations : violation list;
+  fanouts : (string * string * float * int) list;
+}
+
+let audit db =
+  let violations = ref [] in
+  let fanouts = ref [] in
+  Array.iter
+    (fun tbl ->
+      let ts = Table.schema tbl in
+      Array.iteri
+        (fun ai a ->
+          let card = Value.card a.Schema.domain in
+          Array.iteri
+            (fun row v ->
+              if v < 0 || v >= card then
+                violations :=
+                  Value_out_of_domain
+                    { table = ts.Schema.tname; attr = a.Schema.aname; row; value = v }
+                  :: !violations)
+            (Table.col tbl ai))
+        ts.Schema.attrs;
+      Array.iteri
+        (fun fi f ->
+          let target = Database.table db f.Schema.target in
+          let tsize = Table.size target in
+          let col = Table.fk_col tbl fi in
+          Array.iteri
+            (fun row v ->
+              if v < 0 || v >= tsize then
+                violations :=
+                  Dangling_fk
+                    { table = ts.Schema.tname; fk = f.Schema.fkname; row; value = v }
+                  :: !violations)
+            col;
+          if tsize > 0 then begin
+            let index = Index.build ~fk_col:col ~target_size:tsize in
+            fanouts :=
+              (ts.Schema.tname, f.Schema.fkname, Index.mean_fanout index,
+               Index.max_fanout index)
+              :: !fanouts
+          end)
+        ts.Schema.fks)
+    (Database.tables db);
+  { violations = List.rev !violations; fanouts = List.rev !fanouts }
+
+let is_clean r = r.violations = []
+
+let pp_violation ppf = function
+  | Dangling_fk { table; fk; row; value } ->
+    Format.fprintf ppf "dangling fk %s.%s at row %d: %d" table fk row value
+  | Value_out_of_domain { table; attr; row; value } ->
+    Format.fprintf ppf "out-of-domain %s.%s at row %d: %d" table attr row value
+
+let pp_report ppf r =
+  if is_clean r then Format.fprintf ppf "integrity: clean@."
+  else
+    List.iter (fun v -> Format.fprintf ppf "%a@." pp_violation v) r.violations;
+  List.iter
+    (fun (tbl, fk, mean, mx) ->
+      Format.fprintf ppf "fanout %s.%s: mean %.2f, max %d@." tbl fk mean mx)
+    r.fanouts

@@ -1,0 +1,20 @@
+(** Database invariant checks.
+
+    {!Database.create} already rejects referential-integrity violations;
+    this module provides a non-raising audit used by the CLI and tests to
+    report all problems at once, plus fanout statistics that characterize
+    join skew. *)
+
+type violation =
+  | Dangling_fk of { table : string; fk : string; row : int; value : int }
+  | Value_out_of_domain of { table : string; attr : string; row : int; value : int }
+
+type report = {
+  violations : violation list;
+  fanouts : (string * string * float * int) list;
+      (** (child table, fk, mean fanout, max fanout) per foreign key *)
+}
+
+val audit : Database.t -> report
+val is_clean : report -> bool
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,70 @@
+type pred = Eq of int | In_set of int list | Range of int * int
+type select = { sel_tv : string; sel_attr : string; pred : pred }
+type join = { child_tv : string; fk : string; parent_tv : string }
+
+type t = {
+  tvars : (string * string) list;
+  joins : join list;
+  selects : select list;
+}
+
+let create ~tvars ?(joins = []) ?(selects = []) () =
+  let names = List.map fst tvars in
+  let rec dup = function
+    | [] -> None
+    | x :: rest -> if List.mem x rest then Some x else dup rest
+  in
+  (match dup names with
+  | Some x -> invalid_arg ("Query.create: duplicate tuple variable " ^ x)
+  | None -> ());
+  let declared tv = List.mem_assoc tv tvars in
+  List.iter
+    (fun j ->
+      if not (declared j.child_tv) then
+        invalid_arg ("Query.create: join references undeclared tuple variable " ^ j.child_tv);
+      if not (declared j.parent_tv) then
+        invalid_arg ("Query.create: join references undeclared tuple variable " ^ j.parent_tv);
+      if j.child_tv = j.parent_tv then
+        invalid_arg "Query.create: self-join through a foreign key is not a keyjoin")
+    joins;
+  List.iter
+    (fun s ->
+      if not (declared s.sel_tv) then
+        invalid_arg ("Query.create: select references undeclared tuple variable " ^ s.sel_tv))
+    selects;
+  { tvars; joins; selects }
+
+let table_of t tv = List.assoc tv t.tvars
+let select_on t tv = List.filter (fun s -> s.sel_tv = tv) t.selects
+let eq tv attr v = { sel_tv = tv; sel_attr = attr; pred = Eq v }
+let in_set tv attr vs = { sel_tv = tv; sel_attr = attr; pred = In_set vs }
+let range tv attr lo hi = { sel_tv = tv; sel_attr = attr; pred = Range (lo, hi) }
+let join ~child ~fk ~parent = { child_tv = child; fk; parent_tv = parent }
+let with_selects t selects = { t with selects }
+
+let pred_holds p v =
+  match p with
+  | Eq x -> v = x
+  | In_set xs -> List.mem v xs
+  | Range (lo, hi) -> lo <= v && v <= hi
+
+let pp_pred ppf = function
+  | Eq v -> Format.fprintf ppf "= %d" v
+  | In_set vs ->
+    Format.fprintf ppf "in {%s}" (String.concat "," (List.map string_of_int vs))
+  | Range (lo, hi) -> Format.fprintf ppf "in [%d..%d]" lo hi
+
+let pp ppf t =
+  Format.fprintf ppf "Q(";
+  List.iteri
+    (fun i (tv, tbl) ->
+      if i > 0 then Format.fprintf ppf ", ";
+      Format.fprintf ppf "%s:%s" tv tbl)
+    t.tvars;
+  Format.fprintf ppf ")";
+  List.iter
+    (fun j -> Format.fprintf ppf " %s.%s=%s" j.child_tv j.fk j.parent_tv)
+    t.joins;
+  List.iter
+    (fun s -> Format.fprintf ppf " %s.%s %a" s.sel_tv s.sel_attr pp_pred s.pred)
+    t.selects

@@ -1,0 +1,50 @@
+(** Select–keyjoin queries (the paper's query class, Sec. 2–3).
+
+    A query binds named tuple variables to tables, joins them pairwise with
+    foreign-key equality clauses ([child.fk = parent.key]), and applies
+    selection predicates to individual attributes.  Equality selects are the
+    paper's primary case; [In_set] and [Range] cover the Sec. 2.3
+    extensions. *)
+
+type pred =
+  | Eq of int  (** attribute = coded value *)
+  | In_set of int list  (** attribute ∈ set *)
+  | Range of int * int  (** lo <= attribute <= hi, inclusive; ordinal only *)
+
+type select = { sel_tv : string; sel_attr : string; pred : pred }
+
+type join = {
+  child_tv : string;  (** tuple variable holding the foreign key *)
+  fk : string;  (** foreign-key column name in the child's table *)
+  parent_tv : string;  (** tuple variable over the referenced table *)
+}
+
+type t = private {
+  tvars : (string * string) list;  (** tuple variable -> table name *)
+  joins : join list;
+  selects : select list;
+}
+
+val create :
+  tvars:(string * string) list -> ?joins:join list -> ?selects:select list -> unit -> t
+(** Structural validation only (distinct tuple variables; joins and selects
+    refer to declared tuple variables).  Schema-level validation happens in
+    {!Exec} where the database is available. *)
+
+val table_of : t -> string -> string
+(** Table bound to a tuple variable.  Raises [Not_found]. *)
+
+val select_on : t -> string -> select list
+(** Selects applying to one tuple variable. *)
+
+val eq : string -> string -> int -> select
+val in_set : string -> string -> int list -> select
+val range : string -> string -> int -> int -> select
+val join : child:string -> fk:string -> parent:string -> join
+
+val with_selects : t -> select list -> t
+(** Same tuple variables and joins, different selects — the common pattern
+    when sweeping a query suite over all value instantiations. *)
+
+val pred_holds : pred -> int -> bool
+val pp : Format.formatter -> t -> unit

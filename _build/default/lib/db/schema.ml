@@ -1,0 +1,83 @@
+type attr = { aname : string; domain : Value.domain }
+type fk = { fkname : string; target : string }
+type table_schema = { tname : string; attrs : attr array; fks : fk array }
+type t = { tables : table_schema array }
+
+let table_schema ~name ~attrs ?(fks = []) () =
+  let attrs = Array.of_list (List.map (fun (aname, domain) -> { aname; domain }) attrs) in
+  let fks = Array.of_list (List.map (fun (fkname, target) -> { fkname; target }) fks) in
+  let names = Hashtbl.create 16 in
+  let check n =
+    if Hashtbl.mem names n then
+      invalid_arg (Printf.sprintf "Schema: duplicate column %s in table %s" n name);
+    Hashtbl.add names n ()
+  in
+  Array.iter (fun a -> check a.aname) attrs;
+  Array.iter (fun f -> check f.fkname) fks;
+  { tname = name; attrs; fks }
+
+let create table_list =
+  let tables = Array.of_list table_list in
+  let names = Hashtbl.create 16 in
+  Array.iter
+    (fun ts ->
+      if Hashtbl.mem names ts.tname then
+        invalid_arg ("Schema.create: duplicate table " ^ ts.tname);
+      Hashtbl.add names ts.tname ())
+    tables;
+  Array.iter
+    (fun ts ->
+      Array.iter
+        (fun f ->
+          if not (Hashtbl.mem names f.target) then
+            invalid_arg
+              (Printf.sprintf "Schema.create: fk %s.%s references unknown table %s"
+                 ts.tname f.fkname f.target))
+        ts.fks)
+    tables;
+  { tables }
+
+let tables t = Array.copy t.tables
+
+let table_index t name =
+  let rec loop i =
+    if i >= Array.length t.tables then raise Not_found
+    else if t.tables.(i).tname = name then i
+    else loop (i + 1)
+  in
+  loop 0
+
+let find_table t name = t.tables.(table_index t name)
+
+let attr_index ts name =
+  let rec loop i =
+    if i >= Array.length ts.attrs then raise Not_found
+    else if ts.attrs.(i).aname = name then i
+    else loop (i + 1)
+  in
+  loop 0
+
+let fk_index ts name =
+  let rec loop i =
+    if i >= Array.length ts.fks then raise Not_found
+    else if ts.fks.(i).fkname = name then i
+    else loop (i + 1)
+  in
+  loop 0
+
+let attr ts name = ts.attrs.(attr_index ts name)
+let fk ts name = ts.fks.(fk_index ts name)
+let n_tables t = Array.length t.tables
+
+let pp ppf t =
+  Array.iter
+    (fun ts ->
+      Format.fprintf ppf "table %s(" ts.tname;
+      Array.iteri
+        (fun i a ->
+          if i > 0 then Format.fprintf ppf ", ";
+          Format.fprintf ppf "%s:%d" a.aname (Value.card a.domain))
+        ts.attrs;
+      Array.iter (fun f -> Format.fprintf ppf ", %s->%s" f.fkname f.target) ts.fks;
+      Format.fprintf ppf ")@.")
+    t.tables

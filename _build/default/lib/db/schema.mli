@@ -1,0 +1,44 @@
+(** Relational schemas.
+
+    Every table has an implicit primary key — its row index — plus named
+    value attributes and named foreign keys.  A foreign-key column stores
+    the row index of the referenced table, which bakes in the paper's two
+    standing assumptions: joins are equality joins on (foreign key = primary
+    key), and referential integrity holds by construction once foreign-key
+    values are range-checked (see {!Integrity}). *)
+
+type attr = { aname : string; domain : Value.domain }
+
+type fk = {
+  fkname : string;  (** column name, unique among the table's columns *)
+  target : string;  (** referenced table *)
+}
+
+type table_schema = {
+  tname : string;
+  attrs : attr array;  (** value (non-key) attributes, [T.*] in the paper *)
+  fks : fk array;
+}
+
+type t
+
+val table_schema :
+  name:string -> attrs:(string * Value.domain) list -> ?fks:(string * string) list -> unit -> table_schema
+(** [table_schema ~name ~attrs ~fks ()]; [fks] maps column name to target
+    table name.  Raises on duplicate column names. *)
+
+val create : table_schema list -> t
+(** Raises on duplicate table names or foreign keys referencing unknown
+    tables. *)
+
+val tables : t -> table_schema array
+val find_table : t -> string -> table_schema
+(** Raises [Not_found]. *)
+
+val table_index : t -> string -> int
+val attr_index : table_schema -> string -> int
+val fk_index : table_schema -> string -> int
+val attr : table_schema -> string -> attr
+val fk : table_schema -> string -> fk
+val n_tables : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,276 @@
+(* Hand-written lexer + recursive-descent parser for the COUNT( * ) subset. *)
+
+type token =
+  | T_ident of string
+  | T_string of string
+  | T_int of int
+  | T_punct of char  (* ( ) , . * =  *)
+  | T_eof
+
+type lexer = { input : string; mutable pos : int; mutable tok : token; mutable tok_pos : int }
+
+let fail lx msg = failwith (Printf.sprintf "SQL: %s (at offset %d)" msg lx.tok_pos)
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+  || c = '-' || c = '+'
+
+let lex_next lx =
+  let n = String.length lx.input in
+  while lx.pos < n && (lx.input.[lx.pos] = ' ' || lx.input.[lx.pos] = '\n' || lx.input.[lx.pos] = '\t' || lx.input.[lx.pos] = '\r') do
+    lx.pos <- lx.pos + 1
+  done;
+  lx.tok_pos <- lx.pos;
+  if lx.pos >= n then lx.tok <- T_eof
+  else
+    match lx.input.[lx.pos] with
+    | '(' | ')' | ',' | '.' | '*' | '=' ->
+      lx.tok <- T_punct lx.input.[lx.pos];
+      lx.pos <- lx.pos + 1
+    | '\'' | '"' ->
+      let quote = lx.input.[lx.pos] in
+      let buf = Buffer.create 8 in
+      lx.pos <- lx.pos + 1;
+      let rec go () =
+        if lx.pos >= n then fail lx "unterminated string literal"
+        else if lx.input.[lx.pos] = quote then lx.pos <- lx.pos + 1
+        else begin
+          Buffer.add_char buf lx.input.[lx.pos];
+          lx.pos <- lx.pos + 1;
+          go ()
+        end
+      in
+      go ();
+      lx.tok <- T_string (Buffer.contents buf)
+    | c when is_ident_char c ->
+      let start = lx.pos in
+      while lx.pos < n && is_ident_char lx.input.[lx.pos] do
+        lx.pos <- lx.pos + 1
+      done;
+      let word = String.sub lx.input start (lx.pos - start) in
+      lx.tok <-
+        (match int_of_string_opt word with Some i -> T_int i | None -> T_ident word)
+    | c -> fail lx (Printf.sprintf "unexpected character %C" c)
+
+let make_lexer input =
+  let lx = { input; pos = 0; tok = T_eof; tok_pos = 0 } in
+  lex_next lx;
+  lx
+
+let advance = lex_next
+
+let keyword_is lx kw =
+  match lx.tok with
+  | T_ident w -> String.lowercase_ascii w = kw
+  | _ -> false
+
+let expect_keyword lx kw =
+  if keyword_is lx kw then advance lx
+  else fail lx (Printf.sprintf "expected %s" (String.uppercase_ascii kw))
+
+let expect_punct lx c =
+  match lx.tok with
+  | T_punct p when p = c -> advance lx
+  | _ -> fail lx (Printf.sprintf "expected %C" c)
+
+let ident lx =
+  match lx.tok with
+  | T_ident w ->
+    advance lx;
+    w
+  | _ -> fail lx "expected an identifier"
+
+let reserved =
+  [ "select"; "count"; "from"; "join"; "on"; "where"; "and"; "in"; "between"; "as" ]
+
+(* ---- parser ---------------------------------------------------------------- *)
+
+type raw_cond =
+  | C_join of (string * string) * string  (* (tv, column) = tv[.id] *)
+  | C_eq of (string * string) * [ `Label of string | `Code of int ]
+  | C_in of (string * string) * [ `Label of string | `Code of int ] list
+  | C_between of (string * string) * [ `Label of string | `Code of int ] * [ `Label of string | `Code of int ]
+
+let parse_from_item lx =
+  let table = ident lx in
+  let alias =
+    match lx.tok with
+    | T_ident w
+      when not (List.mem (String.lowercase_ascii w) reserved) ->
+      advance lx;
+      Some w
+    | T_ident w when String.lowercase_ascii w = "as" ->
+      advance lx;
+      Some (ident lx)
+    | _ -> None
+  in
+  (Option.value alias ~default:table, table)
+
+let parse_value lx =
+  match lx.tok with
+  | T_string s ->
+    advance lx;
+    `Label s
+  | T_int i ->
+    advance lx;
+    `Code i
+  | T_ident w when not (List.mem (String.lowercase_ascii w) reserved) ->
+    advance lx;
+    `Label w
+  | _ -> fail lx "expected a value (label or integer code)"
+
+let parse_ref lx =
+  let tv = ident lx in
+  expect_punct lx '.';
+  let col = ident lx in
+  (tv, col)
+
+let parse_condition lx =
+  let lhs = parse_ref lx in
+  if keyword_is lx "in" then begin
+    advance lx;
+    expect_punct lx '(';
+    let values = ref [ parse_value lx ] in
+    while lx.tok = T_punct ',' do
+      advance lx;
+      values := parse_value lx :: !values
+    done;
+    expect_punct lx ')';
+    C_in (lhs, List.rev !values)
+  end
+  else if keyword_is lx "between" then begin
+    advance lx;
+    let lo = parse_value lx in
+    expect_keyword lx "and";
+    let hi = parse_value lx in
+    C_between (lhs, lo, hi)
+  end
+  else begin
+    expect_punct lx '=';
+    match lx.tok with
+    | T_ident w when not (List.mem (String.lowercase_ascii w) reserved) -> (
+      (* could be tv-reference (join) or a bare label; decide by the dot *)
+      advance lx;
+      match lx.tok with
+      | T_punct '.' ->
+        advance lx;
+        let col = ident lx in
+        if String.lowercase_ascii col = "id" || String.lowercase_ascii col = "key" then
+          C_join (lhs, w)
+        else fail lx "join conditions must equate a foreign key with a primary key (use parent.id)"
+      | _ -> C_eq (lhs, `Label w))
+    | T_string s ->
+      advance lx;
+      C_eq (lhs, `Label s)
+    | T_int i ->
+      advance lx;
+      C_eq (lhs, `Code i)
+    | _ -> fail lx "expected a value or parent reference after ="
+  end
+
+let parse_raw lx =
+  expect_keyword lx "select";
+  expect_keyword lx "count";
+  expect_punct lx '(';
+  expect_punct lx '*';
+  expect_punct lx ')';
+  expect_keyword lx "from";
+  let items = ref [ parse_from_item lx ] in
+  let conds = ref [] in
+  let rec from_tail () =
+    if lx.tok = T_punct ',' then begin
+      advance lx;
+      items := parse_from_item lx :: !items;
+      from_tail ()
+    end
+    else if keyword_is lx "join" then begin
+      advance lx;
+      items := parse_from_item lx :: !items;
+      expect_keyword lx "on";
+      conds := parse_condition lx :: !conds;
+      (* allow AND-chained on-conditions *)
+      while keyword_is lx "and" do
+        advance lx;
+        conds := parse_condition lx :: !conds
+      done;
+      from_tail ()
+    end
+  in
+  from_tail ();
+  if keyword_is lx "where" then begin
+    advance lx;
+    conds := parse_condition lx :: !conds;
+    while keyword_is lx "and" do
+      advance lx;
+      conds := parse_condition lx :: !conds
+    done
+  end;
+  (match lx.tok with T_eof -> () | _ -> fail lx "trailing input after query");
+  (List.rev !items, List.rev !conds)
+
+(* ---- resolution against the database ----------------------------------------- *)
+
+let parse db input =
+  let lx = make_lexer input in
+  let items, conds = parse_raw lx in
+  let schema = Database.schema db in
+  List.iter
+    (fun (_, table) ->
+      match Schema.table_index schema table with
+      | _ -> ()
+      | exception Not_found -> failwith (Printf.sprintf "SQL: unknown table %s" table))
+    items;
+  let table_of tv =
+    match List.assoc_opt tv items with
+    | Some t -> t
+    | None -> failwith (Printf.sprintf "SQL: unknown tuple variable %s" tv)
+  in
+  let domain_of tv col =
+    let ts = Table.schema (Database.table db (table_of tv)) in
+    match Schema.attr ts col with
+    | a -> a.Schema.domain
+    | exception Not_found ->
+      failwith (Printf.sprintf "SQL: no attribute %s in %s" col (table_of tv))
+  in
+  let code tv col v =
+    let domain = domain_of tv col in
+    match v with
+    | `Code i ->
+      if i < 0 || i >= Value.card domain then
+        failwith (Printf.sprintf "SQL: code %d out of domain of %s.%s" i tv col);
+      i
+    | `Label l -> (
+      match Value.code domain l with
+      | c -> c
+      | exception Not_found ->
+        failwith (Printf.sprintf "SQL: unknown value %S for %s.%s" l tv col))
+  in
+  (* A bare [child.fk = parent] (no .id) lexes as an equality with a label;
+     reinterpret it as a keyjoin when [col] is a foreign key of the child's
+     table and the "label" names a tuple variable. *)
+  let is_fk tv col =
+    let ts = Table.schema (Database.table db (table_of tv)) in
+    match Schema.fk_index ts col with _ -> true | exception Not_found -> false
+  in
+  let joins, selects =
+    List.fold_left
+      (fun (joins, selects) cond ->
+        match cond with
+        | C_join ((child, fk), parent) ->
+          ignore (table_of parent);
+          (Query.join ~child ~fk ~parent :: joins, selects)
+        | C_eq ((tv, col), `Label l) when is_fk tv col && List.mem_assoc l items ->
+          (Query.join ~child:tv ~fk:col ~parent:l :: joins, selects)
+        | C_eq ((tv, col), v) -> (joins, Query.eq tv col (code tv col v) :: selects)
+        | C_in ((tv, col), vs) ->
+          (joins, Query.in_set tv col (List.map (code tv col) vs) :: selects)
+        | C_between ((tv, col), lo, hi) ->
+          (joins, Query.range tv col (code tv col lo) (code tv col hi) :: selects))
+      ([], []) conds
+  in
+  let q =
+    try Query.create ~tvars:items ~joins:(List.rev joins) ~selects:(List.rev selects) ()
+    with Invalid_argument m -> failwith ("SQL: " ^ m)
+  in
+  (try Exec.validate db q with Invalid_argument m -> failwith ("SQL: " ^ m));
+  q

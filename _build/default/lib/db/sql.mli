@@ -1,0 +1,29 @@
+(** A SQL subset covering exactly the paper's query class: counting
+    select–foreign-key-join queries.
+
+    {v
+    SELECT COUNT( * )
+    FROM contact c JOIN patient p ON c.patient = p.id
+                   JOIN strain  s ON p.strain  = s.id
+    WHERE p.USBorn = 'yes'
+      AND p.Age BETWEEN '35-49' AND '65-79'
+      AND c.Contype IN ('household', 'roommate')
+    v}
+
+    Grammar notes:
+    {ul
+    {- [FROM] items are [table [AS] alias] (alias optional — the table name
+       then doubles as the tuple variable); comma-separated items plus
+       explicit [JOIN ... ON] clauses are both accepted;}
+    {- join conditions have the form [child.fk = parent.id] (or just
+       [child.fk = parent]) — equality of a foreign key with the referenced
+       table's primary key, the paper's keyjoin;}
+    {- [WHERE] is a conjunction of [tv.attr = value], [tv.attr IN (...)]
+       and [tv.attr BETWEEN lo AND hi]; values are domain labels (quoted or
+       bare) or integer codes;}
+    {- keywords are case-insensitive; [SELECT COUNT( * )] is required — this
+       is a selectivity estimator, not a query engine.}} *)
+
+val parse : Database.t -> string -> Query.t
+(** Raises [Failure] with a position-annotated message on syntax errors,
+    unknown tables/attributes/labels, or non-keyjoin join conditions. *)

@@ -1,0 +1,40 @@
+type domain = { labels : string array; ordinal : bool }
+
+let labeled ?(ordinal = false) labels =
+  if Array.length labels = 0 then invalid_arg "Value.labeled: empty domain";
+  let seen = Hashtbl.create (Array.length labels) in
+  Array.iter
+    (fun l ->
+      if Hashtbl.mem seen l then invalid_arg ("Value.labeled: duplicate label " ^ l);
+      Hashtbl.add seen l ())
+    labels;
+  { labels; ordinal }
+
+let ints k =
+  if k <= 0 then invalid_arg "Value.ints: k <= 0";
+  { labels = Array.init k string_of_int; ordinal = true }
+
+let range lo hi =
+  if hi < lo then invalid_arg "Value.range: hi < lo";
+  { labels = Array.init (hi - lo + 1) (fun i -> string_of_int (lo + i)); ordinal = true }
+
+let card d = Array.length d.labels
+
+let label d v =
+  if v < 0 || v >= card d then invalid_arg "Value.label: code out of range";
+  d.labels.(v)
+
+let code d l =
+  let rec loop i =
+    if i >= Array.length d.labels then raise Not_found
+    else if d.labels.(i) = l then i
+    else loop (i + 1)
+  in
+  loop 0
+
+let is_ordinal d = d.ordinal
+
+let pp ppf d =
+  Format.fprintf ppf "{%s%s}"
+    (String.concat "," (Array.to_list d.labels))
+    (if d.ordinal then " (ordinal)" else "")

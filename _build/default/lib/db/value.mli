@@ -1,0 +1,31 @@
+(** Attribute domains.
+
+    Following Sec. 2 of the paper, every value attribute ranges over a small
+    finite domain; values are stored as integer codes [0..card-1] and the
+    domain carries the human-readable label of each code.  Ordinal domains
+    (ages, amounts, bucketized continuous values) additionally support range
+    predicates. *)
+
+type domain = private {
+  labels : string array;  (** label of each code, in code order *)
+  ordinal : bool;  (** whether codes carry a meaningful total order *)
+}
+
+val labeled : ?ordinal:bool -> string array -> domain
+(** Domain with explicit labels (default [ordinal = false]).  Raises on an
+    empty array or duplicate labels. *)
+
+val ints : int -> domain
+(** [ints k]: ordinal domain of [k] codes labeled "0".."k-1". *)
+
+val range : int -> int -> domain
+(** [range lo hi]: ordinal domain with labels [lo..hi] inclusive. *)
+
+val card : domain -> int
+val label : domain -> int -> string
+
+val code : domain -> string -> int
+(** Code of a label.  Raises [Not_found]. *)
+
+val is_ordinal : domain -> bool
+val pp : Format.formatter -> domain -> unit

@@ -1,0 +1,1 @@
+lib/est/avi.ml: Array Arrayx Bytesize Database Estimator Exec Hashtbl List Printf Query Schema Selest_db Selest_util Table Value

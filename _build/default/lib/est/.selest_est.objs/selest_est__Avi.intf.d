@@ -1,0 +1,1 @@
+lib/est/avi.mli: Estimator Selest_db

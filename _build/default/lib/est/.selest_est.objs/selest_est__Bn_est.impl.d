@@ -1,0 +1,1 @@
+lib/est/bn_est.ml: Array Bn Cpd Data Database Estimator Exec Learn List Query Schema Selest_bn Selest_db Table

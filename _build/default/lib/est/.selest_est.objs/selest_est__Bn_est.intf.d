@@ -1,0 +1,1 @@
+lib/est/bn_est.mli: Estimator Selest_bn Selest_db

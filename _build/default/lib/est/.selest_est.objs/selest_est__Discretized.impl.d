@@ -1,0 +1,1 @@
+lib/est/discretized.ml: Array Bn Bytesize Cpd Data Database Discretize Estimator Exec Factor Hashtbl Learn List Query Schema Selest_bn Selest_db Selest_prob Selest_util Table Value Ve

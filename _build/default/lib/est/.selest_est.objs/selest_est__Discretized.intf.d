@@ -1,0 +1,1 @@
+lib/est/discretized.mli: Estimator Selest_bn Selest_db

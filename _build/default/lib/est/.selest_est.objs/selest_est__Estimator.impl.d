@@ -1,0 +1,1 @@
+lib/est/estimator.ml: Float Selest_db

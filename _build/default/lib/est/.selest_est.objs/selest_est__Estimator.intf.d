@@ -1,0 +1,1 @@
+lib/est/estimator.mli: Selest_db

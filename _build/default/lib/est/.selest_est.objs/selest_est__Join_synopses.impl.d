@@ -1,0 +1,1 @@
+lib/est/join_synopses.ml: Array Database Estimator Exec Hashtbl List Query Sample Schema Selest_db Selest_util Table

@@ -1,0 +1,1 @@
+lib/est/join_synopses.mli: Estimator Selest_db

@@ -1,0 +1,1 @@
+lib/est/mhist.ml: Array Bytesize Contingency Database Estimator Exec List Query Schema Selest_db Selest_prob Selest_util Table Value

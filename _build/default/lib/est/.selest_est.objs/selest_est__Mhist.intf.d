@@ -1,0 +1,1 @@
+lib/est/mhist.mli: Estimator Selest_db

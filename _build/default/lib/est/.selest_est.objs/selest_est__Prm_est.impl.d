@@ -1,0 +1,1 @@
+lib/est/prm_est.ml: Estimate Estimator Learn Model Selest_bn Selest_prm

@@ -1,0 +1,1 @@
+lib/est/prm_est.mli: Estimator Selest_bn Selest_db Selest_prm

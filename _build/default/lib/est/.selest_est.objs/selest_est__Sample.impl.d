@@ -1,0 +1,1 @@
+lib/est/sample.ml: Array Bytesize Database Estimator Exec Hashtbl List Printf Query Rng Schema Selest_db Selest_util Table

@@ -1,0 +1,1 @@
+lib/est/sample.mli: Estimator Selest_db

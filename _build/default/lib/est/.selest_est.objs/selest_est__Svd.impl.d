@@ -1,0 +1,1 @@
+lib/est/svd.ml: Array Bytesize Contingency Database Estimator Exec Float List Query Schema Selest_db Selest_prob Selest_util Table Value

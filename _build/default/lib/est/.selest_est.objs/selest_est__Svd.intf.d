@@ -1,0 +1,1 @@
+lib/est/svd.mli: Estimator Selest_db

@@ -1,0 +1,1 @@
+lib/est/wavelet.mli: Estimator Selest_db

@@ -1,0 +1,71 @@
+open Selest_util
+open Selest_db
+
+let build ?tables ?attrs db =
+  let covered_table tname =
+    match tables with None -> true | Some ts -> List.mem tname ts
+  in
+  let covered_attr tname aname =
+    covered_table tname
+    && match attrs with None -> true | Some l -> List.mem (tname, aname) l
+  in
+  (* Marginal frequency histograms, one per covered attribute. *)
+  let hist : (string * string, float array) Hashtbl.t = Hashtbl.create 32 in
+  let bytes = ref 0 in
+  Array.iter
+    (fun tbl ->
+      let ts = Table.schema tbl in
+      Array.iteri
+        (fun ai a ->
+          if covered_attr ts.Schema.tname a.Schema.aname then begin
+            let card = Value.card a.Schema.domain in
+            let counts = Array.make card 0.0 in
+            Array.iter (fun v -> counts.(v) <- counts.(v) +. 1.0) (Table.col tbl ai);
+            Hashtbl.add hist (ts.Schema.tname, a.Schema.aname) (Arrayx.normalize counts);
+            bytes := !bytes + Bytesize.params card
+          end)
+        ts.Schema.attrs)
+    (Database.tables db);
+  let prob_of_pred dist pred =
+    match pred with
+    | Query.Eq v -> dist.(v)
+    | Query.In_set vs -> List.fold_left (fun acc v -> acc +. dist.(v)) 0.0 vs
+    | Query.Range (lo, hi) ->
+      let acc = ref 0.0 in
+      for v = lo to hi do
+        acc := !acc +. dist.(v)
+      done;
+      !acc
+  in
+  let estimate q =
+    Exec.validate db q;
+    (* Cartesian baseline ... *)
+    let size =
+      List.fold_left
+        (fun acc (_, tname) ->
+          if not (covered_table tname) then
+            raise (Estimator.Unsupported ("AVI does not cover table " ^ tname));
+          acc *. float_of_int (Table.size (Database.table db tname)))
+        1.0 q.Query.tvars
+    in
+    (* ... cut down by uniform-join selectivity per join clause ... *)
+    let size =
+      List.fold_left
+        (fun acc j ->
+          let parent_table = Query.table_of q j.Query.parent_tv in
+          acc /. float_of_int (Table.size (Database.table db parent_table)))
+        size q.Query.joins
+    in
+    (* ... and by independent per-attribute select probabilities. *)
+    List.fold_left
+      (fun acc s ->
+        let tname = Query.table_of q s.Query.sel_tv in
+        match Hashtbl.find_opt hist (tname, s.Query.sel_attr) with
+        | Some dist -> acc *. prob_of_pred dist s.Query.pred
+        | None ->
+          raise
+            (Estimator.Unsupported
+               (Printf.sprintf "AVI does not cover %s.%s" tname s.Query.sel_attr)))
+      size q.Query.selects
+  in
+  { Estimator.name = "AVI"; bytes = !bytes; estimate }

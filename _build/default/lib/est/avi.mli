@@ -1,0 +1,13 @@
+(** AVI: the attribute-value-independence baseline (Sec. 5).
+
+    One one-dimensional histogram (exact, one bucket per value — domains
+    are small) per attribute per table; selects multiply marginal
+    probabilities, joins use the uniform-join assumption [P(J) = 1/|S|].
+    This is the System-R-style estimator commercial optimizers implement,
+    and the paper's whipping boy. *)
+
+val build : ?tables:string list -> ?attrs:(string * string) list -> Selest_db.Database.t -> Estimator.t
+(** [build db] covers every attribute of every table.  [tables] restricts
+    coverage; [attrs] (pairs of table, attribute) restricts further — used
+    when comparing at equal storage over a query subset.  Queries touching
+    uncovered attributes raise {!Estimator.Unsupported}. *)

@@ -1,0 +1,50 @@
+open Selest_db
+open Selest_bn
+
+let name_for = function Cpd.Trees -> "PRM(tree)" | Cpd.Tables -> "PRM(table)"
+
+let build ~table ?attrs ~budget_bytes ?(kind = Cpd.Trees) ?(rule = Learn.Ssn) ?(seed = 0) db =
+  let tbl = Database.table db table in
+  let ts = Table.schema tbl in
+  let attr_names =
+    match attrs with
+    | Some l -> l
+    | None -> Array.to_list (Array.map (fun a -> a.Schema.aname) ts.Schema.attrs)
+  in
+  let attr_idx = List.map (Schema.attr_index ts) attr_names in
+  let data_all = Data.of_table tbl in
+  let data =
+    (* Restrict to the modelled attribute subset. *)
+    let sel = Array.of_list attr_idx in
+    Data.create
+      ~names:(Array.map (fun i -> data_all.Data.names.(i)) sel)
+      ~cards:(Array.map (fun i -> data_all.Data.cards.(i)) sel)
+      ~ordinal:(Array.map (fun i -> data_all.Data.ordinal.(i)) sel)
+      (Array.map (fun i -> data_all.Data.cols.(i)) sel)
+  in
+  let cfg = { (Learn.default_config ~budget_bytes) with Learn.kind; rule; seed } in
+  let result = Learn.learn ~config:cfg data in
+  let bn = result.Learn.bn in
+  let var_of_attr = List.mapi (fun i aname -> (aname, i)) attr_names in
+  let n = float_of_int (Table.size tbl) in
+  let prob = Bn.cached_prob bn in
+  let estimate q =
+    Exec.validate db q;
+    (match (q.Query.tvars, q.Query.joins) with
+    | [ (_, t) ], [] when t = table -> ()
+    | _ ->
+      raise (Estimator.Unsupported "single-table BN estimator: single table, no joins"));
+    let evidence =
+      List.map
+        (fun s ->
+          match List.assoc_opt s.Query.sel_attr var_of_attr with
+          | Some v -> (v, s.Query.pred)
+          | None ->
+            raise
+              (Estimator.Unsupported
+                 ("BN estimator does not model attribute " ^ s.Query.sel_attr)))
+        q.Query.selects
+    in
+    n *. prob evidence
+  in
+  { Estimator.name = name_for kind; bytes = result.Learn.bytes; estimate }

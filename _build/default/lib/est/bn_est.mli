@@ -1,0 +1,16 @@
+(** Single-table Bayesian-network estimator (the paper's PRM restricted to
+    one table — the "PRM" series of Fig. 4 and 5).
+
+    Learns a BN over a table's attributes (optionally a subset, for the
+    equal-storage comparisons of Fig. 4) under a byte budget and answers
+    select queries over that table via exact inference. *)
+
+val build :
+  table:string -> ?attrs:string list -> budget_bytes:int ->
+  ?kind:Selest_bn.Cpd.kind -> ?rule:Selest_bn.Learn.rule -> ?seed:int ->
+  Selest_db.Database.t -> Estimator.t
+(** Queries must have a single tuple variable over [table] and select only
+    modelled attributes; otherwise {!Estimator.Unsupported}. *)
+
+val name_for : Selest_bn.Cpd.kind -> string
+(** "PRM(tree)" / "PRM(table)" — the labels used in reports. *)

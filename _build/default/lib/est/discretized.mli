@@ -1,0 +1,22 @@
+(** Large-domain attributes via discretization (Sec. 2.3).
+
+    The paper's models assume moderate domain sizes and handle larger ones
+    by bucketizing: learn the BN over bucket-level domains, answer a
+    base-level query by estimating the bucket-level query and assuming
+    uniformity within each bucket.  This estimator packages that pipeline:
+    selected attributes are equi-depth bucketized, a BN is learned over the
+    transformed table, and base-level predicates are answered as
+
+    {[ N · Σ_cells P(bucket cells) · Π_attr coverage(cell) ]}
+
+    where coverage is the fraction of a bucket's base values satisfying the
+    predicate (1 or 0 for non-bucketized attributes).  Exact bucket-level
+    queries lose nothing; base-level point queries pay only the
+    within-bucket uniformity assumption. *)
+
+val build :
+  table:string -> bucketize:(string * int) list -> budget_bytes:int ->
+  ?kind:Selest_bn.Cpd.kind -> ?seed:int -> Selest_db.Database.t -> Estimator.t
+(** [bucketize] maps attribute names to bucket counts; unlisted attributes
+    keep their domains.  Storage = the BN plus one boundary value per
+    bucket.  Queries must be single-table selects on [table]. *)

@@ -1,0 +1,10 @@
+type t = {
+  name : string;
+  bytes : int;
+  estimate : Selest_db.Query.t -> float;
+}
+
+exception Unsupported of string
+
+let adjusted_relative_error ~truth ~estimate =
+  100.0 *. abs_float (truth -. estimate) /. Float.max 1.0 truth

@@ -1,0 +1,50 @@
+open Selest_db
+
+(* Attribute count of the fk-closure rooted at [ti] (what one synopsis row
+   stores). *)
+let closure_attrs db ti =
+  let schema = Database.schema db in
+  let seen = Hashtbl.create 8 in
+  let rec go ti =
+    if not (Hashtbl.mem seen ti) then begin
+      Hashtbl.add seen ti ();
+      let ts = Table.schema (Database.table_at db ti) in
+      Array.iter
+        (fun f -> go (Schema.table_index schema f.Schema.target))
+        ts.Schema.fks
+    end
+  in
+  go ti;
+  Hashtbl.fold
+    (fun t () acc ->
+      acc + Array.length (Table.schema (Database.table_at db t)).Schema.attrs)
+    seen 0
+
+let build ~budget_bytes ~seed db =
+  let schema = Database.schema db in
+  let n_tables = Schema.n_tables schema in
+  let per_root = budget_bytes / max 1 n_tables in
+  let synopses =
+    Array.init n_tables (fun ti ->
+        let name = (Schema.tables schema).(ti).Schema.tname in
+        let n_attrs = max 1 (closure_attrs db ti) in
+        let rows = max 1 (per_root / Selest_util.Bytesize.values n_attrs) in
+        (name, Sample.build ~rows ~seed:(seed + ti) ~base:name db))
+  in
+  let bytes =
+    Array.fold_left (fun acc (_, s) -> acc + s.Estimator.bytes) 0 synopses
+  in
+  let estimate q =
+    Exec.validate db q;
+    match Exec.single_base db q with
+    | None ->
+      raise (Estimator.Unsupported "join synopses: query has no single base tuple variable")
+    | Some tv ->
+      let table = Query.table_of q tv in
+      let _, synopsis =
+        Array.to_list synopses
+        |> List.find (fun (name, _) -> name = table)
+      in
+      synopsis.Estimator.estimate q
+  in
+  { Estimator.name = "JOIN-SYN"; bytes; estimate }

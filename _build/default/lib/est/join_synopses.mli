@@ -1,0 +1,13 @@
+(** Join synopses (Acharya, Gibbons, Poosala & Ramaswamy [1], the paper's
+    related work on join sampling).
+
+    One uniform sample of each {e distinguished join} — the maximal
+    foreign-key closure rooted at each table — so that, unlike a single
+    join sample, every select–keyjoin query rooted anywhere in the schema
+    has an unbiased synopsis to read from.  The storage budget is split
+    evenly across the per-root synopses. *)
+
+val build : budget_bytes:int -> seed:int -> Selest_db.Database.t -> Estimator.t
+(** A query is dispatched to the synopsis rooted at its base tuple
+    variable's table ({!Selest_db.Exec.single_base}); queries with no
+    single base raise {!Estimator.Unsupported}. *)

@@ -1,0 +1,240 @@
+open Selest_util
+open Selest_db
+open Selest_prob
+
+type bucket = {
+  lo : int array;  (* inclusive, per dim *)
+  hi : int array;  (* inclusive, per dim *)
+  count : float;
+}
+
+let n_buckets_for ~budget_bytes ~dims =
+  max 1 (budget_bytes / Bytesize.values ((2 * dims) + 1))
+
+let cells_in b =
+  Array.fold_left ( * ) 1 (Array.mapi (fun i hi -> hi - b.lo.(i) + 1) b.hi)
+
+(* Marginal frequency vector of [joint] inside bucket [b] along [dim]. *)
+let marginal_in joint cards b dim =
+  let d = Array.length cards in
+  let extent = b.hi.(dim) - b.lo.(dim) + 1 in
+  let m = Array.make extent 0.0 in
+  (* Iterate the bucket's cells with an odometer over the box. *)
+  let pos = Array.copy b.lo in
+  let values = Array.make d 0 in
+  let continue = ref true in
+  while !continue do
+    Array.blit pos 0 values 0 d;
+    m.(pos.(dim) - b.lo.(dim)) <-
+      m.(pos.(dim) - b.lo.(dim)) +. Contingency.get joint values;
+    (* advance *)
+    let k = ref (d - 1) in
+    let carry = ref true in
+    while !carry && !k >= 0 do
+      if pos.(!k) < b.hi.(!k) then begin
+        pos.(!k) <- pos.(!k) + 1;
+        carry := false
+      end
+      else begin
+        pos.(!k) <- b.lo.(!k);
+        decr k
+      end
+    done;
+    if !carry then continue := false
+  done;
+  m
+
+let sse m lo hi =
+  (* Sum of squared deviations from the mean over m.(lo..hi). *)
+  let n = hi - lo + 1 in
+  if n <= 0 then 0.0
+  else begin
+    let sum = ref 0.0 in
+    for i = lo to hi do
+      sum := !sum +. m.(i)
+    done;
+    let mean = !sum /. float_of_int n in
+    let acc = ref 0.0 in
+    for i = lo to hi do
+      acc := !acc +. ((m.(i) -. mean) *. (m.(i) -. mean))
+    done;
+    !acc
+  end
+
+(* Best binary cut of the marginal vector: returns (cut_after_index,
+   variance_reduction); the cut is in bucket-local coordinates. *)
+let best_cut m =
+  let n = Array.length m in
+  if n < 2 then None
+  else begin
+    let whole = sse m 0 (n - 1) in
+    let best = ref None in
+    for cut = 0 to n - 2 do
+      let red = whole -. (sse m 0 cut +. sse m (cut + 1) (n - 1)) in
+      match !best with
+      | Some (_, r0) when r0 >= red -> ()
+      | _ -> best := Some (cut, red)
+    done;
+    !best
+  end
+
+let count_in joint cards b =
+  ignore cards;
+  let d = Array.length b.lo in
+  let pos = Array.copy b.lo in
+  let values = Array.make d 0 in
+  let acc = ref 0.0 in
+  let continue = ref true in
+  while !continue do
+    Array.blit pos 0 values 0 d;
+    acc := !acc +. Contingency.get joint values;
+    let k = ref (d - 1) in
+    let carry = ref true in
+    while !carry && !k >= 0 do
+      if pos.(!k) < b.hi.(!k) then begin
+        pos.(!k) <- pos.(!k) + 1;
+        carry := false
+      end
+      else begin
+        pos.(!k) <- b.lo.(!k);
+        decr k
+      end
+    done;
+    if !carry then continue := false
+  done;
+  !acc
+
+let build ~table ~attrs ~budget_bytes db =
+  let tbl = Database.table db table in
+  let ts = Table.schema tbl in
+  let attr_idx = List.map (Schema.attr_index ts) attrs in
+  let cards =
+    Array.of_list (List.map (fun ai -> Value.card ts.Schema.attrs.(ai).Schema.domain) attr_idx)
+  in
+  let cols = Array.of_list (List.map (fun ai -> Table.col tbl ai) attr_idx) in
+  let joint = Contingency.count ~cards cols in
+  let d = Array.length cards in
+  let max_buckets = n_buckets_for ~budget_bytes ~dims:d in
+  let root =
+    {
+      lo = Array.make d 0;
+      hi = Array.map (fun c -> c - 1) cards;
+      count = Contingency.total joint;
+    }
+  in
+  (* Each bucket carries its precomputed best split so unchanged buckets
+     are never rescanned. *)
+  let best_split_of b =
+    if cells_in b <= 1 then None
+    else begin
+      let best = ref None in
+      for dim = 0 to d - 1 do
+        if b.hi.(dim) > b.lo.(dim) then begin
+          let m = marginal_in joint cards b dim in
+          match best_cut m with
+          | Some (cut, red) when red > 0.0 -> (
+            match !best with
+            | Some (_, _, r0) when r0 >= red -> ()
+            | _ -> best := Some (dim, cut, red))
+          | _ -> ()
+        end
+      done;
+      !best
+    end
+  in
+  let buckets = ref [ (root, best_split_of root) ] in
+  let continue = ref true in
+  while !continue && List.length !buckets < max_buckets do
+    (* MHIST-2: the (bucket, dim, cut) with the largest variance
+       reduction of the dimension's marginal. *)
+    let best = ref None in
+    List.iter
+      (fun (b, split) ->
+        match split with
+        | Some (dim, cut, red) -> (
+          match !best with
+          | Some (_, _, _, r0) when r0 >= red -> ()
+          | _ -> best := Some (b, dim, cut, red))
+        | None -> ())
+      !buckets;
+    match !best with
+    | None -> continue := false
+    | Some (b, dim, cut, _) ->
+      let mid = b.lo.(dim) + cut in
+      let left_hi = Array.copy b.hi in
+      left_hi.(dim) <- mid;
+      let right_lo = Array.copy b.lo in
+      right_lo.(dim) <- mid + 1;
+      let left = { lo = Array.copy b.lo; hi = left_hi; count = 0.0 } in
+      let right = { lo = right_lo; hi = Array.copy b.hi; count = 0.0 } in
+      let left = { left with count = count_in joint cards left } in
+      let right = { right with count = count_in joint cards right } in
+      buckets :=
+        (left, best_split_of left) :: (right, best_split_of right)
+        :: List.filter (fun (x, _) -> x != b) !buckets
+  done;
+  let buckets = Array.of_list (List.map fst !buckets) in
+  let bytes = Bytesize.values (Array.length buckets * ((2 * d) + 1)) in
+  let attr_dim =
+    List.mapi (fun i aname -> (aname, i)) attrs
+  in
+  let estimate q =
+    Exec.validate db q;
+    (match (q.Query.tvars, q.Query.joins) with
+    | [ (_, t) ], [] when t = table -> ()
+    | _ ->
+      raise (Estimator.Unsupported "MHIST covers a single table and no joins"));
+    (* Per-dimension allowed ranges; a select may contribute several
+       disjoint ranges (In_set), whose estimates add up. *)
+    let ranges_per_dim = Array.init d (fun i -> [ (0, cards.(i) - 1) ]) in
+    List.iter
+      (fun s ->
+        match List.assoc_opt s.Query.sel_attr attr_dim with
+        | None ->
+          raise
+            (Estimator.Unsupported ("MHIST does not cover attribute " ^ s.Query.sel_attr))
+        | Some dim ->
+          let rs =
+            match s.Query.pred with
+            | Query.Eq v -> [ (v, v) ]
+            | Query.Range (lo, hi) -> [ (lo, hi) ]
+            | Query.In_set vs -> List.map (fun v -> (v, v)) vs
+          in
+          (* Intersect with existing ranges (multiple selects on one
+             attribute conjoin). *)
+          ranges_per_dim.(dim) <-
+            List.concat_map
+              (fun (alo, ahi) ->
+                List.filter_map
+                  (fun (blo, bhi) ->
+                    let lo = max alo blo and hi = min ahi bhi in
+                    if lo <= hi then Some (lo, hi) else None)
+                  rs)
+              ranges_per_dim.(dim))
+      q.Query.selects;
+    (* Sum the uniform-spread overlap over all buckets and range choices. *)
+    let estimate_box box =
+      Array.fold_left
+        (fun acc b ->
+          let frac = ref 1.0 in
+          (try
+             Array.iteri
+               (fun i (qlo, qhi) ->
+                 let lo = max qlo b.lo.(i) and hi = min qhi b.hi.(i) in
+                 if lo > hi then raise Exit;
+                 frac := !frac *. float_of_int (hi - lo + 1) /. float_of_int (b.hi.(i) - b.lo.(i) + 1))
+               box
+           with Exit -> frac := 0.0);
+          acc +. (b.count *. !frac))
+        0.0 buckets
+    in
+    let rec expand i box =
+      if i = d then estimate_box (Array.of_list (List.rev box))
+      else
+        List.fold_left
+          (fun acc r -> acc +. expand (i + 1) (r :: box))
+          0.0 ranges_per_dim.(i)
+    in
+    expand 0 []
+  in
+  { Estimator.name = "MHIST"; bytes; estimate }

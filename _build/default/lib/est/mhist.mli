@@ -1,0 +1,25 @@
+(** MHIST: multidimensional histograms, V-Optimal(V,A) flavour
+    (Poosala & Ioannidis [25], the paper's Sec. 5 comparison point).
+
+    The joint frequency space of the chosen attributes is partitioned into
+    hyper-rectangular buckets by the MHIST-2 greedy strategy: repeatedly
+    split, along one dimension, the bucket whose marginal frequency vector
+    has the largest variance ("area" in V-Optimal(V,A) terms), at the cut
+    that maximally reduces within-bucket variance.  Each bucket stores its
+    bounds and total count; frequencies inside a bucket are assumed
+    uniform over its cells.
+
+    Single-table only; the attribute set is fixed at build time (the
+    standard deployment of multidimensional histograms the paper contrasts
+    with its one-model-for-all-queries property). *)
+
+val build :
+  table:string -> attrs:string list -> budget_bytes:int -> Selest_db.Database.t ->
+  Estimator.t
+(** Build over the given attributes of [table].  The bucket count is the
+    largest that fits [budget_bytes], at [2d + 1] stored values per bucket
+    ([d] bounds pairs plus the count).  Queries must select only covered
+    attributes of a single tuple variable over [table]; anything else
+    raises {!Estimator.Unsupported}. *)
+
+val n_buckets_for : budget_bytes:int -> dims:int -> int

@@ -1,0 +1,27 @@
+open Selest_prm
+
+let of_model ~name model ~sizes =
+  {
+    Estimator.name;
+    bytes = Model.size_bytes model;
+    estimate = Estimate.cached_estimator model ~sizes;
+  }
+
+let build_with ~name cfg db =
+  let result = Learn.learn ~config:cfg db in
+  let sizes = Estimate.sizes_of_db db in
+  {
+    Estimator.name;
+    bytes = result.Learn.bytes;
+    estimate = Estimate.cached_estimator result.Learn.model ~sizes;
+  }
+
+let build ~budget_bytes ?(kind = Selest_bn.Cpd.Trees) ?(rule = Selest_bn.Learn.Ssn)
+    ?(seed = 0) db =
+  let cfg = { (Learn.default_config ~budget_bytes) with Learn.kind; rule; seed } in
+  build_with ~name:"PRM" cfg db
+
+let build_bn_uj ~budget_bytes ?(kind = Selest_bn.Cpd.Trees) ?(rule = Selest_bn.Learn.Ssn)
+    ?(seed = 0) db =
+  let cfg = { (Learn.bn_uj_config ~budget_bytes) with Learn.kind; rule; seed } in
+  build_with ~name:"BN+UJ" cfg db

@@ -1,0 +1,106 @@
+open Selest_util
+open Selest_db
+
+let bytes_for ~rows ~n_attrs = Bytesize.values (rows * n_attrs)
+
+(* Tables reachable from [base] through foreign keys, with the composed
+   row-resolution map per base row. *)
+let reach_maps db base_ti =
+  let schema = Database.schema db in
+  let base_tbl = Database.table_at db base_ti in
+  let maps : (int, int array) Hashtbl.t = Hashtbl.create 8 in
+  Hashtbl.add maps base_ti (Array.init (Table.size base_tbl) (fun i -> i));
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    Array.iteri
+      (fun ti tbl ->
+        match Hashtbl.find_opt maps ti with
+        | None -> ()
+        | Some rows ->
+          let ts = Table.schema tbl in
+          Array.iteri
+            (fun fi f ->
+              let target_ti = Schema.table_index schema f.Schema.target in
+              if not (Hashtbl.mem maps target_ti) then begin
+                let fk = Table.fk_col tbl fi in
+                Hashtbl.add maps target_ti (Array.map (fun r -> fk.(r)) rows);
+                progress := true
+              end)
+            ts.Schema.fks)
+      (Database.tables db)
+  done;
+  maps
+
+let pick_base db =
+  let n = Schema.n_tables (Database.schema db) in
+  let best = ref (0, 0) in
+  for ti = 0 to n - 1 do
+    let cover = Hashtbl.length (reach_maps db ti) in
+    let _, c0 = !best in
+    if cover > c0 then best := (ti, cover)
+  done;
+  fst !best
+
+let build ~rows ~seed ?attrs ?base db =
+  let base_ti =
+    match base with
+    | None -> pick_base db
+    | Some name -> Schema.table_index (Database.schema db) name
+  in
+  let base_tbl = Database.table_at db base_ti in
+  let base_name = Table.name base_tbl in
+  let maps = reach_maps db base_ti in
+  let k = max 1 (min rows (Table.size base_tbl)) in
+  let rng = Rng.create (seed lxor 0x5A17) in
+  let picked = Rng.sample_without_replacement rng k (Table.size base_tbl) in
+  let covered_attr tname aname =
+    match attrs with None -> true | Some l -> List.mem (tname, aname) l
+  in
+  (* Stored sample: per covered (table, attr), the k resolved values. *)
+  let stored : (string * string, int array) Hashtbl.t = Hashtbl.create 32 in
+  let n_stored = ref 0 in
+  Hashtbl.iter
+    (fun ti rowmap ->
+      let tbl = Database.table_at db ti in
+      let ts = Table.schema tbl in
+      Array.iteri
+        (fun ai a ->
+          if covered_attr ts.Schema.tname a.Schema.aname then begin
+            let col = Table.col tbl ai in
+            let values = Array.map (fun b -> col.(rowmap.(b))) picked in
+            Hashtbl.add stored (ts.Schema.tname, a.Schema.aname) values;
+            incr n_stored
+          end)
+        ts.Schema.attrs)
+    maps;
+  let bytes = bytes_for ~rows:k ~n_attrs:!n_stored in
+  let estimate q =
+    Exec.validate db q;
+    (match Exec.single_base db q with
+    | Some tv when Query.table_of q tv = base_name -> ()
+    | _ ->
+      raise
+        (Estimator.Unsupported
+           (Printf.sprintf "SAMPLE: query is not rooted at the sampled base table %s"
+              base_name)));
+    let sel_columns =
+      List.map
+        (fun s ->
+          let tname = Query.table_of q s.Query.sel_tv in
+          match Hashtbl.find_opt stored (tname, s.Query.sel_attr) with
+          | Some col -> (col, s.Query.pred)
+          | None ->
+            raise
+              (Estimator.Unsupported
+                 (Printf.sprintf "SAMPLE does not store %s.%s" tname s.Query.sel_attr)))
+        q.Query.selects
+    in
+    let hits = ref 0 in
+    for i = 0 to k - 1 do
+      if List.for_all (fun (col, pred) -> Query.pred_holds pred col.(i)) sel_columns then
+        incr hits
+    done;
+    float_of_int !hits /. float_of_int k *. float_of_int (Table.size base_tbl)
+  in
+  { Estimator.name = "SAMPLE"; bytes; estimate }

@@ -1,0 +1,27 @@
+(** SAMPLE: estimation from a uniform random sample (Sec. 5).
+
+    For a single-table database, a uniform sample of rows.  For a multi-
+    table database, a uniform sample of the {e full foreign-key join}: base
+    rows are drawn from the table that reaches every other table through
+    foreign keys, and each sampled row carries the attributes of all the
+    rows it joins with (under referential integrity the full join has
+    exactly one row per base row, so this is a uniform join sample — the
+    construction the paper compares against for select–join queries).
+
+    A query is answered by the matching fraction of the sample scaled by
+    the join's (known) unselected size; queries whose tuple-variable set
+    does not include the base table cannot be debiased from a join sample
+    and raise {!Estimator.Unsupported}. *)
+
+val build :
+  rows:int -> seed:int -> ?attrs:(string * string) list -> ?base:string ->
+  Selest_db.Database.t -> Estimator.t
+(** [build ~rows ~seed db]: sample [rows] base rows without replacement
+    ([rows] is clamped to the base table's size).  [attrs] restricts the
+    stored columns (and thus the storage charge) when comparing at equal
+    storage over a known query subset.  [base] forces the root table
+    (default: the table reaching the most others through foreign keys) —
+    used by join synopses, which keep one sample per root. *)
+
+val bytes_for : rows:int -> n_attrs:int -> int
+(** Storage charged for a sample: one value per stored attribute per row. *)

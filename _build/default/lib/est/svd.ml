@@ -1,0 +1,138 @@
+open Selest_util
+open Selest_db
+open Selest_prob
+
+module Lowrank = struct
+  (* Power iteration with deflation on A (row-major rows x cols).  Each
+     triplet is found on the residual A - Σ found σ·u·vᵀ, which avoids
+     forming AᵀA and keeps everything O(k · iters · rows · cols). *)
+
+  let matvec ~rows ~cols a v out =
+    for i = 0 to rows - 1 do
+      let acc = ref 0.0 in
+      let base = i * cols in
+      for j = 0 to cols - 1 do
+        acc := !acc +. (a.(base + j) *. v.(j))
+      done;
+      out.(i) <- !acc
+    done
+
+  let matvec_t ~rows ~cols a u out =
+    Array.fill out 0 cols 0.0;
+    for i = 0 to rows - 1 do
+      let base = i * cols in
+      let ui = u.(i) in
+      if ui <> 0.0 then
+        for j = 0 to cols - 1 do
+          out.(j) <- out.(j) +. (a.(base + j) *. ui)
+        done
+    done
+
+  let norm v = sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 v)
+
+  let normalize v =
+    let n = norm v in
+    if n > 0.0 then
+      for i = 0 to Array.length v - 1 do
+        v.(i) <- v.(i) /. n
+      done;
+    n
+
+  let truncate ~rows ~cols a ~k =
+    if Array.length a <> rows * cols then invalid_arg "Lowrank.truncate: shape mismatch";
+    let residual = Array.copy a in
+    let k = max 1 (min k (min rows cols)) in
+    let out = ref [] in
+    (try
+       for _ = 1 to k do
+         (* deterministic non-degenerate start vector *)
+         let v = Array.init cols (fun j -> 1.0 +. (0.01 *. float_of_int (j mod 7))) in
+         ignore (normalize v);
+         let u = Array.make rows 0.0 in
+         let sigma = ref 0.0 in
+         let continue = ref true in
+         let iters = ref 0 in
+         while !continue && !iters < 200 do
+           incr iters;
+           matvec ~rows ~cols residual v u;
+           let su = normalize u in
+           matvec_t ~rows ~cols residual u v;
+           let sv = normalize v in
+           let s = Float.max su sv in
+           if abs_float (s -. !sigma) <= 1e-10 *. Float.max 1.0 s then continue := false;
+           sigma := s
+         done;
+         if !sigma <= 1e-12 then raise Exit;
+         out := (!sigma, Array.copy u, Array.copy v) :: !out;
+         (* deflate *)
+         for i = 0 to rows - 1 do
+           let base = i * cols in
+           for j = 0 to cols - 1 do
+             residual.(base + j) <- residual.(base + j) -. (!sigma *. u.(i) *. v.(j))
+           done
+         done
+       done
+     with Exit -> ());
+    Array.of_list (List.rev !out)
+
+  let reconstruct ~rows ~cols triplets =
+    let a = Array.make (rows * cols) 0.0 in
+    Array.iter
+      (fun (sigma, u, v) ->
+        for i = 0 to rows - 1 do
+          let base = i * cols in
+          for j = 0 to cols - 1 do
+            a.(base + j) <- a.(base + j) +. (sigma *. u.(i) *. v.(j))
+          done
+        done)
+      triplets;
+    a
+end
+
+let rank_for ~budget_bytes ~rows ~cols =
+  max 1 (budget_bytes / Bytesize.values (rows + cols + 1))
+
+let build ~table ~x ~y ~budget_bytes db =
+  let tbl = Database.table db table in
+  let ts = Table.schema tbl in
+  let xi = Schema.attr_index ts x and yi = Schema.attr_index ts y in
+  let rows = Value.card ts.Schema.attrs.(xi).Schema.domain in
+  let cols = Value.card ts.Schema.attrs.(yi).Schema.domain in
+  let joint =
+    Contingency.count ~cards:[| rows; cols |] [| Table.col tbl xi; Table.col tbl yi |]
+  in
+  let a = Array.make (rows * cols) 0.0 in
+  Contingency.iter joint (fun values w -> a.((values.(0) * cols) + values.(1)) <- w);
+  let k = rank_for ~budget_bytes ~rows ~cols in
+  let triplets = Lowrank.truncate ~rows ~cols a ~k in
+  let approx = Lowrank.reconstruct ~rows ~cols triplets in
+  let bytes = Bytesize.values (Array.length triplets * (rows + cols + 1)) in
+  let estimate q =
+    Exec.validate db q;
+    (match (q.Query.tvars, q.Query.joins) with
+    | [ (_, t) ], [] when t = table -> ()
+    | _ -> raise (Estimator.Unsupported "SVD histogram covers a single table, no joins"));
+    let allowed_x = Array.make rows true and allowed_y = Array.make cols true in
+    List.iter
+      (fun s ->
+        let apply allowed card =
+          for v = 0 to card - 1 do
+            if not (Query.pred_holds s.Query.pred v) then allowed.(v) <- false
+          done
+        in
+        if s.Query.sel_attr = x then apply allowed_x rows
+        else if s.Query.sel_attr = y then apply allowed_y cols
+        else
+          raise
+            (Estimator.Unsupported ("SVD histogram does not cover attribute " ^ s.Query.sel_attr)))
+      q.Query.selects;
+    let acc = ref 0.0 in
+    for i = 0 to rows - 1 do
+      if allowed_x.(i) then
+        for j = 0 to cols - 1 do
+          if allowed_y.(j) then acc := !acc +. approx.((i * cols) + j)
+        done
+    done;
+    Float.max 0.0 !acc
+  in
+  { Estimator.name = "SVD"; bytes; estimate }

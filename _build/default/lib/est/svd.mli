@@ -1,0 +1,27 @@
+(** Truncated-SVD histogram (the two-dimensional technique of Poosala &
+    Ioannidis [25] the paper mentions alongside MHIST).
+
+    The joint frequency matrix of two attributes is approximated by its
+    rank-k truncation A ≈ Σᵢ σᵢ·uᵢ·vᵢᵀ, computed by orthogonal (block
+    power) iteration — no external linear algebra.  Storage is k singular
+    triplets: k·(rows + cols + 1) values.  By Eckart–Young this is the
+    L2-optimal rank-k summary, so it complements MHIST (piecewise-uniform)
+    and WAVELET (hierarchical) as a third classical family. *)
+
+val build :
+  table:string -> x:string -> y:string -> budget_bytes:int ->
+  Selest_db.Database.t -> Estimator.t
+(** Exactly two attributes, single table.  The rank is the largest that
+    fits the budget (at least 1). *)
+
+val rank_for : budget_bytes:int -> rows:int -> cols:int -> int
+
+(** The numerical kernel, exposed for direct testing. *)
+module Lowrank : sig
+  val truncate : rows:int -> cols:int -> float array -> k:int -> (float * float array * float array) array
+  (** [truncate ~rows ~cols a ~k]: the top-[k] singular triplets
+      [(sigma, u, v)] of the row-major matrix [a], by power iteration with
+      deflation; singular values in non-increasing order. *)
+
+  val reconstruct : rows:int -> cols:int -> (float * float array * float array) array -> float array
+end

@@ -1,0 +1,203 @@
+open Selest_util
+open Selest_db
+open Selest_prob
+
+module Haar = struct
+  let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+  let check_dims ~dims data =
+    Array.iter (fun d -> if not (is_pow2 d) then invalid_arg "Haar: dims must be powers of 2") dims;
+    if Array.fold_left ( * ) 1 dims <> Array.length data then
+      invalid_arg "Haar: dims/data size mismatch"
+
+  (* Strides, last dimension fastest (matching Contingency/Factor). *)
+  let strides dims =
+    let n = Array.length dims in
+    let s = Array.make n 1 in
+    for i = n - 2 downto 0 do
+      s.(i) <- s.(i + 1) * dims.(i + 1)
+    done;
+    s
+
+  let sqrt2 = sqrt 2.0
+
+  (* Full 1-D orthonormal Haar along dimension [dim], applied in place to
+     every line of the array along that dimension. *)
+  let transform_dim ~dims ~dim ~inverse data =
+    let n = Array.length data in
+    let len = dims.(dim) in
+    let stride = (strides dims).(dim) in
+    let line = Array.make len 0.0 in
+    let tmp = Array.make len 0.0 in
+    (* Iterate over all lines: indices where the [dim] digit is 0. *)
+    let block = stride * len in
+    let base = ref 0 in
+    while !base < n do
+      for off = 0 to stride - 1 do
+        let start = !base + off in
+        for i = 0 to len - 1 do
+          line.(i) <- data.(start + (i * stride))
+        done;
+        if not inverse then begin
+          (* forward: repeatedly split [0, half) into averages/details *)
+          let half = ref len in
+          while !half > 1 do
+            let h = !half / 2 in
+            for i = 0 to h - 1 do
+              tmp.(i) <- (line.(2 * i) +. line.((2 * i) + 1)) /. sqrt2;
+              tmp.(h + i) <- (line.(2 * i) -. line.((2 * i) + 1)) /. sqrt2
+            done;
+            Array.blit tmp 0 line 0 !half;
+            half := h
+          done
+        end
+        else begin
+          (* inverse: rebuild from the coarsest level out *)
+          let half = ref 1 in
+          while !half < len do
+            let h = !half in
+            for i = 0 to h - 1 do
+              tmp.(2 * i) <- (line.(i) +. line.(h + i)) /. sqrt2;
+              tmp.((2 * i) + 1) <- (line.(i) -. line.(h + i)) /. sqrt2
+            done;
+            Array.blit tmp 0 line 0 (2 * h);
+            half := 2 * h
+          done
+        end;
+        for i = 0 to len - 1 do
+          data.(start + (i * stride)) <- line.(i)
+        done
+      done;
+      base := !base + block
+    done
+
+  let forward ~dims data =
+    check_dims ~dims data;
+    let out = Array.copy data in
+    Array.iteri (fun dim _ -> transform_dim ~dims ~dim ~inverse:false out) dims;
+    out
+
+  let inverse ~dims data =
+    check_dims ~dims data;
+    let out = Array.copy data in
+    (* standard decomposition is separable: inverse each dimension *)
+    Array.iteri (fun dim _ -> transform_dim ~dims ~dim ~inverse:true out) dims;
+    out
+
+  let top_k coeffs k =
+    let n = Array.length coeffs in
+    let k = max 0 (min k n) in
+    if k = 0 then [||]
+    else begin
+      let idx = Array.init n (fun i -> i) in
+      (* magnitude descending; stable on index for determinism *)
+      Array.sort
+        (fun a b ->
+          let c = compare (abs_float coeffs.(b)) (abs_float coeffs.(a)) in
+          if c <> 0 then c else compare a b)
+        idx;
+      let chosen = Array.sub idx 0 k in
+      if not (Array.exists (fun i -> i = 0) chosen) then chosen.(k - 1) <- 0;
+      Array.sort compare chosen;
+      Array.map (fun i -> (i, coeffs.(i))) chosen
+    end
+end
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (2 * p) in
+  go 1
+
+let n_coefficients_for ~budget_bytes = max 1 (budget_bytes / Bytesize.values 2)
+
+let build ~table ~attrs ~budget_bytes db =
+  let tbl = Database.table db table in
+  let ts = Table.schema tbl in
+  let attr_idx = List.map (Schema.attr_index ts) attrs in
+  let cards =
+    Array.of_list
+      (List.map (fun ai -> Value.card ts.Schema.attrs.(ai).Schema.domain) attr_idx)
+  in
+  let dims = Array.map next_pow2 cards in
+  let cols = Array.of_list (List.map (fun ai -> Table.col tbl ai) attr_idx) in
+  let joint = Contingency.count ~cards cols in
+  let d = Array.length cards in
+  let size = Array.fold_left ( * ) 1 dims in
+  let padded = Array.make size 0.0 in
+  let pad_strides = Haar.strides dims in
+  Contingency.iter joint (fun values w ->
+      let idx = ref 0 in
+      Array.iteri (fun i v -> idx := !idx + (v * pad_strides.(i))) values;
+      padded.(!idx) <- w);
+  let coeffs = Haar.forward ~dims padded in
+  let k = min size (n_coefficients_for ~budget_bytes) in
+  let kept = Haar.top_k coeffs k in
+  (* Reconstruct once; queries read the (possibly negative) approximation.
+     Only the retained coefficients are charged as storage. *)
+  let sparse = Array.make size 0.0 in
+  Array.iter (fun (i, c) -> sparse.(i) <- c) kept;
+  let approx = Haar.inverse ~dims sparse in
+  (* With few coefficients, zero-padding to power-of-two extents leaks mass
+     into the padding cells; rescale so the real region carries the table's
+     total mass again (one extra stored value: the total). *)
+  let real_sum = ref 0.0 in
+  let values = Array.make d 0 in
+  let rec visit dim =
+    if dim = d then begin
+      let idx = ref 0 in
+      Array.iteri (fun i v -> idx := !idx + (v * pad_strides.(i))) values;
+      real_sum := !real_sum +. approx.(!idx)
+    end
+    else
+      for v = 0 to cards.(dim) - 1 do
+        values.(dim) <- v;
+        visit (dim + 1)
+      done
+  in
+  visit 0;
+  let total = Contingency.total joint in
+  if !real_sum > 0.0 then begin
+    let scale = total /. !real_sum in
+    Array.iteri (fun i x -> approx.(i) <- x *. scale) approx
+  end;
+  let bytes = Bytesize.values ((2 * Array.length kept) + 1) in
+  let attr_dim = List.mapi (fun i aname -> (aname, i)) attrs in
+  let estimate q =
+    Exec.validate db q;
+    (match (q.Query.tvars, q.Query.joins) with
+    | [ (_, t) ], [] when t = table -> ()
+    | _ -> raise (Estimator.Unsupported "wavelet histogram covers a single table, no joins"));
+    let allowed = Array.init d (fun i -> Array.make cards.(i) true) in
+    List.iter
+      (fun s ->
+        match List.assoc_opt s.Query.sel_attr attr_dim with
+        | None ->
+          raise
+            (Estimator.Unsupported
+               ("wavelet histogram does not cover attribute " ^ s.Query.sel_attr))
+        | Some dim ->
+          for v = 0 to cards.(dim) - 1 do
+            if not (Query.pred_holds s.Query.pred v) then allowed.(dim).(v) <- false
+          done)
+      q.Query.selects;
+    (* Sum the reconstruction over the allowed box (negative values are a
+       known wavelet artifact; clamp the final answer, not the cells). *)
+    let acc = ref 0.0 in
+    let values = Array.make d 0 in
+    let rec sum dim =
+      if dim = d then begin
+        let idx = ref 0 in
+        Array.iteri (fun i v -> idx := !idx + (v * pad_strides.(i))) values;
+        acc := !acc +. approx.(!idx)
+      end
+      else
+        for v = 0 to cards.(dim) - 1 do
+          if allowed.(dim).(v) then begin
+            values.(dim) <- v;
+            sum (dim + 1)
+          end
+        done
+    in
+    sum 0;
+    Float.max 0.0 !acc
+  in
+  { Estimator.name = "WAVELET"; bytes; estimate }

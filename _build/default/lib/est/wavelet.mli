@@ -1,0 +1,36 @@
+(** Wavelet-based histograms (Matias–Vitter–Wang [21], the other
+    joint-distribution approximation family the paper cites).
+
+    The joint frequency array of the chosen attributes (zero-padded to
+    power-of-two extents) is transformed with the orthonormal
+    multi-dimensional Haar wavelet (standard decomposition); the [B]
+    largest-magnitude coefficients are retained — the L2-optimal choice —
+    and every query is answered from the distribution they reconstruct.
+    Storage is charged at two values (position + coefficient) per retained
+    coefficient.
+
+    Like MHIST this is a single-table, fixed-attribute-set synopsis: the
+    contrast with the PRM's one-model-for-all-queries property is the
+    point of including it. *)
+
+val build :
+  table:string -> attrs:string list -> budget_bytes:int -> Selest_db.Database.t ->
+  Estimator.t
+
+val n_coefficients_for : budget_bytes:int -> int
+(** Retained coefficients affordable under the budget. *)
+
+(** The transform itself, exposed for direct testing. *)
+module Haar : sig
+  val forward : dims:int array -> float array -> float array
+  (** Orthonormal multi-dimensional Haar transform; [dims] must be powers
+      of two and their product the array length. *)
+
+  val inverse : dims:int array -> float array -> float array
+  (** Exact inverse of {!forward}. *)
+
+  val top_k : float array -> int -> (int * float) array
+  (** Indices and values of the [k] largest-magnitude entries (ties broken
+      by lower index), always including index 0 (the total-mass scaling
+      coefficient) when [k >= 1]. *)
+end

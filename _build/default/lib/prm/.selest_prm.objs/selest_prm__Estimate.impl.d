@@ -1,0 +1,1 @@
+lib/prm/estimate.ml: Array Cpd Database Hashtbl List Model Printf Query Queue Schema Selest_bn Selest_db Selest_prob String Table Ve

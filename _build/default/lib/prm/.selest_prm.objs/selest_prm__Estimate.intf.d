@@ -1,0 +1,1 @@
+lib/prm/estimate.mli: Model Selest_db Selest_prob

@@ -1,0 +1,1 @@
+lib/prm/learn.ml: Array Arrayx Bytesize Cpd Data Database Float Hashtbl List Logs Model Printf Rng Schema Score Selest_bn Selest_db Selest_util Stratify Suffstats

@@ -1,0 +1,1 @@
+lib/prm/learn.mli: Model Selest_bn Selest_db

@@ -1,0 +1,1 @@
+lib/prm/model.ml: Array Bytesize Cpd Format Schema Selest_bn Selest_db Selest_util String Value

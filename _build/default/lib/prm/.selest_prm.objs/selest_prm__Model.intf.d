@@ -1,0 +1,1 @@
+lib/prm/model.mli: Format Selest_bn Selest_db

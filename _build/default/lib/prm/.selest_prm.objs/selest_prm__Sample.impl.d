@@ -1,0 +1,1 @@
+lib/prm/sample.ml: Array Arrayx Cpd Database Hashtbl List Model Queue Rng Schema Selest_bn Selest_db Selest_util Stratify Table Value

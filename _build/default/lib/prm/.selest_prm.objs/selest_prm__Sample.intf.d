@@ -1,0 +1,1 @@
+lib/prm/sample.mli: Model Selest_db Selest_util

@@ -1,0 +1,1 @@
+lib/prm/serialize.ml: Array Cpd List Model Printf Schema Selest_bn Selest_db Selest_util Sexp Table_cpd Tree_cpd Value

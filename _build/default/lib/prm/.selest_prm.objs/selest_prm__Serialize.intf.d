@@ -1,0 +1,1 @@
+lib/prm/serialize.mli: Model Selest_db Selest_util

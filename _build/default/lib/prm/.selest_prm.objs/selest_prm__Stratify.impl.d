@@ -1,0 +1,1 @@
+lib/prm/stratify.ml: Array Hashtbl List Model Queue Schema Selest_db

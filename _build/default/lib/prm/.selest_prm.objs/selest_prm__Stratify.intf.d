@@ -1,0 +1,1 @@
+lib/prm/stratify.mli: Model Selest_db

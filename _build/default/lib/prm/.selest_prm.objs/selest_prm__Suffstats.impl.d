@@ -1,0 +1,1 @@
+lib/prm/suffstats.ml: Array Arrayx Bytesize Cpd Data Database Float List Model Schema Selest_bn Selest_db Selest_util Table Table_cpd Value

@@ -1,0 +1,1 @@
+lib/prm/suffstats.mli: Model Selest_bn Selest_db

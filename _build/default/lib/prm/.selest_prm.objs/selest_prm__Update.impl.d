@@ -1,0 +1,1 @@
+lib/prm/update.ml: Array Cpd Data Database Float Model Schema Selest_bn Selest_db Suffstats Table

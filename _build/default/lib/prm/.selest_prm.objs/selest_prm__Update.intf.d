@@ -1,0 +1,1 @@
+lib/prm/update.mli: Model Selest_db

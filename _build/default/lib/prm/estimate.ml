@@ -1,0 +1,381 @@
+open Selest_db
+open Selest_bn
+
+(* Internal closure representation: tuple variables with their tables,
+   joins as (child_tv, fk index, parent_tv), and the needed (tv, attr)
+   set. *)
+type closure = {
+  c_tvars : (string * int) list;  (* tv -> table index, in insertion order *)
+  c_joins : (string * int * string) list;
+  c_needed : (string * int) list;  (* needed attribute nodes *)
+}
+
+let table_index_of schema name = Schema.table_index schema name
+
+let compute_closure (prm : Model.t) q =
+  let schema = prm.Model.schema in
+  let tables = Schema.tables schema in
+  let tvars = ref (List.map (fun (tv, tbl) -> (tv, table_index_of schema tbl)) q.Query.tvars) in
+  let joins =
+    ref
+      (List.map
+         (fun j ->
+           let ti = List.assoc j.Query.child_tv !tvars in
+           let fk = Schema.fk_index tables.(ti) j.Query.fk in
+           (j.Query.child_tv, fk, j.Query.parent_tv))
+         q.Query.joins)
+  in
+  let needed = Hashtbl.create 32 in
+  let needed_order = ref [] in
+  let worklist = Queue.create () in
+  let need tv attr =
+    if not (Hashtbl.mem needed (tv, attr)) then begin
+      Hashtbl.add needed (tv, attr) ();
+      needed_order := (tv, attr) :: !needed_order;
+      Queue.add (tv, attr) worklist
+    end
+  in
+  let processed_joins = Hashtbl.create 8 in
+  (* Ensure a join (tv, fk) exists, creating a fresh parent tuple variable
+     when the query does not already contain one; returns the parent tv and
+     registers the join indicator's own parent requirements. *)
+  let rec ensure_join tv fk =
+    let ti = List.assoc tv !tvars in
+    match
+      List.find_opt (fun (ctv, f, _) -> ctv = tv && f = fk) !joins
+    with
+    | Some (_, _, ptv) ->
+      require_join_parents tv ti fk ptv;
+      ptv
+    | None ->
+      let fk_schema = tables.(ti).Schema.fks.(fk) in
+      let target_ti = table_index_of schema fk_schema.Schema.target in
+      let fresh = tv ^ "__" ^ fk_schema.Schema.fkname in
+      tvars := !tvars @ [ (fresh, target_ti) ];
+      joins := !joins @ [ (tv, fk, fresh) ];
+      require_join_parents tv ti fk fresh;
+      fresh
+
+  and require_join_parents ctv ti fk ptv =
+    if not (Hashtbl.mem processed_joins (ctv, fk)) then begin
+      Hashtbl.add processed_joins (ctv, fk) ();
+      let jfam = prm.Model.tables.(ti).Model.join_families.(fk) in
+      Array.iter
+        (fun p ->
+          match p with
+          | Model.Own a -> need ctv a
+          | Model.Foreign (_, b) -> need ptv b)
+        jfam.Model.parents
+    end
+  in
+  (* Seeds: selected attributes, plus the indicators of the query's own
+     joins (a join with no selects still constrains the result size). *)
+  List.iter
+    (fun s ->
+      let ti = List.assoc s.Query.sel_tv !tvars in
+      need s.Query.sel_tv (Schema.attr_index tables.(ti) s.Query.sel_attr))
+    q.Query.selects;
+  List.iter (fun (ctv, fk, ptv) ->
+      let ti = List.assoc ctv !tvars in
+      require_join_parents ctv ti fk ptv)
+    !joins;
+  (* Fixpoint: pull in ancestors, materializing joins for cross-table
+     parents. *)
+  while not (Queue.is_empty worklist) do
+    let tv, attr = Queue.pop worklist in
+    let ti = List.assoc tv !tvars in
+    let fam = prm.Model.tables.(ti).Model.attr_families.(attr) in
+    Array.iter
+      (fun p ->
+        match p with
+        | Model.Own b -> need tv b
+        | Model.Foreign (f, b) ->
+          let ptv = ensure_join tv f in
+          need ptv b)
+      fam.Model.parents
+  done;
+  { c_tvars = !tvars; c_joins = !joins; c_needed = List.rev !needed_order }
+
+let upward_closure prm q =
+  let schema = prm.Model.schema in
+  let tables = Schema.tables schema in
+  let c = compute_closure prm q in
+  let tvars =
+    List.map (fun (tv, ti) -> (tv, tables.(ti).Schema.tname)) c.c_tvars
+  in
+  let joins =
+    List.map
+      (fun (ctv, fk, ptv) ->
+        let ti = List.assoc ctv c.c_tvars in
+        Query.join ~child:ctv ~fk:tables.(ti).Schema.fks.(fk).Schema.fkname ~parent:ptv)
+      c.c_joins
+  in
+  Query.create ~tvars ~joins ~selects:q.Query.selects ()
+
+let build_network (prm : Model.t) q =
+  let schema = prm.Model.schema in
+  let tables = Schema.tables schema in
+  let c = compute_closure prm q in
+  (* Node ids: needed attributes first, then join indicators. *)
+  let node_ids = Hashtbl.create 32 in
+  let next = ref 0 in
+  List.iter
+    (fun (tv, attr) ->
+      Hashtbl.add node_ids (`Attr (tv, attr)) !next;
+      incr next)
+    c.c_needed;
+  List.iter
+    (fun (ctv, fk, _) ->
+      Hashtbl.add node_ids (`Join (ctv, fk)) !next;
+      incr next)
+    c.c_joins;
+  let attr_node tv attr =
+    match Hashtbl.find_opt node_ids (`Attr (tv, attr)) with
+    | Some id -> id
+    | None -> invalid_arg "Estimate: closure missed a parent node (internal error)"
+  in
+  (* Factors. *)
+  let factors = ref [] in
+  List.iter
+    (fun (tv, attr) ->
+      let ti = List.assoc tv c.c_tvars in
+      let scope = Model.Scope.of_table schema ti in
+      let fam = prm.Model.tables.(ti).Model.attr_families.(attr) in
+      let parent_of_local = Hashtbl.create 8 in
+      Array.iter
+        (fun p ->
+          let local = Model.Scope.local_id scope p in
+          let node =
+            match p with
+            | Model.Own b -> attr_node tv b
+            | Model.Foreign (f, b) ->
+              let _, _, ptv =
+                List.find (fun (ctv, f', _) -> ctv = tv && f' = f) c.c_joins
+              in
+              attr_node ptv b
+          in
+          Hashtbl.add parent_of_local local node)
+        fam.Model.parents;
+      let var_of local =
+        if local = attr then attr_node tv attr
+        else Hashtbl.find parent_of_local local
+      in
+      factors := Cpd.to_factor ~var_of ~child:attr fam.Model.cpd :: !factors)
+    c.c_needed;
+  List.iter
+    (fun (ctv, fk, ptv) ->
+      let ti = List.assoc ctv c.c_tvars in
+      let scope = Model.Scope.of_table schema ti in
+      let jfam = prm.Model.tables.(ti).Model.join_families.(fk) in
+      let jid = Model.Scope.join_id scope fk in
+      let parent_of_local = Hashtbl.create 8 in
+      Array.iter
+        (fun p ->
+          let local = Model.Scope.local_id scope p in
+          let node =
+            match p with
+            | Model.Own a -> attr_node ctv a
+            | Model.Foreign (_, b) -> attr_node ptv b
+          in
+          Hashtbl.add parent_of_local local node)
+        jfam.Model.parents;
+      let var_of local =
+        if local = jid then Hashtbl.find node_ids (`Join (ctv, fk))
+        else Hashtbl.find parent_of_local local
+      in
+      factors := Cpd.to_factor ~var_of ~child:jid jfam.Model.cpd :: !factors)
+    c.c_joins;
+  (* Evidence: the selects plus every closure join indicator = true. *)
+  let select_evidence =
+    List.map
+      (fun s ->
+        let ti = List.assoc s.Query.sel_tv c.c_tvars in
+        let attr = Schema.attr_index tables.(ti) s.Query.sel_attr in
+        (attr_node s.Query.sel_tv attr, s.Query.pred))
+      q.Query.selects
+  in
+  let join_evidence =
+    List.map
+      (fun (ctv, fk, _) -> (Hashtbl.find node_ids (`Join (ctv, fk)), Query.Eq 1))
+      c.c_joins
+  in
+  (c, !factors, select_evidence, join_evidence)
+
+let prob prm q =
+  let _, factors, select_ev, join_ev = build_network prm q in
+  Ve.prob_of_evidence factors (select_ev @ join_ev)
+
+let sizes_of_db db =
+  Array.map Table.size (Database.tables db)
+
+let closure_scale sizes c =
+  List.fold_left (fun acc (_, ti) -> acc *. float_of_int sizes.(ti)) 1.0 c.c_tvars
+
+let estimate prm ~sizes q =
+  let c, factors, select_ev, join_ev = build_network prm q in
+  let p = Ve.prob_of_evidence factors (select_ev @ join_ev) in
+  p *. closure_scale sizes c
+
+let query_eval_network prm q =
+  let c, factors, select_ev, join_ev = build_network prm q in
+  let desc =
+    Printf.sprintf "tvars=[%s] joins=%d attrs=%d factors=%d"
+      (String.concat ";" (List.map fst c.c_tvars))
+      (List.length c.c_joins) (List.length c.c_needed) (List.length factors)
+  in
+  (desc, factors, select_ev @ join_ev)
+
+(* ---- suite-oriented cached estimator ----------------------------------- *)
+
+(* A query suite asks thousands of equality instantiations over one
+   skeleton.  The joint posterior of the selected attributes given the
+   join evidence answers every instantiation by table lookup, so cache it
+   per (skeleton, selected-attribute-set). *)
+
+let skeleton_key q =
+  let tvars = List.map (fun (tv, tbl) -> tv ^ ":" ^ tbl) q.Query.tvars in
+  let joins =
+    List.map
+      (fun j -> j.Query.child_tv ^ "." ^ j.Query.fk ^ "=" ^ j.Query.parent_tv)
+      q.Query.joins
+  in
+  let sels =
+    List.sort_uniq compare
+      (List.map (fun s -> s.Query.sel_tv ^ "." ^ s.Query.sel_attr) q.Query.selects)
+  in
+  String.concat ";" tvars ^ "|" ^ String.concat ";" joins ^ "|" ^ String.concat ";" sels
+
+type cache_entry = {
+  keep : int array;  (* select node ids, sorted *)
+  node_of_sel : (string * string, int) Hashtbl.t;  (* (tv, attr) -> node id *)
+  posterior : Selest_prob.Factor.t;  (* P(keep | joins) *)
+  p_joins : float;
+  scale : float;
+}
+
+let cached_estimator prm ~sizes =
+  let cache : (string, cache_entry) Hashtbl.t = Hashtbl.create 16 in
+  fun q ->
+    let all_eq =
+      List.for_all (fun s -> match s.Query.pred with Query.Eq _ -> true | _ -> false)
+        q.Query.selects
+    in
+    if not all_eq then estimate prm ~sizes q
+    else begin
+      let key = skeleton_key q in
+      let entry =
+        match Hashtbl.find_opt cache key with
+        | Some e -> e
+        | None ->
+          let c, factors, select_ev, join_ev = build_network prm q in
+          let node_of_sel = Hashtbl.create 8 in
+          List.iter2
+            (fun s (node, _) ->
+              Hashtbl.replace node_of_sel (s.Query.sel_tv, s.Query.sel_attr) node)
+            q.Query.selects select_ev;
+          let keep =
+            Array.of_list (List.sort_uniq compare (List.map fst select_ev))
+          in
+          let posterior = Ve.posterior factors join_ev ~keep in
+          let p_joins = Ve.prob_of_evidence factors join_ev in
+          let e =
+            { keep; node_of_sel; posterior; p_joins; scale = closure_scale sizes c }
+          in
+          Hashtbl.add cache key e;
+          e
+      in
+      (* Look up the instantiation in the cached posterior. *)
+      let values = Array.make (Array.length entry.keep) (-1) in
+      List.iter
+        (fun s ->
+          let node = Hashtbl.find entry.node_of_sel (s.Query.sel_tv, s.Query.sel_attr) in
+          let pos = ref 0 in
+          while entry.keep.(!pos) <> node do incr pos done;
+          match s.Query.pred with
+          | Query.Eq v -> values.(!pos) <- v
+          | _ -> assert false)
+        q.Query.selects;
+      let p_sel = Selest_prob.Factor.get entry.posterior values in
+      entry.p_joins *. p_sel *. entry.scale
+    end
+
+(* ---- non-key equality joins (Sec. 6) ----------------------------------- *)
+
+let estimate_nonkey prm ~sizes (q1, tv1, a1) (q2, tv2, a2) =
+  let schema = prm.Model.schema in
+  List.iter
+    (fun (tv, _) ->
+      if List.mem_assoc tv q2.Query.tvars then
+        invalid_arg "Estimate.estimate_nonkey: sub-queries share a tuple variable")
+    q1.Query.tvars;
+  let card_of q tv attr =
+    let ts = Schema.find_table schema (Query.table_of q tv) in
+    Selest_db.Value.card (Schema.attr ts attr).Schema.domain
+  in
+  let c1 = card_of q1 tv1 a1 and c2 = card_of q2 tv2 a2 in
+  if c1 <> c2 then
+    invalid_arg "Estimate.estimate_nonkey: joined attributes disagree on domain";
+  let e1 = cached_estimator prm ~sizes and e2 = cached_estimator prm ~sizes in
+  let acc = ref 0.0 in
+  for v = 0 to c1 - 1 do
+    let q1v = Query.with_selects q1 (Query.eq tv1 a1 v :: q1.Query.selects) in
+    let q2v = Query.with_selects q2 (Query.eq tv2 a2 v :: q2.Query.selects) in
+    acc := !acc +. (e1 q1v *. e2 q2v)
+  done;
+  !acc
+
+let group_counts prm ~sizes q ~keys =
+  let schema = prm.Model.schema in
+  (* Seed the network with one dummy equality per key so the closure pulls
+     the key attributes (and their ancestors) in; evaluate with only the
+     query's own selects plus the join evidence. *)
+  let dummy_selects = List.map (fun (tv, attr) -> Query.eq tv attr 0) keys in
+  let q_with_keys = Query.with_selects q (q.Query.selects @ dummy_selects) in
+  let c, factors, select_ev, join_ev = build_network prm q_with_keys in
+  let n_own = List.length q.Query.selects in
+  let own_ev = List.filteri (fun i _ -> i < n_own) select_ev in
+  let key_nodes =
+    List.filteri (fun i _ -> i >= n_own) select_ev |> List.map fst
+  in
+  let keep = Array.of_list (List.sort_uniq compare key_nodes) in
+  if Array.length keep <> List.length keys then
+    invalid_arg "Estimate.group_counts: duplicate key attributes";
+  let evidence = own_ev @ join_ev in
+  let posterior = Ve.posterior factors evidence ~keep in
+  let p_evidence = Ve.prob_of_evidence factors evidence in
+  let scale = closure_scale sizes c *. p_evidence in
+  (* Map each key to its position in the (sorted) keep array. *)
+  let positions =
+    List.map
+      (fun node ->
+        let rec go i = if keep.(i) = node then i else go (i + 1) in
+        go 0)
+      key_nodes
+  in
+  let cards =
+    List.map
+      (fun (tv, attr) ->
+        let ti = Schema.table_index schema (Query.table_of q_with_keys tv) in
+        let ts = (Schema.tables schema).(ti) in
+        Selest_db.Value.card (Schema.attr ts attr).Schema.domain)
+      keys
+  in
+  let d = List.length keys in
+  let cards_arr = Array.of_list cards in
+  let positions_arr = Array.of_list positions in
+  let out = ref [] in
+  let cell = Array.make d 0 in
+  let keep_cell = Array.make (Array.length keep) 0 in
+  let rec go i =
+    if i = d then begin
+      Array.iteri (fun j pos -> keep_cell.(pos) <- cell.(j)) positions_arr;
+      out := (Array.copy cell, Selest_prob.Factor.get posterior keep_cell *. scale) :: !out
+    end
+    else
+      for v = 0 to cards_arr.(i) - 1 do
+        cell.(i) <- v;
+        go (i + 1)
+      done
+  in
+  go 0;
+  List.rev !out

@@ -1,0 +1,62 @@
+(** Selectivity estimation with a PRM (Sec. 3.3).
+
+    Given a select–keyjoin query, the estimator (1) computes the query's
+    {e upward closure} (Def. 3.3): the minimal extension whose tuple
+    variables cover every cross-table parent the queried attributes and
+    join indicators depend on; (2) instantiates the {e query-evaluation
+    Bayesian network} (Def. 3.5) over the queried attributes and their
+    ancestors only; (3) computes, by variable elimination, the probability
+    of the selects conjoined with {e every} closure join indicator being
+    true; and (4) scales by the product of the closure tables' sizes:
+
+    {[ size(q) ≈ Π |T_i| · P(selects, all J = true) ]} *)
+
+val upward_closure : Model.t -> Selest_db.Query.t -> Selest_db.Query.t
+(** The closed query: same selects, possibly more tuple variables and
+    joins.  Idempotent; a no-op when the query already mentions every
+    needed tuple variable (fresh variables are named
+    ["<tv>__<fk-name>"]). *)
+
+val prob : Model.t -> Selest_db.Query.t -> float
+(** P(selects ∧ all closure joins) under the PRM — the query's selectivity
+    relative to the Cartesian product of the closure tables. *)
+
+val estimate : Model.t -> sizes:int array -> Selest_db.Query.t -> float
+(** Estimated result size; [sizes] holds each table's row count in schema
+    order (see {!sizes_of_db}). *)
+
+val sizes_of_db : Selest_db.Database.t -> int array
+
+val cached_estimator :
+  Model.t -> sizes:int array -> (Selest_db.Query.t -> float)
+(** An estimation function that memoizes per query {e skeleton}: for
+    all-equality queries it computes the joint posterior of the selected
+    attributes given the join evidence once, then answers every
+    instantiation of the same skeleton by table lookup.  Equivalent to
+    {!estimate} (same model, same numbers) but amortized over a suite.
+    Non-equality queries fall through to {!estimate}. *)
+
+val query_eval_network :
+  Model.t -> Selest_db.Query.t ->
+  (string * Selest_prob.Factor.t list * (int * Selest_db.Query.pred) list)
+(** Diagnostic view of step (2): a description of the network, its factors
+    and the evidence that would be evaluated (exposed for tests and the
+    CLI's explain mode). *)
+
+val estimate_nonkey :
+  Model.t -> sizes:int array ->
+  Selest_db.Query.t * string * string -> Selest_db.Query.t * string * string -> float
+(** [estimate_nonkey m ~sizes (q1, tv1, a1) (q2, tv2, a2)]: estimated size
+    of joining [q1] and [q2] on the non-key equality [tv1.a1 = tv2.a2]
+    (the Sec. 6 extension), by summing the product of the two sub-queries'
+    estimates over the joined attribute's values.  The sub-queries must
+    bind disjoint tuple variables. *)
+
+val group_counts :
+  Model.t -> sizes:int array -> Selest_db.Query.t ->
+  keys:(string * string) list -> (int array * float) list
+(** Approximate [GROUP BY COUNT] (the Sec. 6 application): estimated result
+    sizes of {e every} instantiation of the [keys] attributes under the
+    query's joins and selects, computed from one inference pass.  Cells are
+    returned in row-major order of the key domains (last key fastest); the
+    estimates of all cells sum to the estimate of the un-grouped query. *)

@@ -1,0 +1,419 @@
+open Selest_util
+open Selest_db
+open Selest_bn
+
+let log_src = Logs.Src.create "selest.prm.learn" ~doc:"PRM structure search"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type config = {
+  kind : Cpd.kind;
+  budget_bytes : int;
+  max_parents : int;
+  rule : Selest_bn.Learn.rule;
+  allow_cross_table : bool;
+  allow_join_parents : bool;
+  random_restarts : int;
+  random_walk_length : int;
+  seed : int;
+}
+
+let default_config ~budget_bytes =
+  {
+    kind = Cpd.Trees;
+    budget_bytes;
+    max_parents = 3;
+    rule = Selest_bn.Learn.Ssn;
+    allow_cross_table = true;
+    allow_join_parents = true;
+    random_restarts = 1;
+    random_walk_length = 3;
+    seed = 0;
+  }
+
+let bn_uj_config ~budget_bytes =
+  { (default_config ~budget_bytes) with allow_cross_table = false; allow_join_parents = false }
+
+type result = { model : Model.t; loglik : float; bytes : int; iterations : int }
+
+(* ---- search state ------------------------------------------------------ *)
+
+(* Either kind of family carries (loglik, bytes, params, cpd). *)
+type fam = {
+  f_parents : Model.parent array;  (* sorted by local id *)
+  f_loglik : float;
+  f_bytes : int;
+  f_params : int;
+  f_cpd : Cpd.t;
+}
+
+type state = {
+  cfg : config;
+  db : Database.t;
+  schema : Schema.t;
+  scopes : Model.Scope.s array;
+  ext_data : Data.t array;  (* per table *)
+  caches : Score.cache array;  (* per table, over extended data *)
+  join_cache : (int * int * Model.parent list, Suffstats.join_stats) Hashtbl.t;
+  (* current structure: chosen family per attribute and per join indicator *)
+  attr_fams : fam array array;
+  join_fams : fam array array;
+  mutable size : int;
+}
+
+let parent_local st ti p = Model.Scope.local_id st.scopes.(ti) p
+
+let sort_parents st ti parents =
+  let ps = Array.copy parents in
+  Array.sort (fun a b -> compare (parent_local st ti a) (parent_local st ti b)) ps;
+  ps
+
+let attr_family ?max_params st ti attr parents =
+  let sorted = sort_parents st ti parents in
+  let local = Array.map (parent_local st ti) sorted in
+  let f = Score.family ?max_params st.caches.(ti) ~child:attr ~parents:local in
+  {
+    f_parents = sorted;
+    f_loglik = f.Score.loglik;
+    f_bytes = f.Score.bytes;
+    f_params = f.Score.params;
+    f_cpd = f.Score.cpd;
+  }
+
+let join_family st ti fk parents =
+  let sorted = sort_parents st ti parents in
+  let key = (ti, fk, Array.to_list sorted) in
+  let js =
+    match Hashtbl.find_opt st.join_cache key with
+    | Some js -> js
+    | None ->
+      let js = Suffstats.fit_join st.db ~table:ti ~fk ~parents:sorted in
+      Hashtbl.add st.join_cache key js;
+      js
+  in
+  {
+    f_parents = sorted;
+    f_loglik = js.Suffstats.loglik;
+    f_bytes = js.Suffstats.bytes;
+    f_params = js.Suffstats.params;
+    f_cpd = js.Suffstats.cpd;
+  }
+
+let structure st =
+  {
+    Stratify.attr_parents = Array.map (Array.map (fun f -> f.f_parents)) st.attr_fams;
+    join_parents = Array.map (Array.map (fun f -> f.f_parents)) st.join_fams;
+  }
+
+let total_bytes st =
+  let acc = ref 0 in
+  Array.iteri
+    (fun ti per_attr ->
+      Array.iter (fun f -> acc := !acc + f.f_bytes) per_attr;
+      Array.iter (fun f -> acc := !acc + f.f_bytes) st.join_fams.(ti);
+      acc :=
+        !acc + Bytesize.values (Array.length per_attr + Array.length st.join_fams.(ti)))
+    st.attr_fams;
+  !acc
+
+let total_loglik st =
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun ti per_attr ->
+      Array.iter (fun f -> acc := !acc +. f.f_loglik) per_attr;
+      Array.iter (fun f -> acc := !acc +. f.f_loglik) st.join_fams.(ti))
+    st.attr_fams;
+  !acc
+
+(* ---- moves ------------------------------------------------------------- *)
+
+type move =
+  | Attr_add of int * int * Model.parent
+  | Attr_remove of int * int * Model.parent
+  | Join_add of int * int * Model.parent
+  | Join_remove of int * int * Model.parent
+
+let has_parent parents p = Array.exists (fun q -> q = p) parents
+
+let with_parent parents p = Array.append parents [| p |]
+
+let without_parent parents p =
+  Array.of_list (List.filter (fun q -> q <> p) (Array.to_list parents))
+
+(* Structure legality with one family's parents swapped out. *)
+let legal_with st ~kind ~ti ~idx ~parents =
+  let s = structure st in
+  (match kind with
+  | `Attr -> s.Stratify.attr_parents.(ti).(idx) <- parents
+  | `Join -> s.Stratify.join_parents.(ti).(idx) <- parents);
+  Stratify.is_legal st.schema s
+
+(* Candidate moves that respect parent bounds and structure legality. *)
+let candidate_moves st =
+  let cfg = st.cfg in
+  let tables = Schema.tables st.schema in
+  let out = ref [] in
+  Array.iteri
+    (fun ti ts ->
+      let n_attrs = Array.length ts.Schema.attrs in
+      let potential_parents a =
+        let own = List.init n_attrs (fun b -> Model.Own b) in
+        let own = List.filter (fun p -> p <> Model.Own a) own in
+        let cross =
+          if not cfg.allow_cross_table then []
+          else
+            List.concat
+              (List.mapi
+                 (fun f fk ->
+                   let target = Schema.find_table st.schema fk.Schema.target in
+                   List.init (Array.length target.Schema.attrs) (fun b ->
+                       Model.Foreign (f, b)))
+                 (Array.to_list ts.Schema.fks))
+        in
+        own @ cross
+      in
+      for a = 0 to n_attrs - 1 do
+        let current = st.attr_fams.(ti).(a).f_parents in
+        Array.iter (fun p -> out := Attr_remove (ti, a, p) :: !out) current;
+        if Array.length current < cfg.max_parents then
+          List.iter
+            (fun p ->
+              if
+                (not (has_parent current p))
+                && legal_with st ~kind:`Attr ~ti ~idx:a ~parents:(with_parent current p)
+              then out := Attr_add (ti, a, p) :: !out)
+            (potential_parents a)
+      done;
+      if cfg.allow_join_parents then
+        Array.iteri
+          (fun fk fk_schema ->
+            let target = Schema.find_table st.schema fk_schema.Schema.target in
+            let current = st.join_fams.(ti).(fk).f_parents in
+            Array.iter (fun p -> out := Join_remove (ti, fk, p) :: !out) current;
+            if Array.length current < cfg.max_parents then begin
+              let try_add p =
+                if
+                  (not (has_parent current p))
+                  && legal_with st ~kind:`Join ~ti ~idx:fk
+                       ~parents:(with_parent current p)
+                then out := Join_add (ti, fk, p) :: !out
+              in
+              for a = 0 to n_attrs - 1 do
+                try_add (Model.Own a)
+              done;
+              for b = 0 to Array.length target.Schema.attrs - 1 do
+                try_add (Model.Foreign (fk, b))
+              done
+            end)
+          ts.Schema.fks)
+    tables;
+  !out
+
+(* Size guard for dense families, mirroring Selest_bn.Learn. *)
+let dense_family_bytes st ti ~child_card parents =
+  let configs =
+    Array.fold_left
+      (fun acc p ->
+        let c = Model.Scope.card st.scopes.(ti) (parent_local st ti p) in
+        if acc > (max_int / 8) / c then max_int / 8 else acc * c)
+      1 parents
+  in
+  Bytesize.params (configs * (child_card - 1)) + Bytesize.values (Array.length parents)
+
+(* Evaluate: the replacement family and its deltas; None if infeasible. *)
+let evaluate st move =
+  let finish ~old_f ~new_f =
+    let dbytes = new_f.f_bytes - old_f.f_bytes in
+    if st.size + dbytes > st.cfg.budget_bytes then None
+    else Some (new_f, new_f.f_loglik -. old_f.f_loglik, dbytes, new_f.f_params - old_f.f_params)
+  in
+  match move with
+  | Attr_add (ti, a, p) | Attr_remove (ti, a, p) ->
+    let old_f = st.attr_fams.(ti).(a) in
+    let proposed =
+      match move with
+      | Attr_add _ -> with_parent old_f.f_parents p
+      | _ -> without_parent old_f.f_parents p
+    in
+    let child_card = Model.Scope.card st.scopes.(ti) a in
+    let headroom =
+      st.cfg.budget_bytes - st.size + old_f.f_bytes
+      - Bytesize.values (Array.length proposed)
+    in
+    let max_params = headroom / Bytesize.per_param in
+    if max_params < 1 then None
+    else begin
+      let upper_ok =
+        match st.cfg.kind with
+        | Cpd.Tables ->
+          st.size - old_f.f_bytes + dense_family_bytes st ti ~child_card proposed
+          <= st.cfg.budget_bytes
+        | Cpd.Trees -> true
+      in
+      if not upper_ok then None
+      else finish ~old_f ~new_f:(attr_family ~max_params st ti a proposed)
+    end
+  | Join_add (ti, fk, p) | Join_remove (ti, fk, p) ->
+    let old_f = st.join_fams.(ti).(fk) in
+    let proposed =
+      match move with
+      | Join_add _ -> with_parent old_f.f_parents p
+      | _ -> without_parent old_f.f_parents p
+    in
+    (* Join CPDs are always dense over their parents: guard size first. *)
+    if
+      st.size - old_f.f_bytes + dense_family_bytes st ti ~child_card:2 proposed
+      > st.cfg.budget_bytes
+    then None
+    else finish ~old_f ~new_f:(join_family st ti fk proposed)
+
+let criterion cfg ~mdl_penalty (dscore, dbytes, dparams) =
+  match cfg.rule with
+  | Selest_bn.Learn.Naive -> dscore
+  | Selest_bn.Learn.Ssn ->
+    if dbytes > 0 then dscore /. float_of_int dbytes
+    else if dscore > 0.0 then Float.infinity
+    else dscore
+  | Selest_bn.Learn.Mdl -> dscore -. (mdl_penalty *. float_of_int dparams)
+
+let eps = 1e-6
+
+let accept st move new_f dbytes =
+  (match move with
+  | Attr_add (ti, a, _) | Attr_remove (ti, a, _) -> st.attr_fams.(ti).(a) <- new_f
+  | Join_add (ti, fk, _) | Join_remove (ti, fk, _) -> st.join_fams.(ti).(fk) <- new_f);
+  st.size <- st.size + dbytes
+
+let climb st ~mdl_penalty =
+  let taken = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let best = ref None in
+    List.iter
+      (fun move ->
+        match evaluate st move with
+        | None -> ()
+        | Some (new_f, dscore, dbytes, dparams) ->
+          let value = criterion st.cfg ~mdl_penalty (dscore, dbytes, dparams) in
+          if value > eps then begin
+            match !best with
+            | Some (v0, ds0, _, _, _) when v0 > value || (v0 = value && ds0 >= dscore) -> ()
+            | _ -> best := Some (value, dscore, dbytes, new_f, move)
+          end)
+      (candidate_moves st);
+    match !best with
+    | None -> continue := false
+    | Some (_, _, dbytes, new_f, move) ->
+      accept st move new_f dbytes;
+      incr taken
+  done;
+  !taken
+
+let random_walk st rng =
+  for _ = 1 to st.cfg.random_walk_length do
+    let feasible =
+      List.filter_map
+        (fun move ->
+          match evaluate st move with
+          | Some (new_f, _, dbytes, _) -> Some (move, new_f, dbytes)
+          | None -> None)
+        (candidate_moves st)
+    in
+    if feasible <> [] then begin
+      let move, new_f, dbytes = List.nth feasible (Rng.int rng (List.length feasible)) in
+      accept st move new_f dbytes
+    end
+  done
+
+let snapshot st =
+  (Array.map Array.copy st.attr_fams, Array.map Array.copy st.join_fams, st.size)
+
+let restore st (af, jf, size) =
+  Array.iteri (fun ti per -> Array.iteri (fun a f -> st.attr_fams.(ti).(a) <- f) per) af;
+  Array.iteri (fun ti per -> Array.iteri (fun fk f -> st.join_fams.(ti).(fk) <- f) per) jf;
+  st.size <- size
+
+let to_model st =
+  let tables =
+    Array.mapi
+      (fun ti per_attr ->
+        let attr_families =
+          Array.map (fun f -> { Model.parents = f.f_parents; cpd = f.f_cpd }) per_attr
+        in
+        let join_families =
+          Array.map
+            (fun f -> { Model.parents = f.f_parents; cpd = f.f_cpd })
+            st.join_fams.(ti)
+        in
+        { Model.attr_families; join_families })
+      st.attr_fams
+  in
+  Model.create st.schema tables
+
+let learn ~config:cfg db =
+  let schema = Database.schema db in
+  let n_tables = Schema.n_tables schema in
+  let scopes = Array.init n_tables (fun ti -> Model.Scope.of_table schema ti) in
+  let ext_data = Array.init n_tables (fun ti -> Suffstats.extended_data db ti) in
+  let caches = Array.map (fun d -> Score.create_cache ~kind:cfg.kind d) ext_data in
+  let st =
+    {
+      cfg;
+      db;
+      schema;
+      scopes;
+      ext_data;
+      caches;
+      join_cache = Hashtbl.create 64;
+      attr_fams = [||];
+      join_fams = [||];
+      size = 0;
+    }
+  in
+  let st =
+    {
+      st with
+      attr_fams =
+        Array.mapi
+          (fun ti ts ->
+            Array.init (Array.length ts.Schema.attrs) (fun a ->
+                attr_family st ti a [||]))
+          (Schema.tables schema);
+      join_fams =
+        Array.mapi
+          (fun ti ts ->
+            Array.init (Array.length ts.Schema.fks) (fun fk -> join_family st ti fk [||]))
+          (Schema.tables schema);
+    }
+  in
+  st.size <- total_bytes st;
+  if st.size > cfg.budget_bytes then
+    invalid_arg
+      (Printf.sprintf
+         "Prm.Learn: budget %dB cannot hold the empty model (%dB of marginals)"
+         cfg.budget_bytes st.size);
+  (* MDL penalty: dominated by the largest sample space in the model. *)
+  let max_weight =
+    Array.fold_left (fun acc d -> Float.max acc (Data.total_weight d)) 2.0 ext_data
+  in
+  let mdl_penalty = Arrayx.log2 max_weight /. 2.0 in
+  let rng = Rng.create cfg.seed in
+  let iterations = ref (climb st ~mdl_penalty) in
+  let best = ref (snapshot st, total_loglik st) in
+  for _ = 1 to cfg.random_restarts do
+    random_walk st rng;
+    iterations := !iterations + climb st ~mdl_penalty;
+    let ll = total_loglik st in
+    if ll > snd !best then best := (snapshot st, ll)
+  done;
+  restore st (fst !best);
+  let model = to_model st in
+  Log.info (fun m ->
+      m "learned PRM: %dB of %dB budget, %d cross edges, %d join parents, %d moves"
+        st.size cfg.budget_bytes (Model.n_cross_edges model) (Model.n_join_parents model)
+        !iterations);
+  { model; loglik = snd !best; bytes = st.size; iterations = !iterations }
+
+let learn_prm ?(budget_bytes = 8192) ?(seed = 0) db =
+  let cfg = { (default_config ~budget_bytes) with seed } in
+  (learn ~config:cfg db).model

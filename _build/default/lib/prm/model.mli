@@ -1,0 +1,86 @@
+(** Probabilistic relational models (Def. 3.1).
+
+    A PRM specifies, for every value attribute [R.A] of every table and for
+    every foreign key [F] of every table, a local probabilistic model:
+    {ul
+    {- the parents of [R.A] may be attributes of [R] itself ([Own]) or
+       attributes of the table a foreign key of [R] points to ([Foreign]);}
+    {- each foreign key has a binary {e join indicator} variable [J_F]
+       modelling the event [t.F = s.key] for independently drawn tuples;
+       its parents may come from either side of the join.}}
+
+    Cross-table attribute CPDs are the [J = true] fork of the paper's gated
+    CPDs: they are fitted from, and only ever evaluated on, joined pairs
+    (selectivity estimation always conditions every closure join indicator
+    on [true], so the [false] fork never contributes — see {!Estimate}).
+
+    {2 Local variable ids}
+
+    CPDs inside a table's scope use a flat id space so that the generic
+    {!Selest_bn.Cpd} machinery applies unchanged:
+    {ul
+    {- own attribute [a] has id [a];}
+    {- foreign attribute [b] reached through foreign key [f] has id
+       [n_attrs + fk_offset f + b];}
+    {- the join indicator of foreign key [f] has id [n_ext + f] (these are
+       the largest ids, so a join indicator is never a parent).}} *)
+
+type parent =
+  | Own of int  (** attribute index within the same table *)
+  | Foreign of int * int  (** (foreign-key index, attribute index in its target) *)
+
+type family = {
+  parents : parent array;  (** in local-id order *)
+  cpd : Selest_bn.Cpd.t;  (** over local ids *)
+}
+
+type table_model = {
+  attr_families : family array;  (** one per value attribute *)
+  join_families : family array;  (** one per foreign key; child card 2 *)
+}
+
+type t = {
+  schema : Selest_db.Schema.t;
+  tables : table_model array;  (** in schema order *)
+}
+
+(** Local-id arithmetic for one table's scope. *)
+module Scope : sig
+  type s
+
+  val of_table : Selest_db.Schema.t -> int -> s
+  val n_attrs : s -> int
+  val n_ext : s -> int
+  (** Own attributes plus all foreign attributes. *)
+
+  val n_all : s -> int
+  (** [n_ext] plus one join-indicator id per foreign key. *)
+
+  val local_id : s -> parent -> int
+  val join_id : s -> int -> int
+  (** Local id of foreign key [f]'s join indicator. *)
+
+  val parent_of_local : s -> int -> parent
+  (** Inverse of [local_id]; raises on a join-indicator id. *)
+
+  val card : s -> int -> int
+  (** Cardinality of any local id (2 for join indicators). *)
+
+  val name : s -> int -> string
+  (** Human-readable name, e.g. "Age", "district.Region", "J_account". *)
+end
+
+val create : Selest_db.Schema.t -> table_model array -> t
+(** Validates family shapes against the schema (arity, parent ranges). *)
+
+val scope : t -> int -> Scope.s
+val size_bytes : t -> int
+(** Total model storage under the library-wide accounting. *)
+
+val n_cross_edges : t -> int
+(** Cross-table attribute dependencies (diagnostic). *)
+
+val n_join_parents : t -> int
+(** Total parents over all join indicators (0 = uniform-join model). *)
+
+val pp : Format.formatter -> t -> unit

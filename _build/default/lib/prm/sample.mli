@@ -1,0 +1,23 @@
+(** Forward sampling: generate a relational database from a PRM.
+
+    The inverse of learning — useful for model validation (fit a PRM, sample
+    a database, check the sample reproduces the original's statistics), for
+    privacy-preserving synthetic data, and for testing that structure
+    learning recovers planted models.
+
+    Within a table, value attributes and foreign-key assignments are sampled
+    in the dependency order the legality check guarantees exists: attributes
+    feeding a join indicator come before the foreign key is assigned, and
+    attributes gated on it (those with cross-table parents) after.  A child
+    row picks its parent row in two stages — first a parent {e configuration}
+    with probability proportional to
+    [count(config) * P(J | child side, config)], then uniformly within the
+    configuration — which is exact and avoids per-row scans of the parent
+    table. *)
+
+val database :
+  Selest_util.Rng.t -> Model.t -> sizes:int array -> Selest_db.Database.t
+(** [database rng model ~sizes]: one table per schema table with the given
+    row counts (schema order).  Raises [Invalid_argument] if the model's
+    structure is not legal or a referenced table is given size 0 while a
+    child table is non-empty. *)

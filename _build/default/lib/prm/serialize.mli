@@ -1,0 +1,18 @@
+(** Saving and loading learned PRMs.
+
+    The offline/online split of Sec. 1 implies models outlive the process
+    that fitted them: a DBMS learns the PRM during maintenance windows and
+    the optimizer loads it at query time.  Models are stored as
+    S-expressions ({!Selest_util.Sexp}) together with a schema fingerprint;
+    loading validates the fingerprint against the caller's schema so a
+    model is never silently applied to a different database layout.
+
+    Bayesian networks over a single table are PRMs over a one-table schema,
+    so this covers them too. *)
+
+val to_sexp : Model.t -> Selest_util.Sexp.t
+val of_sexp : schema:Selest_db.Schema.t -> Selest_util.Sexp.t -> Model.t
+(** Raises [Failure] on malformed input or a schema mismatch. *)
+
+val save : string -> Model.t -> unit
+val load : string -> schema:Selest_db.Schema.t -> Model.t

@@ -1,0 +1,207 @@
+open Selest_util
+open Selest_db
+open Selest_bn
+
+let extended_data db ti =
+  let tbl = Database.table_at db ti in
+  let ts = Table.schema tbl in
+  let own_names = Array.map (fun a -> a.Schema.aname) ts.Schema.attrs in
+  let own_cards = Table.cards tbl in
+  let own_ordinal = Array.map (fun a -> Value.is_ordinal a.Schema.domain) ts.Schema.attrs in
+  let own_cols = Array.init (Array.length own_names) (fun i -> Table.col tbl i) in
+  let foreign =
+    Array.to_list ts.Schema.fks
+    |> List.mapi (fun fi f ->
+           let target = Database.table db f.Schema.target in
+           let tts = Table.schema target in
+           let fk_col = Table.fk_col tbl fi in
+           Array.to_list tts.Schema.attrs
+           |> List.mapi (fun b a ->
+                  let target_col = Table.col target b in
+                  let resolved = Array.map (fun row -> target_col.(row)) fk_col in
+                  ( f.Schema.target ^ "." ^ a.Schema.aname,
+                    Value.card a.Schema.domain,
+                    Value.is_ordinal a.Schema.domain,
+                    resolved )))
+    |> List.concat
+  in
+  let names =
+    Array.append own_names (Array.of_list (List.map (fun (n, _, _, _) -> n) foreign))
+  in
+  let cards =
+    Array.append own_cards (Array.of_list (List.map (fun (_, c, _, _) -> c) foreign))
+  in
+  let ordinal =
+    Array.append own_ordinal (Array.of_list (List.map (fun (_, _, o, _) -> o) foreign))
+  in
+  let cols =
+    Array.append own_cols (Array.of_list (List.map (fun (_, _, _, c) -> c) foreign))
+  in
+  Data.create ~names ~cards ~ordinal cols
+
+type join_stats = { cpd : Cpd.t; loglik : float; params : int; bytes : int }
+
+let fit_join db ~table ~fk ~parents =
+  let schema = Database.schema db in
+  let scope = Model.Scope.of_table schema table in
+  let tbl = Database.table_at db table in
+  let ts = Table.schema tbl in
+  if fk < 0 || fk >= Array.length ts.Schema.fks then invalid_arg "Suffstats.fit_join: fk";
+  let target = Database.table db ts.Schema.fks.(fk).Schema.target in
+  (* Validate parents: own attributes or attributes of this fk's target,
+     sorted by local id (own block precedes the foreign block). *)
+  let own_parents = ref [] and target_parents = ref [] in
+  Array.iter
+    (fun p ->
+      match p with
+      | Model.Own a -> own_parents := a :: !own_parents
+      | Model.Foreign (f, b) ->
+        if f <> fk then
+          invalid_arg "Suffstats.fit_join: foreign parent through a different fk";
+        target_parents := b :: !target_parents)
+    parents;
+  let own_parents = Array.of_list (List.rev !own_parents) in
+  let target_parents = Array.of_list (List.rev !target_parents) in
+  let local_ids = Array.map (Model.Scope.local_id scope) parents in
+  Array.iteri
+    (fun i id -> if i > 0 && local_ids.(i - 1) >= id then
+        invalid_arg "Suffstats.fit_join: parents not sorted by local id")
+    local_ids;
+  let parent_cards = Array.map (Model.Scope.card scope) local_ids in
+  let configs = Array.fold_left ( * ) 1 parent_cards in
+  (* Positives: joined pairs per configuration — one per child row. *)
+  let pos = Array.make configs 0.0 in
+  let own_cols = Array.map (fun a -> Table.col tbl a) own_parents in
+  let fk_col = Table.fk_col tbl fk in
+  let target_cols = Array.map (fun b -> Table.col target b) target_parents in
+  let n_own = Array.length own_parents in
+  for r = 0 to Table.size tbl - 1 do
+    let cfg = ref 0 in
+    for i = 0 to n_own - 1 do
+      cfg := (!cfg * parent_cards.(i)) + own_cols.(i).(r)
+    done;
+    for i = 0 to Array.length target_parents - 1 do
+      cfg := (!cfg * parent_cards.(n_own + i)) + target_cols.(i).(fk_col.(r))
+    done;
+    pos.(!cfg) <- pos.(!cfg) +. 1.0
+  done;
+  (* Totals: cnt_R(own config) * cnt_S(target config).  Target parents
+     occupy the least-significant digits of the configuration (their local
+     ids are larger), so a configuration splits as own * target. *)
+  let target_config_count =
+    Array.fold_left ( * ) 1 (Array.sub parent_cards n_own (Array.length target_parents))
+  in
+  let own_config_count = configs / target_config_count in
+  let own_counts = Array.make own_config_count 0.0 in
+  for r = 0 to Table.size tbl - 1 do
+    let cfg = ref 0 in
+    for i = 0 to n_own - 1 do
+      cfg := (!cfg * parent_cards.(i)) + own_cols.(i).(r)
+    done;
+    own_counts.(!cfg) <- own_counts.(!cfg) +. 1.0
+  done;
+  let target_counts = Array.make target_config_count 0.0 in
+  for r = 0 to Table.size target - 1 do
+    let cfg = ref 0 in
+    for i = 0 to Array.length target_parents - 1 do
+      cfg := (!cfg * parent_cards.(n_own + i)) + target_cols.(i).(r)
+    done;
+    target_counts.(!cfg) <- target_counts.(!cfg) +. 1.0
+  done;
+  (* Assemble the CPD table and the pair-level log-likelihood. *)
+  let table_entries = Array.make (configs * 2) 0.0 in
+  let loglik = ref 0.0 in
+  for cfg = 0 to configs - 1 do
+    let own_cfg = cfg / target_config_count in
+    let target_cfg = cfg mod target_config_count in
+    let total = own_counts.(own_cfg) *. target_counts.(target_cfg) in
+    let p = if total > 0.0 then pos.(cfg) /. total else 0.0 in
+    table_entries.((cfg * 2) + 0) <- 1.0 -. p;
+    table_entries.((cfg * 2) + 1) <- p;
+    if total > 0.0 then begin
+      if p > 0.0 then loglik := !loglik +. (pos.(cfg) *. Arrayx.log2 p);
+      if p < 1.0 then
+        loglik := !loglik +. ((total -. pos.(cfg)) *. Arrayx.log2 (1.0 -. p))
+    end
+  done;
+  let cpd =
+    Cpd.Table (Table_cpd.of_table ~child_card:2 ~parents:local_ids ~parent_cards table_entries)
+  in
+  let params = configs in
+  { cpd; loglik = !loglik; params; bytes = Bytesize.params params + Bytesize.values (Array.length parents) }
+
+let join_loglik_under db ~table ~fk cpd =
+  let schema = Database.schema db in
+  let scope = Model.Scope.of_table schema table in
+  (* Recompute the pair statistics (cheap) and score them under [cpd]'s
+     probabilities instead of the maximum-likelihood ones. *)
+  let parents = Array.map (Model.Scope.parent_of_local scope) (Cpd.parents cpd) in
+  let tbl = Database.table_at db table in
+  let ts = Table.schema tbl in
+  let target = Database.table db ts.Schema.fks.(fk).Schema.target in
+  let own_parents = ref [] and target_parents = ref [] in
+  Array.iter
+    (function
+      | Model.Own a -> own_parents := a :: !own_parents
+      | Model.Foreign (_, b) -> target_parents := b :: !target_parents)
+    parents;
+  let own_parents = Array.of_list (List.rev !own_parents) in
+  let target_parents = Array.of_list (List.rev !target_parents) in
+  let local_ids = Array.map (Model.Scope.local_id scope) parents in
+  let parent_cards = Array.map (Model.Scope.card scope) local_ids in
+  let configs = Array.fold_left ( * ) 1 parent_cards in
+  let n_own = Array.length own_parents in
+  let own_cols = Array.map (fun a -> Table.col tbl a) own_parents in
+  let target_cols = Array.map (fun b -> Table.col target b) target_parents in
+  let fk_col = Table.fk_col tbl fk in
+  let pos = Array.make configs 0.0 in
+  for r = 0 to Table.size tbl - 1 do
+    let cfg = ref 0 in
+    for i = 0 to n_own - 1 do
+      cfg := (!cfg * parent_cards.(i)) + own_cols.(i).(r)
+    done;
+    for i = 0 to Array.length target_parents - 1 do
+      cfg := (!cfg * parent_cards.(n_own + i)) + target_cols.(i).(fk_col.(r))
+    done;
+    pos.(!cfg) <- pos.(!cfg) +. 1.0
+  done;
+  let target_config_count =
+    Array.fold_left ( * ) 1 (Array.sub parent_cards n_own (Array.length target_parents))
+  in
+  let own_counts = Array.make (configs / target_config_count) 0.0 in
+  for r = 0 to Table.size tbl - 1 do
+    let cfg = ref 0 in
+    for i = 0 to n_own - 1 do
+      cfg := (!cfg * parent_cards.(i)) + own_cols.(i).(r)
+    done;
+    own_counts.(!cfg) <- own_counts.(!cfg) +. 1.0
+  done;
+  let target_counts = Array.make target_config_count 0.0 in
+  for r = 0 to Table.size target - 1 do
+    let cfg = ref 0 in
+    for i = 0 to Array.length target_parents - 1 do
+      cfg := (!cfg * parent_cards.(n_own + i)) + target_cols.(i).(r)
+    done;
+    target_counts.(!cfg) <- target_counts.(!cfg) +. 1.0
+  done;
+  let pvals = Array.make (Array.length parents) 0 in
+  let loglik = ref 0.0 in
+  for cfg = 0 to configs - 1 do
+    let own_cfg = cfg / target_config_count in
+    let target_cfg = cfg mod target_config_count in
+    let total = own_counts.(own_cfg) *. target_counts.(target_cfg) in
+    if total > 0.0 then begin
+      let rem = ref cfg in
+      for i = Array.length parents - 1 downto 0 do
+        pvals.(i) <- !rem mod parent_cards.(i);
+        rem := !rem / parent_cards.(i)
+      done;
+      let p = (Cpd.dist cpd pvals).(1) in
+      if pos.(cfg) > 0.0 then
+        loglik := !loglik +. (pos.(cfg) *. Arrayx.log2 (Float.max p 1e-300));
+      if total -. pos.(cfg) > 0.0 then
+        loglik :=
+          !loglik +. ((total -. pos.(cfg)) *. Arrayx.log2 (Float.max (1.0 -. p) 1e-300))
+    end
+  done;
+  !loglik

@@ -1,0 +1,42 @@
+(** Sufficient statistics for PRM fitting (Sec. 4.2).
+
+    Everything reduces to linear scans thanks to referential integrity:
+
+    {ul
+    {- {e Extended data}: each table's columns augmented with the
+       attributes of every foreign-key target, resolved per row (each child
+       row joins exactly one target row).  Cross-table attribute families
+       fit on this view with the ordinary {!Selest_bn} machinery, and its
+       column order realizes {!Model.Scope}'s local-id space.}
+    {- {e Join-indicator statistics}: for [P(J_F | B, C)] with [B] child-
+       side and [C] target-side attribute sets, the positives per
+       configuration come from the extended view, while the totals are the
+       product [cnt_R(b) * cnt_S(c)] — no R×S materialization (the paper's
+       counting trick).}} *)
+
+val extended_data : Selest_db.Database.t -> int -> Selest_bn.Data.t
+(** [extended_data db ti]: the extended view of table [ti] (by schema
+    index).  Column [k] is local id [k] of [Model.Scope]. *)
+
+type join_stats = {
+  cpd : Selest_bn.Cpd.t;
+      (** table CPD over the parents' local ids, child card 2 (index 1 =
+          "joins") *)
+  loglik : float;
+      (** log-likelihood (bits) of all |R|·|S| pair outcomes under the CPD *)
+  params : int;
+  bytes : int;
+}
+
+val fit_join :
+  Selest_db.Database.t -> table:int -> fk:int -> parents:Model.parent array ->
+  join_stats
+(** Fit the join indicator of foreign key [fk] of table [table] with the
+    given parents (which must be sorted by local id).  With no parents this
+    is the uniform-join model: [P(J) = 1/|S|]. *)
+
+val join_loglik_under :
+  Selest_db.Database.t -> table:int -> fk:int -> Selest_bn.Cpd.t -> float
+(** Pair-space log-likelihood of the current data under an {e existing}
+    join-indicator CPD (whose parents are read off the CPD) — used by
+    incremental maintenance to measure parameter staleness. *)

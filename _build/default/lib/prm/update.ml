@@ -1,0 +1,78 @@
+open Selest_db
+open Selest_bn
+
+let refresh (model : Model.t) db =
+  let schema = model.Model.schema in
+  if Schema.tables schema <> Schema.tables (Database.schema db) then
+    invalid_arg "Update.refresh: database schema differs from the model's";
+  let tables =
+    Array.mapi
+      (fun ti tm ->
+        let ext = Suffstats.extended_data db ti in
+        let attr_families =
+          Array.mapi
+            (fun a fam -> { fam with Model.cpd = Cpd.refit fam.Model.cpd ext ~child:a })
+            tm.Model.attr_families
+        in
+        let join_families =
+          Array.mapi
+            (fun fk fam ->
+              let js = Suffstats.fit_join db ~table:ti ~fk ~parents:fam.Model.parents in
+              { fam with Model.cpd = js.Suffstats.cpd })
+            tm.Model.join_families
+        in
+        { Model.attr_families; join_families })
+      model.Model.tables
+  in
+  Model.create schema tables
+
+type drift = { stale_loglik : float; fresh_loglik : float; gap_per_unit : float }
+
+(* The gap is reported as the worst per-family normalized staleness:
+   one badly outdated family is a relearning signal even when large,
+   well-fitting families dominate the raw totals. *)
+let drift (model : Model.t) db =
+  let fresh = refresh model db in
+  let stale_total = ref 0.0 and fresh_total = ref 0.0 in
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun ti tm ->
+      let ext = Suffstats.extended_data db ti in
+      let weight = Float.max 1.0 (Data.total_weight ext) in
+      Array.iteri
+        (fun a fam ->
+          let stale = Cpd.loglik fam.Model.cpd ext ~child:a in
+          let fresh_f =
+            Cpd.loglik fresh.Model.tables.(ti).Model.attr_families.(a).Model.cpd ext
+              ~child:a
+          in
+          stale_total := !stale_total +. stale;
+          fresh_total := !fresh_total +. fresh_f;
+          worst := Float.max !worst ((fresh_f -. stale) /. weight))
+        tm.Model.attr_families;
+      let pair_weight =
+        let tbl = Database.table_at db ti in
+        let ts = Table.schema tbl in
+        Array.map
+          (fun f ->
+            float_of_int (Table.size tbl)
+            *. float_of_int (Table.size (Database.table db f.Schema.target)))
+          ts.Schema.fks
+      in
+      Array.iteri
+        (fun fk fam ->
+          let stale = Suffstats.join_loglik_under db ~table:ti ~fk fam.Model.cpd in
+          let fresh_f =
+            (Suffstats.fit_join db ~table:ti ~fk ~parents:fam.Model.parents).Suffstats.loglik
+          in
+          stale_total := !stale_total +. stale;
+          fresh_total := !fresh_total +. fresh_f;
+          worst := Float.max !worst ((fresh_f -. stale) /. Float.max 1.0 pair_weight.(fk)))
+        tm.Model.join_families)
+    model.Model.tables;
+  { stale_loglik = !stale_total; fresh_loglik = !fresh_total; gap_per_unit = !worst }
+
+let maintain ?(gap_threshold = 0.05) model db =
+  let d = drift model db in
+  let fresh = refresh model db in
+  if d.gap_per_unit > gap_threshold then `Restructure_advised fresh else `Fresh fresh

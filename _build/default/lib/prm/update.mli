@@ -1,0 +1,36 @@
+(** Incremental model maintenance (Sec. 6).
+
+    As the database changes, "it is straightforward to adapt the parameters
+    of the PRM over time, keeping the structure fixed ... we can also keep
+    track of the model score, relearning the structure if the score
+    decreases drastically."  This module implements both halves:
+
+    {ul
+    {- {!refresh} refits every CPD's parameters on the current database
+       without touching the dependency structure (tree CPDs keep their
+       splits);}
+    {- {!drift} quantifies how stale the current parameters are — the
+       per-unit log-likelihood gap between the old parameters and freshly
+       refitted ones on today's data — and {!maintain} turns that into a
+       refresh-or-relearn decision.}} *)
+
+val refresh : Model.t -> Selest_db.Database.t -> Model.t
+(** Parameter-only update.  The database must have the model's schema. *)
+
+type drift = {
+  stale_loglik : float;  (** old parameters scored on the new data (bits) *)
+  fresh_loglik : float;  (** refitted parameters on the same data *)
+  gap_per_unit : float;
+      (** (fresh - stale) / total sample weight: average bits lost per
+          data unit by keeping stale parameters.  >= 0 up to rounding. *)
+}
+
+val drift : Model.t -> Selest_db.Database.t -> drift
+
+val maintain :
+  ?gap_threshold:float -> Model.t -> Selest_db.Database.t ->
+  [ `Fresh of Model.t | `Restructure_advised of Model.t ]
+(** Refresh parameters; if even the refreshed parameters leave a per-unit
+    gap above [gap_threshold] (default 0.05 bits) {e between the old and
+    new fit}, advise relearning the structure.  Either way the returned
+    model has fresh parameters. *)

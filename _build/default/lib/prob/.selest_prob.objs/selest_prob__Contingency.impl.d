@@ -1,0 +1,1 @@
+lib/prob/contingency.ml: Array Arrayx Factor Hashtbl Selest_util

@@ -1,0 +1,1 @@
+lib/prob/dist.ml: Array Arrayx Float Format Printf Rng Selest_util String

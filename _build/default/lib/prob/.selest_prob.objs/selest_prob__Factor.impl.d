@@ -1,0 +1,1 @@
+lib/prob/factor.ml: Array Arrayx Format List Selest_util String

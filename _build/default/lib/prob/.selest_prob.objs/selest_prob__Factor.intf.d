@@ -1,0 +1,1 @@
+lib/prob/factor.mli: Format

@@ -1,0 +1,1 @@
+lib/prob/info.ml: Array Arrayx Contingency Float List Selest_util

@@ -1,0 +1,40 @@
+(** Joint value counting (the "count and group-by query" of Sec. 4.2).
+
+    A contingency table records, for a set of discrete columns, how many
+    rows take each combination of values.  All sufficient statistics for
+    parameter estimation and all exact ground-truth query sizes in the
+    experiment harness are obtained through this module. *)
+
+type t
+
+val count : cards:int array -> int array array -> t
+(** [count ~cards cols] scans parallel columns [cols] (all of equal length)
+    whose [i]-th column ranges over [0..cards.(i)-1].  Chooses a dense or
+    hashed representation based on the joint domain size. *)
+
+val count_weighted : cards:int array -> weights:float array -> int array array -> t
+(** Same, adding [weights.(r)] instead of 1 for row [r] (used for counting
+    over implicit join results). *)
+
+val count_masked : cards:int array -> mask:bool array -> int array array -> t
+(** Count only rows [r] with [mask.(r)]. *)
+
+val cards : t -> int array
+val total : t -> float
+
+val get : t -> int array -> float
+(** Count for one joint value combination. *)
+
+val iter : t -> (int array -> float -> unit) -> unit
+(** Iterate over non-zero cells.  The key array is reused — copy to keep. *)
+
+val to_factor : vars:int array -> t -> Factor.t
+(** View the counts as a (dense) factor over the given variable ids, which
+    must be strictly increasing and in the same order as the counted
+    columns. *)
+
+val marginal : t -> int array -> t
+(** [marginal t dims] keeps only the listed column positions (strictly
+    increasing), summing over the rest. *)
+
+val n_nonzero : t -> int

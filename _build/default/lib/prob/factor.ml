@@ -1,0 +1,230 @@
+open Selest_util
+
+type t = { vars : int array; cards : int array; data : float array }
+
+let check_sorted vars =
+  for i = 1 to Array.length vars - 1 do
+    if vars.(i - 1) >= vars.(i) then
+      invalid_arg "Factor: vars must be strictly increasing"
+  done
+
+let table_size cards = Array.fold_left ( * ) 1 cards
+
+let create ~vars ~cards data =
+  if Array.length vars <> Array.length cards then
+    invalid_arg "Factor.create: vars/cards length mismatch";
+  check_sorted vars;
+  Array.iter (fun c -> if c <= 0 then invalid_arg "Factor.create: card <= 0") cards;
+  if Array.length data <> table_size cards then
+    invalid_arg "Factor.create: data size mismatch";
+  { vars; cards; data }
+
+(* Strides for row-major layout, last variable fastest. *)
+let strides cards =
+  let n = Array.length cards in
+  let s = Array.make n 1 in
+  for i = n - 2 downto 0 do
+    s.(i) <- s.(i + 1) * cards.(i + 1)
+  done;
+  s
+
+let of_fun ~vars ~cards f =
+  check_sorted vars;
+  let n = Array.length vars in
+  let size = table_size cards in
+  let asg = Array.make n 0 in
+  let data = Array.make size 0.0 in
+  for idx = 0 to size - 1 do
+    (* decode idx into asg *)
+    let rem = ref idx in
+    for i = n - 1 downto 0 do
+      asg.(i) <- !rem mod cards.(i);
+      rem := !rem / cards.(i)
+    done;
+    data.(idx) <- f asg
+  done;
+  { vars; cards; data }
+
+let constant c = { vars = [||]; cards = [||]; data = [| c |] }
+let vars t = Array.copy t.vars
+let cards t = Array.copy t.cards
+let size t = Array.length t.data
+let data t = Array.copy t.data
+
+let index_of t asg =
+  let s = strides t.cards in
+  let idx = ref 0 in
+  for i = 0 to Array.length t.vars - 1 do
+    let v = asg.(i) in
+    if v < 0 || v >= t.cards.(i) then invalid_arg "Factor.get: value out of range";
+    idx := !idx + (v * s.(i))
+  done;
+  !idx
+
+let get t asg =
+  if Array.length asg <> Array.length t.vars then
+    invalid_arg "Factor.get: assignment arity mismatch";
+  t.data.(index_of t asg)
+
+let position t v =
+  let rec loop i =
+    if i >= Array.length t.vars then None
+    else if t.vars.(i) = v then Some i
+    else if t.vars.(i) > v then None
+    else loop (i + 1)
+  in
+  loop 0
+
+let union_vars a b =
+  let out = ref [] in
+  let i = ref 0 and j = ref 0 in
+  let na = Array.length a.vars and nb = Array.length b.vars in
+  while !i < na || !j < nb do
+    if !i >= na then begin
+      out := (b.vars.(!j), b.cards.(!j)) :: !out;
+      incr j
+    end
+    else if !j >= nb then begin
+      out := (a.vars.(!i), a.cards.(!i)) :: !out;
+      incr i
+    end
+    else if a.vars.(!i) < b.vars.(!j) then begin
+      out := (a.vars.(!i), a.cards.(!i)) :: !out;
+      incr i
+    end
+    else if a.vars.(!i) > b.vars.(!j) then begin
+      out := (b.vars.(!j), b.cards.(!j)) :: !out;
+      incr j
+    end
+    else begin
+      if a.cards.(!i) <> b.cards.(!j) then
+        invalid_arg "Factor.product: cardinality disagreement";
+      out := (a.vars.(!i), a.cards.(!i)) :: !out;
+      incr i;
+      incr j
+    end
+  done;
+  let pairs = Array.of_list (List.rev !out) in
+  (Array.map fst pairs, Array.map snd pairs)
+
+let product a b =
+  let uvars, ucards = union_vars a b in
+  let n = Array.length uvars in
+  let usize = table_size ucards in
+  (* Precompute, for each union variable, its stride in a and in b (0 when
+     absent), so operand indices follow the odometer incrementally. *)
+  let sa = strides a.cards and sb = strides b.cards in
+  let stride_a = Array.make n 0 and stride_b = Array.make n 0 in
+  for i = 0 to n - 1 do
+    (match position a uvars.(i) with Some p -> stride_a.(i) <- sa.(p) | None -> ());
+    match position b uvars.(i) with Some p -> stride_b.(i) <- sb.(p) | None -> ()
+  done;
+  let digits = Array.make n 0 in
+  let data = Array.make usize 0.0 in
+  let ia = ref 0 and ib = ref 0 in
+  for idx = 0 to usize - 1 do
+    data.(idx) <- a.data.(!ia) *. b.data.(!ib);
+    (* advance odometer from the last (fastest) digit *)
+    let k = ref (n - 1) in
+    let carry = ref (idx < usize - 1) in
+    while !carry && !k >= 0 do
+      let d = digits.(!k) + 1 in
+      if d = ucards.(!k) then begin
+        digits.(!k) <- 0;
+        ia := !ia - ((ucards.(!k) - 1) * stride_a.(!k));
+        ib := !ib - ((ucards.(!k) - 1) * stride_b.(!k));
+        decr k
+      end
+      else begin
+        digits.(!k) <- d;
+        ia := !ia + stride_a.(!k);
+        ib := !ib + stride_b.(!k);
+        carry := false
+      end
+    done
+  done;
+  { vars = uvars; cards = ucards; data }
+
+let remove_at arr i =
+  Array.init (Array.length arr - 1) (fun j -> if j < i then arr.(j) else arr.(j + 1))
+
+let sum_out t v =
+  match position t v with
+  | None -> t
+  | Some p ->
+    let n = Array.length t.vars in
+    let card_v = t.cards.(p) in
+    let s = strides t.cards in
+    let new_vars = remove_at t.vars p and new_cards = remove_at t.cards p in
+    let new_size = table_size new_cards in
+    let data = Array.make new_size 0.0 in
+    (* Iterate original table; map each index to the reduced index. *)
+    let digits = Array.make n 0 in
+    let old_size = Array.length t.data in
+    for idx = 0 to old_size - 1 do
+      let rem = ref idx in
+      for i = n - 1 downto 0 do
+        digits.(i) <- !rem mod t.cards.(i);
+        rem := !rem / t.cards.(i)
+      done;
+      let reduced = (idx - (digits.(p) * s.(p))) in
+      (* reduced is the index with digit p set to zero; compress out the gap *)
+      let hi = reduced / (s.(p) * card_v) and lo = reduced mod s.(p) in
+      data.((hi * s.(p)) + lo) <- data.((hi * s.(p)) + lo) +. t.data.(idx)
+    done;
+    { vars = new_vars; cards = new_cards; data }
+
+let restrict t v x =
+  match position t v with
+  | None -> t
+  | Some p ->
+    if x < 0 || x >= t.cards.(p) then invalid_arg "Factor.restrict: value out of range";
+    let s = strides t.cards in
+    let card_v = t.cards.(p) in
+    let new_vars = remove_at t.vars p and new_cards = remove_at t.cards p in
+    let new_size = table_size new_cards in
+    let data = Array.make new_size 0.0 in
+    for j = 0 to new_size - 1 do
+      let hi = j / s.(p) and lo = j mod s.(p) in
+      data.(j) <- t.data.((hi * s.(p) * card_v) + (x * s.(p)) + lo)
+    done;
+    { vars = new_vars; cards = new_cards; data }
+
+let observe t v allowed =
+  match position t v with
+  | None -> t
+  | Some p ->
+    let n = Array.length t.vars in
+    let data = Array.copy t.data in
+    let digits = Array.make n 0 in
+    for idx = 0 to Array.length data - 1 do
+      let rem = ref idx in
+      for i = n - 1 downto 0 do
+        digits.(i) <- !rem mod t.cards.(i);
+        rem := !rem / t.cards.(i)
+      done;
+      if not (allowed digits.(p)) then data.(idx) <- 0.0
+    done;
+    { t with data }
+
+let total t = Arrayx.sum t.data
+
+let normalize t =
+  let z = total t in
+  if z > 0.0 then { t with data = Array.map (fun x -> x /. z) t.data }
+  else { t with data = Array.make (Array.length t.data) (1.0 /. float_of_int (Array.length t.data)) }
+
+let marginal t keep =
+  let keep_set = Array.to_list keep in
+  Array.fold_left
+    (fun acc v -> if List.mem v keep_set then acc else sum_out acc v)
+    t t.vars
+
+let equal ?(eps = 1e-9) a b =
+  a.vars = b.vars && a.cards = b.cards
+  && Array.for_all2 (fun x y -> Arrayx.float_equal ~eps x y) a.data b.data
+
+let pp ppf t =
+  Format.fprintf ppf "factor over [%s] (%d entries)"
+    (String.concat "," (Array.to_list (Array.map string_of_int t.vars)))
+    (Array.length t.data)

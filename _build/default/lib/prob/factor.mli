@@ -1,0 +1,61 @@
+(** Multi-dimensional potentials over discrete variables.
+
+    A factor maps joint assignments of a set of variables (identified by
+    integer ids, each with a fixed cardinality) to non-negative reals.
+    Factors are the workhorse of Bayesian-network inference: CPDs are
+    converted to factors, and variable elimination repeatedly multiplies
+    factors and sums variables out. *)
+
+type t
+
+val create : vars:int array -> cards:int array -> float array -> t
+(** [create ~vars ~cards data]: [vars] must be strictly increasing;
+    [cards.(i)] is the cardinality of [vars.(i)]; [data] is laid out
+    row-major with the {e last} variable fastest and must have length
+    [prod cards].  Raises [Invalid_argument] on any violation. *)
+
+val of_fun : vars:int array -> cards:int array -> (int array -> float) -> t
+(** Tabulate a function of the joint assignment (assignment array is in
+    [vars] order and reused across calls — copy it if you keep it). *)
+
+val constant : float -> t
+(** Scalar factor over no variables. *)
+
+val vars : t -> int array
+val cards : t -> int array
+val size : t -> int
+(** Number of entries. *)
+
+val data : t -> float array
+(** The underlying table (a copy). *)
+
+val get : t -> int array -> float
+(** [get f asg]: value at the assignment given in [vars f] order. *)
+
+val product : t -> t -> t
+(** Pointwise product over the union of scopes. *)
+
+val sum_out : t -> int -> t
+(** [sum_out f v] marginalizes variable [v] away.  If [v] is not in the
+    scope, [f] is returned unchanged. *)
+
+val restrict : t -> int -> int -> t
+(** [restrict f v x] slices the table at [v = x], removing [v] from the
+    scope.  No-op if [v] is not in scope. *)
+
+val observe : t -> int -> (int -> bool) -> t
+(** [observe f v allowed] zeroes entries whose [v]-value fails [allowed],
+    keeping [v] in scope.  Used for range/set predicates: restricting to a
+    set and later summing [v] out computes P(v ∈ S, ...).  No-op if [v] is
+    not in scope. *)
+
+val total : t -> float
+(** Sum of all entries. *)
+
+val normalize : t -> t
+
+val marginal : t -> int array -> t
+(** [marginal f keep] sums out every variable not in [keep]. *)
+
+val equal : ?eps:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit

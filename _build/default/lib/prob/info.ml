@@ -1,0 +1,44 @@
+open Selest_util
+
+let entropy_of_counts counts =
+  let n = Arrayx.sum counts in
+  if n <= 0.0 then 0.0
+  else
+    let acc = ref 0.0 in
+    Array.iter
+      (fun c -> if c > 0.0 then acc := !acc +. (c /. n *. Arrayx.log2 (c /. n)))
+      counts;
+    -. !acc
+
+(* Accumulate Σ c log c over the cells of a projection of [joint] onto the
+   column positions [dims]; with H(D) = log N - (Σ c log c)/N this is the
+   only statistic entropy computations need. *)
+let sum_clogc joint dims =
+  let m = Contingency.marginal joint dims in
+  let acc = ref 0.0 in
+  Contingency.iter m (fun _ c -> acc := !acc +. Arrayx.xlogx c);
+  !acc
+
+let entropy_of_projection joint dims =
+  let n = Contingency.total joint in
+  if n <= 0.0 then 0.0 else Arrayx.log2 n -. (sum_clogc joint dims /. n)
+
+let sorted_union a b =
+  let l = Array.to_list a @ Array.to_list b in
+  let l = List.sort_uniq compare l in
+  Array.of_list l
+
+let mutual_information joint xs ys =
+  (* I(X;Y) = H(X) + H(Y) - H(X,Y), all from one contingency pass. *)
+  let hx = entropy_of_projection joint xs in
+  let hy = entropy_of_projection joint ys in
+  let hxy = entropy_of_projection joint (sorted_union xs ys) in
+  Float.max 0.0 (hx +. hy -. hxy)
+
+let conditional_entropy joint ~parent_dims ~child_dim =
+  let all = sorted_union parent_dims [| child_dim |] in
+  entropy_of_projection joint all -. entropy_of_projection joint parent_dims
+
+let loglik_of_counts joint ~parent_dims ~child_dim =
+  let n = Contingency.total joint in
+  -.n *. conditional_entropy joint ~parent_dims ~child_dim

@@ -1,0 +1,23 @@
+(** Information-theoretic quantities on count data (Sec. 4.1, 4.3.1).
+
+    All logarithms are base 2 (bits), matching the description-length view
+    of the paper's scoring function. *)
+
+val entropy_of_counts : float array -> float
+(** Entropy of the empirical distribution of a count vector. *)
+
+val mutual_information : Contingency.t -> int array -> int array -> float
+(** [mutual_information joint xs ys]: empirical mutual information
+    I(X; Y) between the column groups at positions [xs] and [ys] of the
+    contingency table (positions strictly increasing within each group,
+    disjoint).  Always >= 0 up to rounding. *)
+
+val loglik_of_counts : Contingency.t -> parent_dims:int array -> child_dim:int -> float
+(** [loglik_of_counts joint ~parent_dims ~child_dim]: the maximized data
+    log-likelihood (in bits) of the conditional family
+    P(child | parents) when parameters are the empirical conditional
+    frequencies — i.e. [-N * H(child | parents)].  This is the local score
+    of Eq. (5) up to the constant. *)
+
+val conditional_entropy : Contingency.t -> parent_dims:int array -> child_dim:int -> float
+(** Empirical H(child | parents) in bits. *)

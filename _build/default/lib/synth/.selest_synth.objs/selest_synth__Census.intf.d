@@ -1,0 +1,1 @@
+lib/synth/census.mli: Selest_db

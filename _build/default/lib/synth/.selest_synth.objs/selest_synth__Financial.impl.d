@@ -1,0 +1,1 @@
+lib/synth/financial.ml: Array Database Gen Rng Schema Selest_db Selest_util Table Value

@@ -1,0 +1,1 @@
+lib/synth/financial.mli: Selest_db

@@ -1,0 +1,1 @@
+lib/synth/gen.ml: Array Float List Rng Selest_util

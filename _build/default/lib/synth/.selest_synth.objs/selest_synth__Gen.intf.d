@@ -1,0 +1,1 @@
+lib/synth/gen.mli: Rng Selest_util

@@ -1,0 +1,1 @@
+lib/synth/tb.ml: Array Database Float Gen Rng Schema Selest_db Selest_util Table Value

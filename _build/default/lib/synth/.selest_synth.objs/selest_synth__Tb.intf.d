@@ -1,0 +1,1 @@
+lib/synth/tb.mli: Selest_db

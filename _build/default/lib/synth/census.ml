@@ -1,0 +1,194 @@
+open Selest_util
+open Selest_db
+
+let table_name = "person"
+
+let attr_names =
+  [| "Age"; "WorkerClass"; "Education"; "MaritalStatus"; "Industry"; "Race"; "Sex";
+     "ChildSupport"; "Earner"; "Children"; "Income"; "EmployType" |]
+
+(* Domain sizes follow the paper (Sec. 2.2): 18, 9, 17, 7, 24, 5, 2, 3, 3,
+   3, 42, 4.  Age is in 5-year buckets, Income in 42 bands. *)
+let cards = [| 18; 9; 17; 7; 24; 5; 2; 3; 3; 3; 42; 4 |]
+
+let schema =
+  Schema.create
+    [ Schema.table_schema ~name:table_name
+        ~attrs:
+          (Array.to_list
+             (Array.mapi (fun i name -> (name, Value.ints cards.(i))) attr_names))
+        () ]
+
+let default_rows = 150_000
+
+(* Attribute positions, for readability below. *)
+let i_age = 0
+and i_workerclass = 1
+and i_education = 2
+and i_marital = 3
+and i_industry = 4
+and i_race = 5
+and i_sex = 6
+and i_childsupport = 7
+and i_earner = 8
+and i_children = 9
+and i_income = 10
+and i_employtype = 11
+
+(* Marital codes. *)
+let m_never = 0
+and m_married = 1
+and m_divorced = 2
+and m_separated = 3
+and _m_widowed = 4
+
+(* Children codes: 0 = N/A (not a householder), 1 = yes, 2 = no. *)
+
+let age_marginal =
+  (* Mild baby-boom hump around buckets 5-9 (ages 25-49). *)
+  [| 7.0; 7.0; 7.0; 7.2; 7.6; 8.2; 8.4; 8.2; 7.8; 7.2; 6.2; 5.2; 4.2; 3.6; 3.0; 2.4;
+     1.6; 1.2 |]
+
+let sample_age rng = Rng.categorical rng age_marginal
+let sample_sex rng = Rng.categorical rng [| 0.51; 0.49 |]
+let sample_race rng = Rng.categorical rng [| 0.72; 0.12; 0.08; 0.05; 0.03 |]
+
+let sample_education rng ~age =
+  if age <= 2 then min 16 (age * 4)
+  else if age = 3 then Gen.normal_bucket rng ~mean:10.0 ~sd:1.5 ~card:17
+  else
+    (* Older cohorts have slightly lower educational attainment. *)
+    let mean = 11.5 -. (0.15 *. float_of_int (max 0 (age - 6))) in
+    Gen.normal_bucket rng ~mean ~sd:2.8 ~card:17
+
+let sample_marital rng ~age =
+  let w =
+    if age < 4 then [| 100.0; 0.5; 0.1; 0.1; 0.0; 0.3; 0.1 |]
+    else if age < 6 then [| 45.0; 40.0; 5.0; 2.0; 0.3; 7.0; 0.7 |]
+    else if age < 10 then [| 16.0; 58.0; 13.0; 4.0; 1.0; 7.0; 1.0 |]
+    else if age < 13 then [| 7.0; 62.0; 15.0; 3.0; 6.0; 6.0; 1.0 |]
+    else [| 4.0; 48.0; 10.0; 2.0; 32.0; 3.0; 1.0 |]
+  in
+  Rng.categorical rng w
+
+let sample_workerclass rng ~age ~education =
+  (* 0 private, 1 self-emp-inc, 2 self-emp-uninc, 3 federal, 4 state,
+     5 local, 6 unpaid, 7 never-worked, 8 n/a (children / retired). *)
+  if age < 3 then 8
+  else if age >= 14 then Rng.categorical rng [| 12.0; 2.0; 3.0; 1.0; 1.0; 1.0; 1.0; 4.0; 75.0 |]
+  else
+    let e = float_of_int education in
+    Rng.categorical rng
+      [| 55.0 +. e; 1.0 +. (0.4 *. e); 4.0; 1.0 +. (0.3 *. e); 2.0 +. (0.3 *. e);
+         3.0 +. (0.2 *. e); 1.5; 6.0 -. (0.3 *. e); 12.0 -. (0.5 *. e) |]
+
+let sample_industry rng ~workerclass ~education =
+  (* 24 industries; government classes concentrate on public administration
+     (21-23); the educated concentrate on professional industries (14-20). *)
+  let base = Array.make 24 1.0 in
+  (match workerclass with
+  | 3 | 4 | 5 ->
+    base.(21) <- 20.0;
+    base.(22) <- 14.0;
+    base.(23) <- 10.0
+  | 1 | 2 ->
+    base.(4) <- 8.0;
+    base.(10) <- 8.0;
+    base.(13) <- 6.0
+  | 7 | 8 -> Array.fill base 0 24 0.0; base.(0) <- 1.0
+  | _ ->
+    if education >= 12 then
+      for i = 14 to 20 do base.(i) <- 7.0 done
+    else
+      for i = 1 to 9 do base.(i) <- 5.0 done);
+  Rng.categorical rng base
+
+let sample_employtype rng ~age ~workerclass =
+  (* 0 full-time, 1 part-time, 2 unemployed, 3 not-in-labor-force. *)
+  if age < 3 then 3
+  else
+    match workerclass with
+    | 7 | 8 -> if Rng.float rng < 0.92 then 3 else 2
+    | _ ->
+      if age >= 13 then Rng.categorical rng [| 12.0; 10.0; 2.0; 76.0 |]
+      else if age = 3 then Rng.categorical rng [| 35.0; 45.0; 8.0; 12.0 |]
+      else Rng.categorical rng [| 70.0; 15.0; 6.0; 9.0 |]
+
+let sample_income rng ~age ~education ~employtype =
+  (* 42 income bands.  Education dominates, with an age-experience hump and
+     a strong employment-status effect: the signature correlated triple the
+     attribute-value-independence assumption gets wrong. *)
+  match employtype with
+  | 3 -> if Rng.float rng < 0.75 then 0 else Gen.normal_bucket rng ~mean:3.0 ~sd:2.5 ~card:42
+  | 2 -> Gen.normal_bucket rng ~mean:2.5 ~sd:2.0 ~card:42
+  | _ ->
+    let experience = float_of_int (min age 10) in
+    let e = float_of_int education in
+    let mean =
+      1.0 +. (1.55 *. Float.max 0.0 (e -. 4.0)) +. (1.3 *. experience)
+      +. (if employtype = 1 then -6.0 else 0.0)
+    in
+    Gen.normal_bucket rng ~mean ~sd:4.0 ~card:42
+
+let sample_earner rng ~income ~employtype =
+  (* 0 non-earner, 1 secondary earner, 2 primary earner. *)
+  if employtype = 3 && income = 0 then
+    Rng.categorical rng [| 92.0; 6.0; 2.0 |]
+  else if income < 5 then Rng.categorical rng [| 55.0; 30.0; 15.0 |]
+  else if income < 15 then Rng.categorical rng [| 8.0; 42.0; 50.0 |]
+  else Rng.categorical rng [| 2.0; 18.0; 80.0 |]
+
+let sample_children rng ~income ~age ~marital =
+  (* Mirrors the CPD tree of Fig. 2(b): children in the household are
+     determined by income, age and marital status; education matters only
+     through income. *)
+  if age < 4 then if Rng.float rng < 0.97 then 0 else 2
+  else if age >= 11 then Rng.categorical rng [| 5.0; 7.0; 88.0 |]
+  else if marital = m_married then
+    if income >= 7 then Rng.categorical rng [| 3.0; 72.0; 25.0 |]
+    else Rng.categorical rng [| 6.0; 55.0; 39.0 |]
+  else if marital = m_never then
+    if income >= 7 then Rng.categorical rng [| 22.0; 13.0; 65.0 |]
+    else Rng.categorical rng [| 30.0; 22.0; 48.0 |]
+  else Rng.categorical rng [| 10.0; 38.0; 52.0 |]
+
+let sample_childsupport rng ~marital ~children =
+  (* 0 none, 1 receives, 2 pays. *)
+  if (marital = m_divorced || marital = m_separated) && children = 1 then
+    Rng.categorical rng [| 45.0; 40.0; 15.0 |]
+  else if marital = m_divorced || marital = m_separated then
+    Rng.categorical rng [| 70.0; 8.0; 22.0 |]
+  else if children = 1 then Rng.categorical rng [| 93.0; 4.0; 3.0 |]
+  else Rng.categorical rng [| 98.5; 0.5; 1.0 |]
+
+let generate ?(rows = default_rows) ~seed () =
+  let rng = Rng.create (seed lxor 0x5EC5) in
+  let cols = Array.map (fun c -> ignore c; Array.make rows 0) cards in
+  for r = 0 to rows - 1 do
+    let age = sample_age rng in
+    let sex = sample_sex rng in
+    let race = sample_race rng in
+    let education = sample_education rng ~age in
+    let marital = sample_marital rng ~age in
+    let workerclass = sample_workerclass rng ~age ~education in
+    let industry = sample_industry rng ~workerclass ~education in
+    let employtype = sample_employtype rng ~age ~workerclass in
+    let income = sample_income rng ~age ~education ~employtype in
+    let earner = sample_earner rng ~income ~employtype in
+    let children = sample_children rng ~income ~age ~marital in
+    let childsupport = sample_childsupport rng ~marital ~children in
+    cols.(i_age).(r) <- age;
+    cols.(i_workerclass).(r) <- workerclass;
+    cols.(i_education).(r) <- education;
+    cols.(i_marital).(r) <- marital;
+    cols.(i_industry).(r) <- industry;
+    cols.(i_race).(r) <- race;
+    cols.(i_sex).(r) <- sex;
+    cols.(i_childsupport).(r) <- childsupport;
+    cols.(i_earner).(r) <- earner;
+    cols.(i_children).(r) <- children;
+    cols.(i_income).(r) <- income;
+    cols.(i_employtype).(r) <- employtype
+  done;
+  let ts = Schema.find_table schema table_name in
+  Database.create schema [ Table.create ts ~cols ~fk_cols:[||] ]

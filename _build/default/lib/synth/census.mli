@@ -1,0 +1,21 @@
+(** Census-like single-table dataset (substitute for the 1993 CPS extract).
+
+    One table ["person"] with the paper's 12 attributes and domain sizes.
+    Rows are sampled from a hand-specified generative model with the
+    dependency structure described in the paper's running examples:
+    income is driven by education, age and employment; home/children status
+    is mediated by income, age and marital status; education and child
+    status are correlated {e only} through those mediators, planting
+    the conditional independencies a Bayesian network should discover. *)
+
+val table_name : string
+val attr_names : string array
+(** Age, WorkerClass, Education, MaritalStatus, Industry, Race, Sex,
+    ChildSupport, Earner, Children, Income, EmployType. *)
+
+val schema : Selest_db.Schema.t
+val default_rows : int
+(** 150_000, the paper's dataset size. *)
+
+val generate : ?rows:int -> seed:int -> unit -> Selest_db.Database.t
+(** Deterministic in [(rows, seed)]. *)

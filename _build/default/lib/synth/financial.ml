@@ -1,0 +1,155 @@
+open Selest_util
+open Selest_db
+
+let default_districts = 77
+let default_accounts = 4_500
+let default_transactions = 106_000
+
+let schema =
+  Schema.create
+    [ Schema.table_schema ~name:"district"
+        ~attrs:
+          [ ("Region", Value.ints 8);
+            ("Size", Value.labeled ~ordinal:true [| "rural"; "town"; "city" |]);
+            ("AvgSalary", Value.labeled ~ordinal:true
+               [| "verylow"; "low"; "mid"; "high"; "veryhigh" |]);
+            ("Unemployment", Value.labeled ~ordinal:true [| "low"; "mid"; "high" |]) ]
+        ();
+      Schema.table_schema ~name:"account"
+        ~attrs:
+          [ ("Frequency", Value.labeled [| "monthly"; "weekly"; "after-tx" |]);
+            ("OpenEra", Value.labeled ~ordinal:true [| "93"; "94"; "95"; "96"; "97" |]);
+            ("Balance", Value.labeled ~ordinal:true
+               [| "b0"; "b1"; "b2"; "b3"; "b4"; "b5" |]);
+            ("CardType", Value.labeled [| "none"; "junior"; "classic"; "gold" |]) ]
+        ~fks:[ ("district", "district") ] ();
+      Schema.table_schema ~name:"transaction"
+        ~attrs:
+          [ ("TxType", Value.labeled [| "credit"; "withdrawal"; "transfer" |]);
+            ("Operation", Value.labeled
+               [| "cash"; "card"; "bank-remittance"; "standing-order"; "interest" |]);
+            ("Amount", Value.labeled ~ordinal:true
+               [| "a0"; "a1"; "a2"; "a3"; "a4"; "a5"; "a6"; "a7" |]);
+            ("Channel", Value.labeled [| "branch"; "atm"; "electronic" |]) ]
+        ~fks:[ ("account", "account") ] () ]
+
+let generate ?(districts = default_districts) ?(accounts = default_accounts)
+    ?(transactions = default_transactions) ~seed () =
+  let rng = Rng.create (seed lxor 0xF1A) in
+  (* --- districts ------------------------------------------------------ *)
+  let d_region = Array.make districts 0 in
+  let d_size = Array.make districts 0 in
+  let d_salary = Array.make districts 0 in
+  let d_unemp = Array.make districts 0 in
+  for d = 0 to districts - 1 do
+    let region = Rng.categorical rng (Array.make 8 1.0) in
+    (* Region 0 is the capital region: urban and rich. *)
+    let size =
+      if region = 0 then Rng.categorical rng [| 5.0; 20.0; 75.0 |]
+      else Rng.categorical rng [| 40.0; 42.0; 18.0 |]
+    in
+    let salary =
+      match size with
+      | 2 -> Rng.categorical rng [| 2.0; 8.0; 30.0; 40.0; 20.0 |]
+      | 1 -> Rng.categorical rng [| 10.0; 30.0; 40.0; 16.0; 4.0 |]
+      | _ -> Rng.categorical rng [| 30.0; 40.0; 24.0; 5.0; 1.0 |]
+    in
+    let unemp =
+      if salary >= 3 then Rng.categorical rng [| 70.0; 24.0; 6.0 |]
+      else if salary = 2 then Rng.categorical rng [| 40.0; 42.0; 18.0 |]
+      else Rng.categorical rng [| 15.0; 40.0; 45.0 |]
+    in
+    d_region.(d) <- region;
+    d_size.(d) <- size;
+    d_salary.(d) <- salary;
+    d_unemp.(d) <- unemp
+  done;
+  (* --- accounts ------------------------------------------------------- *)
+  (* Urban districts host disproportionately many accounts. *)
+  let district_weight d =
+    match d_size.(d) with 2 -> 6.0 | 1 -> 2.5 | _ -> 1.0
+  in
+  let a_district =
+    Gen.assign_children rng ~parent_count:districts ~total:accounts ~weight:district_weight
+  in
+  let a_freq = Array.make accounts 0 in
+  let a_era = Array.make accounts 0 in
+  let a_balance = Array.make accounts 0 in
+  let a_card = Array.make accounts 0 in
+  for a = 0 to accounts - 1 do
+    let d = a_district.(a) in
+    (* Balance follows district salary: the cross-FK correlation. *)
+    let balance =
+      Gen.normal_bucket rng ~mean:(0.6 +. (0.85 *. float_of_int d_salary.(d))) ~sd:1.0
+        ~card:6
+    in
+    let freq =
+      if balance >= 4 then Rng.categorical rng [| 55.0; 15.0; 30.0 |]
+      else Rng.categorical rng [| 78.0; 16.0; 6.0 |]
+    in
+    let card =
+      if balance >= 4 then Rng.categorical rng [| 35.0; 2.0; 38.0; 25.0 |]
+      else if balance >= 2 then Rng.categorical rng [| 60.0; 6.0; 30.0; 4.0 |]
+      else Rng.categorical rng [| 85.0; 8.0; 6.5; 0.5 |]
+    in
+    a_freq.(a) <- freq;
+    a_era.(a) <- Rng.categorical rng [| 12.0; 16.0; 22.0; 26.0; 24.0 |];
+    a_balance.(a) <- balance;
+    a_card.(a) <- card
+  done;
+  (* --- transactions --------------------------------------------------- *)
+  (* Join skew: high-balance / after-tx-statement accounts transact far
+     more, the purchases-by-high-income-individuals effect of Sec. 1. *)
+  let account_weight a =
+    let b = float_of_int a_balance.(a) in
+    (1.0 +. (b *. b *. 0.9)) *. (if a_freq.(a) = 2 then 2.2 else 1.0)
+  in
+  let t_account =
+    Gen.assign_children rng ~parent_count:accounts ~total:transactions
+      ~weight:account_weight
+  in
+  let t_type = Array.make transactions 0 in
+  let t_op = Array.make transactions 0 in
+  let t_amount = Array.make transactions 0 in
+  let t_channel = Array.make transactions 0 in
+  for t = 0 to transactions - 1 do
+    let a = t_account.(t) in
+    let balance = a_balance.(a) in
+    let txtype =
+      if balance >= 4 then Rng.categorical rng [| 40.0; 34.0; 26.0 |]
+      else Rng.categorical rng [| 30.0; 55.0; 15.0 |]
+    in
+    let op =
+      match txtype with
+      | 0 -> Rng.categorical rng [| 30.0; 4.0; 40.0; 6.0; 20.0 |]
+      | 1 -> Rng.categorical rng [| 55.0; 30.0; 5.0; 10.0; 0.0 |]
+      | _ -> Rng.categorical rng [| 5.0; 5.0; 55.0; 35.0; 0.0 |]
+    in
+    (* Amount tracks account balance: the attribute pair the paper's FIN
+       select–join queries hit. *)
+    let amount =
+      Gen.normal_bucket rng ~mean:(0.8 +. (1.05 *. float_of_int balance)) ~sd:1.1 ~card:8
+    in
+    let channel =
+      if a_card.(a) >= 2 && op <= 1 then Rng.categorical rng [| 15.0; 55.0; 30.0 |]
+      else if op >= 2 then Rng.categorical rng [| 25.0; 5.0; 70.0 |]
+      else Rng.categorical rng [| 60.0; 30.0; 10.0 |]
+    in
+    t_type.(t) <- txtype;
+    t_op.(t) <- op;
+    t_amount.(t) <- amount;
+    t_channel.(t) <- channel
+  done;
+  let district_table =
+    Table.create (Schema.find_table schema "district")
+      ~cols:[| d_region; d_size; d_salary; d_unemp |] ~fk_cols:[||]
+  in
+  let account_table =
+    Table.create (Schema.find_table schema "account")
+      ~cols:[| a_freq; a_era; a_balance; a_card |] ~fk_cols:[| a_district |]
+  in
+  let transaction_table =
+    Table.create (Schema.find_table schema "transaction")
+      ~cols:[| t_type; t_op; t_amount; t_channel |] ~fk_cols:[| t_account |]
+  in
+  Database.create schema [ district_table; account_table; transaction_table ]

@@ -1,0 +1,25 @@
+(** Financial dataset (substitute for the PKDD'99 discovery-challenge db).
+
+    Three tables joined by foreign keys, at the paper's cardinalities:
+    {ul
+    {- [district] (77 rows): Region, Size, AvgSalary, Unemployment;}
+    {- [account] (4.5K rows): Frequency, OpenEra, Balance, CardType, and a
+       foreign key [district];}
+    {- [transaction] (106K rows): TxType, Operation, Amount, Channel, and a
+       foreign key [account].}}
+
+    Planted phenomena: account balance correlates with district salary
+    (cross-FK correlation); transaction volume per account grows with
+    balance and statement frequency (join skew); transaction amount
+    correlates with account balance (cross-FK correlation used by the
+    paper's select–join suites). *)
+
+val schema : Selest_db.Schema.t
+
+val default_districts : int
+val default_accounts : int
+val default_transactions : int
+
+val generate :
+  ?districts:int -> ?accounts:int -> ?transactions:int -> seed:int -> unit ->
+  Selest_db.Database.t

@@ -1,0 +1,30 @@
+(** Tuberculosis-contact dataset (substitute for the SF TB database).
+
+    Three tables joined by foreign keys:
+    {ul
+    {- [strain] (2K rows): Unique, DrugResist, Lineage;}
+    {- [patient] (2.5K rows): Age, Gender, HIV, USBorn, Homeless, Site, and
+       a foreign key [strain];}
+    {- [contact] (19K rows): Contype, Age, Infected, Gender, and a foreign
+       key [patient].}}
+
+    Planted phenomena, copied from the paper's Sec. 3 narrative:
+    {ul
+    {- join skew patient→strain: US-born patients cluster on non-unique
+       strains (≈3× the foreign-born rate); unique strains join a single
+       patient;}
+    {- join skew contact→patient: middle-aged patients have many more
+       contacts than elderly ones;}
+    {- cross-FK correlation: contact type depends on the patient's age
+       (elderly patients with roommates are rare) and contact infection
+       depends on contact type and the patient's HIV status.}} *)
+
+val schema : Selest_db.Schema.t
+
+val default_patients : int
+val default_contacts : int
+val default_strains : int
+
+val generate :
+  ?patients:int -> ?contacts:int -> ?strains:int -> seed:int -> unit ->
+  Selest_db.Database.t

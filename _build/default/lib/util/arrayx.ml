@@ -1,0 +1,86 @@
+let sum a =
+  (* Kahan summation: count vectors can mix very large and very small
+     magnitudes when weighted by |R|*|S| pair counts. *)
+  let s = ref 0.0 and c = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    let y = a.(i) -. !c in
+    let t = !s +. y in
+    c := t -. !s -. y;
+    s := t
+  done;
+  !s
+
+let sum_int a = Array.fold_left ( + ) 0 a
+
+let normalize a =
+  let t = sum a in
+  if t > 0.0 then Array.map (fun x -> x /. t) a
+  else Array.make (Array.length a) (1.0 /. float_of_int (Array.length a))
+
+let normalize_in_place a =
+  let t = sum a in
+  if t > 0.0 then
+    for i = 0 to Array.length a - 1 do
+      a.(i) <- a.(i) /. t
+    done
+  else begin
+    let u = 1.0 /. float_of_int (Array.length a) in
+    Array.fill a 0 (Array.length a) u
+  end
+
+let max_index a =
+  if Array.length a = 0 then invalid_arg "Arrayx.max_index: empty";
+  let best = ref 0 in
+  for i = 1 to Array.length a - 1 do
+    if a.(i) > a.(!best) then best := i
+  done;
+  !best
+
+let init_matrix rows cols f = Array.init rows (fun i -> Array.init cols (f i))
+
+let fold_lefti f acc a =
+  let acc = ref acc in
+  Array.iteri (fun i x -> acc := f !acc i x) a;
+  !acc
+
+let mean a =
+  let n = Array.length a in
+  if n = 0 then 0.0 else sum a /. float_of_int n
+
+let variance a =
+  let n = Array.length a in
+  if n < 2 then 0.0
+  else begin
+    let m = mean a in
+    let acc = ref 0.0 in
+    Array.iter (fun x -> acc := !acc +. ((x -. m) *. (x -. m))) a;
+    !acc /. float_of_int n
+  end
+
+let median a =
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else begin
+    let b = Array.copy a in
+    Array.sort compare b;
+    if n mod 2 = 1 then b.(n / 2) else (b.((n / 2) - 1) +. b.(n / 2)) /. 2.0
+  end
+
+let percentile a p =
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else begin
+    let b = Array.copy a in
+    Array.sort compare b;
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    let rank = max 1 (min n rank) in
+    b.(rank - 1)
+  end
+
+let log2 x = log x /. log 2.0
+
+let xlogx x = if x <= 0.0 then 0.0 else x *. log2 x
+
+let float_equal ?(eps = 1e-9) a b =
+  let d = abs_float (a -. b) in
+  d <= eps || d <= eps *. Float.max (abs_float a) (abs_float b)

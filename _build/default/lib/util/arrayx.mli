@@ -1,0 +1,40 @@
+(** Array and numeric helpers shared across the library. *)
+
+val sum : float array -> float
+(** Sum using Kahan compensation, stable for long count vectors. *)
+
+val sum_int : int array -> int
+
+val normalize : float array -> float array
+(** Fresh array scaled to sum to 1.  If the input sums to zero the result is
+    uniform. *)
+
+val normalize_in_place : float array -> unit
+
+val max_index : float array -> int
+(** Index of the maximum element (first on ties).  Raises on empty input. *)
+
+val init_matrix : int -> int -> (int -> int -> 'a) -> 'a array array
+
+val fold_lefti : ('acc -> int -> 'a -> 'acc) -> 'acc -> 'a array -> 'acc
+
+val mean : float array -> float
+(** Arithmetic mean; 0 on empty input. *)
+
+val variance : float array -> float
+(** Population variance; 0 on inputs of length < 2. *)
+
+val median : float array -> float
+(** Median (average of middle two for even length); 0 on empty input. *)
+
+val percentile : float array -> float -> float
+(** [percentile a p] for [p] in [\[0,100\]], nearest-rank on a sorted copy. *)
+
+val log2 : float -> float
+
+val xlogx : float -> float
+(** [x *. log2 x] with the convention [xlogx 0. = 0.]. *)
+
+val float_equal : ?eps:float -> float -> float -> bool
+(** Approximate comparison with absolute-or-relative tolerance
+    (default [eps = 1e-9]). *)

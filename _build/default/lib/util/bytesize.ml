@@ -1,0 +1,9 @@
+let per_param = 4
+let per_value = 4
+let params k = k * per_param
+let values k = k * per_value
+
+let pp ppf bytes =
+  if bytes < 1024 then Format.fprintf ppf "%dB" bytes
+  else if bytes < 1024 * 1024 then Format.fprintf ppf "%.1fKB" (float_of_int bytes /. 1024.0)
+  else Format.fprintf ppf "%.2fMB" (float_of_int bytes /. (1024.0 *. 1024.0))

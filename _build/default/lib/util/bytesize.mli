@@ -1,0 +1,23 @@
+(** Uniform storage accounting for estimator models.
+
+    The paper sweeps model accuracy against an allocated storage budget in
+    bytes.  To keep the comparison apples-to-apples every estimator in this
+    library charges the same cost per stored quantity, defined here. *)
+
+val per_param : int
+(** Bytes charged per stored real-valued parameter (CPD entry, histogram
+    bucket count, marginal frequency): 4, matching the single-precision
+    counts used in the paper's experiments. *)
+
+val per_value : int
+(** Bytes charged per stored categorical value (e.g. one attribute of one
+    sampled tuple, or a bucket boundary): 4. *)
+
+val params : int -> int
+(** [params k] = [k * per_param]. *)
+
+val values : int -> int
+(** [values k] = [k * per_value]. *)
+
+val pp : Format.formatter -> int -> unit
+(** Human-readable size ("1.2KB"). *)

@@ -1,0 +1,67 @@
+type align = Left | Right
+
+let looks_numeric s =
+  s <> ""
+  &&
+  match float_of_string_opt s with
+  | Some _ -> true
+  | None -> false
+
+let render ?aligns ~header rows =
+  let ncols =
+    Array.fold_left (fun acc r -> max acc (Array.length r)) (Array.length header) rows
+  in
+  let cell row i = if i < Array.length row then row.(i) else "" in
+  let width i =
+    Array.fold_left
+      (fun acc r -> max acc (String.length (cell r i)))
+      (String.length (cell header i))
+      rows
+  in
+  let widths = Array.init ncols width in
+  let align_of i =
+    match aligns with
+    | Some a when i < Array.length a -> a.(i)
+    | _ ->
+      let numeric =
+        Array.for_all (fun r -> cell r i = "" || looks_numeric (cell r i)) rows
+        && Array.length rows > 0
+      in
+      if numeric then Right else Left
+  in
+  let pad i s =
+    let w = widths.(i) in
+    let n = w - String.length s in
+    if n <= 0 then s
+    else
+      match align_of i with
+      | Left -> s ^ String.make n ' '
+      | Right -> String.make n ' ' ^ s
+  in
+  let line row = String.concat " | " (List.init ncols (fun i -> pad i (cell row i))) in
+  let rule =
+    String.concat "-+-" (List.init ncols (fun i -> String.make widths.(i) '-'))
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (line header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  Array.iter
+    (fun r ->
+      Buffer.add_string buf (line r);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let print ?aligns ~header rows =
+  print_string (render ?aligns ~header rows);
+  flush stdout
+
+let float_cell ?(decimals = 2) x =
+  if Float.is_nan x then "nan"
+  else if Float.is_integer x && abs_float x < 1e15 && decimals = 0 then
+    Printf.sprintf "%.0f" x
+  else if x = Float.infinity then "inf"
+  else if x = Float.neg_infinity then "-inf"
+  else Printf.sprintf "%.*f" decimals x

@@ -1,0 +1,19 @@
+(** Plain-text table rendering for experiment reports.
+
+    Every benchmark figure is printed as an aligned ASCII table so the
+    output of [bench/main.exe] can be diffed against {b EXPERIMENTS.md}. *)
+
+type align = Left | Right
+
+val render : ?aligns:align array -> header:string array -> string array array -> string
+(** [render ~header rows] lays out [rows] under [header] with column
+    separators and a rule under the header.  Ragged rows are padded with
+    empty cells.  Default alignment is [Right] for cells that parse as
+    numbers and [Left] otherwise, overridable per column via [aligns]. *)
+
+val print : ?aligns:align array -> header:string array -> string array array -> unit
+(** [render] followed by [print_string] and a flush. *)
+
+val float_cell : ?decimals:int -> float -> string
+(** Fixed-point formatting used consistently across reports
+    (default 2 decimals); infinities and NaN are rendered symbolically. *)

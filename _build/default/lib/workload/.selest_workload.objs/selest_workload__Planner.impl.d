@@ -1,0 +1,1 @@
+lib/workload/planner.ml: Array List Query Selest_db

@@ -1,0 +1,1 @@
+lib/workload/planner.mli: Selest_db

@@ -1,0 +1,1 @@
+lib/workload/report.ml: Array Arrayx Bytesize Format List Printf Runner Selest_est Selest_util Tablefmt

@@ -1,0 +1,1 @@
+lib/workload/runner.ml: Array Arrayx Contingency List Rng Selest_est Selest_prob Selest_util Suite

@@ -1,0 +1,1 @@
+lib/workload/runner.mli: Selest_db Selest_est Suite

@@ -1,0 +1,1 @@
+lib/workload/suite.ml: Array Database Exec List Query Schema Selest_db Table Value

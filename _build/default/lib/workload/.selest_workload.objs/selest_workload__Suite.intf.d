@@ -1,0 +1,1 @@
+lib/workload/suite.mli: Selest_db Selest_prob

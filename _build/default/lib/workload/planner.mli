@@ -1,0 +1,33 @@
+(** A miniature cost-based join-order planner — the paper's motivating
+    application (Sec. 1: "cost-based query optimizers use intermediate
+    result size estimates to choose the optimal query execution plan").
+
+    Plans are left-deep orders over the query's tuple variables in which
+    every prefix is connected through the query's join clauses.  A plan's
+    cost is the classic sum of intermediate result sizes; cardinalities
+    come from any size oracle, so the same machinery ranks plans with the
+    exact executor, with a PRM, or with a naive AVI estimator — making the
+    impact of estimation quality on plan choice directly measurable. *)
+
+type plan = string list
+(** Tuple variables in join order; the first two form the initial join. *)
+
+val plans : Selest_db.Query.t -> plan list
+(** All connected left-deep orders.  Raises [Invalid_argument] if the
+    query has fewer than two tuple variables or a disconnected join
+    graph. *)
+
+val prefix_query : Selest_db.Query.t -> string list -> Selest_db.Query.t
+(** The sub-query over a plan prefix: those tuple variables, the joins
+    among them, and the selects on them. *)
+
+val plan_cost : (Selest_db.Query.t -> float) -> Selest_db.Query.t -> plan -> float
+(** Sum of the estimated sizes of every strict prefix of length >= 2,
+    plus the final result — the standard C_out cost. *)
+
+val best_plan : (Selest_db.Query.t -> float) -> Selest_db.Query.t -> plan * float
+(** The cost-minimal plan under the given size oracle. *)
+
+val rank_correlation : float list -> float list -> float
+(** Spearman rank correlation between two cost vectors over the same plan
+    list — how faithfully an estimator reproduces the true plan ranking. *)

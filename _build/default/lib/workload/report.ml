@@ -1,0 +1,63 @@
+open Selest_util
+
+let fmt_bytes b = Format.asprintf "%a" Bytesize.pp b
+
+let outcomes_table outcomes =
+  let header = [| "estimator"; "storage"; "avg err %"; "median %"; "p90 %"; "queries"; "skipped" |] in
+  let rows =
+    Array.of_list
+      (List.map
+         (fun o ->
+           [| o.Runner.estimator; fmt_bytes o.Runner.bytes;
+              Tablefmt.float_cell o.Runner.avg_error;
+              Tablefmt.float_cell o.Runner.median_error;
+              Tablefmt.float_cell o.Runner.p90_error;
+              string_of_int o.Runner.n_queries; string_of_int o.Runner.n_unsupported |])
+         outcomes)
+  in
+  Tablefmt.render ~header rows
+
+let sweep_table ~xlabel ~rows =
+  let estimators =
+    match rows with
+    | [] -> []
+    | (_, outcomes) :: _ -> List.map (fun o -> o.Runner.estimator) outcomes
+  in
+  let header =
+    Array.of_list
+      (xlabel :: List.concat_map (fun e -> [ e ^ " err%"; e ^ " size" ]) estimators)
+  in
+  let body =
+    Array.of_list
+      (List.map
+         (fun (x, outcomes) ->
+           Array.of_list
+             (x
+             :: List.concat_map
+                  (fun o ->
+                    [ Tablefmt.float_cell o.Runner.avg_error; fmt_bytes o.Runner.bytes ])
+                  outcomes))
+         rows)
+  in
+  Tablefmt.render ~header body
+
+let scatter_summary a b =
+  if List.length a <> List.length b then
+    invalid_arg "Report.scatter_summary: mismatched query sequences";
+  let err (t, e) = Selest_est.Estimator.adjusted_relative_error ~truth:t ~estimate:e in
+  let wins_a = ref 0 and wins_b = ref 0 and ties = ref 0 in
+  List.iter2
+    (fun pa pb ->
+      let ea = err pa and eb = err pb in
+      if Arrayx.float_equal ~eps:1e-9 ea eb then incr ties
+      else if ea < eb then incr wins_a
+      else incr wins_b)
+    a b;
+  let mean l = Arrayx.mean (Array.of_list (List.map err l)) in
+  Printf.sprintf
+    "queries: %d | first wins: %d | second wins: %d | ties: %d | mean err: %.2f%% vs %.2f%%"
+    (List.length a) !wins_a !wins_b !ties (mean a) (mean b)
+
+let print s =
+  print_string s;
+  flush stdout

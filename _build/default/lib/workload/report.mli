@@ -1,0 +1,18 @@
+(** Text reports for experiment results: the tables the benches print and
+    EXPERIMENTS.md records. *)
+
+val outcomes_table : Runner.outcome list -> string
+(** One row per estimator: storage, average / median / p90 error, counts. *)
+
+val sweep_table :
+  xlabel:string -> rows:(string * Runner.outcome list) list -> string
+(** Accuracy-versus-storage sweeps: one row per x value (budget label),
+    one "name err (bytes)" column pair per estimator. *)
+
+val scatter_summary : (float * float) list -> (float * float) list -> string
+(** Compare two estimators' per-query errors (as in Fig. 5(c)): the
+    fraction of queries where each wins, plus mean errors.  Both lists must
+    come from the same query sequence. *)
+
+val print : string -> unit
+(** [print_string] + flush (symmetry with {!Selest_util.Tablefmt.print}). *)

@@ -1,0 +1,27 @@
+(** Run estimators against suites and aggregate the paper's error metric. *)
+
+type outcome = {
+  estimator : string;
+  bytes : int;
+  avg_error : float;  (** mean adjusted relative error, % *)
+  median_error : float;
+  p90_error : float;
+  n_queries : int;
+  n_unsupported : int;  (** queries the estimator refused (excluded) *)
+}
+
+val run :
+  Selest_db.Database.t -> Suite.t -> Selest_est.Estimator.t -> ?max_queries:int -> ?seed:int ->
+  unit -> outcome
+(** Evaluate every instantiation of the suite (or a deterministic uniform
+    subsample of [max_queries] of them) and aggregate the adjusted relative
+    error against exact ground truth. *)
+
+val run_all :
+  Selest_db.Database.t -> Suite.t -> Selest_est.Estimator.t list -> ?max_queries:int ->
+  ?seed:int -> unit -> outcome list
+
+val per_query :
+  Selest_db.Database.t -> Suite.t -> Selest_est.Estimator.t -> ?max_queries:int -> ?seed:int ->
+  unit -> (float * float) list
+(** (truth, estimate) pairs, for scatter plots like Fig. 5(c). *)

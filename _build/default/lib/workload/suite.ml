@@ -1,0 +1,33 @@
+open Selest_db
+
+type t = {
+  suite_name : string;
+  skeleton : Query.t;
+  attrs : (string * string) list;
+}
+
+let single_table ~name ~table ~attrs =
+  {
+    suite_name = name;
+    skeleton = Query.create ~tvars:[ ("t", table) ] ();
+    attrs = List.map (fun a -> ("t", a)) attrs;
+  }
+
+let make ~name ~skeleton ~attrs = { suite_name = name; skeleton; attrs }
+
+let attr_card db q tv aname =
+  let tbl = Database.table db (Query.table_of q tv) in
+  Value.card (Schema.attr (Table.schema tbl) aname).Schema.domain
+
+let cards db t =
+  Array.of_list (List.map (fun (tv, a) -> attr_card db t.skeleton tv a) t.attrs)
+
+let n_queries db t = Array.fold_left ( * ) 1 (cards db t)
+
+let query_of_cell t values =
+  if Array.length values <> List.length t.attrs then
+    invalid_arg "Suite.query_of_cell: arity mismatch";
+  let selects = List.mapi (fun i (tv, a) -> Query.eq tv a values.(i)) t.attrs in
+  Query.with_selects t.skeleton selects
+
+let ground_truth db t = Exec.joint_counts db t.skeleton ~keys:t.attrs

@@ -1,0 +1,30 @@
+(** Query suites: the paper's experimental unit (Sec. 5).
+
+    A suite fixes a join skeleton (tuple variables and keyjoins) and a set
+    of attributes, then ranges over {e all} equality instantiations of
+    those attributes — "for each query suite, we averaged the error over
+    all possible instantiations of the selected variables". *)
+
+type t = {
+  suite_name : string;
+  skeleton : Selest_db.Query.t;  (** tuple variables + joins, selects ignored *)
+  attrs : (string * string) list;  (** (tuple variable, attribute) to instantiate *)
+}
+
+val single_table : name:string -> table:string -> attrs:string list -> t
+(** Suite over one tuple variable ["t"]. *)
+
+val make : name:string -> skeleton:Selest_db.Query.t -> attrs:(string * string) list -> t
+
+val cards : Selest_db.Database.t -> t -> int array
+(** Domain size of each swept attribute. *)
+
+val n_queries : Selest_db.Database.t -> t -> int
+(** Product of the attribute cardinalities. *)
+
+val query_of_cell : t -> int array -> Selest_db.Query.t
+(** The equality query selecting the given value combination. *)
+
+val ground_truth : Selest_db.Database.t -> t -> Selest_prob.Contingency.t
+(** Exact result sizes of every instantiation, from one pass
+    ({!Selest_db.Exec.joint_counts} over the skeleton). *)

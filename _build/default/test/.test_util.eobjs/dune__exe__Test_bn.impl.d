@@ -1,0 +1,1 @@
+test/test_bn.ml: Alcotest Array Bn Cpd Dag Data Database Float Learn List Printf QCheck2 QCheck_alcotest Query Score Selest_bn Selest_db Selest_prob Selest_synth Selest_util Table_cpd Tree_cpd Ve

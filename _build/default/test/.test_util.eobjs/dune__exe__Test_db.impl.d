@@ -1,0 +1,1 @@
+test/test_db.ml: Alcotest Array Csv Database Discretize Exec Filename Index Integrity Lazy List QCheck2 QCheck_alcotest Qparse Query Schema Selest_db Selest_prob Selest_synth Sql Sys Table Value

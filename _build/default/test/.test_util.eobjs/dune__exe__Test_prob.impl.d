@@ -1,0 +1,1 @@
+test/test_prob.ml: Alcotest Array Arrayx Contingency Dist Factor Float Info List Option QCheck2 QCheck_alcotest Selest_prob Selest_util

@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Array Data Database Exec Index Integrity Lazy Query Schema Score Selest_bn Selest_db Selest_prob Selest_synth Selest_util Table

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Arrayx Bytesize Filename Float Format Hashtbl List QCheck2 QCheck_alcotest Rng Selest_util Sexp String Sys Tablefmt

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Exec Lazy List Planner Printf Query Report Runner Selest_db Selest_est Selest_prob Selest_synth Selest_workload String Suite

@@ -1,0 +1,519 @@
+open Selest_db
+
+let check_float = Alcotest.(check (float 1e-6))
+
+(* A tiny fixed database: dept(2 attrs) <- emp(2 attrs, fk dept). *)
+let tiny_schema =
+  Schema.create
+    [
+      Schema.table_schema ~name:"dept"
+        ~attrs:[ ("Floor", Value.ints 3); ("Budget", Value.ints 2) ]
+        ();
+      Schema.table_schema ~name:"emp"
+        ~attrs:[ ("Rank", Value.ints 2); ("Age", Value.ints 3) ]
+        ~fks:[ ("dept", "dept") ]
+        ();
+    ]
+
+let tiny_db () =
+  let dept =
+    Table.create (Schema.find_table tiny_schema "dept")
+      ~cols:[| [| 0; 1; 2 |]; [| 0; 1; 1 |] |]
+      ~fk_cols:[||]
+  in
+  let emp =
+    Table.create (Schema.find_table tiny_schema "emp")
+      ~cols:[| [| 0; 0; 1; 1; 0 |]; [| 0; 1; 2; 0; 1 |] |]
+      ~fk_cols:[| [| 0; 0; 1; 2; 2 |] |]
+  in
+  Database.create tiny_schema [ emp; dept ]
+
+(* ---- Value -------------------------------------------------------------- *)
+
+let test_value_domains () =
+  let d = Value.labeled ~ordinal:true [| "lo"; "mid"; "hi" |] in
+  Alcotest.(check int) "card" 3 (Value.card d);
+  Alcotest.(check string) "label" "mid" (Value.label d 1);
+  Alcotest.(check int) "code" 2 (Value.code d "hi");
+  Alcotest.(check bool) "ordinal" true (Value.is_ordinal d);
+  Alcotest.check_raises "duplicate" (Invalid_argument "Value.labeled: duplicate label x")
+    (fun () -> ignore (Value.labeled [| "x"; "x" |]));
+  let r = Value.range 5 8 in
+  Alcotest.(check int) "range card" 4 (Value.card r);
+  Alcotest.(check string) "range label" "7" (Value.label r 2)
+
+(* ---- Schema / Table / Database ----------------------------------------- *)
+
+let test_schema_validation () =
+  Alcotest.check_raises "dup column"
+    (Invalid_argument "Schema: duplicate column A in table t") (fun () ->
+      ignore
+        (Schema.table_schema ~name:"t"
+           ~attrs:[ ("A", Value.ints 2); ("A", Value.ints 2) ]
+           ()));
+  Alcotest.check_raises "unknown fk target"
+    (Invalid_argument "Schema.create: fk t.f references unknown table nowhere") (fun () ->
+      ignore
+        (Schema.create
+           [ Schema.table_schema ~name:"t" ~attrs:[ ("A", Value.ints 2) ]
+               ~fks:[ ("f", "nowhere") ] () ]))
+
+let test_table_validation () =
+  let ts = Schema.table_schema ~name:"t" ~attrs:[ ("A", Value.ints 2) ] () in
+  Alcotest.(check bool) "create ok" true
+    (Table.size (Table.create ts ~cols:[| [| 0; 1 |] |] ~fk_cols:[||]) = 2);
+  Alcotest.check_raises "out of domain"
+    (Invalid_argument "Table.create: t.A value 5 out of domain [0,2)") (fun () ->
+      ignore (Table.create ts ~cols:[| [| 0; 5 |] |] ~fk_cols:[||]))
+
+let test_database_integrity () =
+  let db = tiny_db () in
+  Alcotest.(check int) "emp rows" 5 (Database.n_rows db "emp");
+  Alcotest.(check int) "total" 8 (Database.total_rows db);
+  let report = Integrity.audit db in
+  Alcotest.(check bool) "clean" true (Integrity.is_clean report);
+  Alcotest.(check int) "fanout entries" 1 (List.length report.Integrity.fanouts);
+  let bad_emp =
+    Table.create (Schema.find_table tiny_schema "emp")
+      ~cols:[| [| 0 |]; [| 0 |] |]
+      ~fk_cols:[| [| 9 |] |]
+  in
+  Alcotest.(check bool) "dangling rejected" true
+    (try
+       ignore (Database.create tiny_schema [ bad_emp; Database.table db "dept" ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_index () =
+  let db = tiny_db () in
+  let emp = Database.table db "emp" in
+  let idx = Index.build ~fk_col:(Table.fk_col emp 0) ~target_size:3 in
+  Alcotest.(check (array int)) "children of dept0" [| 0; 1 |] (Index.children idx 0);
+  Alcotest.(check (array int)) "children of dept2" [| 3; 4 |] (Index.children idx 2);
+  Alcotest.(check int) "fanout" 1 (Index.fanout idx 1);
+  Alcotest.(check int) "max fanout" 2 (Index.max_fanout idx);
+  check_float "mean fanout" (5.0 /. 3.0) (Index.mean_fanout idx)
+
+(* ---- Query -------------------------------------------------------------- *)
+
+let test_query_validation () =
+  Alcotest.(check bool) "dup tv rejected" true
+    (try
+       ignore (Query.create ~tvars:[ ("t", "a"); ("t", "b") ] ());
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "undeclared select rejected" true
+    (try
+       ignore (Query.create ~tvars:[ ("t", "a") ] ~selects:[ Query.eq "u" "X" 0 ] ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_pred_holds () =
+  Alcotest.(check bool) "eq" true (Query.pred_holds (Query.Eq 3) 3);
+  Alcotest.(check bool) "in" true (Query.pred_holds (Query.In_set [ 1; 4 ]) 4);
+  Alcotest.(check bool) "range" false (Query.pred_holds (Query.Range (2, 5)) 6)
+
+(* ---- Exec: fixed cases -------------------------------------------------- *)
+
+let test_exec_single_table () =
+  let db = tiny_db () in
+  let q =
+    Query.create ~tvars:[ ("e", "emp") ] ~selects:[ Query.eq "e" "Rank" 0 ] ()
+  in
+  check_float "rank=0" 3.0 (Exec.query_size db q);
+  let q2 =
+    Query.create ~tvars:[ ("e", "emp") ]
+      ~selects:[ Query.eq "e" "Rank" 0; Query.range "e" "Age" 1 2 ]
+      ()
+  in
+  check_float "conjunction" 2.0 (Exec.query_size db q2)
+
+let test_exec_join () =
+  let db = tiny_db () in
+  let q =
+    Query.create
+      ~tvars:[ ("e", "emp"); ("d", "dept") ]
+      ~joins:[ Query.join ~child:"e" ~fk:"dept" ~parent:"d" ]
+      ~selects:[ Query.eq "d" "Budget" 1 ]
+      ()
+  in
+  check_float "join select" 3.0 (Exec.query_size db q);
+  let q2 =
+    Query.create
+      ~tvars:[ ("e", "emp"); ("d", "dept") ]
+      ~joins:[ Query.join ~child:"e" ~fk:"dept" ~parent:"d" ]
+      ~selects:[ Query.eq "d" "Budget" 1; Query.eq "e" "Rank" 1 ]
+      ()
+  in
+  check_float "both sides" 2.0 (Exec.query_size db q2)
+
+let test_exec_cartesian () =
+  let db = tiny_db () in
+  let q = Query.create ~tvars:[ ("e", "emp"); ("d", "dept") ] () in
+  check_float "cartesian" 15.0 (Exec.query_size db q)
+
+let test_exec_branching_join () =
+  (* Two employee tuple variables joined to the same department: counts
+     pairs of employees in the same department. *)
+  let db = tiny_db () in
+  let q =
+    Query.create
+      ~tvars:[ ("e1", "emp"); ("e2", "emp"); ("d", "dept") ]
+      ~joins:
+        [
+          Query.join ~child:"e1" ~fk:"dept" ~parent:"d";
+          Query.join ~child:"e2" ~fk:"dept" ~parent:"d";
+        ]
+      ()
+  in
+  (* dept fanouts are 2,1,2 -> pairs 4 + 1 + 4 = 9 *)
+  check_float "self-join pairs" 9.0 (Exec.query_size db q);
+  Alcotest.(check bool) "no single base" true (Exec.single_base db q = None)
+
+let test_exec_validate_errors () =
+  let db = tiny_db () in
+  let q =
+    Query.create ~tvars:[ ("e", "emp") ] ~selects:[ Query.eq "e" "Nope" 0 ] ()
+  in
+  Alcotest.(check bool) "bad attr" true
+    (try
+       Exec.validate db q;
+       false
+     with Invalid_argument _ -> true);
+  let q2 =
+    Query.create ~tvars:[ ("e", "emp") ] ~selects:[ Query.eq "e" "Rank" 9 ] ()
+  in
+  Alcotest.(check bool) "bad value" true
+    (try
+       Exec.validate db q2;
+       false
+     with Invalid_argument _ -> true)
+
+let test_exec_resolve_and_counts () =
+  let db = tiny_db () in
+  let q =
+    Query.create
+      ~tvars:[ ("e", "emp"); ("d", "dept") ]
+      ~joins:[ Query.join ~child:"e" ~fk:"dept" ~parent:"d" ]
+      ()
+  in
+  Alcotest.(check (option string)) "base" (Some "e") (Exec.single_base db q);
+  let floors = Exec.resolve_column db q ~base:"e" ~tv:"d" ~attr:"Floor" in
+  Alcotest.(check (array int)) "resolved floors" [| 0; 0; 1; 2; 2 |] floors;
+  let counts = Exec.joint_counts db q ~keys:[ ("e", "Rank"); ("d", "Budget") ] in
+  check_float "joint cell" 2.0 (Selest_prob.Contingency.get counts [| 0; 0 |]);
+  check_float "joint cell 2" 2.0 (Selest_prob.Contingency.get counts [| 1; 1 |]);
+  check_float "joint total" 5.0 (Selest_prob.Contingency.total counts)
+
+(* ---- Exec vs brute force on random databases (qcheck) ------------------- *)
+
+let gen_random_db =
+  let open QCheck2.Gen in
+  let* n_parent = int_range 1 6 in
+  let* n_child = int_range 1 20 in
+  let* parent_col = array_size (pure n_parent) (int_range 0 2) in
+  let* child_col = array_size (pure n_child) (int_range 0 1) in
+  let* fk = array_size (pure n_child) (int_range 0 (n_parent - 1)) in
+  let schema =
+    Schema.create
+      [
+        Schema.table_schema ~name:"p" ~attrs:[ ("X", Value.ints 3) ] ();
+        Schema.table_schema ~name:"c" ~attrs:[ ("Y", Value.ints 2) ]
+          ~fks:[ ("p", "p") ] ();
+      ]
+  in
+  let p = Table.create (Schema.find_table schema "p") ~cols:[| parent_col |] ~fk_cols:[||] in
+  let c = Table.create (Schema.find_table schema "c") ~cols:[| child_col |] ~fk_cols:[| fk |] in
+  pure (Database.create schema [ p; c ])
+
+let brute_force_join_size db ~x ~y =
+  let p = Database.table db "p" and c = Database.table db "c" in
+  let px = Table.col p 0 and cy = Table.col c 0 and fk = Table.fk_col c 0 in
+  let count = ref 0 in
+  for i = 0 to Table.size c - 1 do
+    if cy.(i) = y && px.(fk.(i)) = x then incr count
+  done;
+  float_of_int !count
+
+let prop_exec_matches_brute_force =
+  QCheck2.Test.make ~name:"exec join = brute force" ~count:200 gen_random_db (fun db ->
+      let ok = ref true in
+      for x = 0 to 2 do
+        for y = 0 to 1 do
+          let q =
+            Query.create
+              ~tvars:[ ("c", "c"); ("p", "p") ]
+              ~joins:[ Query.join ~child:"c" ~fk:"p" ~parent:"p" ]
+              ~selects:[ Query.eq "p" "X" x; Query.eq "c" "Y" y ]
+              ()
+          in
+          if Exec.query_size db q <> brute_force_join_size db ~x ~y then ok := false
+        done
+      done;
+      !ok)
+
+let prop_joint_counts_match_query_size =
+  QCheck2.Test.make ~name:"joint_counts cells = per-query sizes" ~count:100 gen_random_db
+    (fun db ->
+      let skeleton =
+        Query.create
+          ~tvars:[ ("c", "c"); ("p", "p") ]
+          ~joins:[ Query.join ~child:"c" ~fk:"p" ~parent:"p" ]
+          ()
+      in
+      let counts = Exec.joint_counts db skeleton ~keys:[ ("c", "Y"); ("p", "X") ] in
+      let ok = ref true in
+      for y = 0 to 1 do
+        for x = 0 to 2 do
+          let q =
+            Query.with_selects skeleton [ Query.eq "c" "Y" y; Query.eq "p" "X" x ]
+          in
+          if
+            abs_float
+              (Selest_prob.Contingency.get counts [| y; x |] -. Exec.query_size db q)
+            > 1e-9
+          then ok := false
+        done
+      done;
+      !ok)
+
+(* ---- Csv ----------------------------------------------------------------- *)
+
+let test_csv_roundtrip () =
+  let db = tiny_db () in
+  let dir = Filename.temp_file "selest" "" in
+  Sys.remove dir;
+  Csv.save_database db ~dir;
+  let db2 = Csv.load_database tiny_schema ~dir in
+  Array.iter
+    (fun tbl ->
+      let tbl2 = Database.table db2 (Table.name tbl) in
+      Alcotest.(check int) "size" (Table.size tbl) (Table.size tbl2);
+      Array.iteri
+        (fun ai _ ->
+          Alcotest.(check (array int)) "column" (Table.col tbl ai) (Table.col tbl2 ai))
+        (Table.schema tbl).Schema.attrs)
+    (Database.tables db)
+
+let test_csv_bad_label () =
+  let db = tiny_db () in
+  let dir = Filename.temp_file "selest" "" in
+  Sys.remove dir;
+  Csv.save_database db ~dir;
+  let path = Filename.concat dir "dept.csv" in
+  let oc = open_out path in
+  output_string oc "Floor,Budget\n0,0\nbogus,1\n";
+  close_out oc;
+  Alcotest.(check bool) "unknown label fails" true
+    (try
+       ignore (Csv.load_database tiny_schema ~dir);
+       false
+     with Failure _ -> true)
+
+(* ---- Discretize ---------------------------------------------------------- *)
+
+let test_discretize_equi_width () =
+  let d = Discretize.equi_width ~card:10 ~bins:3 in
+  Alcotest.(check int) "bins" 3 d.Discretize.n_bins;
+  Alcotest.(check int) "covers all" 10 (Array.length d.Discretize.bin_of);
+  Alcotest.(check int) "width total" 10 (Array.fold_left ( + ) 0 d.Discretize.width);
+  Alcotest.(check bool) "in range" true
+    (Array.for_all (fun i -> i >= 0 && i < 3) d.Discretize.bin_of)
+
+let test_discretize_equi_depth () =
+  (* Heavily skewed column: equi-depth should isolate the heavy value. *)
+  let column = Array.append (Array.make 90 0) (Array.init 10 (fun i -> 1 + (i mod 9))) in
+  let d = Discretize.equi_depth ~column ~card:10 ~bins:2 in
+  Alcotest.(check int) "bins" 2 d.Discretize.n_bins;
+  Alcotest.(check int) "heavy value alone" 0 d.Discretize.bin_of.(0);
+  Alcotest.(check int) "rest together" 1 d.Discretize.bin_of.(5)
+
+let test_discretize_apply_and_base () =
+  let d = Discretize.equi_width ~card:6 ~bins:2 in
+  let mapped = Discretize.apply d [| 0; 5; 3 |] in
+  Alcotest.(check (array int)) "mapped" [| 0; 1; 1 |] mapped;
+  check_float "base estimate" (30.0 /. 3.0)
+    (Discretize.base_estimate d ~bucket_estimate:30.0 ~bin:0);
+  let dom = Discretize.domain d (Value.ints 6) in
+  Alcotest.(check int) "bucket domain" 2 (Value.card dom)
+
+
+(* ---- Qparse ---------------------------------------------------------------- *)
+
+let test_qparse_basic () =
+  let db = tiny_db () in
+  let q =
+    Qparse.parse db ~tvars:[ "e=emp"; "d=dept" ] ~joins:[ "e.dept=d" ]
+      ~selects:[ "e.Rank=1"; "d.Budget=0" ] ()
+  in
+  check_float "parsed query evaluates" (Exec.query_size db q) 0.0;
+  let q2 = Qparse.parse db ~tvars:[ "e=emp" ] ~selects:[ "e.Age=0..1" ] () in
+  check_float "range" 4.0 (Exec.query_size db q2);
+  let q3 = Qparse.parse db ~tvars:[ "e=emp" ] ~selects:[ "e.Age={0,2}" ] () in
+  check_float "set" 3.0 (Exec.query_size db q3)
+
+let test_qparse_bare_table () =
+  let db = tiny_db () in
+  (* bare table name binds a tuple variable of the same name *)
+  let q = Qparse.parse db ~tvars:[ "emp" ] ~selects:[ "emp.Rank=0" ] () in
+  check_float "bare binding" 3.0 (Exec.query_size db q)
+
+let test_qparse_errors () =
+  let db = tiny_db () in
+  let fails f = try f (); false with Failure _ -> true in
+  Alcotest.(check bool) "bad join syntax" true
+    (fails (fun () -> ignore (Qparse.parse db ~tvars:[ "e=emp" ] ~joins:[ "nonsense" ] ())));
+  Alcotest.(check bool) "unknown tv" true
+    (fails (fun () -> ignore (Qparse.parse db ~tvars:[ "e=emp" ] ~selects:[ "z.Rank=0" ] ())));
+  Alcotest.(check bool) "unknown value" true
+    (fails (fun () -> ignore (Qparse.parse db ~tvars:[ "e=emp" ] ~selects:[ "e.Rank=zillion" ] ())));
+  Alcotest.(check bool) "out of range code" true
+    (fails (fun () -> ignore (Qparse.parse db ~tvars:[ "e=emp" ] ~selects:[ "e.Rank=7" ] ())))
+
+(* ---- non-key join exact sizes ------------------------------------------------ *)
+
+let test_nonkey_join_size () =
+  let db = tiny_db () in
+  (* emp x emp joined on equal Age. Age column: 0,1,2,0,1 ->
+     counts 2,2,1 -> pairs 4+4+1 = 9. *)
+  let q1 = Query.create ~tvars:[ ("x", "emp") ] () in
+  let q2 = Query.create ~tvars:[ ("y", "emp") ] () in
+  check_float "self nonkey join" 9.0 (Exec.nonkey_join_size db (q1, "x", "Age") (q2, "y", "Age"));
+  (* with a select on one side: rank=0 has ages 0,1,1 -> sum over v of
+     cnt1(v)*cnt2(v) = 1*2 + 2*2 + 0*1 = 6 *)
+  let q1s = Query.create ~tvars:[ ("x", "emp") ] ~selects:[ Query.eq "x" "Rank" 0 ] () in
+  check_float "selected side" 6.0 (Exec.nonkey_join_size db (q1s, "x", "Age") (q2, "y", "Age"))
+
+
+(* ---- SQL parser ---------------------------------------------------------------- *)
+
+let tb_db = lazy (Selest_synth.Tb.generate ~patients:300 ~contacts:2_000 ~strains:250 ~seed:44 ())
+
+let test_sql_single_table () =
+  let db = tiny_db () in
+  let q = Sql.parse db "SELECT COUNT(*) FROM emp e WHERE e.Rank = 0" in
+  check_float "parses and evaluates" 3.0 (Exec.query_size db q);
+  (* case-insensitive keywords, bare table as tuple variable *)
+  let q2 = Sql.parse db "select count(*) from emp where emp.Rank = 1" in
+  check_float "bare alias" 2.0 (Exec.query_size db q2)
+
+let test_sql_join_forms () =
+  let db = tiny_db () in
+  let expect = 3.0 in
+  (* explicit JOIN ... ON with .id *)
+  let q1 =
+    Sql.parse db
+      "SELECT COUNT(*) FROM emp e JOIN dept d ON e.dept = d.id WHERE d.Budget = 1"
+  in
+  check_float "join on id" expect (Exec.query_size db q1);
+  (* comma-form with WHERE join, bare parent *)
+  let q2 =
+    Sql.parse db "SELECT COUNT(*) FROM emp e, dept d WHERE e.dept = d AND d.Budget = 1"
+  in
+  check_float "comma form" expect (Exec.query_size db q2)
+
+let test_sql_predicates () =
+  let db = Lazy.force tb_db in
+  let q =
+    Sql.parse db
+      "SELECT COUNT(*) FROM contact c JOIN patient p ON c.patient = p.id \
+       WHERE p.Age BETWEEN '35-49' AND '65-79' AND c.Contype IN ('household', 'roommate')"
+  in
+  let manual =
+    Query.create
+      ~tvars:[ ("c", "contact"); ("p", "patient") ]
+      ~joins:[ Query.join ~child:"c" ~fk:"patient" ~parent:"p" ]
+      ~selects:[ Query.range "p" "Age" 2 4; Query.in_set "c" "Contype" [ 0; 1 ] ]
+      ()
+  in
+  check_float "matches manual query" (Exec.query_size db manual) (Exec.query_size db q)
+
+let test_sql_three_table () =
+  let db = Lazy.force tb_db in
+  let q =
+    Sql.parse db
+      "SELECT COUNT(*) FROM contact c JOIN patient p ON c.patient = p.id \
+       JOIN strain s ON p.strain = s.id WHERE s.Unique = yes"
+  in
+  Alcotest.(check int) "three tvars" 3 (List.length q.Query.tvars);
+  Alcotest.(check int) "two joins" 2 (List.length q.Query.joins);
+  Alcotest.(check bool) "evaluates" true (Exec.query_size db q >= 0.0)
+
+let test_sql_integer_codes () =
+  let db = tiny_db () in
+  let q = Sql.parse db "SELECT COUNT(*) FROM emp e WHERE e.Age = 2" in
+  check_float "integer code" 1.0 (Exec.query_size db q)
+
+let test_sql_errors () =
+  let db = tiny_db () in
+  let fails s = try ignore (Sql.parse db s); false with Failure _ -> true in
+  Alcotest.(check bool) "not a count" true (fails "SELECT * FROM emp");
+  Alcotest.(check bool) "unknown table" true (fails "SELECT COUNT(*) FROM nowhere");
+  Alcotest.(check bool) "unknown attr" true
+    (fails "SELECT COUNT(*) FROM emp e WHERE e.Nope = 1");
+  Alcotest.(check bool) "unknown label" true
+    (fails "SELECT COUNT(*) FROM emp e WHERE e.Rank = \'boss\'");
+  Alcotest.(check bool) "trailing garbage" true
+    (fails "SELECT COUNT(*) FROM emp e WHERE e.Rank = 1 ORDER BY x");
+  Alcotest.(check bool) "unterminated string" true
+    (fails "SELECT COUNT(*) FROM emp e WHERE e.Rank = \'ooops");
+  Alcotest.(check bool) "non-keyjoin" true
+    (fails "SELECT COUNT(*) FROM emp e JOIN dept d ON e.dept = d.Budget")
+
+let () =
+  Alcotest.run "db"
+    [
+      ("value", [ Alcotest.test_case "domains" `Quick test_value_domains ]);
+      ( "schema-table",
+        [
+          Alcotest.test_case "schema validation" `Quick test_schema_validation;
+          Alcotest.test_case "table validation" `Quick test_table_validation;
+          Alcotest.test_case "database integrity" `Quick test_database_integrity;
+          Alcotest.test_case "index" `Quick test_index;
+        ] );
+      ( "query",
+        [
+          Alcotest.test_case "validation" `Quick test_query_validation;
+          Alcotest.test_case "pred_holds" `Quick test_pred_holds;
+        ] );
+      ( "exec",
+        [
+          Alcotest.test_case "single table" `Quick test_exec_single_table;
+          Alcotest.test_case "join" `Quick test_exec_join;
+          Alcotest.test_case "cartesian" `Quick test_exec_cartesian;
+          Alcotest.test_case "branching join" `Quick test_exec_branching_join;
+          Alcotest.test_case "validate errors" `Quick test_exec_validate_errors;
+          Alcotest.test_case "resolve and counts" `Quick test_exec_resolve_and_counts;
+        ] );
+      ( "exec-properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_exec_matches_brute_force; prop_joint_counts_match_query_size ] );
+      ( "qparse",
+        [
+          Alcotest.test_case "basic" `Quick test_qparse_basic;
+          Alcotest.test_case "bare table" `Quick test_qparse_bare_table;
+          Alcotest.test_case "errors" `Quick test_qparse_errors;
+        ] );
+      ( "sql",
+        [
+          Alcotest.test_case "single table" `Quick test_sql_single_table;
+          Alcotest.test_case "join forms" `Quick test_sql_join_forms;
+          Alcotest.test_case "predicates" `Quick test_sql_predicates;
+          Alcotest.test_case "three tables" `Quick test_sql_three_table;
+          Alcotest.test_case "integer codes" `Quick test_sql_integer_codes;
+          Alcotest.test_case "errors" `Quick test_sql_errors;
+        ] );
+      ( "nonkey",
+        [ Alcotest.test_case "exact sizes" `Quick test_nonkey_join_size ] );
+      ( "csv",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_csv_roundtrip;
+          Alcotest.test_case "bad label" `Quick test_csv_bad_label;
+        ] );
+      ( "discretize",
+        [
+          Alcotest.test_case "equi-width" `Quick test_discretize_equi_width;
+          Alcotest.test_case "equi-depth" `Quick test_discretize_equi_depth;
+          Alcotest.test_case "apply and base estimate" `Quick test_discretize_apply_and_base;
+        ] );
+    ]
