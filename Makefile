@@ -1,0 +1,29 @@
+SOCKET ?= /tmp/selest-demo.sock
+CLI = dune exec --no-build bin/selest_cli.exe --
+
+.PHONY: build test bench serve-demo clean
+
+build:
+	dune build
+
+test: build
+	dune runtest
+
+bench: build
+	dune exec bench/main.exe
+
+# Smoke-test the estimation service end to end: start a server that learns
+# a PRM over the TB dataset, exercise the whole protocol, shut it down.
+serve-demo: build
+	@rm -f $(SOCKET)
+	@$(CLI) serve -d tb --learn -b 4096 --socket $(SOCKET) & \
+	trap 'kill %1 2>/dev/null' EXIT; \
+	$(CLI) ask --socket $(SOCKET) PING && \
+	$(CLI) ask --socket $(SOCKET) "EST c=contact, p=patient ; c.patient=p ; p.USBorn=yes" && \
+	$(CLI) ask --socket $(SOCKET) "EST p=patient, c=contact ; c.patient=p ; p.USBorn={yes}" && \
+	$(CLI) ask --socket $(SOCKET) STATS && \
+	$(CLI) ask --socket $(SOCKET) SHUTDOWN && \
+	wait
+
+clean:
+	dune clean

@@ -25,7 +25,7 @@ type cfg = {
 let known_figs =
   [
     "sanity"; "4a"; "4b"; "4c"; "5a"; "5b"; "5c"; "6a"; "6b"; "6c"; "7a"; "7b"; "7c";
-    "range"; "structure"; "ablation-score"; "ablation-join"; "bechamel";
+    "range"; "structure"; "ablation-score"; "ablation-join"; "serve-cache"; "bechamel";
   ]
 
 let parse_args () =
@@ -625,6 +625,56 @@ let ablation_join () =
     "BN+UJ: no cross-table parents, uniform joins. PRM-noJ: cross-table parents\n\
      but uniform joins. PRM: full model with join-indicator parents."
 
+(* ---- serving: cached vs uncached estimates ------------------------------------------------ *)
+
+(* Drives the estimation server's full request path (parse, canonicalize,
+   cache, infer) through Server.handle_line, without sockets, so the
+   numbers isolate the service overhead from transport. *)
+let fig_serve_cache () =
+  section "SV1: estimation service — cached vs uncached EST latency (TB 3-table joins)";
+  let db = Lazy.force tb in
+  let model = learn_prm ~budget_bytes:4_500 ~seed:cfg.seed db in
+  let server = Serve.Server.create ~db ~socket:"(bench: transport-free)" () in
+  ignore (Serve.Registry.register (Serve.Server.registry server) ~name:"default" model);
+  let schema = Db.Database.schema db in
+  let card t a =
+    Db.Value.card (Db.Schema.attr (Db.Schema.find_table schema t) a).Db.Schema.domain
+  in
+  let lines =
+    List.concat
+      (List.init (card "contact" "Contype") (fun i ->
+           List.concat
+             (List.init (card "patient" "Age") (fun j ->
+                  List.init (card "strain" "DrugResist") (fun k ->
+                      Printf.sprintf
+                        "EST c=contact, p=patient, s=strain; c.patient=p, p.strain=s; \
+                         c.Contype=%d, p.Age=%d, s.DrugResist=%d"
+                        i j k)))))
+  in
+  let run_pass () =
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun l ->
+        let resp, _ = Serve.Server.handle_line server l in
+        if not (Serve.Protocol.is_ok resp) then failwith resp)
+      lines;
+    (Unix.gettimeofday () -. t0) /. float_of_int (List.length lines) *. 1e6
+  in
+  let cold = run_pass () in
+  let warm_reps = 5 in
+  let warm =
+    List.fold_left ( +. ) 0.0 (List.init warm_reps (fun _ -> run_pass ()))
+    /. float_of_int warm_reps
+  in
+  Printf.printf "%d distinct EST queries, PRM model %dB\n" (List.length lines)
+    (Prm.Model.size_bytes model);
+  Printf.printf "uncached (cold cache): %8.1f us/query\n" cold;
+  Printf.printf "cached   (warm cache): %8.1f us/query  (%.0fx speedup)\n" warm (cold /. warm);
+  let stats, _ = Serve.Server.handle_line server "STATS" in
+  let field k = Option.value ~default:"?" (Serve.Protocol.stats_field stats k) in
+  Printf.printf "server stats: hits=%s misses=%s p50=%sus p99=%sus\n" (field "cache_hits")
+    (field "cache_misses") (field "lat_p50_us") (field "lat_p99_us")
+
 (* ---- bechamel micro-benchmarks ------------------------------------------------------------ *)
 
 let bechamel_suite () =
@@ -708,5 +758,6 @@ let () =
   if wants "structure" then fig_structure ();
   if wants "ablation-score" then ablation_score ();
   if wants "ablation-join" then ablation_join ();
+  if wants "serve-cache" then fig_serve_cache ();
   if wants "bechamel" then bechamel_suite ();
   Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. total_t0)

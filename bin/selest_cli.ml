@@ -1,7 +1,7 @@
 (* selest: command-line interface to the selectivity-estimation library.
 
-   Subcommands: gen, inspect, learn, estimate, compare.  Run
-   `selest <cmd> --help` for details. *)
+   Subcommands: gen, inspect, learn, estimate, compare, plan, sample, serve,
+   ask.  Run `selest <cmd> --help` for details. *)
 
 open Cmdliner
 open Selest
@@ -379,6 +379,98 @@ let sample_cmd =
           synthetic data).")
     Term.(const run $ dataset_arg $ seed_arg $ scale_arg $ from_dir_arg $ budget_arg $ out)
 
+(* ---- serve ---------------------------------------------------------------------- *)
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let serve_cmd =
+  let cache_arg =
+    Arg.(
+      value
+      & opt int (1 lsl 20)
+      & info [ "cache-bytes" ] ~docv:"BYTES" ~doc:"Estimate-cache capacity in bytes.")
+  in
+  let model_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "model" ] ~docv:"FILE"
+          ~doc:"Load $(docv) into the registry as \"default\" before serving.")
+  in
+  let learn_arg =
+    Arg.(
+      value & flag
+      & info [ "learn" ]
+          ~doc:"Learn a PRM from the dataset at start-up and register it as \"default\".")
+  in
+  let run dataset seed scale from_dir budget socket cache_bytes model_file learn verbose =
+    setup_logs verbose;
+    Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info));
+    let db = make_db dataset ~scale ~seed ~from_dir in
+    let server = Serve.Server.create ~cache_bytes ~db ~socket () in
+    (match model_file with
+    | Some path ->
+      let e = Serve.Registry.load (Serve.Server.registry server) ~name:"default" ~path in
+      Printf.printf "loaded default model version %d from %s\n%!" e.Serve.Registry.version path
+    | None -> ());
+    if learn then begin
+      let model = learn_prm ~budget_bytes:budget ~seed db in
+      ignore (Serve.Registry.register (Serve.Server.registry server) ~name:"default" model);
+      Printf.printf "learned default model (%d bytes)\n%!" (Prm.Model.size_bytes model)
+    end;
+    Printf.printf "serving on %s (schema %s)\n%!" socket
+      (Serve.Registry.schema_fingerprint (Serve.Server.registry server));
+    Serve.Server.run server
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the long-lived estimation service on a Unix-domain socket.  Speaks a \
+          line protocol: PING, LOAD <name> <path>, EST [@model] <query>, STATS, \
+          SHUTDOWN.")
+    Term.(
+      const run $ dataset_arg $ seed_arg $ scale_arg $ from_dir_arg $ budget_arg
+      $ socket_arg $ cache_arg $ model_arg $ learn_arg $ verbose_arg)
+
+(* ---- ask ------------------------------------------------------------------------- *)
+
+let ask_cmd =
+  let words_arg =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"WORDS"
+          ~doc:
+            "The request, e.g. PING, STATS, or EST \"c=contact,p=patient; \
+             c.patient=p; p.USBorn=yes\".")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 40
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Connection attempts (50ms apart) while the server starts up.")
+  in
+  let run socket retries words =
+    match
+      Serve.Client.with_connection ~retries ~socket (fun c ->
+          Serve.Client.request c (String.concat " " words))
+    with
+    | response ->
+        print_endline response;
+        if Serve.Protocol.is_err response then exit 1
+    | exception Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "ask: cannot reach server at %s: %s\n" socket
+          (Unix.error_message e);
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "ask"
+       ~doc:"Send one request line to a running estimation service and print the reply.")
+    Term.(const run $ socket_arg $ retries_arg $ words_arg)
+
 (* ---- main ------------------------------------------------------------------------ *)
 
 let () =
@@ -387,4 +479,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ gen_cmd; inspect_cmd; learn_cmd; estimate_cmd; compare_cmd; plan_cmd; sample_cmd ]))
+          [
+            gen_cmd; inspect_cmd; learn_cmd; estimate_cmd; compare_cmd; plan_cmd;
+            sample_cmd; serve_cmd; ask_cmd;
+          ]))

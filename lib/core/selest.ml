@@ -6,6 +6,7 @@ module Bn = Selest_bn
 module Prm = Selest_prm
 module Est = Selest_est
 module Workload = Selest_workload
+module Serve = Selest_serve
 
 let learn_bn ?(budget_bytes = 8192) ?(kind = Selest_bn.Cpd.Trees)
     ?(rule = Selest_bn.Learn.Ssn) ?(seed = 0) table =

@@ -33,6 +33,7 @@ module Bn = Selest_bn
 module Prm = Selest_prm
 module Est = Selest_est
 module Workload = Selest_workload
+module Serve = Selest_serve
 
 (** {1 One-call pipelines} *)
 

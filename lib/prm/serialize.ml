@@ -2,6 +2,21 @@ open Selest_util
 open Selest_db
 open Selest_bn
 
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
+(* Decoding leans on the Sexp accessors, which raise [Failure] on shape
+   errors; [guard] converts anything raised while decoding untrusted input
+   into the one documented exception. *)
+let guard f =
+  try f () with
+  | Error _ as e -> raise e
+  | Failure m -> raise (Error m)
+  | Sys_error m -> raise (Error m)
+  | Not_found -> raise (Error "Serialize: malformed model file")
+  | Invalid_argument m -> raise (Error ("Serialize: " ^ m))
+
 (* ---- schema fingerprint -------------------------------------------------- *)
 
 let schema_sexp schema =
@@ -36,11 +51,16 @@ let schema_sexp schema =
                 ])
             (Schema.tables schema)))
 
+let schema_fingerprint schema = Digest.to_hex (Digest.string (Sexp.to_string (schema_sexp schema)))
+
 let check_schema schema saved =
   let expected = Sexp.to_string (schema_sexp schema) in
   let got = Sexp.to_string saved in
   if expected <> got then
-    failwith "Serialize: saved model's schema fingerprint does not match this database"
+    error
+      "Serialize: saved model's schema fingerprint (%s) does not match this database (%s)"
+      (Digest.to_hex (Digest.string got))
+      (Digest.to_hex (Digest.string expected))
 
 (* ---- parents -------------------------------------------------------------- *)
 
@@ -52,7 +72,7 @@ let parent_of_sexp s =
   match Sexp.as_list s with
   | [ Sexp.Atom "own"; a ] -> Model.Own (Sexp.as_int a)
   | [ Sexp.Atom "foreign"; f; b ] -> Model.Foreign (Sexp.as_int f, Sexp.as_int b)
-  | _ -> failwith "Serialize: malformed parent"
+  | _ -> error "Serialize: malformed parent"
 
 (* ---- CPDs ------------------------------------------------------------------ *)
 
@@ -94,7 +114,7 @@ let rec node_of_sexp s =
         pindex = Sexp.as_int pindex;
         arms = Tree_cpd.Thresh (Sexp.as_int cut, node_of_sexp lo, node_of_sexp hi);
       }
-  | _ -> failwith "Serialize: malformed tree node"
+  | _ -> error "Serialize: malformed tree node"
 
 let cpd_sexp = function
   | Cpd.Table c ->
@@ -134,7 +154,7 @@ let cpd_of_sexp s =
     let parent_ordinal = Array.map (fun i -> i = 1) (int_array_of s "ordinal") in
     let root = node_of_sexp (List.hd (Sexp.field_values s "root")) in
     Cpd.Tree (Tree_cpd.of_tree ~child_card ~parents ~parent_cards ~parent_ordinal root)
-  | _ -> failwith "Serialize: malformed cpd"
+  | _ -> error "Serialize: malformed cpd"
 
 (* ---- model ------------------------------------------------------------------ *)
 
@@ -178,11 +198,12 @@ let to_sexp (model : Model.t) =
     ]
 
 let of_sexp ~schema s =
+  guard @@ fun () ->
   (match Sexp.as_list s with
   | Sexp.Atom "selest-prm" :: _ -> ()
-  | _ -> failwith "Serialize: not a selest-prm file");
+  | _ -> error "Serialize: not a selest-prm file");
   let version = Sexp.as_int (List.hd (Sexp.field_values s "version")) in
-  if version <> 1 then failwith (Printf.sprintf "Serialize: unsupported version %d" version);
+  if version <> 1 then error "Serialize: unsupported version %d" version;
   check_schema schema (Sexp.field s "schema");
   let tables =
     Array.of_list
@@ -200,4 +221,4 @@ let of_sexp ~schema s =
   Model.create schema tables
 
 let save path model = Sexp.save path (to_sexp model)
-let load path ~schema = of_sexp ~schema (Sexp.load path)
+let load path ~schema = guard (fun () -> of_sexp ~schema (Sexp.load path))

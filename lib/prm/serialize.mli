@@ -10,9 +10,25 @@
     Bayesian networks over a single table are PRMs over a one-table schema,
     so this covers them too. *)
 
+exception Error of string
+(** Raised on any failure to decode a saved model: unreadable file,
+    malformed S-expression, wrong file type, unsupported version, or a
+    schema-fingerprint mismatch.  A long-lived process (the estimation
+    service's [LOAD] command in particular) can catch this one exception
+    and turn a bad model file into a protocol error instead of dying. *)
+
+val schema_fingerprint : Selest_db.Schema.t -> string
+(** Hex digest of the schema's canonical serialization: table names,
+    attribute names/cardinalities/ordinality and foreign keys.  Two schemas
+    get the same fingerprint iff a model learned on one is applicable to
+    the other.  Exposed so the serving layer can tag loaded models. *)
+
 val to_sexp : Model.t -> Selest_util.Sexp.t
+
 val of_sexp : schema:Selest_db.Schema.t -> Selest_util.Sexp.t -> Model.t
-(** Raises [Failure] on malformed input or a schema mismatch. *)
+(** Raises {!Error} on malformed input or a schema mismatch. *)
 
 val save : string -> Model.t -> unit
+
 val load : string -> schema:Selest_db.Schema.t -> Model.t
+(** Raises {!Error} on an unreadable or malformed file. *)

@@ -1,0 +1,52 @@
+open Selest_db
+
+let normalize_pred = function
+  | Query.Eq v -> Query.Eq v
+  | Query.In_set vs -> (
+    match List.sort_uniq compare vs with
+    | [ v ] -> Query.Eq v
+    | vs -> Query.In_set vs)
+  | Query.Range (lo, hi) -> if lo = hi then Query.Eq lo else Query.Range (lo, hi)
+
+let normalize (q : Query.t) =
+  let tvars = List.sort compare q.Query.tvars in
+  let joins =
+    List.sort_uniq
+      (fun a b ->
+        compare
+          (a.Query.child_tv, a.Query.fk, a.Query.parent_tv)
+          (b.Query.child_tv, b.Query.fk, b.Query.parent_tv))
+      q.Query.joins
+  in
+  let selects =
+    List.map
+      (fun s -> { s with Query.pred = normalize_pred s.Query.pred })
+      q.Query.selects
+    |> List.sort_uniq (fun a b ->
+           compare
+             (a.Query.sel_tv, a.Query.sel_attr, a.Query.pred)
+             (b.Query.sel_tv, b.Query.sel_attr, b.Query.pred))
+  in
+  Query.create ~tvars ~joins ~selects ()
+
+let pred_str = function
+  | Query.Eq v -> Printf.sprintf "=%d" v
+  | Query.In_set vs ->
+    Printf.sprintf "in{%s}" (String.concat "," (List.map string_of_int vs))
+  | Query.Range (lo, hi) -> Printf.sprintf ":%d..%d" lo hi
+
+let key q =
+  let q = normalize q in
+  let tvars = List.map (fun (tv, t) -> tv ^ "=" ^ t) q.Query.tvars in
+  let joins =
+    List.map
+      (fun j -> Printf.sprintf "%s.%s=%s" j.Query.child_tv j.Query.fk j.Query.parent_tv)
+      q.Query.joins
+  in
+  let selects =
+    List.map
+      (fun s -> Printf.sprintf "%s.%s%s" s.Query.sel_tv s.Query.sel_attr (pred_str s.Query.pred))
+      q.Query.selects
+  in
+  String.concat "|"
+    [ String.concat "&" tvars; String.concat "&" joins; String.concat "&" selects ]

@@ -1,0 +1,27 @@
+(** Canonical cache keys for select–keyjoin queries.
+
+    An optimizer probes the estimation service many times with queries that
+    are written differently but mean the same thing: predicates in a
+    different order, a set predicate listing its values differently, a
+    degenerate range [a..a] instead of an equality.  The estimate cache
+    ({!Lru}) keys on the {e canonical form} so all of them hit the same
+    entry.
+
+    Canonicalization is purely syntactic over the already-coded query: it
+    sorts the tuple-variable bindings, joins and selects, and normalizes
+    each predicate ([In_set] values sorted and deduplicated, singleton sets
+    and one-point ranges collapsed to [Eq]).  It never renames tuple
+    variables, so [p=patient] and [q=patient] remain distinct keys — that
+    is deliberate: the query text reaching the service already fixes the
+    variable names, and alpha-equivalence detection would cost more than
+    the duplicate inference it saves. *)
+
+val normalize : Selest_db.Query.t -> Selest_db.Query.t
+(** Same query with sorted clause lists and normalized predicates.
+    Idempotent; the result is semantically equivalent to the input (same
+    {!Selest_db.Query.pred_holds} behaviour on every clause). *)
+
+val key : Selest_db.Query.t -> string
+(** Deterministic rendering of {!normalize}: equal for any two queries that
+    canonicalize identically.  The key does not identify the model; the
+    server prefixes it with the model name and version. *)

@@ -1,0 +1,28 @@
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect ?(retries = 0) ~socket () =
+  let rec attempt left =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX socket) with
+    | () -> { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+    | exception Unix.Unix_error ((ENOENT | ECONNREFUSED), _, _) when left > 0 ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Unix.sleepf 0.05;
+      attempt (left - 1)
+    | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+  in
+  attempt retries
+
+let request t line =
+  output_string t.oc line;
+  output_char t.oc '\n';
+  flush t.oc;
+  input_line t.ic
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let with_connection ?retries ~socket f =
+  let c = connect ?retries ~socket () in
+  Fun.protect ~finally:(fun () -> close c) (fun () -> f c)

@@ -1,0 +1,22 @@
+(** Blocking client for the estimation service.
+
+    One request line in, one response line out ({!Protocol}).  This is
+    what the CLI's [ask] subcommand and the end-to-end tests use; an
+    optimizer embedding would talk to the socket the same way. *)
+
+type t
+
+val connect : ?retries:int -> socket:string -> unit -> t
+(** Connect to a server's Unix-domain socket.  [retries] (default 0)
+    re-attempts with a 50ms pause when the socket does not exist yet or
+    refuses connections — the startup race of a freshly spawned server.
+    Raises [Unix.Unix_error] once the attempts are exhausted. *)
+
+val request : t -> string -> string
+(** Send one request line, wait for the response line.  Raises
+    [End_of_file] if the server hangs up first. *)
+
+val close : t -> unit
+
+val with_connection : ?retries:int -> socket:string -> (t -> 'a) -> 'a
+(** Connect, run, close (also on exceptions). *)

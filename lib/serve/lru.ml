@@ -1,0 +1,106 @@
+open Selest_util
+
+(* Classic hashtable + doubly-linked recency list; every operation is
+   O(1) apart from the eviction sweep, which is amortized O(1). *)
+
+type node = {
+  key : string;
+  mutable value : float;
+  mutable prev : node option;  (* towards the hot (most recent) end *)
+  mutable next : node option;  (* towards the cold end *)
+}
+
+type t = {
+  capacity : int;
+  tbl : (string, node) Hashtbl.t;
+  mutable hot : node option;
+  mutable cold : node option;
+  mutable bytes : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~capacity_bytes =
+  if capacity_bytes <= 0 then
+    invalid_arg "Lru.create: capacity_bytes must be positive";
+  {
+    capacity = capacity_bytes;
+    tbl = Hashtbl.create 256;
+    hot = None;
+    cold = None;
+    bytes = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let entry_bytes key = String.length key + Bytesize.per_param
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.hot <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.cold <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_hot t n =
+  n.next <- t.hot;
+  n.prev <- None;
+  (match t.hot with Some h -> h.prev <- Some n | None -> t.cold <- Some n);
+  t.hot <- Some n
+
+let evict_cold t =
+  match t.cold with
+  | None -> ()
+  | Some n ->
+    unlink t n;
+    Hashtbl.remove t.tbl n.key;
+    t.bytes <- t.bytes - entry_bytes n.key;
+    t.evictions <- t.evictions + 1
+
+let find t key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some n ->
+    t.hits <- t.hits + 1;
+    unlink t n;
+    push_hot t n;
+    Some n.value
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let add t key value =
+  (match Hashtbl.find_opt t.tbl key with
+  | Some n ->
+    n.value <- value;
+    unlink t n;
+    push_hot t n
+  | None ->
+    let n = { key; value; prev = None; next = None } in
+    Hashtbl.add t.tbl key n;
+    push_hot t n;
+    t.bytes <- t.bytes + entry_bytes key);
+  while t.bytes > t.capacity && t.cold <> None do
+    evict_cold t
+  done
+
+let mem t key = Hashtbl.mem t.tbl key
+let length t = Hashtbl.length t.tbl
+let bytes t = t.bytes
+let capacity_bytes t = t.capacity
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions
+
+let keys_hot_first t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some n -> go (n.key :: acc) n.next
+  in
+  go [] t.hot
+
+let clear t =
+  Hashtbl.reset t.tbl;
+  t.hot <- None;
+  t.cold <- None;
+  t.bytes <- 0

@@ -1,0 +1,43 @@
+(** Byte-budgeted LRU cache of query estimates.
+
+    Optimizers re-cost the same predicates against many join orders, so a
+    serving layer sees heavy repetition; a hit answers in a hash lookup
+    instead of a variable-elimination pass.  Capacity is expressed in bytes
+    under the library-wide storage accounting ({!Selest_util.Bytesize}):
+    each entry is charged one byte per key character plus one stored
+    parameter for the cached estimate.  When an insertion pushes the total
+    over the budget, least-recently-used entries are evicted until it fits
+    (an entry larger than the whole budget is evicted immediately).
+
+    Hit, miss and eviction counts are tracked here so {!Metrics} can report
+    them without wrapping every call site. *)
+
+type t
+
+val create : capacity_bytes:int -> t
+(** Raises [Invalid_argument] on a non-positive capacity. *)
+
+val find : t -> string -> float option
+(** Looks up a key; a hit promotes the entry to most-recently-used and is
+    counted, a miss is counted. *)
+
+val add : t -> string -> float -> unit
+(** Inserts or refreshes an entry (refreshing promotes it), then evicts
+    from the cold end until the byte budget holds. *)
+
+val mem : t -> string -> bool
+(** Pure query: no promotion, no counter update. *)
+
+val length : t -> int
+val bytes : t -> int
+val capacity_bytes : t -> int
+
+val hits : t -> int
+val misses : t -> int
+val evictions : t -> int
+
+val keys_hot_first : t -> string list
+(** Keys in recency order, most recent first (for tests and debugging). *)
+
+val clear : t -> unit
+(** Drops all entries; counters are preserved. *)

@@ -1,0 +1,81 @@
+(* Bucket i of the latency histogram covers (bound.(i-1), bound.(i)] with
+   bound.(i) = 1.5^i microseconds; 64 buckets reach ~1.2e11 µs, far beyond
+   any request this server could serve. *)
+let n_buckets = 64
+
+let bounds =
+  Array.init n_buckets (fun i -> 1.5 ** float_of_int i)
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  hist : int array;
+  mutable lat_count : int;
+  mutable lat_sum_us : float;
+}
+
+let create () =
+  {
+    counters = Hashtbl.create 16;
+    hist = Array.make n_buckets 0;
+    lat_count = 0;
+    lat_sum_us = 0.0;
+  }
+
+let incr ?(by = 1) t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.add t.counters name (ref by)
+
+let get t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let counters t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
+  |> List.sort compare
+
+let bucket_of us =
+  let rec go i = if i >= n_buckets - 1 || us <= bounds.(i) then i else go (i + 1) in
+  go 0
+
+let observe t seconds =
+  let us = seconds *. 1e6 in
+  t.hist.(bucket_of us) <- t.hist.(bucket_of us) + 1;
+  t.lat_count <- t.lat_count + 1;
+  t.lat_sum_us <- t.lat_sum_us +. us
+
+let observations t = t.lat_count
+
+let mean_latency_us t =
+  if t.lat_count = 0 then 0.0 else t.lat_sum_us /. float_of_int t.lat_count
+
+let percentile_us t p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Metrics.percentile_us: p outside [0,1]";
+  if t.lat_count = 0 then 0.0
+  else begin
+    let target = max 1 (int_of_float (ceil (p *. float_of_int t.lat_count))) in
+    let seen = ref 0 and answer = ref bounds.(n_buckets - 1) in
+    (try
+       Array.iteri
+         (fun i c ->
+           seen := !seen + c;
+           if !seen >= target then begin
+             answer := bounds.(i);
+             raise Exit
+           end)
+         t.hist
+     with Exit -> ());
+    !answer
+  end
+
+let report t =
+  List.map (fun (k, v) -> (k, string_of_int v)) (counters t)
+  @ [
+      ("lat_count", string_of_int t.lat_count);
+      ("lat_mean_us", Printf.sprintf "%.1f" (mean_latency_us t));
+      ("lat_p50_us", Printf.sprintf "%.1f" (percentile_us t 0.50));
+      ("lat_p95_us", Printf.sprintf "%.1f" (percentile_us t 0.95));
+      ("lat_p99_us", Printf.sprintf "%.1f" (percentile_us t 0.99));
+    ]
+
+let pp ppf t =
+  List.iter (fun (k, v) -> Format.fprintf ppf "%s=%s@." k v) (report t)

@@ -1,0 +1,46 @@
+(** Service counters and latency percentiles.
+
+    The serving constraint the paper's offline/online split implies —
+    estimates must arrive in optimizer time, i.e. microseconds — is only
+    checkable if the service measures itself.  This module keeps named
+    monotonic counters (requests, cache hits/misses, errors, per-model
+    inference counts) and a log-scale latency histogram from which p50,
+    p95 and p99 are read without storing individual samples.
+
+    The histogram buckets grow geometrically (factor 1.5 from 1µs), so
+    percentile answers carry at most ~50% relative quantization error over
+    a range of microseconds to minutes — the right trade for a counter
+    that is bumped on every request of a hot loop. *)
+
+type t
+
+val create : unit -> t
+
+val incr : ?by:int -> t -> string -> unit
+(** Bump a named counter, creating it at zero first if needed. *)
+
+val get : t -> string -> int
+(** Current value of a counter; 0 when never bumped. *)
+
+val counters : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val observe : t -> float -> unit
+(** Record one request latency, in seconds. *)
+
+val observations : t -> int
+val mean_latency_us : t -> float
+(** 0 when nothing was observed. *)
+
+val percentile_us : t -> float -> float
+(** [percentile_us t 0.95]: upper edge of the bucket holding the p-th
+    latency quantile, in microseconds; 0 when nothing was observed.
+    Raises [Invalid_argument] outside [0,1]. *)
+
+val report : t -> (string * string) list
+(** Everything above as sorted [key=value]-ready pairs: the counters plus
+    [lat_count], [lat_mean_us], [lat_p50_us], [lat_p95_us], [lat_p99_us]
+    (latency fields are listed after the counters). *)
+
+val pp : Format.formatter -> t -> unit
+(** One [key=value] pair per line (the shutdown report). *)

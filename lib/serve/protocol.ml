@@ -1,0 +1,98 @@
+type request =
+  | Ping
+  | Load of { name : string; path : string }
+  | Est of { model : string option; body : string }
+  | Stats
+  | Shutdown
+
+let split_first_word s =
+  let s = String.trim s in
+  match String.index_opt s ' ' with
+  | None -> (s, "")
+  | Some i ->
+    (String.sub s 0 i, String.trim (String.sub s (i + 1) (String.length s - i - 1)))
+
+let parse_request line =
+  let cmd, rest = split_first_word line in
+  match String.uppercase_ascii cmd with
+  | "" -> Error "empty request"
+  | "PING" -> Ok Ping
+  | "STATS" -> Ok Stats
+  | "SHUTDOWN" -> Ok Shutdown
+  | "LOAD" -> (
+    match String.split_on_char ' ' rest |> List.filter (fun s -> s <> "") with
+    | [ name; path ] -> Ok (Load { name; path })
+    | _ -> Error "LOAD expects: LOAD <name> <path>")
+  | "EST" ->
+    if rest = "" then Error "EST expects a query body"
+    else if rest.[0] = '@' then (
+      let model, body = split_first_word rest in
+      let model = String.sub model 1 (String.length model - 1) in
+      if model = "" then Error "EST: empty model name after @"
+      else if body = "" then Error "EST expects a query body after @model"
+      else Ok (Est { model = Some model; body }))
+    else Ok (Est { model = None; body = rest })
+  | other -> Error (Printf.sprintf "unknown command %S" other)
+
+(* Split on commas at brace depth 0, so set predicates survive. *)
+let split_top_commas s =
+  let items = ref [] and buf = Buffer.create 16 and depth = ref 0 in
+  let flush () =
+    let item = String.trim (Buffer.contents buf) in
+    Buffer.clear buf;
+    if item <> "" then items := item :: !items
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | '{' ->
+        incr depth;
+        Buffer.add_char buf c
+      | '}' ->
+        decr depth;
+        Buffer.add_char buf c
+      | ',' when !depth = 0 -> flush ()
+      | c -> Buffer.add_char buf c)
+    s;
+  flush ();
+  List.rev !items
+
+let split_sections body =
+  let sections = String.split_on_char ';' body |> List.map split_top_commas in
+  let tvars, joins, selects =
+    match sections with
+    | [ tvars ] -> (tvars, [], [])
+    | [ tvars; joins ] -> (tvars, joins, [])
+    | [ tvars; joins; selects ] -> (tvars, joins, selects)
+    | _ -> failwith "EST: too many ';'-sections (expected tvars ; joins ; selects)"
+  in
+  if tvars = [] then failwith "EST: empty tuple-variable section";
+  (tvars, joins, selects)
+
+let one_line s =
+  String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+let ok payload = if payload = "" then "OK" else "OK " ^ one_line payload
+let err msg = "ERR " ^ one_line msg
+let pong = "PONG"
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let is_ok s = s = "OK" || has_prefix ~prefix:"OK " s || s = pong
+let is_err s = s = "ERR" || has_prefix ~prefix:"ERR " s
+
+let payload s =
+  match String.index_opt s ' ' with
+  | None -> ""
+  | Some i -> String.sub s (i + 1) (String.length s - i - 1)
+
+let stats_field response key =
+  let body = if is_ok response || is_err response then payload response else response in
+  String.split_on_char ' ' body
+  |> List.find_map (fun pair ->
+         match String.index_opt pair '=' with
+         | Some i when String.sub pair 0 i = key ->
+           Some (String.sub pair (i + 1) (String.length pair - i - 1))
+         | _ -> None)

@@ -1,0 +1,69 @@
+(** The line-oriented wire protocol of the estimation service.
+
+    One request per line, one response line per request, UTF-8/ASCII text
+    over a Unix-domain socket — deliberately trivial so any optimizer,
+    script or [socat] session can speak it.
+
+    {2 Requests}
+
+    {v
+    PING
+    LOAD <name> <path>
+    EST [@<model>] <tvars> [; <joins> [; <selects>]]
+    STATS
+    SHUTDOWN
+    v}
+
+    Command words are case-insensitive.  The [EST] query body uses the
+    textual query syntax of {!Selest_db.Qparse}, with the three clause
+    sections separated by [;] and items within a section separated by
+    top-level commas (commas inside a set predicate's [{...}] braces do
+    not split), e.g.
+
+    {v
+    EST c=contact, p=patient ; c.patient=p ; p.USBorn=yes, c.Contype={household,roommate}
+    v}
+
+    [@<model>] selects a registry entry by name; without it the server
+    answers from the most recently loaded model.
+
+    {2 Responses}
+
+    [PONG] for [PING]; [OK <payload>] for success; [ERR <message>] for any
+    failure — a protocol error never terminates the server.  [EST] answers
+    [OK <estimate>] with the estimate printed losslessly ([%.17g]); [STATS]
+    answers [OK] followed by space-separated [key=value] pairs. *)
+
+type request =
+  | Ping
+  | Load of { name : string; path : string }
+  | Est of { model : string option; body : string }
+      (** [body] is the raw query text after the optional [@model]. *)
+  | Stats
+  | Shutdown
+
+val parse_request : string -> (request, string) result
+(** Errors mention the offending command, never raise. *)
+
+val split_sections : string -> string list * string list * string list
+(** Split an [EST] body into (tvars, joins, selects) item lists: sections
+    on [;], items on top-level commas, blanks dropped.  Raises [Failure]
+    on more than three sections or an empty tvars section. *)
+
+val ok : string -> string
+val err : string -> string
+(** Response constructors; [err] flattens newlines so a response is always
+    exactly one line. *)
+
+val pong : string
+
+val is_ok : string -> bool
+val is_err : string -> bool
+(** [is_ok] accepts [PONG] too — it is [PING]'s success response. *)
+
+val payload : string -> string
+(** The response text after the status word ([""] when none). *)
+
+val stats_field : string -> string -> string option
+(** [stats_field response key]: the value of [key=...] in a [STATS]
+    response payload. *)

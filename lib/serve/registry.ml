@@ -1,0 +1,53 @@
+type entry = {
+  model : Selest_prm.Model.t;
+  source : string;
+  version : int;
+  fingerprint : string;
+}
+
+type t = {
+  schema : Selest_db.Schema.t;
+  fingerprint : string;
+  entries : (string, entry) Hashtbl.t;
+  mutable order : string list;  (* most recently (re)loaded first *)
+}
+
+let create ~schema =
+  {
+    schema;
+    fingerprint = Selest_prm.Serialize.schema_fingerprint schema;
+    entries = Hashtbl.create 8;
+    order = [];
+  }
+
+let schema_fingerprint t = t.fingerprint
+
+let install t ~name ~source model =
+  let version =
+    match Hashtbl.find_opt t.entries name with
+    | Some e -> e.version + 1
+    | None -> 1
+  in
+  let entry = { model; source; version; fingerprint = t.fingerprint } in
+  Hashtbl.replace t.entries name entry;
+  t.order <- name :: List.filter (fun n -> n <> name) t.order;
+  entry
+
+let load t ~name ~path =
+  let model = Selest_prm.Serialize.load path ~schema:t.schema in
+  install t ~name ~source:path model
+
+let register t ~name model =
+  if Selest_prm.Serialize.schema_fingerprint model.Selest_prm.Model.schema <> t.fingerprint
+  then invalid_arg "Registry.register: model schema does not match this registry";
+  install t ~name ~source:"<memory>" model
+
+let find t name = Hashtbl.find_opt t.entries name
+
+let default t =
+  match t.order with
+  | [] -> None
+  | name :: _ -> Some (name, Hashtbl.find t.entries name)
+
+let names t = t.order
+let size t = Hashtbl.length t.entries

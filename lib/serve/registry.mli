@@ -1,0 +1,52 @@
+(** Named, versioned PRM models held by a running estimation service.
+
+    The paper's architecture learns models offline and consults them
+    online; a long-lived server therefore needs a place where models
+    arrive, get replaced by fresher ones learned from newer data (hot
+    reload), and are looked up per request.  Every model is checked
+    against the registry's schema on the way in ({!Selest_prm.Serialize}
+    validates the stored fingerprint), so a request can never be answered
+    by a model learned for a different database layout.
+
+    Replacing a name bumps its version.  Versions matter beyond
+    book-keeping: the server builds cache keys as
+    [name#version|canonical-query], so reloading a model implicitly
+    invalidates all of its cached estimates — stale entries can never be
+    returned and simply age out of the LRU. *)
+
+type entry = {
+  model : Selest_prm.Model.t;
+  source : string;  (** file path, or ["<memory>"] for registered models *)
+  version : int;  (** 1 on first load of a name, +1 on each replacement *)
+  fingerprint : string;  (** schema fingerprint shared by all entries *)
+}
+
+type t
+
+val create : schema:Selest_db.Schema.t -> t
+
+val schema_fingerprint : t -> string
+(** The fingerprint every loadable model must carry
+    ({!Selest_prm.Serialize.schema_fingerprint} of the registry schema). *)
+
+val load : t -> name:string -> path:string -> entry
+(** Load (or hot-reload) a model file under [name].  Raises
+    {!Selest_prm.Serialize.Error} on an unreadable, malformed or
+    schema-mismatched file; the registry is unchanged in that case. *)
+
+val register : t -> name:string -> Selest_prm.Model.t -> entry
+(** Install an in-memory model (e.g. learned at server start-up) under
+    [name], with the same versioning rules as {!load}.  Raises
+    [Invalid_argument] when the model's schema fingerprint differs from
+    the registry's. *)
+
+val find : t -> string -> entry option
+
+val default : t -> (string * entry) option
+(** The most recently loaded or registered name — what an [EST] request
+    without an explicit model name is answered from. *)
+
+val names : t -> string list
+(** Registered names, most recently (re)loaded first. *)
+
+val size : t -> int

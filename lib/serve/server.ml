@@ -1,0 +1,154 @@
+open Selest_db
+
+let log = Logs.Src.create "selest.serve" ~doc:"selectivity-estimation server"
+
+module Log = (val Logs.src_log log : Logs.LOG)
+
+type t = {
+  db : Database.t;
+  sizes : int array;
+  socket : string;
+  registry : Registry.t;
+  cache : Lru.t;
+  metrics : Metrics.t;
+}
+
+let create ?(cache_bytes = 1 lsl 20) ~db ~socket () =
+  {
+    db;
+    sizes = Selest_prm.Estimate.sizes_of_db db;
+    socket;
+    registry = Registry.create ~schema:(Database.schema db);
+    cache = Lru.create ~capacity_bytes:cache_bytes;
+    metrics = Metrics.create ();
+  }
+
+let registry t = t.registry
+let metrics t = t.metrics
+let cache t = t.cache
+let socket_path t = t.socket
+
+(* ---- request handlers ------------------------------------------------------ *)
+
+let handle_load t ~name ~path =
+  match Registry.load t.registry ~name ~path with
+  | entry ->
+    Metrics.incr t.metrics "loads";
+    Log.info (fun m -> m "loaded %s version %d from %s" name entry.Registry.version path);
+    Protocol.ok
+      (Printf.sprintf "loaded %s version %d bytes %d" name entry.Registry.version
+         (Selest_prm.Model.size_bytes entry.Registry.model))
+  | exception Selest_prm.Serialize.Error msg ->
+    Metrics.incr t.metrics "load_errors";
+    Protocol.err msg
+
+let handle_est t ~model ~body =
+  let entry =
+    match model with
+    | Some name -> (
+      match Registry.find t.registry name with
+      | Some e -> Some (name, e)
+      | None -> None)
+    | None -> Registry.default t.registry
+  in
+  match entry with
+  | None ->
+    Metrics.incr t.metrics "est_errors";
+    Protocol.err
+      (match model with
+      | Some name -> Printf.sprintf "no model named %S (use LOAD)" name
+      | None -> "no model loaded (use LOAD)")
+  | Some (name, e) -> (
+    match
+      let tvars, joins, selects = Protocol.split_sections body in
+      Qparse.parse t.db ~tvars ~joins ~selects ()
+    with
+    | exception Failure msg ->
+      Metrics.incr t.metrics "est_errors";
+      Protocol.err msg
+    | exception Not_found ->
+      Metrics.incr t.metrics "est_errors";
+      Protocol.err "unknown table, tuple variable or attribute in query"
+    | exception Invalid_argument msg ->
+      Metrics.incr t.metrics "est_errors";
+      Protocol.err msg
+    | q -> (
+      let q = Canon.normalize q in
+      let key = Printf.sprintf "%s#%d|%s" name e.Registry.version (Canon.key q) in
+      match Lru.find t.cache key with
+      | Some estimate -> Protocol.ok (Printf.sprintf "%.17g" estimate)
+      | None -> (
+        match Selest_prm.Estimate.estimate e.Registry.model ~sizes:t.sizes q with
+        | estimate ->
+          Lru.add t.cache key estimate;
+          Metrics.incr t.metrics (Printf.sprintf "infer.%s" name);
+          Protocol.ok (Printf.sprintf "%.17g" estimate)
+        | exception exn ->
+          Metrics.incr t.metrics "est_errors";
+          Protocol.err (Printexc.to_string exn))))
+
+let handle_stats t =
+  let pairs =
+    Metrics.report t.metrics
+    @ [
+        ("cache_hits", string_of_int (Lru.hits t.cache));
+        ("cache_misses", string_of_int (Lru.misses t.cache));
+        ("cache_evictions", string_of_int (Lru.evictions t.cache));
+        ("cache_entries", string_of_int (Lru.length t.cache));
+        ("cache_bytes", string_of_int (Lru.bytes t.cache));
+        ("models", string_of_int (Registry.size t.registry));
+      ]
+  in
+  Protocol.ok (String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) pairs))
+
+let handle_line t line =
+  Metrics.incr t.metrics "requests";
+  let t0 = Unix.gettimeofday () in
+  let respond r = Metrics.observe t.metrics (Unix.gettimeofday () -. t0); r in
+  match Protocol.parse_request line with
+  | Error msg ->
+    Metrics.incr t.metrics "protocol_errors";
+    (respond (Protocol.err msg), `Continue)
+  | Ok Protocol.Ping -> (respond Protocol.pong, `Continue)
+  | Ok (Protocol.Load { name; path }) -> (respond (handle_load t ~name ~path), `Continue)
+  | Ok (Protocol.Est { model; body }) ->
+    Metrics.incr t.metrics "est_requests";
+    (respond (handle_est t ~model ~body), `Continue)
+  | Ok Protocol.Stats -> (respond (handle_stats t), `Continue)
+  | Ok Protocol.Shutdown -> (respond (Protocol.ok "bye"), `Stop)
+
+(* ---- socket loop ----------------------------------------------------------- *)
+
+let serve_connection t ic oc running =
+  let conn_open = ref true in
+  while !conn_open && !running do
+    match input_line ic with
+    | exception End_of_file -> conn_open := false
+    | line ->
+      let response, action = handle_line t line in
+      output_string oc response;
+      output_char oc '\n';
+      flush oc;
+      if action = `Stop then running := false
+  done
+
+let run t =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  if Sys.file_exists t.socket then (try Unix.unlink t.socket with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_UNIX t.socket);
+  Unix.listen sock 16;
+  Log.info (fun m -> m "listening on %s" t.socket);
+  let running = ref true in
+  while !running do
+    let fd, _ = Unix.accept sock in
+    let ic = Unix.in_channel_of_descr fd and oc = Unix.out_channel_of_descr fd in
+    (try serve_connection t ic oc running
+     with Sys_error _ | Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+  done;
+  (try Unix.close sock with Unix.Unix_error _ -> ());
+  (try Unix.unlink t.socket with Unix.Unix_error _ -> ());
+  Log.info (fun m ->
+      m "shut down after %d requests@.%a" (Metrics.get t.metrics "requests") Metrics.pp
+        t.metrics)

@@ -1,0 +1,43 @@
+(** The long-lived estimation server.
+
+    Holds together the pieces the online phase needs: the database context
+    (schema, value codings and table sizes used to parse queries and scale
+    probabilities), a model {!Registry}, an {!Lru} estimate cache and
+    {!Metrics}.  {!run} listens on a Unix-domain socket and speaks
+    {!Protocol}; {!handle_line} is the transport-free request dispatcher,
+    exposed so tests and benchmarks can exercise the full request path —
+    parse, canonicalize, cache, infer — without sockets.
+
+    An [EST] request is answered as follows: parse the body against the
+    database ({!Selest_db.Qparse}); canonicalize ({!Canon}); look up
+    [name#version|key] in the cache; on a miss run PRM inference
+    ({!Selest_prm.Estimate.estimate}) and fill the cache.  Because the
+    model version is part of the key, a hot-reloaded model never serves
+    another version's cached answers.
+
+    The server is single-threaded and handles connections sequentially —
+    the simplest thing that makes the estimators addressable; batching and
+    concurrent serving belong to later layers. *)
+
+type t
+
+val create :
+  ?cache_bytes:int -> db:Selest_db.Database.t -> socket:string -> unit -> t
+(** [cache_bytes] defaults to 1 MiB.  No socket is bound until {!run}. *)
+
+val registry : t -> Registry.t
+val metrics : t -> Metrics.t
+val cache : t -> Lru.t
+val socket_path : t -> string
+
+val handle_line : t -> string -> string * [ `Continue | `Stop ]
+(** Dispatch one request line to one response line.  Never raises: every
+    failure (parse error, unknown model, bad model file, inference error)
+    becomes an [ERR] response and [`Continue]; only [SHUTDOWN] returns
+    [`Stop]. *)
+
+val run : t -> unit
+(** Bind the socket (unlinking a stale file first), accept connections
+    sequentially, serve each until EOF, and return once a [SHUTDOWN]
+    request has been answered.  The socket file is removed on exit and the
+    final metrics are logged at info level. *)

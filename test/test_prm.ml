@@ -546,7 +546,7 @@ let test_serialize_schema_mismatch () =
     (try
        ignore (Serialize.load path ~schema:other_schema);
        false
-     with Failure _ -> true);
+     with Serialize.Error _ -> true);
   Sys.remove path
 
 let test_serialize_rejects_garbage () =
@@ -558,7 +558,7 @@ let test_serialize_rejects_garbage () =
     (try
        ignore (Serialize.load path ~schema:fixture_schema);
        false
-     with Failure _ -> true);
+     with Serialize.Error _ -> true);
   Sys.remove path
 
 

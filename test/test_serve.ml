@@ -1,0 +1,411 @@
+open Selest_db
+open Selest_serve
+
+let check_float = Alcotest.(check (float 1e-6))
+
+(* Small TB database + learned PRM shared by the registry/server tests. *)
+let db = lazy (Selest_synth.Tb.generate ~patients:300 ~contacts:2_000 ~strains:250 ~seed:33 ())
+let model = lazy (Selest_prm.Learn.learn_prm ~budget_bytes:2_048 ~seed:7 (Lazy.force db))
+
+(* ---- Canon ---------------------------------------------------------------- *)
+
+let tb_query ?(joins = [ "c.patient=p" ]) selects =
+  Qparse.parse (Lazy.force db) ~tvars:[ "c=contact"; "p=patient" ] ~joins ~selects ()
+
+let test_canon_pred_normalization () =
+  let q sels = Canon.key (tb_query sels) in
+  Alcotest.(check string) "set sorted+deduped"
+    (q [ "c.Contype={household,roommate}" ])
+    (q [ "c.Contype={roommate,household,roommate}" ]);
+  Alcotest.(check string) "singleton set = Eq" (q [ "p.USBorn=1" ]) (q [ "p.USBorn={1}" ]);
+  Alcotest.(check string) "one-point range = Eq" (q [ "p.Age=2" ]) (q [ "p.Age=2..2" ]);
+  Alcotest.(check bool) "distinct predicates stay distinct" false
+    (q [ "p.Age=1..3" ] = q [ "p.Age=1..4" ])
+
+let test_canon_clause_order () =
+  Alcotest.(check string) "select order irrelevant"
+    (Canon.key (tb_query [ "p.USBorn=1"; "c.Contype=2" ]))
+    (Canon.key (tb_query [ "c.Contype=2"; "p.USBorn=1" ]));
+  let forward =
+    Qparse.parse (Lazy.force db) ~tvars:[ "c=contact"; "p=patient" ]
+      ~joins:[ "c.patient=p" ] ~selects:[ "p.USBorn=1" ] ()
+  in
+  let reversed =
+    Qparse.parse (Lazy.force db) ~tvars:[ "p=patient"; "c=contact" ]
+      ~joins:[ "c.patient=p" ] ~selects:[ "p.USBorn=1" ] ()
+  in
+  Alcotest.(check string) "tvar order irrelevant" (Canon.key forward) (Canon.key reversed)
+
+let test_canon_normalize_preserves_semantics () =
+  let q = tb_query [ "p.Age={3,1,1}"; "c.Age=2..2" ] in
+  let n = Canon.normalize q in
+  Alcotest.(check int) "same select count"
+    (List.length q.Query.selects) (List.length n.Query.selects);
+  List.iter
+    (fun s' ->
+      let s =
+        List.find
+          (fun s -> s.Query.sel_tv = s'.Query.sel_tv && s.Query.sel_attr = s'.Query.sel_attr)
+          q.Query.selects
+      in
+      for v = 0 to 10 do
+        Alcotest.(check bool)
+          (Printf.sprintf "pred_holds %d" v)
+          (Query.pred_holds s.Query.pred v)
+          (Query.pred_holds s'.Query.pred v)
+      done)
+    n.Query.selects
+
+(* Property: the cache key is invariant under shuffling tuple variables,
+   joins, selects and the values inside a set predicate. *)
+let prop_canon_order_insensitive =
+  let open QCheck2.Gen in
+  let gen_pred =
+    oneof
+      [
+        (int_range 0 5 >|= fun v -> Query.Eq v);
+        (list_size (int_range 1 4) (int_range 0 5) >|= fun vs -> Query.In_set vs);
+        (pair (int_range 0 5) (int_range 0 5) >|= fun (a, b) -> Query.Range (a, b));
+      ]
+  in
+  let gen_select =
+    let* tv = oneofl [ "c"; "p" ] in
+    let* attr = oneofl [ "x"; "y"; "z" ] in
+    let* pred = gen_pred in
+    return { Query.sel_tv = tv; sel_attr = attr; pred }
+  in
+  let shuffle_pred = function
+    | Query.In_set vs -> shuffle_l vs >|= fun vs -> Query.In_set vs
+    | p -> return p
+  in
+  let gen_case =
+    let* selects = list_size (int_range 0 6) gen_select in
+    let* shuffled = shuffle_l selects in
+    let* shuffled =
+      flatten_l
+        (List.map
+           (fun s -> shuffle_pred s.Query.pred >|= fun pred -> { s with Query.pred })
+           shuffled)
+    in
+    let* tvars = shuffle_l [ ("c", "contact"); ("p", "patient") ] in
+    return (selects, shuffled, tvars)
+  in
+  QCheck2.Test.make ~name:"canonical key is order-insensitive" ~count:500 gen_case
+    (fun (selects, shuffled, tvars) ->
+      let joins = [ Query.join ~child:"c" ~fk:"patient" ~parent:"p" ] in
+      let q1 =
+        Query.create ~tvars:[ ("c", "contact"); ("p", "patient") ] ~joins ~selects ()
+      in
+      let q2 = Query.create ~tvars ~joins ~selects:shuffled () in
+      Canon.key q1 = Canon.key q2)
+
+(* ---- Lru ------------------------------------------------------------------- *)
+
+(* Each "kNN" key costs 3 + Bytesize.per_param = 7 bytes. *)
+let k i = Printf.sprintf "k%02d" i
+
+let test_lru_hit_miss_counters () =
+  let c = Lru.create ~capacity_bytes:1_000 in
+  Alcotest.(check (option (float 0.0))) "empty" None (Lru.find c (k 0));
+  Lru.add c (k 0) 42.0;
+  Alcotest.(check (option (float 0.0))) "hit" (Some 42.0) (Lru.find c (k 0));
+  Alcotest.(check int) "hits" 1 (Lru.hits c);
+  Alcotest.(check int) "misses" 1 (Lru.misses c);
+  Alcotest.(check int) "no evictions" 0 (Lru.evictions c)
+
+let test_lru_eviction_order () =
+  (* capacity for exactly three 7-byte entries *)
+  let c = Lru.create ~capacity_bytes:21 in
+  Lru.add c (k 1) 1.0;
+  Lru.add c (k 2) 2.0;
+  Lru.add c (k 3) 3.0;
+  (* touch k1 so k2 is now the coldest *)
+  ignore (Lru.find c (k 1));
+  Lru.add c (k 4) 4.0;
+  Alcotest.(check bool) "k2 evicted" false (Lru.mem c (k 2));
+  Alcotest.(check bool) "k1 kept (recently used)" true (Lru.mem c (k 1));
+  Alcotest.(check bool) "k3 kept" true (Lru.mem c (k 3));
+  Alcotest.(check int) "one eviction" 1 (Lru.evictions c);
+  Alcotest.(check (list string)) "recency order" [ k 4; k 1; k 3 ] (Lru.keys_hot_first c)
+
+let test_lru_byte_budget () =
+  let c = Lru.create ~capacity_bytes:21 in
+  for i = 0 to 9 do
+    Lru.add c (k i) (float_of_int i)
+  done;
+  Alcotest.(check bool) "within budget" true (Lru.bytes c <= Lru.capacity_bytes c);
+  Alcotest.(check int) "three entries fit" 3 (Lru.length c);
+  Alcotest.(check int) "bytes accounted" 21 (Lru.bytes c);
+  Alcotest.(check int) "seven evictions" 7 (Lru.evictions c);
+  (* refreshing an existing key must not change accounting *)
+  Lru.add c (k 9) 99.0;
+  Alcotest.(check int) "refresh is byte-neutral" 21 (Lru.bytes c);
+  Alcotest.(check (option (float 0.0))) "refresh updates value" (Some 99.0) (Lru.find c (k 9))
+
+let test_lru_oversized_entry () =
+  let c = Lru.create ~capacity_bytes:8 in
+  Lru.add c "a-key-larger-than-the-whole-budget" 1.0;
+  Alcotest.(check int) "immediately evicted" 0 (Lru.length c);
+  Alcotest.(check int) "bytes zero" 0 (Lru.bytes c)
+
+(* ---- Metrics ---------------------------------------------------------------- *)
+
+let test_metrics_counters () =
+  let m = Metrics.create () in
+  Metrics.incr m "requests";
+  Metrics.incr m "requests";
+  Metrics.incr ~by:3 m "loads";
+  Alcotest.(check int) "requests" 2 (Metrics.get m "requests");
+  Alcotest.(check int) "loads" 3 (Metrics.get m "loads");
+  Alcotest.(check int) "absent" 0 (Metrics.get m "nope");
+  Alcotest.(check (list (pair string int))) "sorted"
+    [ ("loads", 3); ("requests", 2) ]
+    (Metrics.counters m)
+
+let test_metrics_percentiles () =
+  let m = Metrics.create () in
+  Alcotest.(check (float 0.0)) "empty p50" 0.0 (Metrics.percentile_us m 0.5);
+  (* 50 fast requests at ~10us, 50 slow at ~1000us *)
+  for _ = 1 to 50 do
+    Metrics.observe m 10e-6
+  done;
+  for _ = 1 to 50 do
+    Metrics.observe m 1000e-6
+  done;
+  Alcotest.(check int) "count" 100 (Metrics.observations m);
+  let p50 = Metrics.percentile_us m 0.50 in
+  let p99 = Metrics.percentile_us m 0.99 in
+  Alcotest.(check bool) "p50 in fast band" true (p50 >= 10.0 && p50 < 20.0);
+  Alcotest.(check bool) "p99 in slow band" true (p99 >= 1000.0 && p99 < 2000.0);
+  Alcotest.(check bool) "mean between bands" true
+    (Metrics.mean_latency_us m > 100.0 && Metrics.mean_latency_us m < 1000.0);
+  Alcotest.(check bool) "monotone" true (p50 <= Metrics.percentile_us m 0.95)
+
+(* ---- Protocol ---------------------------------------------------------------- *)
+
+let test_protocol_parse () =
+  let p = Protocol.parse_request in
+  Alcotest.(check bool) "ping" true (p "ping" = Ok Protocol.Ping);
+  Alcotest.(check bool) "stats" true (p "  STATS  " = Ok Protocol.Stats);
+  Alcotest.(check bool) "shutdown" true (p "Shutdown" = Ok Protocol.Shutdown);
+  Alcotest.(check bool) "load" true
+    (p "LOAD census /tmp/m.prm" = Ok (Protocol.Load { name = "census"; path = "/tmp/m.prm" }));
+  Alcotest.(check bool) "load arity" true (Result.is_error (p "LOAD census"));
+  Alcotest.(check bool) "est default model" true
+    (p "EST p=patient" = Ok (Protocol.Est { model = None; body = "p=patient" }));
+  Alcotest.(check bool) "est named model" true
+    (p "EST @census p=patient ; ; p.Age=1"
+    = Ok (Protocol.Est { model = Some "census"; body = "p=patient ; ; p.Age=1" }));
+  Alcotest.(check bool) "est empty" true (Result.is_error (p "EST"));
+  Alcotest.(check bool) "unknown" true (Result.is_error (p "FROBNICATE 3"));
+  Alcotest.(check bool) "empty" true (Result.is_error (p "   "))
+
+let test_protocol_sections () =
+  let tvars, joins, selects =
+    Protocol.split_sections
+      "c=contact, p=patient ; c.patient=p ; c.Contype={household,roommate}, p.Age=1..3"
+  in
+  Alcotest.(check (list string)) "tvars" [ "c=contact"; "p=patient" ] tvars;
+  Alcotest.(check (list string)) "joins" [ "c.patient=p" ] joins;
+  Alcotest.(check (list string)) "braced comma survives"
+    [ "c.Contype={household,roommate}"; "p.Age=1..3" ]
+    selects;
+  let tvars, joins, selects = Protocol.split_sections "p=patient ;; p.Age=2" in
+  Alcotest.(check int) "empty join section" 0 (List.length joins);
+  Alcotest.(check int) "tvars" 1 (List.length tvars);
+  Alcotest.(check int) "selects" 1 (List.length selects);
+  Alcotest.(check bool) "too many sections" true
+    (try
+       ignore (Protocol.split_sections "a;b;c;d");
+       false
+     with Failure _ -> true)
+
+let test_protocol_responses () =
+  Alcotest.(check string) "ok payload" "OK 12.5" (Protocol.ok "12.5");
+  Alcotest.(check string) "bare ok" "OK" (Protocol.ok "");
+  Alcotest.(check string) "err one line" "ERR a b" (Protocol.err "a\nb");
+  Alcotest.(check bool) "pong is ok" true (Protocol.is_ok Protocol.pong);
+  Alcotest.(check bool) "err detected" true (Protocol.is_err (Protocol.err "x"));
+  Alcotest.(check string) "payload" "12.5" (Protocol.payload "OK 12.5");
+  Alcotest.(check (option string)) "stats field" (Some "7")
+    (Protocol.stats_field "OK cache_hits=7 cache_misses=3" "cache_hits");
+  Alcotest.(check (option string)) "stats field absent" None
+    (Protocol.stats_field "OK cache_hits=7" "nope")
+
+(* ---- Registry ----------------------------------------------------------------- *)
+
+let test_registry_versions () =
+  let db0 = Lazy.force db in
+  let m = Lazy.force model in
+  let r = Registry.create ~schema:(Database.schema db0) in
+  Alcotest.(check bool) "empty default" true (Registry.default r = None);
+  let e1 = Registry.register r ~name:"tb" m in
+  Alcotest.(check int) "first version" 1 e1.Registry.version;
+  let e2 = Registry.register r ~name:"tb" m in
+  Alcotest.(check int) "hot reload bumps version" 2 e2.Registry.version;
+  let path = Filename.temp_file "selest" ".prm" in
+  Selest_prm.Serialize.save path m;
+  let e3 = Registry.load r ~name:"tb" ~path in
+  Sys.remove path;
+  Alcotest.(check int) "load bumps again" 3 e3.Registry.version;
+  Alcotest.(check string) "source recorded" path e3.Registry.source;
+  Alcotest.(check string) "fingerprint matches registry"
+    (Registry.schema_fingerprint r) e3.Registry.fingerprint;
+  (match Registry.default r with
+  | Some ("tb", e) -> Alcotest.(check int) "default is latest" 3 e.Registry.version
+  | _ -> Alcotest.fail "default missing");
+  Alcotest.(check int) "one name" 1 (Registry.size r)
+
+let test_registry_rejects_bad_files () =
+  let db0 = Lazy.force db in
+  let r = Registry.create ~schema:(Database.schema db0) in
+  let rejects path =
+    try
+      ignore (Registry.load r ~name:"bad" ~path);
+      false
+    with Selest_prm.Serialize.Error _ -> true
+  in
+  Alcotest.(check bool) "missing file" true (rejects "/nonexistent/model.prm");
+  let garbage = Filename.temp_file "selest" ".prm" in
+  let oc = open_out garbage in
+  output_string oc "(not-a-model 42)";
+  close_out oc;
+  Alcotest.(check bool) "garbage file" true (rejects garbage);
+  Sys.remove garbage;
+  Alcotest.(check int) "registry unchanged" 0 (Registry.size r);
+  (* a model for a different schema must be rejected on register too *)
+  let census = Selest_synth.Census.generate ~rows:500 ~seed:1 () in
+  let census_reg = Registry.create ~schema:(Database.schema census) in
+  Alcotest.(check bool) "schema mismatch on register" true
+    (try
+       ignore (Registry.register census_reg ~name:"tb" (Lazy.force model));
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- Server (transport-free) ---------------------------------------------------- *)
+
+let fresh_server () =
+  let db0 = Lazy.force db in
+  let server = Server.create ~db:db0 ~socket:"(test: unused)" () in
+  ignore (Registry.register (Server.registry server) ~name:"default" (Lazy.force model));
+  server
+
+let test_server_handle_line () =
+  let server = fresh_server () in
+  let ask line = fst (Server.handle_line server line) in
+  Alcotest.(check string) "ping" "PONG" (ask "PING");
+  let est = ask "EST c=contact, p=patient ; c.patient=p ; p.USBorn=1" in
+  Alcotest.(check bool) "est ok" true (Protocol.is_ok est);
+  let direct =
+    Selest_prm.Estimate.estimate (Lazy.force model)
+      ~sizes:(Selest_prm.Estimate.sizes_of_db (Lazy.force db))
+      (tb_query [ "p.USBorn=1" ])
+  in
+  check_float "matches direct API" direct (float_of_string (Protocol.payload est));
+  Alcotest.(check bool) "unknown model" true (Protocol.is_err (ask "EST @nope p=patient"));
+  Alcotest.(check bool) "bad query" true (Protocol.is_err (ask "EST z=zebra"));
+  Alcotest.(check bool) "bad value" true
+    (Protocol.is_err (ask "EST p=patient ; ; p.USBorn=999"));
+  Alcotest.(check bool) "still serving" true (ask "PING" = "PONG");
+  let stats = ask "STATS" in
+  Alcotest.(check (option string)) "errors counted" (Some "3")
+    (Protocol.stats_field stats "est_errors")
+
+(* ---- end-to-end over the socket --------------------------------------------------- *)
+
+let test_socket_round_trip () =
+  let db0 = Lazy.force db in
+  let m = Lazy.force model in
+  let model_path = Filename.temp_file "selest" ".prm" in
+  Selest_prm.Serialize.save model_path m;
+  let socket = Filename.temp_file "selest" ".sock" in
+  Sys.remove socket;
+  let server = Server.create ~db:db0 ~socket () in
+  let thread = Thread.create Server.run server in
+  Fun.protect
+    ~finally:(fun () ->
+      Thread.join thread;
+      Sys.remove model_path)
+    (fun () ->
+      Client.with_connection ~retries:100 ~socket (fun c ->
+          Alcotest.(check string) "ping" "PONG" (Client.request c "PING");
+          (* estimating before any model is loaded is a protocol error *)
+          Alcotest.(check bool) "no model yet" true
+            (Protocol.is_err (Client.request c "EST p=patient ; ; p.USBorn=1"));
+          (* a bad model path is rejected without killing the server *)
+          Alcotest.(check bool) "bad load rejected" true
+            (Protocol.is_err (Client.request c "LOAD tb /nonexistent.prm"));
+          let loaded = Client.request c (Printf.sprintf "LOAD tb %s" model_path) in
+          Alcotest.(check bool) "load ok" true (Protocol.is_ok loaded);
+          (* same query twice, written differently: one miss then one hit *)
+          let e1 =
+            Client.request c "EST c=contact, p=patient ; c.patient=p ; p.USBorn=1, c.Contype=2"
+          in
+          let e2 =
+            Client.request c "EST p=patient, c=contact ; c.patient=p ; c.Contype={2}, p.USBorn=1"
+          in
+          Alcotest.(check bool) "est ok" true (Protocol.is_ok e1 && Protocol.is_ok e2);
+          check_float "both answers equal"
+            (float_of_string (Protocol.payload e1))
+            (float_of_string (Protocol.payload e2));
+          let direct =
+            Selest_prm.Estimate.estimate m
+              ~sizes:(Selest_prm.Estimate.sizes_of_db db0)
+              (tb_query [ "p.USBorn=1"; "c.Contype=2" ])
+          in
+          check_float "equals the direct Est API" direct
+            (float_of_string (Protocol.payload e1));
+          let stats = Client.request c "STATS" in
+          Alcotest.(check (option string)) "one miss" (Some "1")
+            (Protocol.stats_field stats "cache_misses");
+          Alcotest.(check (option string)) "one hit" (Some "1")
+            (Protocol.stats_field stats "cache_hits");
+          (* malformed query: ERR, connection and server both survive *)
+          Alcotest.(check bool) "malformed query" true
+            (Protocol.is_err (Client.request c "EST utter garbage"));
+          Alcotest.(check string) "still alive" "PONG" (Client.request c "PING");
+          Alcotest.(check string) "shutdown" "OK bye" (Client.request c "SHUTDOWN")));
+  Alcotest.(check bool) "socket removed after join" false (Sys.file_exists socket)
+
+(* ---- suite ------------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "canon",
+        [
+          Alcotest.test_case "pred normalization" `Quick test_canon_pred_normalization;
+          Alcotest.test_case "clause order" `Quick test_canon_clause_order;
+          Alcotest.test_case "normalize preserves semantics" `Quick
+            test_canon_normalize_preserves_semantics;
+        ] );
+      ("canon-properties", List.map QCheck_alcotest.to_alcotest [ prop_canon_order_insensitive ]);
+      ( "lru",
+        [
+          Alcotest.test_case "hit/miss counters" `Quick test_lru_hit_miss_counters;
+          Alcotest.test_case "eviction order" `Quick test_lru_eviction_order;
+          Alcotest.test_case "byte budget" `Quick test_lru_byte_budget;
+          Alcotest.test_case "oversized entry" `Quick test_lru_oversized_entry;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters" `Quick test_metrics_counters;
+          Alcotest.test_case "percentiles" `Quick test_metrics_percentiles;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "parse" `Quick test_protocol_parse;
+          Alcotest.test_case "sections" `Quick test_protocol_sections;
+          Alcotest.test_case "responses" `Quick test_protocol_responses;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "versions" `Quick test_registry_versions;
+          Alcotest.test_case "rejects bad files" `Quick test_registry_rejects_bad_files;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "handle_line" `Quick test_server_handle_line;
+          Alcotest.test_case "socket round trip" `Quick test_socket_round_trip;
+        ] );
+    ]
