@@ -1,7 +1,7 @@
 SOCKET ?= /tmp/selest-demo.sock
 CLI = dune exec --no-build bin/selest_cli.exe --
 
-.PHONY: build test bench serve-demo clean
+.PHONY: build test bench bench-smoke serve-demo clean
 
 build:
 	dune build
@@ -11,6 +11,14 @@ test: build
 
 bench: build
 	dune exec bench/main.exe
+
+# Quick inference-core benchmark: asserts the optimized VE/batch paths are
+# bit-identical to their reference engines and emits BENCH_inference.json.
+bench-smoke: build
+	dune exec bench/main.exe -- --fig inference
+	@python3 -m json.tool BENCH_inference.json > /dev/null 2>&1 \
+	  && echo "BENCH_inference.json: valid" \
+	  || { echo "BENCH_inference.json: INVALID JSON"; exit 1; }
 
 # Smoke-test the estimation service end to end: start a server that learns
 # a PRM over the TB dataset, exercise the whole protocol, shut it down.

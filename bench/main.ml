@@ -25,7 +25,8 @@ type cfg = {
 let known_figs =
   [
     "sanity"; "4a"; "4b"; "4c"; "5a"; "5b"; "5c"; "6a"; "6b"; "6c"; "7a"; "7b"; "7c";
-    "range"; "structure"; "ablation-score"; "ablation-join"; "serve-cache"; "bechamel";
+    "range"; "structure"; "ablation-score"; "ablation-join"; "serve-cache"; "inference";
+    "bechamel";
   ]
 
 let parse_args () =
@@ -675,6 +676,206 @@ let fig_serve_cache () =
   Printf.printf "server stats: hits=%s misses=%s p50=%sus p99=%sus\n" (field "cache_hits")
     (field "cache_misses") (field "lat_p50_us") (field "lat_p99_us")
 
+(* ---- inference core: optimized engine vs reference (BENCH_inference.json) ----------------- *)
+
+(* Measures the three layers of the fast inference core against their
+   pre-optimization baselines and emits the numbers as machine-readable
+   JSON, so CI and regression tooling can diff them:
+
+     - single-query VE (stride kernels + fused sum_out_product + warm
+       elimination-order cache) vs the naive Reference engine;
+     - ESTBATCH fan-out over the domain pool vs sequential EST on the same
+       cold-cache workload;
+     - parallel vs sequential candidate-move scoring in PRM search;
+     - served EST latency percentiles, split into cache hits and misses. *)
+
+let fig_inference () =
+  section "I1: fast inference core — stride kernels, order cache, ESTBATCH fan-out";
+  let json = ref [] in
+  let jfield name v = json := (name, v) :: !json in
+
+  (* --- layer 1+2: single-query VE, optimized vs Reference ------------------ *)
+  let data = Bn.Data.of_table (Db.Database.table (Lazy.force census) "person") in
+  let learn_tables budget =
+    (Bn.Learn.learn
+       ~config:
+         { (Bn.Learn.default_config ~budget_bytes:budget) with Bn.Learn.kind = Bn.Cpd.Tables }
+       data).Bn.Learn.bn
+  in
+  let time_ns reps f =
+    ignore (f ());
+    (* warm-up: fills the order cache and the domain-local scratch pool *)
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (f ())
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps *. 1e9
+  in
+  (* Checked single-query measurement: optimized engine (warm order cache)
+     vs the naive Reference engine, bit-identity asserted first.  The
+     plan_key is per-model, as the Ve contract requires. *)
+  let ve_pair ~label ~plan_key ~reps ~ref_reps fs ev =
+    let fast = Bn.Ve.prob_of_evidence ~plan_key fs ev in
+    let naive = Bn.Ve.Reference.prob_of_evidence fs ev in
+    if Int64.bits_of_float fast <> Int64.bits_of_float naive then
+      failwith "inference bench: optimized VE diverged from Reference";
+    let ve_ns = time_ns reps (fun () -> Bn.Ve.prob_of_evidence ~plan_key fs ev) in
+    let ve_naive_ns = time_ns ref_reps (fun () -> Bn.Ve.Reference.prob_of_evidence fs ev) in
+    Printf.printf "%-48s %10.0f ns   ref %10.0f ns   %.1fx\n" label ve_ns ve_naive_ns
+      (ve_naive_ns /. ve_ns);
+    (ve_ns, ve_naive_ns)
+  in
+  Bn.Ve.order_cache_clear ();
+  (* headline: a select+range query (the paper's Sec. 2.3 workload) on a
+     64KB table-CPD census model — big CPTs keep the kernels busy *)
+  let fs_large = Bn.Bn.factors (learn_tables 65_536) in
+  let ev_range = [ (10, Db.Query.Eq 7); (0, Db.Query.Range (2, 9)) ] in
+  let ve_ns, ve_naive_ns =
+    ve_pair ~label:"VE eq+range query (64KB census BN, warm cache)" ~plan_key:"bench-64k"
+      ~reps:500 ~ref_reps:20 fs_large ev_range
+  in
+  (* secondary: an all-equality query on a paper-scale 4KB model *)
+  let fs_small = Bn.Bn.factors (learn_tables 4_096) in
+  let ev_eq = [ (10, Db.Query.Eq 7); (2, Db.Query.Eq 9); (0, Db.Query.Eq 5) ] in
+  let ve_eq_ns, ve_eq_naive_ns =
+    ve_pair ~label:"VE 3xEq query (4KB census BN, warm cache)" ~plan_key:"bench-4k"
+      ~reps:2_000 ~ref_reps:50 fs_small ev_eq
+  in
+  let hits, misses = Bn.Ve.order_cache_stats () in
+  Printf.printf "order cache: %d hits / %d misses\n" hits misses;
+  jfield "ve_single_ns" (Printf.sprintf "%.0f" ve_ns);
+  jfield "ve_single_naive_ns" (Printf.sprintf "%.0f" ve_naive_ns);
+  jfield "ve_speedup" (Printf.sprintf "%.2f" (ve_naive_ns /. ve_ns));
+  jfield "ve_eq_small_ns" (Printf.sprintf "%.0f" ve_eq_ns);
+  jfield "ve_eq_small_naive_ns" (Printf.sprintf "%.0f" ve_eq_naive_ns);
+  jfield "ve_eq_small_speedup" (Printf.sprintf "%.2f" (ve_eq_naive_ns /. ve_eq_ns));
+  jfield "order_cache_hits" (string_of_int hits);
+  jfield "order_cache_misses" (string_of_int misses);
+
+  (* --- layer 3a: ESTBATCH throughput vs sequential EST, cold caches -------- *)
+  let db = Lazy.force tb in
+  let model = learn_prm ~budget_bytes:4_500 ~seed:cfg.seed db in
+  let schema = Db.Database.schema db in
+  let card t a =
+    Db.Value.card (Db.Schema.attr (Db.Schema.find_table schema t) a).Db.Schema.domain
+  in
+  let bodies =
+    List.concat
+      (List.init (card "contact" "Contype") (fun i ->
+           List.concat
+             (List.init (card "patient" "Age") (fun j ->
+                  List.init (card "strain" "DrugResist") (fun k ->
+                      Printf.sprintf
+                        "c=contact, p=patient, s=strain; c.patient=p, p.strain=s; \
+                         c.Contype=%d, p.Age=%d, s.DrugResist=%d"
+                        i j k)))))
+  in
+  let n_queries = List.length bodies in
+  let pool_domains = 4 in
+  let throughput server lines =
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun l ->
+        let resp, _ = Serve.Server.handle_line server l in
+        if not (Serve.Protocol.is_ok resp) then failwith resp)
+      lines;
+    float_of_int n_queries /. (Unix.gettimeofday () -. t0)
+  in
+  let seq_server = Serve.Server.create ~db ~socket:"(bench: transport-free)" () in
+  ignore (Serve.Registry.register (Serve.Server.registry seq_server) ~name:"default" model);
+  let seq_qps = throughput seq_server (List.map (fun b -> "EST " ^ b) bodies) in
+  let batch_server =
+    Serve.Server.create ~db ~pool_size:pool_domains ~socket:"(bench: transport-free)" ()
+  in
+  ignore (Serve.Registry.register (Serve.Server.registry batch_server) ~name:"default" model);
+  let rec chunks n = function
+    | [] -> []
+    | xs ->
+      let rec take k = function
+        | x :: rest when k > 0 ->
+          let hd, tl = take (k - 1) rest in
+          (x :: hd, tl)
+        | rest -> ([], rest)
+      in
+      let hd, tl = take n xs in
+      hd :: chunks n tl
+  in
+  let batch_lines =
+    List.map (fun c -> "ESTBATCH " ^ String.concat " || " c) (chunks 32 bodies)
+  in
+  let batch_qps = throughput batch_server batch_lines in
+  Serve.Server.shutdown_pool batch_server;
+  Printf.printf "\n%d distinct TB join queries, cold caches, PRM %dB\n" n_queries
+    (Prm.Model.size_bytes model);
+  Printf.printf "sequential EST:             %8.0f queries/s\n" seq_qps;
+  Printf.printf "ESTBATCH (pool of %d, x32): %8.0f queries/s  (%.2fx)\n" pool_domains
+    batch_qps (batch_qps /. seq_qps);
+  jfield "est_queries" (string_of_int n_queries);
+  jfield "pool_domains" (string_of_int pool_domains);
+  jfield "host_cores" (string_of_int (Domain.recommended_domain_count ()));
+  jfield "est_seq_qps" (Printf.sprintf "%.1f" seq_qps);
+  jfield "estbatch_qps" (Printf.sprintf "%.1f" batch_qps);
+  jfield "estbatch_throughput_ratio" (Printf.sprintf "%.2f" (batch_qps /. seq_qps));
+
+  (* --- layer 3b: parallel candidate-move scoring in PRM search ------------- *)
+  let learn_time workers =
+    time (fun () ->
+        Prm.Learn.learn
+          ~config:
+            { (Prm.Learn.default_config ~budget_bytes:2_048) with
+              Prm.Learn.seed = cfg.seed; workers }
+          db)
+  in
+  let r_seq, t_seq = learn_time 1 in
+  let r_par, t_par = learn_time pool_domains in
+  if r_seq.Prm.Learn.loglik <> r_par.Prm.Learn.loglik then
+    failwith "inference bench: parallel search diverged from sequential";
+  Printf.printf "\nPRM structure search (TB, 2KB budget):\n";
+  Printf.printf "sequential scoring: %6.2f s\n" t_seq;
+  Printf.printf "parallel scoring:   %6.2f s  (%d workers, %.2fx, same trajectory)\n" t_par
+    pool_domains (t_seq /. t_par);
+  jfield "learn_seq_s" (Printf.sprintf "%.3f" t_seq);
+  jfield "learn_par_s" (Printf.sprintf "%.3f" t_par);
+  jfield "learn_speedup" (Printf.sprintf "%.2f" (t_seq /. t_par));
+  jfield "learn_trajectory_identical" "true";
+
+  (* --- served latency percentiles, hits vs misses --------------------------- *)
+  let lat_server = Serve.Server.create ~db ~socket:"(bench: transport-free)" () in
+  ignore (Serve.Registry.register (Serve.Server.registry lat_server) ~name:"default" model);
+  let pass () =
+    Array.of_list
+      (List.map
+         (fun b ->
+           let t0 = Unix.gettimeofday () in
+           let resp, _ = Serve.Server.handle_line lat_server ("EST " ^ b) in
+           if not (Serve.Protocol.is_ok resp) then failwith resp;
+           (Unix.gettimeofday () -. t0) *. 1e6)
+         bodies)
+  in
+  let miss_lat = pass () in
+  let hit_lat = pass () in
+  let p a q = Util.Arrayx.percentile a q in
+  Printf.printf "\nserved EST latency: miss p50 %.0fus p99 %.0fus | hit p50 %.1fus p99 %.1fus\n"
+    (p miss_lat 50.0) (p miss_lat 99.0) (p hit_lat 50.0) (p hit_lat 99.0);
+  jfield "est_miss_p50_us" (Printf.sprintf "%.1f" (p miss_lat 50.0));
+  jfield "est_miss_p99_us" (Printf.sprintf "%.1f" (p miss_lat 99.0));
+  jfield "est_hit_p50_us" (Printf.sprintf "%.1f" (p hit_lat 50.0));
+  jfield "est_hit_p99_us" (Printf.sprintf "%.1f" (p hit_lat 99.0));
+
+  (* --- emit ----------------------------------------------------------------- *)
+  let oc = open_out "BENCH_inference.json" in
+  output_string oc "{\n";
+  let fields = List.rev !json in
+  List.iteri
+    (fun i (k, v) ->
+      let quoted = match float_of_string_opt v with Some _ -> v | None -> Printf.sprintf "%S" v in
+      let quoted = if v = "true" || v = "false" then v else quoted in
+      Printf.fprintf oc "  %S: %s%s\n" k quoted (if i = List.length fields - 1 then "" else ","))
+    fields;
+  output_string oc "}\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_inference.json\n"
+
 (* ---- bechamel micro-benchmarks ------------------------------------------------------------ *)
 
 let bechamel_suite () =
@@ -759,5 +960,6 @@ let () =
   if wants "ablation-score" then ablation_score ();
   if wants "ablation-join" then ablation_join ();
   if wants "serve-cache" then fig_serve_cache ();
+  if wants "inference" then fig_inference ();
   if wants "bechamel" then bechamel_suite ();
   Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. total_t0)

@@ -407,11 +407,21 @@ let serve_cmd =
       & info [ "learn" ]
           ~doc:"Learn a PRM from the dataset at start-up and register it as \"default\".")
   in
-  let run dataset seed scale from_dir budget socket cache_bytes model_file learn verbose =
+  let pool_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "pool-size" ] ~docv:"N"
+          ~doc:
+            "Worker domains for ESTBATCH inference (default: number of cores minus \
+             one; 0 answers batches inline on the dispatcher).")
+  in
+  let run dataset seed scale from_dir budget socket cache_bytes pool_size model_file
+      learn verbose =
     setup_logs verbose;
     Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info));
     let db = make_db dataset ~scale ~seed ~from_dir in
-    let server = Serve.Server.create ~cache_bytes ~db ~socket () in
+    let server = Serve.Server.create ~cache_bytes ?pool_size ~db ~socket () in
     (match model_file with
     | Some path ->
       let e = Serve.Registry.load (Serve.Server.registry server) ~name:"default" ~path in
@@ -430,11 +440,11 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Run the long-lived estimation service on a Unix-domain socket.  Speaks a \
-          line protocol: PING, LOAD <name> <path>, EST [@model] <query>, STATS, \
-          SHUTDOWN.")
+          line protocol: PING, LOAD <name> <path>, EST [@model] <query>, ESTBATCH \
+          [@model] <query> || <query> || ..., STATS, SHUTDOWN.")
     Term.(
       const run $ dataset_arg $ seed_arg $ scale_arg $ from_dir_arg $ budget_arg
-      $ socket_arg $ cache_arg $ model_arg $ learn_arg $ verbose_arg)
+      $ socket_arg $ cache_arg $ pool_arg $ model_arg $ learn_arg $ verbose_arg)
 
 (* ---- ask ------------------------------------------------------------------------- *)
 

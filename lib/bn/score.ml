@@ -7,15 +7,16 @@ type cache = {
   kind : Cpd.kind;
   data : Data.t;
   table : (int * int list * int option, family) Hashtbl.t;
+  mutex : Mutex.t;
   mutable evaluations : int;
 }
 
-let create_cache ~kind data = { kind; data; table = Hashtbl.create 256; evaluations = 0 }
+let create_cache ~kind data =
+  { kind; data; table = Hashtbl.create 256; mutex = Mutex.create (); evaluations = 0 }
 
 let family_bytes ~params ~n_parents = Bytesize.params params + Bytesize.values n_parents
 
 let compute cache ~child ~parents ~max_params =
-  cache.evaluations <- cache.evaluations + 1;
   match cache.kind with
   | Cpd.Tables ->
     let cpd = Table_cpd.fit cache.data ~child ~parents in
@@ -41,30 +42,49 @@ let compute cache ~child ~parents ~max_params =
       cpd = Cpd.Tree cpd;
     }
 
+(* Cache accessors are mutex-protected so structure search can score
+   candidate moves from several domains at once.  Fits run outside the
+   lock (they are the expensive part and touch only immutable data); on a
+   racing double-compute the first entry wins, so every caller sees one
+   canonical family per key.  The evaluation counter counts insertions —
+   identical to compute calls under sequential use. *)
+let cache_find cache key =
+  Mutex.lock cache.mutex;
+  let r = Hashtbl.find_opt cache.table key in
+  Mutex.unlock cache.mutex;
+  r
+
+let cache_add cache key f =
+  Mutex.lock cache.mutex;
+  let r =
+    match Hashtbl.find_opt cache.table key with
+    | Some existing -> existing
+    | None ->
+      cache.evaluations <- cache.evaluations + 1;
+      Hashtbl.add cache.table key f;
+      f
+  in
+  Mutex.unlock cache.mutex;
+  r
+
 let family ?max_params cache ~child ~parents =
   (* The unconstrained fit is tried (and cached) first; a parameter cap
      only produces a distinct entry when the natural tree exceeds it, so a
      search under a tight budget still reuses most fits. *)
   let base_key = (child, Array.to_list parents, None) in
   let base =
-    match Hashtbl.find_opt cache.table base_key with
+    match cache_find cache base_key with
     | Some f -> f
-    | None ->
-      let f = compute cache ~child ~parents ~max_params:None in
-      Hashtbl.add cache.table base_key f;
-      f
+    | None -> cache_add cache base_key (compute cache ~child ~parents ~max_params:None)
   in
   match max_params with
   | None -> base
   | Some cap when base.params <= cap || cache.kind = Cpd.Tables -> base
   | Some cap -> (
     let key = (child, Array.to_list parents, Some cap) in
-    match Hashtbl.find_opt cache.table key with
+    match cache_find cache key with
     | Some f -> f
-    | None ->
-      let f = compute cache ~child ~parents ~max_params:(Some cap) in
-      Hashtbl.add cache.table key f;
-      f)
+    | None -> cache_add cache key (compute cache ~child ~parents ~max_params:(Some cap)))
 
 let structure_loglik cache dag =
   let acc = ref 0.0 in

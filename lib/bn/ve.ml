@@ -3,15 +3,6 @@ open Selest_db
 
 type evidence = (int * Query.pred) list
 
-let apply_evidence f ev =
-  List.fold_left
-    (fun f (v, pred) ->
-      match pred with
-      | Query.Eq x -> Factor.restrict f v x
-      | Query.In_set xs -> Factor.observe f v (fun u -> List.mem u xs)
-      | Query.Range (lo, hi) -> Factor.observe f v (fun u -> lo <= u && u <= hi))
-    f ev
-
 let var_card factors v =
   let rec scan = function
     | [] -> raise Not_found
@@ -30,55 +21,26 @@ let all_vars factors =
   List.sort_uniq compare
     (List.concat_map (fun f -> Array.to_list (Factor.vars f)) factors)
 
-let mentions f v = Array.exists (fun u -> u = v) (Factor.vars f)
+let mentions f v = Factor.mentions f v
 
-(* Cost of eliminating v: size of the factor produced by multiplying all
-   factors that mention v (product of the cards of their scope union). *)
-let elimination_cost factors v =
-  let scope = Hashtbl.create 8 in
-  List.iter
-    (fun f ->
-      if mentions f v then begin
-        let vars = Factor.vars f and cards = Factor.cards f in
-        Array.iteri (fun i u -> Hashtbl.replace scope u cards.(i)) vars
-      end)
-    factors;
-  Hashtbl.fold (fun _ c acc -> acc *. float_of_int c) scope 1.0
+let apply_evidence f ev =
+  List.fold_left
+    (fun f (v, pred) ->
+      match pred with
+      | Query.Eq x -> Factor.restrict f v x
+      | Query.In_set xs -> Factor.observe f v (fun u -> List.mem u xs)
+      | Query.Range (lo, hi) -> Factor.observe f v (fun u -> lo <= u && u <= hi))
+    f ev
 
-let eliminate_var factors v =
-  let touching, rest = List.partition (fun f -> mentions f v) factors in
-  match touching with
-  | [] -> factors
-  | f :: fs ->
-    let prod = List.fold_left Factor.product f fs in
-    Factor.sum_out prod v :: rest
+(* ---- evidence normalization ---------------------------------------------
 
-let eliminate_all factors =
-  let rec loop factors =
-    match all_vars factors with
-    | [] ->
-      List.fold_left (fun acc f -> acc *. Factor.total f) 1.0 factors
-    | vars ->
-      let v =
-        List.fold_left
-          (fun best v ->
-            match best with
-            | None -> Some (v, elimination_cost factors v)
-            | Some (_, c0) ->
-              let c = elimination_cost factors v in
-              if c < c0 then Some (v, c) else best)
-          None vars
-        |> Option.get |> fst
-      in
-      loop (eliminate_var factors v)
-  in
-  loop factors
-
-(* Merge multiple predicates on one variable into a single allowed-value
-   set (their conjunction).  Restricting a factor twice on the same
+   Merge multiple predicates on one variable into a single allowed-value
+   mask (their conjunction).  Restricting a factor twice on the same
    variable would silently ignore the second predicate, so this
    normalization is required for correctness, not just tidiness. *)
-let normalize_evidence factors ev =
+
+(* (v, mask) pairs in first-mention order; None on a contradiction. *)
+let merged_masks factors ev =
   let allowed : (int, bool array) Hashtbl.t = Hashtbl.create 8 in
   let order = ref [] in
   List.iter
@@ -109,51 +71,414 @@ let normalize_evidence factors ev =
         if not (Query.pred_holds pred x) then mask.(x) <- false
       done)
     ev;
-  let merged =
-    List.rev_map
-      (fun v ->
-        let mask = Hashtbl.find allowed v in
-        let values = ref [] in
-        Array.iteri (fun x ok -> if ok then values := x :: !values) mask;
-        (v, match !values with [ x ] -> Query.Eq x | xs -> Query.In_set xs))
-      !order
-  in
-  if List.exists (fun (_, p) -> p = Query.In_set []) merged then None else Some merged
+  let merged = List.rev_map (fun v -> (v, Hashtbl.find allowed v)) !order in
+  if List.exists (fun (_, m) -> not (Array.exists Fun.id m)) merged then None
+  else Some merged
 
-let prob_of_evidence factors ev =
-  match normalize_evidence factors ev with
+(* Per-variable actions derived from the masks.  A single allowed value
+   restricts (removing the variable); an all-true mask is a no-op and is
+   dropped; anything else zeroes the disallowed slabs. *)
+type action = Restrict of int | Mask of bool array
+
+let actions_of_masks merged =
+  List.filter_map
+    (fun (v, mask) ->
+      let n_allowed = Array.fold_left (fun n ok -> if ok then n + 1 else n) 0 mask in
+      if n_allowed = Array.length mask then None
+      else if n_allowed = 1 then begin
+        let x = ref 0 in
+        while not mask.(!x) do incr x done;
+        Some (v, Restrict !x)
+      end
+      else Some (v, Mask mask))
+    merged
+
+let normalize_evidence factors ev =
+  match merged_masks factors ev with
+  | None -> None
+  | Some merged ->
+    Some
+      (List.filter_map
+         (fun (v, act) ->
+           match act with
+           | Restrict x -> Some (v, Query.Eq x)
+           | Mask mask ->
+             let values = ref [] in
+             for x = Array.length mask - 1 downto 0 do
+               if mask.(x) then values := x :: !values
+             done;
+             Some (v, Query.In_set !values))
+         (actions_of_masks merged))
+
+let apply_actions f actions =
+  List.fold_left
+    (fun f (v, act) ->
+      match act with
+      | Restrict x -> Factor.restrict f v x
+      | Mask mask -> Factor.observe_mask f v mask)
+    f actions
+
+(* ---- elimination planning -----------------------------------------------
+
+   Greedy minimum-intermediate-size ordering, computed on the interaction
+   graph instead of by rescanning the factor list: eliminating v touches
+   only the costs of v's neighbors, so each step recomputes O(deg) costs
+   rather than O(V·F) (the induced-graph neighborhoods coincide with the
+   scope unions the factor-scan version computes, so the resulting order —
+   including tie-breaks — is identical). *)
+
+let plan_order ~keep factors =
+  let card : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let adj : (int, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      let vs = Factor.vars f and cs = Factor.cards f in
+      Array.iteri
+        (fun i v ->
+          if not (Hashtbl.mem card v) then begin
+            Hashtbl.add card v cs.(i);
+            Hashtbl.add adj v (Hashtbl.create 4)
+          end)
+        vs;
+      Array.iter
+        (fun v ->
+          let nbrs = Hashtbl.find adj v in
+          Array.iter (fun u -> if u <> v then Hashtbl.replace nbrs u ()) vs)
+        vs)
+    factors;
+  let cost v =
+    let c = ref (float_of_int (Hashtbl.find card v)) in
+    Hashtbl.iter
+      (fun u () -> c := !c *. float_of_int (Hashtbl.find card u))
+      (Hashtbl.find adj v);
+    !c
+  in
+  let candidates =
+    List.filter (fun v -> not (Factor.mem_sorted keep v))
+      (List.sort_uniq compare (Hashtbl.fold (fun v _ acc -> v :: acc) card []))
+  in
+  let costs : (int, float) Hashtbl.t = Hashtbl.create 16 in
+  List.iter (fun v -> Hashtbl.replace costs v (cost v)) candidates;
+  let remaining = ref candidates in
+  let order = ref [] in
+  while !remaining <> [] do
+    let v =
+      List.fold_left
+        (fun best v ->
+          match best with
+          | None -> Some (v, Hashtbl.find costs v)
+          | Some (_, c0) ->
+            let c = Hashtbl.find costs v in
+            if c < c0 then Some (v, c) else best)
+        None !remaining
+      |> Option.get |> fst
+    in
+    order := v :: !order;
+    remaining := List.filter (fun u -> u <> v) !remaining;
+    let nbrs = Hashtbl.find adj v in
+    let nlist = Hashtbl.fold (fun u () acc -> u :: acc) nbrs [] in
+    List.iter (fun u -> Hashtbl.remove (Hashtbl.find adj u) v) nlist;
+    List.iter
+      (fun u ->
+        let u_nbrs = Hashtbl.find adj u in
+        List.iter (fun w -> if u <> w then Hashtbl.replace u_nbrs w ()) nlist)
+      nlist;
+    Hashtbl.remove adj v;
+    List.iter
+      (fun u -> if Hashtbl.mem costs u then Hashtbl.replace costs u (cost u))
+      nlist
+  done;
+  List.rev !order
+
+(* ---- elimination-order cache --------------------------------------------
+
+   Orders keyed by (caller-supplied plan key × the evidence structure):
+   the plan key identifies the factor-graph shape (model fingerprint ×
+   query skeleton), the restricted variables and the keep set identify how
+   evidence reshapes it.  Repeated query shapes — the common case behind
+   the serving cache — skip planning entirely.  Mutex-protected so the
+   domain pool can run inference concurrently. *)
+
+module Order_cache = struct
+  let capacity = 256
+
+  type entry = { order : int list; mutable stamp : int }
+
+  let table : (string, entry) Hashtbl.t = Hashtbl.create capacity
+  let mutex = Mutex.create ()
+  let clock = ref 0
+  let hits = ref 0
+  let misses = ref 0
+
+  let find key =
+    Mutex.lock mutex;
+    let r =
+      match Hashtbl.find_opt table key with
+      | Some e ->
+        incr clock;
+        e.stamp <- !clock;
+        incr hits;
+        Some e.order
+      | None ->
+        incr misses;
+        None
+    in
+    Mutex.unlock mutex;
+    r
+
+  let add key order =
+    Mutex.lock mutex;
+    if not (Hashtbl.mem table key) then begin
+      if Hashtbl.length table >= capacity then begin
+        (* evict the least recently used entry (rare after warm-up) *)
+        let victim = ref None in
+        Hashtbl.iter
+          (fun k e ->
+            match !victim with
+            | Some (_, s) when s <= e.stamp -> ()
+            | _ -> victim := Some (k, e.stamp))
+          table;
+        match !victim with Some (k, _) -> Hashtbl.remove table k | None -> ()
+      end;
+      incr clock;
+      Hashtbl.add table key { order; stamp = !clock }
+    end;
+    Mutex.unlock mutex
+
+  let clear () =
+    Mutex.lock mutex;
+    Hashtbl.reset table;
+    hits := 0;
+    misses := 0;
+    Mutex.unlock mutex
+
+  let stats () =
+    Mutex.lock mutex;
+    let r = (!hits, !misses) in
+    Mutex.unlock mutex;
+    r
+end
+
+let order_cache_stats = Order_cache.stats
+let order_cache_clear = Order_cache.clear
+
+let order_key plan_key ~actions ~keep =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf plan_key;
+  Buffer.add_string buf "|eq:";
+  List.iter
+    (fun (v, act) ->
+      match act with
+      | Restrict _ ->
+        Buffer.add_string buf (string_of_int v);
+        Buffer.add_char buf ','
+      | Mask _ -> ())
+    actions;
+  Buffer.add_string buf "|keep:";
+  Array.iter
+    (fun v ->
+      Buffer.add_string buf (string_of_int v);
+      Buffer.add_char buf ',')
+    keep;
+  Buffer.contents buf
+
+let order_for ?plan_key ~actions ~keep factors =
+  match plan_key with
+  | None -> plan_order ~keep factors
+  | Some pk -> (
+    let key = order_key pk ~actions ~keep in
+    match Order_cache.find key with
+    | Some order -> order
+    | None ->
+      let order = plan_order ~keep factors in
+      Order_cache.add key order;
+      order)
+
+(* ---- execution -----------------------------------------------------------
+
+   One fused multiply-and-sum kernel per eliminated variable; intermediate
+   tables live in a domain-local scratch pool, so a full run performs O(1)
+   large allocations once the pool is warm.  Ownership: factors created
+   here (or freshly allocated by evidence application) are released back
+   to the pool when consumed; caller-supplied factors never are. *)
+
+let scratch_key = Domain.DLS.new_key Factor.scratch
+
+let local_scratch () = Domain.DLS.get scratch_key
+
+let eliminate_step scratch fs v =
+  let touching, rest = List.partition (fun (f, _) -> Factor.mentions f v) fs in
+  match touching with
+  | [] -> fs
+  | _ ->
+    let nf = Factor.sum_out_product ~scratch (List.map fst touching) v in
+    List.iter (fun (f, owned) -> if owned then Factor.release scratch f) touching;
+    (nf, true) :: rest
+
+let run_order scratch fs order = List.fold_left (eliminate_step scratch) fs order
+
+let total_of scratch fs =
+  let acc =
+    List.fold_left (fun acc (f, _) -> acc *. Factor.total f) 1.0 fs
+  in
+  List.iter (fun (f, owned) -> if owned then Factor.release scratch f) fs;
+  acc
+
+let eliminate_all factors =
+  let order = plan_order ~keep:[||] factors in
+  let scratch = local_scratch () in
+  let fs = List.map (fun f -> (f, false)) factors in
+  total_of scratch (run_order scratch fs order)
+
+let restricted_factors factors actions =
+  List.map
+    (fun f ->
+      let g = apply_actions f actions in
+      (g, g != f))
+    factors
+
+let prob_of_evidence ?plan_key factors ev =
+  match merged_masks factors ev with
   | None -> 0.0 (* contradictory evidence: empty event *)
   | Some merged ->
-    let restricted = List.map (fun f -> apply_evidence f merged) factors in
-    eliminate_all restricted
+    let actions = actions_of_masks merged in
+    let fs = restricted_factors factors actions in
+    let bare = List.map fst fs in
+    let order = order_for ?plan_key ~actions ~keep:[||] bare in
+    let scratch = local_scratch () in
+    total_of scratch (run_order scratch fs order)
 
-let posterior factors ev ~keep =
+let posterior ?plan_key factors ev ~keep =
   let merged =
-    match normalize_evidence factors ev with
+    match merged_masks factors ev with
     | Some m -> m
     | None -> invalid_arg "Ve.posterior: contradictory evidence"
   in
-  let restricted = List.map (fun f -> apply_evidence f merged) factors in
-  let keep_list = Array.to_list keep in
-  let rec loop factors =
-    let vars = List.filter (fun v -> not (List.mem v keep_list)) (all_vars factors) in
-    match vars with
-    | [] -> (
-      match factors with
-      | [] -> Factor.constant 1.0
-      | f :: fs -> Factor.normalize (List.fold_left Factor.product f fs))
-    | vars ->
-      let v =
-        List.fold_left
-          (fun best v ->
-            match best with
-            | None -> Some (v, elimination_cost factors v)
-            | Some (_, c0) ->
-              let c = elimination_cost factors v in
-              if c < c0 then Some (v, c) else best)
-          None vars
-        |> Option.get |> fst
-      in
-      loop (eliminate_var factors v)
+  let actions = actions_of_masks merged in
+  let keep_sorted = Array.copy keep in
+  Array.sort compare keep_sorted;
+  let fs = restricted_factors factors actions in
+  let bare = List.map fst fs in
+  let order = order_for ?plan_key ~actions ~keep:keep_sorted bare in
+  let scratch = local_scratch () in
+  let remaining = run_order scratch fs order in
+  let result =
+    match remaining with
+    | [] -> Factor.constant 1.0
+    | fs -> Factor.normalize (Factor.product_all (List.map fst fs))
   in
-  loop restricted
+  List.iter (fun (f, owned) -> if owned then Factor.release scratch f) remaining;
+  result
+
+(* ---- reference implementation --------------------------------------------
+
+   The pre-optimization engine, verbatim: per-step greedy cost scans over
+   the whole factor list, pairwise products, naive per-entry kernels.  The
+   optimized path above must agree with it bit for bit; kept as the
+   benchmark baseline and property-test oracle. *)
+
+module Reference = struct
+  let apply_evidence f ev =
+    List.fold_left
+      (fun f (v, pred) ->
+        match pred with
+        | Query.Eq x -> Factor.Reference.restrict f v x
+        | Query.In_set xs -> Factor.Reference.observe f v (fun u -> List.mem u xs)
+        | Query.Range (lo, hi) ->
+          Factor.Reference.observe f v (fun u -> lo <= u && u <= hi))
+      f ev
+
+  let elimination_cost factors v =
+    let scope = Hashtbl.create 8 in
+    List.iter
+      (fun f ->
+        if mentions f v then begin
+          let vars = Factor.vars f and cards = Factor.cards f in
+          Array.iteri (fun i u -> Hashtbl.replace scope u cards.(i)) vars
+        end)
+      factors;
+    Hashtbl.fold (fun _ c acc -> acc *. float_of_int c) scope 1.0
+
+  let eliminate_var factors v =
+    let touching, rest = List.partition (fun f -> mentions f v) factors in
+    match touching with
+    | [] -> factors
+    | f :: fs ->
+      let prod = List.fold_left Factor.Reference.product f fs in
+      Factor.Reference.sum_out prod v :: rest
+
+  let eliminate_all factors =
+    let rec loop factors =
+      match all_vars factors with
+      | [] -> List.fold_left (fun acc f -> acc *. Factor.total f) 1.0 factors
+      | vars ->
+        let v =
+          List.fold_left
+            (fun best v ->
+              match best with
+              | None -> Some (v, elimination_cost factors v)
+              | Some (_, c0) ->
+                let c = elimination_cost factors v in
+                if c < c0 then Some (v, c) else best)
+            None vars
+          |> Option.get |> fst
+        in
+        loop (eliminate_var factors v)
+    in
+    loop factors
+
+  let normalize_evidence factors ev =
+    match merged_masks factors ev with
+    | None -> None
+    | Some merged ->
+      Some
+        (List.map
+           (fun (v, mask) ->
+             let values = ref [] in
+             for x = Array.length mask - 1 downto 0 do
+               if mask.(x) then values := x :: !values
+             done;
+             (v, match !values with [ x ] -> Query.Eq x | xs -> Query.In_set xs))
+           merged)
+
+  let prob_of_evidence factors ev =
+    match normalize_evidence factors ev with
+    | None -> 0.0
+    | Some merged ->
+      let restricted = List.map (fun f -> apply_evidence f merged) factors in
+      eliminate_all restricted
+
+  let posterior factors ev ~keep =
+    let merged =
+      match normalize_evidence factors ev with
+      | Some m -> m
+      | None -> invalid_arg "Ve.posterior: contradictory evidence"
+    in
+    let restricted = List.map (fun f -> apply_evidence f merged) factors in
+    let keep_list = Array.to_list keep in
+    let rec loop factors =
+      let vars =
+        List.filter (fun v -> not (List.mem v keep_list)) (all_vars factors)
+      in
+      match vars with
+      | [] -> (
+        match factors with
+        | [] -> Factor.constant 1.0
+        | f :: fs ->
+          Factor.normalize (List.fold_left Factor.Reference.product f fs))
+      | vars ->
+        let v =
+          List.fold_left
+            (fun best v ->
+              match best with
+              | None -> Some (v, elimination_cost factors v)
+              | Some (_, c0) ->
+                let c = elimination_cost factors v in
+                if c < c0 then Some (v, c) else best)
+            None vars
+          |> Option.get |> fst
+        in
+        loop (eliminate_var factors v)
+    in
+    loop restricted
+end

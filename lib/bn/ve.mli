@@ -2,8 +2,15 @@
 
     Works on bags of factors, so the same engine serves single-table BNs
     and the query-evaluation networks PRMs build (Def. 3.5).  Elimination
-    order is chosen greedily by minimum intermediate-factor size, which is
-    effective on the sparse structures learned in practice (Sec. 2.3). *)
+    order is chosen greedily by minimum intermediate-factor size — now
+    computed incrementally on the interaction graph (eliminating a
+    variable only invalidates its neighbors' costs) instead of rescanning
+    every factor per candidate per step, and memoized per query shape in a
+    small LRU keyed by the caller's [plan_key].  Execution fuses each
+    multiply-then-sum step into one {!Selest_prob.Factor.sum_out_product}
+    kernel over a domain-local scratch pool, so a run performs O(1) large
+    allocations once warm.  All of this is bit-compatible with the
+    pre-optimization engine kept in {!Reference}. *)
 
 type evidence = (int * Selest_db.Query.pred) list
 (** Variable id paired with the predicate it must satisfy.  [Eq] evidence
@@ -12,14 +19,58 @@ type evidence = (int * Selest_db.Query.pred) list
 
 val apply_evidence : Selest_prob.Factor.t -> evidence -> Selest_prob.Factor.t
 
+val normalize_evidence : Selest_prob.Factor.t list -> evidence -> evidence option
+(** Conjoin multiple predicates on the same variable into one [Eq] /
+    [In_set] entry; drop entries whose merged mask allows every value (a
+    no-op predicate); [None] if some variable has no allowed value left
+    (contradictory evidence).  Raises [Invalid_argument] if a variable is
+    unknown or a value is out of range. *)
+
+val plan_order : keep:int array -> Selest_prob.Factor.t list -> int list
+(** Greedy min-intermediate-size elimination order over every variable not
+    in [keep] ([keep] must be sorted).  Exposed for tests and benches. *)
+
 val eliminate_all : Selest_prob.Factor.t list -> float
 (** Multiply all factors and sum out every variable: the total mass. *)
 
-val prob_of_evidence : Selest_prob.Factor.t list -> evidence -> float
+val prob_of_evidence :
+  ?plan_key:string -> Selest_prob.Factor.t list -> evidence -> float
 (** P(evidence) under the normalized distribution the factors define.
     When the factors are a BN's CPDs the distribution is already
-    normalized and this is simply the evidence mass. *)
+    normalized and this is simply the evidence mass.
+
+    [plan_key] must uniquely identify the factor-graph structure (e.g.
+    model fingerprint × query skeleton); when given, the elimination order
+    is looked up in / saved to a process-wide LRU keyed by
+    ([plan_key] × evidence structure), so repeated query shapes skip
+    planning.  Omitting it always plans from scratch. *)
 
 val posterior :
-  Selest_prob.Factor.t list -> evidence -> keep:int array -> Selest_prob.Factor.t
-(** Normalized joint marginal of the [keep] variables given the evidence. *)
+  ?plan_key:string ->
+  Selest_prob.Factor.t list ->
+  evidence ->
+  keep:int array ->
+  Selest_prob.Factor.t
+(** Normalized joint marginal of the [keep] variables given the evidence.
+    [plan_key] as in {!prob_of_evidence}. *)
+
+val order_cache_stats : unit -> int * int
+(** (hits, misses) of the elimination-order LRU. *)
+
+val order_cache_clear : unit -> unit
+
+(** The pre-optimization engine, verbatim: per-step greedy cost scans over
+    the whole factor list, pairwise products, naive per-entry factor
+    kernels ({!Selest_prob.Factor.Reference}).  The optimized path must
+    produce bit-identical results; kept as the benchmark baseline and
+    property-test oracle. *)
+module Reference : sig
+  val eliminate_all : Selest_prob.Factor.t list -> float
+  val prob_of_evidence : Selest_prob.Factor.t list -> evidence -> float
+
+  val posterior :
+    Selest_prob.Factor.t list ->
+    evidence ->
+    keep:int array ->
+    Selest_prob.Factor.t
+end

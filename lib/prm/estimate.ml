@@ -201,9 +201,27 @@ let build_network (prm : Model.t) q =
   in
   (c, !factors, select_evidence, join_evidence)
 
+let skeleton_key q =
+  let tvars = List.map (fun (tv, tbl) -> tv ^ ":" ^ tbl) q.Query.tvars in
+  let joins =
+    List.map
+      (fun j -> j.Query.child_tv ^ "." ^ j.Query.fk ^ "=" ^ j.Query.parent_tv)
+      q.Query.joins
+  in
+  let sels =
+    List.sort_uniq compare
+      (List.map (fun s -> s.Query.sel_tv ^ "." ^ s.Query.sel_attr) q.Query.selects)
+  in
+  String.concat ";" tvars ^ "|" ^ String.concat ";" joins ^ "|" ^ String.concat ";" sels
+
+(* The network's shape is a function of (model structure × query
+   skeleton), so this key lets Ve reuse elimination orders across repeated
+   query shapes — the common case behind the serving cache. *)
+let plan_key_of prm q = Model.fingerprint prm ^ "|" ^ skeleton_key q
+
 let prob prm q =
   let _, factors, select_ev, join_ev = build_network prm q in
-  Ve.prob_of_evidence factors (select_ev @ join_ev)
+  Ve.prob_of_evidence ~plan_key:(plan_key_of prm q) factors (select_ev @ join_ev)
 
 let sizes_of_db db =
   Array.map Table.size (Database.tables db)
@@ -213,7 +231,10 @@ let closure_scale sizes c =
 
 let estimate prm ~sizes q =
   let c, factors, select_ev, join_ev = build_network prm q in
-  let p = Ve.prob_of_evidence factors (select_ev @ join_ev) in
+  let p =
+    Ve.prob_of_evidence ~plan_key:(plan_key_of prm q) factors
+      (select_ev @ join_ev)
+  in
   p *. closure_scale sizes c
 
 let query_eval_network prm q =
@@ -232,19 +253,6 @@ let query_eval_network prm q =
    join evidence answers every instantiation by table lookup, so cache it
    per (skeleton, selected-attribute-set). *)
 
-let skeleton_key q =
-  let tvars = List.map (fun (tv, tbl) -> tv ^ ":" ^ tbl) q.Query.tvars in
-  let joins =
-    List.map
-      (fun j -> j.Query.child_tv ^ "." ^ j.Query.fk ^ "=" ^ j.Query.parent_tv)
-      q.Query.joins
-  in
-  let sels =
-    List.sort_uniq compare
-      (List.map (fun s -> s.Query.sel_tv ^ "." ^ s.Query.sel_attr) q.Query.selects)
-  in
-  String.concat ";" tvars ^ "|" ^ String.concat ";" joins ^ "|" ^ String.concat ";" sels
-
 type cache_entry = {
   keep : int array;  (* select node ids, sorted *)
   node_of_sel : (string * string, int) Hashtbl.t;  (* (tv, attr) -> node id *)
@@ -255,6 +263,7 @@ type cache_entry = {
 
 let cached_estimator prm ~sizes =
   let cache : (string, cache_entry) Hashtbl.t = Hashtbl.create 16 in
+  let fp = Model.fingerprint prm in
   fun q ->
     let all_eq =
       List.for_all (fun s -> match s.Query.pred with Query.Eq _ -> true | _ -> false)
@@ -276,8 +285,9 @@ let cached_estimator prm ~sizes =
           let keep =
             Array.of_list (List.sort_uniq compare (List.map fst select_ev))
           in
-          let posterior = Ve.posterior factors join_ev ~keep in
-          let p_joins = Ve.prob_of_evidence factors join_ev in
+          let plan_key = fp ^ "|" ^ key in
+          let posterior = Ve.posterior ~plan_key factors join_ev ~keep in
+          let p_joins = Ve.prob_of_evidence ~plan_key factors join_ev in
           let e =
             { keep; node_of_sel; posterior; p_joins; scale = closure_scale sizes c }
           in
@@ -341,8 +351,9 @@ let group_counts prm ~sizes q ~keys =
   if Array.length keep <> List.length keys then
     invalid_arg "Estimate.group_counts: duplicate key attributes";
   let evidence = own_ev @ join_ev in
-  let posterior = Ve.posterior factors evidence ~keep in
-  let p_evidence = Ve.prob_of_evidence factors evidence in
+  let plan_key = plan_key_of prm q_with_keys in
+  let posterior = Ve.posterior ~plan_key factors evidence ~keep in
+  let p_evidence = Ve.prob_of_evidence ~plan_key factors evidence in
   let scale = closure_scale sizes c *. p_evidence in
   (* Map each key to its position in the (sorted) keep array. *)
   let positions =

@@ -16,6 +16,7 @@ type config = {
   random_restarts : int;
   random_walk_length : int;
   seed : int;
+  workers : int;
 }
 
 let default_config ~budget_bytes =
@@ -29,6 +30,7 @@ let default_config ~budget_bytes =
     random_restarts = 1;
     random_walk_length = 3;
     seed = 0;
+    workers = 1;
   }
 
 let bn_uj_config ~budget_bytes =
@@ -55,6 +57,8 @@ type state = {
   ext_data : Data.t array;  (* per table *)
   caches : Score.cache array;  (* per table, over extended data *)
   join_cache : (int * int * Model.parent list, Suffstats.join_stats) Hashtbl.t;
+  join_mutex : Mutex.t;  (* guards join_cache under parallel scoring *)
+  pool : Pool.t option;  (* scoring pool; None = sequential *)
   (* current structure: chosen family per attribute and per join indicator *)
   attr_fams : fam array array;
   join_fams : fam array array;
@@ -83,13 +87,28 @@ let attr_family ?max_params st ti attr parents =
 let join_family st ti fk parents =
   let sorted = sort_parents st ti parents in
   let key = (ti, fk, Array.to_list sorted) in
+  let find () =
+    Mutex.lock st.join_mutex;
+    let r = Hashtbl.find_opt st.join_cache key in
+    Mutex.unlock st.join_mutex;
+    r
+  in
   let js =
-    match Hashtbl.find_opt st.join_cache key with
+    match find () with
     | Some js -> js
-    | None ->
+    | None -> (
+      (* fit outside the lock; adopt a racing domain's entry if it won *)
       let js = Suffstats.fit_join st.db ~table:ti ~fk ~parents:sorted in
-      Hashtbl.add st.join_cache key js;
-      js
+      Mutex.lock st.join_mutex;
+      let r =
+        match Hashtbl.find_opt st.join_cache key with
+        | Some existing -> existing
+        | None ->
+          Hashtbl.add st.join_cache key js;
+          js
+      in
+      Mutex.unlock st.join_mutex;
+      r)
   in
   {
     f_parents = sorted;
@@ -284,14 +303,23 @@ let accept st move new_f dbytes =
   | Join_add (ti, fk, _) | Join_remove (ti, fk, _) -> st.join_fams.(ti).(fk) <- new_f);
   st.size <- st.size + dbytes
 
+(* Score every candidate move; with a pool the (pure, cache-backed)
+   evaluations fan out across domains.  Results come back in move order
+   either way, so the subsequent best-move fold — and hence the whole
+   search trajectory — is independent of the worker count. *)
+let score_moves st moves =
+  match st.pool with
+  | Some pool -> Pool.map pool (fun move -> (move, evaluate st move)) moves
+  | None -> List.map (fun move -> (move, evaluate st move)) moves
+
 let climb st ~mdl_penalty =
   let taken = ref 0 in
   let continue = ref true in
   while !continue do
     let best = ref None in
     List.iter
-      (fun move ->
-        match evaluate st move with
+      (fun (move, evaluation) ->
+        match evaluation with
         | None -> ()
         | Some (new_f, dscore, dbytes, dparams) ->
           let value = criterion st.cfg ~mdl_penalty (dscore, dbytes, dparams) in
@@ -300,7 +328,7 @@ let climb st ~mdl_penalty =
             | Some (v0, ds0, _, _, _) when v0 > value || (v0 = value && ds0 >= dscore) -> ()
             | _ -> best := Some (value, dscore, dbytes, new_f, move)
           end)
-      (candidate_moves st);
+      (score_moves st (candidate_moves st));
     match !best with
     | None -> continue := false
     | Some (_, _, dbytes, new_f, move) ->
@@ -356,6 +384,7 @@ let learn ~config:cfg db =
   let scopes = Array.init n_tables (fun ti -> Model.Scope.of_table schema ti) in
   let ext_data = Array.init n_tables (fun ti -> Suffstats.extended_data db ti) in
   let caches = Array.map (fun d -> Score.create_cache ~kind:cfg.kind d) ext_data in
+  let pool = if cfg.workers > 1 then Some (Pool.create ~size:cfg.workers ()) else None in
   let st =
     {
       cfg;
@@ -365,54 +394,60 @@ let learn ~config:cfg db =
       ext_data;
       caches;
       join_cache = Hashtbl.create 64;
+      join_mutex = Mutex.create ();
+      pool;
       attr_fams = [||];
       join_fams = [||];
       size = 0;
     }
   in
-  let st =
-    {
-      st with
-      attr_fams =
-        Array.mapi
-          (fun ti ts ->
-            Array.init (Array.length ts.Schema.attrs) (fun a ->
-                attr_family st ti a [||]))
-          (Schema.tables schema);
-      join_fams =
-        Array.mapi
-          (fun ti ts ->
-            Array.init (Array.length ts.Schema.fks) (fun fk -> join_family st ti fk [||]))
-          (Schema.tables schema);
-    }
-  in
-  st.size <- total_bytes st;
-  if st.size > cfg.budget_bytes then
-    invalid_arg
-      (Printf.sprintf
-         "Prm.Learn: budget %dB cannot hold the empty model (%dB of marginals)"
-         cfg.budget_bytes st.size);
-  (* MDL penalty: dominated by the largest sample space in the model. *)
-  let max_weight =
-    Array.fold_left (fun acc d -> Float.max acc (Data.total_weight d)) 2.0 ext_data
-  in
-  let mdl_penalty = Arrayx.log2 max_weight /. 2.0 in
-  let rng = Rng.create cfg.seed in
-  let iterations = ref (climb st ~mdl_penalty) in
-  let best = ref (snapshot st, total_loglik st) in
-  for _ = 1 to cfg.random_restarts do
-    random_walk st rng;
-    iterations := !iterations + climb st ~mdl_penalty;
-    let ll = total_loglik st in
-    if ll > snd !best then best := (snapshot st, ll)
-  done;
-  restore st (fst !best);
-  let model = to_model st in
-  Log.info (fun m ->
-      m "learned PRM: %dB of %dB budget, %d cross edges, %d join parents, %d moves"
-        st.size cfg.budget_bytes (Model.n_cross_edges model) (Model.n_join_parents model)
-        !iterations);
-  { model; loglik = snd !best; bytes = st.size; iterations = !iterations }
+  Fun.protect
+    ~finally:(fun () -> Option.iter Pool.shutdown pool)
+    (fun () ->
+      let st =
+        {
+          st with
+          attr_fams =
+            Array.mapi
+              (fun ti ts ->
+                Array.init (Array.length ts.Schema.attrs) (fun a ->
+                    attr_family st ti a [||]))
+              (Schema.tables schema);
+          join_fams =
+            Array.mapi
+              (fun ti ts ->
+                Array.init (Array.length ts.Schema.fks) (fun fk ->
+                    join_family st ti fk [||]))
+              (Schema.tables schema);
+        }
+      in
+      st.size <- total_bytes st;
+      if st.size > cfg.budget_bytes then
+        invalid_arg
+          (Printf.sprintf
+             "Prm.Learn: budget %dB cannot hold the empty model (%dB of marginals)"
+             cfg.budget_bytes st.size);
+      (* MDL penalty: dominated by the largest sample space in the model. *)
+      let max_weight =
+        Array.fold_left (fun acc d -> Float.max acc (Data.total_weight d)) 2.0 ext_data
+      in
+      let mdl_penalty = Arrayx.log2 max_weight /. 2.0 in
+      let rng = Rng.create cfg.seed in
+      let iterations = ref (climb st ~mdl_penalty) in
+      let best = ref (snapshot st, total_loglik st) in
+      for _ = 1 to cfg.random_restarts do
+        random_walk st rng;
+        iterations := !iterations + climb st ~mdl_penalty;
+        let ll = total_loglik st in
+        if ll > snd !best then best := (snapshot st, ll)
+      done;
+      restore st (fst !best);
+      let model = to_model st in
+      Log.info (fun m ->
+          m "learned PRM: %dB of %dB budget, %d cross edges, %d join parents, %d moves"
+            st.size cfg.budget_bytes (Model.n_cross_edges model)
+            (Model.n_join_parents model) !iterations);
+      { model; loglik = snd !best; bytes = st.size; iterations = !iterations })
 
 let learn_prm ?(budget_bytes = 8192) ?(seed = 0) db =
   let cfg = { (default_config ~budget_bytes) with seed } in

@@ -140,6 +140,57 @@ let create schema tables =
 
 let scope t ti = Scope.of_table t.schema ti
 
+let fingerprint t =
+  let buf = Buffer.create 256 in
+  let add = Buffer.add_string buf in
+  let addi i =
+    add (string_of_int i);
+    Buffer.add_char buf ' '
+  in
+  Array.iter
+    (fun ts ->
+      add ts.Schema.tname;
+      add "(";
+      Array.iter
+        (fun a ->
+          add a.Schema.aname;
+          add ":";
+          addi (Value.card a.Schema.domain))
+        ts.Schema.attrs;
+      Array.iter
+        (fun f ->
+          add f.Schema.fkname;
+          add ">";
+          add f.Schema.target;
+          add " ")
+        ts.Schema.fks;
+      add ")")
+    (Schema.tables t.schema);
+  Array.iter
+    (fun tm ->
+      let add_family fam =
+        add "[";
+        Array.iter
+          (function
+            | Own a ->
+              add "o";
+              addi a
+            | Foreign (f, b) ->
+              add "f";
+              addi f;
+              addi b)
+          fam.parents;
+        addi (Cpd.child_card fam.cpd);
+        add "]"
+      in
+      add "T{";
+      Array.iter add_family tm.attr_families;
+      add "|";
+      Array.iter add_family tm.join_families;
+      add "}")
+    t.tables;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
 let size_bytes t =
   let acc = ref 0 in
   Array.iter

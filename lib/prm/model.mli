@@ -74,6 +74,15 @@ val create : Selest_db.Schema.t -> table_model array -> t
 (** Validates family shapes against the schema (arity, parent ranges). *)
 
 val scope : t -> int -> Scope.s
+
+val fingerprint : t -> string
+(** Hex digest of the model's {e dependency structure}: the schema plus
+    every family's parents and arities (CPD parameters excluded).  Two
+    models with equal fingerprints build identically-shaped
+    query-evaluation networks for any query, which is exactly what the
+    elimination-order cache ({!Selest_bn.Ve}) needs its key to
+    guarantee. *)
+
 val size_bytes : t -> int
 (** Total model storage under the library-wide accounting. *)
 

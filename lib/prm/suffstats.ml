@@ -68,7 +68,8 @@ let fit_join db ~table ~fk ~parents =
         invalid_arg "Suffstats.fit_join: parents not sorted by local id")
     local_ids;
   let parent_cards = Array.map (Model.Scope.card scope) local_ids in
-  let configs = Array.fold_left ( * ) 1 parent_cards in
+  (* Overflow-checked joint size: the same guard Contingency uses. *)
+  let configs = Selest_prob.Contingency.joint_size parent_cards in
   (* Positives: joined pairs per configuration — one per child row. *)
   let pos = Array.make configs 0.0 in
   let own_cols = Array.map (fun a -> Table.col tbl a) own_parents in
@@ -89,7 +90,8 @@ let fit_join db ~table ~fk ~parents =
      occupy the least-significant digits of the configuration (their local
      ids are larger), so a configuration splits as own * target. *)
   let target_config_count =
-    Array.fold_left ( * ) 1 (Array.sub parent_cards n_own (Array.length target_parents))
+    Selest_prob.Contingency.joint_size
+      (Array.sub parent_cards n_own (Array.length target_parents))
   in
   let own_config_count = configs / target_config_count in
   let own_counts = Array.make own_config_count 0.0 in
@@ -149,7 +151,7 @@ let join_loglik_under db ~table ~fk cpd =
   let target_parents = Array.of_list (List.rev !target_parents) in
   let local_ids = Array.map (Model.Scope.local_id scope) parents in
   let parent_cards = Array.map (Model.Scope.card scope) local_ids in
-  let configs = Array.fold_left ( * ) 1 parent_cards in
+  let configs = Selest_prob.Contingency.joint_size parent_cards in
   let n_own = Array.length own_parents in
   let own_cols = Array.map (fun a -> Table.col tbl a) own_parents in
   let target_cols = Array.map (fun b -> Table.col target b) target_parents in
@@ -166,7 +168,8 @@ let join_loglik_under db ~table ~fk cpd =
     pos.(!cfg) <- pos.(!cfg) +. 1.0
   done;
   let target_config_count =
-    Array.fold_left ( * ) 1 (Array.sub parent_cards n_own (Array.length target_parents))
+    Selest_prob.Contingency.joint_size
+      (Array.sub parent_cards n_own (Array.length target_parents))
   in
   let own_counts = Array.make (configs / target_config_count) 0.0 in
   for r = 0 to Table.size tbl - 1 do

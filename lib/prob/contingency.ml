@@ -30,6 +30,27 @@ let make cards =
   in
   { cards; repr; total = 0.0 }
 
+(* Row-major joint index of a value tuple, with per-value range checks.
+   Overflow-safe only after [joint_size cards] has been validated — use
+   {!encoder} (or go through [make]) rather than calling this on
+   unvalidated cardinalities. *)
+let encode_values cards values =
+  let idx = ref 0 in
+  for i = 0 to Array.length cards - 1 do
+    let v = values.(i) in
+    if v < 0 || v >= cards.(i) then invalid_arg "Contingency: value out of range";
+    idx := (!idx * cards.(i)) + v
+  done;
+  !idx
+
+(* The single checked encoder: the overflow guard runs once at partial
+   application, the closure then only range-checks values. *)
+let encoder cards =
+  ignore (joint_size cards);
+  fun values -> encode_values cards values
+
+(* Column-oriented variant for the counting loops; [make] has already run
+   [joint_size] on these cards. *)
 let encode cards cols r =
   let idx = ref 0 in
   for i = 0 to Array.length cards - 1 do
@@ -98,14 +119,7 @@ let count_masked ~cards ~mask cols =
 let cards t = Array.copy t.cards
 let total t = t.total
 
-let key_of_values cards values =
-  let idx = ref 0 in
-  for i = 0 to Array.length cards - 1 do
-    let v = values.(i) in
-    if v < 0 || v >= cards.(i) then invalid_arg "Contingency.get: value out of range";
-    idx := (!idx * cards.(i)) + v
-  done;
-  !idx
+let key_of_values = encode_values
 
 let get t values =
   if Array.length values <> Array.length t.cards then

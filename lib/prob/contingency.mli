@@ -7,6 +7,18 @@
 
 type t
 
+val joint_size : int array -> int
+(** Product of the cardinalities.  Raises [Invalid_argument] on a
+    non-positive cardinality or when the product overflows — the single
+    overflow guard every joint-index computation must go through. *)
+
+val encoder : int array -> int array -> int
+(** [encoder cards] validates the cardinalities (via {!joint_size}) once
+    and returns the row-major joint-index encoder (last value fastest).
+    The closure range-checks each value.  Partial-apply it outside loops:
+    this is the checked way to build joint configuration indices outside
+    this module (e.g. {!Selest_prm.Suffstats}). *)
+
 val count : cards:int array -> int array array -> t
 (** [count ~cards cols] scans parallel columns [cols] (all of equal length)
     whose [i]-th column ranges over [0..cards.(i)-1].  Chooses a dense or

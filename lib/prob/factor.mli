@@ -4,9 +4,27 @@
     integer ids, each with a fixed cardinality) to non-negative reals.
     Factors are the workhorse of Bayesian-network inference: CPDs are
     converted to factors, and variable elimination repeatedly multiplies
-    factors and sums variables out. *)
+    factors and sums variables out.
+
+    Every table-walking operation here runs on incremental stride
+    ("odometer") kernels: operand and output indices are advanced digit by
+    digit instead of decoded with div/mod per entry, and the fused kernels
+    ({!sum_out_product}, {!marginalize_onto}) combine a whole
+    multiply-then-marginalize step into one pass with a single output
+    allocation.  {!Reference} keeps the naive per-entry implementations as
+    a test oracle. *)
 
 type t
+
+type scratch
+(** A checkout pool of exactly-sized tables.  A long variable-elimination
+    run that routes its intermediate factors through one pool performs
+    O(1) large allocations: each elimination takes its output buffer from
+    the pool and releases the buffers of the factors it consumed.
+
+    Contract: a factor built on a taken buffer aliases pool memory; it
+    must be released (via {!release}) only once no live factor references
+    the buffer, and never used after release. *)
 
 val create : vars:int array -> cards:int array -> float array -> t
 (** [create ~vars ~cards data]: [vars] must be strictly increasing;
@@ -32,12 +50,30 @@ val data : t -> float array
 val get : t -> int array -> float
 (** [get f asg]: value at the assignment given in [vars f] order. *)
 
+val mentions : t -> int -> bool
+(** Scope membership (early-exit scan of the sorted scope). *)
+
 val product : t -> t -> t
 (** Pointwise product over the union of scopes. *)
+
+val product_all : t list -> t
+(** Multiply a whole list over the union scope in one odometer pass.
+    Entry values associate left over the list order, so the result is
+    bitwise equal to [List.fold_left product] — without the intermediate
+    tables.  [product_all \[\]] is [constant 1.0]. *)
 
 val sum_out : t -> int -> t
 (** [sum_out f v] marginalizes variable [v] away.  If [v] is not in the
     scope, [f] is returned unchanged. *)
+
+val sum_out_product : ?scratch:scratch -> t list -> int -> t
+(** [sum_out_product fs v]: [sum_out (product_all fs) v] fused into a
+    single pass that never materializes the product table, with identical
+    floating-point results (same multiplication association, same
+    summation order).  This is the variable-elimination step.  With
+    [?scratch], the output table is checked out of the pool instead of
+    allocated — see {!scratch} for the ownership contract.  Raises
+    [Invalid_argument] on an empty list. *)
 
 val restrict : t -> int -> int -> t
 (** [restrict f v x] slices the table at [v = x], removing [v] from the
@@ -46,8 +82,14 @@ val restrict : t -> int -> int -> t
 val observe : t -> int -> (int -> bool) -> t
 (** [observe f v allowed] zeroes entries whose [v]-value fails [allowed],
     keeping [v] in scope.  Used for range/set predicates: restricting to a
-    set and later summing [v] out computes P(v ∈ S, ...).  No-op if [v] is
-    not in scope. *)
+    set and later summing [v] out computes P(v ∈ S, ...).  The predicate
+    is evaluated once per {e value} of [v] (not once per table entry) and
+    the zeroing runs on stride slabs.  No-op if [v] is not in scope. *)
+
+val observe_mask : t -> int -> bool array -> t
+(** [observe] with the allowed set already tabulated; [mask] must have
+    length [card v].  When every value is allowed the factor is returned
+    physically unchanged.  No-op if [v] is not in scope. *)
 
 val total : t -> float
 (** Sum of all entries. *)
@@ -55,7 +97,38 @@ val total : t -> float
 val normalize : t -> t
 
 val marginal : t -> int array -> t
-(** [marginal f keep] sums out every variable not in [keep]. *)
+(** [marginal f keep] sums out every variable not in [keep], in one fused
+    pass over the table ({!marginalize_onto}). *)
+
+val marginalize_onto : t -> int array -> t
+(** [marginalize_onto f keep]: project [f] onto [keep ∩ vars f], summing
+    all other variables out in a single table pass (rather than one
+    [sum_out] pass per variable).  [keep] need not be sorted and may
+    mention variables outside the scope. *)
+
+val mem_sorted : int array -> int -> bool
+(** Membership in a sorted int array (the scope/keep-set representation
+    used across the inference layer). *)
+
+val scratch : unit -> scratch
+
+val release : scratch -> t -> unit
+(** Return the factor's table to the pool.  Only release factors produced
+    by [sum_out_product ~scratch] / [product_into] on the same pool —
+    releasing a shared factor would let the pool overwrite it. *)
+
+val product_into : scratch -> t -> t -> t
+(** {!product} writing its output into a pool buffer. *)
 
 val equal : ?eps:float -> t -> t -> bool
 val pp : Format.formatter -> t -> unit
+
+(** The pre-optimization per-entry kernels, kept as a property-test oracle
+    for the stride kernels above. *)
+module Reference : sig
+  val sum_out : t -> int -> t
+  val restrict : t -> int -> int -> t
+  val observe : t -> int -> (int -> bool) -> t
+  val product : t -> t -> t
+  val marginal : t -> int array -> t
+end

@@ -2,6 +2,7 @@ type request =
   | Ping
   | Load of { name : string; path : string }
   | Est of { model : string option; body : string }
+  | Estbatch of { model : string option; bodies : string list }
   | Stats
   | Shutdown
 
@@ -11,6 +12,22 @@ let split_first_word s =
   | None -> (s, "")
   | Some i ->
     (String.sub s 0 i, String.trim (String.sub s (i + 1) (String.length s - i - 1)))
+
+(* Split a batch body on "||" separators (no escaping: neither the query
+   syntax nor canonical keys contain a pipe). *)
+let split_batch s =
+  let n = String.length s in
+  let items = ref [] and start = ref 0 and i = ref 0 in
+  while !i < n - 1 do
+    if s.[!i] = '|' && s.[!i + 1] = '|' then begin
+      items := String.sub s !start (!i - !start) :: !items;
+      i := !i + 2;
+      start := !i
+    end
+    else incr i
+  done;
+  items := String.sub s !start (n - !start) :: !items;
+  List.rev_map String.trim !items
 
 let parse_request line =
   let cmd, rest = split_first_word line in
@@ -32,6 +49,22 @@ let parse_request line =
       else if body = "" then Error "EST expects a query body after @model"
       else Ok (Est { model = Some model; body }))
     else Ok (Est { model = None; body = rest })
+  | "ESTBATCH" ->
+    if rest = "" then Error "ESTBATCH expects one or more query bodies"
+    else
+      let model, batch =
+        if rest.[0] = '@' then (
+          let model, batch = split_first_word rest in
+          (Some (String.sub model 1 (String.length model - 1)), batch))
+        else (None, rest)
+      in
+      if model = Some "" then Error "ESTBATCH: empty model name after @"
+      else if batch = "" then Error "ESTBATCH expects query bodies after @model"
+      else
+        let bodies = split_batch batch in
+        if List.exists (fun b -> b = "") bodies then
+          Error "ESTBATCH: empty query body in batch"
+        else Ok (Estbatch { model; bodies })
   | other -> Error (Printf.sprintf "unknown command %S" other)
 
 (* Split on commas at brace depth 0, so set predicates survive. *)

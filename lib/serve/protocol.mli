@@ -10,6 +10,7 @@
     PING
     LOAD <name> <path>
     EST [@<model>] <tvars> [; <joins> [; <selects>]]
+    ESTBATCH [@<model>] <body> || <body> || ...
     STATS
     SHUTDOWN
     v}
@@ -27,6 +28,13 @@
     [@<model>] selects a registry entry by name; without it the server
     answers from the most recently loaded model.
 
+    [ESTBATCH] carries several [EST] bodies separated by [||] and answers
+    them in one round trip: cache probes stay on the dispatcher, misses
+    are fanned out across the server's domain pool.  It answers
+    [OK <e1> <e2> ...] in request order, or a single [ERR] naming the
+    first offending body if {e any} body fails (all-or-nothing, so the
+    response shape is always predictable).
+
     {2 Responses}
 
     [PONG] for [PING]; [OK <payload>] for success; [ERR <message>] for any
@@ -39,6 +47,8 @@ type request =
   | Load of { name : string; path : string }
   | Est of { model : string option; body : string }
       (** [body] is the raw query text after the optional [@model]. *)
+  | Estbatch of { model : string option; bodies : string list }
+      (** [bodies] are the [||]-separated query texts, in request order. *)
   | Stats
   | Shutdown
 

@@ -11,9 +11,11 @@ type t = {
   registry : Registry.t;
   cache : Lru.t;
   metrics : Metrics.t;
+  pool_size : int option;
+  mutable pool : Selest_util.Pool.t option;
 }
 
-let create ?(cache_bytes = 1 lsl 20) ~db ~socket () =
+let create ?(cache_bytes = 1 lsl 20) ?pool_size ~db ~socket () =
   {
     db;
     sizes = Selest_prm.Estimate.sizes_of_db db;
@@ -21,12 +23,31 @@ let create ?(cache_bytes = 1 lsl 20) ~db ~socket () =
     registry = Registry.create ~schema:(Database.schema db);
     cache = Lru.create ~capacity_bytes:cache_bytes;
     metrics = Metrics.create ();
+    pool_size;
+    pool = None;
   }
 
 let registry t = t.registry
 let metrics t = t.metrics
 let cache t = t.cache
 let socket_path t = t.socket
+
+(* The domain pool is spawned on the first ESTBATCH, so servers that never
+   batch never pay for idle domains. *)
+let pool t =
+  match t.pool with
+  | Some p -> p
+  | None ->
+    let p = Selest_util.Pool.create ?size:t.pool_size () in
+    t.pool <- Some p;
+    p
+
+let shutdown_pool t =
+  match t.pool with
+  | Some p ->
+    Selest_util.Pool.shutdown p;
+    t.pool <- None
+  | None -> ()
 
 (* ---- request handlers ------------------------------------------------------ *)
 
@@ -42,38 +63,39 @@ let handle_load t ~name ~path =
     Metrics.incr t.metrics "load_errors";
     Protocol.err msg
 
+let resolve_model t model =
+  match model with
+  | Some name -> (
+    match Registry.find t.registry name with
+    | Some e -> Ok (name, e)
+    | None -> Error (Printf.sprintf "no model named %S (use LOAD)" name))
+  | None -> (
+    match Registry.default t.registry with
+    | Some (name, e) -> Ok (name, e)
+    | None -> Error "no model loaded (use LOAD)")
+
+(* Parse and canonicalize one query body; errors become messages. *)
+let parse_query t body =
+  match
+    let tvars, joins, selects = Protocol.split_sections body in
+    Qparse.parse t.db ~tvars ~joins ~selects ()
+  with
+  | exception Failure msg -> Error msg
+  | exception Not_found -> Error "unknown table, tuple variable or attribute in query"
+  | exception Invalid_argument msg -> Error msg
+  | q -> Ok (Canon.normalize q)
+
 let handle_est t ~model ~body =
-  let entry =
-    match model with
-    | Some name -> (
-      match Registry.find t.registry name with
-      | Some e -> Some (name, e)
-      | None -> None)
-    | None -> Registry.default t.registry
-  in
-  match entry with
-  | None ->
+  match resolve_model t model with
+  | Error msg ->
     Metrics.incr t.metrics "est_errors";
-    Protocol.err
-      (match model with
-      | Some name -> Printf.sprintf "no model named %S (use LOAD)" name
-      | None -> "no model loaded (use LOAD)")
-  | Some (name, e) -> (
-    match
-      let tvars, joins, selects = Protocol.split_sections body in
-      Qparse.parse t.db ~tvars ~joins ~selects ()
-    with
-    | exception Failure msg ->
+    Protocol.err msg
+  | Ok (name, e) -> (
+    match parse_query t body with
+    | Error msg ->
       Metrics.incr t.metrics "est_errors";
       Protocol.err msg
-    | exception Not_found ->
-      Metrics.incr t.metrics "est_errors";
-      Protocol.err "unknown table, tuple variable or attribute in query"
-    | exception Invalid_argument msg ->
-      Metrics.incr t.metrics "est_errors";
-      Protocol.err msg
-    | q -> (
-      let q = Canon.normalize q in
+    | Ok q -> (
       let key = Printf.sprintf "%s#%d|%s" name e.Registry.version (Canon.key q) in
       match Lru.find t.cache key with
       | Some estimate -> Protocol.ok (Printf.sprintf "%.17g" estimate)
@@ -86,6 +108,75 @@ let handle_est t ~model ~body =
         | exception exn ->
           Metrics.incr t.metrics "est_errors";
           Protocol.err (Printexc.to_string exn))))
+
+(* ESTBATCH: parse and cache-probe every body on the dispatcher thread,
+   fan only the distinct cache misses across the domain pool, then answer
+   in request order.  All-or-nothing: any parse or inference failure turns
+   the whole batch into one ERR, so clients never have to pair partial
+   results with queries. *)
+let handle_estbatch t ~model ~bodies =
+  match resolve_model t model with
+  | Error msg ->
+    Metrics.incr t.metrics "est_errors";
+    Protocol.err msg
+  | Ok (name, e) -> (
+    let parsed =
+      List.mapi
+        (fun i body ->
+          match parse_query t body with
+          | Ok q ->
+            Ok (Printf.sprintf "%s#%d|%s" name e.Registry.version (Canon.key q), q)
+          | Error msg -> Error (Printf.sprintf "query %d: %s" (i + 1) msg))
+        bodies
+    in
+    match
+      List.find_map (function Error msg -> Some msg | Ok _ -> None) parsed
+    with
+    | Some msg ->
+      Metrics.incr t.metrics "est_errors";
+      Protocol.err msg
+    | None -> (
+      let keyed =
+        List.map (function Ok kq -> kq | Error _ -> assert false) parsed
+      in
+      (* Probe the cache here; collect each distinct missing key once. *)
+      let misses = Hashtbl.create 16 in
+      let miss_order = ref [] in
+      List.iter
+        (fun (key, q) ->
+          if Lru.find t.cache key = None && not (Hashtbl.mem misses key) then begin
+            Hashtbl.add misses key q;
+            miss_order := (key, q) :: !miss_order
+          end)
+        keyed;
+      let miss_order = List.rev !miss_order in
+      let model_ = e.Registry.model and sizes = t.sizes in
+      match
+        Selest_util.Pool.map (pool t)
+          (fun (key, q) -> (key, Selest_prm.Estimate.estimate model_ ~sizes q))
+          miss_order
+      with
+      | exception exn ->
+        Metrics.incr t.metrics "est_errors";
+        Protocol.err (Printexc.to_string exn)
+      | computed ->
+        List.iter
+          (fun (key, v) ->
+            Lru.add t.cache key v;
+            Metrics.incr t.metrics (Printf.sprintf "infer.%s" name))
+          computed;
+        let fresh = Hashtbl.create 16 in
+        List.iter (fun (key, v) -> Hashtbl.replace fresh key v) computed;
+        let answers =
+          List.map
+            (fun (key, _) ->
+              match Lru.find t.cache key with
+              | Some v -> v
+              | None -> Hashtbl.find fresh key)
+            keyed
+        in
+        Protocol.ok
+          (String.concat " " (List.map (Printf.sprintf "%.17g") answers))))
 
 let handle_stats t =
   let pairs =
@@ -114,6 +205,10 @@ let handle_line t line =
   | Ok (Protocol.Est { model; body }) ->
     Metrics.incr t.metrics "est_requests";
     (respond (handle_est t ~model ~body), `Continue)
+  | Ok (Protocol.Estbatch { model; bodies }) ->
+    Metrics.incr t.metrics "estbatch_requests";
+    List.iter (fun _ -> Metrics.incr t.metrics "est_requests") bodies;
+    (respond (handle_estbatch t ~model ~bodies), `Continue)
   | Ok Protocol.Stats -> (respond (handle_stats t), `Continue)
   | Ok Protocol.Shutdown -> (respond (Protocol.ok "bye"), `Stop)
 
@@ -149,6 +244,7 @@ let run t =
   done;
   (try Unix.close sock with Unix.Unix_error _ -> ());
   (try Unix.unlink t.socket with Unix.Unix_error _ -> ());
+  shutdown_pool t;
   Log.info (fun m ->
       m "shut down after %d requests@.%a" (Metrics.get t.metrics "requests") Metrics.pp
         t.metrics)

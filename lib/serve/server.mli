@@ -15,15 +15,28 @@
     model version is part of the key, a hot-reloaded model never serves
     another version's cached answers.
 
-    The server is single-threaded and handles connections sequentially —
-    the simplest thing that makes the estimators addressable; batching and
-    concurrent serving belong to later layers. *)
+    The dispatcher is single-threaded and handles connections
+    sequentially, but an [ESTBATCH] request fans its cache misses across a
+    {!Selest_util.Pool} of worker domains: probes and cache fills stay on
+    the dispatcher (the {!Lru} is not shared across domains), inference —
+    the expensive, side-effect-free part — runs in parallel.  Estimates
+    are bit-identical to sequential [EST] answers: the same
+    {!Selest_prm.Estimate.estimate} runs per query either way, and
+    results are re-ordered deterministically. *)
 
 type t
 
 val create :
-  ?cache_bytes:int -> db:Selest_db.Database.t -> socket:string -> unit -> t
-(** [cache_bytes] defaults to 1 MiB.  No socket is bound until {!run}. *)
+  ?cache_bytes:int ->
+  ?pool_size:int ->
+  db:Selest_db.Database.t ->
+  socket:string ->
+  unit ->
+  t
+(** [cache_bytes] defaults to 1 MiB.  [pool_size] is the number of worker
+    domains for [ESTBATCH] (default [Domain.recommended_domain_count - 1];
+    [0] forces inline sequential batching); the pool is spawned lazily on
+    the first batch request.  No socket is bound until {!run}. *)
 
 val registry : t -> Registry.t
 val metrics : t -> Metrics.t
@@ -36,8 +49,14 @@ val handle_line : t -> string -> string * [ `Continue | `Stop ]
     becomes an [ERR] response and [`Continue]; only [SHUTDOWN] returns
     [`Stop]. *)
 
+val shutdown_pool : t -> unit
+(** Stop and join the worker domains (if any were spawned).  {!run} calls
+    this on exit; transport-free users ({!handle_line}) that issued
+    [ESTBATCH] requests should call it when done. *)
+
 val run : t -> unit
 (** Bind the socket (unlinking a stale file first), accept connections
     sequentially, serve each until EOF, and return once a [SHUTDOWN]
-    request has been answered.  The socket file is removed on exit and the
-    final metrics are logged at info level. *)
+    request has been answered.  The socket file is removed on exit, the
+    domain pool is shut down and the final metrics are logged at info
+    level. *)

@@ -1,0 +1,103 @@
+(* Domain-based worker pool (OCaml 5 multicore).
+
+   A fixed set of domains block on a shared job queue; [run] submits a
+   batch of thunks and waits for all of them, returning results in
+   submission order.  Exceptions raised by a thunk are captured and
+   re-raised on the calling thread after the whole batch settles, so a
+   failing job never wedges the pool or loses its siblings' work. *)
+
+type t = {
+  mutable domains : unit Domain.t array;
+  jobs : (unit -> unit) Queue.t;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  mutable closed : bool;
+}
+
+let default_size () = max 1 (Domain.recommended_domain_count () - 1)
+
+let worker t () =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.jobs && not t.closed do
+      Condition.wait t.nonempty t.mutex
+    done;
+    if Queue.is_empty t.jobs then Mutex.unlock t.mutex (* closed: drain done *)
+    else begin
+      let job = Queue.pop t.jobs in
+      Mutex.unlock t.mutex;
+      job ();
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?size () =
+  let n = match size with Some n -> max 0 n | None -> default_size () in
+  let t =
+    {
+      domains = [||];
+      jobs = Queue.create ();
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      closed = false;
+    }
+  in
+  t.domains <- Array.init n (fun _ -> Domain.spawn (worker t));
+  t
+
+let size t = Array.length t.domains
+
+let run_inline thunks =
+  let results = List.map (fun f -> try Ok (f ()) with e -> Error e) thunks in
+  List.map (function Ok v -> v | Error e -> raise e) results
+
+let run t thunks =
+  if t.closed then invalid_arg "Pool.run: pool is shut down";
+  match thunks with
+  | [] -> []
+  | _ when Array.length t.domains = 0 -> run_inline thunks
+  | _ ->
+    let n = List.length thunks in
+    let results = Array.make n None in
+    let remaining = Atomic.make n in
+    let done_mutex = Mutex.create () in
+    let done_cond = Condition.create () in
+    Mutex.lock t.mutex;
+    List.iteri
+      (fun i f ->
+        let job () =
+          let r = try Ok (f ()) with e -> Error e in
+          results.(i) <- Some r;
+          if Atomic.fetch_and_add remaining (-1) = 1 then begin
+            Mutex.lock done_mutex;
+            Condition.signal done_cond;
+            Mutex.unlock done_mutex
+          end
+        in
+        Queue.add job t.jobs)
+      thunks;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.mutex;
+    Mutex.lock done_mutex;
+    while Atomic.get remaining > 0 do
+      Condition.wait done_cond done_mutex
+    done;
+    Mutex.unlock done_mutex;
+    Array.to_list results
+    |> List.map (function
+         | Some (Ok v) -> v
+         | Some (Error e) -> raise e
+         | None -> assert false)
+
+let map t f xs = run t (List.map (fun x () -> f x) xs)
+
+let shutdown t =
+  if not t.closed then begin
+    Mutex.lock t.mutex;
+    t.closed <- true;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.mutex;
+    Array.iter Domain.join t.domains;
+    t.domains <- [||]
+  end

@@ -1,0 +1,36 @@
+(** Domain-based worker pool (OCaml 5 multicore).
+
+    A fixed set of domains service a shared job queue.  Batches submitted
+    with {!run} are executed in parallel and their results returned in
+    submission order, so callers that need determinism get it for free:
+    parallelism changes scheduling, never the result list's shape.
+
+    Jobs must confine themselves to thread-safe state — anything shared
+    must be immutable or protected by the caller. *)
+
+type t
+
+val create : ?size:int -> unit -> t
+(** Spawn the worker domains.  [size] defaults to
+    [Domain.recommended_domain_count () - 1] (the caller's domain makes up
+    the difference); [size:0] gives a degenerate pool whose {!run}
+    executes inline on the calling thread — handy for forcing sequential
+    execution through the same code path. *)
+
+val default_size : unit -> int
+
+val size : t -> int
+(** Number of worker domains (0 for an inline pool). *)
+
+val run : t -> (unit -> 'a) list -> 'a list
+(** Execute the thunks in parallel; block until all settle; return results
+    in submission order.  If any thunk raised, the first such exception
+    (by submission order) is re-raised after the whole batch has
+    settled. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map t f xs = run t (List.map (fun x () -> f x) xs)]. *)
+
+val shutdown : t -> unit
+(** Drain outstanding jobs, stop and join the workers.  Idempotent.
+    [run] after shutdown raises [Invalid_argument]. *)

@@ -326,6 +326,139 @@ let test_cached_prob_agrees () =
   check_float "contradiction" 0.0 (cached ev)
 
 
+(* ---- Optimized VE vs the Reference engine ----------------------------------- *)
+
+let factor_bit_equal f g =
+  let open Selest_prob in
+  Factor.vars f = Factor.vars g
+  && Factor.cards f = Factor.cards g
+  && Factor.data f = Factor.data g
+
+(* Like [gen_random_bn_and_evidence] but exercising the full predicate
+   language: Eq, Range and In_set evidence, including redundant (all-true)
+   and conjoined (two predicates on one variable) forms. *)
+let gen_random_bn_and_rich_evidence =
+  let open QCheck2.Gen in
+  let* seed = int_range 0 10_000 in
+  let rng = Selest_util.Rng.create seed in
+  let n_vars = 3 + Selest_util.Rng.int rng 2 in
+  let cards = Array.init n_vars (fun _ -> 2 + Selest_util.Rng.int rng 2) in
+  let dag = ref (Dag.empty n_vars) in
+  for child = 1 to n_vars - 1 do
+    for parent = 0 to child - 1 do
+      if Selest_util.Rng.float rng < 0.4 then dag := Dag.add_edge !dag ~src:parent ~dst:child
+    done
+  done;
+  let n_rows = 200 in
+  let cols = Array.map (fun c -> Array.init n_rows (fun _ -> Selest_util.Rng.int rng c)) cards in
+  let data =
+    Data.create
+      ~names:(Array.init n_vars (fun i -> Printf.sprintf "V%d" i))
+      ~cards cols
+  in
+  let bn = Bn.fit data ~dag:!dag ~kind:Cpd.Tables in
+  let random_pred v =
+    match Selest_util.Rng.int rng 3 with
+    | 0 -> Query.Eq (Selest_util.Rng.int rng cards.(v))
+    | 1 ->
+      let a = Selest_util.Rng.int rng cards.(v) in
+      let b = a + Selest_util.Rng.int rng (cards.(v) - a) in
+      Query.Range (a, b)
+    | _ ->
+      let k = 1 + Selest_util.Rng.int rng cards.(v) in
+      Query.In_set (List.init k (fun _ -> Selest_util.Rng.int rng cards.(v)))
+  in
+  let evidence =
+    List.concat_map
+      (fun v ->
+        if Selest_util.Rng.float rng < 0.6 then
+          if Selest_util.Rng.float rng < 0.25 then [ (v, random_pred v); (v, random_pred v) ]
+          else [ (v, random_pred v) ]
+        else [])
+      (List.init n_vars (fun i -> i))
+  in
+  pure (bn, cards, evidence)
+
+let prop_ve_bit_identical_to_reference =
+  QCheck2.Test.make ~name:"optimized VE ≡ Reference (bit-identical)" ~count:100
+    gen_random_bn_and_rich_evidence (fun (bn, _, evidence) ->
+      let fs = Bn.factors bn in
+      let fast = Ve.prob_of_evidence fs evidence in
+      let slow = Ve.Reference.prob_of_evidence fs evidence in
+      Int64.bits_of_float fast = Int64.bits_of_float slow)
+
+let prop_posterior_bit_identical_to_reference =
+  QCheck2.Test.make ~name:"optimized posterior ≡ Reference (bit-identical)" ~count:100
+    gen_random_bn_and_rich_evidence (fun (bn, cards, evidence) ->
+      let fs = Bn.factors bn in
+      (* keep the variables NOT mentioned in the evidence (at least var 0) *)
+      let mentioned = List.map fst evidence in
+      let keep =
+        Array.of_list
+          (List.filter
+             (fun v -> not (List.mem v mentioned))
+             (List.init (Array.length cards) (fun i -> i)))
+      in
+      let keep = if Array.length keep = 0 then [| 0 |] else keep in
+      match Ve.posterior fs evidence ~keep with
+      | fast -> factor_bit_equal fast (Ve.Reference.posterior fs evidence ~keep)
+      | exception Invalid_argument _ ->
+        (* contradictory evidence: both engines must refuse identically *)
+        (try
+           ignore (Ve.Reference.posterior fs evidence ~keep);
+           false
+         with Invalid_argument _ -> true))
+
+let test_ve_order_cache () =
+  Ve.order_cache_clear ();
+  let bn = eih_bn Cpd.Tables in
+  let fs = Bn.factors bn in
+  let ev = [ (0, Query.Eq 1); (2, Query.Eq 1) ] in
+  (* no plan_key: the cache is not consulted at all *)
+  ignore (Ve.prob_of_evidence fs ev);
+  Alcotest.(check (pair int int)) "uncached" (0, 0) (Ve.order_cache_stats ());
+  ignore (Ve.prob_of_evidence ~plan_key:"eih" fs ev);
+  Alcotest.(check (pair int int)) "first = miss" (0, 1) (Ve.order_cache_stats ());
+  let p1 = Ve.prob_of_evidence ~plan_key:"eih" fs ev in
+  Alcotest.(check (pair int int)) "second = hit" (1, 1) (Ve.order_cache_stats ());
+  (* same key, different evidence structure: separate entry *)
+  ignore (Ve.prob_of_evidence ~plan_key:"eih" fs [ (1, Query.Eq 0) ]);
+  Alcotest.(check (pair int int)) "new shape = miss" (1, 2) (Ve.order_cache_stats ());
+  (* the cached order must not change the answer *)
+  check_float "cached = planned" (Ve.prob_of_evidence fs ev) p1
+
+let test_normalize_evidence () =
+  let bn = eih_bn Cpd.Tables in
+  let fs = Bn.factors bn in
+  (* all-true predicates are dropped entirely (cards are E=3, I=3, H=2) *)
+  Alcotest.(check bool) "full range dropped" true
+    (Ve.normalize_evidence fs [ (1, Query.Range (0, 2)) ] = Some []);
+  Alcotest.(check bool) "full set dropped" true
+    (Ve.normalize_evidence fs [ (2, Query.In_set [ 1; 0 ]) ] = Some []);
+  (* conjunction on one variable narrows to the intersection *)
+  Alcotest.(check bool) "conjunction intersects to Eq" true
+    (Ve.normalize_evidence fs [ (1, Query.In_set [ 0; 2 ]); (1, Query.Range (1, 2)) ]
+    = Some [ (1, Query.Eq 2) ]);
+  (* contradictory conjunction *)
+  Alcotest.(check bool) "contradiction" true
+    (Ve.normalize_evidence fs [ (1, Query.Eq 0); (1, Query.Eq 1) ] = None);
+  (* a dropped no-op predicate leaves the probability untouched *)
+  check_float "no-op evidence mass" 1.0
+    (Ve.prob_of_evidence fs [ (1, Query.Range (0, 2)) ]);
+  Alcotest.(check bool) "out-of-range value rejected" true
+    (try
+       ignore (Ve.normalize_evidence fs [ (1, Query.Eq 99) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_plan_order_covers_non_keep () =
+  let bn = eih_bn Cpd.Tables in
+  let order = Ve.plan_order ~keep:[| 1 |] (Bn.factors bn) in
+  Alcotest.(check (list int)) "eliminates exactly the non-keep vars"
+    [ 0; 2 ]
+    (List.sort compare order);
+  Alcotest.(check bool) "keep var untouched" true (not (List.mem 1 order))
+
 let test_refit_same_data_is_noop () =
   let tree = Tree_cpd.fit eih_data ~child:2 ~parents:[| 0; 1 |] ~gain_threshold:0.0 () in
   let refit = Tree_cpd.refit tree eih_data ~child:2 in
@@ -519,6 +652,9 @@ let () =
           Alcotest.test_case "structure improves loglik" `Quick test_bn_loglik_improves_with_structure;
           Alcotest.test_case "posterior" `Quick test_posterior;
           Alcotest.test_case "cached prob agrees" `Quick test_cached_prob_agrees;
+          Alcotest.test_case "order cache" `Quick test_ve_order_cache;
+          Alcotest.test_case "normalize evidence" `Quick test_normalize_evidence;
+          Alcotest.test_case "plan order" `Quick test_plan_order_covers_non_keep;
         ] );
       ( "refit",
         [
@@ -531,7 +667,12 @@ let () =
           [ prop_tree_dists_normalized; prop_tree_loglik_monotone_in_budget ] );
       ( "ve-properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_ve_matches_enumeration; prop_ve_total_is_one ] );
+          [
+            prop_ve_matches_enumeration;
+            prop_ve_total_is_one;
+            prop_ve_bit_identical_to_reference;
+            prop_posterior_bit_identical_to_reference;
+          ] );
       ( "learning",
         [
           Alcotest.test_case "recovers strong edges" `Quick test_learn_recovers_strong_edges;

@@ -347,6 +347,117 @@ let prop_marginal_consistency =
   QCheck2.Test.make ~name:"marginal over all vars is identity" ~count:100 gen_factor
     (fun f -> Factor.equal ~eps:1e-12 f (Factor.marginal f (Factor.vars f)))
 
+(* ---- stride kernels vs the Reference oracle ----------------------------- *)
+
+(* The optimized kernels promise bit-identical tables for the operations on
+   the inference path (same multiplication association, same summation
+   order), so these compare exactly, not within an epsilon. *)
+let bit_equal f g =
+  Factor.vars f = Factor.vars g
+  && Factor.cards f = Factor.cards g
+  && Factor.data f = Factor.data g
+
+let prop_sum_out_matches_reference =
+  QCheck2.Test.make ~name:"stride sum_out ≡ Reference.sum_out" ~count:200 gen_factor
+    (fun f ->
+      Array.for_all
+        (fun v -> bit_equal (Factor.sum_out f v) (Factor.Reference.sum_out f v))
+        (Factor.vars f))
+
+let prop_restrict_matches_reference =
+  QCheck2.Test.make ~name:"stride restrict ≡ Reference.restrict" ~count:200 gen_factor
+    (fun f ->
+      let vars = Factor.vars f and cards = Factor.cards f in
+      Array.for_all
+        (fun i ->
+          let v = vars.(i) in
+          List.for_all
+            (fun x -> bit_equal (Factor.restrict f v x) (Factor.Reference.restrict f v x))
+            (List.init cards.(i) Fun.id))
+        (Array.init (Array.length vars) Fun.id))
+
+let prop_observe_matches_reference =
+  QCheck2.Test.make ~name:"masked observe ≡ Reference.observe" ~count:200 gen_factor
+    (fun f ->
+      let pred x = x mod 2 = 0 in
+      Array.for_all
+        (fun v -> bit_equal (Factor.observe f v pred) (Factor.Reference.observe f v pred))
+        (Factor.vars f))
+
+let prop_product_matches_reference =
+  QCheck2.Test.make ~name:"stride product ≡ Reference.product" ~count:200
+    QCheck2.Gen.(pair gen_factor gen_factor)
+    (fun (f, g) -> bit_equal (Factor.product f g) (Factor.Reference.product f g))
+
+let prop_product_all_is_fold =
+  QCheck2.Test.make ~name:"product_all ≡ left fold of products" ~count:200
+    QCheck2.Gen.(triple gen_factor gen_factor gen_factor)
+    (fun (f, g, h) ->
+      (* product_all promises the fold's association ((f·g)·h) exactly *)
+      bit_equal
+        (Factor.product_all [ f; g; h ])
+        (List.fold_left Factor.Reference.product f [ g; h ]))
+
+let prop_sum_out_product_fused =
+  QCheck2.Test.make ~name:"sum_out_product ≡ product then sum_out" ~count:200
+    QCheck2.Gen.(triple gen_factor gen_factor gen_factor)
+    (fun (f, g, h) ->
+      let fs = [ f; g; h ] in
+      let naive v =
+        Factor.Reference.sum_out
+          (List.fold_left Factor.Reference.product f [ g; h ])
+          v
+      in
+      Array.for_all
+        (fun v -> bit_equal (Factor.sum_out_product fs v) (naive v))
+        (Factor.vars (Factor.product_all fs)))
+
+let prop_sum_out_product_scratch =
+  QCheck2.Test.make ~name:"scratch-pooled sum_out_product stays exact" ~count:100
+    QCheck2.Gen.(pair gen_factor gen_factor)
+    (fun (f, g) ->
+      let fs = [ f; g ] in
+      let union = Factor.vars (Factor.product_all fs) in
+      let sc = Factor.scratch () in
+      Array.for_all
+        (fun v ->
+          (* exercise buffer recycling: take, compare, release, repeat *)
+          let a = Factor.sum_out_product ~scratch:sc fs v in
+          let expected =
+            Factor.Reference.sum_out (Factor.Reference.product f g) v
+          in
+          let ok = bit_equal a expected in
+          Factor.release sc a;
+          let b = Factor.sum_out_product ~scratch:sc fs v in
+          let ok2 = bit_equal b expected in
+          Factor.release sc b;
+          ok && ok2)
+        union)
+
+let prop_marginalize_onto_matches_reference =
+  QCheck2.Test.make ~name:"fused marginalize_onto ≈ Reference.marginal (1e-9)"
+    ~count:200
+    QCheck2.Gen.(pair gen_factor (int_range 0 15))
+    (fun (f, mask) ->
+      let keep =
+        Array.of_list (List.filter (fun v -> mask land (1 lsl v) <> 0) [ 0; 1; 2; 3 ])
+      in
+      Factor.equal ~eps:1e-9 (Factor.marginalize_onto f keep)
+        (Factor.Reference.marginal f keep))
+
+let test_observe_mask_all_true_is_identity () =
+  let f = Factor.create ~vars:[| 0; 1 |] ~cards:[| 2; 3 |] (Array.init 6 float_of_int) in
+  let g = Factor.observe_mask f 1 [| true; true; true |] in
+  Alcotest.(check bool) "physically unchanged" true (f == g);
+  let h = Factor.observe f 1 (fun _ -> true) in
+  Alcotest.(check bool) "predicate form too" true (f == h)
+
+let test_mem_sorted () =
+  let a = [| 1; 4; 9 |] in
+  Alcotest.(check bool) "present" true (Factor.mem_sorted a 4);
+  Alcotest.(check bool) "absent" false (Factor.mem_sorted a 5);
+  Alcotest.(check bool) "empty" false (Factor.mem_sorted [||] 0)
+
 let () =
   Alcotest.run "prob"
     [
@@ -398,6 +509,21 @@ let () =
             prop_observe_conjunction;
             prop_marginal_consistency;
           ] );
+      ( "stride-kernels",
+        Alcotest.test_case "observe_mask all-true is identity" `Quick
+          test_observe_mask_all_true_is_identity
+        :: Alcotest.test_case "mem_sorted" `Quick test_mem_sorted
+        :: List.map QCheck_alcotest.to_alcotest
+             [
+               prop_sum_out_matches_reference;
+               prop_restrict_matches_reference;
+               prop_observe_matches_reference;
+               prop_product_matches_reference;
+               prop_product_all_is_fold;
+               prop_sum_out_product_fused;
+               prop_sum_out_product_scratch;
+               prop_marginalize_onto_matches_reference;
+             ] );
       ( "info",
         [
           Alcotest.test_case "entropy of counts" `Quick test_entropy_of_counts;

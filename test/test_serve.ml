@@ -232,6 +232,32 @@ let test_protocol_responses () =
   Alcotest.(check (option string)) "stats field absent" None
     (Protocol.stats_field "OK cache_hits=7" "nope")
 
+let test_protocol_estbatch_parse () =
+  let p = Protocol.parse_request in
+  Alcotest.(check bool) "single body" true
+    (p "ESTBATCH p=patient ; ; p.Age=1"
+    = Ok (Protocol.Estbatch { model = None; bodies = [ "p=patient ; ; p.Age=1" ] }));
+  Alcotest.(check bool) "split on ||" true
+    (p "ESTBATCH a ;; x || b ;; y || c ;; z"
+    = Ok (Protocol.Estbatch { model = None; bodies = [ "a ;; x"; "b ;; y"; "c ;; z" ] }));
+  Alcotest.(check bool) "named model" true
+    (p "ESTBATCH @census p=patient ;; p.Age=1 || p=patient ;; p.Age=2"
+    = Ok
+        (Protocol.Estbatch
+           {
+             model = Some "census";
+             bodies = [ "p=patient ;; p.Age=1"; "p=patient ;; p.Age=2" ];
+           }));
+  Alcotest.(check bool) "braced commas survive" true
+    (p "ESTBATCH p=patient ;; p.Age={1,2} || p=patient ;; p.Age=3"
+    = Ok
+        (Protocol.Estbatch
+           { model = None; bodies = [ "p=patient ;; p.Age={1,2}"; "p=patient ;; p.Age=3" ] }));
+  Alcotest.(check bool) "no bodies" true (Result.is_error (p "ESTBATCH"));
+  Alcotest.(check bool) "bare @model" true (Result.is_error (p "ESTBATCH @census"));
+  Alcotest.(check bool) "empty model name" true (Result.is_error (p "ESTBATCH @ x"));
+  Alcotest.(check bool) "empty body in batch" true (Result.is_error (p "ESTBATCH a || "))
+
 (* ---- Registry ----------------------------------------------------------------- *)
 
 let test_registry_versions () =
@@ -310,6 +336,53 @@ let test_server_handle_line () =
   let stats = ask "STATS" in
   Alcotest.(check (option string)) "errors counted" (Some "3")
     (Protocol.stats_field stats "est_errors")
+
+let test_server_estbatch () =
+  (* Two servers over the same db/model: one answers each query through
+     sequential EST, the other with one parallel ESTBATCH on a cold cache.
+     Payloads must match character for character — %.17g round-trips
+     doubles exactly, so string equality is bit-identity. *)
+  let bodies =
+    [
+      "c=contact, p=patient ; c.patient=p ; p.USBorn=1";
+      "c=contact, p=patient ; c.patient=p ; c.Contype=2, p.USBorn=0";
+      "p=patient ; ; p.USBorn=1";
+      (* same canonical key as the previous body: exercises miss dedup *)
+      "p=patient ; ; p.USBorn={1}";
+    ]
+  in
+  let seq_server = fresh_server () in
+  let seq =
+    List.map
+      (fun b -> Protocol.payload (fst (Server.handle_line seq_server ("EST " ^ b))))
+      bodies
+  in
+  let batch_server =
+    Server.create ~db:(Lazy.force db) ~pool_size:4 ~socket:"(test: unused)" ()
+  in
+  ignore (Registry.register (Server.registry batch_server) ~name:"default" (Lazy.force model));
+  let line = "ESTBATCH " ^ String.concat " || " bodies in
+  let reply = fst (Server.handle_line batch_server line) in
+  Alcotest.(check bool) "batch ok" true (Protocol.is_ok reply);
+  Alcotest.(check (list string)) "bit-identical to sequential EST" seq
+    (String.split_on_char ' ' (Protocol.payload reply));
+  (* the last two bodies share one canonical key: only three inferences ran *)
+  Alcotest.(check int) "misses deduped" 3
+    (Metrics.get (Server.metrics batch_server) "infer.default");
+  (* a second identical batch is answered entirely from the cache *)
+  Alcotest.(check string) "cache-served batch identical" reply
+    (fst (Server.handle_line batch_server line));
+  Alcotest.(check int) "no new inferences" 3
+    (Metrics.get (Server.metrics batch_server) "infer.default");
+  (* all-or-nothing: one bad body fails the whole batch with its index *)
+  let err = fst (Server.handle_line batch_server "ESTBATCH p=patient ; ; p.USBorn=1 || z=zebra") in
+  Alcotest.(check bool) "all-or-nothing" true (Protocol.is_err err);
+  Alcotest.(check bool) "error names the query" true
+    (String.length err >= 12 && String.sub err 0 12 = "ERR query 2:");
+  Alcotest.(check bool) "unknown model" true
+    (Protocol.is_err (fst (Server.handle_line batch_server "ESTBATCH @nope p=patient ;; p.USBorn=1")));
+  Server.shutdown_pool batch_server;
+  Server.shutdown_pool seq_server
 
 (* ---- end-to-end over the socket --------------------------------------------------- *)
 
@@ -397,6 +470,7 @@ let () =
           Alcotest.test_case "parse" `Quick test_protocol_parse;
           Alcotest.test_case "sections" `Quick test_protocol_sections;
           Alcotest.test_case "responses" `Quick test_protocol_responses;
+          Alcotest.test_case "estbatch parse" `Quick test_protocol_estbatch_parse;
         ] );
       ( "registry",
         [
@@ -406,6 +480,7 @@ let () =
       ( "server",
         [
           Alcotest.test_case "handle_line" `Quick test_server_handle_line;
+          Alcotest.test_case "estbatch" `Quick test_server_estbatch;
           Alcotest.test_case "socket round trip" `Quick test_socket_round_trip;
         ] );
     ]
