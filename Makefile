@@ -14,11 +14,22 @@ bench: build
 
 # Quick inference-core benchmark: asserts the optimized VE/batch paths are
 # bit-identical to their reference engines and emits BENCH_inference.json.
+# The obs figure then runs a traced estimate (asserting tracing overhead
+# < 5% and EXPLAIN stage-sum fidelity), emits BENCH_obs.json, and its
+# normalized EXPLAIN/METRICS shape is diffed against the checked-in
+# golden so response-format regressions fail CI.
 bench-smoke: build
 	dune exec bench/main.exe -- --fig inference
 	@python3 -m json.tool BENCH_inference.json > /dev/null 2>&1 \
 	  && echo "BENCH_inference.json: valid" \
 	  || { echo "BENCH_inference.json: INVALID JSON"; exit 1; }
+	dune exec bench/main.exe -- --fig obs
+	@python3 -m json.tool BENCH_obs.json > /dev/null 2>&1 \
+	  && echo "BENCH_obs.json: valid" \
+	  || { echo "BENCH_obs.json: INVALID JSON"; exit 1; }
+	@diff -u test/golden/obs_golden.txt BENCH_obs_golden.txt \
+	  && echo "obs golden: match" \
+	  || { echo "obs golden: EXPLAIN/METRICS shape changed (update test/golden/obs_golden.txt if intended)"; exit 1; }
 
 # Smoke-test the estimation service end to end: start a server that learns
 # a PRM over the TB dataset, exercise the whole protocol, shut it down.

@@ -26,7 +26,7 @@ let known_figs =
   [
     "sanity"; "4a"; "4b"; "4c"; "5a"; "5b"; "5c"; "6a"; "6b"; "6c"; "7a"; "7b"; "7c";
     "range"; "structure"; "ablation-score"; "ablation-join"; "serve-cache"; "inference";
-    "bechamel";
+    "obs"; "bechamel";
   ]
 
 let parse_args () =
@@ -676,6 +676,21 @@ let fig_serve_cache () =
   Printf.printf "server stats: hits=%s misses=%s p50=%sus p99=%sus\n" (field "cache_hits")
     (field "cache_misses") (field "lat_p50_us") (field "lat_p99_us")
 
+(* Emit a flat string-to-value JSON object; numeric and boolean strings
+   are written unquoted so downstream tooling can compare them. *)
+let write_json file fields =
+  let oc = open_out file in
+  output_string oc "{\n";
+  List.iteri
+    (fun i (k, v) ->
+      let quoted = match float_of_string_opt v with Some _ -> v | None -> Printf.sprintf "%S" v in
+      let quoted = if v = "true" || v = "false" then v else quoted in
+      Printf.fprintf oc "  %S: %s%s\n" k quoted (if i = List.length fields - 1 then "" else ","))
+    fields;
+  output_string oc "}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" file
+
 (* ---- inference core: optimized engine vs reference (BENCH_inference.json) ----------------- *)
 
 (* Measures the three layers of the fast inference core against their
@@ -863,18 +878,294 @@ let fig_inference () =
   jfield "est_hit_p99_us" (Printf.sprintf "%.1f" (p hit_lat 99.0));
 
   (* --- emit ----------------------------------------------------------------- *)
-  let oc = open_out "BENCH_inference.json" in
-  output_string oc "{\n";
-  let fields = List.rev !json in
-  List.iteri
-    (fun i (k, v) ->
-      let quoted = match float_of_string_opt v with Some _ -> v | None -> Printf.sprintf "%S" v in
-      let quoted = if v = "true" || v = "false" then v else quoted in
-      Printf.fprintf oc "  %S: %s%s\n" k quoted (if i = List.length fields - 1 then "" else ","))
-    fields;
-  output_string oc "}\n";
+  write_json "BENCH_inference.json" (List.rev !json)
+
+(* ---- observability: trace overhead, EXPLAIN fidelity, METRICS, q-error ------------------- *)
+
+(* Validates the lib/obs acceptance bars and emits BENCH_obs.json plus a
+   normalized golden text (BENCH_obs_golden.txt) that bench-smoke diffs
+   against test/golden/obs_golden.txt:
+
+     - EST throughput with the default no-op sink vs with a global span
+       sink installed, cold caches: tracing overhead must stay < 5%;
+     - EXPLAIN stage times must sum to within 10% of the request's own
+       end-to-end wall time (the "est" container span);
+     - METRICS must parse as Prometheus text exposition and agree with
+       the request counters;
+     - TRUTH must feed the per-model rolling q-error histogram. *)
+
+let fig_obs () =
+  section "O1: observability — trace overhead, EXPLAIN fidelity, METRICS, q-error";
+  let json = ref [] in
+  let jfield name v = json := (name, v) :: !json in
+  let failures = ref [] in
+  let check name ok detail =
+    Printf.printf "%-46s %-4s %s\n" name (if ok then "ok" else "FAIL") detail;
+    if not ok then failures := name :: !failures
+  in
+  let db = Lazy.force tb in
+  let model = learn_prm ~budget_bytes:4_500 ~seed:cfg.seed db in
+  let schema = Db.Database.schema db in
+  let card t a =
+    Db.Value.card (Db.Schema.attr (Db.Schema.find_table schema t) a).Db.Schema.domain
+  in
+  let triples =
+    List.concat
+      (List.init (card "contact" "Contype") (fun i ->
+           List.concat
+             (List.init (card "patient" "Age") (fun j ->
+                  List.init (card "strain" "DrugResist") (fun k -> (i, j, k))))))
+  in
+  let body (i, j, k) =
+    Printf.sprintf
+      "c=contact, p=patient, s=strain; c.patient=p, p.strain=s; \
+       c.Contype=%d, p.Age=%d, s.DrugResist=%d"
+      i j k
+  in
+  let fresh_server () =
+    let s = Serve.Server.create ~db ~socket:"(bench: transport-free)" () in
+    ignore (Serve.Registry.register (Serve.Server.registry s) ~name:"default" model);
+    s
+  in
+  let ask server line =
+    let resp, _ = Serve.Server.handle_line server line in
+    if Serve.Protocol.is_err resp then failwith (line ^ " -> " ^ resp);
+    resp
+  in
+  let median l =
+    let a = Array.of_list l in
+    Array.sort compare a;
+    a.(Array.length a / 2)
+  in
+
+  (* --- tracing overhead: cold-cache EST passes, no sink vs a live sink ---- *)
+  let est_lines = List.map (fun tr -> "EST " ^ body tr) triples in
+  (* Shared CI machines preempt us for whole scheduler quanta, so any
+     statistic over multi-millisecond samples sees tens of percent of
+     noise — far above the single-digit effect under test.  Preemption
+     only ever *adds* time, so instead time every request individually
+     (one ~45ns monotonic read per side against ~60us requests), take the
+     per-query minimum across interleaved cold passes, and compare the
+     sums of minima.  A preemption must land inside the same ~60us window
+     on every one of the passes to bias a query's minimum, which makes
+     the summed statistic stable where pass-level medians and peaks are
+     not. *)
+  let n_passes = 15 in
+  let n_queries = List.length est_lines in
+  let est_arr = Array.of_list est_lines in
+  let pass min_us =
+    let server = fresh_server () in
+    Array.iteri
+      (fun i l ->
+        let t0 = Obs.Clock.now_ns () in
+        ignore (ask server l);
+        let dt = Obs.Clock.ns_to_us (Obs.Clock.now_ns () - t0) in
+        if dt < min_us.(i) then min_us.(i) <- dt)
+      est_arr
+  in
+  let discard = Array.make n_queries infinity in
+  pass discard;
+  pass discard;
+  (* warm-up: order cache, scratch pools, code *)
+  let sink_records = ref 0 in
+  let noop_min = Array.make n_queries infinity in
+  let traced_min = Array.make n_queries infinity in
+  for _ = 1 to n_passes do
+    Obs.Span.set_global_sink None;
+    pass noop_min;
+    Obs.Span.set_global_sink (Some (fun _ -> incr sink_records));
+    pass traced_min
+  done;
+  Obs.Span.set_global_sink None;
+  if Sys.getenv_opt "SELEST_BENCH_DEBUG" <> None then
+    Array.iteri
+      (fun i noop ->
+        Printf.printf "  query %2d noop %6.1fus traced %6.1fus\n" i noop traced_min.(i))
+      noop_min;
+  let sum a = Array.fold_left ( +. ) 0.0 a in
+  let noop = float_of_int n_queries /. sum noop_min *. 1e6 in
+  let traced = float_of_int n_queries /. sum traced_min *. 1e6 in
+  let overhead_pct = (noop -. traced) /. noop *. 100.0 in
+  Printf.printf "%d distinct TB join queries per pass, cold caches, PRM %dB\n"
+    n_queries (Prm.Model.size_bytes model);
+  Printf.printf "EST no-op sink:  %8.0f queries/s (sum of per-query minima over %d passes)\n"
+    noop n_passes;
+  Printf.printf "EST traced:      %8.0f queries/s (%d span records)\n" traced !sink_records;
+  check "tracing overhead < 5%" (overhead_pct < 5.0)
+    (Printf.sprintf "%.2f%%" overhead_pct);
+  check "traced pass emitted spans" (!sink_records > 0)
+    (string_of_int !sink_records);
+  jfield "est_queries" (string_of_int (List.length est_lines));
+  jfield "est_qps_noop" (Printf.sprintf "%.1f" noop);
+  jfield "est_qps_traced" (Printf.sprintf "%.1f" traced);
+  jfield "trace_overhead_pct" (Printf.sprintf "%.2f" overhead_pct);
+
+  (* Disabled-sink cost relative to the pre-instrumentation baseline can't
+     be measured against code this binary no longer contains, so calibrate
+     it: time the disabled [Span.with_] fast path directly and scale by the
+     spans-per-request count observed above.  This is the "within 2% of the
+     pre-PR baseline" acceptance number. *)
+  let spans_per_query =
+    float_of_int !sink_records /. float_of_int (n_passes * n_queries)
+  in
+  let calib_n = 1_000_000 in
+  let tick = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to calib_n do
+    Obs.Span.with_ "calib" (fun _ -> incr tick)
+  done;
+  let ns_per_disabled_span = (Unix.gettimeofday () -. t0) /. float_of_int calib_n *. 1e9 in
+  let query_us = 1e6 /. noop in
+  let noop_overhead_pct =
+    ns_per_disabled_span *. spans_per_query /. 1e3 /. query_us *. 100.0
+  in
+  Printf.printf
+    "disabled span: %.0fns x %.1f spans/query = %.2f%% of a %.0fus request\n"
+    ns_per_disabled_span spans_per_query noop_overhead_pct query_us;
+  check "no-op sink overhead < 2% of baseline" (noop_overhead_pct < 2.0)
+    (Printf.sprintf "%.2f%%" noop_overhead_pct);
+  jfield "spans_per_query" (Printf.sprintf "%.1f" spans_per_query);
+  jfield "ns_per_disabled_span" (Printf.sprintf "%.1f" ns_per_disabled_span);
+  jfield "noop_overhead_pct" (Printf.sprintf "%.2f" noop_overhead_pct);
+
+  (* --- EXPLAIN fidelity: stage sum vs the request's own wall time --------- *)
+  let server = fresh_server () in
+  let field resp k =
+    match Serve.Protocol.stats_field resp k with
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "missing field %s in %S" k resp)
+  in
+  let ratios = ref [] and totals = ref [] in
+  let explain_triples = List.filteri (fun i _ -> i < 31) triples in
+  List.iter
+    (fun tr ->
+      let resp = ask server ("EXPLAIN " ^ body tr) in
+      let total = float_of_string (field resp "total_us") in
+      let stage_sum = float_of_string (field resp "stage_sum_us") in
+      ratios := (stage_sum /. total) :: !ratios;
+      totals := total :: !totals)
+    explain_triples;
+  let ratio = median !ratios and total_med = median !totals in
+  Printf.printf "\nEXPLAIN over %d queries: median total %.1fus, median stage cover %.1f%%\n"
+    (List.length explain_triples) total_med (ratio *. 100.0);
+  check "EXPLAIN stage sum within 10% of wall time"
+    (ratio >= 0.9 && ratio <= 1.1)
+    (Printf.sprintf "cover %.3f" ratio);
+  (* EXPLAIN fills the cache; EST must echo the identical estimate *)
+  let tr0 = List.hd explain_triples in
+  let exp_resp = ask server ("EXPLAIN " ^ body tr0) in
+  let est_resp = ask server ("EST " ^ body tr0) in
+  let est_val = List.nth (String.split_on_char ' ' est_resp) 1 in
+  check "EXPLAIN estimate matches EST" (field exp_resp "estimate" = est_val)
+    est_val;
+  check "EXPLAIN reports warm cache" (field exp_resp "cache" = "hit") "";
+  jfield "explain_queries" (string_of_int (List.length explain_triples));
+  jfield "explain_total_us_median" (Printf.sprintf "%.1f" total_med);
+  jfield "explain_stage_cover" (Printf.sprintf "%.3f" ratio);
+
+  (* --- TRUTH: feed the rolling q-error histogram with exact counts -------- *)
+  let truth_triples = List.filteri (fun i _ -> i mod 3 = 0) triples in
+  List.iter
+    (fun (i, j, k) ->
+      let q =
+        Db.Query.with_selects tb_skeleton3
+          [ Db.Query.eq "c" "Contype" i; Db.Query.eq "p" "Age" j;
+            Db.Query.eq "s" "DrugResist" k ]
+      in
+      let tv = true_size db q in
+      ignore (ask server (Printf.sprintf "TRUTH %.17g %s" tv (body (i, j, k)))))
+    truth_triples;
+  let qsum = Obs.Qerror.summarize (Serve.Server.qerror_table server "default") in
+  Printf.printf "\nTRUTH over %d queries: q-error mean %.2f p50 %.2f p90 %.2f max %.2f\n"
+    qsum.Obs.Qerror.n qsum.Obs.Qerror.mean qsum.Obs.Qerror.p50 qsum.Obs.Qerror.p90
+    qsum.Obs.Qerror.max_q;
+  check "TRUTH observations recorded"
+    (qsum.Obs.Qerror.n = List.length truth_triples)
+    (string_of_int qsum.Obs.Qerror.n);
+  check "q-errors are >= 1" (qsum.Obs.Qerror.p50 >= 1.0)
+    (Printf.sprintf "p50 %.2f" qsum.Obs.Qerror.p50);
+  jfield "qerror_queries" (string_of_int qsum.Obs.Qerror.n);
+  jfield "qerror_mean" (Printf.sprintf "%.3f" qsum.Obs.Qerror.mean);
+  jfield "qerror_p50" (Printf.sprintf "%.3f" qsum.Obs.Qerror.p50);
+  jfield "qerror_p90" (Printf.sprintf "%.3f" qsum.Obs.Qerror.p90);
+  jfield "qerror_max" (Printf.sprintf "%.3f" qsum.Obs.Qerror.max_q);
+
+  (* --- METRICS: must parse as Prometheus and agree with the counters ------ *)
+  ignore (ask server "PING");
+  ignore
+    (ask server
+       ("ESTBATCH " ^ String.concat " || " (List.map body explain_triples)));
+  let mresp = ask server "METRICS" in
+  let nl = String.index mresp '\n' in
+  let text = String.sub mresp (nl + 1) (String.length mresp - nl - 1) in
+  let types, samples = Obs.Prometheus.parse text in
+  let sample name = Obs.Prometheus.find_sample samples ~name () in
+  (* snapshot the live counter before issuing any further request *)
+  let live_requests = Serve.Metrics.get (Serve.Server.metrics server) "requests" in
+  check "METRICS parses as Prometheus"
+    (types <> [] && samples <> [])
+    (Printf.sprintf "%d families, %d samples" (List.length types)
+       (List.length samples));
+  check "selest_requests_total agrees"
+    (sample "selest_requests_total" = Some (float_of_int live_requests))
+    (string_of_int live_requests);
+  check "latency histogram count present"
+    (match sample "selest_request_latency_us_count" with
+     | Some c -> c > 0.0
+     | None -> false)
+    "";
+  check "qerror histogram count agrees"
+    (Obs.Prometheus.find_sample samples ~name:"selest_qerror_count"
+       ~labels:[ ("model", "default") ] ()
+    = Some (float_of_int qsum.Obs.Qerror.n))
+    "";
+  jfield "metrics_families" (string_of_int (List.length types));
+  jfield "metrics_samples" (string_of_int (List.length samples));
+
+  (* --- trace log: JSONL records reach the file ----------------------------- *)
+  let tmp = Filename.temp_file "selest_obs" ".jsonl" in
+  Obs.Trace_log.install tmp;
+  ignore (ask server ("EST " ^ body tr0));
+  Obs.Trace_log.close ();
+  let ic = open_in tmp in
+  let trace_lines = ref 0 in
+  (try
+     while true do
+       ignore (input_line ic);
+       incr trace_lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove tmp;
+  check "trace log wrote one JSONL record per span" (!trace_lines >= 4)
+    (Printf.sprintf "%d lines" !trace_lines);
+  jfield "trace_log_lines" (string_of_int !trace_lines);
+  Serve.Server.shutdown_pool server;
+
+  (* --- golden text: shape only, numbers stripped --------------------------- *)
+  let golden = Buffer.create 512 in
+  Buffer.add_string golden "EXPLAIN fields:\n";
+  List.iter
+    (fun tok ->
+      match String.index_opt tok '=' with
+      | Some i -> Buffer.add_string golden ("  " ^ String.sub tok 0 i ^ "\n")
+      | None -> ())
+    (List.tl (String.split_on_char ' ' exp_resp));
+  Buffer.add_string golden "METRICS types:\n";
+  List.iter
+    (fun (n, ty) -> Buffer.add_string golden ("  " ^ n ^ " " ^ ty ^ "\n"))
+    types;
+  let oc = open_out "BENCH_obs_golden.txt" in
+  Buffer.output_buffer oc golden;
   close_out oc;
-  Printf.printf "wrote BENCH_inference.json\n"
+  Printf.printf "wrote BENCH_obs_golden.txt\n";
+
+  write_json "BENCH_obs.json" (List.rev !json);
+  if !failures <> [] then begin
+    Printf.eprintf "observability checks FAILED: %s\n"
+      (String.concat ", " (List.rev !failures));
+    exit 1
+  end
 
 (* ---- bechamel micro-benchmarks ------------------------------------------------------------ *)
 
@@ -961,5 +1252,6 @@ let () =
   if wants "ablation-join" then ablation_join ();
   if wants "serve-cache" then fig_serve_cache ();
   if wants "inference" then fig_inference ();
+  if wants "obs" then fig_obs ();
   if wants "bechamel" then bechamel_suite ();
   Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. total_t0)

@@ -39,6 +39,19 @@ let budget_arg =
     & opt int 4096
     & info [ "b"; "budget" ] ~docv:"BYTES" ~doc:"Model storage budget in bytes.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-log" ] ~docv:"FILE"
+        ~doc:
+          "Append structured JSONL trace records to $(docv): one JSON object \
+           per closed span (name, parent, depth, start/end ns, duration, \
+           attributes), covering the request path, PRM inference and \
+           variable elimination.")
+
+let setup_trace trace = Option.iter Obs.Trace_log.install trace
+
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log learner progress to stderr.")
 
@@ -213,7 +226,9 @@ let estimate_cmd =
              patient p ON c.patient = p.id WHERE p.USBorn = 'yes'\".  Replaces \
              --tv/--join/--select.")
   in
-  let run dataset seed scale from_dir budget tvs joins selects truth explain model_file sql =
+  let run dataset seed scale from_dir budget tvs joins selects truth explain model_file sql
+      trace =
+    setup_trace trace;
     let db = make_db dataset ~scale ~seed ~from_dir in
     let q =
       match sql with
@@ -235,14 +250,16 @@ let estimate_cmd =
       Printf.printf "network: %s\n" desc
     end;
     Printf.printf "estimate: %.1f\n" (estimate model db q);
-    if truth then Printf.printf "truth:    %.0f\n" (true_size db q)
+    if truth then Printf.printf "truth:    %.0f\n" (true_size db q);
+    Obs.Trace_log.close ()
   in
   Cmd.v
     (Cmd.info "estimate"
        ~doc:"Learn a PRM and estimate the result size of one query.")
     Term.(
       const run $ dataset_arg $ seed_arg $ scale_arg $ from_dir_arg $ budget_arg
-      $ tv_arg $ join_arg $ select_arg $ truth_arg $ explain_arg $ model_arg $ sql_arg)
+      $ tv_arg $ join_arg $ select_arg $ truth_arg $ explain_arg $ model_arg $ sql_arg
+      $ trace_arg)
 
 (* ---- compare -------------------------------------------------------------------- *)
 
@@ -417,8 +434,9 @@ let serve_cmd =
              one; 0 answers batches inline on the dispatcher).")
   in
   let run dataset seed scale from_dir budget socket cache_bytes pool_size model_file
-      learn verbose =
+      learn verbose trace =
     setup_logs verbose;
+    setup_trace trace;
     Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info));
     let db = make_db dataset ~scale ~seed ~from_dir in
     let server = Serve.Server.create ~cache_bytes ?pool_size ~db ~socket () in
@@ -441,10 +459,12 @@ let serve_cmd =
        ~doc:
          "Run the long-lived estimation service on a Unix-domain socket.  Speaks a \
           line protocol: PING, LOAD <name> <path>, EST [@model] <query>, ESTBATCH \
-          [@model] <query> || <query> || ..., STATS, SHUTDOWN.")
+          [@model] <query> || <query> || ..., EXPLAIN [@model] <query>, TRUTH \
+          [@model] <n> <query>, METRICS, STATS, SHUTDOWN.")
     Term.(
       const run $ dataset_arg $ seed_arg $ scale_arg $ from_dir_arg $ budget_arg
-      $ socket_arg $ cache_arg $ pool_arg $ model_arg $ learn_arg $ verbose_arg)
+      $ socket_arg $ cache_arg $ pool_arg $ model_arg $ learn_arg $ verbose_arg
+      $ trace_arg)
 
 (* ---- ask ------------------------------------------------------------------------- *)
 

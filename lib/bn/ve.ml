@@ -202,7 +202,9 @@ let plan_order ~keep factors =
 module Order_cache = struct
   let capacity = 256
 
-  type entry = { order : int list; mutable stamp : int }
+  (* [order_str] is the order pre-rendered for span attributes, so a
+     traced cache hit never rebuilds the string. *)
+  type entry = { order : int list; order_str : string; mutable stamp : int }
 
   let table : (string, entry) Hashtbl.t = Hashtbl.create capacity
   let mutex = Mutex.create ()
@@ -218,7 +220,7 @@ module Order_cache = struct
         incr clock;
         e.stamp <- !clock;
         incr hits;
-        Some e.order
+        Some (e.order, e.order_str)
       | None ->
         incr misses;
         None
@@ -226,7 +228,7 @@ module Order_cache = struct
     Mutex.unlock mutex;
     r
 
-  let add key order =
+  let add key order order_str =
     Mutex.lock mutex;
     if not (Hashtbl.mem table key) then begin
       if Hashtbl.length table >= capacity then begin
@@ -241,7 +243,7 @@ module Order_cache = struct
         match !victim with Some (k, _) -> Hashtbl.remove table k | None -> ()
       end;
       incr clock;
-      Hashtbl.add table key { order; stamp = !clock }
+      Hashtbl.add table key { order; order_str; stamp = !clock }
     end;
     Mutex.unlock mutex
 
@@ -282,17 +284,36 @@ let order_key plan_key ~actions ~keep =
     keep;
   Buffer.contents buf
 
+let attr_of_order order = String.concat "," (List.map string_of_int order)
+
 let order_for ?plan_key ~actions ~keep factors =
-  match plan_key with
-  | None -> plan_order ~keep factors
-  | Some pk -> (
-    let key = order_key pk ~actions ~keep in
-    match Order_cache.find key with
-    | Some order -> order
-    | None ->
-      let order = plan_order ~keep factors in
-      Order_cache.add key order;
-      order)
+  Selest_obs.Span.with_ "ve.plan" (fun sp ->
+      (* attr strings only when a sink will see them *)
+      let note cached order_str =
+        if Selest_obs.Span.live sp then begin
+          Selest_obs.Span.add sp "cached" cached;
+          Selest_obs.Span.add sp "order" order_str
+        end
+      in
+      match plan_key with
+      | None ->
+        let order = plan_order ~keep factors in
+        if Selest_obs.Span.live sp then note "none" (attr_of_order order);
+        order
+      | Some pk -> (
+        let key = order_key pk ~actions ~keep in
+        match Order_cache.find key with
+        | Some (order, order_str) ->
+          Selest_obs.Hotpath.order_hit ();
+          note "hit" order_str;
+          order
+        | None ->
+          Selest_obs.Hotpath.order_miss ();
+          let order = plan_order ~keep factors in
+          let order_str = attr_of_order order in
+          Order_cache.add key order order_str;
+          note "miss" order_str;
+          order))
 
 (* ---- execution -----------------------------------------------------------
 
@@ -338,30 +359,42 @@ let restricted_factors factors actions =
     factors
 
 let prob_of_evidence ?plan_key factors ev =
-  match merged_masks factors ev with
-  | None -> 0.0 (* contradictory evidence: empty event *)
-  | Some merged ->
-    let actions = actions_of_masks merged in
-    let fs = restricted_factors factors actions in
+  let prep =
+    Selest_obs.Span.with_ "ve.evidence" (fun _ ->
+        match merged_masks factors ev with
+        | None -> None (* contradictory evidence: empty event *)
+        | Some merged ->
+          let actions = actions_of_masks merged in
+          Some (actions, restricted_factors factors actions))
+  in
+  match prep with
+  | None -> 0.0
+  | Some (actions, fs) ->
     let bare = List.map fst fs in
     let order = order_for ?plan_key ~actions ~keep:[||] bare in
     let scratch = local_scratch () in
-    total_of scratch (run_order scratch fs order)
+    Selest_obs.Span.with_ "ve.eliminate" (fun _ ->
+        total_of scratch (run_order scratch fs order))
 
 let posterior ?plan_key factors ev ~keep =
-  let merged =
-    match merged_masks factors ev with
-    | Some m -> m
-    | None -> invalid_arg "Ve.posterior: contradictory evidence"
+  let actions, fs =
+    Selest_obs.Span.with_ "ve.evidence" (fun _ ->
+        let merged =
+          match merged_masks factors ev with
+          | Some m -> m
+          | None -> invalid_arg "Ve.posterior: contradictory evidence"
+        in
+        let actions = actions_of_masks merged in
+        (actions, restricted_factors factors actions))
   in
-  let actions = actions_of_masks merged in
   let keep_sorted = Array.copy keep in
   Array.sort compare keep_sorted;
-  let fs = restricted_factors factors actions in
   let bare = List.map fst fs in
   let order = order_for ?plan_key ~actions ~keep:keep_sorted bare in
   let scratch = local_scratch () in
-  let remaining = run_order scratch fs order in
+  let remaining =
+    Selest_obs.Span.with_ "ve.eliminate" (fun _ -> run_order scratch fs order)
+  in
   let result =
     match remaining with
     | [] -> Factor.constant 1.0

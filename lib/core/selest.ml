@@ -1,4 +1,5 @@
 module Util = Selest_util
+module Obs = Selest_obs
 module Prob = Selest_prob
 module Db = Selest_db
 module Synth = Selest_synth

@@ -26,6 +26,7 @@
 (** {1 Library layers} *)
 
 module Util = Selest_util
+module Obs = Selest_obs
 module Prob = Selest_prob
 module Db = Selest_db
 module Synth = Selest_synth

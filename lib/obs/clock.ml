@@ -1,0 +1,5 @@
+external now_ns : unit -> (int[@untagged])
+  = "selest_obs_clock_ns" "selest_obs_clock_ns_untagged"
+[@@noalloc]
+
+let ns_to_us ns = float_of_int ns /. 1e3

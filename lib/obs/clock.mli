@@ -1,0 +1,15 @@
+(** Monotonic clock.
+
+    All span timing uses [CLOCK_MONOTONIC] (via a tiny C stub) rather
+    than [Unix.gettimeofday]: wall-clock time can jump backwards under
+    NTP, which would produce negative span durations.  Readings are
+    plain [int] nanoseconds — 63 bits hold ~292 years since boot, and an
+    allocation-free external keeps the two reads bracketing every traced
+    span off the GC. *)
+
+val now_ns : unit -> int
+(** Nanoseconds from an arbitrary fixed origin.  Only differences are
+    meaningful. *)
+
+val ns_to_us : int -> float
+(** Convert a nanosecond delta to (fractional) microseconds. *)

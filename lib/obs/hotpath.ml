@@ -1,0 +1,65 @@
+type t = {
+  mutable factor_ops : int;
+  mutable entries_touched : int;
+  mutable max_factor_entries : int;
+  mutable scratch_hits : int;
+  mutable scratch_misses : int;
+  mutable order_hits : int;
+  mutable order_misses : int;
+}
+
+let create () =
+  { factor_ops = 0; entries_touched = 0; max_factor_entries = 0;
+    scratch_hits = 0; scratch_misses = 0; order_hits = 0; order_misses = 0 }
+
+let dkey = Domain.DLS.new_key create
+let get () = Domain.DLS.get dkey
+
+let kernel ~entries ~out =
+  let c = get () in
+  c.factor_ops <- c.factor_ops + 1;
+  c.entries_touched <- c.entries_touched + entries;
+  if out > c.max_factor_entries then c.max_factor_entries <- out
+
+let scratch_hit () = let c = get () in c.scratch_hits <- c.scratch_hits + 1
+let scratch_miss () = let c = get () in c.scratch_misses <- c.scratch_misses + 1
+let order_hit () = let c = get () in c.order_hits <- c.order_hits + 1
+let order_miss () = let c = get () in c.order_misses <- c.order_misses + 1
+
+let copy c =
+  { factor_ops = c.factor_ops; entries_touched = c.entries_touched;
+    max_factor_entries = c.max_factor_entries; scratch_hits = c.scratch_hits;
+    scratch_misses = c.scratch_misses; order_hits = c.order_hits;
+    order_misses = c.order_misses }
+
+let measure f =
+  let cur = get () in
+  let before = copy cur in
+  (* Scope the high-water mark to [f]; restore the enclosing mark after. *)
+  cur.max_factor_entries <- 0;
+  let delta () =
+    let d =
+      { factor_ops = cur.factor_ops - before.factor_ops;
+        entries_touched = cur.entries_touched - before.entries_touched;
+        max_factor_entries = cur.max_factor_entries;
+        scratch_hits = cur.scratch_hits - before.scratch_hits;
+        scratch_misses = cur.scratch_misses - before.scratch_misses;
+        order_hits = cur.order_hits - before.order_hits;
+        order_misses = cur.order_misses - before.order_misses }
+    in
+    if before.max_factor_entries > cur.max_factor_entries then
+      cur.max_factor_entries <- before.max_factor_entries;
+    d
+  in
+  match f () with
+  | x -> (x, delta ())
+  | exception e -> ignore (delta ()); raise e
+
+let to_pairs c =
+  [ ("factor_ops", c.factor_ops);
+    ("entries_touched", c.entries_touched);
+    ("max_factor_entries", c.max_factor_entries);
+    ("scratch_hits", c.scratch_hits);
+    ("scratch_misses", c.scratch_misses);
+    ("order_hits", c.order_hits);
+    ("order_misses", c.order_misses) ]

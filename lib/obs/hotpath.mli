@@ -1,0 +1,43 @@
+(** Domain-local hot-path counters for the inference kernels.
+
+    Unlike spans these are always on: each counter bump is a plain
+    mutable-field increment on a domain-local record — no lock, no
+    atomic, no branch on an enabled flag — cheap enough for the factor
+    kernels (one bump per {e kernel call}, never per table entry).
+
+    Counters accumulate monotonically per domain.  {!measure} takes a
+    snapshot around a callback and returns the delta, which is how the
+    server attributes kernel work to one request and rolls it into
+    service-level metrics. *)
+
+type t = {
+  mutable factor_ops : int;  (** kernel invocations (product / sum-out / marginalize) *)
+  mutable entries_touched : int;  (** table entries read or written by kernels *)
+  mutable max_factor_entries : int;  (** largest intermediate factor table built *)
+  mutable scratch_hits : int;  (** scratch-pool buffer reuses *)
+  mutable scratch_misses : int;  (** scratch-pool allocations *)
+  mutable order_hits : int;  (** elimination-order cache hits *)
+  mutable order_misses : int;  (** elimination-order cache misses (fresh plans) *)
+}
+
+val get : unit -> t
+(** The calling domain's live counter record. *)
+
+val kernel : entries:int -> out:int -> unit
+(** Bump [factor_ops], add [entries] to [entries_touched], and raise the
+    [max_factor_entries] high-water mark to [out] if larger. *)
+
+val scratch_hit : unit -> unit
+val scratch_miss : unit -> unit
+val order_hit : unit -> unit
+val order_miss : unit -> unit
+
+val measure : (unit -> 'a) -> 'a * t
+(** [measure f] runs [f] and returns the counter deltas it caused on
+    this domain.  [max_factor_entries] in the delta is the high-water
+    mark reached {e during} [f] (the surrounding mark is restored
+    afterwards).  Work done by other domains (e.g. pool workers) is not
+    included — measure inside the worker, not around the dispatch. *)
+
+val to_pairs : t -> (string * int) list
+(** Stable [name, value] listing, for STATS / EXPLAIN rendering. *)

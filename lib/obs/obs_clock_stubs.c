@@ -1,0 +1,26 @@
+/* Monotonic clock for span timing.  CLOCK_MONOTONIC survives wall-clock
+   adjustments (NTP slews, manual resets), which matters because span
+   durations are differences of raw readings taken milliseconds apart.
+
+   The native-code entry returns an untagged intnat and is [@@noalloc]:
+   two clock reads bracket every traced span, so a boxed or tagged
+   result would put allocations on the hot path for nothing.  63 bits of
+   nanoseconds since boot is ~292 years — no overflow concern. */
+
+#include <stdint.h>
+#include <time.h>
+
+#include <caml/mlvalues.h>
+
+CAMLprim intnat selest_obs_clock_ns_untagged(value unit)
+{
+  (void)unit;
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return (intnat)((int64_t)ts.tv_sec * 1000000000 + ts.tv_nsec);
+}
+
+CAMLprim value selest_obs_clock_ns(value unit)
+{
+  return Val_long(selest_obs_clock_ns_untagged(unit));
+}

@@ -1,0 +1,71 @@
+(** Hierarchical spans with zero-cost-when-disabled recording.
+
+    A span is a named interval of work with key=value attributes.  Spans
+    nest: opening a span inside another records the parent's id, so a
+    sink can reconstruct the call tree.  Timing uses {!Clock.now_ns}.
+
+    Two sinks can be active:
+
+    - a {e per-domain} sink, installed by {!collect} for the dynamic
+      extent of one callback (used by [EXPLAIN] to capture a single
+      request's spans without seeing concurrent domains' spans); and
+    - a {e global} sink shared by all domains, installed by
+      {!set_global_sink} (used by [--trace-log]).  The global sink must
+      be thread-safe; span records are pushed from whichever domain
+      closed the span.
+
+    When neither sink is installed — the default — {!with_} costs one
+    domain-local read and two branches, then runs the callback with the
+    shared {!null} span: no clock read, no allocation of a record, and
+    {!add} on the null span is a no-op.  This is the "global no-op sink"
+    fast path; instrumentation can therefore stay on hot paths
+    unconditionally. *)
+
+type record = {
+  name : string;
+  id : int;  (** unique within a trace; odd-ball ids across domains don't collide *)
+  parent : int;  (** id of the enclosing span, or [0] at the root *)
+  depth : int;  (** nesting depth, [0] at the root *)
+  start_ns : int;
+  end_ns : int;
+  attrs : (string * string) list;  (** in the order {!add} was called *)
+}
+
+type sink = record -> unit
+
+type t
+(** An open span, passed to the {!with_} callback.  Valid only within
+    that callback. *)
+
+val null : t
+(** The dead span handed out when tracing is disabled.  {!add} on it
+    does nothing. *)
+
+val enabled : unit -> bool
+(** [true] iff some sink (per-domain or global) would receive records
+    right now.  Lets callers skip building expensive attribute strings. *)
+
+val live : t -> bool
+(** [true] for spans handed out while a sink is active, [false] for
+    {!null}.  Cheaper than {!enabled} inside a [with_] callback. *)
+
+val add : t -> string -> string -> unit
+(** [add sp key value] attaches an attribute.  No-op on {!null}. *)
+
+val with_ : ?attrs:(string * string) list -> string -> (t -> 'a) -> 'a
+(** [with_ name f] opens a span, runs [f], closes the span and emits its
+    record to the active sinks (even when [f] raises).  Records are
+    emitted at close, so children are emitted before their parents. *)
+
+val collect : (unit -> 'a) -> 'a * record list
+(** [collect f] runs [f] with a buffering per-domain sink installed and
+    returns the records of every span closed during [f], in emission
+    order (children first).  A previously installed per-domain sink is
+    saved and restored; the global sink still sees the records too. *)
+
+val set_global_sink : sink option -> unit
+(** Install (or clear) the process-wide sink.  The sink must tolerate
+    concurrent calls from multiple domains. *)
+
+val duration_us : record -> float
+(** Span length in microseconds. *)

@@ -1,0 +1,74 @@
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+type sink_state = { oc : out_channel; mutex : Mutex.t }
+
+let current : sink_state option ref = ref None
+let current_mutex = Mutex.create ()
+
+let render (r : Span.record) =
+  let b = Buffer.create 160 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"name\":\"%s\",\"id\":%d,\"parent\":%d,\"depth\":%d,\"start_ns\":%d,\"end_ns\":%d,\"dur_us\":%.3f"
+       (json_escape r.Span.name) r.Span.id r.Span.parent r.Span.depth
+       r.Span.start_ns r.Span.end_ns (Span.duration_us r));
+  (match r.Span.attrs with
+  | [] -> ()
+  | attrs ->
+    Buffer.add_string b ",\"attrs\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b
+          (Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+      attrs;
+    Buffer.add_char b '}');
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let write st r =
+  let line = render r in
+  Mutex.lock st.mutex;
+  output_string st.oc line;
+  Mutex.unlock st.mutex
+
+let close () =
+  Mutex.lock current_mutex;
+  (match !current with
+  | Some st ->
+    Span.set_global_sink None;
+    Mutex.lock st.mutex;
+    (try close_out st.oc with Sys_error _ -> ());
+    Mutex.unlock st.mutex;
+    current := None
+  | None -> ());
+  Mutex.unlock current_mutex
+
+let install file =
+  close ();
+  let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 file in
+  let st = { oc; mutex = Mutex.create () } in
+  Mutex.lock current_mutex;
+  current := Some st;
+  Mutex.unlock current_mutex;
+  Span.set_global_sink (Some (write st))
+
+let installed () =
+  Mutex.lock current_mutex;
+  let r = match !current with Some _ -> true | None -> false in
+  Mutex.unlock current_mutex;
+  r

@@ -230,12 +230,21 @@ let closure_scale sizes c =
   List.fold_left (fun acc (_, ti) -> acc *. float_of_int sizes.(ti)) 1.0 c.c_tvars
 
 let estimate prm ~sizes q =
-  let c, factors, select_ev, join_ev = build_network prm q in
-  let p =
-    Ve.prob_of_evidence ~plan_key:(plan_key_of prm q) factors
-      (select_ev @ join_ev)
-  in
-  p *. closure_scale sizes c
+  Selest_obs.Span.with_ "prm.estimate" (fun sp ->
+      let c, factors, select_ev, join_ev =
+        Selest_obs.Span.with_ "prm.build" (fun _ -> build_network prm q)
+      in
+      if Selest_obs.Span.live sp then begin
+        Selest_obs.Span.add sp "factors"
+          (string_of_int (List.length factors));
+        Selest_obs.Span.add sp "tvars"
+          (String.concat ";" (List.map fst c.c_tvars))
+      end;
+      let p =
+        Ve.prob_of_evidence ~plan_key:(plan_key_of prm q) factors
+          (select_ev @ join_ev)
+      in
+      p *. closure_scale sizes c)
 
 let query_eval_network prm q =
   let c, factors, select_ev, join_ev = build_network prm q in

@@ -57,7 +57,9 @@ type state = {
   ext_data : Data.t array;  (* per table *)
   caches : Score.cache array;  (* per table, over extended data *)
   join_cache : (int * int * Model.parent list, Suffstats.join_stats) Hashtbl.t;
-  join_mutex : Mutex.t;  (* guards join_cache under parallel scoring *)
+  join_mutex : Mutex.t;  (* guards join_cache (and its counters) under parallel scoring *)
+  join_hits : int ref;  (* suffstat reuses served from join_cache *)
+  join_misses : int ref;  (* join suffstat fits computed from the data *)
   pool : Pool.t option;  (* scoring pool; None = sequential *)
   (* current structure: chosen family per attribute and per join indicator *)
   attr_fams : fam array array;
@@ -90,6 +92,9 @@ let join_family st ti fk parents =
   let find () =
     Mutex.lock st.join_mutex;
     let r = Hashtbl.find_opt st.join_cache key in
+    (match r with
+    | Some _ -> incr st.join_hits
+    | None -> incr st.join_misses);
     Mutex.unlock st.join_mutex;
     r
   in
@@ -312,28 +317,46 @@ let score_moves st moves =
   | Some pool -> Pool.map pool (fun move -> (move, evaluate st move)) moves
   | None -> List.map (fun move -> (move, evaluate st move)) moves
 
+let describe_move = function
+  | Attr_add (ti, a, _) -> Printf.sprintf "attr_add:%d.%d" ti a
+  | Attr_remove (ti, a, _) -> Printf.sprintf "attr_remove:%d.%d" ti a
+  | Join_add (ti, fk, _) -> Printf.sprintf "join_add:%d.%d" ti fk
+  | Join_remove (ti, fk, _) -> Printf.sprintf "join_remove:%d.%d" ti fk
+
 let climb st ~mdl_penalty =
   let taken = ref 0 in
   let continue = ref true in
   while !continue do
-    let best = ref None in
-    List.iter
-      (fun (move, evaluation) ->
-        match evaluation with
-        | None -> ()
-        | Some (new_f, dscore, dbytes, dparams) ->
-          let value = criterion st.cfg ~mdl_penalty (dscore, dbytes, dparams) in
-          if value > eps then begin
-            match !best with
-            | Some (v0, ds0, _, _, _) when v0 > value || (v0 = value && ds0 >= dscore) -> ()
-            | _ -> best := Some (value, dscore, dbytes, new_f, move)
-          end)
-      (score_moves st (candidate_moves st));
-    match !best with
-    | None -> continue := false
-    | Some (_, _, dbytes, new_f, move) ->
-      accept st move new_f dbytes;
-      incr taken
+    Selest_obs.Span.with_ "learn.iter" (fun sp ->
+        let moves = candidate_moves st in
+        let best = ref None in
+        List.iter
+          (fun (move, evaluation) ->
+            match evaluation with
+            | None -> ()
+            | Some (new_f, dscore, dbytes, dparams) ->
+              let value = criterion st.cfg ~mdl_penalty (dscore, dbytes, dparams) in
+              if value > eps then begin
+                match !best with
+                | Some (v0, ds0, _, _, _) when v0 > value || (v0 = value && ds0 >= dscore) -> ()
+                | _ -> best := Some (value, dscore, dbytes, new_f, move)
+              end)
+          (score_moves st moves);
+        (match !best with
+        | None -> continue := false
+        | Some (_, _, dbytes, new_f, move) ->
+          accept st move new_f dbytes;
+          incr taken;
+          if Selest_obs.Span.enabled () then
+            Selest_obs.Span.add sp "accepted" (describe_move move));
+        if Selest_obs.Span.enabled () then begin
+          Selest_obs.Span.add sp "moves_scored"
+            (string_of_int (List.length moves));
+          Selest_obs.Span.add sp "budget_used" (string_of_int st.size);
+          Selest_obs.Span.add sp "suffstat_hits" (string_of_int !(st.join_hits));
+          Selest_obs.Span.add sp "suffstat_misses"
+            (string_of_int !(st.join_misses))
+        end)
   done;
   !taken
 
@@ -395,6 +418,8 @@ let learn ~config:cfg db =
       caches;
       join_cache = Hashtbl.create 64;
       join_mutex = Mutex.create ();
+      join_hits = ref 0;
+      join_misses = ref 0;
       pool;
       attr_fams = [||];
       join_fams = [||];
@@ -433,14 +458,27 @@ let learn ~config:cfg db =
       in
       let mdl_penalty = Arrayx.log2 max_weight /. 2.0 in
       let rng = Rng.create cfg.seed in
-      let iterations = ref (climb st ~mdl_penalty) in
-      let best = ref (snapshot st, total_loglik st) in
-      for _ = 1 to cfg.random_restarts do
-        random_walk st rng;
-        iterations := !iterations + climb st ~mdl_penalty;
-        let ll = total_loglik st in
-        if ll > snd !best then best := (snapshot st, ll)
-      done;
+      let iterations = ref 0 in
+      let best =
+        Selest_obs.Span.with_
+          ~attrs:[ ("budget_bytes", string_of_int cfg.budget_bytes) ]
+          "prm.learn"
+          (fun sp ->
+            iterations := climb st ~mdl_penalty;
+            let best = ref (snapshot st, total_loglik st) in
+            for _ = 1 to cfg.random_restarts do
+              random_walk st rng;
+              iterations := !iterations + climb st ~mdl_penalty;
+              let ll = total_loglik st in
+              if ll > snd !best then best := (snapshot st, ll)
+            done;
+            if Selest_obs.Span.enabled () then begin
+              Selest_obs.Span.add sp "iterations" (string_of_int !iterations);
+              Selest_obs.Span.add sp "bytes" (string_of_int st.size)
+            end;
+            !best)
+      in
+      let best = ref best in
       restore st (fst !best);
       let model = to_model st in
       Log.info (fun m ->

@@ -144,6 +144,7 @@ let product a b =
   let uvars, ucards = union_vars a b in
   let n = Array.length uvars in
   let usize = table_size ucards in
+  Selest_obs.Hotpath.kernel ~entries:usize ~out:usize;
   let stride_a = strides_in ~uvars a and stride_b = strides_in ~uvars b in
   let digits = Array.make n 0 in
   let data = Array.make usize 0.0 in
@@ -189,9 +190,12 @@ let scratch () : scratch = Hashtbl.create 8
 let scratch_take (sc : scratch) size =
   match Hashtbl.find_opt sc size with
   | Some ({ contents = buf :: rest } as slot) ->
+    Selest_obs.Hotpath.scratch_hit ();
     slot := rest;
     buf
-  | _ -> Array.make size 0.0
+  | _ ->
+    Selest_obs.Hotpath.scratch_miss ();
+    Array.make size 0.0
 
 let scratch_release (sc : scratch) (buf : float array) =
   let size = Array.length buf in
@@ -211,6 +215,7 @@ let sum_out t v =
     let sp = s.(p) and cv = t.cards.(p) in
     let new_vars = remove_at t.vars p and new_cards = remove_at t.cards p in
     let new_size = table_size new_cards in
+    Selest_obs.Hotpath.kernel ~entries:(Array.length t.data) ~out:new_size;
     let data = Array.make new_size 0.0 in
     let old = t.data in
     let block = sp * cv in
@@ -283,6 +288,7 @@ let product_all = function
     let uvars, ucards = union_scope fs in
     let n = Array.length uvars in
     let usize = table_size ucards in
+    Selest_obs.Hotpath.kernel ~entries:usize ~out:usize;
     let ops = Array.of_list fs in
     let k = Array.length ops in
     let datas = Array.map (fun f -> f.data) ops in
@@ -344,6 +350,7 @@ let sum_out_product ?scratch fs v =
     else begin
       let out_vars = remove_at uvars p and out_cards = remove_at ucards p in
       let out_size = table_size out_cards in
+      Selest_obs.Hotpath.kernel ~entries:usize ~out:out_size;
       let out_strides_reduced = strides out_cards in
       (* stride of each union digit in the output table; 0 for v itself *)
       let out_stride =
@@ -405,6 +412,7 @@ let product_into sc a b =
   let uvars, ucards = union_vars a b in
   let n = Array.length uvars in
   let usize = table_size ucards in
+  Selest_obs.Hotpath.kernel ~entries:usize ~out:usize;
   let stride_a = strides_in ~uvars a and stride_b = strides_in ~uvars b in
   let digits = Array.make n 0 in
   let data = scratch_take sc usize in
@@ -463,6 +471,7 @@ let marginalize_onto t keep =
     done;
     let out_vars = Array.of_list !out_vars and out_cards = Array.of_list !out_cards in
     let out_size = table_size out_cards in
+    Selest_obs.Hotpath.kernel ~entries:(Array.length t.data) ~out:out_size;
     let out_strides_reduced = strides out_cards in
     let out_stride = Array.make n 0 in
     let j = ref 0 in

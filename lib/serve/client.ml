@@ -19,7 +19,17 @@ let request t line =
   output_string t.oc line;
   output_char t.oc '\n';
   flush t.oc;
-  input_line t.ic
+  let header = input_line t.ic in
+  match Protocol.extra_lines header with
+  | 0 -> header
+  | k ->
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf header;
+    for _ = 1 to k do
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (input_line t.ic)
+    done;
+    Buffer.contents buf
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 

@@ -13,8 +13,11 @@ val connect : ?retries:int -> socket:string -> unit -> t
     Raises [Unix.Unix_error] once the attempts are exhausted. *)
 
 val request : t -> string -> string
-(** Send one request line, wait for the response line.  Raises
-    [End_of_file] if the server hangs up first. *)
+(** Send one request line, wait for the response.  Single-line responses
+    come back as-is; an [OK lines=<k>] header ({!Protocol.extra_lines},
+    e.g. from [METRICS]) makes the client read the [k] payload lines too
+    and return the whole newline-joined text.  Raises [End_of_file] if
+    the server hangs up first. *)
 
 val close : t -> unit
 

@@ -2,11 +2,16 @@
    bound.(i) = 1.5^i microseconds; 64 buckets reach ~1.2e11 µs, far beyond
    any request this server could serve. *)
 let n_buckets = 64
+let bucket_base = 1.5
 
-let bounds =
-  Array.init n_buckets (fun i -> 1.5 ** float_of_int i)
+let bounds = Array.init n_buckets (fun i -> bucket_base ** float_of_int i)
 
+(* One mutex guards everything: counters are bumped from pool workers
+   during ESTBATCH while the dispatcher reads STATS, and [report] must
+   see one consistent snapshot, not counters from mid-batch and a
+   histogram from after it. *)
 type t = {
+  mutex : Mutex.t;
   counters : (string, int ref) Hashtbl.t;
   hist : int array;
   mutable lat_count : int;
@@ -15,23 +20,32 @@ type t = {
 
 let create () =
   {
+    mutex = Mutex.create ();
     counters = Hashtbl.create 16;
     hist = Array.make n_buckets 0;
     lat_count = 0;
     lat_sum_us = 0.0;
   }
 
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
 let incr ?(by = 1) t name =
-  match Hashtbl.find_opt t.counters name with
-  | Some r -> r := !r + by
-  | None -> Hashtbl.add t.counters name (ref by)
+  locked t (fun () ->
+      match Hashtbl.find_opt t.counters name with
+      | Some r -> r := !r + by
+      | None -> Hashtbl.add t.counters name (ref by))
 
 let get t name =
-  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+  locked t (fun () ->
+      match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0)
 
-let counters t =
+let counters_unlocked t =
   Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
   |> List.sort compare
+
+let counters t = locked t (fun () -> counters_unlocked t)
 
 let bucket_of us =
   let rec go i = if i >= n_buckets - 1 || us <= bounds.(i) then i else go (i + 1) in
@@ -39,16 +53,19 @@ let bucket_of us =
 
 let observe t seconds =
   let us = seconds *. 1e6 in
-  t.hist.(bucket_of us) <- t.hist.(bucket_of us) + 1;
-  t.lat_count <- t.lat_count + 1;
-  t.lat_sum_us <- t.lat_sum_us +. us
+  locked t (fun () ->
+      t.hist.(bucket_of us) <- t.hist.(bucket_of us) + 1;
+      t.lat_count <- t.lat_count + 1;
+      t.lat_sum_us <- t.lat_sum_us +. us)
 
-let observations t = t.lat_count
+let observations t = locked t (fun () -> t.lat_count)
 
-let mean_latency_us t =
+let mean_unlocked t =
   if t.lat_count = 0 then 0.0 else t.lat_sum_us /. float_of_int t.lat_count
 
-let percentile_us t p =
+let mean_latency_us t = locked t (fun () -> mean_unlocked t)
+
+let percentile_unlocked t p =
   if p < 0.0 || p > 1.0 then invalid_arg "Metrics.percentile_us: p outside [0,1]";
   if t.lat_count = 0 then 0.0
   else begin
@@ -67,15 +84,44 @@ let percentile_us t p =
     !answer
   end
 
+let percentile_us t p = locked t (fun () -> percentile_unlocked t p)
+
+let histogram t =
+  locked t (fun () ->
+      let cum = ref 0 in
+      Array.mapi
+        (fun i c ->
+          cum := !cum + c;
+          (bounds.(i), !cum))
+        t.hist)
+
+let latency_sum_us t = locked t (fun () -> t.lat_sum_us)
+
+let nonzero_buckets_unlocked t =
+  let parts = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    if t.hist.(i) > 0 then
+      parts := Printf.sprintf "%d:%d" i t.hist.(i) :: !parts
+  done;
+  match !parts with [] -> "-" | ps -> String.concat "," ps
+
 let report t =
-  List.map (fun (k, v) -> (k, string_of_int v)) (counters t)
-  @ [
-      ("lat_count", string_of_int t.lat_count);
-      ("lat_mean_us", Printf.sprintf "%.1f" (mean_latency_us t));
-      ("lat_p50_us", Printf.sprintf "%.1f" (percentile_us t 0.50));
-      ("lat_p95_us", Printf.sprintf "%.1f" (percentile_us t 0.95));
-      ("lat_p99_us", Printf.sprintf "%.1f" (percentile_us t 0.99));
-    ]
+  locked t (fun () ->
+      List.map (fun (k, v) -> (k, string_of_int v)) (counters_unlocked t)
+      @ [
+          ("lat_count", string_of_int t.lat_count);
+          (* exact, from the running sum — unquantized *)
+          ("lat_mean_us", Printf.sprintf "%.1f" (mean_unlocked t));
+          (* upper bucket edge: overstates by at most one bucket ratio *)
+          ("lat_p50_us", Printf.sprintf "%.1f" (percentile_unlocked t 0.50));
+          ("lat_p95_us", Printf.sprintf "%.1f" (percentile_unlocked t 0.95));
+          ("lat_p99_us", Printf.sprintf "%.1f" (percentile_unlocked t 0.99));
+          (* bucket layout + raw counts, so dashboards can re-bucket *)
+          ("lat_buckets", string_of_int n_buckets);
+          ("lat_bucket_base", Printf.sprintf "%.2f" bucket_base);
+          ("lat_hist", nonzero_buckets_unlocked t);
+          ("lat_quantization", "percentiles=bucket-upper-edge mean=exact");
+        ])
 
 let pp ppf t =
   List.iter (fun (k, v) -> Format.fprintf ppf "%s=%s@." k v) (report t)

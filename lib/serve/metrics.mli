@@ -7,17 +7,35 @@
     inference counts) and a log-scale latency histogram from which p50,
     p95 and p99 are read without storing individual samples.
 
-    The histogram buckets grow geometrically (factor 1.5 from 1µs), so
-    percentile answers carry at most ~50% relative quantization error over
-    a range of microseconds to minutes — the right trade for a counter
-    that is bumped on every request of a hot loop. *)
+    The histogram buckets grow geometrically (factor {!bucket_base} from
+    1µs), so percentile answers carry at most ~50% relative quantization
+    error over a range of microseconds to minutes — the right trade for a
+    counter that is bumped on every request of a hot loop.
+
+    {b Quantization asymmetry}: {!percentile_us} answers with the {e
+    upper edge} of the bucket holding the requested quantile (it can
+    overstate the true percentile by up to one bucket ratio), while
+    {!mean_latency_us} divides the exact running sum by the count and
+    carries no quantization at all.  A p50 slightly above the mean on a
+    tight unimodal distribution is therefore an artifact, not a skew
+    signal.  {!report} states this in [lat_quantization] and exposes the
+    bucket layout so dashboards can re-bucket.
+
+    All operations are mutex-guarded: [ESTBATCH] bumps counters from
+    {!Selest_util.Pool} workers while the dispatcher serves [STATS], and
+    {!report} takes the same lock so its snapshot is consistent under
+    concurrent writers. *)
 
 type t
+
+val n_buckets : int
+val bucket_base : float
 
 val create : unit -> t
 
 val incr : ?by:int -> t -> string -> unit
-(** Bump a named counter, creating it at zero first if needed. *)
+(** Bump a named counter, creating it at zero first if needed.
+    Thread-safe; concurrent bumps never lose increments. *)
 
 val get : t -> string -> int
 (** Current value of a counter; 0 when never bumped. *)
@@ -29,18 +47,30 @@ val observe : t -> float -> unit
 (** Record one request latency, in seconds. *)
 
 val observations : t -> int
+
 val mean_latency_us : t -> float
-(** 0 when nothing was observed. *)
+(** Exact mean latency (no bucket quantization); 0 when nothing was
+    observed. *)
 
 val percentile_us : t -> float -> float
 (** [percentile_us t 0.95]: upper edge of the bucket holding the p-th
     latency quantile, in microseconds; 0 when nothing was observed.
     Raises [Invalid_argument] outside [0,1]. *)
 
+val histogram : t -> (float * int) array
+(** [(upper edge in µs, cumulative count)] for every bucket —
+    Prometheus-ready cumulative form. *)
+
+val latency_sum_us : t -> float
+(** Exact sum of observed latencies in µs (the [_sum] series). *)
+
 val report : t -> (string * string) list
-(** Everything above as sorted [key=value]-ready pairs: the counters plus
-    [lat_count], [lat_mean_us], [lat_p50_us], [lat_p95_us], [lat_p99_us]
-    (latency fields are listed after the counters). *)
+(** One consistent snapshot as [key=value]-ready pairs: the counters
+    (sorted), then [lat_count], [lat_mean_us], [lat_p50_us],
+    [lat_p95_us], [lat_p99_us], then the bucket layout — [lat_buckets]
+    (bucket count), [lat_bucket_base] (geometric ratio), [lat_hist]
+    (nonzero raw buckets as [index:count,...], or [-] when empty) — and
+    [lat_quantization] documenting the percentile-vs-mean asymmetry. *)
 
 val pp : Format.formatter -> t -> unit
 (** One [key=value] pair per line (the shutdown report). *)

@@ -3,7 +3,10 @@ type request =
   | Load of { name : string; path : string }
   | Est of { model : string option; body : string }
   | Estbatch of { model : string option; bodies : string list }
+  | Explain of { model : string option; body : string }
+  | Truth of { model : string option; truth : float; body : string }
   | Stats
+  | Metrics
   | Shutdown
 
 let split_first_word s =
@@ -29,26 +32,46 @@ let split_batch s =
   items := String.sub s !start (n - !start) :: !items;
   List.rev_map String.trim !items
 
+(* Shared [@model] prefix + body parsing for EST-shaped commands. *)
+let parse_model_body ~cmd rest k =
+  if rest = "" then Error (cmd ^ " expects a query body")
+  else if rest.[0] = '@' then (
+    let model, body = split_first_word rest in
+    let model = String.sub model 1 (String.length model - 1) in
+    if model = "" then Error (cmd ^ ": empty model name after @")
+    else if body = "" then Error (cmd ^ " expects a query body after @model")
+    else k (Some model) body)
+  else k None rest
+
 let parse_request line =
   let cmd, rest = split_first_word line in
   match String.uppercase_ascii cmd with
   | "" -> Error "empty request"
   | "PING" -> Ok Ping
   | "STATS" -> Ok Stats
+  | "METRICS" -> Ok Metrics
   | "SHUTDOWN" -> Ok Shutdown
   | "LOAD" -> (
     match String.split_on_char ' ' rest |> List.filter (fun s -> s <> "") with
     | [ name; path ] -> Ok (Load { name; path })
     | _ -> Error "LOAD expects: LOAD <name> <path>")
   | "EST" ->
-    if rest = "" then Error "EST expects a query body"
-    else if rest.[0] = '@' then (
-      let model, body = split_first_word rest in
-      let model = String.sub model 1 (String.length model - 1) in
-      if model = "" then Error "EST: empty model name after @"
-      else if body = "" then Error "EST expects a query body after @model"
-      else Ok (Est { model = Some model; body }))
-    else Ok (Est { model = None; body = rest })
+    parse_model_body ~cmd:"EST" rest (fun model body ->
+        Ok (Est { model; body }))
+  | "EXPLAIN" ->
+    parse_model_body ~cmd:"EXPLAIN" rest (fun model body ->
+        Ok (Explain { model; body }))
+  | "TRUTH" ->
+    parse_model_body ~cmd:"TRUTH" rest (fun model rest ->
+        let truth_word, body = split_first_word rest in
+        match float_of_string_opt truth_word with
+        | None ->
+          Error "TRUTH expects: TRUTH [@model] <true-size> <query body>"
+        | Some truth ->
+          if truth < 0.0 || Float.is_nan truth then
+            Error "TRUTH: true size must be a non-negative number"
+          else if body = "" then Error "TRUTH expects a query body"
+          else Ok (Truth { model; truth; body }))
   | "ESTBATCH" ->
     if rest = "" then Error "ESTBATCH expects one or more query bodies"
     else
@@ -108,6 +131,34 @@ let one_line s =
 let ok payload = if payload = "" then "OK" else "OK " ^ one_line payload
 let err msg = "ERR " ^ one_line msg
 let pong = "PONG"
+
+(* Multi-line framing (METRICS): a header line "OK lines=<k>" announces
+   how many raw payload lines follow, so line-oriented clients know
+   exactly how much to read. *)
+let ok_multiline payload =
+  let payload =
+    let n = String.length payload in
+    if n > 0 && payload.[n - 1] = '\n' then String.sub payload 0 (n - 1)
+    else payload
+  in
+  if payload = "" then "OK lines=0"
+  else
+    let k = List.length (String.split_on_char '\n' payload) in
+    Printf.sprintf "OK lines=%d\n%s" k payload
+
+let extra_lines header =
+  match String.split_on_char ' ' header with
+  | [ "OK"; field ] -> (
+    match String.index_opt field '=' with
+    | Some i when String.sub field 0 i = "lines" -> (
+      match
+        int_of_string_opt
+          (String.sub field (i + 1) (String.length field - i - 1))
+      with
+      | Some k when k >= 0 -> k
+      | _ -> 0)
+    | _ -> 0)
+  | _ -> 0
 
 let has_prefix ~prefix s =
   String.length s >= String.length prefix

@@ -11,7 +11,10 @@
     LOAD <name> <path>
     EST [@<model>] <tvars> [; <joins> [; <selects>]]
     ESTBATCH [@<model>] <body> || <body> || ...
+    EXPLAIN [@<model>] <body>
+    TRUTH [@<model>] <true-size> <body>
     STATS
+    METRICS
     SHUTDOWN
     v}
 
@@ -35,12 +38,28 @@
     first offending body if {e any} body fails (all-or-nothing, so the
     response shape is always predictable).
 
+    [EXPLAIN] runs the same query as [EST] but always performs inference
+    (the estimate cache is probed and reported, never short-circuited)
+    and answers with the per-stage time and hot-path op breakdown plus
+    the elimination order used — see {!Server}.
+
+    [TRUTH] supplies ground truth for a query: the server computes its
+    estimate (through the cache like [EST]) and records the q-error into
+    the model's rolling accuracy histogram, answering
+    [OK qerror=<q> estimate=<e> n=<count>].  [STATS] and [METRICS]
+    expose the per-model q-error summaries.
+
     {2 Responses}
 
     [PONG] for [PING]; [OK <payload>] for success; [ERR <message>] for any
     failure — a protocol error never terminates the server.  [EST] answers
     [OK <estimate>] with the estimate printed losslessly ([%.17g]); [STATS]
-    answers [OK] followed by space-separated [key=value] pairs. *)
+    answers [OK] followed by space-separated [key=value] pairs.
+
+    [METRICS] is the one multi-line response: a header line
+    [OK lines=<k>] followed by [k] raw lines of Prometheus text
+    exposition ({!Selest_obs.Prometheus}).  {!extra_lines} tells a
+    line-oriented client how much to read after any response header. *)
 
 type request =
   | Ping
@@ -49,7 +68,12 @@ type request =
       (** [body] is the raw query text after the optional [@model]. *)
   | Estbatch of { model : string option; bodies : string list }
       (** [bodies] are the [||]-separated query texts, in request order. *)
+  | Explain of { model : string option; body : string }
+      (** [EST] with a per-stage breakdown instead of a bare estimate. *)
+  | Truth of { model : string option; truth : float; body : string }
+      (** Ground truth for [body]; feeds the model's q-error histogram. *)
   | Stats
+  | Metrics  (** Prometheus text exposition (multi-line response). *)
   | Shutdown
 
 val parse_request : string -> (request, string) result
@@ -64,6 +88,14 @@ val ok : string -> string
 val err : string -> string
 (** Response constructors; [err] flattens newlines so a response is always
     exactly one line. *)
+
+val ok_multiline : string -> string
+(** [ok_multiline payload]: the [OK lines=<k>] header followed by the
+    payload's lines verbatim (a trailing newline is dropped first). *)
+
+val extra_lines : string -> int
+(** Number of payload lines following a response header: [k] for an
+    [OK lines=<k>] header, 0 for every single-line response. *)
 
 val pong : string
 

@@ -1,4 +1,5 @@
 open Selest_db
+module Obs = Selest_obs
 
 let log = Logs.Src.create "selest.serve" ~doc:"selectivity-estimation server"
 
@@ -11,6 +12,8 @@ type t = {
   registry : Registry.t;
   cache : Lru.t;
   metrics : Metrics.t;
+  qerrors : (string, Obs.Qerror.t) Hashtbl.t;  (* per-model accuracy *)
+  qerrors_mutex : Mutex.t;
   pool_size : int option;
   mutable pool : Selest_util.Pool.t option;
 }
@@ -23,6 +26,8 @@ let create ?(cache_bytes = 1 lsl 20) ?pool_size ~db ~socket () =
     registry = Registry.create ~schema:(Database.schema db);
     cache = Lru.create ~capacity_bytes:cache_bytes;
     metrics = Metrics.create ();
+    qerrors = Hashtbl.create 4;
+    qerrors_mutex = Mutex.create ();
     pool_size;
     pool = None;
   }
@@ -31,6 +36,25 @@ let registry t = t.registry
 let metrics t = t.metrics
 let cache t = t.cache
 let socket_path t = t.socket
+
+let qerror_table t name =
+  Mutex.lock t.qerrors_mutex;
+  let qe =
+    match Hashtbl.find_opt t.qerrors name with
+    | Some qe -> qe
+    | None ->
+      let qe = Obs.Qerror.create () in
+      Hashtbl.add t.qerrors name qe;
+      qe
+  in
+  Mutex.unlock t.qerrors_mutex;
+  qe
+
+let qerror_tables t =
+  Mutex.lock t.qerrors_mutex;
+  let r = Hashtbl.fold (fun name qe acc -> (name, qe) :: acc) t.qerrors [] in
+  Mutex.unlock t.qerrors_mutex;
+  List.sort compare r
 
 (* The domain pool is spawned on the first ESTBATCH, so servers that never
    batch never pay for idle domains. *)
@@ -74,40 +98,73 @@ let resolve_model t model =
     | Some (name, e) -> Ok (name, e)
     | None -> Error "no model loaded (use LOAD)")
 
-(* Parse and canonicalize one query body; errors become messages. *)
+(* Parse and canonicalize one query body; errors become messages.  The
+   two stages get their own spans so EXPLAIN can price them apart. *)
 let parse_query t body =
   match
-    let tvars, joins, selects = Protocol.split_sections body in
-    Qparse.parse t.db ~tvars ~joins ~selects ()
+    Obs.Span.with_ "est.parse" (fun _ ->
+        let tvars, joins, selects = Protocol.split_sections body in
+        Qparse.parse t.db ~tvars ~joins ~selects ())
   with
   | exception Failure msg -> Error msg
   | exception Not_found -> Error "unknown table, tuple variable or attribute in query"
   | exception Invalid_argument msg -> Error msg
-  | q -> Ok (Canon.normalize q)
+  | q -> Ok (Obs.Span.with_ "est.canon" (fun _ -> Canon.normalize q))
+
+let cache_key name (e : Registry.entry) q =
+  Printf.sprintf "%s#%d|%s" name e.Registry.version (Canon.key q)
+
+(* Fold one request's kernel-counter deltas into the service metrics.
+   [max_factor_entries] is a per-query high-water mark, not additive, so
+   it stays in EXPLAIN rather than here. *)
+let roll_hotpath t (d : Obs.Hotpath.t) =
+  let bump name v = if v > 0 then Metrics.incr ~by:v t.metrics name in
+  bump "ve.factor_ops" d.Obs.Hotpath.factor_ops;
+  bump "ve.entries_touched" d.Obs.Hotpath.entries_touched;
+  bump "ve.scratch_hits" d.Obs.Hotpath.scratch_hits;
+  bump "ve.scratch_misses" d.Obs.Hotpath.scratch_misses;
+  bump "ve.order_hits" d.Obs.Hotpath.order_hits;
+  bump "ve.order_misses" d.Obs.Hotpath.order_misses
+
+(* Run inference for one parsed query, measuring its hot-path work and
+   rolling it into the metrics; fills the cache on success. *)
+let infer_measured t ~name ~(entry : Registry.entry) ~key q =
+  match
+    Obs.Hotpath.measure (fun () ->
+        Selest_prm.Estimate.estimate entry.Registry.model ~sizes:t.sizes q)
+  with
+  | estimate, d ->
+    Lru.add t.cache key estimate;
+    Metrics.incr t.metrics (Printf.sprintf "infer.%s" name);
+    roll_hotpath t d;
+    Ok (estimate, d)
+  | exception exn -> Error (Printexc.to_string exn)
 
 let handle_est t ~model ~body =
-  match resolve_model t model with
-  | Error msg ->
-    Metrics.incr t.metrics "est_errors";
-    Protocol.err msg
-  | Ok (name, e) -> (
-    match parse_query t body with
-    | Error msg ->
-      Metrics.incr t.metrics "est_errors";
-      Protocol.err msg
-    | Ok q -> (
-      let key = Printf.sprintf "%s#%d|%s" name e.Registry.version (Canon.key q) in
-      match Lru.find t.cache key with
-      | Some estimate -> Protocol.ok (Printf.sprintf "%.17g" estimate)
-      | None -> (
-        match Selest_prm.Estimate.estimate e.Registry.model ~sizes:t.sizes q with
-        | estimate ->
-          Lru.add t.cache key estimate;
-          Metrics.incr t.metrics (Printf.sprintf "infer.%s" name);
-          Protocol.ok (Printf.sprintf "%.17g" estimate)
-        | exception exn ->
+  Obs.Span.with_ "est" (fun _ ->
+      match resolve_model t model with
+      | Error msg ->
+        Metrics.incr t.metrics "est_errors";
+        Protocol.err msg
+      | Ok (name, e) -> (
+        match parse_query t body with
+        | Error msg ->
           Metrics.incr t.metrics "est_errors";
-          Protocol.err (Printexc.to_string exn))))
+          Protocol.err msg
+        | Ok q -> (
+          let key = cache_key name e q in
+          match Obs.Span.with_ "est.cache" (fun _ -> Lru.find t.cache key) with
+          | Some estimate ->
+            Obs.Span.with_ "est.respond" (fun _ ->
+                Protocol.ok (Printf.sprintf "%.17g" estimate))
+          | None -> (
+            match infer_measured t ~name ~entry:e ~key q with
+            | Ok (estimate, _) ->
+              Obs.Span.with_ "est.respond" (fun _ ->
+                  Protocol.ok (Printf.sprintf "%.17g" estimate))
+            | Error msg ->
+              Metrics.incr t.metrics "est_errors";
+              Protocol.err msg))))
 
 (* ESTBATCH: parse and cache-probe every body on the dispatcher thread,
    fan only the distinct cache misses across the domain pool, then answer
@@ -152,8 +209,14 @@ let handle_estbatch t ~model ~bodies =
       let miss_order = List.rev !miss_order in
       let model_ = e.Registry.model and sizes = t.sizes in
       match
+        (* measure inside the worker: hot-path counters are domain-local *)
         Selest_util.Pool.map (pool t)
-          (fun (key, q) -> (key, Selest_prm.Estimate.estimate model_ ~sizes q))
+          (fun (key, q) ->
+            let v, d =
+              Obs.Hotpath.measure (fun () ->
+                  Selest_prm.Estimate.estimate model_ ~sizes q)
+            in
+            (key, v, d))
           miss_order
       with
       | exception exn ->
@@ -161,12 +224,13 @@ let handle_estbatch t ~model ~bodies =
         Protocol.err (Printexc.to_string exn)
       | computed ->
         List.iter
-          (fun (key, v) ->
+          (fun (key, v, d) ->
             Lru.add t.cache key v;
-            Metrics.incr t.metrics (Printf.sprintf "infer.%s" name))
+            Metrics.incr t.metrics (Printf.sprintf "infer.%s" name);
+            roll_hotpath t d)
           computed;
         let fresh = Hashtbl.create 16 in
-        List.iter (fun (key, v) -> Hashtbl.replace fresh key v) computed;
+        List.iter (fun (key, v, _) -> Hashtbl.replace fresh key v) computed;
         let answers =
           List.map
             (fun (key, _) ->
@@ -177,6 +241,174 @@ let handle_estbatch t ~model ~bodies =
         in
         Protocol.ok
           (String.concat " " (List.map (Printf.sprintf "%.17g") answers))))
+
+(* ---- EXPLAIN ---------------------------------------------------------------
+
+   Same request path as EST, but spans are collected and inference always
+   runs (the cache is probed and its outcome reported, never allowed to
+   short-circuit), so the breakdown prices a real end-to-end estimate.
+
+   Stage times are *self* times: each span's duration minus its direct
+   children's.  Self times partition the root's wall time exactly, so the
+   stages sum to total_us and nothing is double-counted; the glue inside
+   "prm.estimate" (plan keys, scaling) reports as model_us and the glue
+   inside "est" itself (dispatch, cache fill, metrics) as other_us. *)
+
+let explain_stages =
+  [ ("parse_us", "est.parse"); ("canon_us", "est.canon");
+    ("cache_us", "est.cache"); ("build_us", "prm.build");
+    ("model_us", "prm.estimate"); ("evidence_us", "ve.evidence");
+    ("plan_us", "ve.plan"); ("ve_us", "ve.eliminate");
+    ("respond_us", "est.respond"); ("other_us", "est") ]
+
+(* (span name, self time) for every record: duration minus the direct
+   children's durations. *)
+let self_times records =
+  let children_us = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Obs.Span.record) ->
+      let prev =
+        Option.value ~default:0.0 (Hashtbl.find_opt children_us r.Obs.Span.parent)
+      in
+      Hashtbl.replace children_us r.Obs.Span.parent
+        (prev +. Obs.Span.duration_us r))
+    records;
+  List.map
+    (fun (r : Obs.Span.record) ->
+      let inner =
+        Option.value ~default:0.0 (Hashtbl.find_opt children_us r.Obs.Span.id)
+      in
+      (r.Obs.Span.name, Float.max 0.0 (Obs.Span.duration_us r -. inner)))
+    records
+
+let stage_us selfs span_name =
+  List.fold_left
+    (fun acc (name, us) -> if name = span_name then acc +. us else acc)
+    0.0 selfs
+
+let span_attr records span_name key =
+  List.find_map
+    (fun (r : Obs.Span.record) ->
+      if r.Obs.Span.name = span_name then
+        List.assoc_opt key r.Obs.Span.attrs
+      else None)
+    records
+
+let handle_explain t ~model ~body =
+  match resolve_model t model with
+  | Error msg ->
+    Metrics.incr t.metrics "est_errors";
+    Protocol.err msg
+  | Ok (name, e) -> (
+    let outcome, records =
+      Obs.Span.collect (fun () ->
+          Obs.Span.with_ "est" (fun _ ->
+              match parse_query t body with
+              | Error msg -> Error msg
+              | Ok q -> (
+                let key = cache_key name e q in
+                let cached =
+                  Obs.Span.with_ "est.cache" (fun _ -> Lru.find t.cache key)
+                in
+                match infer_measured t ~name ~entry:e ~key q with
+                | Error msg -> Error msg
+                | Ok (estimate, d) ->
+                  let rendered =
+                    Obs.Span.with_ "est.respond" (fun _ ->
+                        Printf.sprintf "%.17g" estimate)
+                  in
+                  Ok (rendered, cached, d))))
+    in
+    match outcome with
+    | Error msg ->
+      Metrics.incr t.metrics "est_errors";
+      Protocol.err msg
+    | Ok (estimate, cached, d) ->
+      let selfs = self_times records in
+      let stages =
+        List.map (fun (k, sp) -> (k, stage_us selfs sp)) explain_stages
+      in
+      let stage_sum = List.fold_left (fun acc (_, us) -> acc +. us) 0.0 stages in
+      let total_us =
+        List.fold_left
+          (fun acc (r : Obs.Span.record) ->
+            if r.Obs.Span.name = "est" then acc +. Obs.Span.duration_us r
+            else acc)
+          0.0 records
+      in
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf (Printf.sprintf "estimate=%s" estimate);
+      Buffer.add_string buf (Printf.sprintf " total_us=%.1f" total_us);
+      List.iter
+        (fun (k, us) -> Buffer.add_string buf (Printf.sprintf " %s=%.1f" k us))
+        stages;
+      Buffer.add_string buf (Printf.sprintf " stage_sum_us=%.1f" stage_sum);
+      Buffer.add_string buf
+        (Printf.sprintf " cache=%s"
+           (match cached with Some _ -> "hit" | None -> "miss"));
+      Buffer.add_string buf
+        (Printf.sprintf " order_cache=%s"
+           (Option.value ~default:"none" (span_attr records "ve.plan" "cached")));
+      Buffer.add_string buf
+        (Printf.sprintf " order=%s"
+           (Option.value ~default:"-" (span_attr records "ve.plan" "order")));
+      Buffer.add_string buf
+        (Printf.sprintf " factors=%s"
+           (Option.value ~default:"-"
+              (span_attr records "prm.estimate" "factors")));
+      List.iter
+        (fun (k, v) -> Buffer.add_string buf (Printf.sprintf " %s=%d" k v))
+        (Obs.Hotpath.to_pairs d);
+      Protocol.ok (Buffer.contents buf))
+
+(* ---- TRUTH -----------------------------------------------------------------
+
+   Ground truth for one query: compute the estimate through the same
+   cache-then-infer path as EST, record the q-error into the model's
+   rolling histogram, and echo both. *)
+
+let handle_truth t ~model ~truth ~body =
+  match resolve_model t model with
+  | Error msg ->
+    Metrics.incr t.metrics "est_errors";
+    Protocol.err msg
+  | Ok (name, e) -> (
+    match parse_query t body with
+    | Error msg ->
+      Metrics.incr t.metrics "est_errors";
+      Protocol.err msg
+    | Ok q -> (
+      let key = cache_key name e q in
+      let computed =
+        match Lru.find t.cache key with
+        | Some estimate -> Ok estimate
+        | None -> Result.map fst (infer_measured t ~name ~entry:e ~key q)
+      in
+      match computed with
+      | Error msg ->
+        Metrics.incr t.metrics "est_errors";
+        Protocol.err msg
+      | Ok estimate ->
+        let qe = qerror_table t name in
+        Obs.Qerror.observe qe ~est:estimate ~truth;
+        Protocol.ok
+          (Printf.sprintf "qerror=%.6g estimate=%.17g n=%d"
+             (Obs.Qerror.value ~est:estimate ~truth)
+             estimate (Obs.Qerror.count qe))))
+
+(* ---- STATS / METRICS ------------------------------------------------------- *)
+
+let qerror_stats_fields t =
+  List.concat_map
+    (fun (name, qe) ->
+      let s = Obs.Qerror.summarize qe in
+      let f v = Printf.sprintf "%.3g" v in
+      [ (Printf.sprintf "qerr.%s.n" name, string_of_int s.Obs.Qerror.n);
+        (Printf.sprintf "qerr.%s.mean" name, f s.Obs.Qerror.mean);
+        (Printf.sprintf "qerr.%s.p50" name, f s.Obs.Qerror.p50);
+        (Printf.sprintf "qerr.%s.p90" name, f s.Obs.Qerror.p90);
+        (Printf.sprintf "qerr.%s.max" name, f s.Obs.Qerror.max_q) ])
+    (qerror_tables t)
 
 let handle_stats t =
   let pairs =
@@ -189,13 +421,100 @@ let handle_stats t =
         ("cache_bytes", string_of_int (Lru.bytes t.cache));
         ("models", string_of_int (Registry.size t.registry));
       ]
+    @ qerror_stats_fields t
   in
   Protocol.ok (String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) pairs))
 
+let prometheus_metrics t =
+  let open Obs.Prometheus in
+  let counter ?(help = "") ?(labels = []) name v =
+    Counter { name; help; labels; value = float_of_int v }
+  in
+  let gauge ?(help = "") name v =
+    Gauge { name; help; labels = []; value = float_of_int v }
+  in
+  (* service counters; infer.<model> folds into one labelled family *)
+  let infers, plain =
+    List.partition
+      (fun (k, _) -> String.length k > 6 && String.sub k 0 6 = "infer.")
+      (Metrics.counters t.metrics)
+  in
+  let plain_metrics =
+    List.map
+      (fun (k, v) -> counter ("selest_" ^ sanitize k ^ "_total") v)
+      plain
+  in
+  let infer_metrics =
+    List.map
+      (fun (k, v) ->
+        let model_name = String.sub k 6 (String.length k - 6) in
+        counter ~help:"inference runs per model"
+          ~labels:[ ("model", model_name) ] "selest_infer_total" v)
+      infers
+  in
+  let latency =
+    Histogram
+      {
+        name = "selest_request_latency_us";
+        help = "request latency in microseconds";
+        labels = [];
+        buckets = Metrics.histogram t.metrics;
+        sum = Metrics.latency_sum_us t.metrics;
+        count = Metrics.observations t.metrics;
+      }
+  in
+  let cache_metrics =
+    [ counter ~help:"estimate cache hits" "selest_cache_hits_total"
+        (Lru.hits t.cache);
+      counter ~help:"estimate cache misses" "selest_cache_misses_total"
+        (Lru.misses t.cache);
+      counter ~help:"estimate cache evictions" "selest_cache_evictions_total"
+        (Lru.evictions t.cache);
+      gauge ~help:"estimate cache entries" "selest_cache_entries"
+        (Lru.length t.cache);
+      gauge ~help:"estimate cache bytes" "selest_cache_bytes"
+        (Lru.bytes t.cache);
+      gauge ~help:"loaded models" "selest_models" (Registry.size t.registry)
+    ]
+  in
+  let order_hits, order_misses = Selest_bn.Ve.order_cache_stats () in
+  let order_metrics =
+    [ counter ~help:"elimination-order cache hits (process-wide)"
+        "selest_order_cache_hits_total" order_hits;
+      counter ~help:"elimination-order cache misses (process-wide)"
+        "selest_order_cache_misses_total" order_misses ]
+  in
+  let qerror_metrics =
+    List.map
+      (fun (name, qe) ->
+        let s = Obs.Qerror.summarize qe in
+        Histogram
+          {
+            name = "selest_qerror";
+            help = "q-error of estimates vs supplied ground truth";
+            labels = [ ("model", name) ];
+            buckets = Obs.Qerror.buckets qe;
+            sum =
+              (if s.Obs.Qerror.n = 0 then 0.0
+               else s.Obs.Qerror.mean *. float_of_int s.Obs.Qerror.n);
+            count = s.Obs.Qerror.n;
+          })
+      (qerror_tables t)
+  in
+  plain_metrics @ infer_metrics @ (latency :: cache_metrics) @ order_metrics
+  @ qerror_metrics
+
+let handle_metrics t =
+  Protocol.ok_multiline (Obs.Prometheus.render (prometheus_metrics t))
+
 let handle_line t line =
   Metrics.incr t.metrics "requests";
-  let t0 = Unix.gettimeofday () in
-  let respond r = Metrics.observe t.metrics (Unix.gettimeofday () -. t0); r in
+  let t0 = Obs.Clock.now_ns () in
+  let respond r =
+    Metrics.observe t.metrics
+      (float_of_int (Obs.Clock.now_ns () - t0) /. 1e9);
+    r
+  in
   match Protocol.parse_request line with
   | Error msg ->
     Metrics.incr t.metrics "protocol_errors";
@@ -209,7 +528,14 @@ let handle_line t line =
     Metrics.incr t.metrics "estbatch_requests";
     List.iter (fun _ -> Metrics.incr t.metrics "est_requests") bodies;
     (respond (handle_estbatch t ~model ~bodies), `Continue)
+  | Ok (Protocol.Explain { model; body }) ->
+    Metrics.incr t.metrics "explain_requests";
+    (respond (handle_explain t ~model ~body), `Continue)
+  | Ok (Protocol.Truth { model; truth; body }) ->
+    Metrics.incr t.metrics "truth_requests";
+    (respond (handle_truth t ~model ~truth ~body), `Continue)
   | Ok Protocol.Stats -> (respond (handle_stats t), `Continue)
+  | Ok Protocol.Metrics -> (respond (handle_metrics t), `Continue)
   | Ok Protocol.Shutdown -> (respond (Protocol.ok "bye"), `Stop)
 
 (* ---- socket loop ----------------------------------------------------------- *)

@@ -22,7 +22,40 @@
     the expensive, side-effect-free part — runs in parallel.  Estimates
     are bit-identical to sequential [EST] answers: the same
     {!Selest_prm.Estimate.estimate} runs per query either way, and
-    results are re-ordered deterministically. *)
+    results are re-ordered deterministically.
+
+    {2 Observability}
+
+    The request path is instrumented with {!Selest_obs.Span} (spans
+    [est] → [est.parse], [est.canon], [est.cache], [prm.build],
+    [ve.evidence], [ve.plan], [ve.eliminate], [est.respond]) and every
+    inference's {!Selest_obs.Hotpath} kernel counters are rolled into
+    the service metrics ([ve.factor_ops], [ve.entries_touched],
+    [ve.scratch_hits]/[misses], [ve.order_hits]/[misses]).
+
+    [EXPLAIN <query>] re-runs inference with span collection on and
+    answers one line of [key=value] fields: [estimate], [total_us], the
+    per-stage times ([parse_us], [canon_us], [cache_us], [build_us],
+    [model_us], [evidence_us], [plan_us], [ve_us], [respond_us],
+    [other_us] — {e self} times, so they partition [total_us]), their
+    [stage_sum_us], the estimate-cache and order-cache outcomes, the
+    elimination [order] used, and the per-query hot-path counters.  The
+    estimate cache is probed (and reported) but never short-circuits the
+    run, so the breakdown always prices real inference; the cache is
+    filled afterwards, making EXPLAIN a valid warm-up.
+
+    [TRUTH <true-size> <query>] records accuracy: the estimate is
+    computed through the normal cache-then-infer path and the q-error
+    against the supplied truth lands in a per-model rolling histogram
+    ({!Selest_obs.Qerror}), summarized in [STATS] ([qerr.<model>.*]
+    fields) and exported by [METRICS].
+
+    [METRICS] answers the whole picture as Prometheus text exposition
+    ({!Selest_obs.Prometheus}): counters ([selest_*_total], with
+    per-model [selest_infer_total{model="..."}]), the request-latency
+    histogram ([selest_request_latency_us]), cache and registry gauges,
+    process-wide order-cache counters, and per-model [selest_qerror]
+    histograms. *)
 
 type t
 
@@ -43,11 +76,17 @@ val metrics : t -> Metrics.t
 val cache : t -> Lru.t
 val socket_path : t -> string
 
+val qerror_table : t -> string -> Selest_obs.Qerror.t
+(** The rolling q-error histogram for a model name, created on first
+    use.  [TRUTH] records into it; exposed so a workload replay can feed
+    ground truth directly. *)
+
 val handle_line : t -> string -> string * [ `Continue | `Stop ]
-(** Dispatch one request line to one response line.  Never raises: every
+(** Dispatch one request line to one response.  Never raises: every
     failure (parse error, unknown model, bad model file, inference error)
     becomes an [ERR] response and [`Continue]; only [SHUTDOWN] returns
-    [`Stop]. *)
+    [`Stop].  Every response is a single line except [METRICS], which
+    returns the [OK lines=<k>] multi-line frame ({!Protocol.extra_lines}). *)
 
 val shutdown_pool : t -> unit
 (** Stop and join the worker domains (if any were spawned).  {!run} calls

@@ -3,7 +3,10 @@ open Selest_util
 let fmt_bytes b = Format.asprintf "%a" Bytesize.pp b
 
 let outcomes_table outcomes =
-  let header = [| "estimator"; "storage"; "avg err %"; "median %"; "p90 %"; "queries"; "skipped" |] in
+  let header =
+    [| "estimator"; "storage"; "avg err %"; "median %"; "p90 %";
+       "q50"; "q90"; "queries"; "skipped" |]
+  in
   let rows =
     Array.of_list
       (List.map
@@ -12,6 +15,8 @@ let outcomes_table outcomes =
               Tablefmt.float_cell o.Runner.avg_error;
               Tablefmt.float_cell o.Runner.median_error;
               Tablefmt.float_cell o.Runner.p90_error;
+              Tablefmt.float_cell o.Runner.qerror.Selest_obs.Qerror.p50;
+              Tablefmt.float_cell o.Runner.qerror.Selest_obs.Qerror.p90;
               string_of_int o.Runner.n_queries; string_of_int o.Runner.n_unsupported |])
          outcomes)
   in

@@ -9,6 +9,7 @@ type outcome = {
   p90_error : float;
   n_queries : int;
   n_unsupported : int;
+  qerror : Selest_obs.Qerror.summary;
 }
 
 let selected_cells db suite ?max_queries ?(seed = 0) () =
@@ -62,6 +63,7 @@ let run db suite est ?max_queries ?seed () =
     p90_error = Arrayx.percentile errors 90.0;
     n_queries = Array.length errors;
     n_unsupported;
+    qerror = Selest_obs.Qerror.(summarize (of_pairs pairs));
   }
 
 let run_all db suite ests ?max_queries ?seed () =

@@ -8,6 +8,9 @@ type outcome = {
   p90_error : float;
   n_queries : int;
   n_unsupported : int;  (** queries the estimator refused (excluded) *)
+  qerror : Selest_obs.Qerror.summary;
+      (** q-error distribution of the same (truth, estimate) pairs — the
+          accuracy health signal the serving layer also tracks *)
 }
 
 val run :

@@ -162,6 +162,37 @@ let test_metrics_counters () =
     [ ("loads", 3); ("requests", 2) ]
     (Metrics.counters m)
 
+let test_metrics_concurrent_incr () =
+  (* ESTBATCH workers bump counters from several domains at once; the
+     mutex must not lose increments or observations. *)
+  let m = Metrics.create () in
+  let n_domains = 4 and per_domain = 25_000 in
+  let worker () =
+    for _ = 1 to per_domain do
+      Metrics.incr m "shared";
+      Metrics.observe m 10e-6
+    done
+  in
+  let domains = List.init n_domains (fun _ -> Domain.spawn worker) in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "no lost increments" (n_domains * per_domain)
+    (Metrics.get m "shared");
+  Alcotest.(check int) "no lost observations" (n_domains * per_domain)
+    (Metrics.observations m)
+
+let test_metrics_report () =
+  let m = Metrics.create () in
+  Metrics.incr m "requests";
+  Metrics.observe m 100e-6;
+  let report = Metrics.report m in
+  let f k = List.assoc_opt k report in
+  Alcotest.(check (option string)) "counter listed" (Some "1") (f "requests");
+  Alcotest.(check (option string)) "lat_count" (Some "1") (f "lat_count");
+  Alcotest.(check bool) "bucket layout exposed" true
+    (f "lat_buckets" <> None && f "lat_bucket_base" <> None && f "lat_hist" <> None);
+  Alcotest.(check bool) "quantization asymmetry documented" true
+    (f "lat_quantization" <> None)
+
 let test_metrics_percentiles () =
   let m = Metrics.create () in
   Alcotest.(check (float 0.0)) "empty p50" 0.0 (Metrics.percentile_us m 0.5);
@@ -257,6 +288,32 @@ let test_protocol_estbatch_parse () =
   Alcotest.(check bool) "bare @model" true (Result.is_error (p "ESTBATCH @census"));
   Alcotest.(check bool) "empty model name" true (Result.is_error (p "ESTBATCH @ x"));
   Alcotest.(check bool) "empty body in batch" true (Result.is_error (p "ESTBATCH a || "))
+
+let test_protocol_obs_verbs () =
+  let p = Protocol.parse_request in
+  Alcotest.(check bool) "explain" true
+    (p "EXPLAIN p=patient ; ; p.Age=1"
+    = Ok (Protocol.Explain { model = None; body = "p=patient ; ; p.Age=1" }));
+  Alcotest.(check bool) "explain named model" true
+    (p "explain @tb p=patient" = Ok (Protocol.Explain { model = Some "tb"; body = "p=patient" }));
+  Alcotest.(check bool) "explain empty" true (Result.is_error (p "EXPLAIN"));
+  Alcotest.(check bool) "truth" true
+    (p "TRUTH 120 p=patient ; ; p.Age=1"
+    = Ok (Protocol.Truth { model = None; truth = 120.0; body = "p=patient ; ; p.Age=1" }));
+  Alcotest.(check bool) "truth named model" true
+    (p "TRUTH @tb 3.5 p=patient"
+    = Ok (Protocol.Truth { model = Some "tb"; truth = 3.5; body = "p=patient" }));
+  Alcotest.(check bool) "truth bad number" true (Result.is_error (p "TRUTH abc p=patient"));
+  Alcotest.(check bool) "truth negative" true (Result.is_error (p "TRUTH -1 p=patient"));
+  Alcotest.(check bool) "truth missing body" true (Result.is_error (p "TRUTH 12"));
+  Alcotest.(check bool) "metrics" true (p "METRICS" = Ok Protocol.Metrics);
+  (* multi-line framing *)
+  Alcotest.(check string) "multiline header" "OK lines=2\na\nb"
+    (Protocol.ok_multiline "a\nb\n");
+  Alcotest.(check string) "empty multiline" "OK lines=0" (Protocol.ok_multiline "");
+  Alcotest.(check int) "extra lines" 2 (Protocol.extra_lines "OK lines=2");
+  Alcotest.(check int) "single-line response" 0 (Protocol.extra_lines "OK 42");
+  Alcotest.(check int) "err response" 0 (Protocol.extra_lines "ERR nope")
 
 (* ---- Registry ----------------------------------------------------------------- *)
 
@@ -464,6 +521,8 @@ let () =
         [
           Alcotest.test_case "counters" `Quick test_metrics_counters;
           Alcotest.test_case "percentiles" `Quick test_metrics_percentiles;
+          Alcotest.test_case "concurrent incr" `Quick test_metrics_concurrent_incr;
+          Alcotest.test_case "report" `Quick test_metrics_report;
         ] );
       ( "protocol",
         [
@@ -471,6 +530,7 @@ let () =
           Alcotest.test_case "sections" `Quick test_protocol_sections;
           Alcotest.test_case "responses" `Quick test_protocol_responses;
           Alcotest.test_case "estbatch parse" `Quick test_protocol_estbatch_parse;
+          Alcotest.test_case "obs verbs" `Quick test_protocol_obs_verbs;
         ] );
       ( "registry",
         [
