@@ -14,6 +14,9 @@ bench: build
 
 # Quick inference-core benchmark: asserts the optimized VE/batch paths are
 # bit-identical to their reference engines and emits BENCH_inference.json.
+# The plan figure asserts the compiled-plan pipeline (compile once, bind
+# many) is bit-identical to the one-shot path and that a warm execute is
+# no slower than recompiling per request, emitting BENCH_plan.json.
 # The obs figure then runs a traced estimate (asserting tracing overhead
 # < 5% and EXPLAIN stage-sum fidelity), emits BENCH_obs.json, and its
 # normalized EXPLAIN/METRICS shape is diffed against the checked-in
@@ -23,6 +26,10 @@ bench-smoke: build
 	@python3 -m json.tool BENCH_inference.json > /dev/null 2>&1 \
 	  && echo "BENCH_inference.json: valid" \
 	  || { echo "BENCH_inference.json: INVALID JSON"; exit 1; }
+	dune exec bench/main.exe -- --fig plan
+	@python3 -m json.tool BENCH_plan.json > /dev/null 2>&1 \
+	  && echo "BENCH_plan.json: valid" \
+	  || { echo "BENCH_plan.json: INVALID JSON"; exit 1; }
 	dune exec bench/main.exe -- --fig obs
 	@python3 -m json.tool BENCH_obs.json > /dev/null 2>&1 \
 	  && echo "BENCH_obs.json: valid" \

@@ -26,7 +26,7 @@ let known_figs =
   [
     "sanity"; "4a"; "4b"; "4c"; "5a"; "5b"; "5c"; "6a"; "6b"; "6c"; "7a"; "7b"; "7c";
     "range"; "structure"; "ablation-score"; "ablation-join"; "serve-cache"; "inference";
-    "obs"; "bechamel";
+    "plan"; "obs"; "bechamel";
   ]
 
 let parse_args () =
@@ -569,6 +569,7 @@ let ablation_score () =
           let est = {
             Est.Estimator.name = rname;
             bytes = r.Bn.Learn.bytes;
+            prepare = ignore;
             estimate =
               (fun q ->
                 let ev =
@@ -697,8 +698,8 @@ let write_json file fields =
    pre-optimization baselines and emits the numbers as machine-readable
    JSON, so CI and regression tooling can diff them:
 
-     - single-query VE (stride kernels + fused sum_out_product + warm
-       elimination-order cache) vs the naive Reference engine;
+     - single-query VE (stride kernels + fused sum_out_product) vs the
+       naive Reference engine;
      - ESTBATCH fan-out over the domain pool vs sequential EST on the same
        cold-cache workload;
      - parallel vs sequential candidate-move scoring in PRM search;
@@ -719,53 +720,49 @@ let fig_inference () =
   in
   let time_ns reps f =
     ignore (f ());
-    (* warm-up: fills the order cache and the domain-local scratch pool *)
+    (* warm-up: fills the domain-local scratch pool *)
     let t0 = Unix.gettimeofday () in
     for _ = 1 to reps do
       ignore (f ())
     done;
     (Unix.gettimeofday () -. t0) /. float_of_int reps *. 1e9
   in
-  (* Checked single-query measurement: optimized engine (warm order cache)
-     vs the naive Reference engine, bit-identity asserted first.  The
-     plan_key is per-model, as the Ve contract requires. *)
-  let ve_pair ~label ~plan_key ~reps ~ref_reps fs ev =
-    let fast = Bn.Ve.prob_of_evidence ~plan_key fs ev in
+  (* Checked single-query measurement: optimized engine vs the naive
+     Reference engine, bit-identity asserted first.  prob_of_evidence
+     plans from scratch per call; schedule reuse is the plan IR's job and
+     is measured by the "plan" figure. *)
+  let ve_pair ~label ~reps ~ref_reps fs ev =
+    let fast = Bn.Ve.prob_of_evidence fs ev in
     let naive = Bn.Ve.Reference.prob_of_evidence fs ev in
     if Int64.bits_of_float fast <> Int64.bits_of_float naive then
       failwith "inference bench: optimized VE diverged from Reference";
-    let ve_ns = time_ns reps (fun () -> Bn.Ve.prob_of_evidence ~plan_key fs ev) in
+    let ve_ns = time_ns reps (fun () -> Bn.Ve.prob_of_evidence fs ev) in
     let ve_naive_ns = time_ns ref_reps (fun () -> Bn.Ve.Reference.prob_of_evidence fs ev) in
     Printf.printf "%-48s %10.0f ns   ref %10.0f ns   %.1fx\n" label ve_ns ve_naive_ns
       (ve_naive_ns /. ve_ns);
     (ve_ns, ve_naive_ns)
   in
-  Bn.Ve.order_cache_clear ();
   (* headline: a select+range query (the paper's Sec. 2.3 workload) on a
      64KB table-CPD census model — big CPTs keep the kernels busy *)
   let fs_large = Bn.Bn.factors (learn_tables 65_536) in
   let ev_range = [ (10, Db.Query.Eq 7); (0, Db.Query.Range (2, 9)) ] in
   let ve_ns, ve_naive_ns =
-    ve_pair ~label:"VE eq+range query (64KB census BN, warm cache)" ~plan_key:"bench-64k"
+    ve_pair ~label:"VE eq+range query (64KB census BN)"
       ~reps:500 ~ref_reps:20 fs_large ev_range
   in
   (* secondary: an all-equality query on a paper-scale 4KB model *)
   let fs_small = Bn.Bn.factors (learn_tables 4_096) in
   let ev_eq = [ (10, Db.Query.Eq 7); (2, Db.Query.Eq 9); (0, Db.Query.Eq 5) ] in
   let ve_eq_ns, ve_eq_naive_ns =
-    ve_pair ~label:"VE 3xEq query (4KB census BN, warm cache)" ~plan_key:"bench-4k"
+    ve_pair ~label:"VE 3xEq query (4KB census BN)"
       ~reps:2_000 ~ref_reps:50 fs_small ev_eq
   in
-  let hits, misses = Bn.Ve.order_cache_stats () in
-  Printf.printf "order cache: %d hits / %d misses\n" hits misses;
   jfield "ve_single_ns" (Printf.sprintf "%.0f" ve_ns);
   jfield "ve_single_naive_ns" (Printf.sprintf "%.0f" ve_naive_ns);
   jfield "ve_speedup" (Printf.sprintf "%.2f" (ve_naive_ns /. ve_ns));
   jfield "ve_eq_small_ns" (Printf.sprintf "%.0f" ve_eq_ns);
   jfield "ve_eq_small_naive_ns" (Printf.sprintf "%.0f" ve_eq_naive_ns);
   jfield "ve_eq_small_speedup" (Printf.sprintf "%.2f" (ve_eq_naive_ns /. ve_eq_ns));
-  jfield "order_cache_hits" (string_of_int hits);
-  jfield "order_cache_misses" (string_of_int misses);
 
   (* --- layer 3a: ESTBATCH throughput vs sequential EST, cold caches -------- *)
   let db = Lazy.force tb in
@@ -879,6 +876,151 @@ let fig_inference () =
 
   (* --- emit ----------------------------------------------------------------- *)
   write_json "BENCH_inference.json" (List.rev !json)
+
+(* ---- plan IR: compile once, bind many (BENCH_plan.json) ----------------------------------- *)
+
+(* Validates the compiled-plan pipeline's acceptance bars and emits
+   BENCH_plan.json:
+
+     - Plan.compile cost (closure + query-eval factors + seeded schedule)
+       vs the per-binding Plan.execute cost on the TB 3-table join
+       skeleton; the gate is that a warm execute (schedule-memo hit) is
+       no slower than recompiling the plan on every request;
+     - bit-identity of the compile-once path against the one-shot
+       Estimate.estimate path over every binding of the skeleton;
+     - served EST throughput with a cold vs warm plan cache — the
+       estimate cache is cleared between passes so the warm pass still
+       runs inference and isolates plan reuse — plus the plan-cache
+       counters reported by STATS. *)
+
+let fig_plan () =
+  section "P1: plan IR — compile once, bind many, plan-cache-warm serving";
+  let json = ref [] in
+  let jfield name v = json := (name, v) :: !json in
+  let failures = ref [] in
+  let check name ok detail =
+    Printf.printf "%-46s %-4s %s\n" name (if ok then "ok" else "FAIL") detail;
+    if not ok then failures := name :: !failures
+  in
+  let db = Lazy.force tb in
+  let model = learn_prm ~budget_bytes:4_500 ~seed:cfg.seed db in
+  let sizes = Prm.Estimate.sizes_of_db db in
+  let schema = Db.Database.schema db in
+  let card t a =
+    Db.Value.card (Db.Schema.attr (Db.Schema.find_table schema t) a).Db.Schema.domain
+  in
+  let triples =
+    List.concat
+      (List.init (card "contact" "Contype") (fun i ->
+           List.concat
+             (List.init (card "patient" "Age") (fun j ->
+                  List.init (card "strain" "DrugResist") (fun k -> (i, j, k))))))
+  in
+  let query_of (i, j, k) =
+    Db.Query.with_selects tb_skeleton3
+      [ Db.Query.eq "c" "Contype" i; Db.Query.eq "p" "Age" j;
+        Db.Query.eq "s" "DrugResist" k ]
+  in
+  let body (i, j, k) =
+    Printf.sprintf
+      "c=contact, p=patient, s=strain; c.patient=p, p.strain=s; \
+       c.Contype=%d, p.Age=%d, s.DrugResist=%d"
+      i j k
+  in
+  let queries = List.map query_of triples in
+  let n = List.length queries in
+  let q0 = List.hd queries in
+  let time_us reps f =
+    ignore (f ());
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (f ())
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps *. 1e6
+  in
+
+  (* --- compile once, bind many vs recompile per request -------------------- *)
+  let compile_us = time_us 50 (fun () -> Plan.compile model q0) in
+  let plan = Plan.compile model q0 in
+  let divergent =
+    List.filter
+      (fun q ->
+        Int64.bits_of_float (Plan.estimate plan ~sizes q)
+        <> Int64.bits_of_float (Prm.Estimate.estimate model ~sizes q))
+      queries
+  in
+  check "compile-once bit-identical to one-shot" (divergent = [])
+    (Printf.sprintf "%d/%d bindings" (n - List.length divergent) n);
+  let qarr = Array.of_list queries in
+  let idx = ref 0 in
+  let next () =
+    let q = qarr.(!idx mod n) in
+    incr idx;
+    q
+  in
+  let warm_us = time_us (4 * n) (fun () -> Plan.estimate plan ~sizes (next ())) in
+  let recompile_us =
+    time_us n (fun () ->
+        let q = next () in
+        Plan.estimate (Plan.compile model q) ~sizes q)
+  in
+  let sched_hits, sched_misses = Plan.schedule_stats plan in
+  Printf.printf "compile %.1fus | warm execute %.2fus | recompile+execute %.2fus (%.1fx)\n"
+    compile_us warm_us recompile_us (recompile_us /. warm_us);
+  Printf.printf "schedule memo on the shared plan: %d hits / %d misses\n" sched_hits
+    sched_misses;
+  check "warm execute <= per-request recompile" (warm_us <= recompile_us)
+    (Printf.sprintf "%.2fus vs %.2fus" warm_us recompile_us);
+  check "schedule memo reused across bindings" (sched_hits > 0 && sched_misses = 0)
+    (Printf.sprintf "%d/%d" sched_hits sched_misses);
+  jfield "n_bindings" (string_of_int n);
+  jfield "plan_compile_us" (Printf.sprintf "%.2f" compile_us);
+  jfield "execute_warm_us" (Printf.sprintf "%.3f" warm_us);
+  jfield "recompile_us" (Printf.sprintf "%.3f" recompile_us);
+  jfield "compile_once_speedup" (Printf.sprintf "%.2f" (recompile_us /. warm_us));
+  jfield "bit_identical" (if divergent = [] then "true" else "false");
+  jfield "sched_memo_hits" (string_of_int sched_hits);
+  jfield "sched_memo_misses" (string_of_int sched_misses);
+
+  (* --- served throughput: cold vs warm plan cache --------------------------- *)
+  let server = Serve.Server.create ~db ~socket:"(bench: transport-free)" () in
+  ignore (Serve.Registry.register (Serve.Server.registry server) ~name:"default" model);
+  let lines = List.map (fun tr -> "EST " ^ body tr) triples in
+  let run_pass () =
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun l ->
+        let resp, _ = Serve.Server.handle_line server l in
+        if not (Serve.Protocol.is_ok resp) then failwith resp)
+      lines;
+    float_of_int n /. (Unix.gettimeofday () -. t0)
+  in
+  let cold_qps = run_pass () in
+  (* drop the estimates but keep the compiled plans: the second pass runs
+     full inference against a warm plan cache *)
+  Serve.Lru.clear (Serve.Server.cache server);
+  let warm_qps = run_pass () in
+  let hits, misses, _evictions = Serve.Plan_cache.stats (Serve.Server.plan_cache server) in
+  let stats, _ = Serve.Server.handle_line server "STATS" in
+  let field k = Option.value ~default:"?" (Serve.Protocol.stats_field stats k) in
+  Printf.printf "\nserved EST over %d bindings: cold plans %8.0f q/s | warm plans %8.0f q/s\n"
+    n cold_qps warm_qps;
+  Printf.printf "plan cache: hits=%s misses=%s entries=%s\n" (field "plan_cache_hits")
+    (field "plan_cache_misses") (field "plan_cache_entries");
+  check "plan cache hit on every repeat request" (hits = (2 * n) - 1 && misses = 1)
+    (Printf.sprintf "%d hits / %d misses" hits misses);
+  check "STATS reports the plan cache" (field "plan_cache_hits" = string_of_int hits) "";
+  jfield "serve_cold_qps" (Printf.sprintf "%.1f" cold_qps);
+  jfield "serve_warmplan_qps" (Printf.sprintf "%.1f" warm_qps);
+  jfield "plan_cache_hits" (string_of_int hits);
+  jfield "plan_cache_misses" (string_of_int misses);
+  jfield "plan_cache_entries" (string_of_int (Serve.Plan_cache.length (Serve.Server.plan_cache server)));
+
+  write_json "BENCH_plan.json" (List.rev !json);
+  if !failures <> [] then begin
+    Printf.eprintf "plan checks FAILED: %s\n" (String.concat ", " (List.rev !failures));
+    exit 1
+  end
 
 (* ---- observability: trace overhead, EXPLAIN fidelity, METRICS, q-error ------------------- *)
 
@@ -1252,6 +1394,7 @@ let () =
   if wants "ablation-join" then ablation_join ();
   if wants "serve-cache" then fig_serve_cache ();
   if wants "inference" then fig_inference ();
+  if wants "plan" then fig_plan ();
   if wants "obs" then fig_obs ();
   if wants "bechamel" then bechamel_suite ();
   Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. total_t0)

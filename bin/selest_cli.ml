@@ -207,7 +207,10 @@ let estimate_cmd =
   let explain_arg =
     Arg.(
       value & flag
-      & info [ "explain" ] ~doc:"Print the upward closure and query-evaluation network size.")
+      & info [ "explain" ]
+          ~doc:
+            "Print the compiled plan: upward closure, query-evaluation factors, \
+             evidence slots and elimination schedules.")
   in
   let model_arg =
     Arg.(
@@ -244,10 +247,9 @@ let estimate_cmd =
       | None -> learn_prm ~budget_bytes:budget ~seed db
     in
     if explain then begin
-      let closed = Prm.Estimate.upward_closure model q in
-      Format.printf "closure: %a@." Db.Query.pp closed;
-      let desc, _, _ = Prm.Estimate.query_eval_network model q in
-      Printf.printf "network: %s\n" desc
+      let plan = Plan.compile model q in
+      Format.printf "closure: %a@." Db.Query.pp (Plan.upward_closure plan q);
+      Format.printf "%a" Plan.pp plan
     end;
     Printf.printf "estimate: %.1f\n" (estimate model db q);
     if truth then Printf.printf "truth:    %.0f\n" (true_size db q);

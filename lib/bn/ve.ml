@@ -127,7 +127,10 @@ let apply_actions f actions =
    scope unions the factor-scan version computes, so the resulting order —
    including tie-breaks — is identical). *)
 
-let plan_order ~keep factors =
+type sched_step = { var : int; predicted_entries : int }
+type schedule = { order : int list; steps : sched_step list }
+
+let plan_schedule ~keep factors =
   let card : (int, int) Hashtbl.t = Hashtbl.create 16 in
   let adj : (int, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 16 in
   List.iter
@@ -161,8 +164,9 @@ let plan_order ~keep factors =
   List.iter (fun v -> Hashtbl.replace costs v (cost v)) candidates;
   let remaining = ref candidates in
   let order = ref [] in
+  let steps = ref [] in
   while !remaining <> [] do
-    let v =
+    let v, cost_v =
       List.fold_left
         (fun best v ->
           match best with
@@ -171,9 +175,15 @@ let plan_order ~keep factors =
             let c = Hashtbl.find costs v in
             if c < c0 then Some (v, c) else best)
         None !remaining
-      |> Option.get |> fst
+      |> Option.get
     in
     order := v :: !order;
+    (* the intermediate factor's scope is v's induced neighborhood, so
+       its size is the selection cost divided by v's own cardinality *)
+    let predicted =
+      int_of_float (cost_v /. float_of_int (Hashtbl.find card v))
+    in
+    steps := { var = v; predicted_entries = predicted } :: !steps;
     remaining := List.filter (fun u -> u <> v) !remaining;
     let nbrs = Hashtbl.find adj v in
     let nlist = Hashtbl.fold (fun u () acc -> u :: acc) nbrs [] in
@@ -188,132 +198,40 @@ let plan_order ~keep factors =
       (fun u -> if Hashtbl.mem costs u then Hashtbl.replace costs u (cost u))
       nlist
   done;
-  List.rev !order
+  { order = List.rev !order; steps = List.rev !steps }
 
-(* ---- elimination-order cache --------------------------------------------
+module Schedule = struct
+  type step = sched_step = { var : int; predicted_entries : int }
+  type t = schedule = { order : int list; steps : step list }
 
-   Orders keyed by (caller-supplied plan key × the evidence structure):
-   the plan key identifies the factor-graph shape (model fingerprint ×
-   query skeleton), the restricted variables and the keep set identify how
-   evidence reshapes it.  Repeated query shapes — the common case behind
-   the serving cache — skip planning entirely.  Mutex-protected so the
-   domain pool can run inference concurrently. *)
+  let plan = plan_schedule
 
-module Order_cache = struct
-  let capacity = 256
-
-  (* [order_str] is the order pre-rendered for span attributes, so a
-     traced cache hit never rebuilds the string. *)
-  type entry = { order : int list; order_str : string; mutable stamp : int }
-
-  let table : (string, entry) Hashtbl.t = Hashtbl.create capacity
-  let mutex = Mutex.create ()
-  let clock = ref 0
-  let hits = ref 0
-  let misses = ref 0
-
-  let find key =
-    Mutex.lock mutex;
-    let r =
-      match Hashtbl.find_opt table key with
-      | Some e ->
-        incr clock;
-        e.stamp <- !clock;
-        incr hits;
-        Some (e.order, e.order_str)
-      | None ->
-        incr misses;
-        None
+  let pp fmt t =
+    let pp_step i { var; predicted_entries } =
+      if i > 0 then Format.pp_print_string fmt ">";
+      Format.fprintf fmt "%d:%d" var predicted_entries
     in
-    Mutex.unlock mutex;
-    r
-
-  let add key order order_str =
-    Mutex.lock mutex;
-    if not (Hashtbl.mem table key) then begin
-      if Hashtbl.length table >= capacity then begin
-        (* evict the least recently used entry (rare after warm-up) *)
-        let victim = ref None in
-        Hashtbl.iter
-          (fun k e ->
-            match !victim with
-            | Some (_, s) when s <= e.stamp -> ()
-            | _ -> victim := Some (k, e.stamp))
-          table;
-        match !victim with Some (k, _) -> Hashtbl.remove table k | None -> ()
-      end;
-      incr clock;
-      Hashtbl.add table key { order; order_str; stamp = !clock }
-    end;
-    Mutex.unlock mutex
-
-  let clear () =
-    Mutex.lock mutex;
-    Hashtbl.reset table;
-    hits := 0;
-    misses := 0;
-    Mutex.unlock mutex
-
-  let stats () =
-    Mutex.lock mutex;
-    let r = (!hits, !misses) in
-    Mutex.unlock mutex;
-    r
+    if t.steps = [] then Format.pp_print_string fmt "-"
+    else List.iteri pp_step t.steps
 end
 
-let order_cache_stats = Order_cache.stats
-let order_cache_clear = Order_cache.clear
+let plan_order ~keep factors = (plan_schedule ~keep factors).order
 
-let order_key plan_key ~actions ~keep =
-  let buf = Buffer.create 64 in
-  Buffer.add_string buf plan_key;
-  Buffer.add_string buf "|eq:";
-  List.iter
-    (fun (v, act) ->
-      match act with
-      | Restrict _ ->
-        Buffer.add_string buf (string_of_int v);
-        Buffer.add_char buf ','
-      | Mask _ -> ())
-    actions;
-  Buffer.add_string buf "|keep:";
-  Array.iter
-    (fun v ->
-      Buffer.add_string buf (string_of_int v);
-      Buffer.add_char buf ',')
-    keep;
-  Buffer.contents buf
+(* The old process-global elimination-order LRU (keyed by caller-supplied
+   [plan_key] strings) lived here.  Schedules are now first-class values:
+   callers with repeated query shapes memoize {!Schedule.t} per restricted
+   variable set themselves — see the plan IR in [lib/plan]. *)
 
 let attr_of_order order = String.concat "," (List.map string_of_int order)
 
-let order_for ?plan_key ~actions ~keep factors =
+let schedule_for ~keep factors =
   Selest_obs.Span.with_ "ve.plan" (fun sp ->
-      (* attr strings only when a sink will see them *)
-      let note cached order_str =
-        if Selest_obs.Span.live sp then begin
-          Selest_obs.Span.add sp "cached" cached;
-          Selest_obs.Span.add sp "order" order_str
-        end
-      in
-      match plan_key with
-      | None ->
-        let order = plan_order ~keep factors in
-        if Selest_obs.Span.live sp then note "none" (attr_of_order order);
-        order
-      | Some pk -> (
-        let key = order_key pk ~actions ~keep in
-        match Order_cache.find key with
-        | Some (order, order_str) ->
-          Selest_obs.Hotpath.order_hit ();
-          note "hit" order_str;
-          order
-        | None ->
-          Selest_obs.Hotpath.order_miss ();
-          let order = plan_order ~keep factors in
-          let order_str = attr_of_order order in
-          Order_cache.add key order order_str;
-          note "miss" order_str;
-          order))
+      let s = plan_schedule ~keep factors in
+      if Selest_obs.Span.live sp then begin
+        Selest_obs.Span.add sp "cached" "none";
+        Selest_obs.Span.add sp "order" (attr_of_order s.order)
+      end;
+      s)
 
 (* ---- execution -----------------------------------------------------------
 
@@ -358,50 +276,66 @@ let restricted_factors factors actions =
       (g, g != f))
     factors
 
-let prob_of_evidence ?plan_key factors ev =
-  let prep =
-    Selest_obs.Span.with_ "ve.evidence" (fun _ ->
-        match merged_masks factors ev with
-        | None -> None (* contradictory evidence: empty event *)
-        | Some merged ->
-          let actions = actions_of_masks merged in
-          Some (actions, restricted_factors factors actions))
-  in
-  match prep with
-  | None -> 0.0
-  | Some (actions, fs) ->
-    let bare = List.map fst fs in
-    let order = order_for ?plan_key ~actions ~keep:[||] bare in
-    let scratch = local_scratch () in
-    Selest_obs.Span.with_ "ve.eliminate" (fun _ ->
-        total_of scratch (run_order scratch fs order))
+type prepared = {
+  p_factors : (Factor.t * bool) list;  (* factor, owned-by-the-run *)
+  p_restricted : int list;  (* variables sliced to one value, sorted *)
+}
 
-let posterior ?plan_key factors ev ~keep =
-  let actions, fs =
-    Selest_obs.Span.with_ "ve.evidence" (fun _ ->
-        let merged =
-          match merged_masks factors ev with
-          | Some m -> m
-          | None -> invalid_arg "Ve.posterior: contradictory evidence"
-        in
+let prepare factors ev =
+  Selest_obs.Span.with_ "ve.evidence" (fun _ ->
+      match merged_masks factors ev with
+      | None -> None (* contradictory evidence: empty event *)
+      | Some merged ->
         let actions = actions_of_masks merged in
-        (actions, restricted_factors factors actions))
-  in
-  let keep_sorted = Array.copy keep in
-  Array.sort compare keep_sorted;
-  let bare = List.map fst fs in
-  let order = order_for ?plan_key ~actions ~keep:keep_sorted bare in
+        let restricted =
+          List.sort compare
+            (List.filter_map
+               (fun (v, act) ->
+                 match act with Restrict _ -> Some v | Mask _ -> None)
+               actions)
+        in
+        Some
+          {
+            p_factors = restricted_factors factors actions;
+            p_restricted = restricted;
+          })
+
+let restricted_vars p = p.p_restricted
+let prepared_factors p = List.map fst p.p_factors
+
+let run p ~order =
   let scratch = local_scratch () in
-  let remaining =
-    Selest_obs.Span.with_ "ve.eliminate" (fun _ -> run_order scratch fs order)
-  in
-  let result =
-    match remaining with
-    | [] -> Factor.constant 1.0
-    | fs -> Factor.normalize (Factor.product_all (List.map fst fs))
-  in
-  List.iter (fun (f, owned) -> if owned then Factor.release scratch f) remaining;
-  result
+  Selest_obs.Span.with_ "ve.eliminate" (fun _ ->
+      total_of scratch (run_order scratch p.p_factors order))
+
+let prob_of_evidence factors ev =
+  match prepare factors ev with
+  | None -> 0.0
+  | Some p ->
+    let s = schedule_for ~keep:[||] (prepared_factors p) in
+    run p ~order:s.order
+
+let posterior factors ev ~keep =
+  match prepare factors ev with
+  | None -> invalid_arg "Ve.posterior: contradictory evidence"
+  | Some p ->
+    let keep_sorted = Array.copy keep in
+    Array.sort compare keep_sorted;
+    let s = schedule_for ~keep:keep_sorted (prepared_factors p) in
+    let scratch = local_scratch () in
+    let remaining =
+      Selest_obs.Span.with_ "ve.eliminate" (fun _ ->
+          run_order scratch p.p_factors s.order)
+    in
+    let result =
+      match remaining with
+      | [] -> Factor.constant 1.0
+      | fs -> Factor.normalize (Factor.product_all (List.map fst fs))
+    in
+    List.iter
+      (fun (f, owned) -> if owned then Factor.release scratch f)
+      remaining;
+    result
 
 (* ---- reference implementation --------------------------------------------
 

@@ -2,11 +2,14 @@
 
     Works on bags of factors, so the same engine serves single-table BNs
     and the query-evaluation networks PRMs build (Def. 3.5).  Elimination
-    order is chosen greedily by minimum intermediate-factor size — now
+    order is chosen greedily by minimum intermediate-factor size —
     computed incrementally on the interaction graph (eliminating a
     variable only invalidates its neighbors' costs) instead of rescanning
-    every factor per candidate per step, and memoized per query shape in a
-    small LRU keyed by the caller's [plan_key].  Execution fuses each
+    every factor per candidate per step.  The order, together with each
+    step's predicted intermediate size, is exposed as a first-class
+    {!Schedule.t} value: callers that answer repeated query shapes (the
+    plan IR in [lib/plan]) memoize schedules themselves instead of going
+    through a hidden process-global cache.  Execution fuses each
     multiply-then-sum step into one {!Selest_prob.Factor.sum_out_product}
     kernel over a domain-local scratch pool, so a run performs O(1) large
     allocations once warm.  All of this is bit-compatible with the
@@ -26,38 +29,72 @@ val normalize_evidence : Selest_prob.Factor.t list -> evidence -> evidence optio
     (contradictory evidence).  Raises [Invalid_argument] if a variable is
     unknown or a value is out of range. *)
 
+(** An elimination schedule: the greedy order plus, per step, the entry
+    count of the intermediate factor the planner predicted when it chose
+    that step (the product of the eliminated variable's induced-graph
+    neighbor cardinalities).  Predicted sizes are exact for the factor
+    bag the schedule was planned on; runtime counters
+    ({!Selest_obs.Hotpath}) report the actual sizes for comparison. *)
+module Schedule : sig
+  type step = { var : int; predicted_entries : int }
+
+  type t = { order : int list; steps : step list }
+  (** [order = List.map (fun s -> s.var) steps]; kept separately so
+      execution never rebuilds it. *)
+
+  val plan : keep:int array -> Selest_prob.Factor.t list -> t
+  (** Greedy min-intermediate-size schedule over every variable not in
+      [keep] ([keep] must be sorted). *)
+
+  val pp : Format.formatter -> t -> unit
+  (** Compact [var:entries > var:entries > …] rendering, shared by the
+      CLI explain mode and the server's [EXPLAIN] verb. *)
+end
+
 val plan_order : keep:int array -> Selest_prob.Factor.t list -> int list
-(** Greedy min-intermediate-size elimination order over every variable not
-    in [keep] ([keep] must be sorted).  Exposed for tests and benches. *)
+(** [(Schedule.plan ~keep factors).order].  Exposed for tests and
+    benches. *)
+
+type prepared
+(** Evidence applied, not yet eliminated: the restricted factor bag plus
+    the set of variables the evidence sliced away.  Single-use — {!run}
+    consumes it (intermediates are recycled through the scratch pool). *)
+
+val prepare : Selest_prob.Factor.t list -> evidence -> prepared option
+(** Merge the evidence ({!normalize_evidence} semantics) and apply it to
+    every factor.  [None] on contradictory evidence — the event is empty,
+    its probability zero.  Raises [Invalid_argument] on unknown variables
+    or out-of-range values. *)
+
+val restricted_vars : prepared -> int list
+(** The variables the evidence restricted to a single value, sorted.
+    Together with the keep set this determines the restricted factor
+    shapes, hence the schedule — it is the memo key plan caches use. *)
+
+val prepared_factors : prepared -> Selest_prob.Factor.t list
+
+val run : prepared -> order:int list -> float
+(** Eliminate along [order] with the fused kernels and return the total
+    remaining mass.  [order] must cover every variable of the prepared
+    factors (plan on {!prepared_factors}). *)
 
 val eliminate_all : Selest_prob.Factor.t list -> float
 (** Multiply all factors and sum out every variable: the total mass. *)
 
-val prob_of_evidence :
-  ?plan_key:string -> Selest_prob.Factor.t list -> evidence -> float
+val prob_of_evidence : Selest_prob.Factor.t list -> evidence -> float
 (** P(evidence) under the normalized distribution the factors define.
     When the factors are a BN's CPDs the distribution is already
-    normalized and this is simply the evidence mass.
-
-    [plan_key] must uniquely identify the factor-graph structure (e.g.
-    model fingerprint × query skeleton); when given, the elimination order
-    is looked up in / saved to a process-wide LRU keyed by
-    ([plan_key] × evidence structure), so repeated query shapes skip
-    planning.  Omitting it always plans from scratch. *)
+    normalized and this is simply the evidence mass.  Plans from scratch
+    on every call; repeated query shapes should compile a plan
+    ([lib/plan]) and reuse its memoized schedules instead. *)
 
 val posterior :
-  ?plan_key:string ->
   Selest_prob.Factor.t list ->
   evidence ->
   keep:int array ->
   Selest_prob.Factor.t
-(** Normalized joint marginal of the [keep] variables given the evidence.
-    [plan_key] as in {!prob_of_evidence}. *)
-
-val order_cache_stats : unit -> int * int
-(** (hits, misses) of the elimination-order LRU. *)
-
-val order_cache_clear : unit -> unit
+(** Normalized joint marginal of the [keep] variables given the
+    evidence.  Raises [Invalid_argument] on contradictory evidence. *)
 
 (** The pre-optimization engine, verbatim: per-step greedy cost scans over
     the whole factor list, pairwise products, naive per-entry factor

@@ -4,7 +4,13 @@ module Prob = Selest_prob
 module Db = Selest_db
 module Synth = Selest_synth
 module Bn = Selest_bn
-module Prm = Selest_prm
+
+module Prm = struct
+  include Selest_prm
+  module Estimate = Selest_plan.Estimate
+end
+
+module Plan = Selest_plan.Plan
 module Est = Selest_est
 module Workload = Selest_workload
 module Serve = Selest_serve
@@ -18,7 +24,8 @@ let learn_prm ?(budget_bytes = 8192) ?(seed = 0) db =
   Selest_prm.Learn.learn_prm ~budget_bytes ~seed db
 
 let estimate model db q =
-  Selest_prm.Estimate.estimate model ~sizes:(Selest_prm.Estimate.sizes_of_db db) q
+  Selest_plan.Estimate.estimate model
+    ~sizes:(Selest_plan.Estimate.sizes_of_db db) q
 
 let prm_estimator ~budget_bytes ?(seed = 0) db =
   Selest_est.Prm_est.build ~budget_bytes ~seed db

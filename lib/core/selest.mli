@@ -31,7 +31,19 @@ module Prob = Selest_prob
 module Db = Selest_db
 module Synth = Selest_synth
 module Bn = Selest_bn
-module Prm = Selest_prm
+
+(** The PRM layer plus the estimation entry points, which live in
+    [lib/plan] (they are wrappers over the compiled plan IR) but keep
+    their historical [Prm.Estimate] address. *)
+module Prm : sig
+  include module type of struct
+    include Selest_prm
+  end
+
+  module Estimate = Selest_plan.Estimate
+end
+
+module Plan = Selest_plan.Plan
 module Est = Selest_est
 module Workload = Selest_workload
 module Serve = Selest_serve

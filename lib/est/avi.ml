@@ -68,4 +68,4 @@ let build ?tables ?attrs db =
                (Printf.sprintf "AVI does not cover %s.%s" tname s.Query.sel_attr)))
       size q.Query.selects
   in
-  { Estimator.name = "AVI"; bytes = !bytes; estimate }
+  { Estimator.name = "AVI"; bytes = !bytes; prepare = ignore; estimate }

@@ -47,4 +47,4 @@ let build ~table ?attrs ~budget_bytes ?(kind = Cpd.Trees) ?(rule = Learn.Ssn) ?(
     in
     n *. prob evidence
   in
-  { Estimator.name = name_for kind; bytes = result.Learn.bytes; estimate }
+  { Estimator.name = name_for kind; bytes = result.Learn.bytes; prepare = ignore; estimate }

@@ -121,5 +121,6 @@ let build ~table ~bucketize ~budget_bytes ?(kind = Cpd.Trees) ?(seed = 0) db =
   {
     Estimator.name = "PRM(bucketized)";
     bytes = result.Learn.bytes + boundary_bytes;
+    prepare = ignore;
     estimate;
   }

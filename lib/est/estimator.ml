@@ -1,6 +1,7 @@
 type t = {
   name : string;
   bytes : int;
+  prepare : Selest_db.Query.t -> unit;
   estimate : Selest_db.Query.t -> float;
 }
 

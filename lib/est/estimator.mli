@@ -10,6 +10,12 @@
 type t = {
   name : string;
   bytes : int;
+  prepare : Selest_db.Query.t -> unit;
+      (** Pay any per-skeleton work (plan compilation, posterior
+          materialization) for the given query's shape up front, so a
+          suite runner keeps it out of the per-query path.  A no-op for
+          estimators with no compiled state; always optional — [estimate]
+          must work without it. *)
   estimate : Selest_db.Query.t -> float;
 }
 

@@ -47,4 +47,4 @@ let build ~budget_bytes ~seed db =
       in
       synopsis.Estimator.estimate q
   in
-  { Estimator.name = "JOIN-SYN"; bytes; estimate }
+  { Estimator.name = "JOIN-SYN"; bytes; prepare = ignore; estimate }

@@ -237,4 +237,4 @@ let build ~table ~attrs ~budget_bytes db =
     in
     expand 0 []
   in
-  { Estimator.name = "MHIST"; bytes; estimate }
+  { Estimator.name = "MHIST"; bytes; prepare = ignore; estimate }

@@ -1,20 +1,15 @@
 open Selest_prm
+module Estimate = Selest_plan.Estimate
 
 let of_model ~name model ~sizes =
-  {
-    Estimator.name;
-    bytes = Model.size_bytes model;
-    estimate = Estimate.cached_estimator model ~sizes;
-  }
+  let prepare, estimate = Estimate.prepared_estimator model ~sizes in
+  { Estimator.name; bytes = Model.size_bytes model; prepare; estimate }
 
 let build_with ~name cfg db =
   let result = Learn.learn ~config:cfg db in
   let sizes = Estimate.sizes_of_db db in
-  {
-    Estimator.name;
-    bytes = result.Learn.bytes;
-    estimate = Estimate.cached_estimator result.Learn.model ~sizes;
-  }
+  let prepare, estimate = Estimate.prepared_estimator result.Learn.model ~sizes in
+  { Estimator.name; bytes = result.Learn.bytes; prepare; estimate }
 
 let build ~budget_bytes ?(kind = Selest_bn.Cpd.Trees) ?(rule = Selest_bn.Learn.Ssn)
     ?(seed = 0) db =

@@ -103,4 +103,4 @@ let build ~rows ~seed ?attrs ?base db =
     done;
     float_of_int !hits /. float_of_int k *. float_of_int (Table.size base_tbl)
   in
-  { Estimator.name = "SAMPLE"; bytes; estimate }
+  { Estimator.name = "SAMPLE"; bytes; prepare = ignore; estimate }

@@ -135,4 +135,4 @@ let build ~table ~x ~y ~budget_bytes db =
     done;
     Float.max 0.0 !acc
   in
-  { Estimator.name = "SVD"; bytes; estimate }
+  { Estimator.name = "SVD"; bytes; prepare = ignore; estimate }

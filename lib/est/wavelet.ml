@@ -200,4 +200,4 @@ let build ~table ~attrs ~budget_bytes db =
     sum 0;
     Float.max 0.0 !acc
   in
-  { Estimator.name = "WAVELET"; bytes; estimate }
+  { Estimator.name = "WAVELET"; bytes; prepare = ignore; estimate }

@@ -16,8 +16,10 @@ type t = {
   mutable max_factor_entries : int;  (** largest intermediate factor table built *)
   mutable scratch_hits : int;  (** scratch-pool buffer reuses *)
   mutable scratch_misses : int;  (** scratch-pool allocations *)
-  mutable order_hits : int;  (** elimination-order cache hits *)
-  mutable order_misses : int;  (** elimination-order cache misses (fresh plans) *)
+  mutable order_hits : int;
+      (** plan schedule-memo hits (a compiled plan reused a memoized
+          elimination schedule for the binding's restricted-variable set) *)
+  mutable order_misses : int;  (** schedule-memo misses (freshly planned) *)
 }
 
 val get : unit -> t

@@ -50,3 +50,5 @@ let key q =
   in
   String.concat "|"
     [ String.concat "&" tvars; String.concat "&" joins; String.concat "&" selects ]
+
+let skeleton_key q = Selest_plan.Plan.skeleton_key (normalize q)

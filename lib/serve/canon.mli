@@ -25,3 +25,9 @@ val key : Selest_db.Query.t -> string
 (** Deterministic rendering of {!normalize}: equal for any two queries that
     canonicalize identically.  The key does not identify the model; the
     server prefixes it with the model name and version. *)
+
+val skeleton_key : Selest_db.Query.t -> string
+(** The {!Selest_plan.Plan.skeleton_key} of the {e normalized} query — the
+    binding-independent half of the key split: queries differing only in
+    predicate values share this key (and hence one cached plan), while
+    {!key} still distinguishes them for the estimate cache. *)

@@ -1,0 +1,96 @@
+(* Entry-count LRU of compiled plans, same hashtable + recency-list
+   structure as {!Lru} but generic in the payload and mutex-guarded: the
+   ESTBATCH worker pool shares one instance, and a miss compiles under
+   the lock so one skeleton never compiles twice concurrently. *)
+
+type node = {
+  key : string;
+  plan : Selest_plan.Plan.t;
+  mutable prev : node option;  (* towards the hot (most recent) end *)
+  mutable next : node option;  (* towards the cold end *)
+}
+
+type t = {
+  capacity : int;
+  tbl : (string, node) Hashtbl.t;
+  mutex : Mutex.t;
+  mutable hot : node option;
+  mutable cold : node option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ?(capacity = 256) () =
+  if capacity <= 0 then invalid_arg "Plan_cache.create: capacity must be positive";
+  {
+    capacity;
+    tbl = Hashtbl.create 64;
+    mutex = Mutex.create ();
+    hot = None;
+    cold = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.hot <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.cold <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_hot t n =
+  n.next <- t.hot;
+  n.prev <- None;
+  (match t.hot with Some h -> h.prev <- Some n | None -> t.cold <- Some n);
+  t.hot <- Some n
+
+let evict_cold t =
+  match t.cold with
+  | None -> ()
+  | Some n ->
+    unlink t n;
+    Hashtbl.remove t.tbl n.key;
+    t.evictions <- t.evictions + 1
+
+let find_or_compile t ~key ~compile =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some n ->
+        t.hits <- t.hits + 1;
+        unlink t n;
+        push_hot t n;
+        (n.plan, `Hit)
+      | None ->
+        t.misses <- t.misses + 1;
+        let plan = compile () in
+        let n = { key; plan; prev = None; next = None } in
+        Hashtbl.add t.tbl key n;
+        push_hot t n;
+        while Hashtbl.length t.tbl > t.capacity do
+          evict_cold t
+        done;
+        (plan, `Miss))
+
+let stats t =
+  Mutex.lock t.mutex;
+  let r = (t.hits, t.misses, t.evictions) in
+  Mutex.unlock t.mutex;
+  r
+
+let length t =
+  Mutex.lock t.mutex;
+  let r = Hashtbl.length t.tbl in
+  Mutex.unlock t.mutex;
+  r
+
+let clear t =
+  Mutex.lock t.mutex;
+  Hashtbl.reset t.tbl;
+  t.hot <- None;
+  t.cold <- None;
+  Mutex.unlock t.mutex

@@ -1,0 +1,34 @@
+(** LRU cache of compiled plans, keyed by (model version × query
+    skeleton).
+
+    The estimation service answers streams of bindings over a small set
+    of skeletons; compiling a {!Selest_plan.Plan.t} per request would
+    redo the upward closure, factor construction and schedule seeding
+    every time.  This cache holds one plan per hot skeleton.  The model
+    version is part of the caller's key, so a hot-reload naturally
+    invalidates: new version, new keys, and the old entries age out of
+    the LRU.
+
+    Thread-safe: one cache is shared by the [ESTBATCH] worker pool.
+    Compilation happens under the cache mutex, so concurrent misses on
+    one skeleton compile once, not once per domain. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] is an entry count (plans are small — factors are shared
+    with the model's CPDs); default 256. *)
+
+val find_or_compile :
+  t -> key:string -> compile:(unit -> Selest_plan.Plan.t) ->
+  Selest_plan.Plan.t * [ `Hit | `Miss ]
+(** Return the cached plan for [key], or run [compile], cache and return
+    it (evicting the least-recently-used entry when full). *)
+
+val stats : t -> int * int * int
+(** (hits, misses, evictions) since creation. *)
+
+val length : t -> int
+
+val clear : t -> unit
+(** Drop every entry (hot-reload, tests).  Counters are kept. *)

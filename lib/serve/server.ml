@@ -1,5 +1,6 @@
 open Selest_db
 module Obs = Selest_obs
+module Plan = Selest_plan.Plan
 
 let log = Logs.Src.create "selest.serve" ~doc:"selectivity-estimation server"
 
@@ -11,6 +12,7 @@ type t = {
   socket : string;
   registry : Registry.t;
   cache : Lru.t;
+  plans : Plan_cache.t;
   metrics : Metrics.t;
   qerrors : (string, Obs.Qerror.t) Hashtbl.t;  (* per-model accuracy *)
   qerrors_mutex : Mutex.t;
@@ -21,10 +23,11 @@ type t = {
 let create ?(cache_bytes = 1 lsl 20) ?pool_size ~db ~socket () =
   {
     db;
-    sizes = Selest_prm.Estimate.sizes_of_db db;
+    sizes = Selest_plan.Estimate.sizes_of_db db;
     socket;
     registry = Registry.create ~schema:(Database.schema db);
     cache = Lru.create ~capacity_bytes:cache_bytes;
+    plans = Plan_cache.create ();
     metrics = Metrics.create ();
     qerrors = Hashtbl.create 4;
     qerrors_mutex = Mutex.create ();
@@ -35,6 +38,7 @@ let create ?(cache_bytes = 1 lsl 20) ?pool_size ~db ~socket () =
 let registry t = t.registry
 let metrics t = t.metrics
 let cache t = t.cache
+let plan_cache t = t.plans
 let socket_path t = t.socket
 
 let qerror_table t name =
@@ -114,6 +118,24 @@ let parse_query t body =
 let cache_key name (e : Registry.entry) q =
   Printf.sprintf "%s#%d|%s" name e.Registry.version (Canon.key q)
 
+(* The plan cache keys on the binding-independent half of the same split:
+   model name and version plus the query's skeleton.  Hot-reloading bumps
+   the version, so a stale model's plans can never be fetched again. *)
+let plan_key name (e : Registry.entry) q =
+  Printf.sprintf "%s#%d|%s" name e.Registry.version (Canon.skeleton_key q)
+
+let plan_for t ~name ~(entry : Registry.entry) q =
+  Obs.Span.with_ "plan.fetch" (fun sp ->
+      let plan, status =
+        Plan_cache.find_or_compile t.plans
+          ~key:(plan_key name entry q)
+          ~compile:(fun () -> Plan.compile entry.Registry.model q)
+      in
+      if Obs.Span.live sp then
+        Obs.Span.add sp "cached"
+          (match status with `Hit -> "hit" | `Miss -> "miss");
+      (plan, status))
+
 (* Fold one request's kernel-counter deltas into the service metrics.
    [max_factor_entries] is a per-query high-water mark, not additive, so
    it stays in EXPLAIN rather than here. *)
@@ -126,18 +148,20 @@ let roll_hotpath t (d : Obs.Hotpath.t) =
   bump "ve.order_hits" d.Obs.Hotpath.order_hits;
   bump "ve.order_misses" d.Obs.Hotpath.order_misses
 
-(* Run inference for one parsed query, measuring its hot-path work and
-   rolling it into the metrics; fills the cache on success. *)
+(* Run inference for one parsed query — fetch (or compile) the skeleton's
+   plan, then execute it — measuring the hot-path work and rolling it into
+   the metrics; fills the estimate cache on success. *)
 let infer_measured t ~name ~(entry : Registry.entry) ~key q =
   match
     Obs.Hotpath.measure (fun () ->
-        Selest_prm.Estimate.estimate entry.Registry.model ~sizes:t.sizes q)
+        let plan, status = plan_for t ~name ~entry q in
+        (Plan.estimate plan ~sizes:t.sizes q, plan, status))
   with
-  | estimate, d ->
+  | (estimate, plan, status), d ->
     Lru.add t.cache key estimate;
     Metrics.incr t.metrics (Printf.sprintf "infer.%s" name);
     roll_hotpath t d;
-    Ok (estimate, d)
+    Ok (estimate, d, plan, status)
   | exception exn -> Error (Printexc.to_string exn)
 
 let handle_est t ~model ~body =
@@ -159,7 +183,7 @@ let handle_est t ~model ~body =
                 Protocol.ok (Printf.sprintf "%.17g" estimate))
           | None -> (
             match infer_measured t ~name ~entry:e ~key q with
-            | Ok (estimate, _) ->
+            | Ok (estimate, _, _, _) ->
               Obs.Span.with_ "est.respond" (fun _ ->
                   Protocol.ok (Printf.sprintf "%.17g" estimate))
             | Error msg ->
@@ -207,14 +231,17 @@ let handle_estbatch t ~model ~bodies =
           end)
         keyed;
       let miss_order = List.rev !miss_order in
-      let model_ = e.Registry.model and sizes = t.sizes in
+      let sizes = t.sizes in
       match
-        (* measure inside the worker: hot-path counters are domain-local *)
+        (* measure inside the worker: hot-path counters are domain-local;
+           the plan cache and each plan's schedule memo are mutex-guarded,
+           so workers share compiled plans instead of recompiling *)
         Selest_util.Pool.map (pool t)
           (fun (key, q) ->
             let v, d =
               Obs.Hotpath.measure (fun () ->
-                  Selest_prm.Estimate.estimate model_ ~sizes q)
+                  let plan, _ = plan_for t ~name ~entry:e q in
+                  Plan.estimate plan ~sizes q)
             in
             (key, v, d))
           miss_order
@@ -250,15 +277,16 @@ let handle_estbatch t ~model ~bodies =
 
    Stage times are *self* times: each span's duration minus its direct
    children's.  Self times partition the root's wall time exactly, so the
-   stages sum to total_us and nothing is double-counted; the glue inside
-   "prm.estimate" (plan keys, scaling) reports as model_us and the glue
-   inside "est" itself (dispatch, cache fill, metrics) as other_us. *)
+   stages sum to total_us and nothing is double-counted; plan-cache
+   lookup glue reports as fetch_us, a cold skeleton's compilation as
+   compile_us (zero on a plan-cache hit), and the glue inside "est"
+   itself (dispatch, cache fill, metrics) as other_us. *)
 
 let explain_stages =
   [ ("parse_us", "est.parse"); ("canon_us", "est.canon");
-    ("cache_us", "est.cache"); ("build_us", "prm.build");
-    ("model_us", "prm.estimate"); ("evidence_us", "ve.evidence");
-    ("plan_us", "ve.plan"); ("ve_us", "ve.eliminate");
+    ("cache_us", "est.cache"); ("fetch_us", "plan.fetch");
+    ("compile_us", "plan.compile"); ("evidence_us", "ve.evidence");
+    ("sched_us", "ve.plan"); ("ve_us", "ve.eliminate");
     ("respond_us", "est.respond"); ("other_us", "est") ]
 
 (* (span name, self time) for every record: duration minus the direct
@@ -312,18 +340,18 @@ let handle_explain t ~model ~body =
                 in
                 match infer_measured t ~name ~entry:e ~key q with
                 | Error msg -> Error msg
-                | Ok (estimate, d) ->
+                | Ok (estimate, d, plan, plan_status) ->
                   let rendered =
                     Obs.Span.with_ "est.respond" (fun _ ->
                         Printf.sprintf "%.17g" estimate)
                   in
-                  Ok (rendered, cached, d))))
+                  Ok (rendered, cached, d, plan, plan_status, q))))
     in
     match outcome with
     | Error msg ->
       Metrics.incr t.metrics "est_errors";
       Protocol.err msg
-    | Ok (estimate, cached, d) ->
+    | Ok (estimate, cached, d, plan, plan_status, q) ->
       let selfs = self_times records in
       let stages =
         List.map (fun (k, sp) -> (k, stage_us selfs sp)) explain_stages
@@ -347,15 +375,25 @@ let handle_explain t ~model ~body =
         (Printf.sprintf " cache=%s"
            (match cached with Some _ -> "hit" | None -> "miss"));
       Buffer.add_string buf
-        (Printf.sprintf " order_cache=%s"
+        (Printf.sprintf " plan_cache=%s"
+           (match plan_status with `Hit -> "hit" | `Miss -> "miss"));
+      Buffer.add_string buf
+        (Printf.sprintf " sched=%s"
            (Option.value ~default:"none" (span_attr records "ve.plan" "cached")));
+      (* the real executed schedule: per-step eliminated variable and the
+         planner's predicted intermediate entries (compare against the
+         measured max_factor_entries below) *)
+      let steps = Plan.steps plan q in
       Buffer.add_string buf
-        (Printf.sprintf " order=%s"
-           (Option.value ~default:"-" (span_attr records "ve.plan" "order")));
+        (Printf.sprintf " plan=%s"
+           (Format.asprintf "%a" Selest_bn.Ve.Schedule.pp
+              {
+                Selest_bn.Ve.Schedule.order =
+                  List.map (fun s -> s.Selest_bn.Ve.Schedule.var) steps;
+                steps;
+              }));
       Buffer.add_string buf
-        (Printf.sprintf " factors=%s"
-           (Option.value ~default:"-"
-              (span_attr records "prm.estimate" "factors")));
+        (Printf.sprintf " factors=%d" (List.length (Plan.factors plan)));
       List.iter
         (fun (k, v) -> Buffer.add_string buf (Printf.sprintf " %s=%d" k v))
         (Obs.Hotpath.to_pairs d);
@@ -382,7 +420,10 @@ let handle_truth t ~model ~truth ~body =
       let computed =
         match Lru.find t.cache key with
         | Some estimate -> Ok estimate
-        | None -> Result.map fst (infer_measured t ~name ~entry:e ~key q)
+        | None ->
+          Result.map
+            (fun (est, _, _, _) -> est)
+            (infer_measured t ~name ~entry:e ~key q)
       in
       match computed with
       | Error msg ->
@@ -419,8 +460,15 @@ let handle_stats t =
         ("cache_evictions", string_of_int (Lru.evictions t.cache));
         ("cache_entries", string_of_int (Lru.length t.cache));
         ("cache_bytes", string_of_int (Lru.bytes t.cache));
-        ("models", string_of_int (Registry.size t.registry));
       ]
+    @ (let hits, misses, evictions = Plan_cache.stats t.plans in
+       [
+         ("plan_cache_hits", string_of_int hits);
+         ("plan_cache_misses", string_of_int misses);
+         ("plan_cache_evictions", string_of_int evictions);
+         ("plan_cache_entries", string_of_int (Plan_cache.length t.plans));
+       ])
+    @ [ ("models", string_of_int (Registry.size t.registry)) ]
     @ qerror_stats_fields t
   in
   Protocol.ok (String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) pairs))
@@ -477,12 +525,16 @@ let prometheus_metrics t =
       gauge ~help:"loaded models" "selest_models" (Registry.size t.registry)
     ]
   in
-  let order_hits, order_misses = Selest_bn.Ve.order_cache_stats () in
-  let order_metrics =
-    [ counter ~help:"elimination-order cache hits (process-wide)"
-        "selest_order_cache_hits_total" order_hits;
-      counter ~help:"elimination-order cache misses (process-wide)"
-        "selest_order_cache_misses_total" order_misses ]
+  let plan_hits, plan_misses, plan_evictions = Plan_cache.stats t.plans in
+  let plan_metrics =
+    [ counter ~help:"compiled-plan cache hits" "selest_plan_cache_hits_total"
+        plan_hits;
+      counter ~help:"compiled-plan cache misses"
+        "selest_plan_cache_misses_total" plan_misses;
+      counter ~help:"compiled-plan cache evictions"
+        "selest_plan_cache_evictions_total" plan_evictions;
+      gauge ~help:"compiled-plan cache entries" "selest_plan_cache_entries"
+        (Plan_cache.length t.plans) ]
   in
   let qerror_metrics =
     List.map
@@ -501,7 +553,7 @@ let prometheus_metrics t =
           })
       (qerror_tables t)
   in
-  plain_metrics @ infer_metrics @ (latency :: cache_metrics) @ order_metrics
+  plain_metrics @ infer_metrics @ (latency :: cache_metrics) @ plan_metrics
   @ qerror_metrics
 
 let handle_metrics t =

@@ -10,36 +10,44 @@
 
     An [EST] request is answered as follows: parse the body against the
     database ({!Selest_db.Qparse}); canonicalize ({!Canon}); look up
-    [name#version|key] in the cache; on a miss run PRM inference
-    ({!Selest_prm.Estimate.estimate}) and fill the cache.  Because the
-    model version is part of the key, a hot-reloaded model never serves
-    another version's cached answers.
+    [name#version|key] in the estimate cache; on a miss fetch the
+    skeleton's compiled plan from the {!Plan_cache} (compiling it with
+    {!Selest_plan.Plan.compile} on a cold skeleton), bind the query and
+    execute, then fill the estimate cache.  Because the model version is
+    part of both keys, a hot-reloaded model never serves another
+    version's cached answers or plans.
 
     The dispatcher is single-threaded and handles connections
     sequentially, but an [ESTBATCH] request fans its cache misses across a
     {!Selest_util.Pool} of worker domains: probes and cache fills stay on
     the dispatcher (the {!Lru} is not shared across domains), inference —
-    the expensive, side-effect-free part — runs in parallel.  Estimates
-    are bit-identical to sequential [EST] answers: the same
-    {!Selest_prm.Estimate.estimate} runs per query either way, and
+    the expensive, side-effect-free part — runs in parallel.  The plan
+    cache and each plan's schedule memo are mutex-guarded, so workers
+    share compiled plans.  Estimates are bit-identical to sequential
+    [EST] answers: the same plan executes per query either way, and
     results are re-ordered deterministically.
 
     {2 Observability}
 
     The request path is instrumented with {!Selest_obs.Span} (spans
-    [est] → [est.parse], [est.canon], [est.cache], [prm.build],
-    [ve.evidence], [ve.plan], [ve.eliminate], [est.respond]) and every
-    inference's {!Selest_obs.Hotpath} kernel counters are rolled into
-    the service metrics ([ve.factor_ops], [ve.entries_touched],
-    [ve.scratch_hits]/[misses], [ve.order_hits]/[misses]).
+    [est] → [est.parse], [est.canon], [est.cache], [plan.fetch],
+    [plan.compile], [ve.evidence], [ve.plan], [ve.eliminate],
+    [est.respond]) and every inference's {!Selest_obs.Hotpath} kernel
+    counters are rolled into the service metrics ([ve.factor_ops],
+    [ve.entries_touched], [ve.scratch_hits]/[misses],
+    [ve.order_hits]/[misses] — the last pair counts plan schedule-memo
+    hits and misses).
 
     [EXPLAIN <query>] re-runs inference with span collection on and
     answers one line of [key=value] fields: [estimate], [total_us], the
-    per-stage times ([parse_us], [canon_us], [cache_us], [build_us],
-    [model_us], [evidence_us], [plan_us], [ve_us], [respond_us],
+    per-stage times ([parse_us], [canon_us], [cache_us], [fetch_us],
+    [compile_us], [evidence_us], [sched_us], [ve_us], [respond_us],
     [other_us] — {e self} times, so they partition [total_us]), their
-    [stage_sum_us], the estimate-cache and order-cache outcomes, the
-    elimination [order] used, and the per-query hot-path counters.  The
+    [stage_sum_us], the estimate-cache ([cache]), plan-cache
+    ([plan_cache]) and schedule-memo ([sched]) outcomes, the executed
+    [plan] (per-step eliminated variable and predicted intermediate
+    entries, to set against the measured [max_factor_entries]), the
+    plan's [factors] count, and the per-query hot-path counters.  The
     estimate cache is probed (and reported) but never short-circuits the
     run, so the breakdown always prices real inference; the cache is
     filled afterwards, making EXPLAIN a valid warm-up.
@@ -53,9 +61,9 @@
     [METRICS] answers the whole picture as Prometheus text exposition
     ({!Selest_obs.Prometheus}): counters ([selest_*_total], with
     per-model [selest_infer_total{model="..."}]), the request-latency
-    histogram ([selest_request_latency_us]), cache and registry gauges,
-    process-wide order-cache counters, and per-model [selest_qerror]
-    histograms. *)
+    histogram ([selest_request_latency_us]), estimate-cache and registry
+    gauges, plan-cache counters and gauge ([selest_plan_cache_*]), and
+    per-model [selest_qerror] histograms. *)
 
 type t
 
@@ -74,6 +82,13 @@ val create :
 val registry : t -> Registry.t
 val metrics : t -> Metrics.t
 val cache : t -> Lru.t
+
+val plan_cache : t -> Plan_cache.t
+(** The compiled-plan cache, keyed by (model name, version, query
+    skeleton).  Exposed so tests and benchmarks can inspect or clear it;
+    normal clients only see its hit/miss/eviction counters in [STATS] and
+    [METRICS]. *)
+
 val socket_path : t -> string
 
 val qerror_table : t -> string -> Selest_obs.Qerror.t

@@ -18,7 +18,9 @@ val run :
   unit -> outcome
 (** Evaluate every instantiation of the suite (or a deterministic uniform
     subsample of [max_queries] of them) and aggregate the adjusted relative
-    error against exact ground truth. *)
+    error against exact ground truth.  The estimator's [prepare] is called
+    once with the suite's first query, so per-skeleton work (plan
+    compilation) is paid before the per-query loop. *)
 
 val run_all :
   Selest_db.Database.t -> Suite.t -> Selest_est.Estimator.t list -> ?max_queries:int ->

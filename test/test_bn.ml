@@ -409,23 +409,36 @@ let prop_posterior_bit_identical_to_reference =
            false
          with Invalid_argument _ -> true))
 
-let test_ve_order_cache () =
-  Ve.order_cache_clear ();
+let test_ve_schedule () =
   let bn = eih_bn Cpd.Tables in
   let fs = Bn.factors bn in
   let ev = [ (0, Query.Eq 1); (2, Query.Eq 1) ] in
-  (* no plan_key: the cache is not consulted at all *)
-  ignore (Ve.prob_of_evidence fs ev);
-  Alcotest.(check (pair int int)) "uncached" (0, 0) (Ve.order_cache_stats ());
-  ignore (Ve.prob_of_evidence ~plan_key:"eih" fs ev);
-  Alcotest.(check (pair int int)) "first = miss" (0, 1) (Ve.order_cache_stats ());
-  let p1 = Ve.prob_of_evidence ~plan_key:"eih" fs ev in
-  Alcotest.(check (pair int int)) "second = hit" (1, 1) (Ve.order_cache_stats ());
-  (* same key, different evidence structure: separate entry *)
-  ignore (Ve.prob_of_evidence ~plan_key:"eih" fs [ (1, Query.Eq 0) ]);
-  Alcotest.(check (pair int int)) "new shape = miss" (1, 2) (Ve.order_cache_stats ());
-  (* the cached order must not change the answer *)
-  check_float "cached = planned" (Ve.prob_of_evidence fs ev) p1
+  (* the schedule is the order plus per-step predictions, consistently *)
+  let sched = Ve.Schedule.plan ~keep:[||] fs in
+  Alcotest.(check (list int))
+    "order = step vars"
+    (List.map (fun s -> s.Ve.Schedule.var) sched.Ve.Schedule.steps)
+    sched.Ve.Schedule.order;
+  Alcotest.(check (list int))
+    "plan_order agrees" (Ve.plan_order ~keep:[||] fs) sched.Ve.Schedule.order;
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        "predicted entries positive" true
+        (s.Ve.Schedule.predicted_entries >= 1))
+    sched.Ve.Schedule.steps;
+  (* running a prepared bag along its own planned schedule matches the
+     one-shot path *)
+  let p_direct = Ve.prob_of_evidence fs ev in
+  (match Ve.prepare fs ev with
+  | None -> Alcotest.fail "evidence is satisfiable"
+  | Some prep ->
+    Alcotest.(check (list int))
+      "restricted vars" [ 0; 2 ]
+      (Ve.restricted_vars prep);
+    let s = Ve.Schedule.plan ~keep:[||] (Ve.prepared_factors prep) in
+    check_float "run = prob_of_evidence" p_direct
+      (Ve.run prep ~order:s.Ve.Schedule.order))
 
 let test_normalize_evidence () =
   let bn = eih_bn Cpd.Tables in
@@ -652,7 +665,7 @@ let () =
           Alcotest.test_case "structure improves loglik" `Quick test_bn_loglik_improves_with_structure;
           Alcotest.test_case "posterior" `Quick test_posterior;
           Alcotest.test_case "cached prob agrees" `Quick test_cached_prob_agrees;
-          Alcotest.test_case "order cache" `Quick test_ve_order_cache;
+          Alcotest.test_case "schedule" `Quick test_ve_schedule;
           Alcotest.test_case "normalize evidence" `Quick test_normalize_evidence;
           Alcotest.test_case "plan order" `Quick test_plan_order_covers_non_keep;
         ] );

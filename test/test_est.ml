@@ -550,7 +550,7 @@ let test_prm_est_on_tb () =
 let test_of_model_wrapper () =
   let db = Lazy.force tb in
   let model = Selest_prm.Learn.learn_prm ~budget_bytes:2_000 db in
-  let est = Prm_est.of_model ~name:"wrapped" model ~sizes:(Selest_prm.Estimate.sizes_of_db db) in
+  let est = Prm_est.of_model ~name:"wrapped" model ~sizes:(Selest_plan.Estimate.sizes_of_db db) in
   Alcotest.(check string) "name" "wrapped" est.Estimator.name;
   Alcotest.(check bool) "bytes positive" true (est.Estimator.bytes > 0)
 

@@ -1,5 +1,6 @@
 open Selest_db
 open Selest_prm
+module Estimate = Selest_plan.Estimate
 
 let check_float = Alcotest.(check (float 1e-6))
 

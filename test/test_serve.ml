@@ -380,8 +380,8 @@ let test_server_handle_line () =
   let est = ask "EST c=contact, p=patient ; c.patient=p ; p.USBorn=1" in
   Alcotest.(check bool) "est ok" true (Protocol.is_ok est);
   let direct =
-    Selest_prm.Estimate.estimate (Lazy.force model)
-      ~sizes:(Selest_prm.Estimate.sizes_of_db (Lazy.force db))
+    Selest_plan.Estimate.estimate (Lazy.force model)
+      ~sizes:(Selest_plan.Estimate.sizes_of_db (Lazy.force db))
       (tb_query [ "p.USBorn=1" ])
   in
   check_float "matches direct API" direct (float_of_string (Protocol.payload est));
@@ -479,8 +479,8 @@ let test_socket_round_trip () =
             (float_of_string (Protocol.payload e1))
             (float_of_string (Protocol.payload e2));
           let direct =
-            Selest_prm.Estimate.estimate m
-              ~sizes:(Selest_prm.Estimate.sizes_of_db db0)
+            Selest_plan.Estimate.estimate m
+              ~sizes:(Selest_plan.Estimate.sizes_of_db db0)
               (tb_query [ "p.USBorn=1"; "c.Contype=2" ])
           in
           check_float "equals the direct Est API" direct

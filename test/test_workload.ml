@@ -52,6 +52,7 @@ let test_suite_join_skeleton () =
 let oracle db = {
   Selest_est.Estimator.name = "oracle";
   bytes = 0;
+  prepare = ignore;
   estimate = (fun q -> Exec.query_size db q);
 }
 
@@ -59,6 +60,7 @@ let oracle db = {
 let constant name value = {
   Selest_est.Estimator.name;
   bytes = 0;
+  prepare = ignore;
   estimate = (fun _ -> value);
 }
 
@@ -92,6 +94,7 @@ let test_runner_counts_unsupported () =
   let refuser = {
     Selest_est.Estimator.name = "refuser";
     bytes = 0;
+    prepare = ignore;
     estimate = (fun _ -> raise (Selest_est.Estimator.Unsupported "no"));
   } in
   let o = Runner.run db suite refuser () in
