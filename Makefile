@@ -21,11 +21,19 @@ bench: build
 # < 5% and EXPLAIN stage-sum fidelity), emits BENCH_obs.json, and its
 # normalized EXPLAIN/METRICS shape is diffed against the checked-in
 # golden so response-format regressions fail CI.
+# The learn figure races the incremental structure climber against the
+# naive reference on the TB database, asserts the two are bit-identical
+# (same trajectory, same serialized model) and that the incremental one
+# is no slower, and emits BENCH_learn.json.
 bench-smoke: build
 	dune exec bench/main.exe -- --fig inference
 	@python3 -m json.tool BENCH_inference.json > /dev/null 2>&1 \
 	  && echo "BENCH_inference.json: valid" \
 	  || { echo "BENCH_inference.json: INVALID JSON"; exit 1; }
+	dune exec bench/main.exe -- --fig learn
+	@python3 -m json.tool BENCH_learn.json > /dev/null 2>&1 \
+	  && echo "BENCH_learn.json: valid" \
+	  || { echo "BENCH_learn.json: INVALID JSON"; exit 1; }
 	dune exec bench/main.exe -- --fig plan
 	@python3 -m json.tool BENCH_plan.json > /dev/null 2>&1 \
 	  && echo "BENCH_plan.json: valid" \

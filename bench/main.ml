@@ -26,7 +26,7 @@ let known_figs =
   [
     "sanity"; "4a"; "4b"; "4c"; "5a"; "5b"; "5c"; "6a"; "6b"; "6c"; "7a"; "7b"; "7c";
     "range"; "structure"; "ablation-score"; "ablation-join"; "serve-cache"; "inference";
-    "plan"; "obs"; "bechamel";
+    "plan"; "learn"; "obs"; "bechamel";
   ]
 
 let parse_args () =
@@ -1022,6 +1022,73 @@ let fig_plan () =
     exit 1
   end
 
+(* ---- incremental structure learning (BENCH_learn.json) ----------------------------------- *)
+
+(* Measures the incremental hill-climber (delta move cache + Depgraph
+   legality oracle + count-once sufficient statistics) against the
+   retained naive reference climber on the TB database, and certifies the
+   two bit-identical: same accepted-move trajectory, same serialized
+   model.  Gates: trajectory_identical must hold and the incremental
+   climber must be no slower than the reference. *)
+
+let fig_learn () =
+  section "L1: incremental structure learning — delta move cache, count-once suffstats";
+  let json = ref [] in
+  let jfield name v = json := (name, v) :: !json in
+  let failures = ref [] in
+  let check name ok detail =
+    Printf.printf "%-46s %-4s %s\n" name (if ok then "ok" else "FAIL") detail;
+    if not ok then failures := name :: !failures
+  in
+  let db = Lazy.force tb in
+  let budget = 4_500 in
+  let config =
+    {
+      (Prm.Learn.default_config ~budget_bytes:budget) with
+      Prm.Learn.seed = cfg.seed;
+      random_restarts = 4;
+      random_walk_length = 6;
+    }
+  in
+  Prob.Counts.reset_total_scans ();
+  let r_base, t_base = time (fun () -> Prm.Learn.learn_reference ~config db) in
+  let scans_base = Prob.Counts.total_scans () in
+  Prob.Counts.reset_total_scans ();
+  let r_fast, t_fast = time (fun () -> Prm.Learn.learn ~config db) in
+  let scans_fast = Prob.Counts.total_scans () in
+  let fingerprint r =
+    Util.Sexp.to_string (Prm.Serialize.to_sexp r.Prm.Learn.model)
+  in
+  let identical =
+    r_base.Prm.Learn.trajectory = r_fast.Prm.Learn.trajectory
+    && fingerprint r_base = fingerprint r_fast
+    && r_base.Prm.Learn.bytes = r_fast.Prm.Learn.bytes
+    && r_base.Prm.Learn.loglik = r_fast.Prm.Learn.loglik
+  in
+  let speedup = t_base /. t_fast in
+  Printf.printf "PRM structure search (TB, %dB budget, %d accepted moves):\n" budget
+    r_fast.Prm.Learn.iterations;
+  Printf.printf "reference climber:   %6.2f s  (%d suffstat scans)\n" t_base scans_base;
+  Printf.printf "incremental climber: %6.2f s  (%d suffstat scans, %.1fx)\n" t_fast
+    scans_fast speedup;
+  check "trajectory identical" identical
+    (Printf.sprintf "%d moves" (List.length r_fast.Prm.Learn.trajectory));
+  check "incremental no slower than reference" (speedup >= 1.0)
+    (Printf.sprintf "%.2fx" speedup);
+  jfield "learn_budget_bytes" (string_of_int budget);
+  jfield "learn_moves" (string_of_int r_fast.Prm.Learn.iterations);
+  jfield "learn_base_s" (Printf.sprintf "%.3f" t_base);
+  jfield "learn_fast_s" (Printf.sprintf "%.3f" t_fast);
+  jfield "learn_speedup" (Printf.sprintf "%.2f" speedup);
+  jfield "trajectory_identical" (if identical then "true" else "false");
+  jfield "suffstat_scans_base" (string_of_int scans_base);
+  jfield "suffstat_scans_fast" (string_of_int scans_fast);
+  write_json "BENCH_learn.json" (List.rev !json);
+  if !failures <> [] then begin
+    Printf.eprintf "learn checks FAILED: %s\n" (String.concat ", " (List.rev !failures));
+    exit 1
+  end
+
 (* ---- observability: trace overhead, EXPLAIN fidelity, METRICS, q-error ------------------- *)
 
 (* Validates the lib/obs acceptance bars and emits BENCH_obs.json plus a
@@ -1395,6 +1462,7 @@ let () =
   if wants "serve-cache" then fig_serve_cache ();
   if wants "inference" then fig_inference ();
   if wants "plan" then fig_plan ();
+  if wants "learn" then fig_learn ();
   if wants "obs" then fig_obs ();
   if wants "bechamel" then bechamel_suite ();
   Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. total_t0)

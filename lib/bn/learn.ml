@@ -33,11 +33,16 @@ type result = {
   bytes : int;
   iterations : int;
   family_evaluations : int;
+  trajectory : string list;
 }
 
 type move = Add of int * int | Remove of int * int
 
 let move_dst = function Add (_, v) -> v | Remove (_, v) -> v
+
+let describe_move = function
+  | Add (u, v) -> Printf.sprintf "add:%d->%d" u v
+  | Remove (u, v) -> Printf.sprintf "remove:%d->%d" u v
 
 (* Search state: the DAG plus the family actually chosen for each node
    (which may be a budget-capped tree, so it must be remembered — a later
@@ -52,21 +57,26 @@ let apply_move dag = function
   | Add (u, v) -> Dag.add_edge dag ~src:u ~dst:v
   | Remove (u, v) -> Dag.remove_edge dag ~src:u ~dst:v
 
-(* Candidate moves legal w.r.t. acyclicity and the parent bound. *)
-let candidate_moves cfg dag =
+(* Candidate moves legal w.r.t. acyclicity and the parent bound.
+   [add_legal u v] decides acyclicity of a prospective add; move order is
+   part of the search contract (ties keep the earliest scored move), so
+   the incremental generator reproduces this loop exactly. *)
+let candidate_moves_with cfg dag ~add_legal =
   let n = Dag.n_nodes dag in
   let out = ref [] in
   for u = 0 to n - 1 do
     for v = 0 to n - 1 do
       if u <> v then
         if Dag.has_edge dag ~src:u ~dst:v then out := Remove (u, v) :: !out
-        else if
-          Array.length (Dag.parents dag v) < cfg.max_parents
-          && not (Dag.creates_cycle dag ~src:u ~dst:v)
+        else if Array.length (Dag.parents dag v) < cfg.max_parents && add_legal u v
         then out := Add (u, v) :: !out
     done
   done;
   !out
+
+let candidate_moves cfg dag =
+  candidate_moves_with cfg dag ~add_legal:(fun u v ->
+      not (Dag.creates_cycle dag ~src:u ~dst:v))
 
 let with_parent parents u =
   let ps = Array.append parents [| u |] in
@@ -145,14 +155,169 @@ let accept st move new_f dbytes =
   st.families.(move_dst move) <- new_f;
   st.size <- st.size + dbytes
 
-let climb cfg cache data ~mdl_penalty st =
+(* ---- incremental scorer ------------------------------------------------ *)
+
+(* Delta move cache, one table per destination node: everything about a
+   candidate move that survives across climb iterations — the proposed
+   (sorted) parent set, the dense-table size bound, and the unconstrained
+   base fit once computed.  Per iteration only the budget arithmetic runs
+   again; trees are refit exactly when the naive climber would refit them
+   under a cap, so the trajectory (and the score cache's insertion count)
+   is unchanged.  An accepted move resets its destination's table only. *)
+type bentry = {
+  be_proposed : int array;
+  be_dense : int;  (* table_family_bytes of the proposed family *)
+  mutable be_base : Score.family option;
+}
+
+type incr = {
+  mc : (int * bool, bentry) Hashtbl.t array;  (* per dst: (src, is_add) *)
+  mutable reach : bool array array;  (* reach.(u).(v) over the current dag *)
+  mutable reach_dirty : bool;
+}
+
+let make_incr n =
+  {
+    mc = Array.init n (fun _ -> Hashtbl.create 16);
+    reach = [||];
+    reach_dirty = true;
+  }
+
+(* One reachability closure per mutation replaces one DFS per candidate
+   add per iteration: Add (u, v) is acyclic iff v does not already reach
+   u (matching {!Dag.creates_cycle} with u <> v). *)
+let refresh_reach incr dag =
+  if incr.reach_dirty then begin
+    let n = Dag.n_nodes dag in
+    let children = Array.make n [] in
+    for v = 0 to n - 1 do
+      Array.iter (fun u -> children.(u) <- v :: children.(u)) (Dag.parents dag v)
+    done;
+    let reach = Array.init n (fun _ -> Array.make n false) in
+    for u = 0 to n - 1 do
+      let row = reach.(u) in
+      let rec visit v =
+        List.iter
+          (fun w ->
+            if not row.(w) then begin
+              row.(w) <- true;
+              visit w
+            end)
+          children.(v)
+      in
+      visit u
+    done;
+    incr.reach <- reach;
+    incr.reach_dirty <- false
+  end
+
+let incr_evaluate cfg cache data st incr move =
+  let v = move_dst move in
+  let old_f = st.families.(v) in
+  let key = match move with Add (u, _) -> (u, true) | Remove (u, _) -> (u, false) in
+  let e =
+    match Hashtbl.find_opt incr.mc.(v) key with
+    | Some e -> e
+    | None ->
+      let old_parents = Dag.parents st.dag v in
+      let proposed =
+        match move with
+        | Add (u, _) -> with_parent old_parents u
+        | Remove (u, _) -> without_parent old_parents u
+      in
+      let e =
+        {
+          be_proposed = proposed;
+          be_dense = table_family_bytes data ~child:v ~parents:proposed;
+          be_base = None;
+        }
+      in
+      Hashtbl.add incr.mc.(v) key e;
+      e
+  in
+  let headroom_bytes =
+    cfg.budget_bytes - st.size + old_f.Score.bytes
+    - Bytesize.values (Array.length e.be_proposed)
+  in
+  let max_params = headroom_bytes / Bytesize.per_param in
+  if max_params < 1 then None
+  else if
+    cfg.kind = Cpd.Tables
+    && st.size - old_f.Score.bytes + e.be_dense > cfg.budget_bytes
+  then None
+  else begin
+    let new_f =
+      match e.be_base with
+      | Some base when cfg.kind = Cpd.Tables || base.Score.params <= max_params -> base
+      | Some _ -> Score.family_capped cache ~child:v ~parents:e.be_proposed ~cap:max_params
+      | None ->
+        let base = Score.family cache ~child:v ~parents:e.be_proposed in
+        e.be_base <- Some base;
+        if cfg.kind = Cpd.Trees && base.Score.params > max_params then
+          Score.family_capped cache ~child:v ~parents:e.be_proposed ~cap:max_params
+        else base
+    in
+    let dbytes = new_f.Score.bytes - old_f.Score.bytes in
+    if st.size + dbytes > cfg.budget_bytes then None
+    else
+      Some
+        ( new_f,
+          new_f.Score.loglik -. old_f.Score.loglik,
+          dbytes,
+          new_f.Score.params - old_f.Score.params )
+  end
+
+(* ---- search driver ----------------------------------------------------- *)
+
+(* One interface for both climbers: the naive scorer re-enumerates and
+   re-evaluates everything (the reference trajectory oracle), the
+   incremental one answers from its caches. *)
+type scorer = {
+  sc_score : unit -> (move * (Score.family * float * int * int) option) list;
+  sc_accept : move -> Score.family -> int -> unit;
+  sc_restore : unit -> unit;  (* run after a snapshot restore *)
+}
+
+let naive_scorer cfg cache data st =
+  {
+    sc_score =
+      (fun () ->
+        List.map
+          (fun move -> (move, evaluate cfg cache data st move))
+          (candidate_moves cfg st.dag));
+    sc_accept = accept st;
+    sc_restore = ignore;
+  }
+
+let incr_scorer cfg cache data st =
+  let incr = make_incr (Dag.n_nodes st.dag) in
+  {
+    sc_score =
+      (fun () ->
+        refresh_reach incr st.dag;
+        List.map
+          (fun move -> (move, incr_evaluate cfg cache data st incr move))
+          (candidate_moves_with cfg st.dag ~add_legal:(fun u v ->
+               not incr.reach.(v).(u))));
+    sc_accept =
+      (fun move new_f dbytes ->
+        accept st move new_f dbytes;
+        Hashtbl.reset incr.mc.(move_dst move);
+        incr.reach_dirty <- true);
+    sc_restore =
+      (fun () ->
+        Array.iter Hashtbl.reset incr.mc;
+        incr.reach_dirty <- true);
+  }
+
+let climb cfg sc ~mdl_penalty trail =
   let moves_taken = ref 0 in
   let continue = ref true in
   while !continue do
     let best = ref None in
     List.iter
-      (fun move ->
-        match evaluate cfg cache data st move with
+      (fun (move, evaluation) ->
+        match evaluation with
         | None -> ()
         | Some (new_f, dscore, dbytes, dparams) ->
           let value = criterion cfg ~mdl_penalty (dscore, dbytes, dparams) in
@@ -162,34 +327,33 @@ let climb cfg cache data ~mdl_penalty st =
             | Some (v0, ds0, _, _, _) when v0 > value || (v0 = value && ds0 >= dscore) -> ()
             | _ -> best := Some (value, dscore, dbytes, new_f, move)
           end)
-      (candidate_moves cfg st.dag);
+      (sc.sc_score ());
     match !best with
     | None -> continue := false
     | Some (value, dscore, dbytes, new_f, move) ->
       Log.debug (fun m ->
-          m "accept %s: dscore=%.1f dbytes=%d value=%.3f"
-            (match move with
-            | Add (u, v) -> Printf.sprintf "add %d->%d" u v
-            | Remove (u, v) -> Printf.sprintf "remove %d->%d" u v)
-            dscore dbytes value);
-      accept st move new_f dbytes;
+          m "accept %s: dscore=%.1f dbytes=%d value=%.3f" (describe_move move) dscore
+            dbytes value);
+      sc.sc_accept move new_f dbytes;
+      trail := describe_move move :: !trail;
       incr moves_taken
   done;
   !moves_taken
 
-let random_walk cfg cache data rng st =
+let random_walk cfg sc rng trail =
   for _ = 1 to cfg.random_walk_length do
     let feasible =
       List.filter_map
-        (fun move ->
-          match evaluate cfg cache data st move with
+        (fun (move, evaluation) ->
+          match evaluation with
           | Some (new_f, _, dbytes, _) -> Some (move, new_f, dbytes)
           | None -> None)
-        (candidate_moves cfg st.dag)
+        (sc.sc_score ())
     in
     if feasible <> [] then begin
       let move, new_f, dbytes = List.nth feasible (Rng.int rng (List.length feasible)) in
-      accept st move new_f dbytes
+      sc.sc_accept move new_f dbytes;
+      trail := describe_move move :: !trail
     end
   done
 
@@ -203,9 +367,9 @@ let restore st (dag, families, size) =
   Array.blit families 0 st.families 0 (Array.length families);
   st.size <- size
 
-let learn ~config:cfg data =
+let learn_with ~make_scorer ~counts ~config:cfg data =
   let n = Data.n_vars data in
-  let cache = Score.create_cache ~kind:cfg.kind data in
+  let cache = Score.create_cache ~kind:cfg.kind ?counts data in
   let mdl_penalty = Score.mdl_penalty_per_param data in
   let families = Array.init n (fun v -> Score.family cache ~child:v ~parents:[||]) in
   let base_size =
@@ -217,16 +381,19 @@ let learn ~config:cfg data =
          "Learn.learn: budget %dB cannot hold even the empty model (%dB of marginals)"
          cfg.budget_bytes base_size);
   let st = { dag = Dag.empty n; families; size = base_size } in
+  let sc = make_scorer cfg cache data st in
   let rng = Rng.create cfg.seed in
-  let iterations = ref (climb cfg cache data ~mdl_penalty st) in
+  let trail = ref [] in
+  let iterations = ref (climb cfg sc ~mdl_penalty trail) in
   let best = ref (snapshot st, state_loglik st) in
   for _ = 1 to cfg.random_restarts do
-    random_walk cfg cache data rng st;
-    iterations := !iterations + climb cfg cache data ~mdl_penalty st;
+    random_walk cfg sc rng trail;
+    iterations := !iterations + climb cfg sc ~mdl_penalty trail;
     let ll = state_loglik st in
     if ll > snd !best then best := (snapshot st, ll)
   done;
   restore st (fst !best);
+  sc.sc_restore ();
   Log.info (fun m ->
       m "learned BN: %d vars, %d edges, %dB of %dB budget, loglik %.1f bits, %d family fits"
         n (Dag.n_edges st.dag) st.size cfg.budget_bytes (snd !best)
@@ -239,7 +406,15 @@ let learn ~config:cfg data =
     bytes = st.size;
     iterations = !iterations;
     family_evaluations = Score.n_evaluations cache;
+    trajectory = List.rev !trail;
   }
+
+let learn ~config db =
+  learn_with ~make_scorer:incr_scorer
+    ~counts:(Some (Selest_prob.Counts.create (), 0))
+    ~config db
+
+let learn_reference ~config db = learn_with ~make_scorer:naive_scorer ~counts:None ~config db
 
 let learn_bn ?(budget_bytes = 8192) ?(kind = Cpd.Trees) ?(rule = Ssn) ?(seed = 0) data =
   let cfg = { (default_config ~budget_bytes) with kind; rule; seed } in

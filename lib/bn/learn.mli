@@ -34,9 +34,24 @@ type result = {
   bytes : int;  (** achieved model storage *)
   iterations : int;  (** accepted moves, including random-walk moves *)
   family_evaluations : int;  (** distinct families fitted (cache misses) *)
+  trajectory : string list;
+      (** every accepted move in order (climb and random-walk alike), as
+          compact labels — compared verbatim between {!learn} and
+          {!learn_reference} *)
 }
 
 val learn : config:config -> Data.t -> result
+(** The incremental climber: candidate evaluations persist in a per-node
+    delta move cache across iterations (an accepted move invalidates its
+    destination's entries only), and acyclicity of candidate adds is
+    answered from one reachability closure per mutation instead of one
+    DFS per candidate.  Trajectory- and model-identical to
+    {!learn_reference}, including [family_evaluations]. *)
+
+val learn_reference : config:config -> Data.t -> result
+(** The naive climber retained as a trajectory oracle: re-enumerates and
+    re-evaluates every candidate move on every iteration.  Used by tests
+    and the bench to certify the incremental path move-for-move. *)
 
 val learn_bn : ?budget_bytes:int -> ?kind:Cpd.kind -> ?rule:rule -> ?seed:int ->
   Data.t -> Bn.t

@@ -6,24 +6,38 @@ type family = { loglik : float; params : int; bytes : int; cpd : Cpd.t }
 type cache = {
   kind : Cpd.kind;
   data : Data.t;
+  counts : (Counts.t * int) option;
+      (* count-once kernel + the table id this data registers under; None =
+         fit by direct row scans (the reference cost model) *)
   table : (int * int list * int option, family) Hashtbl.t;
   mutex : Mutex.t;
   mutable evaluations : int;
 }
 
-let create_cache ~kind data =
-  { kind; data; table = Hashtbl.create 256; mutex = Mutex.create (); evaluations = 0 }
+let create_cache ~kind ?counts data =
+  (* The kernel path is only bit-identical on unweighted data (exact
+     integer counts); weighted data silently keeps the scan path. *)
+  let counts = if data.Data.weights = None then counts else None in
+  { kind; data; counts; table = Hashtbl.create 256; mutex = Mutex.create (); evaluations = 0 }
 
 let family_bytes ~params ~n_parents = Bytesize.params params + Bytesize.values n_parents
 
 let compute cache ~child ~parents ~max_params =
   match cache.kind with
   | Cpd.Tables ->
-    let cpd = Table_cpd.fit cache.data ~child ~parents in
+    let cpd =
+      match cache.counts with
+      | Some (kernel, table) -> Table_cpd.fit_counted kernel ~table cache.data ~child ~parents
+      | None -> Table_cpd.fit cache.data ~child ~parents
+    in
     (* For ML table CPDs the data log-likelihood equals -N·H(child|parents),
        but computing it from the fitted table in one scan is just as fast
        and shares the code path with trees. *)
-    let loglik = Table_cpd.loglik cpd cache.data ~child in
+    let loglik =
+      match cache.counts with
+      | Some _ -> Table_cpd.loglik_tabulated cpd cache.data ~child
+      | None -> Table_cpd.loglik cpd cache.data ~child
+    in
     let params = Table_cpd.n_params cpd in
     {
       loglik;
@@ -32,8 +46,18 @@ let compute cache ~child ~parents ~max_params =
       cpd = Cpd.Table cpd;
     }
   | Cpd.Trees ->
-    let cpd = Tree_cpd.fit cache.data ~child ~parents ?param_budget:max_params () in
-    let loglik = Tree_cpd.loglik cpd cache.data ~child in
+    let cpd =
+      match cache.counts with
+      | Some (kernel, table) ->
+        Tree_cpd.fit_counted kernel ~table cache.data ~child ~parents
+          ?param_budget:max_params ()
+      | None -> Tree_cpd.fit cache.data ~child ~parents ?param_budget:max_params ()
+    in
+    let loglik =
+      match cache.counts with
+      | Some _ -> Tree_cpd.loglik_tabulated cpd cache.data ~child
+      | None -> Tree_cpd.loglik cpd cache.data ~child
+    in
     let params = Tree_cpd.n_params cpd in
     {
       loglik;
@@ -85,6 +109,18 @@ let family ?max_params cache ~child ~parents =
     match cache_find cache key with
     | Some f -> f
     | None -> cache_add cache key (compute cache ~child ~parents ~max_params:(Some cap)))
+
+(* For callers that already hold the unconstrained fit and know it busts
+   the cap (the incremental climbers cache base fits across iterations and
+   only re-derive the capped variant): skip the base-entry probe that
+   [family] repeats on every lookup.  Produces exactly the entry
+   [family ~max_params:cap] would for a tree whose natural fit exceeds
+   [cap], insertion-counting included. *)
+let family_capped cache ~child ~parents ~cap =
+  let key = (child, Array.to_list parents, Some cap) in
+  match cache_find cache key with
+  | Some f -> f
+  | None -> cache_add cache key (compute cache ~child ~parents ~max_params:(Some cap))
 
 let structure_loglik cache dag =
   let acc = ref 0.0 in

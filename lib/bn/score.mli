@@ -18,7 +18,13 @@ type family = {
 
 type cache
 
-val create_cache : kind:Cpd.kind -> Data.t -> cache
+val create_cache : kind:Cpd.kind -> ?counts:Selest_prob.Counts.t * int -> Data.t -> cache
+(** [counts] plugs in a count-once group-by kernel (and the table id this
+    data registers under): family fits are then served from cached joint
+    counts ({!Table_cpd.fit_counted} / {!Tree_cpd.fit_counted}) with
+    tabulated log-likelihoods — bitwise identical scores, one data scan per
+    distinct attribute set instead of per fit.  Ignored for weighted data,
+    where only the row-scan path preserves bit identity. *)
 
 val family : ?max_params:int -> cache -> child:int -> parents:int array -> family
 (** Fit (or recall) the family's CPD and score.  [max_params] caps the
@@ -26,6 +32,13 @@ val family : ?max_params:int -> cache -> child:int -> parents:int array -> famil
     tree); it never shrinks a table CPD, whose size is structural.  The
     unconstrained fit is cached first and reused whenever it already fits
     the cap. *)
+
+val family_capped : cache -> child:int -> parents:int array -> cap:int -> family
+(** The cap-constrained fit alone, for callers that already know the
+    unconstrained tree exceeds [cap] — the incremental climbers hold base
+    fits in their move caches and re-derive only the capped variant when
+    the byte budget tightens, skipping {!family}'s base-entry probe.
+    Identical to [family ~max_params:cap] under that precondition. *)
 
 val structure_loglik : cache -> Dag.t -> float
 (** Σ family log-likelihoods: the [Score(S | D)] of Sec. 4.3.1. *)

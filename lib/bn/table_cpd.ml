@@ -52,6 +52,27 @@ let fit data ~child ~parents =
     let idx = (!cfg * child_card) + child_col.(r) in
     table.(idx) <- table.(idx) +. Data.weight data r
   done;
+  Counts.record_scan ();
+  normalize_rows ~child_card table;
+  { child_card; parents; parent_cards; table; fitted_weight = Data.total_weight data }
+
+let fit_counted kernel ~table:table_id data ~child ~parents =
+  (* The kernel's prefix key over dims = parents @ [child] is exactly
+     [fit]'s configuration index, and on unweighted data both accumulate
+     exact integer counts — the normalized table is bitwise identical.
+     The kernel array is shared, so copy before normalizing in place. *)
+  if data.Data.weights <> None then
+    invalid_arg "Table_cpd.fit_counted: weighted data is not supported";
+  check_parents parents;
+  let child_card = data.Data.cards.(child) in
+  let parent_cards = Array.map (fun p -> data.Data.cards.(p)) parents in
+  let dims = Array.append parents [| child |] in
+  let cards = Array.append parent_cards [| child_card |] in
+  let cols = Array.map (fun a -> data.Data.cols.(a)) dims in
+  let counts =
+    Counts.counts kernel ~table:table_id ~dims ~cards ~cols ~n_rows:data.Data.n
+  in
+  let table = Array.copy counts in
   normalize_rows ~child_card table;
   { child_card; parents; parent_cards; table; fitted_weight = Data.total_weight data }
 
@@ -96,6 +117,25 @@ let loglik t data ~child =
     let p = t.table.((!cfg * t.child_card) + child_col.(r)) in
     acc := !acc +. (Data.weight data r *. Arrayx.log2 (Float.max p 1e-300))
   done;
+  Counts.record_scan ();
+  !acc
+
+let loglik_tabulated t data ~child =
+  (* [loglik] with the table's log2 values precomputed once; same per-row
+     accumulation over identical floats, so the sum is bitwise equal. *)
+  let logt = Array.map (fun p -> Arrayx.log2 (Float.max p 1e-300)) t.table in
+  let child_col = data.Data.cols.(child) in
+  let parent_cols = Array.map (fun p -> data.Data.cols.(p)) t.parents in
+  let np = Array.length t.parents in
+  let acc = ref 0.0 in
+  for r = 0 to data.Data.n - 1 do
+    let cfg = ref 0 in
+    for i = 0 to np - 1 do
+      cfg := (!cfg * t.parent_cards.(i)) + parent_cols.(i).(r)
+    done;
+    acc := !acc +. (Data.weight data r *. logt.((!cfg * t.child_card) + child_col.(r)))
+  done;
+  Counts.record_scan ();
   !acc
 
 let to_factor ~var_of ~child t =

@@ -38,6 +38,18 @@ val fit :
     BIC-style floor that stops useless splits).  Leaves fit maximum-
     likelihood child frequencies. *)
 
+val fit_counted :
+  Selest_prob.Counts.t -> table:int -> Data.t -> child:int -> parents:int array ->
+  ?param_budget:int -> ?gain_threshold:float -> unit -> t
+(** [fit] served from a count-once group-by kernel instead of row scans:
+    every split-gain and leaf statistic is an aggregation of a cached joint
+    count over (path parents, candidate parent, child), registered in the
+    kernel under table id [table].  The data is scanned once per distinct
+    attribute set — across every fit sharing the kernel — rather than once
+    per query.  On unweighted data the result is bitwise identical to
+    [fit]'s (all counts are exact integer floats, so accumulation order
+    cannot matter); weighted data is rejected with [Invalid_argument]. *)
+
 val leaf : float array -> node
 (** Hand-construct a (normalized) leaf, for explicit models in tests. *)
 
@@ -65,6 +77,11 @@ val refit : t -> Data.t -> child:int -> t
 
 val loglik : t -> Data.t -> child:int -> float
 (** Data log-likelihood in bits. *)
+
+val loglik_tabulated : t -> Data.t -> child:int -> float
+(** [loglik] with each leaf's log2 values computed once instead of once per
+    row — bitwise equal (same inputs, same row-order accumulation), several
+    times cheaper on wide data. *)
 
 val to_factor : var_of:(int -> int) -> child:int -> t -> Selest_prob.Factor.t
 val depth : t -> int

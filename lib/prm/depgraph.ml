@@ -1,0 +1,152 @@
+(* Incremental legality oracle mirroring Stratify.check.  See the mli for
+   the contract; the key invariant is that the tracked graphs are always
+   those of a legal (acyclic, stratified) structure, so candidate adds
+   reduce to reachability queries on a cached closure. *)
+
+open Selest_db
+
+type t = {
+  schema : Schema.t;
+  offsets : int array;  (* global id of attr (ti, a) is offsets.(ti) + a *)
+  join_ids : int array array;  (* join_ids.(ti).(fk): node id of J_{ti,fk} *)
+  n_nodes : int;
+  n_tables : int;
+  edges : (int * int, int) Hashtbl.t;  (* combined-graph edge multiset *)
+  table_edges : (int * int, int) Hashtbl.t;  (* table-graph edge multiset *)
+  mutable reach : bool array array;  (* reach.(u).(v): u -> ... -> v *)
+  mutable table_reach : bool array array;
+  mutable dirty : bool;
+}
+
+let create schema =
+  let tables = Schema.tables schema in
+  let n_tables = Array.length tables in
+  let offsets = Array.make n_tables 0 in
+  let total = ref 0 in
+  Array.iteri
+    (fun ti ts ->
+      offsets.(ti) <- !total;
+      total := !total + Array.length ts.Schema.attrs)
+    tables;
+  let join_ids =
+    Array.map
+      (fun ts ->
+        Array.map
+          (fun _ ->
+            let id = !total in
+            incr total;
+            id)
+          ts.Schema.fks)
+      tables
+  in
+  {
+    schema;
+    offsets;
+    join_ids;
+    n_nodes = !total;
+    n_tables;
+    edges = Hashtbl.create 64;
+    table_edges = Hashtbl.create 16;
+    reach = [||];
+    table_reach = [||];
+    dirty = true;
+  }
+
+let resolve t ti p =
+  match p with
+  | Model.Own a -> (ti, a)
+  | Model.Foreign (f, b) ->
+    let ts = (Schema.tables t.schema).(ti) in
+    (Schema.table_index t.schema ts.Schema.fks.(f).Schema.target, b)
+
+let attr_node t ti a = t.offsets.(ti) + a
+let join_node t ti fk = t.join_ids.(ti).(fk)
+
+let bump tbl k d =
+  let c = (match Hashtbl.find_opt tbl k with Some c -> c | None -> 0) + d in
+  if c <= 0 then Hashtbl.remove tbl k else Hashtbl.replace tbl k c
+
+(* One accepted attr-family move changes exactly these edges: the resolved
+   parent edge, the gating edge when the parent is cross-table, and the
+   table edge when the parent lives in another table. *)
+let attr_parent_delta t ~ti ~a p d =
+  let pt, pa = resolve t ti p in
+  let v = attr_node t ti a in
+  bump t.edges (attr_node t pt pa, v) d;
+  (match p with
+  | Model.Foreign (f, _) -> bump t.edges (join_node t ti f, v) d
+  | Model.Own _ -> ());
+  if pt <> ti then bump t.table_edges (pt, ti) d;
+  t.dirty <- true
+
+let join_parent_delta t ~ti ~fk p d =
+  let pt, pa = resolve t ti p in
+  bump t.edges (attr_node t pt pa, join_node t ti fk) d;
+  t.dirty <- true
+
+let add_attr_parent t ~ti ~a p = attr_parent_delta t ~ti ~a p 1
+let remove_attr_parent t ~ti ~a p = attr_parent_delta t ~ti ~a p (-1)
+let add_join_parent t ~ti ~fk p = join_parent_delta t ~ti ~fk p 1
+let remove_join_parent t ~ti ~fk p = join_parent_delta t ~ti ~fk p (-1)
+
+let reset t s =
+  Hashtbl.reset t.edges;
+  Hashtbl.reset t.table_edges;
+  t.dirty <- true;
+  Array.iteri
+    (fun ti per_attr ->
+      Array.iteri (fun a ps -> Array.iter (add_attr_parent t ~ti ~a) ps) per_attr)
+    s.Stratify.attr_parents;
+  Array.iteri
+    (fun ti per_fk ->
+      Array.iteri (fun fk ps -> Array.iter (add_join_parent t ~ti ~fk) ps) per_fk)
+    s.Stratify.join_parents
+
+let closure n edges =
+  let succ = Array.make n [] in
+  Hashtbl.iter (fun (u, v) c -> if c > 0 then succ.(u) <- v :: succ.(u)) edges;
+  let reach = Array.init n (fun _ -> Array.make n false) in
+  for u = 0 to n - 1 do
+    let row = reach.(u) in
+    let rec visit v =
+      List.iter
+        (fun w ->
+          if not row.(w) then begin
+            row.(w) <- true;
+            visit w
+          end)
+        succ.(v)
+    in
+    visit u
+  done;
+  reach
+
+let refresh t =
+  if t.dirty then begin
+    t.reach <- closure t.n_nodes t.edges;
+    t.table_reach <- closure t.n_tables t.table_edges;
+    t.dirty <- false
+  end
+
+let attr_add_legal t ~ti ~a p =
+  refresh t;
+  let pt, pa = resolve t ti p in
+  let u = attr_node t pt pa and v = attr_node t ti a in
+  (* A simple cycle through the new edges uses exactly one of them (both
+     end at [v]), so reachability over the current — acyclic — graph is
+     enough: adding u -> v (and the gating J -> v) closes a cycle iff v
+     already reaches the new edge's source. *)
+  let cycle =
+    u = v
+    || t.reach.(v).(u)
+    || (match p with
+       | Model.Foreign (f, _) -> t.reach.(v).(join_node t ti f)
+       | Model.Own _ -> false)
+  in
+  let table_cycle = pt <> ti && t.table_reach.(ti).(pt) in
+  not (cycle || table_cycle)
+
+let join_add_legal t ~ti ~fk p =
+  refresh t;
+  let pt, pa = resolve t ti p in
+  not t.reach.(join_node t ti fk).(attr_node t pt pa)

@@ -1,0 +1,50 @@
+(** Incrementally-maintained legality oracle for PRM structure search.
+
+    {!Stratify.check} answers "is this whole structure legal?" by
+    rebuilding the combined attribute/join-indicator graph and the
+    table-level graph from scratch — O(structure) per query, which the
+    naive climber pays once per candidate move per iteration.  This module
+    maintains the same two graphs {e alongside} the search state: each
+    accepted move updates one edge set in O(1), and candidate adds are
+    answered from a cached transitive closure (refreshed lazily after a
+    mutation, O(V·E) on graphs with a handful of nodes).
+
+    The semantics mirror {!Stratify.check} exactly:
+    {ul
+    {- combined graph: attribute parent edges, gating edges [J_F → R.A]
+       for every cross-table parent of [R.A] through [F], and explicit
+       parent edges into join indicators — an add is illegal iff it closes
+       a directed cycle here;}
+    {- table graph: an edge [S → R] whenever some attribute of [R] has a
+       parent in [S] (join-indicator parents impose no table ordering) —
+       a cross-table attribute add is illegal iff it closes a cycle
+       here.}}
+
+    Edge multiplicities are tracked so removing one of two parents that
+    induce the same edge keeps the edge alive.  Because search states are
+    always legal (only legal adds are ever accepted and removes cannot
+    create cycles), a query never has to handle an already-cyclic
+    graph. *)
+
+type t
+
+val create : Selest_db.Schema.t -> t
+(** Oracle for the empty structure (no parents anywhere). *)
+
+val reset : t -> Stratify.structure -> unit
+(** Reload the oracle from a full structure (after a snapshot restore). *)
+
+val add_attr_parent : t -> ti:int -> a:int -> Model.parent -> unit
+val remove_attr_parent : t -> ti:int -> a:int -> Model.parent -> unit
+val add_join_parent : t -> ti:int -> fk:int -> Model.parent -> unit
+val remove_join_parent : t -> ti:int -> fk:int -> Model.parent -> unit
+
+val attr_add_legal : t -> ti:int -> a:int -> Model.parent -> bool
+(** Would adding parent [p] to attribute [(ti, a)] keep the structure
+    legal?  Equivalent to {!Stratify.is_legal} on the modified structure,
+    given the current one is legal. *)
+
+val join_add_legal : t -> ti:int -> fk:int -> Model.parent -> bool
+(** Same for adding a parent to join indicator [(ti, fk)].  The parent is
+    assumed well-formed (an own attribute or one reached through [fk]
+    itself), which the search's move generator guarantees. *)

@@ -36,7 +36,13 @@ let default_config ~budget_bytes =
 let bn_uj_config ~budget_bytes =
   { (default_config ~budget_bytes) with allow_cross_table = false; allow_join_parents = false }
 
-type result = { model : Model.t; loglik : float; bytes : int; iterations : int }
+type result = {
+  model : Model.t;
+  loglik : float;
+  bytes : int;
+  iterations : int;
+  trajectory : string list;
+}
 
 (* ---- search state ------------------------------------------------------ *)
 
@@ -60,6 +66,7 @@ type state = {
   join_mutex : Mutex.t;  (* guards join_cache (and its counters) under parallel scoring *)
   join_hits : int ref;  (* suffstat reuses served from join_cache *)
   join_misses : int ref;  (* join suffstat fits computed from the data *)
+  counts : Selest_prob.Counts.t option;  (* shared count kernel for join fits *)
   pool : Pool.t option;  (* scoring pool; None = sequential *)
   (* current structure: chosen family per attribute and per join indicator *)
   attr_fams : fam array array;
@@ -86,6 +93,19 @@ let attr_family ?max_params st ti attr parents =
     f_cpd = f.Score.cpd;
   }
 
+(* Cap-constrained refit for a cached move whose base fit busts the
+   current headroom; [parents] must already be sorted by local id. *)
+let attr_family_capped st ti attr parents ~cap =
+  let local = Array.map (parent_local st ti) parents in
+  let f = Score.family_capped st.caches.(ti) ~child:attr ~parents:local ~cap in
+  {
+    f_parents = parents;
+    f_loglik = f.Score.loglik;
+    f_bytes = f.Score.bytes;
+    f_params = f.Score.params;
+    f_cpd = f.Score.cpd;
+  }
+
 let join_family st ti fk parents =
   let sorted = sort_parents st ti parents in
   let key = (ti, fk, Array.to_list sorted) in
@@ -103,7 +123,9 @@ let join_family st ti fk parents =
     | Some js -> js
     | None -> (
       (* fit outside the lock; adopt a racing domain's entry if it won *)
-      let js = Suffstats.fit_join st.db ~table:ti ~fk ~parents:sorted in
+      let js =
+        Suffstats.fit_join ?counts:st.counts st.db ~table:ti ~fk ~parents:sorted
+      in
       Mutex.lock st.join_mutex;
       let r =
         match Hashtbl.find_opt st.join_cache key with
@@ -164,7 +186,10 @@ let with_parent parents p = Array.append parents [| p |]
 let without_parent parents p =
   Array.of_list (List.filter (fun q -> q <> p) (Array.to_list parents))
 
-(* Structure legality with one family's parents swapped out. *)
+(* Structure legality with one family's parents swapped out — the naive
+   reference check: copies the whole structure and revalidates it from
+   scratch.  The incremental climber answers the same question through
+   {!Depgraph}. *)
 let legal_with st ~kind ~ti ~idx ~parents =
   let s = structure st in
   (match kind with
@@ -172,66 +197,76 @@ let legal_with st ~kind ~ti ~idx ~parents =
   | `Join -> s.Stratify.join_parents.(ti).(idx) <- parents);
   Stratify.is_legal st.schema s
 
-(* Candidate moves that respect parent bounds and structure legality. *)
-let candidate_moves st =
+(* The potential add-parents of an attribute, in enumeration order: own
+   attributes first, then the targets of each foreign key.  Static over
+   the whole search. *)
+let potential_attr_parents st ti a =
+  let ts = (Schema.tables st.schema).(ti) in
+  let n_attrs = Array.length ts.Schema.attrs in
+  let own = List.init n_attrs (fun b -> Model.Own b) in
+  let own = List.filter (fun p -> p <> Model.Own a) own in
+  let cross =
+    if not st.cfg.allow_cross_table then []
+    else
+      List.concat
+        (List.mapi
+           (fun f fk ->
+             let target = Schema.find_table st.schema fk.Schema.target in
+             List.init (Array.length target.Schema.attrs) (fun b ->
+                 Model.Foreign (f, b)))
+           (Array.to_list ts.Schema.fks))
+  in
+  own @ cross
+
+(* Same for a join indicator: own attributes, then the fk's target. *)
+let potential_join_parents st ti fk =
+  let ts = (Schema.tables st.schema).(ti) in
+  let target = Schema.find_table st.schema ts.Schema.fks.(fk).Schema.target in
+  List.init (Array.length ts.Schema.attrs) (fun a -> Model.Own a)
+  @ List.init (Array.length target.Schema.attrs) (fun b -> Model.Foreign (fk, b))
+
+(* Candidate moves that respect parent bounds and structure legality.
+   [add_legal] decides legality of a prospective add; the returned list's
+   order is part of the search contract (best-move ties keep the earliest
+   scored move), so the incremental generator reproduces it exactly. *)
+let candidate_moves_with st ~attr_add_legal ~join_add_legal =
   let cfg = st.cfg in
   let tables = Schema.tables st.schema in
   let out = ref [] in
   Array.iteri
     (fun ti ts ->
       let n_attrs = Array.length ts.Schema.attrs in
-      let potential_parents a =
-        let own = List.init n_attrs (fun b -> Model.Own b) in
-        let own = List.filter (fun p -> p <> Model.Own a) own in
-        let cross =
-          if not cfg.allow_cross_table then []
-          else
-            List.concat
-              (List.mapi
-                 (fun f fk ->
-                   let target = Schema.find_table st.schema fk.Schema.target in
-                   List.init (Array.length target.Schema.attrs) (fun b ->
-                       Model.Foreign (f, b)))
-                 (Array.to_list ts.Schema.fks))
-        in
-        own @ cross
-      in
       for a = 0 to n_attrs - 1 do
         let current = st.attr_fams.(ti).(a).f_parents in
         Array.iter (fun p -> out := Attr_remove (ti, a, p) :: !out) current;
         if Array.length current < cfg.max_parents then
           List.iter
             (fun p ->
-              if
-                (not (has_parent current p))
-                && legal_with st ~kind:`Attr ~ti ~idx:a ~parents:(with_parent current p)
+              if (not (has_parent current p)) && attr_add_legal ~ti ~a ~current p
               then out := Attr_add (ti, a, p) :: !out)
-            (potential_parents a)
+            (potential_attr_parents st ti a)
       done;
       if cfg.allow_join_parents then
         Array.iteri
-          (fun fk fk_schema ->
-            let target = Schema.find_table st.schema fk_schema.Schema.target in
+          (fun fk _ ->
             let current = st.join_fams.(ti).(fk).f_parents in
             Array.iter (fun p -> out := Join_remove (ti, fk, p) :: !out) current;
-            if Array.length current < cfg.max_parents then begin
-              let try_add p =
-                if
-                  (not (has_parent current p))
-                  && legal_with st ~kind:`Join ~ti ~idx:fk
-                       ~parents:(with_parent current p)
-                then out := Join_add (ti, fk, p) :: !out
-              in
-              for a = 0 to n_attrs - 1 do
-                try_add (Model.Own a)
-              done;
-              for b = 0 to Array.length target.Schema.attrs - 1 do
-                try_add (Model.Foreign (fk, b))
-              done
-            end)
+            if Array.length current < cfg.max_parents then
+              List.iter
+                (fun p ->
+                  if (not (has_parent current p)) && join_add_legal ~ti ~fk ~current p
+                  then out := Join_add (ti, fk, p) :: !out)
+                (potential_join_parents st ti fk))
           ts.Schema.fks)
     tables;
   !out
+
+let candidate_moves st =
+  candidate_moves_with st
+    ~attr_add_legal:(fun ~ti ~a ~current p ->
+      legal_with st ~kind:`Attr ~ti ~idx:a ~parents:(with_parent current p))
+    ~join_add_legal:(fun ~ti ~fk ~current p ->
+      legal_with st ~kind:`Join ~ti ~idx:fk ~parents:(with_parent current p))
 
 (* Size guard for dense families, mirroring Selest_bn.Learn. *)
 let dense_family_bytes st ti ~child_card parents =
@@ -244,13 +279,13 @@ let dense_family_bytes st ti ~child_card parents =
   in
   Bytesize.params (configs * (child_card - 1)) + Bytesize.values (Array.length parents)
 
+let finish st ~old_f ~new_f =
+  let dbytes = new_f.f_bytes - old_f.f_bytes in
+  if st.size + dbytes > st.cfg.budget_bytes then None
+  else Some (new_f, new_f.f_loglik -. old_f.f_loglik, dbytes, new_f.f_params - old_f.f_params)
+
 (* Evaluate: the replacement family and its deltas; None if infeasible. *)
 let evaluate st move =
-  let finish ~old_f ~new_f =
-    let dbytes = new_f.f_bytes - old_f.f_bytes in
-    if st.size + dbytes > st.cfg.budget_bytes then None
-    else Some (new_f, new_f.f_loglik -. old_f.f_loglik, dbytes, new_f.f_params - old_f.f_params)
-  in
   match move with
   | Attr_add (ti, a, p) | Attr_remove (ti, a, p) ->
     let old_f = st.attr_fams.(ti).(a) in
@@ -275,7 +310,7 @@ let evaluate st move =
         | Cpd.Trees -> true
       in
       if not upper_ok then None
-      else finish ~old_f ~new_f:(attr_family ~max_params st ti a proposed)
+      else finish st ~old_f ~new_f:(attr_family ~max_params st ti a proposed)
     end
   | Join_add (ti, fk, p) | Join_remove (ti, fk, p) ->
     let old_f = st.join_fams.(ti).(fk) in
@@ -289,7 +324,7 @@ let evaluate st move =
       st.size - old_f.f_bytes + dense_family_bytes st ti ~child_card:2 proposed
       > st.cfg.budget_bytes
     then None
-    else finish ~old_f ~new_f:(join_family st ti fk proposed)
+    else finish st ~old_f ~new_f:(join_family st ti fk proposed)
 
 let criterion cfg ~mdl_penalty (dscore, dbytes, dparams) =
   match cfg.rule with
@@ -317,18 +352,248 @@ let score_moves st moves =
   | Some pool -> Pool.map pool (fun move -> (move, evaluate st move)) moves
   | None -> List.map (fun move -> (move, evaluate st move)) moves
 
-let describe_move = function
-  | Attr_add (ti, a, _) -> Printf.sprintf "attr_add:%d.%d" ti a
-  | Attr_remove (ti, a, _) -> Printf.sprintf "attr_remove:%d.%d" ti a
-  | Join_add (ti, fk, _) -> Printf.sprintf "join_add:%d.%d" ti fk
-  | Join_remove (ti, fk, _) -> Printf.sprintf "join_remove:%d.%d" ti fk
+let describe_parent = function
+  | Model.Own a -> Printf.sprintf "own%d" a
+  | Model.Foreign (f, b) -> Printf.sprintf "fk%d.%d" f b
 
-let climb st ~mdl_penalty =
+let describe_move = function
+  | Attr_add (ti, a, p) -> Printf.sprintf "attr_add:%d.%d<-%s" ti a (describe_parent p)
+  | Attr_remove (ti, a, p) ->
+    Printf.sprintf "attr_remove:%d.%d<-%s" ti a (describe_parent p)
+  | Join_add (ti, fk, p) -> Printf.sprintf "join_add:%d.%d<-%s" ti fk (describe_parent p)
+  | Join_remove (ti, fk, p) ->
+    Printf.sprintf "join_remove:%d.%d<-%s" ti fk (describe_parent p)
+
+(* ---- incremental scorer ------------------------------------------------ *)
+
+(* The delta move cache.  One entry per candidate move of a family,
+   keeping everything about the move that does not depend on the global
+   model size: the proposed (sorted) parent set, the dense-size upper
+   bound, and — once fitted — the unconstrained base family.  Per
+   iteration only the budget arithmetic is redone; the family is refit
+   solely when tree CPDs must honour a cap the base fit busts (exactly
+   when the naive climber would refit, so the trajectory is unchanged).
+   Entries die when their family changes: an accepted move resets that
+   family's table and nothing else. *)
+type centry = {
+  ce_proposed : Model.parent array;  (* sorted by local id *)
+  ce_dense : int;  (* dense_family_bytes of the proposed family *)
+  mutable ce_base : fam option;  (* unconstrained fit, filled on demand *)
+}
+
+type incr = {
+  dep : Depgraph.t;
+  attr_mc : (Model.parent * bool, centry) Hashtbl.t array array;
+  join_mc : (Model.parent * bool, centry) Hashtbl.t array array;
+}
+
+let make_incr st =
+  let dep = Depgraph.create st.schema in
+  Depgraph.reset dep (structure st);
+  {
+    dep;
+    attr_mc =
+      Array.map (fun per -> Array.map (fun _ -> Hashtbl.create 16) per) st.attr_fams;
+    join_mc =
+      Array.map (fun per -> Array.map (fun _ -> Hashtbl.create 16) per) st.join_fams;
+  }
+
+(* Scoring splits in three: a sequential staging pass that answers every
+   move from its cache entry or emits a fit thunk; the thunks (the only
+   expensive part, all hitting mutex-guarded caches) run through the pool
+   when one exists; a sequential merge fills fresh base fits into the
+   cache and applies the budget check.  Results stay in move order, so
+   the trajectory matches the naive scorer for any worker count. *)
+type staged =
+  | Ready of (fam * float * int * int) option
+  | Fit of centry * fam * (unit -> fam option * fam)
+
+let attr_entry incr st ti a p ~is_add =
+  let mc = incr.attr_mc.(ti).(a) in
+  match Hashtbl.find_opt mc (p, is_add) with
+  | Some e -> e
+  | None ->
+    let old_f = st.attr_fams.(ti).(a) in
+    let proposed =
+      if is_add then with_parent old_f.f_parents p else without_parent old_f.f_parents p
+    in
+    let proposed = sort_parents st ti proposed in
+    let child_card = Model.Scope.card st.scopes.(ti) a in
+    let e =
+      {
+        ce_proposed = proposed;
+        ce_dense = dense_family_bytes st ti ~child_card proposed;
+        ce_base = None;
+      }
+    in
+    Hashtbl.add mc (p, is_add) e;
+    e
+
+let join_entry incr st ti fk p ~is_add =
+  let mc = incr.join_mc.(ti).(fk) in
+  match Hashtbl.find_opt mc (p, is_add) with
+  | Some e -> e
+  | None ->
+    let old_f = st.join_fams.(ti).(fk) in
+    let proposed =
+      if is_add then with_parent old_f.f_parents p else without_parent old_f.f_parents p
+    in
+    let proposed = sort_parents st ti proposed in
+    let e =
+      {
+        ce_proposed = proposed;
+        ce_dense = dense_family_bytes st ti ~child_card:2 proposed;
+        ce_base = None;
+      }
+    in
+    Hashtbl.add mc (p, is_add) e;
+    e
+
+let stage_move incr st move =
+  match move with
+  | Attr_add (ti, a, p) | Attr_remove (ti, a, p) ->
+    let is_add = match move with Attr_add _ -> true | _ -> false in
+    let old_f = st.attr_fams.(ti).(a) in
+    let e = attr_entry incr st ti a p ~is_add in
+    let headroom =
+      st.cfg.budget_bytes - st.size + old_f.f_bytes
+      - Bytesize.values (Array.length e.ce_proposed)
+    in
+    let max_params = headroom / Bytesize.per_param in
+    if max_params < 1 then Ready None
+    else if
+      st.cfg.kind = Cpd.Tables
+      && st.size - old_f.f_bytes + e.ce_dense > st.cfg.budget_bytes
+    then Ready None
+    else begin
+      match e.ce_base with
+      | Some base when st.cfg.kind = Cpd.Tables || base.f_params <= max_params ->
+        Ready (finish st ~old_f ~new_f:base)
+      | Some _ ->
+        Fit
+          ( e,
+            old_f,
+            fun () -> (None, attr_family_capped st ti a e.ce_proposed ~cap:max_params) )
+      | None ->
+        Fit
+          ( e,
+            old_f,
+            fun () ->
+              let base = attr_family st ti a e.ce_proposed in
+              let new_f =
+                if st.cfg.kind = Cpd.Trees && base.f_params > max_params then
+                  attr_family_capped st ti a e.ce_proposed ~cap:max_params
+                else base
+              in
+              (Some base, new_f) )
+    end
+  | Join_add (ti, fk, p) | Join_remove (ti, fk, p) ->
+    let is_add = match move with Join_add _ -> true | _ -> false in
+    let old_f = st.join_fams.(ti).(fk) in
+    let e = join_entry incr st ti fk p ~is_add in
+    if st.size - old_f.f_bytes + e.ce_dense > st.cfg.budget_bytes then Ready None
+    else begin
+      match e.ce_base with
+      | Some base -> Ready (finish st ~old_f ~new_f:base)
+      | None ->
+        Fit
+          ( e,
+            old_f,
+            fun () ->
+              let f = join_family st ti fk e.ce_proposed in
+              (Some f, f) )
+    end
+
+let incr_score incr st =
+  let moves =
+    candidate_moves_with st
+      ~attr_add_legal:(fun ~ti ~a ~current:_ p -> Depgraph.attr_add_legal incr.dep ~ti ~a p)
+      ~join_add_legal:(fun ~ti ~fk ~current:_ p ->
+        Depgraph.join_add_legal incr.dep ~ti ~fk p)
+  in
+  let staged = List.map (fun move -> (move, stage_move incr st move)) moves in
+  let thunks =
+    List.filter_map (function _, Fit (_, _, th) -> Some th | _ -> None) staged
+  in
+  let fitted =
+    match st.pool with
+    | Some pool when thunks <> [] -> Pool.run pool thunks
+    | _ -> List.map (fun th -> th ()) thunks
+  in
+  let rec merge staged fitted acc =
+    match staged with
+    | [] -> List.rev acc
+    | (move, Ready ev) :: rest -> merge rest fitted ((move, ev) :: acc)
+    | (move, Fit (e, old_f, _)) :: rest -> (
+      match fitted with
+      | (base_opt, new_f) :: more ->
+        (match base_opt with
+        | Some base when e.ce_base = None -> e.ce_base <- Some base
+        | _ -> ());
+        merge rest more ((move, finish st ~old_f ~new_f) :: acc)
+      | [] -> assert false)
+  in
+  merge staged fitted []
+
+let incr_accept incr st move new_f dbytes =
+  accept st move new_f dbytes;
+  match move with
+  | Attr_add (ti, a, p) ->
+    Hashtbl.reset incr.attr_mc.(ti).(a);
+    Depgraph.add_attr_parent incr.dep ~ti ~a p
+  | Attr_remove (ti, a, p) ->
+    Hashtbl.reset incr.attr_mc.(ti).(a);
+    Depgraph.remove_attr_parent incr.dep ~ti ~a p
+  | Join_add (ti, fk, p) ->
+    Hashtbl.reset incr.join_mc.(ti).(fk);
+    Depgraph.add_join_parent incr.dep ~ti ~fk p
+  | Join_remove (ti, fk, p) ->
+    Hashtbl.reset incr.join_mc.(ti).(fk);
+    Depgraph.remove_join_parent incr.dep ~ti ~fk p
+
+(* After a snapshot restore every family may have changed at once: drop
+   all move-cache entries and rebuild the legality oracle from the
+   restored structure. *)
+let incr_restore incr st =
+  Array.iter (Array.iter Hashtbl.reset) incr.attr_mc;
+  Array.iter (Array.iter Hashtbl.reset) incr.join_mc;
+  Depgraph.reset incr.dep (structure st)
+
+(* ---- search driver ----------------------------------------------------- *)
+
+(* One interface for both climbers: the naive scorer re-enumerates and
+   re-evaluates everything (the reference trajectory oracle), the
+   incremental one answers from its caches.  Everything downstream of
+   [sc_score] — the best-move fold, acceptance, restarts, snapshots — is
+   shared, so the two can only differ through the scored lists
+   themselves. *)
+type scorer = {
+  sc_score : unit -> (move * (fam * float * int * int) option) list;
+  sc_accept : move -> fam -> int -> unit;
+  sc_restore : unit -> unit;  (* run after a snapshot restore *)
+}
+
+let naive_scorer st =
+  {
+    sc_score = (fun () -> score_moves st (candidate_moves st));
+    sc_accept = accept st;
+    sc_restore = ignore;
+  }
+
+let incr_scorer st =
+  let incr = make_incr st in
+  {
+    sc_score = (fun () -> incr_score incr st);
+    sc_accept = incr_accept incr st;
+    sc_restore = (fun () -> incr_restore incr st);
+  }
+
+let climb st sc ~mdl_penalty trail =
   let taken = ref 0 in
   let continue = ref true in
   while !continue do
     Selest_obs.Span.with_ "learn.iter" (fun sp ->
-        let moves = candidate_moves st in
+        let scored = sc.sc_score () in
         let best = ref None in
         List.iter
           (fun (move, evaluation) ->
@@ -341,17 +606,18 @@ let climb st ~mdl_penalty =
                 | Some (v0, ds0, _, _, _) when v0 > value || (v0 = value && ds0 >= dscore) -> ()
                 | _ -> best := Some (value, dscore, dbytes, new_f, move)
               end)
-          (score_moves st moves);
+          scored;
         (match !best with
         | None -> continue := false
         | Some (_, _, dbytes, new_f, move) ->
-          accept st move new_f dbytes;
+          sc.sc_accept move new_f dbytes;
+          trail := describe_move move :: !trail;
           incr taken;
           if Selest_obs.Span.enabled () then
             Selest_obs.Span.add sp "accepted" (describe_move move));
         if Selest_obs.Span.enabled () then begin
           Selest_obs.Span.add sp "moves_scored"
-            (string_of_int (List.length moves));
+            (string_of_int (List.length scored));
           Selest_obs.Span.add sp "budget_used" (string_of_int st.size);
           Selest_obs.Span.add sp "suffstat_hits" (string_of_int !(st.join_hits));
           Selest_obs.Span.add sp "suffstat_misses"
@@ -360,19 +626,20 @@ let climb st ~mdl_penalty =
   done;
   !taken
 
-let random_walk st rng =
+let random_walk st sc rng trail =
   for _ = 1 to st.cfg.random_walk_length do
     let feasible =
       List.filter_map
-        (fun move ->
-          match evaluate st move with
+        (fun (move, evaluation) ->
+          match evaluation with
           | Some (new_f, _, dbytes, _) -> Some (move, new_f, dbytes)
           | None -> None)
-        (candidate_moves st)
+        (sc.sc_score ())
     in
     if feasible <> [] then begin
       let move, new_f, dbytes = List.nth feasible (Rng.int rng (List.length feasible)) in
-      accept st move new_f dbytes
+      sc.sc_accept move new_f dbytes;
+      trail := describe_move move :: !trail
     end
   done
 
@@ -401,13 +668,24 @@ let to_model st =
   in
   Model.create st.schema tables
 
-let learn ~config:cfg db =
+let learn_with ~make_scorer ~counts ~config:cfg db =
   let schema = Database.schema db in
   let n_tables = Schema.n_tables schema in
   let scopes = Array.init n_tables (fun ti -> Model.Scope.of_table schema ti) in
   let ext_data = Array.init n_tables (fun ti -> Suffstats.extended_data db ti) in
-  let caches = Array.map (fun d -> Score.create_cache ~kind:cfg.kind d) ext_data in
-  let pool = if cfg.workers > 1 then Some (Pool.create ~size:cfg.workers ()) else None in
+  (* Extended-data fits register in the shared kernel under table ids
+     disjoint from the raw schema ids the join statistics use. *)
+  let caches =
+    Array.mapi
+      (fun ti d ->
+        let counts = Option.map (fun k -> (k, n_tables + ti)) counts in
+        Score.create_cache ~kind:cfg.kind ?counts d)
+      ext_data
+  in
+  (* Workers beyond the host's spare cores only add scheduling overhead;
+     the trajectory is worker-count-independent, so clamping is safe. *)
+  let workers = min cfg.workers (Pool.default_size ()) in
+  let pool = if workers > 1 then Some (Pool.create ~size:workers ()) else None in
   let st =
     {
       cfg;
@@ -420,6 +698,7 @@ let learn ~config:cfg db =
       join_mutex = Mutex.create ();
       join_hits = ref 0;
       join_misses = ref 0;
+      counts;
       pool;
       attr_fams = [||];
       join_fams = [||];
@@ -457,18 +736,20 @@ let learn ~config:cfg db =
         Array.fold_left (fun acc d -> Float.max acc (Data.total_weight d)) 2.0 ext_data
       in
       let mdl_penalty = Arrayx.log2 max_weight /. 2.0 in
+      let sc = make_scorer st in
       let rng = Rng.create cfg.seed in
       let iterations = ref 0 in
+      let trail = ref [] in
       let best =
         Selest_obs.Span.with_
           ~attrs:[ ("budget_bytes", string_of_int cfg.budget_bytes) ]
           "prm.learn"
           (fun sp ->
-            iterations := climb st ~mdl_penalty;
+            iterations := climb st sc ~mdl_penalty trail;
             let best = ref (snapshot st, total_loglik st) in
             for _ = 1 to cfg.random_restarts do
-              random_walk st rng;
-              iterations := !iterations + climb st ~mdl_penalty;
+              random_walk st sc rng trail;
+              iterations := !iterations + climb st sc ~mdl_penalty trail;
               let ll = total_loglik st in
               if ll > snd !best then best := (snapshot st, ll)
             done;
@@ -480,12 +761,27 @@ let learn ~config:cfg db =
       in
       let best = ref best in
       restore st (fst !best);
+      sc.sc_restore ();
       let model = to_model st in
       Log.info (fun m ->
           m "learned PRM: %dB of %dB budget, %d cross edges, %d join parents, %d moves"
             st.size cfg.budget_bytes (Model.n_cross_edges model)
             (Model.n_join_parents model) !iterations);
-      { model; loglik = snd !best; bytes = st.size; iterations = !iterations })
+      {
+        model;
+        loglik = snd !best;
+        bytes = st.size;
+        iterations = !iterations;
+        trajectory = List.rev !trail;
+      })
+
+let learn ~config db =
+  learn_with ~make_scorer:incr_scorer
+    ~counts:(Some (Selest_prob.Counts.create ()))
+    ~config db
+
+let learn_reference ~config db =
+  learn_with ~make_scorer:naive_scorer ~counts:None ~config db
 
 let learn_prm ?(budget_bytes = 8192) ?(seed = 0) db =
   let cfg = { (default_config ~budget_bytes) with seed } in

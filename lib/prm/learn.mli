@@ -30,9 +30,11 @@ type config = {
   seed : int;
   workers : int;
       (** Domains used to score candidate moves in parallel; [<= 1] is
-          fully sequential.  The search trajectory (and hence the learned
-          model) is identical for every worker count: scored moves are
-          folded in move order regardless of completion order. *)
+          fully sequential.  Clamped to the host's spare cores
+          ({!Selest_util.Pool.default_size}), so a single-core host always
+          scores sequentially.  The search trajectory (and hence the
+          learned model) is identical for every worker count: scored moves
+          are folded in move order regardless of completion order. *)
 }
 
 val default_config : budget_bytes:int -> config
@@ -48,14 +50,32 @@ type result = {
   loglik : float;  (** total structure score (bits); see note below *)
   bytes : int;
   iterations : int;
+  trajectory : string list;
+      (** Every accepted move (climb and random-walk alike), in order, as
+          compact labels — the search's audit trail, compared verbatim
+          between {!learn} and {!learn_reference}. *)
 }
 
 val learn : config:config -> Selest_db.Database.t -> result
-(** Note on [loglik]: attribute families contribute per-row bits,
+(** The incremental climber: a delta move cache persists (move →
+    evaluation) entries across climb iterations and invalidates only the
+    accepted move's family; structure legality is answered by the
+    {!Depgraph} oracle instead of per-candidate revalidation; join
+    sufficient statistics flow through a shared count-once kernel
+    ({!Selest_prob.Counts}).  Produces a bit-identical trajectory and
+    model to {!learn_reference}.
+
+    Note on [loglik]: attribute families contribute per-row bits,
     join-indicator families per-(tuple-pair) bits — the two live on
     different sample spaces, exactly as in the paper's unified model, so
     the total is meaningful for comparing structures but not per-row
     normalizable. *)
+
+val learn_reference : config:config -> Selest_db.Database.t -> result
+(** The naive climber retained as a trajectory oracle: re-enumerates,
+    re-checks legality, and re-evaluates every candidate move on every
+    iteration.  Same search contract as {!learn} — used by tests and the
+    bench to certify the incremental path move-for-move. *)
 
 val learn_prm : ?budget_bytes:int -> ?seed:int -> Selest_db.Database.t -> Model.t
 (** Convenience wrapper (8KB budget, defaults otherwise). *)

@@ -41,15 +41,59 @@ let extended_data db ti =
 
 type join_stats = { cpd : Cpd.t; loglik : float; params : int; bytes : int }
 
-let fit_join db ~table ~fk ~parents =
-  let schema = Database.schema db in
-  let scope = Model.Scope.of_table schema table in
+(* Key column of [dims] (attribute indices of [tbl], registered in the
+   kernel under table id [table_id]) plus its joint size. *)
+let table_keys counts ~table_id tbl dims =
+  let cards = Array.map (fun a -> Table.attr_card tbl a) dims in
+  let cols = Array.map (fun a -> Table.col tbl a) dims in
+  Selest_prob.Counts.keys counts ~table:table_id ~dims ~cards ~cols
+    ~n_rows:(Table.size tbl)
+
+let table_counts counts ~table_id tbl dims =
+  let cards = Array.map (fun a -> Table.attr_card tbl a) dims in
+  let cols = Array.map (fun a -> Table.col tbl a) dims in
+  Selest_prob.Counts.counts counts ~table:table_id ~dims ~cards ~cols
+    ~n_rows:(Table.size tbl)
+
+(* The shared core of fit_join / join_loglik_under: split the parents into
+   own and target blocks, and produce (pos, own_counts, target_counts)
+   with one fused pass over the child table.  Key columns and the two
+   count vectors come from the kernel, so candidate families that share
+   an attribute set (or a prefix of one) never rescan it; the combined
+   configuration is [own_key * target_configs + target_key] — the exact
+   integer the digit-by-digit scans computed, keeping counts (and hence
+   the search trajectory) bit-identical. *)
+let join_statistics ?counts db ~table ~fk ~own_parents ~target_parents
+    ~parent_cards ~configs =
+  let counts =
+    match counts with Some c -> c | None -> Selest_prob.Counts.create ()
+  in
   let tbl = Database.table_at db table in
   let ts = Table.schema tbl in
-  if fk < 0 || fk >= Array.length ts.Schema.fks then invalid_arg "Suffstats.fit_join: fk";
-  let target = Database.table db ts.Schema.fks.(fk).Schema.target in
-  (* Validate parents: own attributes or attributes of this fk's target,
-     sorted by local id (own block precedes the foreign block). *)
+  let target_name = ts.Schema.fks.(fk).Schema.target in
+  let target = Database.table db target_name in
+  let target_id = Schema.table_index (Database.schema db) target_name in
+  let n_own = Array.length own_parents in
+  let target_config_count =
+    Selest_prob.Contingency.joint_size
+      (Array.sub parent_cards n_own (Array.length target_parents))
+  in
+  let own_key, _ = table_keys counts ~table_id:table tbl own_parents in
+  let tgt_key, _ = table_keys counts ~table_id:target_id target target_parents in
+  let own_counts = table_counts counts ~table_id:table tbl own_parents in
+  let target_counts = table_counts counts ~table_id:target_id target target_parents in
+  (* Positives: joined pairs per configuration — one per child row. *)
+  let pos = Array.make configs 0.0 in
+  let fk_col = Table.fk_col tbl fk in
+  for r = 0 to Table.size tbl - 1 do
+    let cfg = (own_key.(r) * target_config_count) + tgt_key.(fk_col.(r)) in
+    pos.(cfg) <- pos.(cfg) +. 1.0
+  done;
+  Selest_prob.Counts.record_scan ();
+  (pos, own_counts, target_counts, target_config_count)
+
+(* Own/target split of a (sorted) parent array; validates fk routing. *)
+let split_parents ~who ~fk parents =
   let own_parents = ref [] and target_parents = ref [] in
   Array.iter
     (fun p ->
@@ -57,11 +101,22 @@ let fit_join db ~table ~fk ~parents =
       | Model.Own a -> own_parents := a :: !own_parents
       | Model.Foreign (f, b) ->
         if f <> fk then
-          invalid_arg "Suffstats.fit_join: foreign parent through a different fk";
+          invalid_arg (who ^ ": foreign parent through a different fk");
         target_parents := b :: !target_parents)
     parents;
-  let own_parents = Array.of_list (List.rev !own_parents) in
-  let target_parents = Array.of_list (List.rev !target_parents) in
+  (Array.of_list (List.rev !own_parents), Array.of_list (List.rev !target_parents))
+
+let fit_join ?counts db ~table ~fk ~parents =
+  let schema = Database.schema db in
+  let scope = Model.Scope.of_table schema table in
+  let tbl = Database.table_at db table in
+  let ts = Table.schema tbl in
+  if fk < 0 || fk >= Array.length ts.Schema.fks then invalid_arg "Suffstats.fit_join: fk";
+  (* Validate parents: own attributes or attributes of this fk's target,
+     sorted by local id (own block precedes the foreign block). *)
+  let own_parents, target_parents =
+    split_parents ~who:"Suffstats.fit_join" ~fk parents
+  in
   let local_ids = Array.map (Model.Scope.local_id scope) parents in
   Array.iteri
     (fun i id -> if i > 0 && local_ids.(i - 1) >= id then
@@ -70,46 +125,13 @@ let fit_join db ~table ~fk ~parents =
   let parent_cards = Array.map (Model.Scope.card scope) local_ids in
   (* Overflow-checked joint size: the same guard Contingency uses. *)
   let configs = Selest_prob.Contingency.joint_size parent_cards in
-  (* Positives: joined pairs per configuration — one per child row. *)
-  let pos = Array.make configs 0.0 in
-  let own_cols = Array.map (fun a -> Table.col tbl a) own_parents in
-  let fk_col = Table.fk_col tbl fk in
-  let target_cols = Array.map (fun b -> Table.col target b) target_parents in
-  let n_own = Array.length own_parents in
-  for r = 0 to Table.size tbl - 1 do
-    let cfg = ref 0 in
-    for i = 0 to n_own - 1 do
-      cfg := (!cfg * parent_cards.(i)) + own_cols.(i).(r)
-    done;
-    for i = 0 to Array.length target_parents - 1 do
-      cfg := (!cfg * parent_cards.(n_own + i)) + target_cols.(i).(fk_col.(r))
-    done;
-    pos.(!cfg) <- pos.(!cfg) +. 1.0
-  done;
   (* Totals: cnt_R(own config) * cnt_S(target config).  Target parents
      occupy the least-significant digits of the configuration (their local
      ids are larger), so a configuration splits as own * target. *)
-  let target_config_count =
-    Selest_prob.Contingency.joint_size
-      (Array.sub parent_cards n_own (Array.length target_parents))
+  let pos, own_counts, target_counts, target_config_count =
+    join_statistics ?counts db ~table ~fk ~own_parents ~target_parents
+      ~parent_cards ~configs
   in
-  let own_config_count = configs / target_config_count in
-  let own_counts = Array.make own_config_count 0.0 in
-  for r = 0 to Table.size tbl - 1 do
-    let cfg = ref 0 in
-    for i = 0 to n_own - 1 do
-      cfg := (!cfg * parent_cards.(i)) + own_cols.(i).(r)
-    done;
-    own_counts.(!cfg) <- own_counts.(!cfg) +. 1.0
-  done;
-  let target_counts = Array.make target_config_count 0.0 in
-  for r = 0 to Table.size target - 1 do
-    let cfg = ref 0 in
-    for i = 0 to Array.length target_parents - 1 do
-      cfg := (!cfg * parent_cards.(n_own + i)) + target_cols.(i).(r)
-    done;
-    target_counts.(!cfg) <- target_counts.(!cfg) +. 1.0
-  done;
   (* Assemble the CPD table and the pair-level log-likelihood. *)
   let table_entries = Array.make (configs * 2) 0.0 in
   let loglik = ref 0.0 in
@@ -132,15 +154,12 @@ let fit_join db ~table ~fk ~parents =
   let params = configs in
   { cpd; loglik = !loglik; params; bytes = Bytesize.params params + Bytesize.values (Array.length parents) }
 
-let join_loglik_under db ~table ~fk cpd =
+let join_loglik_under ?counts db ~table ~fk cpd =
   let schema = Database.schema db in
   let scope = Model.Scope.of_table schema table in
   (* Recompute the pair statistics (cheap) and score them under [cpd]'s
      probabilities instead of the maximum-likelihood ones. *)
   let parents = Array.map (Model.Scope.parent_of_local scope) (Cpd.parents cpd) in
-  let tbl = Database.table_at db table in
-  let ts = Table.schema tbl in
-  let target = Database.table db ts.Schema.fks.(fk).Schema.target in
   let own_parents = ref [] and target_parents = ref [] in
   Array.iter
     (function
@@ -152,41 +171,10 @@ let join_loglik_under db ~table ~fk cpd =
   let local_ids = Array.map (Model.Scope.local_id scope) parents in
   let parent_cards = Array.map (Model.Scope.card scope) local_ids in
   let configs = Selest_prob.Contingency.joint_size parent_cards in
-  let n_own = Array.length own_parents in
-  let own_cols = Array.map (fun a -> Table.col tbl a) own_parents in
-  let target_cols = Array.map (fun b -> Table.col target b) target_parents in
-  let fk_col = Table.fk_col tbl fk in
-  let pos = Array.make configs 0.0 in
-  for r = 0 to Table.size tbl - 1 do
-    let cfg = ref 0 in
-    for i = 0 to n_own - 1 do
-      cfg := (!cfg * parent_cards.(i)) + own_cols.(i).(r)
-    done;
-    for i = 0 to Array.length target_parents - 1 do
-      cfg := (!cfg * parent_cards.(n_own + i)) + target_cols.(i).(fk_col.(r))
-    done;
-    pos.(!cfg) <- pos.(!cfg) +. 1.0
-  done;
-  let target_config_count =
-    Selest_prob.Contingency.joint_size
-      (Array.sub parent_cards n_own (Array.length target_parents))
+  let pos, own_counts, target_counts, target_config_count =
+    join_statistics ?counts db ~table ~fk ~own_parents ~target_parents
+      ~parent_cards ~configs
   in
-  let own_counts = Array.make (configs / target_config_count) 0.0 in
-  for r = 0 to Table.size tbl - 1 do
-    let cfg = ref 0 in
-    for i = 0 to n_own - 1 do
-      cfg := (!cfg * parent_cards.(i)) + own_cols.(i).(r)
-    done;
-    own_counts.(!cfg) <- own_counts.(!cfg) +. 1.0
-  done;
-  let target_counts = Array.make target_config_count 0.0 in
-  for r = 0 to Table.size target - 1 do
-    let cfg = ref 0 in
-    for i = 0 to Array.length target_parents - 1 do
-      cfg := (!cfg * parent_cards.(n_own + i)) + target_cols.(i).(r)
-    done;
-    target_counts.(!cfg) <- target_counts.(!cfg) +. 1.0
-  done;
   let pvals = Array.make (Array.length parents) 0 in
   let loglik = ref 0.0 in
   for cfg = 0 to configs - 1 do

@@ -29,13 +29,23 @@ type join_stats = {
 }
 
 val fit_join :
+  ?counts:Selest_prob.Counts.t ->
   Selest_db.Database.t -> table:int -> fk:int -> parents:Model.parent array ->
   join_stats
 (** Fit the join indicator of foreign key [fk] of table [table] with the
     given parents (which must be sorted by local id).  With no parents this
-    is the uniform-join model: [P(J) = 1/|S|]. *)
+    is the uniform-join model: [P(J) = 1/|S|].
+
+    The positives, own-side and target-side statistics are gathered in one
+    fused pass over the child table (plus one over the target) through a
+    {!Selest_prob.Counts} kernel; pass [counts] to share key columns and
+    count vectors across fits — structure search reuses them across
+    candidate families that differ in one parent.  Without [counts] a
+    private kernel lives for just this call.  Results are bit-identical
+    either way. *)
 
 val join_loglik_under :
+  ?counts:Selest_prob.Counts.t ->
   Selest_db.Database.t -> table:int -> fk:int -> Selest_bn.Cpd.t -> float
 (** Pair-space log-likelihood of the current data under an {e existing}
     join-indicator CPD (whose parents are read off the CPD) — used by

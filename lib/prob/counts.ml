@@ -1,0 +1,92 @@
+(* Count-once group-by kernel: cached key columns and group-by counts per
+   (table, attr-set), built by prefix extension.  See counts.mli. *)
+
+type key_entry = { e_key : int array; e_configs : int }
+
+type t = {
+  keys_tbl : (int * int list, key_entry) Hashtbl.t;
+  counts_tbl : (int * int list, float array) Hashtbl.t;
+  mutex : Mutex.t;
+  max_bytes : int;
+  mutable used_bytes : int;
+}
+
+let global_scans = Atomic.make 0
+let record_scan () = Atomic.incr global_scans
+let total_scans () = Atomic.get global_scans
+let reset_total_scans () = Atomic.set global_scans 0
+
+let create ?(max_bytes = 64 * 1024 * 1024) () =
+  {
+    keys_tbl = Hashtbl.create 64;
+    counts_tbl = Hashtbl.create 64;
+    mutex = Mutex.create ();
+    max_bytes;
+    used_bytes = 0;
+  }
+
+let find tbl mutex k =
+  Mutex.lock mutex;
+  let r = Hashtbl.find_opt tbl k in
+  Mutex.unlock mutex;
+  r
+
+(* First publication wins; the budget admits an entry only while there is
+   headroom, so a kernel's footprint is bounded no matter how many
+   attribute sets the search visits. *)
+let publish t tbl k v ~bytes =
+  Mutex.lock t.mutex;
+  let r =
+    match Hashtbl.find_opt tbl k with
+    | Some existing -> existing
+    | None ->
+      if t.used_bytes + bytes <= t.max_bytes then begin
+        t.used_bytes <- t.used_bytes + bytes;
+        Hashtbl.add tbl k v
+      end;
+      v
+  in
+  Mutex.unlock t.mutex;
+  r
+
+let rec keys_prefix t ~table ~dims ~cards ~cols ~n_rows j =
+  (* Key column over dims.(0 .. j-1). *)
+  let id = (table, Array.to_list (Array.sub dims 0 j)) in
+  match find t.keys_tbl t.mutex id with
+  | Some e -> e
+  | None ->
+    let e =
+      if j = 0 then { e_key = Array.make n_rows 0; e_configs = 1 }
+      else begin
+        let prev = keys_prefix t ~table ~dims ~cards ~cols ~n_rows (j - 1) in
+        let configs = Contingency.joint_size (Array.sub cards 0 j) in
+        let c = cards.(j - 1) and col = cols.(j - 1) in
+        let pk = prev.e_key in
+        let key = Array.make n_rows 0 in
+        for r = 0 to n_rows - 1 do
+          key.(r) <- (pk.(r) * c) + col.(r)
+        done;
+        record_scan ();
+        { e_key = key; e_configs = configs }
+      end
+    in
+    publish t t.keys_tbl id e ~bytes:(8 * n_rows)
+
+let keys t ~table ~dims ~cards ~cols ~n_rows =
+  if Array.length dims <> Array.length cards || Array.length dims <> Array.length cols
+  then invalid_arg "Counts.keys: dims/cards/cols lengths differ";
+  let e = keys_prefix t ~table ~dims ~cards ~cols ~n_rows (Array.length dims) in
+  (e.e_key, e.e_configs)
+
+let counts t ~table ~dims ~cards ~cols ~n_rows =
+  let id = (table, Array.to_list dims) in
+  match find t.counts_tbl t.mutex id with
+  | Some c -> c
+  | None ->
+    let key, configs = keys t ~table ~dims ~cards ~cols ~n_rows in
+    let c = Array.make configs 0.0 in
+    for r = 0 to n_rows - 1 do
+      c.(key.(r)) <- c.(key.(r)) +. 1.0
+    done;
+    record_scan ();
+    publish t t.counts_tbl id c ~bytes:(8 * configs)

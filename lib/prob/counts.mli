@@ -1,0 +1,66 @@
+(** Count-once group-by kernel for sufficient statistics (AD-tree-lite).
+
+    Structure search evaluates many candidate families over the same
+    columns; the raw work is always the same two primitives:
+
+    {ul
+    {- {e key columns}: the row-major joint configuration index of an
+       attribute set, materialized as one [int array] per row;}
+    {- {e group-by counts}: how many rows take each configuration.}}
+
+    Both are cached per [(table, attr-set)].  Key columns are built by
+    {e prefix extension}: the keys for [\[a; b; c\]] are derived from the
+    cached keys for [\[a; b\]] with a single fused pass
+    ([key' = key * card c + col c]), so sibling candidate families that
+    share a prefix never rescan the shared columns — the paper's "count
+    and group-by query" (Sec. 4.2) is paid once per attribute set instead
+    of once per candidate evaluation.
+
+    Determinism: keys are exactly the digit-by-digit configuration
+    indices the naive scans compute, and counts accumulate [+. 1.0] in
+    row order — bit-identical to an unshared scan, so a search driven
+    through this kernel follows the same trajectory as one that is not.
+
+    Thread safety: a kernel may be shared by parallel scoring domains.
+    Lookups and publications are mutex-guarded; computation runs outside
+    the lock on immutable inputs, and on a racing double-compute the
+    first published entry wins.  Returned arrays are shared — callers
+    must treat them as read-only. *)
+
+type t
+
+val create : ?max_bytes:int -> unit -> t
+(** A fresh kernel.  [max_bytes] (default 64 MiB) bounds the memory held
+    by cached key and count columns; once the budget is exhausted further
+    results are computed on demand but not retained, so a kernel never
+    grows past [max_bytes] regardless of how many attribute sets the
+    search visits. *)
+
+val keys :
+  t -> table:int -> dims:int array -> cards:int array ->
+  cols:int array array -> n_rows:int -> int array * int
+(** [keys t ~table ~dims ~cards ~cols ~n_rows] is [(key, configs)]:
+    [key.(r)] is the row-major joint index of row [r] over the columns
+    [cols] (with per-column cardinalities [cards], last column fastest)
+    and [configs] their joint size.  [dims] names the columns for caching
+    — callers must use a stable id per [(table, column)].  Cached per
+    [(table, dims)] with prefix extension.  Raises like
+    {!Contingency.joint_size} on overflow. *)
+
+val counts :
+  t -> table:int -> dims:int array -> cards:int array ->
+  cols:int array array -> n_rows:int -> float array
+(** Group-by counts over the same key space: [counts.(k)] is the number
+    of rows whose joint index is [k] (length [configs]).  Shared and
+    read-only. *)
+
+val record_scan : unit -> unit
+(** Count one full-column pass performed outside the kernel (e.g. the
+    positives pass of a join-statistics fit) in the global tally. *)
+
+val total_scans : unit -> int
+(** Global number of full-column passes performed by every kernel (plus
+    {!record_scan} ticks) since the last {!reset_total_scans} — the
+    [suffstat_scans] figure of merit for the learn bench. *)
+
+val reset_total_scans : unit -> unit

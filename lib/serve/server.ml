@@ -195,6 +195,22 @@ let handle_est t ~model ~body =
    in request order.  All-or-nothing: any parse or inference failure turns
    the whole batch into one ERR, so clients never have to pair partial
    results with queries. *)
+
+(* Domains the pool can actually make useful: the configured (or default)
+   size clamped to the host's spare cores.  Zero on a single-core host,
+   where fanning out can only lose. *)
+let effective_pool_size t =
+  let configured =
+    match t.pool_size with
+    | Some s -> s
+    | None -> Selest_util.Pool.default_size ()
+  in
+  min configured (Domain.recommended_domain_count () - 1)
+
+(* Below this many distinct misses, domain scheduling overhead outweighs
+   the parallel inference work — stay on the dispatcher thread. *)
+let batch_chunk_threshold = 8
+
 let handle_estbatch t ~model ~bodies =
   match resolve_model t model with
   | Error msg ->
@@ -232,19 +248,27 @@ let handle_estbatch t ~model ~bodies =
         keyed;
       let miss_order = List.rev !miss_order in
       let sizes = t.sizes in
-      match
+      let infer_one (key, q) =
         (* measure inside the worker: hot-path counters are domain-local;
            the plan cache and each plan's schedule memo are mutex-guarded,
            so workers share compiled plans instead of recompiling *)
-        Selest_util.Pool.map (pool t)
-          (fun (key, q) ->
-            let v, d =
-              Obs.Hotpath.measure (fun () ->
-                  let plan, _ = plan_for t ~name ~entry:e q in
-                  Plan.estimate plan ~sizes q)
-            in
-            (key, v, d))
-          miss_order
+        let v, d =
+          Obs.Hotpath.measure (fun () ->
+              let plan, _ = plan_for t ~name ~entry:e q in
+              Plan.estimate plan ~sizes q)
+        in
+        (key, v, d)
+      in
+      match
+        (* Fan out only when domains can help: enough distinct misses to
+           amortize scheduling, and spare cores to run them on.  The
+           inline path raises the first failure by request order, same as
+           [Pool.map]'s first-exception contract. *)
+        if
+          effective_pool_size t > 1
+          && List.length miss_order >= batch_chunk_threshold
+        then Selest_util.Pool.map (pool t) infer_one miss_order
+        else List.map infer_one miss_order
       with
       | exception exn ->
         Metrics.incr t.metrics "est_errors";

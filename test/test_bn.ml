@@ -619,6 +619,43 @@ let test_score_cache_incremental () =
   Alcotest.(check int) "one evaluation" 1 (Score.n_evaluations cache);
   Alcotest.(check bool) "same object" true (f1 == f2)
 
+(* The incremental climber (per-node delta move cache + reachability
+   closure) must retrace the naive reference climber move for move, with
+   an identical family-fit count.  Random data, both CPD kinds, both
+   byte-aware rules, restarts exercising walk/restore invalidation. *)
+let prop_incremental_learn_matches_reference =
+  QCheck2.Test.make ~name:"incremental climber = reference climber" ~count:15
+    QCheck2.Gen.(int_range 1 10_000)
+    (fun seed ->
+      let rng = Selest_util.Rng.create seed in
+      let n_vars = 3 + Selest_util.Rng.int rng 3 in
+      let cards = Array.init n_vars (fun _ -> 2 + Selest_util.Rng.int rng 3) in
+      let n_rows = 150 + Selest_util.Rng.int rng 150 in
+      let cols =
+        Array.map (fun c -> Array.init n_rows (fun _ -> Selest_util.Rng.int rng c)) cards
+      in
+      let data =
+        Data.create ~names:(Array.init n_vars (fun i -> Printf.sprintf "V%d" i)) ~cards cols
+      in
+      let cfg =
+        {
+          (Learn.default_config ~budget_bytes:(800 + Selest_util.Rng.int rng 1_500)) with
+          Learn.kind = (if Selest_util.Rng.int rng 2 = 0 then Cpd.Tables else Cpd.Trees);
+          rule = (if Selest_util.Rng.int rng 2 = 0 then Learn.Ssn else Learn.Mdl);
+          max_parents = 2 + Selest_util.Rng.int rng 2;
+          random_restarts = 1 + Selest_util.Rng.int rng 2;
+          random_walk_length = 2 + Selest_util.Rng.int rng 3;
+          seed;
+        }
+      in
+      let fast = Learn.learn ~config:cfg data in
+      let naive = Learn.learn_reference ~config:cfg data in
+      fast.Learn.trajectory = naive.Learn.trajectory
+      && fast.Learn.loglik = naive.Learn.loglik
+      && fast.Learn.bytes = naive.Learn.bytes
+      && fast.Learn.family_evaluations = naive.Learn.family_evaluations
+      && fast.Learn.bn.Bn.dag = naive.Learn.bn.Bn.dag)
+
 let test_score_mi () =
   (* MI(E;I) > MI(E;H): conditional independence E ⊥ H | I weakens the
      E-H link relative to the direct one. *)
@@ -696,4 +733,7 @@ let () =
           Alcotest.test_case "score cache incremental" `Quick test_score_cache_incremental;
           Alcotest.test_case "mutual information" `Quick test_score_mi;
         ] );
+      ( "learn-incremental",
+        List.map QCheck_alcotest.to_alcotest [ prop_incremental_learn_matches_reference ]
+      );
     ]

@@ -740,6 +740,79 @@ let prop_serialize_stable =
       let q = Query.with_selects skel [ Query.eq "e" "Rank" 1; Query.eq "d" "Budget" 0 ] in
       Estimate.estimate r.Learn.model ~sizes q = Estimate.estimate loaded ~sizes q)
 
+(* ---- Incremental vs reference climber -------------------------------- *)
+
+(* The incremental climber (delta move cache + Depgraph legality + shared
+   count kernel) must retrace the naive reference climber move for move —
+   same accepted sequence, same final model bytes.  Configs are drawn to
+   cover both CPD kinds, both byte-aware rules, and both join-parent
+   settings. *)
+let random_learn_config seed =
+  let rng = Selest_util.Rng.create (seed * 104729) in
+  let kind =
+    if Selest_util.Rng.int rng 2 = 0 then Selest_bn.Cpd.Tables else Selest_bn.Cpd.Trees
+  in
+  let rule =
+    if Selest_util.Rng.int rng 2 = 0 then Selest_bn.Learn.Ssn else Selest_bn.Learn.Mdl
+  in
+  let allow_join_parents = Selest_util.Rng.int rng 2 = 0 in
+  let budget_bytes = 2_500 + Selest_util.Rng.int rng 3_000 in
+  {
+    (Learn.default_config ~budget_bytes) with
+    kind;
+    rule;
+    allow_join_parents;
+    max_parents = 2 + Selest_util.Rng.int rng 2;
+    random_restarts = 1 + Selest_util.Rng.int rng 2;
+    random_walk_length = 2 + Selest_util.Rng.int rng 3;
+    seed;
+  }
+
+let model_fingerprint m = Selest_util.Sexp.to_string (Serialize.to_sexp m)
+
+let prop_incremental_matches_reference =
+  QCheck2.Test.make ~name:"incremental climber is trajectory-identical to reference"
+    ~count:12
+    QCheck2.Gen.(int_range 1 1000)
+    (fun seed ->
+      let dbx = random_fixture seed in
+      let cfg = random_learn_config seed in
+      let fast = Learn.learn ~config:cfg dbx in
+      let naive = Learn.learn_reference ~config:cfg dbx in
+      fast.Learn.trajectory = naive.Learn.trajectory
+      && fast.Learn.loglik = naive.Learn.loglik
+      && fast.Learn.bytes = naive.Learn.bytes
+      && fast.Learn.iterations = naive.Learn.iterations
+      && model_fingerprint fast.Learn.model = model_fingerprint naive.Learn.model)
+
+(* Directed regression: restarts force random-walk acceptances (which must
+   invalidate the walked families' cache entries) and a best-snapshot
+   restore (which must flush every entry and reload the legality oracle).
+   A stale entry shows up as a diverged trajectory. *)
+let test_move_cache_invalidation () =
+  List.iter
+    (fun rule ->
+      let dbx = random_fixture 42 in
+      let cfg =
+        {
+          (Learn.default_config ~budget_bytes:3_500) with
+          rule;
+          random_restarts = 3;
+          random_walk_length = 4;
+          seed = 7;
+        }
+      in
+      let fast = Learn.learn ~config:cfg dbx in
+      let naive = Learn.learn_reference ~config:cfg dbx in
+      Alcotest.(check (list string))
+        "trajectory across walks and restore" naive.Learn.trajectory
+        fast.Learn.trajectory;
+      Alcotest.(check string)
+        "final model" (model_fingerprint naive.Learn.model)
+        (model_fingerprint fast.Learn.model);
+      Alcotest.(check int) "bytes" naive.Learn.bytes fast.Learn.bytes)
+    [ Selest_bn.Learn.Ssn; Selest_bn.Learn.Mdl ]
+
 let () =
   Alcotest.run "prm"
     [
@@ -775,6 +848,11 @@ let () =
             prop_sampled_db_valid;
             prop_serialize_stable;
           ] );
+      ( "learn-incremental",
+        Alcotest.test_case "cache invalidation across walks" `Quick
+          test_move_cache_invalidation
+        :: List.map QCheck_alcotest.to_alcotest [ prop_incremental_matches_reference ]
+      );
       ( "group-by",
         [
           Alcotest.test_case "consistency" `Quick test_group_counts_consistency;
