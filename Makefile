@@ -21,6 +21,9 @@ bench: build
 # < 5% and EXPLAIN stage-sum fidelity), emits BENCH_obs.json, and its
 # normalized EXPLAIN/METRICS shape is diffed against the checked-in
 # golden so response-format regressions fail CI.
+# The opt figure runs the plan-regret harness (exact-oracle regret must
+# be exactly 1.0 and PRM must regret no more rows than AVI on the TB
+# keyjoin suite) and emits BENCH_opt.json.
 # The learn figure races the incremental structure climber against the
 # naive reference on the TB database, asserts the two are bit-identical
 # (same trajectory, same serialized model) and that the incremental one
@@ -45,6 +48,10 @@ bench-smoke: build
 	@diff -u test/golden/obs_golden.txt BENCH_obs_golden.txt \
 	  && echo "obs golden: match" \
 	  || { echo "obs golden: EXPLAIN/METRICS shape changed (update test/golden/obs_golden.txt if intended)"; exit 1; }
+	dune exec bench/main.exe -- --fig opt
+	@python3 -m json.tool BENCH_opt.json > /dev/null 2>&1 \
+	  && echo "BENCH_opt.json: valid" \
+	  || { echo "BENCH_opt.json: INVALID JSON"; exit 1; }
 
 # Smoke-test the estimation service end to end: start a server that learns
 # a PRM over the TB dataset, exercise the whole protocol, shut it down.

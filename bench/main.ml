@@ -26,7 +26,7 @@ let known_figs =
   [
     "sanity"; "4a"; "4b"; "4c"; "5a"; "5b"; "5c"; "6a"; "6b"; "6c"; "7a"; "7b"; "7c";
     "range"; "structure"; "ablation-score"; "ablation-join"; "serve-cache"; "inference";
-    "plan"; "learn"; "obs"; "bechamel";
+    "plan"; "learn"; "obs"; "opt"; "bechamel";
   ]
 
 let parse_args () =
@@ -677,10 +677,25 @@ let fig_serve_cache () =
   Printf.printf "server stats: hits=%s misses=%s p50=%sus p99=%sus\n" (field "cache_hits")
     (field "cache_misses") (field "lat_p50_us") (field "lat_p99_us")
 
+(* Artifacts (BENCH_*.json, the obs golden) always land at the repo root —
+   the nearest ancestor directory holding dune-project — no matter what
+   the working directory is, so CI finds and uploads them reliably. *)
+let repo_root =
+  lazy
+    (let rec up dir =
+       if Sys.file_exists (Filename.concat dir "dune-project") then dir
+       else
+         let parent = Filename.dirname dir in
+         if parent = dir then Sys.getcwd () else up parent
+     in
+     up (Sys.getcwd ()))
+
+let at_root file = Filename.concat (Lazy.force repo_root) file
+
 (* Emit a flat string-to-value JSON object; numeric and boolean strings
    are written unquoted so downstream tooling can compare them. *)
 let write_json file fields =
-  let oc = open_out file in
+  let oc = open_out (at_root file) in
   output_string oc "{\n";
   List.iteri
     (fun i (k, v) ->
@@ -1364,7 +1379,7 @@ let fig_obs () =
   List.iter
     (fun (n, ty) -> Buffer.add_string golden ("  " ^ n ^ " " ^ ty ^ "\n"))
     types;
-  let oc = open_out "BENCH_obs_golden.txt" in
+  let oc = open_out (at_root "BENCH_obs_golden.txt") in
   Buffer.output_buffer oc golden;
   close_out oc;
   Printf.printf "wrote BENCH_obs_golden.txt\n";
@@ -1373,6 +1388,128 @@ let fig_obs () =
   if !failures <> [] then begin
     Printf.eprintf "observability checks FAILED: %s\n"
       (String.concat ", " (List.rev !failures));
+    exit 1
+  end
+
+(* ---- plan regret: estimates driving a cost-based optimizer (BENCH_opt.json) -------------- *)
+
+(* The paper's Sec. 1 motivation made measurable: for each estimator,
+   optimize every suite query's join order under its estimates
+   (Opt.Optimizer, C_out cost, AVI fallback on Unsupported), execute the
+   chosen tree and the true-cardinality-optimal tree with the
+   materializing hash-join executor (Opt.Hashjoin), and report regret —
+   chosen/best ratios of wall time and of materialized intermediate
+   rows.  Gates: the exact-cardinality oracle must have regret exactly
+   1.0 (the pipeline is self-consistent), and the PRM must regret no
+   more rows than AVI on the TB keyjoin suite (estimation quality must
+   pay off end to end).  Also round-trips one EXPLAINPLAN through the
+   transport-free server to pin the verb's rendering. *)
+
+let fig_opt () =
+  section "O1: plan regret — cardinality estimates driving a cost-based optimizer";
+  let json = ref [] in
+  let jfield name v = json := (name, v) :: !json in
+  let failures = ref [] in
+  let check name ok detail =
+    Printf.printf "%-46s %-4s %s\n" name (if ok then "ok" else "FAIL") detail;
+    if not ok then failures := name :: !failures
+  in
+  let budget = 4_500 in
+  let max_queries = min cfg.max_queries 100 in
+  let exact_for db =
+    { Est.Estimator.name = "exact"; bytes = 0; prepare = ignore;
+      estimate = (fun q -> true_size db q) }
+  in
+  let slug name =
+    String.map (function '+' -> '_' | c -> Char.lowercase_ascii c) name
+  in
+  let run_suite ~label ~db ~skeleton ~attrs =
+    let suite = Suite.make ~name:label ~skeleton ~attrs in
+    let ests =
+      [ exact_for db;
+        Est.Prm_est.build ~budget_bytes:budget ~seed:cfg.seed db;
+        Est.Prm_est.build_bn_uj ~budget_bytes:budget ~seed:cfg.seed db;
+        Est.Avi.build db ]
+    in
+    let outcomes = Regret.run ~max_queries ~seed:cfg.seed db suite ests in
+    Printf.printf "\n%s suite (%d queries):\n" label
+      (match outcomes with o :: _ -> o.Regret.n_queries | [] -> 0);
+    Printf.printf
+      "estimator | plan matches | runtime regret mean/max | rows regret mean/max | fallbacks\n";
+    List.iter
+      (fun o ->
+        Printf.printf "%-9s | %6d/%-5d | %11.3f/%-11.3f | %8.3f/%-11.3f | %d\n"
+          o.Regret.estimator o.Regret.n_plan_matches o.Regret.n_queries
+          o.Regret.runtime_regret_mean o.Regret.runtime_regret_max
+          o.Regret.rows_regret_mean o.Regret.rows_regret_max o.Regret.n_fallbacks;
+        let pre = Printf.sprintf "%s_%s" label (slug o.Regret.estimator) in
+        jfield (pre ^ "_plan_matches") (string_of_int o.Regret.n_plan_matches);
+        jfield (pre ^ "_n_queries") (string_of_int o.Regret.n_queries);
+        jfield (pre ^ "_runtime_regret_mean")
+          (Printf.sprintf "%.4f" o.Regret.runtime_regret_mean);
+        jfield (pre ^ "_runtime_regret_max")
+          (Printf.sprintf "%.4f" o.Regret.runtime_regret_max);
+        jfield (pre ^ "_rows_regret_mean")
+          (Printf.sprintf "%.4f" o.Regret.rows_regret_mean);
+        jfield (pre ^ "_rows_regret_max")
+          (Printf.sprintf "%.4f" o.Regret.rows_regret_max);
+        jfield (pre ^ "_fallbacks") (string_of_int o.Regret.n_fallbacks))
+      outcomes;
+    outcomes
+  in
+  (* TB keyjoin suite: the attribute family where AVI's independence
+     assumption demonstrably flips plan rankings (examples/optimizer.ml). *)
+  let tb_outcomes =
+    run_suite ~label:"tb" ~db:(Lazy.force tb) ~skeleton:tb_skeleton3
+      ~attrs:[ ("c", "Contype"); ("p", "Age"); ("s", "Unique") ]
+  in
+  ignore
+    (run_suite ~label:"fin" ~db:(Lazy.force fin) ~skeleton:fin_skeleton3
+       ~attrs:[ ("t", "Amount"); ("a", "Frequency"); ("d", "Size") ]);
+  let find name =
+    List.find (fun o -> o.Regret.estimator = name) tb_outcomes
+  in
+  let exact = find "exact" and prm = find "PRM" and avi = find "AVI" in
+  check "exact oracle: runtime regret = 1.0"
+    (exact.Regret.runtime_regret_mean = 1.0 && exact.Regret.runtime_regret_max = 1.0)
+    (Printf.sprintf "mean %.4f max %.4f" exact.Regret.runtime_regret_mean
+       exact.Regret.runtime_regret_max);
+  check "exact oracle: rows regret = 1.0"
+    (exact.Regret.rows_regret_mean = 1.0 && exact.Regret.rows_regret_max = 1.0)
+    (Printf.sprintf "mean %.4f max %.4f" exact.Regret.rows_regret_mean
+       exact.Regret.rows_regret_max);
+  check "exact oracle: picks the optimal tree every time"
+    (exact.Regret.n_plan_matches = exact.Regret.n_queries)
+    (Printf.sprintf "%d/%d" exact.Regret.n_plan_matches exact.Regret.n_queries);
+  check "PRM rows regret <= AVI rows regret (tb keyjoin suite)"
+    (prm.Regret.rows_regret_mean <= avi.Regret.rows_regret_mean)
+    (Printf.sprintf "%.4f vs %.4f" prm.Regret.rows_regret_mean
+       avi.Regret.rows_regret_mean);
+  (* EXPLAINPLAN through the transport-free server: the rendering the
+     CLI and socket clients see, pinned here so the verb stays wired. *)
+  let db = Lazy.force tb in
+  let server = Serve.Server.create ~db ~socket:"(bench: transport-free)" () in
+  ignore
+    (Serve.Registry.register (Serve.Server.registry server) ~name:"default"
+       (learn_prm ~budget_bytes:budget ~seed:cfg.seed db));
+  let resp, _ =
+    Serve.Server.handle_line server
+      "EXPLAINPLAN c=contact, p=patient, s=strain; c.patient=p, p.strain=s; \
+       c.Contype=1, p.Age={4,5}, s.Unique=0"
+  in
+  let has s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    m = 0 || go 0
+  in
+  check "EXPLAINPLAN renders est vs. actual per operator"
+    (Serve.Protocol.is_ok resp && has resp "est=" && has resp "actual="
+     && has resp "hash_join")
+    (List.hd (String.split_on_char '\n' resp));
+  jfield "explainplan_ok" (if Serve.Protocol.is_ok resp then "true" else "false");
+  write_json "BENCH_opt.json" (List.rev !json);
+  if !failures <> [] then begin
+    Printf.eprintf "opt checks FAILED: %s\n" (String.concat ", " (List.rev !failures));
     exit 1
   end
 
@@ -1464,5 +1601,6 @@ let () =
   if wants "plan" then fig_plan ();
   if wants "learn" then fig_learn ();
   if wants "obs" then fig_obs ();
+  if wants "opt" then fig_opt ();
   if wants "bechamel" then bechamel_suite ();
   Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. total_t0)

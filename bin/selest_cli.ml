@@ -1,7 +1,7 @@
 (* selest: command-line interface to the selectivity-estimation library.
 
-   Subcommands: gen, inspect, learn, estimate, compare, plan, sample, serve,
-   ask.  Run `selest <cmd> --help` for details. *)
+   Subcommands: gen, inspect, learn, estimate, compare, plan, optimize,
+   sample, serve, ask.  Run `selest <cmd> --help` for details. *)
 
 open Cmdliner
 open Selest
@@ -369,6 +369,110 @@ let plan_cmd =
       const run $ dataset_arg $ seed_arg $ scale_arg $ from_dir_arg $ budget_arg
       $ tv_arg $ join_arg $ select_arg $ sql_arg)
 
+(* ---- optimize ------------------------------------------------------------------- *)
+
+let optimize_cmd =
+  let tv_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "t"; "tv" ] ~docv:"TV=TABLE" ~doc:"Tuple variable binding (repeatable).")
+  in
+  let join_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "j"; "join" ] ~docv:"C.FK=P" ~doc:"Keyjoin clause (repeatable).")
+  in
+  let select_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "s"; "select" ] ~docv:"TV.ATTR=V" ~doc:"Selection (repeatable).")
+  in
+  let sql_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "sql" ] ~docv:"QUERY" ~doc:"A SELECT COUNT(*) query (replaces --tv/--join/--select).")
+  in
+  let bushy_arg =
+    Arg.(
+      value & flag
+      & info [ "bushy" ] ~doc:"Search bushy join trees, not just left-deep orders.")
+  in
+  let explain_arg =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:
+            "Also print every left-deep order's PRM-estimated vs. true C_out \
+             and their rank correlation.")
+  in
+  let model_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "model" ] ~docv:"FILE"
+          ~doc:"Load a previously saved model instead of learning one.")
+  in
+  let run dataset seed scale from_dir budget tvs joins selects sql bushy explain
+      model_file =
+    let db = make_db dataset ~scale ~seed ~from_dir in
+    let q =
+      match sql with
+      | Some text -> Db.Sql.parse db text
+      | None -> Db.Qparse.parse db ~tvars:tvs ~joins ~selects ()
+    in
+    let model =
+      match model_file with
+      | Some path -> Prm.Serialize.load path ~schema:(Db.Database.schema db)
+      | None -> learn_prm ~budget_bytes:budget ~seed db
+    in
+    let prm_oracle =
+      Prm.Estimate.cached_estimator model ~sizes:(Prm.Estimate.sizes_of_db db)
+    in
+    let fallback = Opt.Optimizer.independence db in
+    let price sub =
+      try prm_oracle sub with Est.Estimator.Unsupported _ -> fallback sub
+    in
+    Format.printf "query: %a@.@." Db.Query.pp q;
+    let chosen = Opt.Optimizer.best ~bushy ~fallback ~cost:prm_oracle q in
+    Format.printf "chosen tree: %a  (estimated C_out %.0f%s)@.@." Opt.Jointree.pp
+      chosen.Opt.Optimizer.tree chosen.Opt.Optimizer.cost
+      (if chosen.Opt.Optimizer.n_fallbacks > 0 then
+         Printf.sprintf ", %d sub-queries priced by the AVI fallback"
+           chosen.Opt.Optimizer.n_fallbacks
+       else "");
+    let result = Opt.Hashjoin.run db q chosen.Opt.Optimizer.tree in
+    print_string (Opt.Explain.render ~est:price q result);
+    print_endline
+      (Opt.Explain.summary_line ~cost_est:chosen.Opt.Optimizer.cost result);
+    if explain then begin
+      let orders = Opt.Jointree.orders q in
+      let est_costs = List.map (fun o -> Opt.Optimizer.order_cost ~cost:price q o) orders in
+      let true_costs =
+        List.map (fun o -> Opt.Optimizer.order_cost ~cost:(true_size db) q o) orders
+      in
+      print_newline ();
+      print_endline "left-deep order                   |    est cost |   true cost";
+      List.iter2
+        (fun o (ec, tc) ->
+          Printf.printf "%-34s| %11.0f | %11.0f\n" (String.concat " > " o) ec tc)
+        orders
+        (List.combine est_costs true_costs);
+      Printf.printf "\nrank correlation (est vs. true): %.3f\n"
+        (Opt.Optimizer.rank_correlation true_costs est_costs)
+    end
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:
+         "Pick the C_out-minimal join tree under PRM estimates, execute it with \
+          the materializing hash-join executor, and render estimated vs. actual \
+          rows per operator.")
+    Term.(
+      const run $ dataset_arg $ seed_arg $ scale_arg $ from_dir_arg $ budget_arg
+      $ tv_arg $ join_arg $ select_arg $ sql_arg $ bushy_arg $ explain_arg
+      $ model_arg)
+
 (* ---- sample --------------------------------------------------------------------- *)
 
 let sample_cmd =
@@ -513,5 +617,5 @@ let () =
        (Cmd.group info
           [
             gen_cmd; inspect_cmd; learn_cmd; estimate_cmd; compare_cmd; plan_cmd;
-            sample_cmd; serve_cmd; ask_cmd;
+            optimize_cmd; sample_cmd; serve_cmd; ask_cmd;
           ]))

@@ -1,16 +1,19 @@
 (* Cost-based join ordering — the paper's motivating application (Sec. 1):
    an optimizer is only as good as its cardinality estimates.  This example
    ranks every left-deep join order of a 3-table query by its estimated
-   cost (sum of intermediate result sizes) under three oracles:
+   cost (sum of intermediate result sizes, C_out) under three oracles:
 
      truth  — the exact executor,
      PRM    — this library's learned model,
-     AVI    — per-attribute independence + uniform joins (System-R style).
+     AVI    — per-attribute independence + uniform joins (System-R style),
+
+   then lets each oracle actually *pick* a plan via the `Opt.Optimizer`
+   dynamic program and executes the choices with the `Opt.Hashjoin`
+   physical executor, rendering estimated vs. actual rows per operator.
 
    Run with: dune exec examples/optimizer.exe *)
 
 open Selest
-open Selest_workload
 
 let () =
   let db = Synth.Tb.generate ~seed:11 () in
@@ -42,8 +45,9 @@ let () =
   in
   Format.printf "query: %a@.@." Db.Query.pp q;
 
-  let all = Planner.plans q in
-  let costs oracle = List.map (fun p -> Planner.plan_cost oracle q p) all in
+  let all = Opt.Jointree.orders q in
+  let order_cost oracle p = Opt.Optimizer.order_cost ~cost:oracle q p in
+  let costs oracle = List.map (order_cost oracle) all in
   let true_costs = costs truth in
   let prm_costs = costs prm_oracle in
   let avi_costs = costs (fun q -> avi.Est.Estimator.estimate q) in
@@ -58,22 +62,32 @@ let () =
     all;
   print_newline ();
 
-  let pick oracle_costs =
-    let best = ref 0 in
-    List.iteri (fun i c -> if c < List.nth oracle_costs !best then best := i) oracle_costs;
-    !best
+  (* Let each oracle pick via the DP and pay for its choice for real. *)
+  let optimal =
+    let r = Opt.Optimizer.best ~cost:truth q in
+    float_of_int (Opt.Hashjoin.run db q r.tree).Opt.Hashjoin.intermediate_rows
   in
-  let report name oracle_costs =
-    let chosen = pick oracle_costs in
-    let chosen_true = List.nth true_costs chosen in
-    let optimal = List.fold_left min (List.hd true_costs) true_costs in
-    Printf.printf
-      "%-5s picks %-27s -> true cost %8.0f (%.2fx optimal) | rank corr %.2f\n" name
-      (String.concat " > " (List.nth all chosen))
-      chosen_true
-      (chosen_true /. Float.max 1.0 optimal)
-      (Planner.rank_correlation true_costs oracle_costs)
+  let report name oracle =
+    let r = Opt.Optimizer.best ~cost:oracle q in
+    let exec = Opt.Hashjoin.run db q r.tree in
+    let rows = float_of_int exec.Opt.Hashjoin.intermediate_rows in
+    Printf.printf "%-5s picks %-14s -> actual C_out %7.0f (%.2fx optimal) | rank corr %.2f\n"
+      name
+      (Format.asprintf "%a" Opt.Jointree.pp r.tree)
+      rows
+      ((1.0 +. rows) /. (1.0 +. optimal))
+      (Opt.Optimizer.rank_correlation true_costs (costs oracle))
   in
-  report "truth" true_costs;
-  report "PRM" prm_costs;
-  report "AVI" avi_costs
+  report "truth" truth;
+  report "PRM" prm_oracle;
+  report "AVI" (fun q -> avi.Est.Estimator.estimate q);
+  print_newline ();
+
+  (* And the full explain surface for the PRM's chosen plan. *)
+  let r = Opt.Optimizer.best ~cost:prm_oracle q in
+  let exec = Opt.Hashjoin.run db q r.tree in
+  print_string (Opt.Explain.render ~est:prm_oracle q exec);
+  print_endline
+    (Opt.Explain.summary_line
+       ~cost_est:(Opt.Optimizer.sum_intermediates ~cost:prm_oracle q r.tree)
+       exec)

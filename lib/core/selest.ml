@@ -12,6 +12,7 @@ end
 
 module Plan = Selest_plan.Plan
 module Est = Selest_est
+module Opt = Selest_opt
 module Workload = Selest_workload
 module Serve = Selest_serve
 

@@ -1,0 +1,29 @@
+let fmt_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.2f" v
+
+let render ~est q result =
+  let buf = Buffer.create 256 in
+  let estimate node =
+    let sub = Jointree.subquery q (Jointree.leaves node.Hashjoin.subtree) in
+    match est sub with
+    | v -> fmt_float v
+    | exception _ -> "?"
+  in
+  let rec go indent arrow node =
+    Buffer.add_string buf indent;
+    Buffer.add_string buf arrow;
+    Buffer.add_string buf
+      (Printf.sprintf "%s  (est=%s rows) (actual=%d rows, %.1f us)\n"
+         node.Hashjoin.label (estimate node) node.Hashjoin.out_rows
+         (float_of_int node.Hashjoin.ns /. 1e3));
+    let child_indent = if arrow = "" then indent else indent ^ "      " in
+    List.iter (go child_indent "  ->  ") node.Hashjoin.children
+  in
+  go "" "" result.Hashjoin.root;
+  Buffer.contents buf
+
+let summary_line ~cost_est result =
+  Printf.sprintf "C_out: est=%s actual=%d; total=%.1f us" (fmt_float cost_est)
+    result.Hashjoin.intermediate_rows
+    (float_of_int result.Hashjoin.total_ns /. 1e3)

@@ -1,0 +1,19 @@
+(** Postgres-style rendering of an executed plan: the join tree with
+    estimated vs. actual cardinalities per operator — the estimation
+    error's consequence, made visible where an optimizer would act on
+    it.  Shared by the server's [EXPLAINPLAN] verb and the CLI's
+    [selest optimize] command. *)
+
+val render :
+  est:(Selest_db.Query.t -> float) ->
+  Selest_db.Query.t ->
+  Hashjoin.result ->
+  string
+(** Render an execution result.  [est] prices each operator's sub-query
+    (scans included) — pass the same oracle the optimizer used, fallback
+    composed in, so the rendered estimates are the numbers the plan was
+    chosen by.  An [est] that raises renders that operator's estimate as
+    [?]. *)
+
+val summary_line : cost_est:float -> Hashjoin.result -> string
+(** One-line footer: estimated vs. actual C_out and total wall time. *)

@@ -1,0 +1,199 @@
+open Selest_db
+module Span = Selest_obs.Span
+module Clock = Selest_obs.Clock
+
+type node = {
+  subtree : Jointree.t;
+  label : string;
+  out_rows : int;
+  out_bytes : int;
+  ns : int;
+  children : node list;
+}
+
+type result = {
+  root : node;
+  rows : int;
+  intermediate_rows : int;
+  total_ns : int;
+}
+
+(* An intermediate relation: for each bound tuple variable, the base-table
+   row each output row maps to.  Columns are parallel arrays of equal
+   length. *)
+type rel = { rtvs : string array; cols : int array array; nrows : int }
+
+let bytes_of ~nrows ~width = nrows * width * 8
+
+(* Growable pair buffer for join matches (output size is unknown). *)
+type pairs = { mutable li : int array; mutable ri : int array; mutable n : int }
+
+let pairs_create () = { li = Array.make 64 0; ri = Array.make 64 0; n = 0 }
+
+let pairs_push p a b =
+  if p.n = Array.length p.li then begin
+    let grow arr =
+      let bigger = Array.make (2 * Array.length arr) 0 in
+      Array.blit arr 0 bigger 0 (Array.length arr);
+      bigger
+    in
+    p.li <- grow p.li;
+    p.ri <- grow p.ri
+  end;
+  p.li.(p.n) <- a;
+  p.ri.(p.n) <- b;
+  p.n <- p.n + 1
+
+let gather rel idx n =
+  Array.map (fun col -> Array.init n (fun i -> col.(idx.(i)))) rel.cols
+
+let index_of arr x =
+  let rec go i = if arr.(i) = x then i else go (i + 1) in
+  go 0
+
+let scan db q tv =
+  let mask = Exec.select_mask db q tv in
+  let n = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 mask in
+  let rows = Array.make n 0 in
+  let k = ref 0 in
+  Array.iteri
+    (fun i b ->
+      if b then begin
+        rows.(!k) <- i;
+        incr k
+      end)
+    mask;
+  { rtvs = [| tv |]; cols = [| rows |]; nrows = n }
+
+(* Join [l] and [r] on the unique connecting edge, or by Cartesian
+   product when the query leaves them unconnected. *)
+let join db q l r =
+  let edge =
+    Jointree.connecting_join q (Array.to_list l.rtvs) (Array.to_list r.rtvs)
+  in
+  let matches = pairs_create () in
+  let label =
+    match edge with
+    | None ->
+      for i = 0 to l.nrows - 1 do
+        for j = 0 to r.nrows - 1 do
+          pairs_push matches i j
+        done
+      done;
+      "cartesian"
+    | Some j ->
+      let child_in_l = Array.mem j.Query.child_tv l.rtvs in
+      let crel, prel = if child_in_l then (l, r) else (r, l) in
+      let fk_col =
+        Table.fk_col_by_name (Database.table db (Query.table_of q j.Query.child_tv)) j.Query.fk
+      in
+      let crows = crel.cols.(index_of crel.rtvs j.Query.child_tv) in
+      let prows = prel.cols.(index_of prel.rtvs j.Query.parent_tv) in
+      (* Build on the smaller input, probe with the larger. *)
+      let build_child = crel.nrows <= prel.nrows in
+      let tbl = Hashtbl.create (max 16 (min crel.nrows prel.nrows)) in
+      if build_child then begin
+        for i = 0 to crel.nrows - 1 do
+          Hashtbl.add tbl fk_col.(crows.(i)) i
+        done;
+        for i = 0 to prel.nrows - 1 do
+          List.iter
+            (fun ci -> pairs_push matches ci i)
+            (Hashtbl.find_all tbl prows.(i))
+        done
+      end
+      else begin
+        for i = 0 to prel.nrows - 1 do
+          Hashtbl.add tbl prows.(i) i
+        done;
+        for i = 0 to crel.nrows - 1 do
+          List.iter
+            (fun pi -> pairs_push matches i pi)
+            (Hashtbl.find_all tbl fk_col.(crows.(i)))
+        done
+      end;
+      (* Matches are (child row, parent row); reorder to (left, right). *)
+      if not child_in_l then begin
+        let t = matches.li in
+        matches.li <- matches.ri;
+        matches.ri <- t
+      end;
+      Printf.sprintf "%s.%s=%s" j.Query.child_tv j.Query.fk j.Query.parent_tv
+  in
+  let n = matches.n in
+  let lcols = gather l matches.li n in
+  let rcols = gather r matches.ri n in
+  ( { rtvs = Array.append l.rtvs r.rtvs;
+      cols = Array.append lcols rcols;
+      nrows = n },
+    label )
+
+let check_tree q tree =
+  let tl = List.sort compare (Jointree.leaves tree) in
+  let ql = List.sort compare (List.map fst q.Query.tvars) in
+  if tl <> ql then
+    invalid_arg "Hashjoin.run: tree leaves do not match the query's tuple variables";
+  let rec no_dup seen = function
+    | [] -> ()
+    | tv :: rest ->
+      if List.mem tv seen then
+        invalid_arg "Hashjoin.run: duplicate tuple variable in tree"
+      else no_dup (tv :: seen) rest
+  in
+  no_dup [] (Jointree.leaves tree)
+
+let run db q tree =
+  Exec.validate db q;
+  check_tree q tree;
+  let t0 = Clock.now_ns () in
+  let rec exec subtree =
+    match subtree with
+    | Jointree.Leaf tv ->
+      Span.with_ ~attrs:[ ("tv", tv) ] "opt.scan" (fun sp ->
+          let s0 = Clock.now_ns () in
+          let rel = scan db q tv in
+          let ns = Clock.now_ns () - s0 in
+          Span.add sp "rows" (string_of_int rel.nrows);
+          ( rel,
+            { subtree;
+              label = Printf.sprintf "scan %s=%s" tv (Query.table_of q tv);
+              out_rows = rel.nrows;
+              out_bytes = bytes_of ~nrows:rel.nrows ~width:1;
+              ns;
+              children = [];
+            } ))
+    | Jointree.Join (lt, rt) ->
+      let lrel, lnode = exec lt in
+      let rrel, rnode = exec rt in
+      Span.with_ "opt.join" (fun sp ->
+          let s0 = Clock.now_ns () in
+          let rel, on = join db q lrel rrel in
+          let ns = Clock.now_ns () - s0 in
+          Span.add sp "on" on;
+          Span.add sp "rows" (string_of_int rel.nrows);
+          ( rel,
+            { subtree;
+              label =
+                (if on = "cartesian" then "cartesian_product"
+                 else "hash_join " ^ on);
+              out_rows = rel.nrows;
+              out_bytes = bytes_of ~nrows:rel.nrows ~width:(Array.length rel.rtvs);
+              ns;
+              children = [ lnode; rnode ];
+            } ))
+  in
+  let rel, root = exec tree in
+  let total_ns = Clock.now_ns () - t0 in
+  let rec sum_joins n =
+    List.fold_left
+      (fun acc c -> acc + sum_joins c)
+      (if n.children = [] then 0 else n.out_rows)
+      n.children
+  in
+  { root; rows = rel.nrows; intermediate_rows = sum_joins root; total_ns }
+
+let count db q tree = float_of_int (run db q tree).rows
+
+let ops result =
+  let rec go n = List.concat_map go n.children @ [ n ] in
+  go result.root

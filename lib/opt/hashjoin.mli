@@ -1,0 +1,50 @@
+(** The physical executor: hash joins that materialize intermediates.
+
+    {!Selest_db.Exec.query_size} computes result sizes by weight
+    propagation and never builds a join result, so every join order costs
+    the same there.  This executor does the real work — scan each tuple
+    variable's table under its selects, then hash-join bottom-up along a
+    {!Jointree.t} — and charges per-operator rows, bytes and wall time,
+    so the join order an optimizer picks has a measurable consequence.
+
+    An intermediate relation is columnar, like {!Selest_db.Table}: one
+    [int array] of base-table row ids per tuple variable bound so far.  A
+    join keys the child side on its foreign-key column's value and the
+    parent side on its row id (the primary key), builds a hash table on
+    the smaller input and probes with the larger; tuple-variable sets
+    left unconnected by the query are combined by Cartesian product.
+
+    Every operator runs inside a {!Selest_obs.Span} ([opt.scan] /
+    [opt.join]) so traces of executed plans line up with the serving
+    layer's request spans. *)
+
+type node = {
+  subtree : Jointree.t;  (** the plan subtree this operator computed *)
+  label : string;  (** e.g. [scan p=patient] or [hash_join c.patient=p] *)
+  out_rows : int;
+  out_bytes : int;  (** materialized size: rows × bound tuple variables × 8 *)
+  ns : int;  (** wall time of this operator alone (children excluded) *)
+  children : node list;  (** [[]] for a scan, two entries for a join *)
+}
+
+type result = {
+  root : node;
+  rows : int;  (** final result size *)
+  intermediate_rows : int;
+      (** sum of every join operator's output rows (final included) — the
+          C_out cost of the executed plan, with exact cardinalities *)
+  total_ns : int;
+}
+
+val run : Selest_db.Database.t -> Selest_db.Query.t -> Jointree.t -> result
+(** Execute the query along the given join tree.  Validates the query
+    against the database ({!Selest_db.Exec.validate}) and checks the
+    tree's leaves are exactly the query's tuple variables; raises
+    [Invalid_argument] otherwise. *)
+
+val count : Selest_db.Database.t -> Selest_db.Query.t -> Jointree.t -> float
+(** [run]'s final row count as a float — comparable bit-for-bit with
+    {!Selest_db.Exec.query_size} on any tree over the same query. *)
+
+val ops : result -> node list
+(** All operator nodes, in execution (post-) order. *)

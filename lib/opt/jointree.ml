@@ -1,0 +1,71 @@
+open Selest_db
+
+type t =
+  | Leaf of string
+  | Join of t * t
+
+let rec leaves = function
+  | Leaf tv -> [ tv ]
+  | Join (l, r) -> leaves l @ leaves r
+
+let left_deep = function
+  | [] -> invalid_arg "Jointree.left_deep: empty order"
+  | tv :: rest -> List.fold_left (fun acc tv -> Join (acc, Leaf tv)) (Leaf tv) rest
+
+let order_of tree =
+  let rec go acc = function
+    | Leaf tv -> Some (tv :: acc)
+    | Join (l, Leaf tv) -> go (tv :: acc) l
+    | Join (_, Join _) -> None
+  in
+  go [] tree
+
+let subquery q tvs =
+  let tvars = List.filter (fun (tv, _) -> List.mem tv tvs) q.Query.tvars in
+  let joins =
+    List.filter
+      (fun j -> List.mem j.Query.child_tv tvs && List.mem j.Query.parent_tv tvs)
+      q.Query.joins
+  in
+  let selects = List.filter (fun s -> List.mem s.Query.sel_tv tvs) q.Query.selects in
+  Query.create ~tvars ~joins ~selects ()
+
+let connected_to joins tv others =
+  List.exists
+    (fun j ->
+      (j.Query.child_tv = tv && List.mem j.Query.parent_tv others)
+      || (j.Query.parent_tv = tv && List.mem j.Query.child_tv others))
+    joins
+
+let orders q =
+  let tvs = List.map fst q.Query.tvars in
+  if List.length tvs < 2 then
+    invalid_arg "Jointree.orders: need at least two tuple variables";
+  let rec extend prefix remaining =
+    if remaining = [] then [ List.rev prefix ]
+    else
+      List.concat_map
+        (fun tv ->
+          if connected_to q.Query.joins tv prefix then
+            extend (tv :: prefix) (List.filter (fun x -> x <> tv) remaining)
+          else [])
+        remaining
+  in
+  let all =
+    List.concat_map
+      (fun first -> extend [ first ] (List.filter (fun x -> x <> first) tvs))
+      tvs
+  in
+  if all = [] then invalid_arg "Jointree.orders: disconnected join graph";
+  all
+
+let connecting_join q left right =
+  List.find_opt
+    (fun j ->
+      (List.mem j.Query.child_tv left && List.mem j.Query.parent_tv right)
+      || (List.mem j.Query.child_tv right && List.mem j.Query.parent_tv left))
+    q.Query.joins
+
+let rec pp fmt = function
+  | Leaf tv -> Format.pp_print_string fmt tv
+  | Join (l, r) -> Format.fprintf fmt "(%a \xe2\xa8\x9d %a)" pp l pp r

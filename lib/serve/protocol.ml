@@ -4,6 +4,7 @@ type request =
   | Est of { model : string option; body : string }
   | Estbatch of { model : string option; bodies : string list }
   | Explain of { model : string option; body : string }
+  | Explainplan of { model : string option; body : string }
   | Truth of { model : string option; truth : float; body : string }
   | Stats
   | Metrics
@@ -61,6 +62,9 @@ let parse_request line =
   | "EXPLAIN" ->
     parse_model_body ~cmd:"EXPLAIN" rest (fun model body ->
         Ok (Explain { model; body }))
+  | "EXPLAINPLAN" ->
+    parse_model_body ~cmd:"EXPLAINPLAN" rest (fun model body ->
+        Ok (Explainplan { model; body }))
   | "TRUTH" ->
     parse_model_body ~cmd:"TRUTH" rest (fun model rest ->
         let truth_word, body = split_first_word rest in

@@ -12,6 +12,7 @@
     EST [@<model>] <tvars> [; <joins> [; <selects>]]
     ESTBATCH [@<model>] <body> || <body> || ...
     EXPLAIN [@<model>] <body>
+    EXPLAINPLAN [@<model>] <body>
     TRUTH [@<model>] <true-size> <body>
     STATS
     METRICS
@@ -43,6 +44,13 @@
     and answers with the per-stage time and hot-path op breakdown plus
     the elimination order used — see {!Server}.
 
+    [EXPLAINPLAN] is the optimizer's view of the same query: the server
+    picks the C_out-minimal join order under the model's sub-query
+    estimates ({!Selest_opt.Optimizer}, AVI fallback for sub-queries the
+    model cannot price), executes it with the materializing hash-join
+    executor ({!Selest_opt.Hashjoin}), and answers a multi-line
+    postgres-style tree with estimated vs. actual rows per operator.
+
     [TRUTH] supplies ground truth for a query: the server computes its
     estimate (through the cache like [EST]) and records the q-error into
     the model's rolling accuracy histogram, answering
@@ -70,6 +78,11 @@ type request =
       (** [bodies] are the [||]-separated query texts, in request order. *)
   | Explain of { model : string option; body : string }
       (** [EST] with a per-stage breakdown instead of a bare estimate. *)
+  | Explainplan of { model : string option; body : string }
+      (** Optimize the query's join order under the model's estimates,
+          execute the chosen tree, and render it postgres-style with
+          estimated vs. actual per-operator cardinalities (multi-line
+          response). *)
   | Truth of { model : string option; truth : float; body : string }
       (** Ground truth for [body]; feeds the model's q-error histogram. *)
   | Stats

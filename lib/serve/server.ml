@@ -18,6 +18,9 @@ type t = {
   qerrors_mutex : Mutex.t;
   pool_size : int option;
   mutable pool : Selest_util.Pool.t option;
+  mutable avi : Selest_est.Estimator.t option;
+      (* lazily-built AVI baseline: EXPLAINPLAN's fallback oracle for
+         sub-queries the model cannot price *)
 }
 
 let create ?(cache_bytes = 1 lsl 20) ?pool_size ~db ~socket () =
@@ -33,6 +36,7 @@ let create ?(cache_bytes = 1 lsl 20) ?pool_size ~db ~socket () =
     qerrors_mutex = Mutex.create ();
     pool_size;
     pool = None;
+    avi = None;
   }
 
 let registry t = t.registry
@@ -423,6 +427,68 @@ let handle_explain t ~model ~body =
         (Obs.Hotpath.to_pairs d);
       Protocol.ok (Buffer.contents buf))
 
+(* ---- EXPLAINPLAN -----------------------------------------------------------
+
+   The optimizer's view of a query: choose the C_out-minimal join tree
+   under the model's sub-query estimates (priced through the same plan
+   cache EST uses, so repeated EXPLAINPLANs are cheap), execute it with
+   the materializing hash-join executor, and render estimated vs. actual
+   rows per operator.  Sub-queries the model cannot price fall back to
+   the server's lazily-built AVI baseline rather than aborting the
+   enumeration. *)
+
+let avi_fallback t =
+  match t.avi with
+  | Some e -> e.Selest_est.Estimator.estimate
+  | None ->
+    let e = Selest_est.Avi.build t.db in
+    t.avi <- Some e;
+    e.Selest_est.Estimator.estimate
+
+let handle_explainplan t ~model ~body =
+  match resolve_model t model with
+  | Error msg ->
+    Metrics.incr t.metrics "est_errors";
+    Protocol.err msg
+  | Ok (name, e) -> (
+    match parse_query t body with
+    | Error msg ->
+      Metrics.incr t.metrics "est_errors";
+      Protocol.err msg
+    | Ok q -> (
+      let model_cost sub =
+        let plan, _ = plan_for t ~name ~entry:e sub in
+        Plan.estimate plan ~sizes:t.sizes sub
+      in
+      let fallback = avi_fallback t in
+      (* the oracle the plan was chosen by, fallback composed in — also
+         what the rendering prices each operator with *)
+      let price sub =
+        try model_cost sub
+        with Selest_est.Estimator.Unsupported _ -> fallback sub
+      in
+      match
+        let tree =
+          match q.Query.tvars with
+          | [ (tv, _) ] -> Selest_opt.Jointree.Leaf tv
+          | _ ->
+            (Selest_opt.Optimizer.best ~fallback ~cost:model_cost q)
+              .Selest_opt.Optimizer.tree
+        in
+        let result = Selest_opt.Hashjoin.run t.db q tree in
+        let cost_est =
+          Selest_opt.Optimizer.sum_intermediates ~cost:price q tree
+        in
+        Selest_opt.Explain.render ~est:price q result
+        ^ Selest_opt.Explain.summary_line ~cost_est result
+      with
+      | rendered ->
+        Metrics.incr t.metrics (Printf.sprintf "infer.%s" name);
+        Protocol.ok_multiline rendered
+      | exception exn ->
+        Metrics.incr t.metrics "est_errors";
+        Protocol.err (Printexc.to_string exn)))
+
 (* ---- TRUTH -----------------------------------------------------------------
 
    Ground truth for one query: compute the estimate through the same
@@ -607,6 +673,9 @@ let handle_line t line =
   | Ok (Protocol.Explain { model; body }) ->
     Metrics.incr t.metrics "explain_requests";
     (respond (handle_explain t ~model ~body), `Continue)
+  | Ok (Protocol.Explainplan { model; body }) ->
+    Metrics.incr t.metrics "explainplan_requests";
+    (respond (handle_explainplan t ~model ~body), `Continue)
   | Ok (Protocol.Truth { model; truth; body }) ->
     Metrics.incr t.metrics "truth_requests";
     (respond (handle_truth t ~model ~truth ~body), `Continue)

@@ -52,6 +52,12 @@
     run, so the breakdown always prices real inference; the cache is
     filled afterwards, making EXPLAIN a valid warm-up.
 
+    [EXPLAINPLAN <query>] answers the optimizer's view: the C_out-minimal
+    join tree under the model's sub-query estimates (priced through the
+    same plan cache, AVI fallback for sub-queries the model cannot
+    price), executed with {!Selest_opt.Hashjoin} and rendered
+    postgres-style with estimated vs. actual rows per operator.
+
     [TRUTH <true-size> <query>] records accuracy: the estimate is
     computed through the normal cache-then-infer path and the q-error
     against the supplied truth lands in a per-model rolling histogram
@@ -100,8 +106,9 @@ val handle_line : t -> string -> string * [ `Continue | `Stop ]
 (** Dispatch one request line to one response.  Never raises: every
     failure (parse error, unknown model, bad model file, inference error)
     becomes an [ERR] response and [`Continue]; only [SHUTDOWN] returns
-    [`Stop].  Every response is a single line except [METRICS], which
-    returns the [OK lines=<k>] multi-line frame ({!Protocol.extra_lines}). *)
+    [`Stop].  Every response is a single line except [METRICS] and
+    [EXPLAINPLAN], which return the [OK lines=<k>] multi-line frame
+    ({!Protocol.extra_lines}). *)
 
 val shutdown_pool : t -> unit
 (** Stop and join the worker domains (if any were spawned).  {!run} calls

@@ -1,99 +1,21 @@
-open Selest_db
+(* Thin compatibility shim over lib/opt — see planner.mli.  The plan
+   enumeration, prefix sub-queries, C_out costing and rank correlation
+   all live in {!Selest_opt} now; this module survives so existing
+   callers keep their order-based (string list) view of a plan. *)
+
+module Jointree = Selest_opt.Jointree
+module Optimizer = Selest_opt.Optimizer
 
 type plan = string list
 
-let connected_to joins tv others =
-  List.exists
-    (fun j ->
-      (j.Query.child_tv = tv && List.mem j.Query.parent_tv others)
-      || (j.Query.parent_tv = tv && List.mem j.Query.child_tv others))
-    joins
-
-let plans q =
-  let tvs = List.map fst q.Query.tvars in
-  if List.length tvs < 2 then invalid_arg "Planner.plans: need at least two tuple variables";
-  let rec extend prefix remaining =
-    if remaining = [] then [ List.rev prefix ]
-    else
-      List.concat_map
-        (fun tv ->
-          if connected_to q.Query.joins tv prefix then
-            extend (tv :: prefix) (List.filter (fun x -> x <> tv) remaining)
-          else [])
-        remaining
-  in
-  let all =
-    List.concat_map
-      (fun first -> extend [ first ] (List.filter (fun x -> x <> first) tvs))
-      tvs
-  in
-  if all = [] then invalid_arg "Planner.plans: disconnected join graph";
-  all
-
-let prefix_query q prefix =
-  let tvars = List.filter (fun (tv, _) -> List.mem tv prefix) q.Query.tvars in
-  let joins =
-    List.filter
-      (fun j -> List.mem j.Query.child_tv prefix && List.mem j.Query.parent_tv prefix)
-      q.Query.joins
-  in
-  let selects = List.filter (fun s -> List.mem s.Query.sel_tv prefix) q.Query.selects in
-  Query.create ~tvars ~joins ~selects ()
-
-let plan_cost estimate q plan =
-  let rec go acc prefix = function
-    | [] -> acc
-    | tv :: rest ->
-      let prefix = tv :: prefix in
-      let acc =
-        if List.length prefix >= 2 then acc +. estimate (prefix_query q prefix) else acc
-      in
-      go acc prefix rest
-  in
-  go 0.0 [] plan
+let plans = Jointree.orders
+let prefix_query = Jointree.subquery
+let plan_cost estimate q plan = Optimizer.order_cost ~cost:estimate q plan
 
 let best_plan estimate q =
-  let all = plans q in
-  List.fold_left
-    (fun (bp, bc) p ->
-      let c = plan_cost estimate q p in
-      if c < bc then (p, c) else (bp, bc))
-    ( List.hd all, plan_cost estimate q (List.hd all) )
-    (List.tl all)
+  let result = Optimizer.best ~cost:estimate q in
+  match Jointree.order_of result.Optimizer.tree with
+  | Some order -> (order, result.Optimizer.cost)
+  | None -> assert false (* left-deep DP only builds left-deep trees *)
 
-let rank_correlation xs ys =
-  if List.length xs <> List.length ys then invalid_arg "Planner.rank_correlation";
-  let ranks l =
-    let arr = Array.of_list l in
-    let idx = Array.init (Array.length arr) (fun i -> i) in
-    Array.sort (fun a b -> compare arr.(a) arr.(b)) idx;
-    let r = Array.make (Array.length arr) 0.0 in
-    (* average ranks for ties *)
-    let i = ref 0 in
-    while !i < Array.length idx do
-      let j = ref !i in
-      while !j + 1 < Array.length idx && arr.(idx.(!j + 1)) = arr.(idx.(!i)) do
-        incr j
-      done;
-      let avg = float_of_int (!i + !j) /. 2.0 in
-      for k = !i to !j do
-        r.(idx.(k)) <- avg
-      done;
-      i := !j + 1
-    done;
-    r
-  in
-  let rx = ranks xs and ry = ranks ys in
-  let n = Array.length rx in
-  if n < 2 then 1.0
-  else begin
-    let mean a = Array.fold_left ( +. ) 0.0 a /. float_of_int n in
-    let mx = mean rx and my = mean ry in
-    let num = ref 0.0 and dx = ref 0.0 and dy = ref 0.0 in
-    for i = 0 to n - 1 do
-      num := !num +. ((rx.(i) -. mx) *. (ry.(i) -. my));
-      dx := !dx +. ((rx.(i) -. mx) ** 2.0);
-      dy := !dy +. ((ry.(i) -. my) ** 2.0)
-    done;
-    if !dx = 0.0 || !dy = 0.0 then 1.0 else !num /. sqrt (!dx *. !dy)
-  end
+let rank_correlation = Optimizer.rank_correlation

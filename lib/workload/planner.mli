@@ -7,7 +7,14 @@
     cost is the classic sum of intermediate result sizes; cardinalities
     come from any size oracle, so the same machinery ranks plans with the
     exact executor, with a PRM, or with a naive AVI estimator — making the
-    impact of estimation quality on plan choice directly measurable. *)
+    impact of estimation quality on plan choice directly measurable.
+
+    This module is a compatibility shim: enumeration, costing and rank
+    correlation now live in {!Selest_opt} ({!Selest_opt.Jointree},
+    {!Selest_opt.Optimizer}), which adds dynamic programming, bushy
+    trees, graceful fallback on unsupported sub-queries and a physical
+    executor.  New code should use {!Selest_opt} directly; this order-
+    based (string list) view is kept for existing callers. *)
 
 type plan = string list
 (** Tuple variables in join order; the first two form the initial join. *)

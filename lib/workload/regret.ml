@@ -1,0 +1,70 @@
+open Selest_util
+module Estimator = Selest_est.Estimator
+module Optimizer = Selest_opt.Optimizer
+module Hashjoin = Selest_opt.Hashjoin
+
+type outcome = {
+  estimator : string;
+  n_queries : int;
+  n_plan_matches : int;
+  runtime_regret_mean : float;
+  runtime_regret_max : float;
+  rows_regret_mean : float;
+  rows_regret_max : float;
+  n_fallbacks : int;
+}
+
+let run ?bushy ?max_queries ?seed db suite ests =
+  let cards = Suite.cards db suite in
+  let cells = Runner.selected_cells db suite ?max_queries ?seed () in
+  let queries =
+    Array.map (fun cell -> Suite.query_of_cell suite (Runner.decode cards cell)) cells
+  in
+  let truth q = Selest_db.Exec.query_size db q in
+  let fallback = Optimizer.independence db in
+  (* The truth-optimal plan is estimator-independent: optimize and execute
+     it once per query, and let every estimator compare against it. *)
+  let bests =
+    Array.map
+      (fun q ->
+        let b = Optimizer.best ?bushy ~cost:truth q in
+        (b.Optimizer.tree, Hashjoin.run db q b.Optimizer.tree))
+      queries
+  in
+  List.map
+    (fun est ->
+      if Array.length queries > 0 then est.Estimator.prepare queries.(0);
+      let n_matches = ref 0 and n_fallbacks = ref 0 in
+      let n = Array.length queries in
+      let runtime = Array.make n 1.0 and rows = Array.make n 1.0 in
+      Array.iteri
+        (fun i q ->
+          let best_tree, best_res = bests.(i) in
+          let chosen =
+            Optimizer.best ?bushy ~fallback ~cost:est.Estimator.estimate q
+          in
+          n_fallbacks := !n_fallbacks + chosen.Optimizer.n_fallbacks;
+          if chosen.Optimizer.tree = best_tree then incr n_matches
+            (* same plan: regret is 1.0 by definition, never re-measured *)
+          else begin
+            let res = Hashjoin.run db q chosen.Optimizer.tree in
+            rows.(i) <-
+              (1.0 +. float_of_int res.Hashjoin.intermediate_rows)
+              /. (1.0 +. float_of_int best_res.Hashjoin.intermediate_rows);
+            runtime.(i) <-
+              float_of_int res.Hashjoin.total_ns
+              /. float_of_int (max 1 best_res.Hashjoin.total_ns)
+          end)
+        queries;
+      let max_of a = Array.fold_left Float.max 1.0 a in
+      {
+        estimator = est.Estimator.name;
+        n_queries = n;
+        n_plan_matches = !n_matches;
+        runtime_regret_mean = (if n = 0 then 1.0 else Arrayx.mean runtime);
+        runtime_regret_max = max_of runtime;
+        rows_regret_mean = (if n = 0 then 1.0 else Arrayx.mean rows);
+        rows_regret_max = max_of rows;
+        n_fallbacks = !n_fallbacks;
+      })
+    ests

@@ -1,0 +1,49 @@
+(** Plan regret: the end-to-end cost of estimation error.
+
+    Q-error says how wrong an estimator's numbers are; regret says how
+    much those wrong numbers {e hurt} — the paper's Sec. 1 framing, where
+    estimates exist to steer a cost-based optimizer.  For every query in
+    a suite we optimize twice: once with exact cardinalities
+    ({!Selest_db.Exec.query_size}) and once with the estimator under
+    test, then execute both chosen plans with the materializing
+    {!Selest_opt.Hashjoin} executor and compare:
+
+    - {e rows regret}: (1 + chosen plan's intermediate rows) /
+      (1 + best plan's intermediate rows) — the realized C_out ratio,
+      deterministic and >= 1 up to cost ties;
+    - {e runtime regret}: chosen wall time / best wall time — noisy but
+      honest; exactly 1.0 when the estimator picks the true-optimal tree
+      (the same plan is not re-measured).
+
+    An exact-cardinality "estimator" always picks the same tree as the
+    truth-driven optimizer, so its regret is exactly 1.0 — the CI gate
+    that the whole pipeline (enumeration, costing, execution) is
+    self-consistent. *)
+
+type outcome = {
+  estimator : string;
+  n_queries : int;
+  n_plan_matches : int;  (** queries where the chosen tree = the best tree *)
+  runtime_regret_mean : float;
+  runtime_regret_max : float;
+  rows_regret_mean : float;
+  rows_regret_max : float;
+  n_fallbacks : int;
+      (** sub-queries priced by the AVI fallback because the estimator
+          raised [Unsupported] *)
+}
+
+val run :
+  ?bushy:bool ->
+  ?max_queries:int ->
+  ?seed:int ->
+  Selest_db.Database.t ->
+  Suite.t ->
+  Selest_est.Estimator.t list ->
+  outcome list
+(** Evaluate every instantiation of the suite (or a deterministic
+    subsample of [max_queries], same sampling as {!Runner}).  Each
+    estimator's [prepare] is called once with the suite's first query;
+    sub-query pricing falls back to {!Selest_opt.Optimizer.independence}
+    on [Unsupported].  The suite's skeleton must have at least two tuple
+    variables. *)

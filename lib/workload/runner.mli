@@ -30,3 +30,13 @@ val per_query :
   Selest_db.Database.t -> Suite.t -> Selest_est.Estimator.t -> ?max_queries:int -> ?seed:int ->
   unit -> (float * float) list
 (** (truth, estimate) pairs, for scatter plots like Fig. 5(c). *)
+
+val selected_cells :
+  Selest_db.Database.t -> Suite.t -> ?max_queries:int -> ?seed:int -> unit -> int array
+(** The suite cells the harness evaluates: all of them, or a
+    deterministic uniform subsample of [max_queries].  Exposed so other
+    per-query harnesses ({!Regret}) sweep the same queries. *)
+
+val decode : int array -> int -> int array
+(** [decode cards cell]: the value combination of a cell index, in
+    mixed-radix over the attribute cardinalities. *)

@@ -394,6 +394,39 @@ let test_server_handle_line () =
   Alcotest.(check (option string)) "errors counted" (Some "3")
     (Protocol.stats_field stats "est_errors")
 
+let test_server_explainplan () =
+  let server = fresh_server () in
+  let ask line = fst (Server.handle_line server line) in
+  let resp =
+    ask "EXPLAINPLAN c=contact, p=patient ; c.patient=p ; p.USBorn=1, c.Contype=2"
+  in
+  Alcotest.(check bool) "ok multi-line" true (Protocol.is_ok resp);
+  Alcotest.(check bool) "announces extra lines" true
+    (Protocol.extra_lines (List.hd (String.split_on_char '\n' resp)) > 0);
+  let has sub =
+    let n = String.length resp and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub resp i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "renders the join" true (has "hash_join c.patient=p");
+  Alcotest.(check bool) "renders estimates" true (has "est=");
+  Alcotest.(check bool) "renders actuals" true (has "actual=");
+  Alcotest.(check bool) "renders the C_out summary" true (has "C_out:");
+  (* actual cardinality of the final join = the exact result size *)
+  let truth =
+    Selest_db.Exec.query_size (Lazy.force db)
+      (tb_query [ "p.USBorn=1"; "c.Contype=2" ])
+  in
+  Alcotest.(check bool) "actual rows are exact" true
+    (has (Printf.sprintf "(actual=%.0f rows" truth));
+  (* single tuple variable: a plain scan plan, no optimization needed *)
+  let single = ask "EXPLAINPLAN p=patient ; ; p.USBorn=1" in
+  Alcotest.(check bool) "single-tv ok" true (Protocol.is_ok single);
+  (* errors stay single-line ERR, the server keeps serving *)
+  Alcotest.(check bool) "bad query is ERR" true
+    (Protocol.is_err (ask "EXPLAINPLAN z=zebra"));
+  Alcotest.(check string) "still serving" "PONG" (ask "PING")
+
 let test_server_estbatch () =
   (* Two servers over the same db/model: one answers each query through
      sequential EST, the other with one parallel ESTBATCH on a cold cache.
@@ -540,6 +573,7 @@ let () =
       ( "server",
         [
           Alcotest.test_case "handle_line" `Quick test_server_handle_line;
+          Alcotest.test_case "explainplan" `Quick test_server_explainplan;
           Alcotest.test_case "estbatch" `Quick test_server_estbatch;
           Alcotest.test_case "socket round trip" `Quick test_socket_round_trip;
         ] );
