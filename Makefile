@@ -28,6 +28,11 @@ bench: build
 # naive reference on the TB database, asserts the two are bit-identical
 # (same trajectory, same serialized model) and that the incremental one
 # is no slower, and emits BENCH_learn.json.
+# The exec figure gates the bytecode executor: bit-identity against
+# Ve.Reference, >= 5x over the generic warm execute, a hard
+# zero-allocation gate (Gc.minor_words delta must be exactly 0 across
+# 10k warm load+run pairs) and binary-frame EST throughput >= text, and
+# emits BENCH_exec.json.
 bench-smoke: build
 	dune exec bench/main.exe -- --fig inference
 	@python3 -m json.tool BENCH_inference.json > /dev/null 2>&1 \
@@ -52,6 +57,10 @@ bench-smoke: build
 	@python3 -m json.tool BENCH_opt.json > /dev/null 2>&1 \
 	  && echo "BENCH_opt.json: valid" \
 	  || { echo "BENCH_opt.json: INVALID JSON"; exit 1; }
+	dune exec bench/main.exe -- --fig exec
+	@python3 -m json.tool BENCH_exec.json > /dev/null 2>&1 \
+	  && echo "BENCH_exec.json: valid" \
+	  || { echo "BENCH_exec.json: INVALID JSON"; exit 1; }
 
 # Smoke-test the estimation service end to end: start a server that learns
 # a PRM over the TB dataset, exercise the whole protocol, shut it down.

@@ -26,7 +26,7 @@ let known_figs =
   [
     "sanity"; "4a"; "4b"; "4c"; "5a"; "5b"; "5c"; "6a"; "6b"; "6c"; "7a"; "7b"; "7c";
     "range"; "structure"; "ablation-score"; "ablation-join"; "serve-cache"; "inference";
-    "plan"; "learn"; "obs"; "opt"; "bechamel";
+    "plan"; "exec"; "learn"; "obs"; "opt"; "bechamel";
   ]
 
 let parse_args () =
@@ -866,6 +866,36 @@ let fig_inference () =
   jfield "learn_speedup" (Printf.sprintf "%.2f" (t_seq /. t_par));
   jfield "learn_trajectory_identical" "true";
 
+  (* Parallel-ratio gates.  Domain fan-out cannot beat sequential work on
+     a single-core host — the pool only adds scheduling overhead there, so
+     ratios below 1.0 are the expected physics, not a regression.  The
+     ratios are recorded unconditionally (above) but only gated when the
+     host has cores to parallelize over; the JSON records which mode
+     applied so a diff across hosts reads honestly. *)
+  let host_cores = Domain.recommended_domain_count () in
+  if host_cores <= 1 then begin
+    Printf.printf "\nparallel-ratio gates: skipped (single-core host)\n";
+    jfield "parallel_ratio_gates" "skipped_single_core"
+  end
+  else begin
+    jfield "parallel_ratio_gates" "enforced";
+    let failures = ref [] in
+    let check name ok detail =
+      Printf.printf "%-46s %-4s %s\n" name (if ok then "ok" else "FAIL") detail;
+      if not ok then failures := name :: !failures
+    in
+    (* lenient floors: a 2-core CI runner only has one spare core *)
+    check "estbatch throughput vs sequential >= 0.6" (batch_qps /. seq_qps >= 0.6)
+      (Printf.sprintf "%.2fx on %d cores" (batch_qps /. seq_qps) host_cores);
+    check "parallel learn vs sequential >= 0.6" (t_seq /. t_par >= 0.6)
+      (Printf.sprintf "%.2fx on %d cores" (t_seq /. t_par) host_cores);
+    if !failures <> [] then begin
+      Printf.eprintf "inference checks FAILED: %s\n"
+        (String.concat ", " (List.rev !failures));
+      exit 1
+    end
+  end;
+
   (* --- served latency percentiles, hits vs misses --------------------------- *)
   let lat_server = Serve.Server.create ~db ~socket:"(bench: transport-free)" () in
   ignore (Serve.Registry.register (Serve.Server.registry lat_server) ~name:"default" model);
@@ -1034,6 +1064,201 @@ let fig_plan () =
   write_json "BENCH_plan.json" (List.rev !json);
   if !failures <> [] then begin
     Printf.eprintf "plan checks FAILED: %s\n" (String.concat ", " (List.rev !failures));
+    exit 1
+  end
+
+(* ---- bytecode executor + binary wire frames (BENCH_exec.json) ---------------------------- *)
+
+(* Gates the zero-allocation bytecode executor (Selest_plan.Exec) and the
+   binary EST wire frames:
+     - bytecode warm execute bit-identical to Ve.Reference (and to the
+       generic execute it replaces) over every binding of the TB skeleton;
+     - >= 5x speedup over the generic stride/odometer path;
+     - zero minor-heap allocation across N warm load+run pairs
+       (Gc.minor_words delta = 0) — the arena-reset contract;
+     - binary-frame EST throughput at least matching the text protocol on
+       the same warm-cache workload, with bit-identical answers (both
+       transport-free: handle_frame vs handle_line). *)
+
+let fig_exec () =
+  section "X1: bytecode executor — zero-alloc warm estimates, binary wire frames";
+  let json = ref [] in
+  let jfield name v = json := (name, v) :: !json in
+  let failures = ref [] in
+  let check name ok detail =
+    Printf.printf "%-46s %-4s %s\n" name (if ok then "ok" else "FAIL") detail;
+    if not ok then failures := name :: !failures
+  in
+  let db = Lazy.force tb in
+  let model = learn_prm ~budget_bytes:4_500 ~seed:cfg.seed db in
+  let schema = Db.Database.schema db in
+  let card t a =
+    Db.Value.card (Db.Schema.attr (Db.Schema.find_table schema t) a).Db.Schema.domain
+  in
+  let triples =
+    List.concat
+      (List.init (card "contact" "Contype") (fun i ->
+           List.concat
+             (List.init (card "patient" "Age") (fun j ->
+                  List.init (card "strain" "DrugResist") (fun k -> (i, j, k))))))
+  in
+  let query_of (i, j, k) =
+    Db.Query.with_selects tb_skeleton3
+      [ Db.Query.eq "c" "Contype" i; Db.Query.eq "p" "Age" j;
+        Db.Query.eq "s" "DrugResist" k ]
+  in
+  let body (i, j, k) =
+    Printf.sprintf
+      "c=contact, p=patient, s=strain; c.patient=p, p.strain=s; \
+       c.Contype=%d, p.Age=%d, s.DrugResist=%d"
+      i j k
+  in
+  let queries = List.map query_of triples in
+  let n = List.length queries in
+  let q0 = List.hd queries in
+  let time_us reps f =
+    ignore (f ());
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (f ())
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps *. 1e6
+  in
+  let plan = Plan.compile model q0 in
+  let bindings = Array.of_list (List.map (Plan.bind plan) queries) in
+
+  (* --- gate 1: bit-identity vs Ve.Reference and the generic engine ---------- *)
+  let factors = Plan.factors plan in
+  let jev = Plan.join_evidence plan in
+  let divergent_ref = ref 0 and divergent_gen = ref 0 in
+  Array.iter
+    (fun b ->
+      let byte = Plan.execute plan b in
+      let oracle = Bn.Ve.Reference.prob_of_evidence factors (b @ jev) in
+      let generic = Plan.execute_generic plan b in
+      if Int64.bits_of_float byte <> Int64.bits_of_float oracle then incr divergent_ref;
+      if Int64.bits_of_float byte <> Int64.bits_of_float generic then incr divergent_gen)
+    bindings;
+  check "bytecode bit-identical to Ve.Reference" (!divergent_ref = 0)
+    (Printf.sprintf "%d/%d bindings" (n - !divergent_ref) n);
+  check "bytecode bit-identical to generic execute" (!divergent_gen = 0)
+    (Printf.sprintf "%d/%d bindings" (n - !divergent_gen) n);
+  jfield "n_bindings" (string_of_int n);
+  jfield "bit_identical_reference" (if !divergent_ref = 0 then "true" else "false");
+  jfield "bit_identical_generic" (if !divergent_gen = 0 then "true" else "false");
+
+  (* --- gate 2: warm execute speedup over the generic path ------------------- *)
+  let idx = ref 0 in
+  let bnext () =
+    let b = bindings.(!idx mod n) in
+    incr idx;
+    b
+  in
+  let byte_us = time_us (16 * n) (fun () -> Plan.execute plan (bnext ())) in
+  let generic_us = time_us (4 * n) (fun () -> Plan.execute_generic plan (bnext ())) in
+  let speedup = generic_us /. byte_us in
+  Printf.printf "warm execute: bytecode %.3fus | generic %.3fus (%.1fx)\n" byte_us
+    generic_us speedup;
+  check "bytecode >= 5x generic warm execute" (speedup >= 5.0)
+    (Printf.sprintf "%.3fus vs %.3fus (%.1fx)" byte_us generic_us speedup);
+  jfield "execute_bytecode_us" (Printf.sprintf "%.4f" byte_us);
+  jfield "execute_generic_us" (Printf.sprintf "%.4f" generic_us);
+  jfield "bytecode_speedup" (Printf.sprintf "%.2f" speedup);
+
+  (* --- gate 3: zero minor-heap allocation per warm request ------------------ *)
+  (match Plan.program_for plan bindings.(0) with
+  | None -> check "compiled program available" false "program_for returned None"
+  | Some prog ->
+    let st = Selest_plan.Exec.state_for prog in
+    (match Selest_plan.Exec.load prog st bindings.(0) with
+    | `Ok -> Selest_plan.Exec.run st
+    | `No_match | `Contradiction -> failwith "exec: compile-query binding did not load");
+    let reps = 10_000 in
+    let b0 = bindings.(0) in
+    let w0 = Gc.minor_words () in
+    for _ = 1 to reps do
+      ignore (Selest_plan.Exec.load prog st b0);
+      Selest_plan.Exec.run st
+    done;
+    let w1 = Gc.minor_words () in
+    let delta = w1 -. w0 in
+    check "zero minor-heap allocation per warm request" (delta = 0.0)
+      (Printf.sprintf "%.0f words / %d requests" delta reps);
+    jfield "warm_minor_words_delta" (Printf.sprintf "%.0f" delta);
+    jfield "alloc_gate_requests" (string_of_int reps);
+    jfield "program_steps" (string_of_int (Selest_plan.Exec.n_steps prog));
+    jfield "arena_entries" (string_of_int (Selest_plan.Exec.arena_entries prog)));
+
+  (* --- gate 4: binary frames vs text protocol, transport-free --------------- *)
+  let server = Serve.Server.create ~db ~socket:"(bench: transport-free)" () in
+  ignore (Serve.Registry.register (Serve.Server.registry server) ~name:"default" model);
+  let lines = List.map (fun tr -> "EST " ^ body tr) triples in
+  let frames =
+    List.map
+      (fun tr ->
+        let encoded =
+          Serve.Protocol.Bin.encode_request
+            (Serve.Protocol.Bin.Best { model = None; body = body tr })
+        in
+        (* handle_frame takes the payload with the length prefix stripped *)
+        Bytes.of_string (String.sub encoded 4 (String.length encoded - 4)))
+      triples
+  in
+  (* one warm-up pass fills the estimate cache, then certify that binary
+     and text answers carry bit-identical floats *)
+  let mismatches = ref 0 in
+  List.iter2
+    (fun l fr ->
+      let resp, _ = Serve.Server.handle_line server l in
+      if not (Serve.Protocol.is_ok resp) then failwith resp;
+      let text_v = float_of_string (Serve.Protocol.payload resp) in
+      let out = Serve.Server.handle_frame server fr in
+      match
+        Serve.Protocol.Bin.decode_response
+          (Bytes.of_string (String.sub out 4 (String.length out - 4)))
+      with
+      | Ok (Serve.Protocol.Bin.Bvalue v) ->
+        if Int64.bits_of_float v <> Int64.bits_of_float text_v then incr mismatches
+      | Ok _ | Error _ -> failwith "bin: unexpected response to EST frame")
+    lines frames;
+  check "binary answers bit-identical to text" (!mismatches = 0)
+    (Printf.sprintf "%d/%d" (n - !mismatches) n);
+  let text_pass () =
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun l ->
+        let resp, _ = Serve.Server.handle_line server l in
+        if not (Serve.Protocol.is_ok resp) then failwith resp)
+      lines;
+    float_of_int n /. (Unix.gettimeofday () -. t0)
+  in
+  let bin_pass () =
+    let t0 = Unix.gettimeofday () in
+    List.iter (fun fr -> ignore (Serve.Server.handle_frame server fr)) frames;
+    float_of_int n /. (Unix.gettimeofday () -. t0)
+  in
+  (* best-of to damp scheduler noise, same as the obs methodology *)
+  let best f =
+    let m = ref 0.0 in
+    for _ = 1 to 5 do
+      let v = f () in
+      if v > !m then m := v
+    done;
+    !m
+  in
+  let text_qps = best text_pass in
+  let bin_qps = best bin_pass in
+  Printf.printf "served EST (warm cache): text %8.0f q/s | binary %8.0f q/s (%.2fx)\n"
+    text_qps bin_qps (bin_qps /. text_qps);
+  check "binary EST QPS >= text QPS" (bin_qps >= text_qps)
+    (Printf.sprintf "%.0f vs %.0f q/s" bin_qps text_qps);
+  jfield "serve_text_qps" (Printf.sprintf "%.1f" text_qps);
+  jfield "serve_bin_qps" (Printf.sprintf "%.1f" bin_qps);
+  jfield "bin_over_text" (Printf.sprintf "%.3f" (bin_qps /. text_qps));
+
+  write_json "BENCH_exec.json" (List.rev !json);
+  if !failures <> [] then begin
+    Printf.eprintf "exec checks FAILED: %s\n" (String.concat ", " (List.rev !failures));
     exit 1
   end
 
@@ -1602,5 +1827,6 @@ let () =
   if wants "learn" then fig_learn ();
   if wants "obs" then fig_obs ();
   if wants "opt" then fig_opt ();
+  if wants "exec" then fig_exec ();
   if wants "bechamel" then bechamel_suite ();
   Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. total_t0)

@@ -589,23 +589,75 @@ let ask_cmd =
       & info [ "retries" ] ~docv:"N"
           ~doc:"Connection attempts (50ms apart) while the server starts up.")
   in
-  let run socket retries words =
-    match
-      Serve.Client.with_connection ~retries ~socket (fun c ->
-          Serve.Client.request c (String.concat " " words))
-    with
-    | response ->
-        print_endline response;
-        if Serve.Protocol.is_err response then exit 1
-    | exception Unix.Unix_error (e, _, _) ->
+  let bin_arg =
+    Arg.(
+      value & flag
+      & info [ "bin" ]
+          ~doc:
+            "Speak the length-prefixed binary frame protocol instead of text: \
+             upgrade the connection with the BIN hello, send the request as one \
+             binary frame, print the decoded reply.  EST and ESTBATCH only.")
+  in
+  (* Binary mode reuses the text parser for the command line itself, then
+     ships the query bodies as one binary frame; replies are printed in
+     the text protocol's OK/ERR shape so scripts can treat both modes
+     alike. *)
+  let run_bin c line =
+    match Serve.Protocol.parse_request line with
+    | Ok (Serve.Protocol.Est { model; body }) -> (
+      Serve.Client.upgrade c;
+      match Serve.Client.est_bin c ?model body with
+      | Ok v ->
+        print_endline (Serve.Protocol.ok (Printf.sprintf "%.17g" v));
+        `Ok
+      | Error msg ->
+        print_endline (Serve.Protocol.err msg);
+        `Err)
+    | Ok (Serve.Protocol.Estbatch { model; bodies }) -> (
+      Serve.Client.upgrade c;
+      match Serve.Client.estbatch_bin c ?model bodies with
+      | Ok vs ->
+        print_endline
+          (Serve.Protocol.ok
+             (String.concat " " (List.map (Printf.sprintf "%.17g") vs)));
+        `Ok
+      | Error msg ->
+        print_endline (Serve.Protocol.err msg);
+        `Err)
+    | Ok _ ->
+      print_endline (Serve.Protocol.err "--bin supports EST and ESTBATCH only");
+      `Err
+    | Error msg ->
+      print_endline (Serve.Protocol.err msg);
+      `Err
+  in
+  let run socket retries bin words =
+    let line = String.concat " " words in
+    if bin then (
+      match Serve.Client.with_connection ~retries ~socket (fun c -> run_bin c line) with
+      | `Ok -> ()
+      | `Err -> exit 1
+      | exception Unix.Unix_error (e, _, _) ->
         Printf.eprintf "ask: cannot reach server at %s: %s\n" socket
           (Unix.error_message e);
-        exit 1
+        exit 1)
+    else
+      match
+        Serve.Client.with_connection ~retries ~socket (fun c ->
+            Serve.Client.request c line)
+      with
+      | response ->
+          print_endline response;
+          if Serve.Protocol.is_err response then exit 1
+      | exception Unix.Unix_error (e, _, _) ->
+          Printf.eprintf "ask: cannot reach server at %s: %s\n" socket
+            (Unix.error_message e);
+          exit 1
   in
   Cmd.v
     (Cmd.info "ask"
        ~doc:"Send one request line to a running estimation service and print the reply.")
-    Term.(const run $ socket_arg $ retries_arg $ words_arg)
+    Term.(const run $ socket_arg $ retries_arg $ bin_arg $ words_arg)
 
 (* ---- main ------------------------------------------------------------------------ *)
 

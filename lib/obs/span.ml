@@ -51,6 +51,8 @@ let no_sink = function None -> true | Some _ -> false
 let enabled () =
   (not (no_sink (state ()).local_sink)) || not (no_sink (Atomic.get global_sink))
 
+let collecting () = not (no_sink (state ()).local_sink)
+
 let live sp = sp.s_live
 
 let add sp key value = if sp.s_live then sp.s_attrs <- (key, value) :: sp.s_attrs

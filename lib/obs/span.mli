@@ -45,6 +45,14 @@ val enabled : unit -> bool
 (** [true] iff some sink (per-domain or global) would receive records
     right now.  Lets callers skip building expensive attribute strings. *)
 
+val collecting : unit -> bool
+(** [true] iff a {e per-domain} sink is installed — the dynamic extent of
+    a {!collect}.  Deep engine instrumentation keys off this rather than
+    {!enabled}: a per-request collect ([EXPLAIN]) must see the full stage
+    breakdown and so disables fast paths that skip instrumented code (the
+    plan bytecode executor), while a process-wide trace log
+    ([--trace-log]) keeps the fast path and its coarse request spans. *)
+
 val live : t -> bool
 (** [true] for spans handed out while a sink is active, [false] for
     {!null}.  Cheaper than {!enabled} inside a [with_] callback. *)

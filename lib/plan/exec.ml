@@ -1,0 +1,535 @@
+open Selest_db
+module Factor = Selest_prob.Factor
+
+(* The zero-allocation bytecode executor.
+
+   [compile] lowers one restricted-variable shape of a plan — the
+   factors, the evidence slots, and the memoized elimination order —
+   into a flat array of steps over integer-indexed float buffers:
+
+     Gather    copy the slice [factor | slot values] into an arena
+               buffer (the compiled form of the evidence restricts);
+               pure data movement, bit-identical to composing
+               {!Factor.restrict} over the bound variables.
+     Contract  one variable-elimination step: the fused
+               multiply-then-sum odometer kernel of
+               {!Factor.sum_out_product}, with the union scope, operand
+               stride tables and output offsets all precomputed.
+
+   Execution then reads the surviving buffers back with the same Kahan
+   summation and left-fold product as [Ve.run]'s [total_of], so results
+   are bit-identical to the generic engine.  All buffers are sized at
+   compile time; a warm [load]+[run] performs no GC allocation and no
+   closure dispatch. *)
+
+(* ---- programs (symbolic, shareable across domains) ---------------------- *)
+
+type buf =
+  | Alias of float array  (* untouched factor: read the live table in place *)
+  | Arena of int  (* intermediate buffer of this many entries *)
+
+type gather = {
+  g_src : float array;  (* live source table *)
+  g_dst : int;  (* arena buffer id *)
+  g_n_out : int;  (* entries copied = size of dst *)
+  g_slots : int array;  (* arg slot per restricted dimension *)
+  g_slot_strides : int array;  (* source stride per restricted dimension *)
+  g_out_cards : int array;  (* cards of the kept dimensions *)
+  g_out_strides : int array;  (* source stride per kept dimension *)
+}
+
+type contract = {
+  c_dst : int;
+  c_out_size : int;
+  c_usize : int;  (* union-scope table size *)
+  c_ucards : int array;  (* union-scope cards, last digit fastest *)
+  c_ops : int array;  (* operand buffer ids, touching-list order *)
+  c_op_strides : int array array;  (* per operand, per union digit (0 if absent) *)
+  c_out_stride : int array;  (* per union digit; 0 at the eliminated var *)
+}
+
+type step = Gather of gather | Contract of contract
+
+type program = {
+  uid : int;  (* key of the per-domain state table *)
+  bufs : buf array;
+  steps : step array;
+  finals : int array;  (* surviving buffer ids, factor-list order *)
+  slot_of_node : int array;  (* node id -> arg slot, -1 if unrestricted *)
+  slot_card : int array;
+  static_slot : bool array;  (* prefilled at state creation, never reset *)
+  static_val : int array;  (* value of each static slot, -1 otherwise *)
+  n_slots : int;
+  max_dims : int;  (* widest odometer across all steps *)
+  max_ops : int;  (* widest operand list across all contractions *)
+}
+
+let next_uid = Atomic.make 0
+
+(* Local replicas of the factor-layout helpers ({!Factor.strides_of}
+   semantics on symbolic card arrays). *)
+let strides cards =
+  let n = Array.length cards in
+  let s = Array.make n 1 in
+  for i = n - 2 downto 0 do
+    s.(i) <- s.(i + 1) * cards.(i + 1)
+  done;
+  s
+
+let remove_at arr i =
+  Array.init (Array.length arr - 1) (fun j -> if j < i then arr.(j) else arr.(j + 1))
+
+let mem_sorted = Factor.mem_sorted
+
+(* Sorted merge of two (vars, cards) scopes — the symbolic twin of the
+   union the fused kernel computes, same cardinality check. *)
+let union_pair (avars, acards) (bvars, bcards) =
+  let out = ref [] in
+  let i = ref 0 and j = ref 0 in
+  let na = Array.length avars and nb = Array.length bvars in
+  while !i < na || !j < nb do
+    if !i >= na then begin
+      out := (bvars.(!j), bcards.(!j)) :: !out;
+      incr j
+    end
+    else if !j >= nb then begin
+      out := (avars.(!i), acards.(!i)) :: !out;
+      incr i
+    end
+    else if avars.(!i) < bvars.(!j) then begin
+      out := (avars.(!i), acards.(!i)) :: !out;
+      incr i
+    end
+    else if avars.(!i) > bvars.(!j) then begin
+      out := (bvars.(!j), bcards.(!j)) :: !out;
+      incr j
+    end
+    else begin
+      if acards.(!i) <> bcards.(!j) then
+        invalid_arg "Exec: cardinality disagreement";
+      out := (avars.(!i), acards.(!i)) :: !out;
+      incr i;
+      incr j
+    end
+  done;
+  let pairs = Array.of_list (List.rev !out) in
+  (Array.map fst pairs, Array.map snd pairs)
+
+let position vars v =
+  let n = Array.length vars in
+  let rec find i = if i >= n then -1 else if vars.(i) = v then i else find (i + 1) in
+  find 0
+
+let compile ~factors ~slots ~static ~order =
+  (* Cardinality of every node the factors mention (first mention wins;
+     network construction guarantees agreement). *)
+  let card_tbl = Hashtbl.create 32 in
+  List.iter
+    (fun f ->
+      let fvars = Factor.vars f and fcards = Factor.cards f in
+      Array.iteri
+        (fun i v ->
+          if not (Hashtbl.mem card_tbl v) then Hashtbl.add card_tbl v fcards.(i))
+        fvars)
+    factors;
+  let card_of v =
+    match Hashtbl.find_opt card_tbl v with
+    | Some c -> c
+    | None -> invalid_arg "Exec: evidence variable not in any factor"
+  in
+  List.iter
+    (fun (v, x) ->
+      if x < 0 || x >= card_of v then
+        invalid_arg "Exec: static evidence value out of range")
+    static;
+  (* Arg-slot layout: request slots first (caller order), then statics. *)
+  let slot_nodes = slots @ List.map fst static in
+  let n_slots = List.length slot_nodes in
+  let max_node = List.fold_left max (-1) slot_nodes in
+  let slot_of_node = Array.make (max_node + 1) (-1) in
+  List.iteri
+    (fun s v ->
+      if v < 0 then invalid_arg "Exec: negative slot variable";
+      if slot_of_node.(v) >= 0 then invalid_arg "Exec: duplicate slot variable";
+      slot_of_node.(v) <- s)
+    slot_nodes;
+  let slot_card = Array.of_list (List.map card_of slot_nodes) in
+  let n_request = List.length slots in
+  let static_slot = Array.init n_slots (fun s -> s >= n_request) in
+  let static_val = Array.make n_slots (-1) in
+  List.iteri (fun i (_, x) -> static_val.(n_request + i) <- x) static;
+  let is_restricted v = v <= max_node && v >= 0 && slot_of_node.(v) >= 0 in
+  (* Evidence application: one Gather per factor that mentions a
+     restricted variable (composed multi-dimensional slice), a plain
+     alias of the live table otherwise. *)
+  let bufs = ref [] and n_bufs = ref 0 in
+  let new_buf spec =
+    let id = !n_bufs in
+    incr n_bufs;
+    bufs := spec :: !bufs;
+    id
+  in
+  let steps = ref [] in
+  let sym =
+    ref
+      (List.rev
+         (List.fold_left
+            (fun acc f ->
+              let fvars = Factor.vars f and fcards = Factor.cards f in
+              let fstrides = Factor.strides_of f in
+              let fdata = Factor.unsafe_data f in
+              let restricted = ref [] and kept = ref [] in
+              Array.iteri
+                (fun i v ->
+                  if is_restricted v then restricted := i :: !restricted
+                  else kept := i :: !kept)
+                fvars;
+              let restricted = Array.of_list (List.rev !restricted) in
+              let kept = Array.of_list (List.rev !kept) in
+              if Array.length restricted = 0 then
+                (fvars, fcards, new_buf (Alias fdata)) :: acc
+              else begin
+                let out_vars = Array.map (fun i -> fvars.(i)) kept in
+                let out_cards = Array.map (fun i -> fcards.(i)) kept in
+                let n_out = Array.fold_left ( * ) 1 out_cards in
+                let id = new_buf (Arena n_out) in
+                steps :=
+                  Gather
+                    {
+                      g_src = fdata;
+                      g_dst = id;
+                      g_n_out = n_out;
+                      g_slots = Array.map (fun i -> slot_of_node.(fvars.(i))) restricted;
+                      g_slot_strides = Array.map (fun i -> fstrides.(i)) restricted;
+                      g_out_cards = out_cards;
+                      g_out_strides = Array.map (fun i -> fstrides.(i)) kept;
+                    }
+                  :: !steps;
+                (out_vars, out_cards, id) :: acc
+              end)
+            [] factors))
+  in
+  (* Symbolic replay of [Ve.eliminate_step] over the memoized order,
+     emitting one Contract per eliminated variable. *)
+  List.iter
+    (fun v ->
+      let touching, rest =
+        List.partition (fun (fvars, _, _) -> mem_sorted fvars v) !sym
+      in
+      match touching with
+      | [] -> ()
+      | (v0, c0, _) :: tl ->
+        let uvars, ucards =
+          List.fold_left
+            (fun acc (fvars, fcards, _) -> union_pair acc (fvars, fcards))
+            (v0, c0) tl
+        in
+        let n = Array.length uvars in
+        let usize = Array.fold_left ( * ) 1 ucards in
+        let p = position uvars v in
+        if p < 0 then invalid_arg "Exec: eliminated variable lost (internal error)";
+        let out_cards = remove_at ucards p in
+        let out_vars = remove_at uvars p in
+        let out_size = Array.fold_left ( * ) 1 out_cards in
+        let out_strides_reduced = strides out_cards in
+        let out_stride =
+          Array.init n (fun i ->
+              if i = p then 0
+              else if i < p then out_strides_reduced.(i)
+              else out_strides_reduced.(i - 1))
+        in
+        let ops = Array.of_list (List.map (fun (_, _, id) -> id) touching) in
+        let op_strides =
+          Array.of_list
+            (List.map
+               (fun (fvars, fcards, _) ->
+                 let s = strides fcards in
+                 Array.map
+                   (fun uv ->
+                     let q = position fvars uv in
+                     if q < 0 then 0 else s.(q))
+                   uvars)
+               touching)
+        in
+        let dst = new_buf (Arena out_size) in
+        steps :=
+          Contract
+            {
+              c_dst = dst;
+              c_out_size = out_size;
+              c_usize = usize;
+              c_ucards = ucards;
+              c_ops = ops;
+              c_op_strides = op_strides;
+              c_out_stride = out_stride;
+            }
+          :: !steps;
+        sym := (out_vars, out_cards, dst) :: rest)
+    order;
+  let steps = Array.of_list (List.rev !steps) in
+  let max_dims = ref 0 and max_ops = ref 0 in
+  Array.iter
+    (function
+      | Gather g ->
+        if Array.length g.g_out_cards > !max_dims then
+          max_dims := Array.length g.g_out_cards
+      | Contract c ->
+        if Array.length c.c_ucards > !max_dims then
+          max_dims := Array.length c.c_ucards;
+        if Array.length c.c_ops > !max_ops then max_ops := Array.length c.c_ops)
+    steps;
+  {
+    uid = Atomic.fetch_and_add next_uid 1;
+    bufs = Array.of_list (List.rev !bufs);
+    steps;
+    finals = Array.of_list (List.map (fun (_, _, id) -> id) !sym);
+    slot_of_node;
+    slot_card;
+    static_slot;
+    static_val;
+    n_slots;
+    max_dims = !max_dims;
+    max_ops = !max_ops;
+  }
+
+let n_steps prog = Array.length prog.steps
+
+let arena_entries prog =
+  Array.fold_left
+    (fun acc -> function Alias _ -> acc | Arena n -> acc + n)
+    0 prog.bufs
+
+(* ---- per-domain execution state ----------------------------------------- *)
+
+(* Steps specialized against a state's concrete buffers, so the hot loop
+   never indirects through buffer ids. *)
+type sstep =
+  | SGather of {
+      src : float array;
+      dst : float array;
+      n_out : int;
+      slots : int array;
+      slot_strides : int array;
+      out_cards : int array;
+      out_strides : int array;
+    }
+  | SContract of {
+      out : float array;
+      out_size : int;
+      usize : int;
+      ucards : int array;
+      datas : float array array;
+      op_strides : int array array;
+      out_stride : int array;
+    }
+
+type state = {
+  args : int array;  (* one value per arg slot, -1 = unset *)
+  ssteps : sstep array;
+  sfinals : float array array;
+  digits : int array;  (* shared odometer digits, max_dims wide *)
+  idxs : int array;  (* shared operand indices, max_ops wide *)
+  result : float array;  (* 1-cell read-out *)
+}
+
+let build_state prog =
+  let bufs =
+    Array.map (function Alias a -> a | Arena n -> Array.make n 0.0) prog.bufs
+  in
+  let args = Array.make prog.n_slots (-1) in
+  for s = 0 to prog.n_slots - 1 do
+    if prog.static_slot.(s) then args.(s) <- prog.static_val.(s)
+  done;
+  let ssteps =
+    Array.map
+      (function
+        | Gather g ->
+          SGather
+            {
+              src = g.g_src;
+              dst = bufs.(g.g_dst);
+              n_out = g.g_n_out;
+              slots = g.g_slots;
+              slot_strides = g.g_slot_strides;
+              out_cards = g.g_out_cards;
+              out_strides = g.g_out_strides;
+            }
+        | Contract c ->
+          SContract
+            {
+              out = bufs.(c.c_dst);
+              out_size = c.c_out_size;
+              usize = c.c_usize;
+              ucards = c.c_ucards;
+              datas = Array.map (fun id -> bufs.(id)) c.c_ops;
+              op_strides = c.c_op_strides;
+              out_stride = c.c_out_stride;
+            })
+      prog.steps
+  in
+  {
+    args;
+    ssteps;
+    sfinals = Array.map (fun id -> bufs.(id)) prog.finals;
+    digits = Array.make prog.max_dims 0;
+    idxs = Array.make prog.max_ops 0;
+    result = [| 0.0 |];
+  }
+
+(* One state per (domain, program): arenas are written in place, so a
+   state must never be shared across domains — mirrored on the existing
+   one-active-inference-per-domain contract of the scratch pool. *)
+let dls_states : (int, state) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+
+let state_for prog =
+  let tbl = Domain.DLS.get dls_states in
+  match Hashtbl.find tbl prog.uid with
+  | st -> st
+  | exception Not_found ->
+    let st = build_state prog in
+    Hashtbl.add tbl prog.uid st;
+    st
+
+(* ---- load ---------------------------------------------------------------- *)
+
+(* Top-level recursion (not a local closure) so a warm load allocates
+   nothing.  Validation mirrors [Ve.merged_masks]: every value is
+   range-checked in binding order (even past a contradiction), and the
+   contradiction verdict is only delivered after the whole binding has
+   been walked. *)
+let rec load_binding prog args contradicted binding =
+  match binding with
+  | [] -> if contradicted then `Contradiction else check_filled prog args 0
+  | (node, Query.Eq x) :: rest ->
+    if node < 0 || node >= Array.length prog.slot_of_node then `No_match
+    else begin
+      let s = prog.slot_of_node.(node) in
+      if s < 0 then `No_match
+      else if x < 0 || x >= prog.slot_card.(s) then
+        invalid_arg "Ve: evidence value out of range"
+      else begin
+        let cur = args.(s) in
+        if cur < 0 then begin
+          args.(s) <- x;
+          load_binding prog args contradicted rest
+        end
+        else if cur = x then load_binding prog args contradicted rest
+        else load_binding prog args true rest
+      end
+    end
+  | _ :: _ -> `No_match
+
+and check_filled prog args s =
+  if s >= prog.n_slots then `Ok
+  else if args.(s) < 0 then `No_match
+  else check_filled prog args (s + 1)
+
+let load prog st binding =
+  let args = st.args in
+  for s = 0 to prog.n_slots - 1 do
+    if not prog.static_slot.(s) then args.(s) <- -1
+  done;
+  load_binding prog args false binding
+
+(* ---- run ----------------------------------------------------------------- *)
+
+let run st =
+  let ssteps = st.ssteps in
+  let digits = st.digits and idxs = st.idxs and args = st.args in
+  for si = 0 to Array.length ssteps - 1 do
+    match ssteps.(si) with
+    | SGather g ->
+      let src = g.src and dst = g.dst in
+      let slots = g.slots and slot_strides = g.slot_strides in
+      let out_cards = g.out_cards and out_strides = g.out_strides in
+      let base = ref 0 in
+      for k = 0 to Array.length slots - 1 do
+        base := !base + (args.(slots.(k)) * slot_strides.(k))
+      done;
+      let nd = Array.length out_cards in
+      Array.fill digits 0 nd 0;
+      let isrc = ref !base in
+      let n_out = g.n_out in
+      for j = 0 to n_out - 1 do
+        dst.(j) <- src.(!isrc);
+        if j < n_out - 1 then begin
+          let c = ref (nd - 1) in
+          let carry = ref true in
+          while !carry do
+            let d = digits.(!c) + 1 in
+            if d = out_cards.(!c) then begin
+              digits.(!c) <- 0;
+              isrc := !isrc - ((out_cards.(!c) - 1) * out_strides.(!c));
+              decr c
+            end
+            else begin
+              digits.(!c) <- d;
+              isrc := !isrc + out_strides.(!c);
+              carry := false
+            end
+          done
+        end
+      done
+    | SContract cn ->
+      Selest_obs.Hotpath.kernel ~entries:cn.usize ~out:cn.out_size;
+      let out = cn.out and datas = cn.datas in
+      let ucards = cn.ucards and op_strides = cn.op_strides in
+      let out_stride = cn.out_stride in
+      let usize = cn.usize in
+      let k = Array.length datas in
+      let n = Array.length ucards in
+      Array.fill out 0 cn.out_size 0.0;
+      Array.fill digits 0 n 0;
+      Array.fill idxs 0 k 0;
+      let iout = ref 0 in
+      for u = 0 to usize - 1 do
+        let prod = ref datas.(0).(idxs.(0)) in
+        for j = 1 to k - 1 do
+          prod := !prod *. datas.(j).(idxs.(j))
+        done;
+        out.(!iout) <- out.(!iout) +. !prod;
+        if u < usize - 1 then begin
+          let c = ref (n - 1) in
+          let carry = ref true in
+          while !carry do
+            let d = digits.(!c) + 1 in
+            if d = ucards.(!c) then begin
+              digits.(!c) <- 0;
+              let back = ucards.(!c) - 1 in
+              for j = 0 to k - 1 do
+                idxs.(j) <- idxs.(j) - (back * op_strides.(j).(!c))
+              done;
+              iout := !iout - (back * out_stride.(!c));
+              decr c
+            end
+            else begin
+              digits.(!c) <- d;
+              for j = 0 to k - 1 do
+                idxs.(j) <- idxs.(j) + op_strides.(j).(!c)
+              done;
+              iout := !iout + out_stride.(!c);
+              carry := false
+            end
+          done
+        end
+      done
+  done;
+  (* Read-out: Kahan total per surviving buffer ({!Selest_util.Arrayx.sum}
+     inlined), product folded left from 1.0 — the [total_of] of [Ve.run]. *)
+  let finals = st.sfinals in
+  let acc = ref 1.0 in
+  for fi = 0 to Array.length finals - 1 do
+    let a = finals.(fi) in
+    let s = ref 0.0 and c = ref 0.0 in
+    for i = 0 to Array.length a - 1 do
+      let y = a.(i) -. !c in
+      let t = !s +. y in
+      c := t -. !s -. y;
+      s := t
+    done;
+    acc := !acc *. !s
+  done;
+  st.result.(0) <- !acc
+
+let result st = st.result.(0)

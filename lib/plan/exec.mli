@@ -1,0 +1,89 @@
+(** Flat "bytecode" executor for compiled plans.
+
+    {!Plan.execute}'s generic path rebuilds restricted [Factor.t] values
+    and allocates fresh intermediate tables on every request.  This
+    module lowers one {e restricted-variable shape} of a plan — its
+    factors, the set of evidence slots, and the memoized elimination
+    order — into a linear program of two step kinds executed over
+    arena-allocated float buffers sized at compile time:
+
+    - {b Gather}: copy the slice [factor | bound values] into an arena
+      buffer with precomputed strides (the compiled form of the
+      per-request {!Selest_prob.Factor.restrict} chain — pure data
+      movement, bitwise identical by construction);
+    - {b Contract}: one variable-elimination step, the fused
+      multiply-then-sum odometer kernel of
+      {!Selest_prob.Factor.sum_out_product} with the union scope,
+      operand stride tables and output offsets all precomputed.
+
+    The read-out replays [Ve.run]'s [total_of] (Kahan sum per surviving
+    buffer, left-fold product), so results are {e bit-identical} to the
+    generic engine — [Ve.Reference] remains the oracle for both.
+
+    A warm {!load} + {!run} pair performs {e zero} GC allocation (gate:
+    [Gc.minor_words] delta over N requests = 0) and no closure dispatch:
+    arenas, odometer digit arrays and operand index arrays live in a
+    per-domain {!state} and are reset in place.  Contractions bump
+    {!Selest_obs.Hotpath.kernel} exactly like the generic kernels, so
+    [max_factor_entries] and per-model metrics keep working. *)
+
+type program
+(** An immutable compiled program.  Shareable across domains; all
+    mutation happens in per-domain {!state} values. *)
+
+type state
+(** Per-domain execution state: evidence slots, arena buffers, odometer
+    scratch, and the 1-cell result.  Never share one across domains. *)
+
+val compile :
+  factors:Selest_prob.Factor.t list ->
+  slots:int list ->
+  static:(int * int) list ->
+  order:int list ->
+  program
+(** [compile ~factors ~slots ~static ~order] lowers the elimination of
+    [order]'s variables from [factors] under evidence on
+    [slots @ List.map fst static].  [slots] are per-request variables
+    (bound by {!load}); [static] fixes variables to compile-time values
+    (the plan's join indicators).  Buffers alias the factors' live
+    tables where possible ({!Selest_prob.Factor.unsafe_data}), so the
+    factors must outlive the program.  Raises [Invalid_argument] if a
+    slot variable appears in no factor, is duplicated, or a static value
+    is out of range. *)
+
+val state_for : program -> state
+(** The calling domain's state for this program, created on first use
+    and cached in domain-local storage.  Warm calls allocate nothing. *)
+
+val load :
+  program ->
+  state ->
+  (int * Selest_db.Query.pred) list ->
+  [ `Ok | `No_match | `Contradiction ]
+(** Write the binding's values into the state's evidence slots.
+    [`Ok]: every slot bound, ready to {!run}.  [`No_match]: the binding
+    does not fit this program (a non-[Eq] predicate, an unknown node, or
+    an unbound slot) — the caller should fall back to another program or
+    the generic path.  [`Contradiction]: two different values for one
+    slot; the event is empty and the estimate is [0.0] {e without}
+    touching any buffer.  Values are range-checked in binding order with
+    the same [Invalid_argument] as [Ve.prepare], and — like the generic
+    engine — the contradiction verdict is only delivered after the whole
+    binding has been validated.  Warm calls allocate nothing. *)
+
+val run : state -> unit
+(** Execute the loaded program: gathers, contractions, read-out.  The
+    scalar lands in {!result}.  Must follow a [`Ok] {!load} on the same
+    state.  Allocates nothing. *)
+
+val result : state -> float
+(** The scalar produced by the last {!run}. *)
+
+(** {2 Introspection} *)
+
+val n_steps : program -> int
+(** Step count (gathers + contractions). *)
+
+val arena_entries : program -> int
+(** Total float entries across the program's arena buffers (the arena
+    footprint of one state, excluding aliased factor tables). *)

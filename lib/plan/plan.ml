@@ -1,3 +1,7 @@
+(* Bind the library-internal bytecode executor before [open Selest_db]
+   shadows the name with the database executor. *)
+module Bytecode = Exec
+
 open Selest_db
 open Selest_bn
 module Model = Selest_prm.Model
@@ -139,6 +143,11 @@ type t = {
   node_names : string array;  (* node id -> "tv.Attr" / "tv.fk=ptv" *)
   join_evidence : binding;  (* every closure join indicator = true *)
   schedules : (string, sched_entry) Hashtbl.t;
+  (* Compiled bytecode programs, one per restricted-variable set (same
+     key space as [schedules]).  The immutable assoc list is scanned
+     lock-free on the hot path — [Bytecode.load] itself is the key test —
+     and replaced under [mutex] on a miss. *)
+  mutable programs : (string * Bytecode.program) list;
   mutex : Mutex.t;
   mutable hits : int;
   mutable misses : int;
@@ -255,14 +264,131 @@ let schedule_stats t =
   Mutex.unlock t.mutex;
   r
 
+(* ---- compiled bytecode programs --------------------------------------------- *)
+
+(* The hot-path eligibility tests are top-level recursions (not closures)
+   so a warm execute allocates nothing while routing. *)
+let rec binding_all_eq = function
+  | [] -> true
+  | (_, Query.Eq _) :: rest -> binding_all_eq rest
+  | _ :: _ -> false
+
+(* A binding that names a join indicator explicitly would collide with
+   the program's static slots; leave that (unusual) shape to the generic
+   engine. *)
+let rec no_join_nodes join_ev = function
+  | [] -> true
+  | (v, _) :: rest -> (not (List.mem_assoc v join_ev)) && no_join_nodes join_ev rest
+
+let binding_restricted t binding =
+  List.sort_uniq compare (List.map fst binding @ List.map fst t.join_evidence)
+
+let program_add t key prog =
+  Mutex.lock t.mutex;
+  let r =
+    match List.assoc_opt key t.programs with
+    | Some existing -> existing
+    | None ->
+      t.programs <- (key, prog) :: t.programs;
+      prog
+  in
+  Mutex.unlock t.mutex;
+  r
+
+let program_for t binding =
+  if not (binding_all_eq binding && no_join_nodes t.join_evidence binding) then
+    None
+  else begin
+    let key = sched_key (binding_restricted t binding) in
+    Mutex.lock t.mutex;
+    let existing = List.assoc_opt key t.programs in
+    Mutex.unlock t.mutex;
+    match existing with
+    | Some prog -> Some prog
+    | None -> (
+      (* Compile the program for this binding's restricted-variable set
+         against the memoized schedule.  A contradictory binding has no
+         schedule to lower — execute answers 0 without one. *)
+      match Ve.prepare t.factors (binding @ t.join_evidence) with
+      | None -> None
+      | Some prep ->
+        let sched = schedule_of t ~count:false prep in
+        let static =
+          List.map
+            (fun (node, pred) ->
+              match pred with Query.Eq x -> (node, x) | _ -> assert false)
+            t.join_evidence
+        in
+        let slots =
+          List.filter
+            (fun v -> not (List.mem_assoc v t.join_evidence))
+            (binding_restricted t binding)
+        in
+        let prog =
+          Bytecode.compile ~factors:t.factors ~slots ~static
+            ~order:sched.Ve.Schedule.order
+        in
+        Some (program_add t key prog))
+  end
+
 (* ---- compile / bind / execute ---------------------------------------------- *)
 
-let execute t binding =
+let execute_generic t binding =
   match Ve.prepare t.factors (binding @ t.join_evidence) with
   | None -> 0.0 (* contradictory binding: the event is empty *)
   | Some prep ->
     let sched = schedule_of t ~count:true prep in
     Ve.run prep ~order:sched.Ve.Schedule.order
+
+let count_hit t =
+  Selest_obs.Hotpath.order_hit ();
+  Mutex.lock t.mutex;
+  t.hits <- t.hits + 1;
+  Mutex.unlock t.mutex
+
+let count_miss t =
+  Selest_obs.Hotpath.order_miss ();
+  Mutex.lock t.mutex;
+  t.misses <- t.misses + 1;
+  Mutex.unlock t.mutex
+
+(* No program matched the binding: compile one for its restricted set
+   (counted as a memo miss, like a fresh schedule), then run it. *)
+let execute_slow t binding =
+  match program_for t binding with
+  | None -> 0.0 (* contradictory binding: the event is empty *)
+  | Some prog -> (
+    count_miss t;
+    let st = Bytecode.state_for prog in
+    match Bytecode.load prog st binding with
+    | `Ok ->
+      Bytecode.run st;
+      Bytecode.result st
+    | `Contradiction -> 0.0
+    | `No_match -> execute_generic t binding (* unreachable safety net *))
+
+let rec execute_scan t binding progs =
+  match progs with
+  | [] -> execute_slow t binding
+  | (_, prog) :: rest -> (
+    let st = Bytecode.state_for prog in
+    match Bytecode.load prog st binding with
+    | `Ok ->
+      count_hit t;
+      Bytecode.run st;
+      Bytecode.result st
+    | `Contradiction -> 0.0 (* empty event; no buffer was touched *)
+    | `No_match -> execute_scan t binding rest)
+
+let execute t binding =
+  if
+    (* a per-request collect (EXPLAIN) needs the ve.* stage spans only
+       the generic engine emits; a global trace log keeps the fast path *)
+    Selest_obs.Span.collecting ()
+    || (not (binding_all_eq binding))
+    || not (no_join_nodes t.join_evidence binding)
+  then execute_generic t binding
+  else execute_scan t binding t.programs
 
 let estimate t ~sizes q = execute t (bind t q) *. scale t ~sizes
 
@@ -385,18 +511,23 @@ let compile prm q =
           node_names;
           join_evidence;
           schedules = Hashtbl.create 4;
+          programs = [];
           mutex = Mutex.create ();
           hits = 0;
           misses = 0;
         }
       in
-      (* Seed the schedule memo with the compile query's own binding
-         shape, so the first execute of the skeleton's common form is
-         already a memo hit.  A contradictory compile query has nothing
-         to schedule (execute answers 0 without eliminating). *)
-      (match Ve.prepare t.factors (bind t q @ t.join_evidence) with
+      (* Seed the schedule memo — and the compiled bytecode program —
+         with the compile query's own binding shape, so the first
+         execute of the skeleton's common form is already a memo hit on
+         the zero-allocation fast path.  A contradictory compile query
+         has nothing to schedule (execute answers 0 without
+         eliminating). *)
+      let b0 = bind t q in
+      (match Ve.prepare t.factors (b0 @ t.join_evidence) with
       | Some prep -> ignore (schedule_of t ~count:false prep)
       | None -> ());
+      ignore (program_for t b0);
       t)
 
 (* ---- pretty-printing -------------------------------------------------------- *)

@@ -66,6 +66,8 @@ let vars t = Array.copy t.vars
 let cards t = Array.copy t.cards
 let size t = Array.length t.data
 let data t = Array.copy t.data
+let unsafe_data t = t.data
+let strides_of t = strides t.cards
 
 let index_of t asg =
   let s = strides t.cards in

@@ -47,6 +47,18 @@ val size : t -> int
 val data : t -> float array
 (** The underlying table (a copy). *)
 
+val unsafe_data : t -> float array
+(** The {e live} underlying table — no copy.  The array aliases the
+    factor's storage: writing to it corrupts the factor, and for factors
+    built on {!scratch} buffers it aliases pool memory.  Intended for
+    compiled executors ({!Selest_plan.Exec}) that read factor tables in
+    place to avoid per-request allocation. *)
+
+val strides_of : t -> int array
+(** Row-major strides of the factor's table, last variable fastest:
+    [strides_of f].(i) is the index step when [vars f].(i) advances by
+    one.  A fresh array per call. *)
+
 val get : t -> int array -> float
 (** [get f asg]: value at the assignment given in [vars f] order. *)
 

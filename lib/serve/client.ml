@@ -31,6 +31,36 @@ let request t line =
     done;
     Buffer.contents buf
 
+let upgrade t =
+  output_string t.oc Protocol.Bin.hello;
+  output_char t.oc '\n';
+  flush t.oc;
+  let resp = input_line t.ic in
+  if resp <> Protocol.Bin.hello_ok then
+    failwith ("binary upgrade refused: " ^ resp)
+
+let bin_request t req =
+  Protocol.Bin.write_frame t.oc (Protocol.Bin.encode_request req);
+  match Protocol.Bin.read_frame t.ic with
+  | `Eof -> raise End_of_file
+  | `Oversized len -> failwith (Printf.sprintf "bin: oversized response frame (%d)" len)
+  | `Frame payload -> (
+    match Protocol.Bin.decode_response payload with
+    | Ok r -> r
+    | Error msg -> failwith ("bin: bad response frame: " ^ msg))
+
+let est_bin t ?model body =
+  match bin_request t (Protocol.Bin.Best { model; body }) with
+  | Protocol.Bin.Bvalue v -> Ok v
+  | Protocol.Bin.Berr msg -> Error msg
+  | Protocol.Bin.Bvalues _ -> Error "bin: unexpected batch response to EST"
+
+let estbatch_bin t ?model bodies =
+  match bin_request t (Protocol.Bin.Bestbatch { model; bodies }) with
+  | Protocol.Bin.Bvalues vs -> Ok vs
+  | Protocol.Bin.Berr msg -> Error msg
+  | Protocol.Bin.Bvalue _ -> Error "bin: unexpected single response to ESTBATCH"
+
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
 let with_connection ?retries ~socket f =

@@ -19,6 +19,21 @@ val request : t -> string -> string
     and return the whole newline-joined text.  Raises [End_of_file] if
     the server hangs up first. *)
 
+val upgrade : t -> unit
+(** Switch the connection to the binary frame protocol: send the [BIN]
+    hello, expect [OK bin].  After a successful upgrade only {!est_bin}
+    and {!estbatch_bin} may be used on this connection.  Raises
+    [Failure] if the server answers anything else. *)
+
+val est_bin : t -> ?model:string -> string -> (float, string) result
+(** One [EST] over binary frames (after {!upgrade}): the query body in a
+    request frame, the estimate back as IEEE-754 bits — no text
+    formatting on either side. *)
+
+val estbatch_bin : t -> ?model:string -> string list -> (float list, string) result
+(** One [ESTBATCH] over binary frames: estimates in request order, or
+    the server's first error. *)
+
 val close : t -> unit
 
 val with_connection : ?retries:int -> socket:string -> (t -> 'a) -> 'a

@@ -184,3 +184,171 @@ let stats_field response key =
          | Some i when String.sub pair 0 i = key ->
            Some (String.sub pair (i + 1) (String.length pair - i - 1))
          | _ -> None)
+
+(* ---- binary wire frames ---------------------------------------------------- *)
+
+module Bin = struct
+  let hello = "BIN"
+  let hello_ok = "OK bin"
+  let max_frame = 1 lsl 24 (* 16 MiB — far above any legitimate batch *)
+
+  type brequest =
+    | Best of { model : string option; body : string }
+    | Bestbatch of { model : string option; bodies : string list }
+
+  type bresponse =
+    | Bvalue of float
+    | Bvalues of float list
+    | Berr of string
+
+  let op_est = 1
+  let op_estbatch = 2
+  let op_value = 0
+  let op_values = 1
+  let op_err = 2
+
+  let model_string = function None -> "" | Some m -> m
+  let model_of_string = function "" -> None | m -> Some m
+
+  (* Every encoder emits the complete frame: a u32 big-endian payload
+     length followed by the payload. *)
+  let frame payload_of =
+    let body = Buffer.create 64 in
+    payload_of body;
+    let len = Buffer.length body in
+    if len > max_frame then invalid_arg "Protocol.Bin: frame too large";
+    let out = Buffer.create (len + 4) in
+    Buffer.add_int32_be out (Int32.of_int len);
+    Buffer.add_buffer out body;
+    Buffer.contents out
+
+  let add_model buf model =
+    let m = model_string model in
+    if String.length m > 0xffff then invalid_arg "Protocol.Bin: model name too long";
+    Buffer.add_uint16_be buf (String.length m);
+    Buffer.add_string buf m
+
+  let encode_request = function
+    | Best { model; body } ->
+      frame (fun buf ->
+          Buffer.add_uint8 buf op_est;
+          add_model buf model;
+          Buffer.add_string buf body)
+    | Bestbatch { model; bodies } ->
+      if List.length bodies > 0xffff then
+        invalid_arg "Protocol.Bin: too many batch bodies";
+      frame (fun buf ->
+          Buffer.add_uint8 buf op_estbatch;
+          add_model buf model;
+          Buffer.add_uint16_be buf (List.length bodies);
+          List.iter
+            (fun b ->
+              Buffer.add_int32_be buf (Int32.of_int (String.length b));
+              Buffer.add_string buf b)
+            bodies)
+
+  let encode_response = function
+    | Bvalue v ->
+      frame (fun buf ->
+          Buffer.add_uint8 buf op_value;
+          Buffer.add_int64_be buf (Int64.bits_of_float v))
+    | Bvalues vs ->
+      if List.length vs > 0xffff then
+        invalid_arg "Protocol.Bin: too many batch values";
+      frame (fun buf ->
+          Buffer.add_uint8 buf op_values;
+          Buffer.add_uint16_be buf (List.length vs);
+          List.iter (fun v -> Buffer.add_int64_be buf (Int64.bits_of_float v)) vs)
+    | Berr msg ->
+      frame (fun buf ->
+          Buffer.add_uint8 buf op_err;
+          Buffer.add_string buf msg)
+
+  (* Decoders are total: every read is bounds-checked, so truncated or
+     garbage payloads come back as [Error] — never an exception.  The
+     payload is the frame body, length prefix already stripped. *)
+
+  let read_u16 b off =
+    if off + 2 <= Bytes.length b then Some (Bytes.get_uint16_be b off) else None
+
+  let read_u32 b off =
+    if off + 4 <= Bytes.length b then
+      Some (Int32.to_int (Bytes.get_int32_be b off) land 0xffffffff)
+    else None
+
+  let decode_request b =
+    let n = Bytes.length b in
+    if n < 1 then Error "bin: empty request frame"
+    else
+      let op = Bytes.get_uint8 b 0 in
+      match read_u16 b 1 with
+      | None -> Error "bin: truncated model length"
+      | Some mlen ->
+        if 3 + mlen > n then Error "bin: truncated model name"
+        else
+          let model = model_of_string (Bytes.sub_string b 3 mlen) in
+          let off = 3 + mlen in
+          if op = op_est then Ok (Best { model; body = Bytes.sub_string b off (n - off) })
+          else if op = op_estbatch then (
+            match read_u16 b off with
+            | None -> Error "bin: truncated body count"
+            | Some count ->
+              let rec bodies acc off k =
+                if k = 0 then
+                  if off = n then Ok (List.rev acc)
+                  else Error "bin: trailing bytes after batch bodies"
+                else
+                  match read_u32 b off with
+                  | None -> Error "bin: truncated body length"
+                  | Some blen ->
+                    if blen > n - (off + 4) then Error "bin: truncated body"
+                    else
+                      bodies
+                        (Bytes.sub_string b (off + 4) blen :: acc)
+                        (off + 4 + blen) (k - 1)
+              in
+              match bodies [] (off + 2) count with
+              | Ok bodies -> Ok (Bestbatch { model; bodies })
+              | Error _ as e -> e)
+          else Error (Printf.sprintf "bin: unknown request opcode %d" op)
+
+  let decode_response b =
+    let n = Bytes.length b in
+    if n < 1 then Error "bin: empty response frame"
+    else
+      let op = Bytes.get_uint8 b 0 in
+      if op = op_value then
+        if n <> 9 then Error "bin: bad value frame length"
+        else Ok (Bvalue (Int64.float_of_bits (Bytes.get_int64_be b 1)))
+      else if op = op_values then (
+        match read_u16 b 1 with
+        | None -> Error "bin: truncated value count"
+        | Some count ->
+          if n <> 3 + (8 * count) then Error "bin: bad values frame length"
+          else
+            let rec values acc k =
+              if k < 0 then acc
+              else values (Int64.float_of_bits (Bytes.get_int64_be b (3 + (8 * k))) :: acc) (k - 1)
+            in
+            Ok (Bvalues (values [] (count - 1))))
+      else if op = op_err then Ok (Berr (Bytes.sub_string b 1 (n - 1)))
+      else Error (Printf.sprintf "bin: unknown response opcode %d" op)
+
+  (* Channel framing.  [read_frame] distinguishes a clean EOF (no more
+     frames) from an oversized/negative length announcement, which is
+     unrecoverable — the stream can no longer be resynchronized. *)
+  let read_frame ic =
+    match really_input_string ic 4 with
+    | exception End_of_file -> `Eof
+    | hdr ->
+      let len = Int32.to_int (String.get_int32_be hdr 0) land 0xffffffff in
+      if len > max_frame then `Oversized len
+      else (
+        match really_input_string ic len with
+        | exception End_of_file -> `Eof
+        | payload -> `Frame (Bytes.of_string payload))
+
+  let write_frame oc encoded =
+    output_string oc encoded;
+    flush oc
+end

@@ -67,7 +67,16 @@
     [METRICS] is the one multi-line response: a header line
     [OK lines=<k>] followed by [k] raw lines of Prometheus text
     exposition ({!Selest_obs.Prometheus}).  {!extra_lines} tells a
-    line-oriented client how much to read after any response header. *)
+    line-oriented client how much to read after any response header.
+
+    {2 Binary upgrade}
+
+    A client may send the text line [BIN] as its {e first} (or any)
+    request; the server answers [OK bin] and the connection switches to
+    length-prefixed binary frames ({!Bin}) for the rest of its life —
+    [EST] and [ESTBATCH] only, no float formatting or line parsing on
+    the hot path.  The text protocol is unchanged for clients that never
+    upgrade. *)
 
 type request =
   | Ping
@@ -122,3 +131,67 @@ val payload : string -> string
 val stats_field : string -> string -> string option
 (** [stats_field response key]: the value of [key=...] in a [STATS]
     response payload. *)
+
+(** Length-prefixed binary frames for the estimation hot path.
+
+    Wire format (all integers big-endian):
+
+    {v
+    frame    := u32 payload-length, payload        (length <= 16 MiB)
+
+    request  := 0x01 u16 model-len, model, body          (EST)
+              | 0x02 u16 model-len, model,
+                     u16 count, { u32 body-len, body }*  (ESTBATCH)
+
+    response := 0x00 f64                                 (OK estimate)
+              | 0x01 u16 count, f64*                     (OK batch)
+              | 0x02 utf-8 message                       (ERR)
+    v}
+
+    A zero-length model name selects the server's default model (the
+    text protocol's missing [@model]).  Query bodies are the same
+    textual syntax as [EST] — only the framing and the floats are
+    binary, so estimates cross the wire losslessly as IEEE-754 bits
+    instead of [%.17g] text.  Decoders are total: truncated or garbage
+    payloads yield [Error], never an exception. *)
+module Bin : sig
+  val hello : string
+  (** ["BIN"] — the text line that upgrades a connection. *)
+
+  val hello_ok : string
+  (** ["OK bin"] — the server's acknowledgement, sent as a text line. *)
+
+  val max_frame : int
+  (** Maximum payload length accepted or produced (16 MiB). *)
+
+  type brequest =
+    | Best of { model : string option; body : string }
+    | Bestbatch of { model : string option; bodies : string list }
+
+  type bresponse =
+    | Bvalue of float
+    | Bvalues of float list  (** In request order, like [ESTBATCH]. *)
+    | Berr of string
+
+  val encode_request : brequest -> string
+  (** The complete frame, length prefix included.  Raises
+      [Invalid_argument] past the format's limits (model > 64 KiB - 1,
+      more than 65535 bodies, frame > {!max_frame}). *)
+
+  val decode_request : bytes -> (brequest, string) result
+  (** Parse a request payload (prefix already stripped).  Total. *)
+
+  val encode_response : bresponse -> string
+
+  val decode_response : bytes -> (bresponse, string) result
+
+  val read_frame :
+    in_channel -> [ `Frame of bytes | `Eof | `Oversized of int ]
+  (** Read one length-prefixed frame.  [`Eof] on a clean end of stream
+      (including mid-frame truncation); [`Oversized] when the announced
+      length exceeds {!max_frame} — the stream cannot be resynchronized
+      and should be closed. *)
+
+  val write_frame : out_channel -> string -> unit
+  (** Write an encoded frame and flush. *)
+end

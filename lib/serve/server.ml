@@ -168,31 +168,37 @@ let infer_measured t ~name ~(entry : Registry.entry) ~key q =
     Ok (estimate, d, plan, status)
   | exception exn -> Error (Printexc.to_string exn)
 
-let handle_est t ~model ~body =
-  Obs.Span.with_ "est" (fun _ ->
-      match resolve_model t model with
-      | Error msg ->
-        Metrics.incr t.metrics "est_errors";
-        Protocol.err msg
-      | Ok (name, e) -> (
-        match parse_query t body with
+(* The transport-free EST core shared by the text handler and the binary
+   frame handler: resolve, parse, cache probe, measured inference.  Bumps
+   [est_errors] on every failure; the caller formats the result. *)
+let est_core t ~model ~body =
+  match resolve_model t model with
+  | Error msg ->
+    Metrics.incr t.metrics "est_errors";
+    Error msg
+  | Ok (name, e) -> (
+    match parse_query t body with
+    | Error msg ->
+      Metrics.incr t.metrics "est_errors";
+      Error msg
+    | Ok q -> (
+      let key = cache_key name e q in
+      match Obs.Span.with_ "est.cache" (fun _ -> Lru.find t.cache key) with
+      | Some estimate -> Ok estimate
+      | None -> (
+        match infer_measured t ~name ~entry:e ~key q with
+        | Ok (estimate, _, _, _) -> Ok estimate
         | Error msg ->
           Metrics.incr t.metrics "est_errors";
-          Protocol.err msg
-        | Ok q -> (
-          let key = cache_key name e q in
-          match Obs.Span.with_ "est.cache" (fun _ -> Lru.find t.cache key) with
-          | Some estimate ->
-            Obs.Span.with_ "est.respond" (fun _ ->
-                Protocol.ok (Printf.sprintf "%.17g" estimate))
-          | None -> (
-            match infer_measured t ~name ~entry:e ~key q with
-            | Ok (estimate, _, _, _) ->
-              Obs.Span.with_ "est.respond" (fun _ ->
-                  Protocol.ok (Printf.sprintf "%.17g" estimate))
-            | Error msg ->
-              Metrics.incr t.metrics "est_errors";
-              Protocol.err msg))))
+          Error msg)))
+
+let handle_est t ~model ~body =
+  Obs.Span.with_ "est" (fun _ ->
+      match est_core t ~model ~body with
+      | Ok estimate ->
+        Obs.Span.with_ "est.respond" (fun _ ->
+            Protocol.ok (Printf.sprintf "%.17g" estimate))
+      | Error msg -> Protocol.err msg)
 
 (* ESTBATCH: parse and cache-probe every body on the dispatcher thread,
    fan only the distinct cache misses across the domain pool, then answer
@@ -215,11 +221,13 @@ let effective_pool_size t =
    the parallel inference work — stay on the dispatcher thread. *)
 let batch_chunk_threshold = 8
 
-let handle_estbatch t ~model ~bodies =
+(* Transport-free like [est_core]: answers in request order, or the
+   first failure as [Error]. *)
+let estbatch_core t ~model ~bodies =
   match resolve_model t model with
   | Error msg ->
     Metrics.incr t.metrics "est_errors";
-    Protocol.err msg
+    Error msg
   | Ok (name, e) -> (
     let parsed =
       List.mapi
@@ -235,7 +243,7 @@ let handle_estbatch t ~model ~bodies =
     with
     | Some msg ->
       Metrics.incr t.metrics "est_errors";
-      Protocol.err msg
+      Error msg
     | None -> (
       let keyed =
         List.map (function Ok kq -> kq | Error _ -> assert false) parsed
@@ -276,7 +284,7 @@ let handle_estbatch t ~model ~bodies =
       with
       | exception exn ->
         Metrics.incr t.metrics "est_errors";
-        Protocol.err (Printexc.to_string exn)
+        Error (Printexc.to_string exn)
       | computed ->
         List.iter
           (fun (key, v, d) ->
@@ -286,16 +294,19 @@ let handle_estbatch t ~model ~bodies =
           computed;
         let fresh = Hashtbl.create 16 in
         List.iter (fun (key, v, _) -> Hashtbl.replace fresh key v) computed;
-        let answers =
-          List.map
-            (fun (key, _) ->
-              match Lru.find t.cache key with
-              | Some v -> v
-              | None -> Hashtbl.find fresh key)
-            keyed
-        in
-        Protocol.ok
-          (String.concat " " (List.map (Printf.sprintf "%.17g") answers))))
+        Ok
+          (List.map
+             (fun (key, _) ->
+               match Lru.find t.cache key with
+               | Some v -> v
+               | None -> Hashtbl.find fresh key)
+             keyed)))
+
+let handle_estbatch t ~model ~bodies =
+  match estbatch_core t ~model ~bodies with
+  | Ok answers ->
+    Protocol.ok (String.concat " " (List.map (Printf.sprintf "%.17g") answers))
+  | Error msg -> Protocol.err msg
 
 (* ---- EXPLAIN ---------------------------------------------------------------
 
@@ -683,13 +694,66 @@ let handle_line t line =
   | Ok Protocol.Metrics -> (respond (handle_metrics t), `Continue)
   | Ok Protocol.Shutdown -> (respond (Protocol.ok "bye"), `Stop)
 
+(* One binary frame, transport-free: decode, dispatch to the shared EST
+   cores, encode.  Same request/latency/error accounting as
+   [handle_line], minus the text formatting. *)
+let handle_frame t payload =
+  Metrics.incr t.metrics "requests";
+  let t0 = Obs.Clock.now_ns () in
+  let respond r =
+    Metrics.observe t.metrics (float_of_int (Obs.Clock.now_ns () - t0) /. 1e9);
+    Protocol.Bin.encode_response r
+  in
+  match Protocol.Bin.decode_request payload with
+  | Error msg ->
+    Metrics.incr t.metrics "protocol_errors";
+    respond (Protocol.Bin.Berr msg)
+  | Ok (Protocol.Bin.Best { model; body }) -> (
+    Metrics.incr t.metrics "est_requests";
+    match Obs.Span.with_ "est" (fun _ -> est_core t ~model ~body) with
+    | Ok estimate -> respond (Protocol.Bin.Bvalue estimate)
+    | Error msg -> respond (Protocol.Bin.Berr msg))
+  | Ok (Protocol.Bin.Bestbatch { model; bodies }) -> (
+    Metrics.incr t.metrics "estbatch_requests";
+    List.iter (fun _ -> Metrics.incr t.metrics "est_requests") bodies;
+    match estbatch_core t ~model ~bodies with
+    | Ok answers -> respond (Protocol.Bin.Bvalues answers)
+    | Error msg -> respond (Protocol.Bin.Berr msg))
+
 (* ---- socket loop ----------------------------------------------------------- *)
+
+(* After the BIN hello the connection speaks length-prefixed frames until
+   EOF.  An oversized length announcement cannot be resynchronized, so it
+   is answered and the connection dropped. *)
+let serve_binary t ic oc running =
+  let conn_open = ref true in
+  while !conn_open && !running do
+    match Protocol.Bin.read_frame ic with
+    | `Eof -> conn_open := false
+    | `Oversized len ->
+      Metrics.incr t.metrics "protocol_errors";
+      Protocol.Bin.write_frame oc
+        (Protocol.Bin.encode_response
+           (Protocol.Bin.Berr
+              (Printf.sprintf "bin: frame length %d exceeds %d" len
+                 Protocol.Bin.max_frame)));
+      conn_open := false
+    | `Frame payload -> Protocol.Bin.write_frame oc (handle_frame t payload)
+  done
 
 let serve_connection t ic oc running =
   let conn_open = ref true in
   while !conn_open && !running do
     match input_line ic with
     | exception End_of_file -> conn_open := false
+    | line when String.uppercase_ascii (String.trim line) = Protocol.Bin.hello ->
+      (* Upgrade: acknowledge in text, then switch framing for the rest
+         of the connection.  The hello itself is not a counted request. *)
+      output_string oc Protocol.Bin.hello_ok;
+      output_char oc '\n';
+      flush oc;
+      serve_binary t ic oc running;
+      conn_open := false
     | line ->
       let response, action = handle_line t line in
       output_string oc response;

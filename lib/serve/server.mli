@@ -110,6 +110,15 @@ val handle_line : t -> string -> string * [ `Continue | `Stop ]
     [EXPLAINPLAN], which return the [OK lines=<k>] multi-line frame
     ({!Protocol.extra_lines}). *)
 
+val handle_frame : t -> bytes -> string
+(** Dispatch one binary request payload ({!Protocol.Bin}, length prefix
+    already stripped) to one encoded response frame.  The binary twin of
+    {!handle_line} for [EST]/[ESTBATCH], sharing its request, latency and
+    error accounting — exposed transport-free for the same reason.  A
+    connection enters binary mode by sending the text line [BIN], which
+    {!run}'s connection loop answers with [OK bin] before switching to
+    length-prefixed frames until EOF. *)
+
 val shutdown_pool : t -> unit
 (** Stop and join the worker domains (if any were spawned).  {!run} calls
     this on exit; transport-free users ({!handle_line}) that issued

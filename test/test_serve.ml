@@ -530,6 +530,191 @@ let test_socket_round_trip () =
           Alcotest.(check string) "shutdown" "OK bye" (Client.request c "SHUTDOWN")));
   Alcotest.(check bool) "socket removed after join" false (Sys.file_exists socket)
 
+(* ---- binary frames (Protocol.Bin) ------------------------------------------------- *)
+
+(* The decoders promise totality: any byte string comes back Ok or Error,
+   never an exception.  Fuzz that promise directly. *)
+let prop_bin_decode_total =
+  QCheck2.Test.make ~name:"decoders never raise on garbage" ~count:500
+    QCheck2.Gen.string (fun s ->
+      let b = Bytes.of_string s in
+      (match Protocol.Bin.decode_request b with Ok _ | Error _ -> ());
+      (match Protocol.Bin.decode_response b with Ok _ | Error _ -> ());
+      true)
+
+let gen_model_name =
+  QCheck2.Gen.(
+    oneof
+      [
+        return None;
+        (* Some "" is indistinguishable from None on the wire, by design *)
+        (string_size (int_range 1 8) >|= fun s -> Some s);
+      ])
+
+let strip_prefix frame = Bytes.of_string (String.sub frame 4 (String.length frame - 4))
+
+let prop_bin_request_roundtrip =
+  let gen =
+    QCheck2.Gen.(
+      let* model = gen_model_name in
+      oneof
+        [
+          (string >|= fun body -> Protocol.Bin.Best { model; body });
+          ( list_size (int_range 0 5) string >|= fun bodies ->
+            Protocol.Bin.Bestbatch { model; bodies } );
+        ])
+  in
+  QCheck2.Test.make ~name:"request encode ∘ decode = id" ~count:300 gen (fun req ->
+      Protocol.Bin.decode_request (strip_prefix (Protocol.Bin.encode_request req))
+      = Ok req)
+
+let prop_bin_response_roundtrip =
+  let gen =
+    QCheck2.Gen.(
+      oneof
+        [
+          (float >|= fun v -> Protocol.Bin.Bvalue v);
+          (list_size (int_range 0 5) float >|= fun vs -> Protocol.Bin.Bvalues vs);
+          (string >|= fun msg -> Protocol.Bin.Berr msg);
+        ])
+  in
+  (* compare through IEEE bits so NaN payloads round-trip too *)
+  let same a b =
+    match (a, b) with
+    | Protocol.Bin.Bvalue x, Protocol.Bin.Bvalue y ->
+      Int64.bits_of_float x = Int64.bits_of_float y
+    | Protocol.Bin.Bvalues xs, Protocol.Bin.Bvalues ys ->
+      List.length xs = List.length ys
+      && List.for_all2 (fun x y -> Int64.bits_of_float x = Int64.bits_of_float y) xs ys
+    | Protocol.Bin.Berr x, Protocol.Bin.Berr y -> x = y
+    | _ -> false
+  in
+  QCheck2.Test.make ~name:"response encode ∘ decode = id" ~count:300 gen (fun resp ->
+      match
+        Protocol.Bin.decode_response (strip_prefix (Protocol.Bin.encode_response resp))
+      with
+      | Ok r -> same r resp
+      | Error _ -> false)
+
+(* A batch request's payload is fully length-described, so every strict
+   prefix must decode to Error — a truncated frame can never silently
+   shrink into a smaller valid batch. *)
+let prop_bin_batch_truncation =
+  let gen =
+    QCheck2.Gen.(
+      let* model = gen_model_name in
+      let* bodies = list_size (int_range 0 4) (string_size (int_range 0 12)) in
+      return (Protocol.Bin.Bestbatch { model; bodies }))
+  in
+  QCheck2.Test.make ~name:"truncated batch payload ⇒ Error" ~count:200 gen
+    (fun req ->
+      let payload = strip_prefix (Protocol.Bin.encode_request req) in
+      let n = Bytes.length payload in
+      let ok = ref true in
+      for k = 0 to n - 1 do
+        match Protocol.Bin.decode_request (Bytes.sub payload 0 k) with
+        | Ok _ -> ok := false
+        | Error _ -> ()
+      done;
+      !ok)
+
+let test_server_bin_frames () =
+  let db0 = Lazy.force db in
+  let server = Server.create ~db:db0 ~socket:"(test: unused)" () in
+  ignore (Registry.register (Server.registry server) ~name:"default" (Lazy.force model));
+  let body = "c=contact, p=patient ; c.patient=p ; p.USBorn=1, c.Contype=2" in
+  let ask_bin req =
+    let out = Server.handle_frame server (strip_prefix (Protocol.Bin.encode_request req)) in
+    match Protocol.Bin.decode_response (strip_prefix out) with
+    | Ok r -> r
+    | Error msg -> Alcotest.fail ("undecodable response frame: " ^ msg)
+  in
+  (* binary EST carries the exact bits the text protocol prints *)
+  let text = fst (Server.handle_line server ("EST " ^ body)) in
+  Alcotest.(check bool) "text est ok" true (Protocol.is_ok text);
+  let expected = float_of_string (Protocol.payload text) in
+  (match ask_bin (Protocol.Bin.Best { model = None; body }) with
+  | Protocol.Bin.Bvalue v ->
+    Alcotest.(check int64) "bit-identical to text"
+      (Int64.bits_of_float expected) (Int64.bits_of_float v)
+  | _ -> Alcotest.fail "expected Bvalue");
+  (* batch answers in request order *)
+  (match ask_bin (Protocol.Bin.Bestbatch { model = None; bodies = [ body; body ] }) with
+  | Protocol.Bin.Bvalues [ a; b ] ->
+    Alcotest.(check int64) "batch[0]" (Int64.bits_of_float expected) (Int64.bits_of_float a);
+    Alcotest.(check int64) "batch[1]" (Int64.bits_of_float expected) (Int64.bits_of_float b)
+  | _ -> Alcotest.fail "expected two Bvalues");
+  (* failures stay in-band: bad query and undecodable payload answer Berr *)
+  (match ask_bin (Protocol.Bin.Best { model = None; body = "utter garbage" }) with
+  | Protocol.Bin.Berr _ -> ()
+  | _ -> Alcotest.fail "expected Berr for a bad query");
+  let out = Server.handle_frame server (Bytes.of_string "\xff\x00\x00") in
+  match Protocol.Bin.decode_response (strip_prefix out) with
+  | Ok (Protocol.Bin.Berr _) -> ()
+  | _ -> Alcotest.fail "expected Berr for an unknown opcode"
+
+(* Regression for the compiled fast path: a contradictory all-equality
+   request answers exactly zero without touching the program's evidence
+   slots, so a warm repeat of a valid request must come back bit-identical
+   (cleared LRU forces real re-execution, not a cache echo). *)
+let test_server_bytecode_contradiction_regression () =
+  let db0 = Lazy.force db in
+  let server = Server.create ~db:db0 ~socket:"(test: unused)" () in
+  ignore (Registry.register (Server.registry server) ~name:"default" (Lazy.force model));
+  let ask line = fst (Server.handle_line server line) in
+  let valid = "EST c=contact, p=patient ; c.patient=p ; p.USBorn=1, c.Contype=2" in
+  let warm = ask valid in
+  Alcotest.(check bool) "valid est ok" true (Protocol.is_ok warm);
+  let expected = float_of_string (Protocol.payload warm) in
+  let contra = ask "EST c=contact, p=patient ; c.patient=p ; p.USBorn=0, p.USBorn=1" in
+  Alcotest.(check bool) "contradiction ok, not ERR" true (Protocol.is_ok contra);
+  check_float "contradiction is zero" 0.0 (float_of_string (Protocol.payload contra));
+  Lru.clear (Server.cache server);
+  let again = ask valid in
+  Alcotest.(check int64) "warm repeat unharmed"
+    (Int64.bits_of_float expected)
+    (Int64.bits_of_float (float_of_string (Protocol.payload again)))
+
+let test_bin_socket_round_trip () =
+  let db0 = Lazy.force db in
+  let socket = Filename.temp_file "selest" ".sock" in
+  Sys.remove socket;
+  let server = Server.create ~db:db0 ~socket () in
+  ignore (Registry.register (Server.registry server) ~name:"default" (Lazy.force model));
+  let thread = Thread.create Server.run server in
+  Fun.protect
+    ~finally:(fun () -> Thread.join thread)
+    (fun () ->
+      let body = "c=contact, p=patient ; c.patient=p ; p.USBorn=1, c.Contype=2" in
+      (* text connection first: the reference answer *)
+      let expected =
+        Client.with_connection ~retries:100 ~socket (fun c ->
+            float_of_string (Protocol.payload (Client.request c ("EST " ^ body))))
+      in
+      (* binary connection: upgrade, then frames only *)
+      Client.with_connection ~retries:100 ~socket (fun c ->
+          Client.upgrade c;
+          (match Client.est_bin c body with
+          | Ok v ->
+            Alcotest.(check int64) "est_bin bit-identical"
+              (Int64.bits_of_float expected) (Int64.bits_of_float v)
+          | Error msg -> Alcotest.fail ("est_bin: " ^ msg));
+          (match Client.estbatch_bin c [ body; body ] with
+          | Ok [ a; b ] ->
+            Alcotest.(check int64) "batch[0]" (Int64.bits_of_float expected)
+              (Int64.bits_of_float a);
+            Alcotest.(check int64) "batch[1]" (Int64.bits_of_float expected)
+              (Int64.bits_of_float b)
+          | Ok _ -> Alcotest.fail "estbatch_bin: wrong arity"
+          | Error msg -> Alcotest.fail ("estbatch_bin: " ^ msg));
+          match Client.est_bin c "utter garbage" with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.fail "bad query must answer Berr");
+      (* the server survives binary EOF; shut it down over text *)
+      Client.with_connection ~retries:100 ~socket (fun c ->
+          Alcotest.(check string) "shutdown" "OK bye" (Client.request c "SHUTDOWN")));
+  Alcotest.(check bool) "socket removed after join" false (Sys.file_exists socket)
+
 (* ---- suite ------------------------------------------------------------------------ *)
 
 let () =
@@ -576,5 +761,20 @@ let () =
           Alcotest.test_case "explainplan" `Quick test_server_explainplan;
           Alcotest.test_case "estbatch" `Quick test_server_estbatch;
           Alcotest.test_case "socket round trip" `Quick test_socket_round_trip;
+          Alcotest.test_case "contradiction on the compiled path" `Quick
+            test_server_bytecode_contradiction_regression;
+        ] );
+      ( "bin-properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_bin_decode_total;
+            prop_bin_request_roundtrip;
+            prop_bin_response_roundtrip;
+            prop_bin_batch_truncation;
+          ] );
+      ( "bin",
+        [
+          Alcotest.test_case "handle_frame" `Quick test_server_bin_frames;
+          Alcotest.test_case "binary socket round trip" `Quick test_bin_socket_round_trip;
         ] );
     ]
