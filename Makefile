@@ -33,6 +33,12 @@ bench: build
 # zero-allocation gate (Gc.minor_words delta must be exactly 0 across
 # 10k warm load+run pairs) and binary-frame EST throughput >= text, and
 # emits BENCH_exec.json.
+# The telemetry figure gates the sharded telemetry core: per-request
+# bookkeeping < 5% of a cold EST, merged snapshots bit-exact against a
+# sequential oracle, multi-domain contention scaling (skipped on
+# single-core hosts), HEALTH/SLOWLOG end to end, and its response shape
+# diffed against test/golden/telemetry_golden.txt; emits
+# BENCH_telemetry.json.
 bench-smoke: build
 	dune exec bench/main.exe -- --fig inference
 	@python3 -m json.tool BENCH_inference.json > /dev/null 2>&1 \
@@ -61,6 +67,13 @@ bench-smoke: build
 	@python3 -m json.tool BENCH_exec.json > /dev/null 2>&1 \
 	  && echo "BENCH_exec.json: valid" \
 	  || { echo "BENCH_exec.json: INVALID JSON"; exit 1; }
+	dune exec bench/main.exe -- --fig telemetry
+	@python3 -m json.tool BENCH_telemetry.json > /dev/null 2>&1 \
+	  && echo "BENCH_telemetry.json: valid" \
+	  || { echo "BENCH_telemetry.json: INVALID JSON"; exit 1; }
+	@diff -u test/golden/telemetry_golden.txt BENCH_telemetry_golden.txt \
+	  && echo "telemetry golden: match" \
+	  || { echo "telemetry golden: HEALTH/SLOWLOG shape changed (update test/golden/telemetry_golden.txt if intended)"; exit 1; }
 
 # Smoke-test the estimation service end to end: start a server that learns
 # a PRM over the TB dataset, exercise the whole protocol, shut it down.

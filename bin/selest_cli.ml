@@ -539,13 +539,37 @@ let serve_cmd =
             "Worker domains for ESTBATCH inference (default: number of cores minus \
              one; 0 answers batches inline on the dispatcher).")
   in
+  let slow_quantile_arg =
+    Arg.(
+      value & opt float 0.99
+      & info [ "slow-quantile" ] ~docv:"Q"
+          ~doc:
+            "Latency quantile that sets the slow-log capture threshold: requests \
+             slower than this quantile of the live latency histogram are captured \
+             with their span tree.")
+  in
+  let qerror_gate_arg =
+    Arg.(
+      value & opt float 100.0
+      & info [ "qerror-gate" ] ~docv:"Q"
+          ~doc:"Capture any TRUTH whose q-error reaches $(docv) into the slow-log.")
+  in
+  let slo_p99_arg =
+    Arg.(
+      value & opt float 10_000.0
+      & info [ "slo-p99-us" ] ~docv:"US"
+          ~doc:"Declared p99 latency SLO target in microseconds (HEALTH burn rate).")
+  in
   let run dataset seed scale from_dir budget socket cache_bytes pool_size model_file
-      learn verbose trace =
+      learn slow_quantile qerror_gate slo_p99_us verbose trace =
     setup_logs verbose;
     setup_trace trace;
     Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info));
     let db = make_db dataset ~scale ~seed ~from_dir in
-    let server = Serve.Server.create ~cache_bytes ?pool_size ~db ~socket () in
+    let server =
+      Serve.Server.create ~cache_bytes ?pool_size ~slow_quantile ~qerror_gate
+        ~slo_p99_us ~db ~socket ()
+    in
     (match model_file with
     | Some path ->
       let e = Serve.Registry.load (Serve.Server.registry server) ~name:"default" ~path in
@@ -566,10 +590,12 @@ let serve_cmd =
          "Run the long-lived estimation service on a Unix-domain socket.  Speaks a \
           line protocol: PING, LOAD <name> <path>, EST [@model] <query>, ESTBATCH \
           [@model] <query> || <query> || ..., EXPLAIN [@model] <query>, TRUTH \
-          [@model] <n> <query>, METRICS, STATS, SHUTDOWN.")
+          [@model] <n> <query>, METRICS, STATS, HEALTH, SLOWLOG [<count>], \
+          SHUTDOWN.")
     Term.(
       const run $ dataset_arg $ seed_arg $ scale_arg $ from_dir_arg $ budget_arg
-      $ socket_arg $ cache_arg $ pool_arg $ model_arg $ learn_arg $ verbose_arg
+      $ socket_arg $ cache_arg $ pool_arg $ model_arg $ learn_arg
+      $ slow_quantile_arg $ qerror_gate_arg $ slo_p99_arg $ verbose_arg
       $ trace_arg)
 
 (* ---- ask ------------------------------------------------------------------------- *)
@@ -659,6 +685,63 @@ let ask_cmd =
        ~doc:"Send one request line to a running estimation service and print the reply.")
     Term.(const run $ socket_arg $ retries_arg $ bin_arg $ words_arg)
 
+(* ---- health / slowlog ------------------------------------------------------------ *)
+
+(* Thin verbs over the text protocol — `ask` can send the same lines,
+   but these give the two operator surfaces first-class commands. *)
+
+let client_retries_arg =
+  Arg.(
+    value & opt int 40
+    & info [ "retries" ] ~docv:"N"
+        ~doc:"Connection attempts (50ms apart) while the server starts up.")
+
+let send_and_print ~cmd ~socket ~retries line =
+  match
+    Serve.Client.with_connection ~retries ~socket (fun c ->
+        Serve.Client.request c line)
+  with
+  | response ->
+    print_endline response;
+    if Serve.Protocol.is_err response then exit 1
+  | exception Unix.Unix_error (e, _, _) ->
+    Printf.eprintf "%s: cannot reach server at %s: %s\n" cmd socket
+      (Unix.error_message e);
+    exit 1
+
+let health_cmd =
+  let run socket retries =
+    send_and_print ~cmd:"health" ~socket ~retries "HEALTH"
+  in
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:
+         "Print a running service's SLO report: per-verb latency quantiles \
+          (p50/p95/p99/p999), error-budget burn against the declared latency and \
+          q-error SLOs, cache hit rates, per-model accuracy and slow-log state.")
+    Term.(const run $ socket_arg $ client_retries_arg)
+
+let slowlog_cmd =
+  let n_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "n" ] ~docv:"COUNT" ~doc:"Newest $(docv) entries (default 10).")
+  in
+  let run socket retries n =
+    let line =
+      match n with Some n -> Printf.sprintf "SLOWLOG %d" n | None -> "SLOWLOG"
+    in
+    send_and_print ~cmd:"slowlog" ~socket ~retries line
+  in
+  Cmd.v
+    (Cmd.info "slowlog"
+       ~doc:
+         "Dump a running service's tail-sampled slow-log: requests over the \
+          latency threshold or TRUTHs over the q-error gate, each with its \
+          canonical query and captured span tree.")
+    Term.(const run $ socket_arg $ client_retries_arg $ n_arg)
+
 (* ---- main ------------------------------------------------------------------------ *)
 
 let () =
@@ -669,5 +752,5 @@ let () =
        (Cmd.group info
           [
             gen_cmd; inspect_cmd; learn_cmd; estimate_cmd; compare_cmd; plan_cmd;
-            optimize_cmd; sample_cmd; serve_cmd; ask_cmd;
+            optimize_cmd; sample_cmd; serve_cmd; ask_cmd; health_cmd; slowlog_cmd;
           ]))

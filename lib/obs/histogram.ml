@@ -1,0 +1,166 @@
+(* HDR-style log-bucketed latency histogram over integer nanoseconds.
+
+   Layout: values below [half] (128 ns) get one exact bucket each; above
+   that, each power-of-two octave is split into [half] linear sub-buckets,
+   so a bucket spanning [v, v + 2^s) starts at v >= half * 2^s and the
+   relative quantization error is bounded by 1/half < 0.8%.  The range is
+   capped at [max_ns] (~68.7 s) — far beyond any request this service
+   could answer — giving a fixed 3840-bucket array (~30 KB).
+
+   [record] touches only preallocated integer state (array bump, three
+   int fields): zero heap allocation, no float boxing — safe to call on
+   every request of a hot loop.
+
+   A histogram is owned by one writer; [merge_into] and [diff] build the
+   cross-shard read side.  Cross-domain reads of a live histogram are
+   racy-but-sound: every field is a single word (no tearing), counts are
+   monotone, and [n]/[sum_ns] may momentarily disagree with the bucket
+   array by the few writes in flight. *)
+
+let sub_bits = 7
+let half = 1 lsl sub_bits (* 128 sub-buckets per octave *)
+
+(* Largest representable value: 2^36 - 1 ns ≈ 68.7 s.  Larger samples are
+   clamped into the top bucket. *)
+let max_ns = (1 lsl 36) - 1
+
+(* Octave groups: values < half are group 0; the top group holds msb 35. *)
+let n_groups = 36 - sub_bits + 1
+let n_buckets = n_groups * half
+
+type t = {
+  counts : int array;
+  mutable n : int;
+  mutable sum_ns : int;
+  mutable max_seen : int;
+}
+
+let create () = { counts = Array.make n_buckets 0; n = 0; sum_ns = 0; max_seen = 0 }
+
+let clear t =
+  Array.fill t.counts 0 n_buckets 0;
+  t.n <- 0;
+  t.sum_ns <- 0;
+  t.max_seen <- 0
+
+let index_of_ns v =
+  let v = if v < 0 then 0 else if v > max_ns then max_ns else v in
+  if v < half then v
+  else begin
+    (* shift v down to [half, 2*half); the shift count is the octave *)
+    let x = ref v and s = ref 0 in
+    while !x >= 2 * half do
+      x := !x lsr 1;
+      incr s
+    done;
+    ((!s + 1) * half) + (!x - half)
+  end
+
+let lower_ns i =
+  if i < half then i
+  else
+    let s = (i / half) - 1 and sub = i mod half in
+    (half + sub) lsl s
+
+let upper_ns i =
+  if i < half then i
+  else
+    let s = (i / half) - 1 in
+    lower_ns i + (1 lsl s) - 1
+
+let record t v =
+  let v = if v < 0 then 0 else if v > max_ns then max_ns else v in
+  let i = index_of_ns v in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.n <- t.n + 1;
+  t.sum_ns <- t.sum_ns + v;
+  if v > t.max_seen then t.max_seen <- v
+
+let count t = t.n
+let sum_ns t = t.sum_ns
+let max_ns_seen t = t.max_seen
+
+let mean_ns t = if t.n = 0 then 0.0 else float_of_int t.sum_ns /. float_of_int t.n
+
+let quantile_ns t p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Histogram.quantile_ns: p outside [0,1]";
+  if t.n = 0 then 0
+  else begin
+    let target = max 1 (int_of_float (ceil (p *. float_of_int t.n))) in
+    let seen = ref 0 and answer = ref t.max_seen and i = ref 0 in
+    (try
+       while !i < n_buckets do
+         seen := !seen + t.counts.(!i);
+         if !seen >= target then begin
+           answer := upper_ns !i;
+           raise Exit
+         end;
+         incr i
+       done
+     with Exit -> ());
+    !answer
+  end
+
+(* Count of samples at or below [v] ns — the cumulative side of the SLO
+   burn computation (how many requests met a latency target). *)
+let count_le t v =
+  if v >= t.max_seen && t.n > 0 then t.n
+  else begin
+    let hi = index_of_ns v in
+    let acc = ref 0 in
+    for i = 0 to hi do
+      acc := !acc + t.counts.(i)
+    done;
+    !acc
+  end
+
+let merge_into ~into t =
+  for i = 0 to n_buckets - 1 do
+    into.counts.(i) <- into.counts.(i) + t.counts.(i)
+  done;
+  into.n <- into.n + t.n;
+  into.sum_ns <- into.sum_ns + t.sum_ns;
+  if t.max_seen > into.max_seen then into.max_seen <- t.max_seen
+
+let copy t =
+  let c = create () in
+  merge_into ~into:c t;
+  c
+
+(* Bucket-wise [cur - prev]; both monotone snapshots of the same stream,
+   so the difference is itself a valid histogram (the window's samples).
+   The max is unrecoverable from a subtraction — keep the window upper
+   bound [cur.max_seen]. *)
+let diff ~prev cur =
+  let d = create () in
+  for i = 0 to n_buckets - 1 do
+    d.counts.(i) <- max 0 (cur.counts.(i) - prev.counts.(i))
+  done;
+  d.n <- max 0 (cur.n - prev.n);
+  d.sum_ns <- max 0 (cur.sum_ns - prev.sum_ns);
+  d.max_seen <- cur.max_seen;
+  d
+
+(* Prometheus-ready cumulative buckets, coarsened to octave edges: full
+   sub-bucket resolution (3840 series per histogram) would bloat the text
+   exposition, and dashboards only need log-scale shape.  One bucket per
+   octave group, upper edge in microseconds. *)
+let buckets_us t =
+  let edges = Array.init n_groups (fun g -> upper_ns (((g + 1) * half) - 1)) in
+  let cum = ref 0 and gi = ref 0 in
+  Array.init n_groups (fun g ->
+      let top = ((g + 1) * half) - 1 in
+      while !gi <= top do
+        cum := !cum + t.counts.(!gi);
+        incr gi
+      done;
+      (float_of_int edges.(g) /. 1e3, !cum))
+
+(* Non-empty raw buckets as "index:count,...": the dashboard re-bucketing
+   escape hatch STATS has always exposed. *)
+let nonzero t =
+  let parts = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    if t.counts.(i) > 0 then parts := Printf.sprintf "%d:%d" i t.counts.(i) :: !parts
+  done;
+  match !parts with [] -> "-" | ps -> String.concat "," ps

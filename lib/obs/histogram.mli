@@ -1,0 +1,76 @@
+(** HDR-style log-bucketed histogram over integer nanoseconds.
+
+    Fixed bucket layout spanning 1 ns to ~68.7 s: exact unit buckets
+    below 128 ns, then 128 linear sub-buckets per power-of-two octave, so
+    quantile answers carry at most 1/128 < 0.8% relative quantization
+    error anywhere in the range.  {!record} mutates only preallocated
+    integer state — zero heap allocation, no float boxing — which is what
+    lets every request of a hot loop feed one of these.
+
+    A histogram value is single-writer; the cross-domain read side is
+    {!merge_into} / {!copy} / {!diff} over shard snapshots
+    ({!Telemetry}).  Racy reads of a live histogram never tear (every
+    field is one word) but may lag the writer by the few records in
+    flight; merged values are exact once writers quiesce. *)
+
+type t
+
+val sub_bits : int
+(** Sub-bucket resolution: {!half}[ = 2^sub_bits] linear sub-buckets per
+    octave, bounding relative error by [1/half]. *)
+
+val half : int
+val n_buckets : int
+
+val max_ns : int
+(** Largest representable sample; larger values clamp into the top
+    bucket. *)
+
+val create : unit -> t
+val clear : t -> unit
+
+val record : t -> int -> unit
+(** Record one sample in nanoseconds (clamped to [\[0, max_ns\]]).
+    Zero-allocation. *)
+
+val index_of_ns : int -> int
+(** The bucket holding a value — exposed for tests of the bucket math. *)
+
+val lower_ns : int -> int
+(** Inclusive lower edge of a bucket, in ns. *)
+
+val upper_ns : int -> int
+(** Inclusive upper edge of a bucket, in ns.
+    [lower_ns (index_of_ns v) <= v <= upper_ns (index_of_ns v)]. *)
+
+val count : t -> int
+val sum_ns : t -> int
+val max_ns_seen : t -> int
+
+val mean_ns : t -> float
+(** Exact mean from the running sum — no bucket quantization. *)
+
+val quantile_ns : t -> float -> int
+(** [quantile_ns t 0.99]: upper edge of the bucket holding the p-th
+    quantile (overstating by < 0.8%), clamped to the largest sample seen;
+    0 when empty.  Raises [Invalid_argument] outside [0,1]. *)
+
+val count_le : t -> int -> int
+(** Samples at or below a value — the numerator of an SLO compliance
+    ratio. *)
+
+val merge_into : into:t -> t -> unit
+(** Bucket-wise addition of counts, count, sum and max. *)
+
+val copy : t -> t
+
+val diff : prev:t -> t -> t
+(** Bucket-wise [cur - prev] between two snapshots of the same monotone
+    stream: the histogram of just the window's samples. *)
+
+val buckets_us : t -> (float * int) array
+(** Cumulative [(upper edge in µs, count)] coarsened to one bucket per
+    octave — Prometheus-ready without exploding the text exposition. *)
+
+val nonzero : t -> string
+(** Non-empty raw buckets as ["index:count,..."], or ["-"] when empty. *)

@@ -6,11 +6,14 @@ type t = {
   mutable scratch_misses : int;
   mutable order_hits : int;
   mutable order_misses : int;
+  mutable program_hits : int;
+  mutable program_misses : int;
 }
 
 let create () =
   { factor_ops = 0; entries_touched = 0; max_factor_entries = 0;
-    scratch_hits = 0; scratch_misses = 0; order_hits = 0; order_misses = 0 }
+    scratch_hits = 0; scratch_misses = 0; order_hits = 0; order_misses = 0;
+    program_hits = 0; program_misses = 0 }
 
 let dkey = Domain.DLS.new_key create
 let get () = Domain.DLS.get dkey
@@ -25,12 +28,15 @@ let scratch_hit () = let c = get () in c.scratch_hits <- c.scratch_hits + 1
 let scratch_miss () = let c = get () in c.scratch_misses <- c.scratch_misses + 1
 let order_hit () = let c = get () in c.order_hits <- c.order_hits + 1
 let order_miss () = let c = get () in c.order_misses <- c.order_misses + 1
+let program_hit () = let c = get () in c.program_hits <- c.program_hits + 1
+let program_miss () = let c = get () in c.program_misses <- c.program_misses + 1
 
 let copy c =
   { factor_ops = c.factor_ops; entries_touched = c.entries_touched;
     max_factor_entries = c.max_factor_entries; scratch_hits = c.scratch_hits;
     scratch_misses = c.scratch_misses; order_hits = c.order_hits;
-    order_misses = c.order_misses }
+    order_misses = c.order_misses; program_hits = c.program_hits;
+    program_misses = c.program_misses }
 
 let measure f =
   let cur = get () in
@@ -45,7 +51,9 @@ let measure f =
         scratch_hits = cur.scratch_hits - before.scratch_hits;
         scratch_misses = cur.scratch_misses - before.scratch_misses;
         order_hits = cur.order_hits - before.order_hits;
-        order_misses = cur.order_misses - before.order_misses }
+        order_misses = cur.order_misses - before.order_misses;
+        program_hits = cur.program_hits - before.program_hits;
+        program_misses = cur.program_misses - before.program_misses }
     in
     if before.max_factor_entries > cur.max_factor_entries then
       cur.max_factor_entries <- before.max_factor_entries;
@@ -62,4 +70,6 @@ let to_pairs c =
     ("scratch_hits", c.scratch_hits);
     ("scratch_misses", c.scratch_misses);
     ("order_hits", c.order_hits);
-    ("order_misses", c.order_misses) ]
+    ("order_misses", c.order_misses);
+    ("program_hits", c.program_hits);
+    ("program_misses", c.program_misses) ]

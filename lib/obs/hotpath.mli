@@ -20,6 +20,12 @@ type t = {
       (** plan schedule-memo hits (a compiled plan reused a memoized
           elimination schedule for the binding's restricted-variable set) *)
   mutable order_misses : int;  (** schedule-memo misses (freshly planned) *)
+  mutable program_hits : int;
+      (** plan program-memo hits (a warm request ran an already-compiled
+          bytecode program for its restricted-variable set) *)
+  mutable program_misses : int;
+      (** program-memo misses (a bytecode program was compiled for a new
+          restricted-variable set before running) *)
 }
 
 val get : unit -> t
@@ -33,6 +39,8 @@ val scratch_hit : unit -> unit
 val scratch_miss : unit -> unit
 val order_hit : unit -> unit
 val order_miss : unit -> unit
+val program_hit : unit -> unit
+val program_miss : unit -> unit
 
 val measure : (unit -> 'a) -> 'a * t
 (** [measure f] runs [f] and returns the counter deltas it caused on

@@ -1,0 +1,74 @@
+(* Tail-sampled slow-log: a bounded ring of captured outlier requests.
+
+   Entries are appended when the server decides a request is worth
+   keeping — its latency crossed the quantile-derived threshold, or its
+   TRUTH-reported q-error crossed the accuracy gate — and carry the
+   canonical query, the trigger metadata and a span tree.  Captures are
+   rare by construction (tail sampling plus the server's rate limiter),
+   so a single mutex around the ring costs nothing on the request path:
+   the hot path never touches this module at all. *)
+
+type reason = Latency | Qerror
+
+let reason_to_string = function Latency -> "latency" | Qerror -> "qerror"
+
+type entry = {
+  seq : int; (* capture number, 1-based, monotonically increasing *)
+  verb : string;
+  reason : reason;
+  query : string; (* canonical query, or the raw line when unparseable *)
+  lat_ns : int; (* the original request's latency *)
+  threshold_ns : int; (* the latency threshold in force at capture time *)
+  qerror : float option; (* for q-error-gated captures *)
+  spans : Span.record list; (* captured span tree (emission order) *)
+}
+
+type t = {
+  lock : Mutex.t;
+  ring : entry option array;
+  mutable next : int; (* ring slot the next entry lands in *)
+  mutable total : int; (* entries ever captured *)
+}
+
+let create ?(capacity = 128) () =
+  if capacity <= 0 then invalid_arg "Slowlog.create: capacity must be positive";
+  { lock = Mutex.create (); ring = Array.make capacity None; next = 0; total = 0 }
+
+let capacity t = Array.length t.ring
+
+let add t ~verb ~reason ~query ~lat_ns ~threshold_ns ?qerror ~spans () =
+  Mutex.lock t.lock;
+  t.total <- t.total + 1;
+  let e =
+    { seq = t.total; verb; reason; query; lat_ns; threshold_ns; qerror; spans }
+  in
+  t.ring.(t.next) <- Some e;
+  t.next <- (t.next + 1) mod Array.length t.ring;
+  Mutex.unlock t.lock;
+  e.seq
+
+let total t =
+  Mutex.lock t.lock;
+  let n = t.total in
+  Mutex.unlock t.lock;
+  n
+
+let length t =
+  Mutex.lock t.lock;
+  let n = min t.total (Array.length t.ring) in
+  Mutex.unlock t.lock;
+  n
+
+(* Newest first: walk the ring backwards from the slot before [next]. *)
+let recent ?n t =
+  Mutex.lock t.lock;
+  let cap = Array.length t.ring in
+  let stored = min t.total cap in
+  let want = match n with None -> stored | Some k -> min (max 0 k) stored in
+  let out = ref [] in
+  for i = 0 to want - 1 do
+    let slot = ((t.next - 1 - i) mod cap + cap) mod cap in
+    match t.ring.(slot) with Some e -> out := e :: !out | None -> ()
+  done;
+  Mutex.unlock t.lock;
+  List.rev !out

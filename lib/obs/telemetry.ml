@@ -1,0 +1,190 @@
+(* Per-domain, lock-free telemetry shards merged on read.
+
+   Every domain that touches a [t] gets its own shard via [Domain.DLS]:
+   a hashtable of named monotonic counters and one of named latency
+   histograms.  The hot path (incr / record_ns) runs entirely on the
+   caller's shard — a domain-local hashtable probe plus an int bump or a
+   Histogram.record — and never takes a lock or a contended cache line,
+   so N writer domains scale where a mutex-guarded recorder flatlines.
+
+   The per-shard mutex guards only the *name-map structure*: it is taken
+   on the rare slow path that first creates a named slot in a shard, and
+   by readers while they list a shard's slots.  Name lookups and value
+   bumps on the owner's shard are unlocked — the owner is the only
+   mutator of its tables, and readers never mutate them.
+
+   Read side: [snapshot] lists every shard's slots under the shard lock,
+   then merges values into fresh accumulators.  Value reads are racy by
+   design — single-word, so they never tear, and monotone, so a snapshot
+   is a consistent lower bound; totals are exact once writers quiesce or
+   a happens-before edge exists (Domain.join, a mutex, an Atomic).
+   Each snapshot carries a monotonically increasing epoch, and
+   [Snapshot.delta] subtracts two snapshots into the window between
+   their epochs — the primitive HEALTH's burn-rate windows stand on. *)
+
+type shard = {
+  lock : Mutex.t; (* name-map structure only; never held on the hot path *)
+  counters : (string, int ref) Hashtbl.t;
+  hists : (string, Histogram.t) Hashtbl.t;
+}
+
+type t = {
+  shards : shard list Atomic.t; (* every shard ever created, push-only *)
+  key : shard Domain.DLS.key;
+  epoch : int Atomic.t;
+}
+
+let create () =
+  let shards = Atomic.make [] in
+  let key =
+    Domain.DLS.new_key (fun () ->
+        let s =
+          {
+            lock = Mutex.create ();
+            counters = Hashtbl.create 16;
+            hists = Hashtbl.create 8;
+          }
+        in
+        let rec push () =
+          let cur = Atomic.get shards in
+          if not (Atomic.compare_and_set shards cur (s :: cur)) then push ()
+        in
+        push ();
+        s)
+  in
+  { shards; key; epoch = Atomic.make 0 }
+
+let shard t = Domain.DLS.get t.key
+
+(* Find-or-create a counter slot in the caller's shard.  The unlocked
+   probe is safe: only the owner adds to its tables, so the probe cannot
+   race a resize; the locked add serializes against readers listing the
+   shard. *)
+let counter_ref sh name =
+  match Hashtbl.find_opt sh.counters name with
+  | Some r -> r
+  | None ->
+    Mutex.lock sh.lock;
+    let r =
+      match Hashtbl.find_opt sh.counters name with
+      | Some r -> r
+      | None ->
+        let r = ref 0 in
+        Hashtbl.add sh.counters name r;
+        r
+    in
+    Mutex.unlock sh.lock;
+    r
+
+let hist sh name =
+  match Hashtbl.find_opt sh.hists name with
+  | Some h -> h
+  | None ->
+    Mutex.lock sh.lock;
+    let h =
+      match Hashtbl.find_opt sh.hists name with
+      | Some h -> h
+      | None ->
+        let h = Histogram.create () in
+        Hashtbl.add sh.hists name h;
+        h
+    in
+    Mutex.unlock sh.lock;
+    h
+
+let incr ?(by = 1) t name =
+  let r = counter_ref (shard t) name in
+  r := !r + by
+
+let record_ns t name v = Histogram.record (hist (shard t) name) v
+
+(* ---- read side ------------------------------------------------------------- *)
+
+type snapshot = {
+  epoch : int;
+  counters : (string * int) list; (* sorted by name *)
+  hists : (string * Histogram.t) list; (* sorted by name; merged copies *)
+}
+
+(* List a shard's slots under its lock, so a concurrent first-use add in
+   the owner domain cannot race the iteration. *)
+let shard_slots sh =
+  Mutex.lock sh.lock;
+  let cs = Hashtbl.fold (fun k r acc -> (k, r) :: acc) sh.counters [] in
+  let hs = Hashtbl.fold (fun k h acc -> (k, h) :: acc) sh.hists [] in
+  Mutex.unlock sh.lock;
+  (cs, hs)
+
+let snapshot (t : t) =
+  let epoch = Atomic.fetch_and_add t.epoch 1 + 1 in
+  let counters = Hashtbl.create 32 and hists = Hashtbl.create 16 in
+  List.iter
+    (fun sh ->
+      let cs, hs = shard_slots sh in
+      List.iter
+        (fun (k, r) ->
+          let v = !r in
+          match Hashtbl.find_opt counters k with
+          | Some acc -> acc := !acc + v
+          | None -> Hashtbl.add counters k (ref v))
+        cs;
+      List.iter
+        (fun (k, h) ->
+          match Hashtbl.find_opt hists k with
+          | Some acc -> Histogram.merge_into ~into:acc h
+          | None -> Hashtbl.add hists k (Histogram.copy h))
+        hs)
+    (Atomic.get t.shards);
+  {
+    epoch;
+    counters =
+      Hashtbl.fold (fun k r acc -> (k, !r) :: acc) counters [] |> List.sort compare;
+    hists = Hashtbl.fold (fun k h acc -> (k, h) :: acc) hists [] |> List.sort compare;
+  }
+
+let get t name =
+  List.fold_left
+    (fun acc (sh : shard) ->
+      match Hashtbl.find_opt sh.counters name with
+      | Some r -> acc + !r
+      | None -> acc)
+    0 (Atomic.get t.shards)
+
+let hist_merged t name =
+  let acc = Histogram.create () in
+  List.iter
+    (fun (sh : shard) ->
+      match Hashtbl.find_opt sh.hists name with
+      | Some h -> Histogram.merge_into ~into:acc h
+      | None -> ())
+    (Atomic.get t.shards);
+  acc
+
+let n_shards t = List.length (Atomic.get t.shards)
+
+module Snapshot = struct
+  let find_counter s name =
+    Option.value ~default:0 (List.assoc_opt name s.counters)
+
+  let find_hist s name = List.assoc_opt name s.hists
+
+  (* The window between two snapshots of the same telemetry instance:
+     per-counter and bucket-wise histogram differences.  Counters or
+     histograms absent from [prev] are taken as zero (they were created
+     inside the window). *)
+  let delta ~prev cur =
+    let counters =
+      List.map
+        (fun (k, v) -> (k, v - find_counter prev k))
+        cur.counters
+    in
+    let hists =
+      List.map
+        (fun (k, h) ->
+          match find_hist prev k with
+          | Some ph -> (k, Histogram.diff ~prev:ph h)
+          | None -> (k, Histogram.copy h))
+        cur.hists
+    in
+    { epoch = cur.epoch; counters; hists }
+end

@@ -1,0 +1,64 @@
+(** Per-domain lock-free telemetry: sharded counters and latency
+    histograms merged on read.
+
+    Each domain touching a {!t} owns a [Domain.DLS] shard of named
+    monotonic counters and {!Histogram} latency histograms.  {!incr} and
+    {!record_ns} run entirely on the caller's shard — no lock, no
+    contended cache line — so writer domains scale linearly where a
+    mutex-guarded recorder serializes.  The per-shard mutex guards only
+    slot {e creation} (first use of a name in a shard) and the reader's
+    slot listing, never a hot-path bump.
+
+    The read side merges shard values on demand.  Value reads are racy
+    by design: single-word (never torn) and monotone, so every snapshot
+    is a consistent lower bound, and totals are exact as soon as writers
+    quiesce or a happens-before edge exists (e.g. [Domain.join] in
+    tests, the accept loop's synchronization in the server).
+    {!snapshot} stamps each merge with a monotonically increasing epoch;
+    {!Snapshot.delta} subtracts two snapshots into the window between
+    their epochs — HEALTH's burn-rate windows are built on this. *)
+
+type t
+
+val create : unit -> t
+(** A fresh telemetry instance with its own shard set.  Instances are
+    independent: two servers in one process never share counters. *)
+
+val incr : ?by:int -> t -> string -> unit
+(** Bump a named counter on the calling domain's shard (created at zero
+    on first use).  Lock-free after the slot exists. *)
+
+val record_ns : t -> string -> int -> unit
+(** Record one latency sample (ns) into the named histogram on the
+    calling domain's shard.  Zero-allocation after the slot exists. *)
+
+val get : t -> string -> int
+(** Merged value of a counter across all shards; 0 when never bumped. *)
+
+val hist_merged : t -> string -> Histogram.t
+(** Merged copy of a named histogram across all shards; empty when never
+    recorded. *)
+
+val n_shards : t -> int
+(** Shards created so far (= domains that have written). *)
+
+type snapshot = {
+  epoch : int;  (** monotonically increasing per {!snapshot} call *)
+  counters : (string * int) list;  (** merged, sorted by name *)
+  hists : (string * Histogram.t) list;  (** merged copies, sorted *)
+}
+
+val snapshot : t -> snapshot
+(** Merge every shard into one consistent-lower-bound snapshot.  Never
+    blocks writers: only the rare slot-creation path shares the shard
+    lock with this. *)
+
+module Snapshot : sig
+  val find_counter : snapshot -> string -> int
+  val find_hist : snapshot -> string -> Histogram.t option
+
+  val delta : prev:snapshot -> snapshot -> snapshot
+  (** The window between two snapshots of the same instance: per-counter
+      differences and bucket-wise histogram differences.  Slots absent
+      from [prev] count from zero. *)
+end

@@ -342,12 +342,14 @@ let execute_generic t binding =
 
 let count_hit t =
   Selest_obs.Hotpath.order_hit ();
+  Selest_obs.Hotpath.program_hit ();
   Mutex.lock t.mutex;
   t.hits <- t.hits + 1;
   Mutex.unlock t.mutex
 
 let count_miss t =
   Selest_obs.Hotpath.order_miss ();
+  Selest_obs.Hotpath.program_miss ();
   Mutex.lock t.mutex;
   t.misses <- t.misses + 1;
   Mutex.unlock t.mutex

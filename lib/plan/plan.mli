@@ -20,7 +20,10 @@
     restricted-variable set of a binding determines the factor shapes,
     hence the schedule), which is mutex-guarded: one plan may be executed
     concurrently from many domains.  Schedule-memo hits and misses are
-    counted in {!Selest_obs.Hotpath} ([order_hits] / [order_misses]). *)
+    counted in {!Selest_obs.Hotpath} ([order_hits] / [order_misses]);
+    the bytecode path additionally counts its program-memo reuse there
+    ([program_hits] / [program_misses]), which the server surfaces in
+    [STATS] and as [selest_program_memo_{hits,misses}] in [METRICS]. *)
 
 type t
 

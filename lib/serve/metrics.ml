@@ -1,127 +1,88 @@
-(* Bucket i of the latency histogram covers (bound.(i-1), bound.(i)] with
-   bound.(i) = 1.5^i microseconds; 64 buckets reach ~1.2e11 µs, far beyond
-   any request this server could serve. *)
-let n_buckets = 64
-let bucket_base = 1.5
+module Obs = Selest_obs
 
-let bounds = Array.init n_buckets (fun i -> bucket_base ** float_of_int i)
+(* The request path records into per-domain Telemetry shards — lock-free
+   after a slot exists — and every read here merges shards on demand.
+   The aggregate request-latency histogram lives under [lat_all]; each
+   verb additionally gets its own histogram under "lat.<verb>". *)
+let lat_all = "lat"
+let verb_prefix = "lat."
 
-(* One mutex guards everything: counters are bumped from pool workers
-   during ESTBATCH while the dispatcher reads STATS, and [report] must
-   see one consistent snapshot, not counters from mid-batch and a
-   histogram from after it. *)
-type t = {
-  mutex : Mutex.t;
-  counters : (string, int ref) Hashtbl.t;
-  hist : int array;
-  mutable lat_count : int;
-  mutable lat_sum_us : float;
-}
+type t = { tel : Obs.Telemetry.t }
 
-let create () =
-  {
-    mutex = Mutex.create ();
-    counters = Hashtbl.create 16;
-    hist = Array.make n_buckets 0;
-    lat_count = 0;
-    lat_sum_us = 0.0;
-  }
+(* Layout constants kept for dashboards that re-bucket from [lat_hist]:
+   the raw buckets are now the HDR layout of {!Selest_obs.Histogram} —
+   [n_buckets] fixed buckets whose width grows by at most [bucket_base]
+   (1 + 1/128) per bucket across the ns→s range. *)
+let n_buckets = Obs.Histogram.n_buckets
+let bucket_base = 1.0 +. (1.0 /. float_of_int Obs.Histogram.half)
 
-let locked t f =
-  Mutex.lock t.mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+let create () = { tel = Obs.Telemetry.create () }
+let telemetry t = t.tel
 
-let incr ?(by = 1) t name =
-  locked t (fun () ->
-      match Hashtbl.find_opt t.counters name with
-      | Some r -> r := !r + by
-      | None -> Hashtbl.add t.counters name (ref by))
+let incr ?(by = 1) t name = Obs.Telemetry.incr ~by t.tel name
+let get t name = Obs.Telemetry.get t.tel name
 
-let get t name =
-  locked t (fun () ->
-      match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0)
+let counters t = (Obs.Telemetry.snapshot t.tel).Obs.Telemetry.counters
 
-let counters_unlocked t =
-  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
-  |> List.sort compare
+let observe_ns t ns = Obs.Telemetry.record_ns t.tel lat_all ns
 
-let counters t = locked t (fun () -> counters_unlocked t)
+let observe_verb_ns t ~verb ns =
+  Obs.Telemetry.record_ns t.tel lat_all ns;
+  Obs.Telemetry.record_ns t.tel (verb_prefix ^ verb) ns
 
-let bucket_of us =
-  let rec go i = if i >= n_buckets - 1 || us <= bounds.(i) then i else go (i + 1) in
-  go 0
+let observe t seconds = observe_ns t (int_of_float (seconds *. 1e9))
 
-let observe t seconds =
-  let us = seconds *. 1e6 in
-  locked t (fun () ->
-      t.hist.(bucket_of us) <- t.hist.(bucket_of us) + 1;
-      t.lat_count <- t.lat_count + 1;
-      t.lat_sum_us <- t.lat_sum_us +. us)
+let agg t = Obs.Telemetry.hist_merged t.tel lat_all
+let lat_key = lat_all
+let verb_key verb = verb_prefix ^ verb
+let latency_histogram = agg
 
-let observations t = locked t (fun () -> t.lat_count)
+let observations t = Obs.Histogram.count (agg t)
+let mean_latency_us t = Obs.Histogram.mean_ns (agg t) /. 1e3
 
-let mean_unlocked t =
-  if t.lat_count = 0 then 0.0 else t.lat_sum_us /. float_of_int t.lat_count
+let percentile_us t p = float_of_int (Obs.Histogram.quantile_ns (agg t) p) /. 1e3
 
-let mean_latency_us t = locked t (fun () -> mean_unlocked t)
+let histogram t = Obs.Histogram.buckets_us (agg t)
+let latency_sum_us t = float_of_int (Obs.Histogram.sum_ns (agg t)) /. 1e3
 
-let percentile_unlocked t p =
-  if p < 0.0 || p > 1.0 then invalid_arg "Metrics.percentile_us: p outside [0,1]";
-  if t.lat_count = 0 then 0.0
-  else begin
-    let target = max 1 (int_of_float (ceil (p *. float_of_int t.lat_count))) in
-    let seen = ref 0 and answer = ref bounds.(n_buckets - 1) in
-    (try
-       Array.iteri
-         (fun i c ->
-           seen := !seen + c;
-           if !seen >= target then begin
-             answer := bounds.(i);
-             raise Exit
-           end)
-         t.hist
-     with Exit -> ());
-    !answer
-  end
-
-let percentile_us t p = locked t (fun () -> percentile_unlocked t p)
-
-let histogram t =
-  locked t (fun () ->
-      let cum = ref 0 in
-      Array.mapi
-        (fun i c ->
-          cum := !cum + c;
-          (bounds.(i), !cum))
-        t.hist)
-
-let latency_sum_us t = locked t (fun () -> t.lat_sum_us)
-
-let nonzero_buckets_unlocked t =
-  let parts = ref [] in
-  for i = n_buckets - 1 downto 0 do
-    if t.hist.(i) > 0 then
-      parts := Printf.sprintf "%d:%d" i t.hist.(i) :: !parts
-  done;
-  match !parts with [] -> "-" | ps -> String.concat "," ps
+(* Every verb that has recorded a latency, with its merged histogram. *)
+let verb_histograms t =
+  let snap = Obs.Telemetry.snapshot t.tel in
+  List.filter_map
+    (fun (name, h) ->
+      let plen = String.length verb_prefix in
+      if String.length name > plen && String.sub name 0 plen = verb_prefix then
+        Some (String.sub name plen (String.length name - plen), h)
+      else None)
+    snap.Obs.Telemetry.hists
 
 let report t =
-  locked t (fun () ->
-      List.map (fun (k, v) -> (k, string_of_int v)) (counters_unlocked t)
-      @ [
-          ("lat_count", string_of_int t.lat_count);
-          (* exact, from the running sum — unquantized *)
-          ("lat_mean_us", Printf.sprintf "%.1f" (mean_unlocked t));
-          (* upper bucket edge: overstates by at most one bucket ratio *)
-          ("lat_p50_us", Printf.sprintf "%.1f" (percentile_unlocked t 0.50));
-          ("lat_p95_us", Printf.sprintf "%.1f" (percentile_unlocked t 0.95));
-          ("lat_p99_us", Printf.sprintf "%.1f" (percentile_unlocked t 0.99));
-          (* bucket layout + raw counts, so dashboards can re-bucket *)
-          ("lat_buckets", string_of_int n_buckets);
-          ("lat_bucket_base", Printf.sprintf "%.2f" bucket_base);
-          ("lat_hist", nonzero_buckets_unlocked t);
-          ("lat_quantization", "percentiles=bucket-upper-edge mean=exact");
-        ])
+  let snap = Obs.Telemetry.snapshot t.tel in
+  let h =
+    match Obs.Telemetry.Snapshot.find_hist snap lat_all with
+    | Some h -> h
+    | None -> Obs.Histogram.create ()
+  in
+  let q p = float_of_int (Obs.Histogram.quantile_ns h p) /. 1e3 in
+  List.map (fun (k, v) -> (k, string_of_int v)) snap.Obs.Telemetry.counters
+  @ [
+      ("lat_count", string_of_int (Obs.Histogram.count h));
+      (* exact, from the running sum — unquantized *)
+      ("lat_mean_us", Printf.sprintf "%.1f" (Obs.Histogram.mean_ns h /. 1e3));
+      (* upper bucket edge of the HDR layout: overstates by < 0.8% *)
+      ("lat_p50_us", Printf.sprintf "%.1f" (q 0.50));
+      ("lat_p95_us", Printf.sprintf "%.1f" (q 0.95));
+      ("lat_p99_us", Printf.sprintf "%.1f" (q 0.99));
+      ("lat_p999_us", Printf.sprintf "%.1f" (q 0.999));
+      (* bucket layout + raw counts, so dashboards can re-bucket.  The
+         keys predate the HDR histograms and are kept as aliases for one
+         release; [lat_bucket_base] is now the per-bucket growth bound
+         (1 + 1/128), not a global geometric ratio. *)
+      ("lat_buckets", string_of_int n_buckets);
+      ("lat_bucket_base", Printf.sprintf "%.4f" bucket_base);
+      ("lat_hist", Obs.Histogram.nonzero h);
+      ("lat_quantization", "percentiles=bucket-upper-edge(<0.8%) mean=exact");
+    ]
 
 let pp ppf t =
   List.iter (fun (k, v) -> Format.fprintf ppf "%s=%s@." k v) (report t)

@@ -1,50 +1,69 @@
-(** Service counters and latency percentiles.
+(** Service counters and latency quantiles — a façade over the sharded
+    telemetry core.
 
     The serving constraint the paper's offline/online split implies —
     estimates must arrive in optimizer time, i.e. microseconds — is only
     checkable if the service measures itself.  This module keeps named
     monotonic counters (requests, cache hits/misses, errors, per-model
-    inference counts) and a log-scale latency histogram from which p50,
-    p95 and p99 are read without storing individual samples.
+    inference counts) and HDR log-bucketed latency histograms
+    ({!Selest_obs.Histogram}) from which p50…p999 are read without
+    storing individual samples.
 
-    The histogram buckets grow geometrically (factor {!bucket_base} from
-    1µs), so percentile answers carry at most ~50% relative quantization
-    error over a range of microseconds to minutes — the right trade for a
-    counter that is bumped on every request of a hot loop.
+    Since PR 8 nothing here takes a lock on the hot path: every write
+    lands on the calling domain's {!Selest_obs.Telemetry} shard
+    (lock-free after the named slot exists), and every read merges shard
+    snapshots on demand, so [STATS]/[METRICS] never block writers.
+    Reads are consistent lower bounds — single-word, monotone values
+    that are exact once writers quiesce or a happens-before edge exists
+    (e.g. [Domain.join]); there is no longer a single mutex-consistent
+    snapshot, and the few-writes-in-flight skew is far below the old
+    bucket quantization it replaces.
 
-    {b Quantization asymmetry}: {!percentile_us} answers with the {e
-    upper edge} of the bucket holding the requested quantile (it can
-    overstate the true percentile by up to one bucket ratio), while
-    {!mean_latency_us} divides the exact running sum by the count and
-    carries no quantization at all.  A p50 slightly above the mean on a
-    tight unimodal distribution is therefore an artifact, not a skew
-    signal.  {!report} states this in [lat_quantization] and exposes the
-    bucket layout so dashboards can re-bucket.
-
-    All operations are mutex-guarded: [ESTBATCH] bumps counters from
-    {!Selest_util.Pool} workers while the dispatcher serves [STATS], and
-    {!report} takes the same lock so its snapshot is consistent under
-    concurrent writers. *)
+    {b Quantization}: {!percentile_us} answers with the {e upper edge}
+    of the HDR bucket holding the requested quantile — an overstatement
+    bounded by 1/128 < 0.8% relative error, replacing the old fixed
+    1.5×-geometric buckets whose error was ~50%.  {!mean_latency_us}
+    divides the exact running sum by the count and carries no
+    quantization at all.  {!report} states this in [lat_quantization]
+    and exposes the bucket layout so dashboards can re-bucket; the
+    [lat_buckets]/[lat_bucket_base]/[lat_hist] keys predate the HDR
+    layout and are kept as aliases for one release. *)
 
 type t
 
 val n_buckets : int
+(** Raw buckets in the HDR layout ({!Selest_obs.Histogram.n_buckets}). *)
+
 val bucket_base : float
+(** Per-bucket width growth bound of the HDR layout, [1 + 1/128]. *)
 
 val create : unit -> t
 
+val telemetry : t -> Selest_obs.Telemetry.t
+(** The underlying sharded telemetry instance (epoch snapshots, deltas,
+    per-verb histograms — the HEALTH surface reads through this). *)
+
 val incr : ?by:int -> t -> string -> unit
-(** Bump a named counter, creating it at zero first if needed.
-    Thread-safe; concurrent bumps never lose increments. *)
+(** Bump a named counter on the calling domain's shard.  Lock-free;
+    concurrent bumps from different domains never lose increments. *)
 
 val get : t -> string -> int
-(** Current value of a counter; 0 when never bumped. *)
+(** Merged value of a counter across all shards; 0 when never bumped. *)
 
 val counters : t -> (string * int) list
-(** All counters, sorted by name. *)
+(** All counters, merged and sorted by name. *)
 
 val observe : t -> float -> unit
-(** Record one request latency, in seconds. *)
+(** Record one request latency, in seconds, into the aggregate
+    histogram. *)
+
+val observe_ns : t -> int -> unit
+(** Same, in integer nanoseconds — the zero-allocation form the request
+    path uses. *)
+
+val observe_verb_ns : t -> verb:string -> int -> unit
+(** Record one latency into both the aggregate histogram and the verb's
+    own histogram (the per-verb quantiles HEALTH reports). *)
 
 val observations : t -> int
 
@@ -53,23 +72,37 @@ val mean_latency_us : t -> float
     observed. *)
 
 val percentile_us : t -> float -> float
-(** [percentile_us t 0.95]: upper edge of the bucket holding the p-th
-    latency quantile, in microseconds; 0 when nothing was observed.
-    Raises [Invalid_argument] outside [0,1]. *)
+(** [percentile_us t 0.95]: upper edge of the HDR bucket holding the
+    p-th latency quantile, in microseconds (< 0.8% overstatement); 0
+    when nothing was observed.  Raises [Invalid_argument] outside
+    [0,1]. *)
 
 val histogram : t -> (float * int) array
-(** [(upper edge in µs, cumulative count)] for every bucket —
-    Prometheus-ready cumulative form. *)
+(** [(upper edge in µs, cumulative count)] coarsened to one bucket per
+    octave — Prometheus-ready cumulative form. *)
 
 val latency_sum_us : t -> float
 (** Exact sum of observed latencies in µs (the [_sum] series). *)
 
+val verb_histograms : t -> (string * Selest_obs.Histogram.t) list
+(** Every verb that has recorded a latency, with its merged histogram,
+    sorted by verb name. *)
+
+val lat_key : string
+(** Telemetry slot name of the aggregate latency histogram. *)
+
+val verb_key : string -> string
+(** [verb_key "est"]: telemetry slot name of a verb's histogram. *)
+
+val latency_histogram : t -> Selest_obs.Histogram.t
+(** The merged aggregate latency histogram (a fresh copy). *)
+
 val report : t -> (string * string) list
-(** One consistent snapshot as [key=value]-ready pairs: the counters
-    (sorted), then [lat_count], [lat_mean_us], [lat_p50_us],
-    [lat_p95_us], [lat_p99_us], then the bucket layout — [lat_buckets]
-    (bucket count), [lat_bucket_base] (geometric ratio), [lat_hist]
-    (nonzero raw buckets as [index:count,...], or [-] when empty) — and
+(** Merged snapshot as [key=value]-ready pairs: the counters (sorted),
+    then [lat_count], [lat_mean_us], [lat_p50_us], [lat_p95_us],
+    [lat_p99_us], [lat_p999_us], then the bucket layout — [lat_buckets],
+    [lat_bucket_base] (per-bucket growth bound), [lat_hist] (nonzero raw
+    buckets as [index:count,...], or [-] when empty) — and
     [lat_quantization] documenting the percentile-vs-mean asymmetry. *)
 
 val pp : Format.formatter -> t -> unit

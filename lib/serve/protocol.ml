@@ -8,6 +8,8 @@ type request =
   | Truth of { model : string option; truth : float; body : string }
   | Stats
   | Metrics
+  | Health
+  | Slowlog of { n : int option }
   | Shutdown
 
 let split_first_word s =
@@ -51,6 +53,13 @@ let parse_request line =
   | "PING" -> Ok Ping
   | "STATS" -> Ok Stats
   | "METRICS" -> Ok Metrics
+  | "HEALTH" -> Ok Health
+  | "SLOWLOG" ->
+    if rest = "" then Ok (Slowlog { n = None })
+    else (
+      match int_of_string_opt rest with
+      | Some n when n > 0 -> Ok (Slowlog { n = Some n })
+      | _ -> Error "SLOWLOG expects: SLOWLOG [<count>]")
   | "SHUTDOWN" -> Ok Shutdown
   | "LOAD" -> (
     match String.split_on_char ' ' rest |> List.filter (fun s -> s <> "") with

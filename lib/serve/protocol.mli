@@ -16,6 +16,8 @@
     TRUTH [@<model>] <true-size> <body>
     STATS
     METRICS
+    HEALTH
+    SLOWLOG [<count>]
     SHUTDOWN
     v}
 
@@ -57,6 +59,17 @@
     [OK qerror=<q> estimate=<e> n=<count>].  [STATS] and [METRICS]
     expose the per-model q-error summaries.
 
+    [HEALTH] answers a multi-line SLO report: per-verb latency quantiles
+    (p50/p95/p99/p999 from the HDR histograms), error-budget burn
+    against the declared latency and q-error SLOs, cache hit rates and
+    per-model accuracy — see {!Server}.
+
+    [SLOWLOG \[<count>\]] dumps the newest [count] (default 10) entries
+    of the tail-sampled slow-log: requests whose latency crossed the
+    quantile-derived threshold or whose [TRUTH] q-error crossed the
+    accuracy gate, each with its canonical query and captured span
+    tree (multi-line response).
+
     {2 Responses}
 
     [PONG] for [PING]; [OK <payload>] for success; [ERR <message>] for any
@@ -96,6 +109,10 @@ type request =
       (** Ground truth for [body]; feeds the model's q-error histogram. *)
   | Stats
   | Metrics  (** Prometheus text exposition (multi-line response). *)
+  | Health  (** SLO report: per-verb quantiles, budget burn (multi-line). *)
+  | Slowlog of { n : int option }
+      (** Newest [n] (default 10) tail-sampled slow-log entries
+          (multi-line response). *)
   | Shutdown
 
 val parse_request : string -> (request, string) result

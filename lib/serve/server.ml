@@ -21,9 +21,34 @@ type t = {
   mutable avi : Selest_est.Estimator.t option;
       (* lazily-built AVI baseline: EXPLAINPLAN's fallback oracle for
          sub-queries the model cannot price *)
+  (* ---- telemetry / SLO surface ---- *)
+  slowlog : Obs.Slowlog.t;
+  slow_quantile : float;  (* latency capture threshold quantile *)
+  qerror_gate : float;  (* TRUTH q-error above this is captured *)
+  slo_p99_us : float;  (* declared latency SLO: p99 target *)
+  slo_qerror : float;  (* declared accuracy SLO: q-error p99 target *)
+  start_ns : int;
+  responses : int Atomic.t;  (* drives threshold refresh + capture rate limit *)
+  slow_threshold : int Atomic.t;  (* ns; max_int until warmed up *)
+  last_capture : int Atomic.t;  (* [responses] value at the last capture *)
+  mutable health_prev : Obs.Telemetry.snapshot option;
+      (* previous HEALTH snapshot: the base of the burn window (epoch /
+         delta semantics of {!Obs.Telemetry.Snapshot.delta}) *)
 }
 
-let create ?(cache_bytes = 1 lsl 20) ?pool_size ~db ~socket () =
+(* Tail-sampling knobs.  The latency threshold is recomputed from the
+   merged histogram every [refresh_mask + 1] responses once [slow_warmup]
+   observations exist; latency captures (which replay the query under
+   span collection) are limited to one per [capture_min_gap] responses so
+   a latency regression can never turn the capture path into the
+   workload.  q-error captures bypass the limiter — TRUTH is rare. *)
+let slow_warmup = 64
+let refresh_mask = 511
+let capture_min_gap = 256
+
+let create ?(cache_bytes = 1 lsl 20) ?pool_size ?(slowlog_capacity = 128)
+    ?(slow_quantile = 0.99) ?(qerror_gate = 100.0) ?(slo_p99_us = 10_000.0)
+    ?(slo_qerror = 100.0) ~db ~socket () =
   {
     db;
     sizes = Selest_plan.Estimate.sizes_of_db db;
@@ -37,6 +62,16 @@ let create ?(cache_bytes = 1 lsl 20) ?pool_size ~db ~socket () =
     pool_size;
     pool = None;
     avi = None;
+    slowlog = Obs.Slowlog.create ~capacity:slowlog_capacity ();
+    slow_quantile;
+    qerror_gate;
+    slo_p99_us;
+    slo_qerror;
+    start_ns = Obs.Clock.now_ns ();
+    responses = Atomic.make 0;
+    slow_threshold = Atomic.make max_int;
+    last_capture = Atomic.make (-capture_min_gap);
+    health_prev = None;
   }
 
 let registry t = t.registry
@@ -44,6 +79,7 @@ let metrics t = t.metrics
 let cache t = t.cache
 let plan_cache t = t.plans
 let socket_path t = t.socket
+let slowlog t = t.slowlog
 
 let qerror_table t name =
   Mutex.lock t.qerrors_mutex;
@@ -150,7 +186,9 @@ let roll_hotpath t (d : Obs.Hotpath.t) =
   bump "ve.scratch_hits" d.Obs.Hotpath.scratch_hits;
   bump "ve.scratch_misses" d.Obs.Hotpath.scratch_misses;
   bump "ve.order_hits" d.Obs.Hotpath.order_hits;
-  bump "ve.order_misses" d.Obs.Hotpath.order_misses
+  bump "ve.order_misses" d.Obs.Hotpath.order_misses;
+  bump "plan.program_hits" d.Obs.Hotpath.program_hits;
+  bump "plan.program_misses" d.Obs.Hotpath.program_misses
 
 (* Run inference for one parsed query — fetch (or compile) the skeleton's
    plan, then execute it — measuring the hot-path work and rolling it into
@@ -506,7 +544,76 @@ let handle_explainplan t ~model ~body =
    cache-then-infer path as EST, record the q-error into the model's
    rolling histogram, and echo both. *)
 
-let handle_truth t ~model ~truth ~body =
+(* ---- tail-sampled slow-log -------------------------------------------------- *)
+
+(* Recompute the latency capture threshold: the configured quantile's
+   upper bucket edge in the merged aggregate histogram.  Runs once per
+   [refresh_mask + 1] responses, so its merge cost never shows up in a
+   latency profile. *)
+let refresh_slow_threshold t =
+  let h = Metrics.latency_histogram t.metrics in
+  if Obs.Histogram.count h >= slow_warmup then
+    Atomic.set t.slow_threshold
+      (max 1 (Obs.Histogram.quantile_ns h t.slow_quantile))
+
+(* Re-execute a captured request's query under span collection.  The
+   live path never collects (collection forces the generic engine and
+   would eat the telemetry budget on every request), so a capture replays
+   the query once — cache bypassed — to reconstruct the full
+   est.parse / est.canon / plan.fetch / ve.* tree.  Returns the
+   canonical query text and the span tree; the raw body and an empty
+   tree when the body no longer parses. *)
+let replay_spans t ~model ~body =
+  let outcome, records =
+    Obs.Span.collect (fun () ->
+        Obs.Span.with_ "est" (fun _ ->
+            match resolve_model t model with
+            | Error _ -> None
+            | Ok (name, e) -> (
+              match parse_query t body with
+              | Error _ -> None
+              | Ok q -> (
+                let plan, _ = plan_for t ~name ~entry:e q in
+                match Plan.estimate plan ~sizes:t.sizes q with
+                | (_ : float) -> Some (Canon.key q)
+                | exception _ -> Some (Canon.key q)))))
+  in
+  match outcome with
+  | Some canon -> (canon, records)
+  | None -> (body, records)
+
+let capture t ~verb ~reason ?model ?body ?qerror ~lat_ns () =
+  let query, spans =
+    match body with
+    | None -> (verb, [])
+    | Some b -> replay_spans t ~model ~body:b
+  in
+  Metrics.incr t.metrics "slowlog_captures";
+  ignore
+    (Obs.Slowlog.add t.slowlog ~verb ~reason ~query ~lat_ns
+       ~threshold_ns:(Atomic.get t.slow_threshold) ?qerror ~spans ())
+
+(* Per-response bookkeeping: per-verb latency recording, periodic
+   threshold refresh, and latency-outlier capture.  Only verbs whose
+   work a replay reproduces pass a body (EST / EXPLAIN / TRUTH): an
+   ESTBATCH latency is N requests wide and would always cross a
+   per-request threshold, and the STATS-family verbs carry no query. *)
+let observe_response t ~verb ?model ?body ~dt_ns () =
+  Metrics.observe_verb_ns t.metrics ~verb dt_ns;
+  let seen = Atomic.fetch_and_add t.responses 1 in
+  if seen land refresh_mask = refresh_mask then refresh_slow_threshold t;
+  match body with
+  | None -> ()
+  | Some _ ->
+    if
+      dt_ns >= Atomic.get t.slow_threshold
+      && seen - Atomic.get t.last_capture >= capture_min_gap
+    then begin
+      Atomic.set t.last_capture seen;
+      capture t ~verb ~reason:Obs.Slowlog.Latency ?model ?body ~lat_ns:dt_ns ()
+    end
+
+let handle_truth t ~model ~truth ~body ~t0 =
   match resolve_model t model with
   | Error msg ->
     Metrics.incr t.metrics "est_errors";
@@ -533,10 +640,17 @@ let handle_truth t ~model ~truth ~body =
       | Ok estimate ->
         let qe = qerror_table t name in
         Obs.Qerror.observe qe ~est:estimate ~truth;
+        let qv = Obs.Qerror.value ~est:estimate ~truth in
+        (* Accuracy gate: an estimate this wrong is captured with its
+           span tree regardless of how fast it was computed. *)
+        if qv >= t.qerror_gate then
+          capture t ~verb:"truth" ~reason:Obs.Slowlog.Qerror ?model ~body
+            ~qerror:qv
+            ~lat_ns:(Obs.Clock.now_ns () - t0)
+            ();
         Protocol.ok
-          (Printf.sprintf "qerror=%.6g estimate=%.17g n=%d"
-             (Obs.Qerror.value ~est:estimate ~truth)
-             estimate (Obs.Qerror.count qe))))
+          (Printf.sprintf "qerror=%.6g estimate=%.17g n=%d" qv estimate
+             (Obs.Qerror.count qe))))
 
 (* ---- STATS / METRICS ------------------------------------------------------- *)
 
@@ -552,9 +666,20 @@ let qerror_stats_fields t =
         (Printf.sprintf "qerr.%s.max" name, f s.Obs.Qerror.max_q) ])
     (qerror_tables t)
 
+(* The merged snapshot elides counters still at zero, but the
+   program-memo pair is part of STATS' contract (a plan compiled with its
+   program pre-built never counts a miss), so pin both fields. *)
+let with_program_counters t pairs =
+  List.fold_left
+    (fun acc name ->
+      if List.mem_assoc name acc then acc
+      else acc @ [ (name, string_of_int (Metrics.get t.metrics name)) ])
+    pairs
+    [ "plan.program_hits"; "plan.program_misses" ]
+
 let handle_stats t =
   let pairs =
-    Metrics.report t.metrics
+    with_program_counters t (Metrics.report t.metrics)
     @ [
         ("cache_hits", string_of_int (Lru.hits t.cache));
         ("cache_misses", string_of_int (Lru.misses t.cache));
@@ -574,6 +699,189 @@ let handle_stats t =
   in
   Protocol.ok (String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) pairs))
 
+(* ---- HEALTH ----------------------------------------------------------------- *)
+
+(* Error-budget burn: observed violation fraction over the budget a p99
+   target allows (1%).  1.0 = exactly on budget, above = burning. *)
+let burn_of ~violations ~n =
+  if n = 0 then 0.0 else float_of_int violations /. float_of_int n /. 0.01
+
+let latency_violations ~slo_p99_us h =
+  let n = Obs.Histogram.count h in
+  (n, n - Obs.Histogram.count_le h (int_of_float (slo_p99_us *. 1e3)))
+
+(* Observations at or under [gate], read off the cumulative q-error
+   buckets (bucket-quantized like the quantiles themselves). *)
+let qerror_violations ~gate qe =
+  let le =
+    Array.fold_left
+      (fun acc (edge, cum) -> if edge <= gate then max acc cum else acc)
+      0 (Obs.Qerror.buckets qe)
+  in
+  let n = Obs.Qerror.count qe in
+  (n, n - le)
+
+let threshold_us_string ns =
+  if ns = max_int then "-" else Printf.sprintf "%.1f" (float_of_int ns /. 1e3)
+
+(* The SLO report.  Latency quantiles and the latency burn are computed
+   over the window since the previous HEALTH (epoch / delta semantics of
+   {!Obs.Telemetry.Snapshot.delta}; the first HEALTH reports since
+   start), so repeated probes see fresh burn rates, not a lifetime
+   average that a long good run can never move.  q-error burn is
+   lifetime — ground truth is too rare to window. *)
+let handle_health t =
+  let snap = Obs.Telemetry.snapshot (Metrics.telemetry t.metrics) in
+  let window =
+    match t.health_prev with
+    | Some prev -> Obs.Telemetry.Snapshot.delta ~prev snap
+    | None -> snap
+  in
+  t.health_prev <- Some snap;
+  let buf = Buffer.create 1024 in
+  let line fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string buf s;
+        Buffer.add_char buf '\n')
+      fmt
+  in
+  let us ns = float_of_int ns /. 1e3 in
+  let hq h p = us (Obs.Histogram.quantile_ns h p) in
+  let lat_n, lat_viol, lat_burn, lat_p99 =
+    match Obs.Telemetry.Snapshot.find_hist window Metrics.lat_key with
+    | None -> (0, 0, 0.0, 0.0)
+    | Some h ->
+      let n, viol = latency_violations ~slo_p99_us:t.slo_p99_us h in
+      (n, viol, burn_of ~violations:viol ~n, hq h 0.99)
+  in
+  let q_slos =
+    List.map
+      (fun (name, qe) ->
+        let n, viol = qerror_violations ~gate:t.slo_qerror qe in
+        (name, qe, n, viol, burn_of ~violations:viol ~n))
+      (qerror_tables t)
+  in
+  let healthy =
+    lat_burn <= 1.0 && List.for_all (fun (_, _, _, _, b) -> b <= 1.0) q_slos
+  in
+  line "status=%s uptime_s=%.1f epoch=%d shards=%d requests=%d window_requests=%d"
+    (if healthy then "ok" else "degraded")
+    (float_of_int (Obs.Clock.now_ns () - t.start_ns) /. 1e9)
+    snap.Obs.Telemetry.epoch
+    (Obs.Telemetry.n_shards (Metrics.telemetry t.metrics))
+    (Obs.Telemetry.Snapshot.find_counter snap "requests")
+    (Obs.Telemetry.Snapshot.find_counter window "requests");
+  (* per-verb latency quantiles over the window; "all" is the aggregate *)
+  let verb_prefix = Metrics.verb_key "" in
+  let plen = String.length verb_prefix in
+  List.iter
+    (fun (name, h) ->
+      let verb =
+        if name = Metrics.lat_key then Some "all"
+        else if String.length name > plen && String.sub name 0 plen = verb_prefix
+        then Some (String.sub name plen (String.length name - plen))
+        else None
+      in
+      match verb with
+      | Some v when Obs.Histogram.count h > 0 ->
+        line
+          "verb=%s n=%d mean_us=%.1f p50_us=%.1f p95_us=%.1f p99_us=%.1f p999_us=%.1f max_us=%.1f"
+          v (Obs.Histogram.count h)
+          (Obs.Histogram.mean_ns h /. 1e3)
+          (hq h 0.5) (hq h 0.95) (hq h 0.99) (hq h 0.999)
+          (us (Obs.Histogram.max_ns_seen h))
+      | _ -> ())
+    window.Obs.Telemetry.hists;
+  line
+    "slo=latency target_p99_us=%.0f observed_p99_us=%.1f n=%d violations=%d burn=%.2f status=%s"
+    t.slo_p99_us lat_p99 lat_n lat_viol lat_burn
+    (if lat_burn <= 1.0 then "ok" else "breach");
+  List.iter
+    (fun (name, qe, n, viol, b) ->
+      let s = Obs.Qerror.summarize qe in
+      line
+        "slo=qerror model=%s target_p99=%.1f observed_p99=%.3g n=%d violations=%d burn=%.2f status=%s"
+        name t.slo_qerror s.Obs.Qerror.p99 n viol b
+        (if b <= 1.0 then "ok" else "breach"))
+    q_slos;
+  let rate h m =
+    let tot = h + m in
+    if tot = 0 then 0.0 else float_of_int h /. float_of_int tot
+  in
+  line "cache=estimate hits=%d misses=%d hit_rate=%.3f entries=%d"
+    (Lru.hits t.cache) (Lru.misses t.cache)
+    (rate (Lru.hits t.cache) (Lru.misses t.cache))
+    (Lru.length t.cache);
+  let plan_hits, plan_misses, _ = Plan_cache.stats t.plans in
+  line "cache=plan hits=%d misses=%d hit_rate=%.3f entries=%d" plan_hits
+    plan_misses
+    (rate plan_hits plan_misses)
+    (Plan_cache.length t.plans);
+  List.iter
+    (fun (name, qe) ->
+      let s = Obs.Qerror.summarize qe in
+      let f v = Printf.sprintf "%.3g" v in
+      line "qerror model=%s n=%d mean=%s p50=%s p90=%s p99=%s max=%s" name
+        s.Obs.Qerror.n (f s.Obs.Qerror.mean) (f s.Obs.Qerror.p50)
+        (f s.Obs.Qerror.p90) (f s.Obs.Qerror.p99) (f s.Obs.Qerror.max_q))
+    (qerror_tables t);
+  line "slowlog captured=%d held=%d capacity=%d threshold_us=%s quantile=%.3f qerror_gate=%.1f"
+    (Obs.Slowlog.total t.slowlog)
+    (Obs.Slowlog.length t.slowlog)
+    (Obs.Slowlog.capacity t.slowlog)
+    (threshold_us_string (Atomic.get t.slow_threshold))
+    t.slow_quantile t.qerror_gate;
+  Protocol.ok_multiline (Buffer.contents buf)
+
+(* ---- SLOWLOG ---------------------------------------------------------------- *)
+
+let handle_slowlog t n =
+  let n = Option.value ~default:10 n in
+  let entries = Obs.Slowlog.recent ~n t.slowlog in
+  let buf = Buffer.create 512 in
+  let line fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string buf s;
+        Buffer.add_char buf '\n')
+      fmt
+  in
+  line "entries=%d captured=%d capacity=%d threshold_us=%s"
+    (List.length entries)
+    (Obs.Slowlog.total t.slowlog)
+    (Obs.Slowlog.capacity t.slowlog)
+    (threshold_us_string (Atomic.get t.slow_threshold));
+  List.iter
+    (fun (e : Obs.Slowlog.entry) ->
+      line "slow seq=%d verb=%s reason=%s lat_us=%.1f threshold_us=%s qerror=%s query=%s"
+        e.Obs.Slowlog.seq e.Obs.Slowlog.verb
+        (Obs.Slowlog.reason_to_string e.Obs.Slowlog.reason)
+        (float_of_int e.Obs.Slowlog.lat_ns /. 1e3)
+        (threshold_us_string e.Obs.Slowlog.threshold_ns)
+        (match e.Obs.Slowlog.qerror with
+        | None -> "-"
+        | Some q -> Printf.sprintf "%.6g" q)
+        e.Obs.Slowlog.query;
+      (* the captured tree, start-ordered, indented by nesting depth *)
+      List.iter
+        (fun (s : Obs.Span.record) ->
+          let attrs =
+            match s.Obs.Span.attrs with
+            | [] -> ""
+            | l ->
+              " "
+              ^ String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) l)
+          in
+          line "%sspan %s us=%.1f%s"
+            (String.make (2 + (2 * s.Obs.Span.depth)) ' ')
+            s.Obs.Span.name (Obs.Span.duration_us s) attrs)
+        (List.sort
+           (fun (a : Obs.Span.record) b -> compare a.Obs.Span.start_ns b.Obs.Span.start_ns)
+           e.Obs.Slowlog.spans))
+    entries;
+  Protocol.ok_multiline (Buffer.contents buf)
+
 let prometheus_metrics t =
   let open Obs.Prometheus in
   let counter ?(help = "") ?(labels = []) name v =
@@ -582,11 +890,17 @@ let prometheus_metrics t =
   let gauge ?(help = "") name v =
     Gauge { name; help; labels = []; value = float_of_int v }
   in
-  (* service counters; infer.<model> folds into one labelled family *)
+  let fgauge ?(help = "") ?(labels = []) name v =
+    Gauge { name; help; labels; value = v }
+  in
+  (* service counters; infer.<model> folds into one labelled family and
+     the program-memo pair keeps its own stable names *)
   let infers, plain =
     List.partition
       (fun (k, _) -> String.length k > 6 && String.sub k 0 6 = "infer.")
-      (Metrics.counters t.metrics)
+      (List.filter
+         (fun (k, _) -> k <> "plan.program_hits" && k <> "plan.program_misses")
+         (Metrics.counters t.metrics))
   in
   let plain_metrics =
     List.map
@@ -601,6 +915,14 @@ let prometheus_metrics t =
           ~labels:[ ("model", model_name) ] "selest_infer_total" v)
       infers
   in
+  let program_metrics =
+    [ counter ~help:"bytecode program-memo hits inside compiled plans"
+        "selest_program_memo_hits"
+        (Metrics.get t.metrics "plan.program_hits");
+      counter ~help:"bytecode program-memo misses (slow-path recomputes)"
+        "selest_program_memo_misses"
+        (Metrics.get t.metrics "plan.program_misses") ]
+  in
   let latency =
     Histogram
       {
@@ -611,6 +933,41 @@ let prometheus_metrics t =
         sum = Metrics.latency_sum_us t.metrics;
         count = Metrics.observations t.metrics;
       }
+  in
+  let verb_latency =
+    List.map
+      (fun (verb, h) ->
+        Histogram
+          {
+            name = "selest_verb_latency_us";
+            help = "per-verb request latency in microseconds";
+            labels = [ ("verb", verb) ];
+            buckets = Obs.Histogram.buckets_us h;
+            sum = float_of_int (Obs.Histogram.sum_ns h) /. 1e3;
+            count = Obs.Histogram.count h;
+          })
+      (Metrics.verb_histograms t.metrics)
+  in
+  let lat_n, lat_viol =
+    latency_violations ~slo_p99_us:t.slo_p99_us
+      (Metrics.latency_histogram t.metrics)
+  in
+  let slo_metrics =
+    [ counter ~help:"tail-sampled slow-log captures"
+        "selest_slowlog_captured_total"
+        (Obs.Slowlog.total t.slowlog);
+      gauge ~help:"slow-log entries held" "selest_slowlog_entries"
+        (Obs.Slowlog.length t.slowlog);
+      fgauge ~help:"latency SLO error-budget burn (lifetime)"
+        "selest_slo_latency_burn"
+        (burn_of ~violations:lat_viol ~n:lat_n) ]
+    @ List.map
+        (fun (name, qe) ->
+          let n, viol = qerror_violations ~gate:t.slo_qerror qe in
+          fgauge ~help:"q-error SLO error-budget burn"
+            ~labels:[ ("model", name) ] "selest_slo_qerror_burn"
+            (burn_of ~violations:viol ~n))
+        (qerror_tables t)
   in
   let cache_metrics =
     [ counter ~help:"estimate cache hits" "selest_cache_hits_total"
@@ -654,8 +1011,9 @@ let prometheus_metrics t =
           })
       (qerror_tables t)
   in
-  plain_metrics @ infer_metrics @ (latency :: cache_metrics) @ plan_metrics
-  @ qerror_metrics
+  plain_metrics @ infer_metrics @ program_metrics
+  @ (latency :: verb_latency)
+  @ cache_metrics @ plan_metrics @ qerror_metrics @ slo_metrics
 
 let handle_metrics t =
   Protocol.ok_multiline (Obs.Prometheus.render (prometheus_metrics t))
@@ -663,36 +1021,46 @@ let handle_metrics t =
 let handle_line t line =
   Metrics.incr t.metrics "requests";
   let t0 = Obs.Clock.now_ns () in
-  let respond r =
-    Metrics.observe t.metrics
-      (float_of_int (Obs.Clock.now_ns () - t0) /. 1e9);
-    r
+  (* The handler has already run when [finish] fires (argument order):
+     it records the verb's latency and feeds the tail sampler.  Only
+     verbs a replay reproduces pass [?body] — see [observe_response]. *)
+  let finish ~verb ?model ?body (r, action) =
+    observe_response t ~verb ?model ?body
+      ~dt_ns:(Obs.Clock.now_ns () - t0)
+      ();
+    (r, action)
   in
   match Protocol.parse_request line with
   | Error msg ->
     Metrics.incr t.metrics "protocol_errors";
-    (respond (Protocol.err msg), `Continue)
-  | Ok Protocol.Ping -> (respond Protocol.pong, `Continue)
-  | Ok (Protocol.Load { name; path }) -> (respond (handle_load t ~name ~path), `Continue)
+    finish ~verb:"error" (Protocol.err msg, `Continue)
+  | Ok Protocol.Ping -> finish ~verb:"ping" (Protocol.pong, `Continue)
+  | Ok (Protocol.Load { name; path }) ->
+    finish ~verb:"load" (handle_load t ~name ~path, `Continue)
   | Ok (Protocol.Est { model; body }) ->
     Metrics.incr t.metrics "est_requests";
-    (respond (handle_est t ~model ~body), `Continue)
+    finish ~verb:"est" ?model ~body (handle_est t ~model ~body, `Continue)
   | Ok (Protocol.Estbatch { model; bodies }) ->
     Metrics.incr t.metrics "estbatch_requests";
     List.iter (fun _ -> Metrics.incr t.metrics "est_requests") bodies;
-    (respond (handle_estbatch t ~model ~bodies), `Continue)
+    finish ~verb:"estbatch" (handle_estbatch t ~model ~bodies, `Continue)
   | Ok (Protocol.Explain { model; body }) ->
     Metrics.incr t.metrics "explain_requests";
-    (respond (handle_explain t ~model ~body), `Continue)
+    finish ~verb:"explain" ?model ~body
+      (handle_explain t ~model ~body, `Continue)
   | Ok (Protocol.Explainplan { model; body }) ->
     Metrics.incr t.metrics "explainplan_requests";
-    (respond (handle_explainplan t ~model ~body), `Continue)
+    finish ~verb:"explainplan" (handle_explainplan t ~model ~body, `Continue)
   | Ok (Protocol.Truth { model; truth; body }) ->
     Metrics.incr t.metrics "truth_requests";
-    (respond (handle_truth t ~model ~truth ~body), `Continue)
-  | Ok Protocol.Stats -> (respond (handle_stats t), `Continue)
-  | Ok Protocol.Metrics -> (respond (handle_metrics t), `Continue)
-  | Ok Protocol.Shutdown -> (respond (Protocol.ok "bye"), `Stop)
+    finish ~verb:"truth" ?model ~body
+      (handle_truth t ~model ~truth ~body ~t0, `Continue)
+  | Ok Protocol.Stats -> finish ~verb:"stats" (handle_stats t, `Continue)
+  | Ok Protocol.Metrics -> finish ~verb:"metrics" (handle_metrics t, `Continue)
+  | Ok Protocol.Health -> finish ~verb:"health" (handle_health t, `Continue)
+  | Ok (Protocol.Slowlog { n }) ->
+    finish ~verb:"slowlog" (handle_slowlog t n, `Continue)
+  | Ok Protocol.Shutdown -> finish ~verb:"shutdown" (Protocol.ok "bye", `Stop)
 
 (* One binary frame, transport-free: decode, dispatch to the shared EST
    cores, encode.  Same request/latency/error accounting as
@@ -700,25 +1068,27 @@ let handle_line t line =
 let handle_frame t payload =
   Metrics.incr t.metrics "requests";
   let t0 = Obs.Clock.now_ns () in
-  let respond r =
-    Metrics.observe t.metrics (float_of_int (Obs.Clock.now_ns () - t0) /. 1e9);
+  let finish ~verb ?model ?body r =
+    observe_response t ~verb ?model ?body
+      ~dt_ns:(Obs.Clock.now_ns () - t0)
+      ();
     Protocol.Bin.encode_response r
   in
   match Protocol.Bin.decode_request payload with
   | Error msg ->
     Metrics.incr t.metrics "protocol_errors";
-    respond (Protocol.Bin.Berr msg)
+    finish ~verb:"error" (Protocol.Bin.Berr msg)
   | Ok (Protocol.Bin.Best { model; body }) -> (
     Metrics.incr t.metrics "est_requests";
     match Obs.Span.with_ "est" (fun _ -> est_core t ~model ~body) with
-    | Ok estimate -> respond (Protocol.Bin.Bvalue estimate)
-    | Error msg -> respond (Protocol.Bin.Berr msg))
+    | Ok estimate -> finish ~verb:"est" ?model ~body (Protocol.Bin.Bvalue estimate)
+    | Error msg -> finish ~verb:"est" ?model ~body (Protocol.Bin.Berr msg))
   | Ok (Protocol.Bin.Bestbatch { model; bodies }) -> (
     Metrics.incr t.metrics "estbatch_requests";
     List.iter (fun _ -> Metrics.incr t.metrics "est_requests") bodies;
     match estbatch_core t ~model ~bodies with
-    | Ok answers -> respond (Protocol.Bin.Bvalues answers)
-    | Error msg -> respond (Protocol.Bin.Berr msg))
+    | Ok answers -> finish ~verb:"estbatch" (Protocol.Bin.Bvalues answers)
+    | Error msg -> finish ~verb:"estbatch" (Protocol.Bin.Berr msg))
 
 (* ---- socket loop ----------------------------------------------------------- *)
 
@@ -780,6 +1150,9 @@ let run t =
   (try Unix.close sock with Unix.Unix_error _ -> ());
   (try Unix.unlink t.socket with Unix.Unix_error _ -> ());
   shutdown_pool t;
+  (* Drain the JSONL trace sink before the final report: a SHUTDOWN must
+     not strand buffered span records in a dying process. *)
+  Obs.Trace_log.close ();
   Log.info (fun m ->
       m "shut down after %d requests@.%a" (Metrics.get t.metrics "requests") Metrics.pp
         t.metrics)

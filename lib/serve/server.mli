@@ -66,16 +66,38 @@
 
     [METRICS] answers the whole picture as Prometheus text exposition
     ({!Selest_obs.Prometheus}): counters ([selest_*_total], with
-    per-model [selest_infer_total{model="..."}]), the request-latency
-    histogram ([selest_request_latency_us]), estimate-cache and registry
-    gauges, plan-cache counters and gauge ([selest_plan_cache_*]), and
-    per-model [selest_qerror] histograms. *)
+    per-model [selest_infer_total{model="..."}] and the compiled plans'
+    program-memo pair [selest_program_memo_hits]/[_misses]), the
+    request-latency histogram ([selest_request_latency_us]) plus
+    per-verb [selest_verb_latency_us{verb="..."}], estimate-cache and
+    registry gauges, plan-cache counters and gauge
+    ([selest_plan_cache_*]), per-model [selest_qerror] histograms,
+    slow-log counters and the SLO burn gauges
+    ([selest_slo_latency_burn], [selest_slo_qerror_burn{model="..."}]).
+
+    All counters and latency histograms live in a sharded, lock-free
+    {!Selest_obs.Telemetry} core (one shard per domain, merged on read),
+    so STATS / METRICS / HEALTH never block the request path.
+
+    [HEALTH] answers a multi-line SLO report: per-verb latency quantiles
+    (p50/p95/p99/p999, computed over the window since the previous
+    HEALTH via snapshot deltas), error-budget burn against the declared
+    latency and q-error SLOs, cache hit rates, per-model accuracy and
+    the slow-log state.  [SLOWLOG \[n\]] dumps the newest tail-sampled
+    captures — requests over the quantile-derived latency threshold or
+    TRUTHs over the q-error gate — each with its canonical query and a
+    replayed span tree. *)
 
 type t
 
 val create :
   ?cache_bytes:int ->
   ?pool_size:int ->
+  ?slowlog_capacity:int ->
+  ?slow_quantile:float ->
+  ?qerror_gate:float ->
+  ?slo_p99_us:float ->
+  ?slo_qerror:float ->
   db:Selest_db.Database.t ->
   socket:string ->
   unit ->
@@ -83,7 +105,17 @@ val create :
 (** [cache_bytes] defaults to 1 MiB.  [pool_size] is the number of worker
     domains for [ESTBATCH] (default [Domain.recommended_domain_count - 1];
     [0] forces inline sequential batching); the pool is spawned lazily on
-    the first batch request.  No socket is bound until {!run}. *)
+    the first batch request.  No socket is bound until {!run}.
+
+    Telemetry knobs: [slowlog_capacity] (default 128) bounds the
+    slow-log ring; [slow_quantile] (default 0.99) sets the latency
+    capture threshold — a request slower than this quantile of the
+    merged latency histogram is captured (threshold refreshed every 512
+    responses after 64 observations, rate-limited to one capture per 256
+    responses); [qerror_gate] (default 100) captures any [TRUTH] whose
+    q-error reaches it; [slo_p99_us] (default 10000) and [slo_qerror]
+    (default 100) declare the p99 latency and q-error SLO targets
+    [HEALTH] burns the error budget against. *)
 
 val registry : t -> Registry.t
 val metrics : t -> Metrics.t
@@ -97,6 +129,10 @@ val plan_cache : t -> Plan_cache.t
 
 val socket_path : t -> string
 
+val slowlog : t -> Selest_obs.Slowlog.t
+(** The tail-sampled slow-log ring — [SLOWLOG]'s backing store, exposed
+    so tests can assert on captures without re-parsing the text dump. *)
+
 val qerror_table : t -> string -> Selest_obs.Qerror.t
 (** The rolling q-error histogram for a model name, created on first
     use.  [TRUTH] records into it; exposed so a workload replay can feed
@@ -106,9 +142,9 @@ val handle_line : t -> string -> string * [ `Continue | `Stop ]
 (** Dispatch one request line to one response.  Never raises: every
     failure (parse error, unknown model, bad model file, inference error)
     becomes an [ERR] response and [`Continue]; only [SHUTDOWN] returns
-    [`Stop].  Every response is a single line except [METRICS] and
-    [EXPLAINPLAN], which return the [OK lines=<k>] multi-line frame
-    ({!Protocol.extra_lines}). *)
+    [`Stop].  Every response is a single line except [METRICS],
+    [EXPLAINPLAN], [HEALTH] and [SLOWLOG], which return the
+    [OK lines=<k>] multi-line frame ({!Protocol.extra_lines}). *)
 
 val handle_frame : t -> bytes -> string
 (** Dispatch one binary request payload ({!Protocol.Bin}, length prefix

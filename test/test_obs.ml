@@ -168,7 +168,7 @@ let test_hotpath_high_water_restore () =
 let test_hotpath_to_pairs () =
   let (), d = Hotpath.measure (fun () -> Hotpath.kernel ~entries:3 ~out:7) in
   let pairs = Hotpath.to_pairs d in
-  Alcotest.(check int) "seven counters" 7 (List.length pairs);
+  Alcotest.(check int) "nine counters" 9 (List.length pairs);
   Alcotest.(check (option int)) "factor_ops listed" (Some 1)
     (List.assoc_opt "factor_ops" pairs);
   Alcotest.(check (option int)) "entries listed" (Some 3)
@@ -359,6 +359,161 @@ let test_trace_log_jsonl () =
       Trace_log.close ();
       Alcotest.(check int) "append on reinstall" 3 (List.length (read_lines file)))
 
+(* ---- Histogram ---------------------------------------------------------------- *)
+
+let test_histogram_bounds () =
+  let h = Histogram.create () in
+  Alcotest.(check int) "empty quantile" 0 (Histogram.quantile_ns h 0.99);
+  Histogram.record h (-5);
+  Histogram.record h 0;
+  Histogram.record h max_int;
+  Alcotest.(check int) "count" 3 (Histogram.count h);
+  Alcotest.(check int) "negative clamps to zero" 2 (Histogram.count_le h 0);
+  Alcotest.(check int) "overflow clamps to max_ns" Histogram.max_ns
+    (Histogram.max_ns_seen h);
+  Alcotest.(check int) "p100 is the clamp" Histogram.max_ns
+    (Histogram.quantile_ns h 1.0)
+
+let test_histogram_exact_small () =
+  (* values below [half] land in exact unit buckets: no quantization *)
+  let h = Histogram.create () in
+  List.iter (Histogram.record h) [ 3; 3; 7 ];
+  Alcotest.(check int) "count_le" 2 (Histogram.count_le h 3);
+  Alcotest.(check int) "p50 exact" 3 (Histogram.quantile_ns h 0.5);
+  Alcotest.(check int) "p100 exact" 7 (Histogram.quantile_ns h 1.0);
+  Alcotest.(check int) "sum exact" 13 (Histogram.sum_ns h)
+
+let test_histogram_merge_diff () =
+  let a = Histogram.create () and b = Histogram.create () in
+  List.iter (Histogram.record a) [ 10; 2_000; 300_000 ];
+  List.iter (Histogram.record b) [ 50; 2_000 ];
+  let m = Histogram.copy a in
+  Histogram.merge_into ~into:m b;
+  Alcotest.(check int) "merged count" 5 (Histogram.count m);
+  Alcotest.(check int) "merged sum"
+    (Histogram.sum_ns a + Histogram.sum_ns b)
+    (Histogram.sum_ns m);
+  let d = Histogram.diff ~prev:a m in
+  Alcotest.(check int) "diff count" 2 (Histogram.count d);
+  Alcotest.(check int) "diff sum" (Histogram.sum_ns b) (Histogram.sum_ns d)
+
+let prop_histogram_buckets =
+  QCheck2.Test.make ~name:"bucket edges bound the value within 1/128"
+    ~count:2_000
+    QCheck2.Gen.(int_range 0 Histogram.max_ns)
+    (fun v ->
+      let i = Histogram.index_of_ns v in
+      let lo = Histogram.lower_ns i and hi = Histogram.upper_ns i in
+      lo <= v && v <= hi
+      && (if i < Histogram.half then hi = lo
+          else hi - lo <= lo / Histogram.half))
+
+let prop_histogram_quantile_oracle =
+  QCheck2.Test.make
+    ~name:"quantiles match a sorted oracle within one bucket" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 300) (int_range 0 50_000_000))
+    (fun vs ->
+      let h = Histogram.create () in
+      List.iter (Histogram.record h) vs;
+      let sorted = Array.of_list (List.sort compare vs) in
+      let n = Array.length sorted in
+      List.for_all
+        (fun p ->
+          let rank = max 1 (int_of_float (ceil (p *. float_of_int n))) in
+          let v = sorted.(rank - 1) in
+          let q = Histogram.quantile_ns h p in
+          (* upper-edge quantization: never understates, overstates by at
+             most one bucket width *)
+          v <= q && q - v <= max 1 (v / Histogram.half))
+        [ 0.5; 0.9; 0.99; 0.999; 1.0 ])
+
+(* ---- Telemetry ---------------------------------------------------------------- *)
+
+let prop_telemetry_concurrent_merge =
+  (* K writer domains hammer one instance; after join (a happens-before
+     edge) the merged totals are exact and quantiles are bit-identical
+     to a sequential histogram of the same samples. *)
+  QCheck2.Test.make ~name:"K-domain merged totals are exact" ~count:5
+    QCheck2.Gen.(pair (int_range 2 4) (int_range 200 2_000))
+    (fun (k, n) ->
+      let tel = Telemetry.create () in
+      let sample i = i * 9_973 mod 5_000_000 in
+      let domains =
+        List.init k (fun _ ->
+            Domain.spawn (fun () ->
+                for i = 1 to n do
+                  Telemetry.incr tel "ops";
+                  Telemetry.record_ns tel "lat" (sample i)
+                done))
+      in
+      List.iter Domain.join domains;
+      let oracle = Histogram.create () in
+      for _ = 1 to k do
+        for i = 1 to n do
+          Histogram.record oracle (sample i)
+        done
+      done;
+      let snap = Telemetry.snapshot tel in
+      Telemetry.Snapshot.find_counter snap "ops" = k * n
+      && Telemetry.n_shards tel = k
+      &&
+      match Telemetry.Snapshot.find_hist snap "lat" with
+      | None -> false
+      | Some h ->
+        Histogram.count h = k * n
+        && Histogram.sum_ns h = Histogram.sum_ns oracle
+        && List.for_all
+             (fun p -> Histogram.quantile_ns h p = Histogram.quantile_ns oracle p)
+             [ 0.5; 0.95; 0.99; 0.999 ])
+
+let test_telemetry_delta () =
+  let tel = Telemetry.create () in
+  Telemetry.incr ~by:5 tel "x";
+  let s1 = Telemetry.snapshot tel in
+  Telemetry.incr ~by:3 tel "x";
+  Telemetry.incr tel "fresh";
+  Telemetry.record_ns tel "h" 10;
+  let s2 = Telemetry.snapshot tel in
+  Alcotest.(check bool) "epoch increases" true
+    (s2.Telemetry.epoch > s1.Telemetry.epoch);
+  let d = Telemetry.Snapshot.delta ~prev:s1 s2 in
+  Alcotest.(check int) "window counter" 3 (Telemetry.Snapshot.find_counter d "x");
+  Alcotest.(check int) "fresh slot counts from zero" 1
+    (Telemetry.Snapshot.find_counter d "fresh");
+  (match Telemetry.Snapshot.find_hist d "h" with
+  | Some h -> Alcotest.(check int) "window hist count" 1 (Histogram.count h)
+  | None -> Alcotest.fail "window histogram missing");
+  Alcotest.(check int) "lifetime unchanged" 8
+    (Telemetry.Snapshot.find_counter s2 "x")
+
+(* ---- Slowlog ------------------------------------------------------------------ *)
+
+let test_slowlog_ring () =
+  let sl = Slowlog.create ~capacity:3 () in
+  for i = 1 to 5 do
+    ignore
+      (Slowlog.add sl ~verb:"est" ~reason:Slowlog.Latency
+         ~query:(Printf.sprintf "q%d" i) ~lat_ns:(i * 1_000) ~threshold_ns:500
+         ~spans:[] ())
+  done;
+  Alcotest.(check int) "total counts evicted" 5 (Slowlog.total sl);
+  Alcotest.(check int) "held bounded" 3 (Slowlog.length sl);
+  Alcotest.(check (list string)) "newest first"
+    [ "q5"; "q4" ]
+    (List.map (fun e -> e.Slowlog.query) (Slowlog.recent ~n:2 sl));
+  Alcotest.(check (list int)) "seqs never reused" [ 5; 4; 3 ]
+    (List.map (fun e -> e.Slowlog.seq) (Slowlog.recent sl));
+  let q =
+    Slowlog.add sl ~verb:"truth" ~reason:Slowlog.Qerror ~query:"qq"
+      ~lat_ns:10 ~threshold_ns:max_int ~qerror:123.0 ~spans:[] ()
+  in
+  Alcotest.(check int) "seq continues" 6 q;
+  match Slowlog.recent ~n:1 sl with
+  | [ e ] ->
+    Alcotest.(check string) "reason" "qerror" (Slowlog.reason_to_string e.Slowlog.reason);
+    Alcotest.(check (option (float 1e-9))) "qerror kept" (Some 123.0) e.Slowlog.qerror
+  | _ -> Alcotest.fail "expected one entry"
+
 (* ---- suite -------------------------------------------------------------------------- *)
 
 let () =
@@ -392,4 +547,18 @@ let () =
           Alcotest.test_case "kind conflict" `Quick test_prometheus_kind_conflict;
         ] );
       ("trace-log", [ Alcotest.test_case "jsonl" `Quick test_trace_log_jsonl ]);
+      ( "histogram",
+        [
+          Alcotest.test_case "bounds" `Quick test_histogram_bounds;
+          Alcotest.test_case "exact small values" `Quick test_histogram_exact_small;
+          Alcotest.test_case "merge and diff" `Quick test_histogram_merge_diff;
+        ] );
+      ( "histogram-properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_histogram_buckets; prop_histogram_quantile_oracle ] );
+      ( "telemetry",
+        Alcotest.test_case "snapshot delta" `Quick test_telemetry_delta
+        :: List.map QCheck_alcotest.to_alcotest [ prop_telemetry_concurrent_merge ]
+      );
+      ("slowlog", [ Alcotest.test_case "ring" `Quick test_slowlog_ring ]);
     ]

@@ -307,6 +307,14 @@ let test_protocol_obs_verbs () =
   Alcotest.(check bool) "truth negative" true (Result.is_error (p "TRUTH -1 p=patient"));
   Alcotest.(check bool) "truth missing body" true (Result.is_error (p "TRUTH 12"));
   Alcotest.(check bool) "metrics" true (p "METRICS" = Ok Protocol.Metrics);
+  Alcotest.(check bool) "health" true (p "HEALTH" = Ok Protocol.Health);
+  Alcotest.(check bool) "health case" true (p "health" = Ok Protocol.Health);
+  Alcotest.(check bool) "slowlog bare" true
+    (p "SLOWLOG" = Ok (Protocol.Slowlog { n = None }));
+  Alcotest.(check bool) "slowlog count" true
+    (p "slowlog 7" = Ok (Protocol.Slowlog { n = Some 7 }));
+  Alcotest.(check bool) "slowlog bad count" true (Result.is_error (p "SLOWLOG x"));
+  Alcotest.(check bool) "slowlog zero" true (Result.is_error (p "SLOWLOG 0"));
   (* multi-line framing *)
   Alcotest.(check string) "multiline header" "OK lines=2\na\nb"
     (Protocol.ok_multiline "a\nb\n");
@@ -529,6 +537,75 @@ let test_socket_round_trip () =
           Alcotest.(check string) "still alive" "PONG" (Client.request c "PING");
           Alcotest.(check string) "shutdown" "OK bye" (Client.request c "SHUTDOWN")));
   Alcotest.(check bool) "socket removed after join" false (Sys.file_exists socket)
+
+(* A TRUTH whose q-error crosses the gate must land in the slow-log with
+   a replayed span tree, and HEALTH must report it — all through a real
+   socket, so the multi-line framing is exercised too. *)
+let test_socket_slowlog_capture () =
+  let contains line sub =
+    let n = String.length sub in
+    let rec probe i =
+      i + n <= String.length line && (String.sub line i n = sub || probe (i + 1))
+    in
+    probe 0
+  in
+  let db0 = Lazy.force db in
+  let m = Lazy.force model in
+  let model_path = Filename.temp_file "selest" ".prm" in
+  Selest_prm.Serialize.save model_path m;
+  let socket = Filename.temp_file "selest" ".sock" in
+  Sys.remove socket;
+  let server = Server.create ~qerror_gate:50.0 ~db:db0 ~socket () in
+  let thread = Thread.create Server.run server in
+  Fun.protect
+    ~finally:(fun () ->
+      Thread.join thread;
+      Sys.remove model_path)
+    (fun () ->
+      Client.with_connection ~retries:100 ~socket (fun c ->
+          Alcotest.(check bool) "load ok" true
+            (Protocol.is_ok (Client.request c (Printf.sprintf "LOAD tb %s" model_path)));
+          Alcotest.(check bool) "est ok" true
+            (Protocol.is_ok (Client.request c "EST p=patient ; ; p.USBorn=1"));
+          (* absurd ground truth: the q-error crosses the gate *)
+          Alcotest.(check bool) "truth ok" true
+            (Protocol.is_ok (Client.request c "TRUTH 1e12 p=patient ; ; p.USBorn=1"));
+          let sl = Client.request c "SLOWLOG 5" in
+          Alcotest.(check bool) "slowlog ok" true (Protocol.is_ok sl);
+          let lines = String.split_on_char '\n' sl in
+          Alcotest.(check bool) "qerror capture listed" true
+            (List.exists
+               (fun l -> contains l "reason=qerror" && contains l "verb=truth")
+               lines);
+          Alcotest.(check bool) "span tree replayed" true
+            (List.exists (fun l -> contains l "span est.parse") lines);
+          Alcotest.(check bool) "generic engine spans present" true
+            (List.exists (fun l -> contains l "span ve.eliminate") lines);
+          (* the backing ring agrees with the text dump *)
+          (match Selest_obs.Slowlog.recent ~n:1 (Server.slowlog server) with
+          | [ e ] ->
+            Alcotest.(check string) "ring verb" "truth" e.Selest_obs.Slowlog.verb;
+            Alcotest.(check bool) "ring qerror recorded" true
+              (match e.Selest_obs.Slowlog.qerror with
+              | Some q -> q > 50.0
+              | None -> false)
+          | _ -> Alcotest.fail "expected one slow-log entry");
+          let h = Client.request c "HEALTH" in
+          Alcotest.(check bool) "health ok" true (Protocol.is_ok h);
+          let hlines = String.split_on_char '\n' h in
+          Alcotest.(check bool) "status line" true
+            (List.exists (fun l -> contains l "status=") hlines);
+          Alcotest.(check bool) "per-verb p999" true
+            (List.exists
+               (fun l -> contains l "verb=est" && contains l "p999_us=")
+               hlines);
+          Alcotest.(check bool) "latency slo line" true
+            (List.exists (fun l -> contains l "slo=latency") hlines);
+          Alcotest.(check bool) "qerror slo line" true
+            (List.exists (fun l -> contains l "slo=qerror model=tb") hlines);
+          Alcotest.(check bool) "slowlog summary counts capture" true
+            (List.exists (fun l -> contains l "slowlog captured=1") hlines);
+          Alcotest.(check string) "shutdown" "OK bye" (Client.request c "SHUTDOWN")))
 
 (* ---- binary frames (Protocol.Bin) ------------------------------------------------- *)
 
@@ -761,6 +838,8 @@ let () =
           Alcotest.test_case "explainplan" `Quick test_server_explainplan;
           Alcotest.test_case "estbatch" `Quick test_server_estbatch;
           Alcotest.test_case "socket round trip" `Quick test_socket_round_trip;
+          Alcotest.test_case "socket slow-log capture" `Quick
+            test_socket_slowlog_capture;
           Alcotest.test_case "contradiction on the compiled path" `Quick
             test_server_bytecode_contradiction_regression;
         ] );
