@@ -39,6 +39,13 @@ bench: build
 # single-core hosts), HEALTH/SLOWLOG end to end, and its response shape
 # diffed against test/golden/telemetry_golden.txt; emits
 # BENCH_telemetry.json.
+# The serve figure gates the shard-per-domain server over real sockets:
+# QPS at 1/2/4 executor domains (the >= 1.7x 2→4 scaling gate is
+# recorded as skipped on hosts with < 4 cores), bit-identity of every
+# sharded answer against the transport-free single-domain reference,
+# admission-control BUSY rejection, TCP text + binary transport, and
+# structural lock-freedom of the sharded request path; emits
+# BENCH_serve.json.
 bench-smoke: build
 	dune exec bench/main.exe -- --fig inference
 	@python3 -m json.tool BENCH_inference.json > /dev/null 2>&1 \
@@ -74,6 +81,10 @@ bench-smoke: build
 	@diff -u test/golden/telemetry_golden.txt BENCH_telemetry_golden.txt \
 	  && echo "telemetry golden: match" \
 	  || { echo "telemetry golden: HEALTH/SLOWLOG shape changed (update test/golden/telemetry_golden.txt if intended)"; exit 1; }
+	dune exec bench/main.exe -- --fig serve
+	@python3 -m json.tool BENCH_serve.json > /dev/null 2>&1 \
+	  && echo "BENCH_serve.json: valid" \
+	  || { echo "BENCH_serve.json: INVALID JSON"; exit 1; }
 
 # Smoke-test the estimation service end to end: start a server that learns
 # a PRM over the TB dataset, exercise the whole protocol, shut it down.

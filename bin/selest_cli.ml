@@ -510,6 +510,20 @@ let socket_arg =
     & opt (some string) None
     & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
 
+(* HOST:PORT pairs for the TCP listener/client. *)
+let tcp_conv =
+  let parse s =
+    match String.rindex_opt s ':' with
+    | None -> Error (`Msg "expected HOST:PORT")
+    | Some i -> (
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p > 0 && p < 65536 && host <> "" -> Ok (host, p)
+      | _ -> Error (`Msg "expected HOST:PORT with PORT in 1..65535"))
+  in
+  Arg.conv (parse, fun ppf (h, p) -> Format.fprintf ppf "%s:%d" h p)
+
 let serve_cmd =
   let cache_arg =
     Arg.(
@@ -560,15 +574,46 @@ let serve_cmd =
       & info [ "slo-p99-us" ] ~docv:"US"
           ~doc:"Declared p99 latency SLO target in microseconds (HEALTH burn rate).")
   in
+  let domains_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Executor shards: one domain per shard, each owning a disjoint set of \
+             connections with its own estimate and plan caches (lock-free request \
+             path when $(docv) > 1).")
+  in
+  let tcp_arg =
+    Arg.(
+      value
+      & opt (some tcp_conv) None
+      & info [ "tcp" ] ~docv:"HOST:PORT"
+          ~doc:"Also listen on a TCP endpoint (the Unix socket stays bound).")
+  in
+  let max_inflight_arg =
+    Arg.(
+      value & opt int 1024
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:
+            "Admission budget: live connections per shard.  When every shard is \
+             full, new connections are answered BUSY and closed.")
+  in
+  let backlog_arg =
+    Arg.(
+      value & opt int 128
+      & info [ "backlog" ] ~docv:"N"
+          ~doc:"listen(2) backlog for both the Unix-socket and TCP listeners.")
+  in
   let run dataset seed scale from_dir budget socket cache_bytes pool_size model_file
-      learn slow_quantile qerror_gate slo_p99_us verbose trace =
+      learn slow_quantile qerror_gate slo_p99_us domains tcp max_inflight backlog
+      verbose trace =
     setup_logs verbose;
     setup_trace trace;
     Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info));
     let db = make_db dataset ~scale ~seed ~from_dir in
     let server =
       Serve.Server.create ~cache_bytes ?pool_size ~slow_quantile ~qerror_gate
-        ~slo_p99_us ~db ~socket ()
+        ~slo_p99_us ~domains ?tcp ~max_inflight ~backlog ~db ~socket ()
     in
     (match model_file with
     | Some path ->
@@ -580,25 +625,64 @@ let serve_cmd =
       ignore (Serve.Registry.register (Serve.Server.registry server) ~name:"default" model);
       Printf.printf "learned default model (%d bytes)\n%!" (Prm.Model.size_bytes model)
     end;
-    Printf.printf "serving on %s (schema %s)\n%!" socket
-      (Serve.Registry.schema_fingerprint (Serve.Server.registry server));
+    Printf.printf "serving on %s%s (schema %s, %d domain%s)\n%!" socket
+      (match tcp with
+      | None -> ""
+      | Some (h, p) -> Printf.sprintf " and tcp %s:%d" h p)
+      (Serve.Registry.schema_fingerprint (Serve.Server.registry server))
+      domains
+      (if domains = 1 then "" else "s");
     Serve.Server.run server
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Run the long-lived estimation service on a Unix-domain socket.  Speaks a \
-          line protocol: PING, LOAD <name> <path>, EST [@model] <query>, ESTBATCH \
-          [@model] <query> || <query> || ..., EXPLAIN [@model] <query>, TRUTH \
-          [@model] <n> <query>, METRICS, STATS, HEALTH, SLOWLOG [<count>], \
-          SHUTDOWN.")
+         "Run the long-lived estimation service on a Unix-domain socket (and \
+          optionally TCP via --tcp).  Speaks a line protocol: PING, LOAD <name> \
+          <path>, EST [@model] <query>, ESTBATCH [@model] <query> || <query> || \
+          ..., EXPLAIN [@model] <query>, TRUTH [@model] <n> <query>, METRICS, \
+          STATS, HEALTH, SHARDS, SLOWLOG [<count>], SHUTDOWN.  With --domains N \
+          the server runs N executor shards, each with domain-local caches; when \
+          every shard is at --max-inflight connections, new connections get one \
+          BUSY line.")
     Term.(
       const run $ dataset_arg $ seed_arg $ scale_arg $ from_dir_arg $ budget_arg
       $ socket_arg $ cache_arg $ pool_arg $ model_arg $ learn_arg
-      $ slow_quantile_arg $ qerror_gate_arg $ slo_p99_arg $ verbose_arg
-      $ trace_arg)
+      $ slow_quantile_arg $ qerror_gate_arg $ slo_p99_arg $ domains_arg $ tcp_arg
+      $ max_inflight_arg $ backlog_arg $ verbose_arg $ trace_arg)
 
 (* ---- ask ------------------------------------------------------------------------- *)
+
+(* Client commands reach the server over either transport: --socket PATH
+   (Unix domain) or --tcp HOST:PORT. *)
+
+let client_socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path of the server.")
+
+let client_tcp_arg =
+  Arg.(
+    value
+    & opt (some tcp_conv) None
+    & info [ "tcp" ] ~docv:"HOST:PORT"
+        ~doc:"TCP endpoint of the server (alternative to --socket).")
+
+let endpoint_name socket tcp =
+  match (socket, tcp) with
+  | Some s, _ -> s
+  | None, Some (h, p) -> Printf.sprintf "%s:%d" h p
+  | None, None -> "<no endpoint>"
+
+let with_client ~cmd ~socket ~tcp ~retries f =
+  match (socket, tcp) with
+  | Some s, _ -> Serve.Client.with_connection ~retries ~socket:s f
+  | None, Some (host, port) ->
+    Serve.Client.with_tcp_connection ~retries ~host ~port f
+  | None, None ->
+    Printf.eprintf "%s: need --socket PATH or --tcp HOST:PORT\n" cmd;
+    exit 1
 
 let ask_cmd =
   let words_arg =
@@ -613,7 +697,9 @@ let ask_cmd =
     Arg.(
       value & opt int 40
       & info [ "retries" ] ~docv:"N"
-          ~doc:"Connection attempts (50ms apart) while the server starts up.")
+          ~doc:
+            "Connection attempts (exponential backoff, 10ms doubling capped at \
+             640ms) while the server starts up.")
   in
   let bin_arg =
     Arg.(
@@ -657,33 +743,33 @@ let ask_cmd =
       print_endline (Serve.Protocol.err msg);
       `Err
   in
-  let run socket retries bin words =
+  let run socket tcp retries bin words =
     let line = String.concat " " words in
     if bin then (
-      match Serve.Client.with_connection ~retries ~socket (fun c -> run_bin c line) with
+      match with_client ~cmd:"ask" ~socket ~tcp ~retries (fun c -> run_bin c line) with
       | `Ok -> ()
       | `Err -> exit 1
       | exception Unix.Unix_error (e, _, _) ->
-        Printf.eprintf "ask: cannot reach server at %s: %s\n" socket
-          (Unix.error_message e);
+        Printf.eprintf "ask: cannot reach server at %s: %s\n"
+          (endpoint_name socket tcp) (Unix.error_message e);
         exit 1)
     else
       match
-        Serve.Client.with_connection ~retries ~socket (fun c ->
+        with_client ~cmd:"ask" ~socket ~tcp ~retries (fun c ->
             Serve.Client.request c line)
       with
       | response ->
           print_endline response;
           if Serve.Protocol.is_err response then exit 1
       | exception Unix.Unix_error (e, _, _) ->
-          Printf.eprintf "ask: cannot reach server at %s: %s\n" socket
-            (Unix.error_message e);
+          Printf.eprintf "ask: cannot reach server at %s: %s\n"
+            (endpoint_name socket tcp) (Unix.error_message e);
           exit 1
   in
   Cmd.v
     (Cmd.info "ask"
        ~doc:"Send one request line to a running estimation service and print the reply.")
-    Term.(const run $ socket_arg $ retries_arg $ bin_arg $ words_arg)
+    Term.(const run $ client_socket_arg $ client_tcp_arg $ retries_arg $ bin_arg $ words_arg)
 
 (* ---- health / slowlog ------------------------------------------------------------ *)
 
@@ -694,32 +780,34 @@ let client_retries_arg =
   Arg.(
     value & opt int 40
     & info [ "retries" ] ~docv:"N"
-        ~doc:"Connection attempts (50ms apart) while the server starts up.")
+        ~doc:
+          "Connection attempts (exponential backoff, 10ms doubling capped at \
+           640ms) while the server starts up.")
 
-let send_and_print ~cmd ~socket ~retries line =
+let send_and_print ~cmd ~socket ~tcp ~retries line =
   match
-    Serve.Client.with_connection ~retries ~socket (fun c ->
-        Serve.Client.request c line)
+    with_client ~cmd ~socket ~tcp ~retries (fun c -> Serve.Client.request c line)
   with
   | response ->
     print_endline response;
     if Serve.Protocol.is_err response then exit 1
   | exception Unix.Unix_error (e, _, _) ->
-    Printf.eprintf "%s: cannot reach server at %s: %s\n" cmd socket
-      (Unix.error_message e);
+    Printf.eprintf "%s: cannot reach server at %s: %s\n" cmd
+      (endpoint_name socket tcp) (Unix.error_message e);
     exit 1
 
 let health_cmd =
-  let run socket retries =
-    send_and_print ~cmd:"health" ~socket ~retries "HEALTH"
+  let run socket tcp retries =
+    send_and_print ~cmd:"health" ~socket ~tcp ~retries "HEALTH"
   in
   Cmd.v
     (Cmd.info "health"
        ~doc:
          "Print a running service's SLO report: per-verb latency quantiles \
           (p50/p95/p99/p999), error-budget burn against the declared latency and \
-          q-error SLOs, cache hit rates, per-model accuracy and slow-log state.")
-    Term.(const run $ socket_arg $ client_retries_arg)
+          q-error SLOs, cache hit rates, per-shard state, per-model accuracy and \
+          slow-log state.")
+    Term.(const run $ client_socket_arg $ client_tcp_arg $ client_retries_arg)
 
 let slowlog_cmd =
   let n_arg =
@@ -728,11 +816,11 @@ let slowlog_cmd =
       & opt (some int) None
       & info [ "n" ] ~docv:"COUNT" ~doc:"Newest $(docv) entries (default 10).")
   in
-  let run socket retries n =
+  let run socket tcp retries n =
     let line =
       match n with Some n -> Printf.sprintf "SLOWLOG %d" n | None -> "SLOWLOG"
     in
-    send_and_print ~cmd:"slowlog" ~socket ~retries line
+    send_and_print ~cmd:"slowlog" ~socket ~tcp ~retries line
   in
   Cmd.v
     (Cmd.info "slowlog"
@@ -740,7 +828,7 @@ let slowlog_cmd =
          "Dump a running service's tail-sampled slow-log: requests over the \
           latency threshold or TRUTHs over the q-error gate, each with its \
           canonical query and captured span tree.")
-    Term.(const run $ socket_arg $ client_retries_arg $ n_arg)
+    Term.(const run $ client_socket_arg $ client_tcp_arg $ client_retries_arg $ n_arg)
 
 (* ---- main ------------------------------------------------------------------------ *)
 

@@ -7,15 +7,18 @@ let bounds = Array.init n_buckets (fun i -> bucket_ratio ** float_of_int (i + 1)
 
 type t = {
   mutex : Mutex.t;
+  sync : bool;
   hist : int array;
   mutable count : int;
   mutable sum : float;
   mutable max_q : float;
 }
 
-let create () =
-  { mutex = Mutex.create (); hist = Array.make n_buckets 0; count = 0;
+let create ?(sync = true) () =
+  { mutex = Mutex.create (); sync; hist = Array.make n_buckets 0; count = 0;
     sum = 0.0; max_q = 0.0 }
+
+let synchronized t = t.sync
 
 let value ~est ~truth =
   let e = Float.max est 1.0 and t = Float.max truth 1.0 in
@@ -30,20 +33,41 @@ let bucket_of q =
   in
   search 0 (n_buckets - 1)
 
-let record t q =
-  let q = Float.max q 1.0 in
-  Mutex.lock t.mutex;
+let record_unlocked t q =
   t.hist.(bucket_of q) <- t.hist.(bucket_of q) + 1;
   t.count <- t.count + 1;
   t.sum <- t.sum +. q;
-  if q > t.max_q then t.max_q <- q;
-  Mutex.unlock t.mutex
+  if q > t.max_q then t.max_q <- q
+
+let record t q =
+  let q = Float.max q 1.0 in
+  if t.sync then begin
+    Mutex.lock t.mutex;
+    record_unlocked t q;
+    Mutex.unlock t.mutex
+  end
+  else record_unlocked t q
 
 let observe t ~est ~truth = record t (value ~est ~truth)
 
 let locked t f =
-  Mutex.lock t.mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+  if t.sync then begin
+    Mutex.lock t.mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+  end
+  else f ()
+
+let merge_into ~into t =
+  locked t (fun () ->
+      let snap_hist = Array.copy t.hist in
+      let snap_count = t.count and snap_sum = t.sum and snap_max = t.max_q in
+      locked into (fun () ->
+          Array.iteri
+            (fun i n -> into.hist.(i) <- into.hist.(i) + n)
+            snap_hist;
+          into.count <- into.count + snap_count;
+          into.sum <- into.sum +. snap_sum;
+          if snap_max > into.max_q then into.max_q <- snap_max))
 
 let count t = locked t (fun () -> t.count)
 

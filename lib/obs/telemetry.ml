@@ -26,6 +26,7 @@ type shard = {
   lock : Mutex.t; (* name-map structure only; never held on the hot path *)
   counters : (string, int ref) Hashtbl.t;
   hists : (string, Histogram.t) Hashtbl.t;
+  qerrors : (string, Qerror.t) Hashtbl.t;
 }
 
 type t = {
@@ -43,6 +44,7 @@ let create () =
             lock = Mutex.create ();
             counters = Hashtbl.create 16;
             hists = Hashtbl.create 8;
+            qerrors = Hashtbl.create 4;
           }
         in
         let rec push () =
@@ -92,11 +94,37 @@ let hist sh name =
     Mutex.unlock sh.lock;
     h
 
+(* Per-shard q-error tables follow the same find-or-create discipline as
+   counters and histograms.  Tables are created [~sync:false]: only the
+   owner domain records into them, and cross-domain readers go through
+   [qerrors_merged], whose racy reads are never torn (ints + unboxed
+   floats). *)
+let qerror_slot sh name =
+  match Hashtbl.find_opt sh.qerrors name with
+  | Some q -> q
+  | None ->
+    Mutex.lock sh.lock;
+    let q =
+      match Hashtbl.find_opt sh.qerrors name with
+      | Some q -> q
+      | None ->
+        let q = Qerror.create ~sync:false () in
+        Hashtbl.add sh.qerrors name q;
+        q
+    in
+    Mutex.unlock sh.lock;
+    q
+
 let incr ?(by = 1) t name =
   let r = counter_ref (shard t) name in
   r := !r + by
 
 let record_ns t name v = Histogram.record (hist (shard t) name) v
+
+let qerror_shard t name = qerror_slot (shard t) name
+
+let observe_qerror t name ~est ~truth =
+  Qerror.observe (qerror_slot (shard t) name) ~est ~truth
 
 (* ---- read side ------------------------------------------------------------- *)
 
@@ -159,6 +187,27 @@ let hist_merged t name =
       | None -> ())
     (Atomic.get t.shards);
   acc
+
+let qerror_merged t name =
+  let acc = Qerror.create () in
+  List.iter
+    (fun (sh : shard) ->
+      match Hashtbl.find_opt sh.qerrors name with
+      | Some q -> Qerror.merge_into ~into:acc q
+      | None -> ())
+    (Atomic.get t.shards);
+  acc
+
+let qerrors_merged t =
+  let names = Hashtbl.create 8 in
+  List.iter
+    (fun (sh : shard) ->
+      Mutex.lock sh.lock;
+      Hashtbl.iter (fun k _ -> Hashtbl.replace names k ()) sh.qerrors;
+      Mutex.unlock sh.lock)
+    (Atomic.get t.shards);
+  Hashtbl.fold (fun k () acc -> (k, qerror_merged t k) :: acc) names []
+  |> List.sort compare
 
 let n_shards t = List.length (Atomic.get t.shards)
 

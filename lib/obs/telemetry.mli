@@ -32,12 +32,31 @@ val record_ns : t -> string -> int -> unit
 (** Record one latency sample (ns) into the named histogram on the
     calling domain's shard.  Zero-allocation after the slot exists. *)
 
+val observe_qerror : t -> string -> est:float -> truth:float -> unit
+(** Record one (estimate, truth) accuracy observation into the named
+    {!Qerror} table on the calling domain's shard.  Lock-free after the
+    slot exists: the shard-local table is created [~sync:false] and only
+    the owner domain writes it. *)
+
+val qerror_shard : t -> string -> Qerror.t
+(** The calling domain's shard-local q-error table for [name] (created
+    empty on first use).  Writes through the returned handle land in
+    this domain's shard and are visible to {!qerrors_merged}. *)
+
 val get : t -> string -> int
 (** Merged value of a counter across all shards; 0 when never bumped. *)
 
 val hist_merged : t -> string -> Histogram.t
 (** Merged copy of a named histogram across all shards; empty when never
     recorded. *)
+
+val qerror_merged : t -> string -> Qerror.t
+(** Fresh merged copy of the named q-error table across all shards;
+    empty when never observed.  Reads of unquiesced shards are racy but
+    never torn. *)
+
+val qerrors_merged : t -> (string * Qerror.t) list
+(** Every observed q-error table name with its merged copy, sorted. *)
 
 val n_shards : t -> int
 (** Shards created so far (= domains that have written). *)

@@ -1,24 +1,66 @@
 type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
 
-let connect ?(retries = 0) ~socket () =
-  let rec attempt left =
-    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    match Unix.connect fd (Unix.ADDR_UNIX socket) with
+type endpoint = Unix_socket of string | Tcp of string * int
+
+(* Bounded exponential backoff for the startup race (socket not bound
+   yet / listener's backlog momentarily full): 10ms doubling to a 640ms
+   ceiling.  Total worst-case wait for the default test retry counts
+   stays in seconds, while steady-state retries no longer hammer a
+   server that is seconds away from binding. *)
+let backoff_base = 0.01
+let backoff_cap = 0.64
+
+let backoff_delay attempt =
+  Float.min backoff_cap (backoff_base *. Float.pow 2.0 (float_of_int attempt))
+
+let resolve_tcp host port =
+  match
+    Unix.getaddrinfo host (string_of_int port)
+      [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM; Unix.AI_FAMILY Unix.PF_INET ]
+  with
+  | ai :: _ -> ai.Unix.ai_addr
+  | [] -> Unix.ADDR_INET (Unix.inet_addr_of_string host, port)
+
+let connect_endpoint ?(retries = 0) endpoint =
+  let domain, addr =
+    match endpoint with
+    | Unix_socket socket -> (Unix.PF_UNIX, Unix.ADDR_UNIX socket)
+    | Tcp (host, port) -> (Unix.PF_INET, resolve_tcp host port)
+  in
+  let rec attempt n =
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    match Unix.connect fd addr with
     | () -> { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
-    | exception Unix.Unix_error ((ENOENT | ECONNREFUSED), _, _) when left > 0 ->
+    | exception
+        Unix.Unix_error
+          ((ENOENT | ECONNREFUSED | EAGAIN | EWOULDBLOCK | EINTR), _, _)
+      when n < retries ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
-      Unix.sleepf 0.05;
-      attempt (left - 1)
+      Unix.sleepf (backoff_delay n);
+      attempt (n + 1)
     | exception e ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
       raise e
   in
-  attempt retries
+  attempt 0
+
+let connect ?retries ~socket () = connect_endpoint ?retries (Unix_socket socket)
+
+let connect_tcp ?retries ~host ~port () =
+  connect_endpoint ?retries (Tcp (host, port))
 
 let request t line =
-  output_string t.oc line;
-  output_char t.oc '\n';
-  flush t.oc;
+  (* A server that rejects the connection (admission BUSY) writes its
+     verdict and closes immediately — possibly before our request line
+     lands, in which case the write fails with EPIPE.  The parting reply
+     is still queued on our side of the socket, so fall through to the
+     read; if there is truly nothing, [input_line] raises [End_of_file]
+     as usual. *)
+  (try
+     output_string t.oc line;
+     output_char t.oc '\n';
+     flush t.oc
+   with Sys_error _ | Unix.Unix_error (EPIPE, _, _) -> ());
   let header = input_line t.ic in
   match Protocol.extra_lines header with
   | 0 -> header
@@ -65,4 +107,8 @@ let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
 let with_connection ?retries ~socket f =
   let c = connect ?retries ~socket () in
+  Fun.protect ~finally:(fun () -> close c) (fun () -> f c)
+
+let with_tcp_connection ?retries ~host ~port f =
+  let c = connect_tcp ?retries ~host ~port () in
   Fun.protect ~finally:(fun () -> close c) (fun () -> f c)

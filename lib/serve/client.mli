@@ -2,22 +2,37 @@
 
     One request line in, one response line out ({!Protocol}).  This is
     what the CLI's [ask] subcommand and the end-to-end tests use; an
-    optimizer embedding would talk to the socket the same way. *)
+    optimizer embedding would talk to the socket the same way.  Both
+    transports are supported: the Unix-domain socket ({!connect}) and
+    the TCP listener ({!connect_tcp}). *)
 
 type t
 
+val backoff_delay : int -> float
+(** [backoff_delay n] is the pause before retry attempt [n] (0-based):
+    10ms doubling per attempt, capped at 640ms.  Exposed so tests can
+    pin the schedule. *)
+
 val connect : ?retries:int -> socket:string -> unit -> t
 (** Connect to a server's Unix-domain socket.  [retries] (default 0)
-    re-attempts with a 50ms pause when the socket does not exist yet or
-    refuses connections — the startup race of a freshly spawned server.
-    Raises [Unix.Unix_error] once the attempts are exhausted. *)
+    re-attempts on [ENOENT]/[ECONNREFUSED]/[EAGAIN] — the startup race
+    of a freshly spawned server — with bounded exponential backoff
+    ({!backoff_delay}).  Raises [Unix.Unix_error] once the attempts are
+    exhausted. *)
+
+val connect_tcp : ?retries:int -> host:string -> port:int -> unit -> t
+(** Connect to a server's TCP listener ([serve --tcp HOST:PORT]).  Same
+    retry/backoff contract as {!connect}. *)
 
 val request : t -> string -> string
 (** Send one request line, wait for the response.  Single-line responses
     come back as-is; an [OK lines=<k>] header ({!Protocol.extra_lines},
     e.g. from [METRICS]) makes the client read the [k] payload lines too
-    and return the whole newline-joined text.  Raises [End_of_file] if
-    the server hangs up first. *)
+    and return the whole newline-joined text.  If the server hangs up
+    while the request is being written (an admission [BUSY] rejection
+    races the request line), the already-queued parting reply is still
+    read and returned.  Raises [End_of_file] if the server hung up
+    without replying at all. *)
 
 val upgrade : t -> unit
 (** Switch the connection to the binary frame protocol: send the [BIN]
@@ -38,3 +53,7 @@ val close : t -> unit
 
 val with_connection : ?retries:int -> socket:string -> (t -> 'a) -> 'a
 (** Connect, run, close (also on exceptions). *)
+
+val with_tcp_connection :
+  ?retries:int -> host:string -> port:int -> (t -> 'a) -> 'a
+(** {!connect_tcp}, run, close (also on exceptions). *)

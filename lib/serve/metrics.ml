@@ -32,6 +32,23 @@ let observe_verb_ns t ~verb ns =
 
 let observe t seconds = observe_ns t (int_of_float (seconds *. 1e9))
 
+(* ---- accuracy (q-error) ----------------------------------------------------
+   Same sharding discipline as counters/histograms: TRUTH observations
+   land in the calling domain's shard table (lock-free after the slot
+   exists), reads merge shards on demand. *)
+
+let observe_qerror t name ~est ~truth =
+  Obs.Telemetry.observe_qerror t.tel name ~est ~truth
+
+let qerror_shard t name = Obs.Telemetry.qerror_shard t.tel name
+let qerror_merged t name = Obs.Telemetry.qerror_merged t.tel name
+let qerror_tables t = Obs.Telemetry.qerrors_merged t.tel
+
+(* Shard-identity counter names: "shard.<sid>.requests" etc.  Callers
+   precompute these once per shard so the request path does no
+   formatting. *)
+let shard_key sid name = Printf.sprintf "shard.%d.%s" sid name
+
 let agg t = Obs.Telemetry.hist_merged t.tel lat_all
 let lat_key = lat_all
 let verb_key verb = verb_prefix ^ verb

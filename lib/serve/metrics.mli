@@ -65,6 +65,26 @@ val observe_verb_ns : t -> verb:string -> int -> unit
 (** Record one latency into both the aggregate histogram and the verb's
     own histogram (the per-verb quantiles HEALTH reports). *)
 
+val observe_qerror : t -> string -> est:float -> truth:float -> unit
+(** Record one (estimate, ground-truth) pair into the named per-model
+    q-error table on the calling domain's shard.  Lock-free after the
+    slot exists — the TRUTH path no longer serializes domains. *)
+
+val qerror_shard : t -> string -> Selest_obs.Qerror.t
+(** The calling domain's shard-local q-error table for a model name
+    (created empty on first use).  Writes through it are merged into
+    {!qerror_merged} / {!qerror_tables} reads. *)
+
+val qerror_merged : t -> string -> Selest_obs.Qerror.t
+(** Fresh merged copy of a model's q-error table across all shards. *)
+
+val qerror_tables : t -> (string * Selest_obs.Qerror.t) list
+(** Every model with q-error observations, merged copies, sorted. *)
+
+val shard_key : int -> string -> string
+(** [shard_key 3 "requests"] = ["shard.3.requests"] — the naming scheme
+    for per-shard counters in STATS / Prometheus. *)
+
 val observations : t -> int
 
 val mean_latency_us : t -> float

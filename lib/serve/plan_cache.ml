@@ -1,7 +1,10 @@
 (* Entry-count LRU of compiled plans, same hashtable + recency-list
-   structure as {!Lru} but generic in the payload and mutex-guarded: the
-   ESTBATCH worker pool shares one instance, and a miss compiles under
-   the lock so one skeleton never compiles twice concurrently. *)
+   structure as {!Lru} but generic in the payload.  Two modes: the
+   default mutex-guarded one (the ESTBATCH worker pool of a single-shard
+   server shares one instance, and a miss compiles under the lock so one
+   skeleton never compiles twice concurrently), and an unsynchronized
+   one for shard-per-domain servers where each executor domain owns a
+   private instance and the request path must stay lock-free. *)
 
 type node = {
   key : string;
@@ -14,6 +17,7 @@ type t = {
   capacity : int;
   tbl : (string, node) Hashtbl.t;
   mutex : Mutex.t;
+  sync : bool;
   mutable hot : node option;
   mutable cold : node option;
   mutable hits : int;
@@ -21,18 +25,28 @@ type t = {
   mutable evictions : int;
 }
 
-let create ?(capacity = 256) () =
+let create ?(capacity = 256) ?(synchronized = true) () =
   if capacity <= 0 then invalid_arg "Plan_cache.create: capacity must be positive";
   {
     capacity;
     tbl = Hashtbl.create 64;
     mutex = Mutex.create ();
+    sync = synchronized;
     hot = None;
     cold = None;
     hits = 0;
     misses = 0;
     evictions = 0;
   }
+
+let synchronized t = t.sync
+
+let locked t f =
+  if t.sync then begin
+    Mutex.lock t.mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+  end
+  else f ()
 
 let unlink t n =
   (match n.prev with Some p -> p.next <- n.next | None -> t.hot <- n.next);
@@ -55,10 +69,7 @@ let evict_cold t =
     t.evictions <- t.evictions + 1
 
 let find_or_compile t ~key ~compile =
-  Mutex.lock t.mutex;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock t.mutex)
-    (fun () ->
+  locked t (fun () ->
       match Hashtbl.find_opt t.tbl key with
       | Some n ->
         t.hits <- t.hits + 1;
@@ -76,21 +87,12 @@ let find_or_compile t ~key ~compile =
         done;
         (plan, `Miss))
 
-let stats t =
-  Mutex.lock t.mutex;
-  let r = (t.hits, t.misses, t.evictions) in
-  Mutex.unlock t.mutex;
-  r
+let stats t = locked t (fun () -> (t.hits, t.misses, t.evictions))
 
-let length t =
-  Mutex.lock t.mutex;
-  let r = Hashtbl.length t.tbl in
-  Mutex.unlock t.mutex;
-  r
+let length t = locked t (fun () -> Hashtbl.length t.tbl)
 
 let clear t =
-  Mutex.lock t.mutex;
-  Hashtbl.reset t.tbl;
-  t.hot <- None;
-  t.cold <- None;
-  Mutex.unlock t.mutex
+  locked t (fun () ->
+      Hashtbl.reset t.tbl;
+      t.hot <- None;
+      t.cold <- None)

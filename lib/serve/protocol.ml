@@ -9,6 +9,7 @@ type request =
   | Stats
   | Metrics
   | Health
+  | Shards
   | Slowlog of { n : int option }
   | Shutdown
 
@@ -54,6 +55,7 @@ let parse_request line =
   | "STATS" -> Ok Stats
   | "METRICS" -> Ok Metrics
   | "HEALTH" -> Ok Health
+  | "SHARDS" -> Ok Shards
   | "SLOWLOG" ->
     if rest = "" then Ok (Slowlog { n = None })
     else (
@@ -143,6 +145,12 @@ let one_line s =
 
 let ok payload = if payload = "" then "OK" else "OK " ^ one_line payload
 let err msg = "ERR " ^ one_line msg
+
+(* 503-style admission rejection: sent by an overloaded server instead
+   of a normal response, immediately before it closes the connection.
+   Distinct from ERR so clients can tell "retry later" from "your
+   request is wrong". *)
+let busy msg = if msg = "" then "BUSY" else "BUSY " ^ one_line msg
 let pong = "PONG"
 
 (* Multi-line framing (METRICS): a header line "OK lines=<k>" announces
@@ -179,6 +187,7 @@ let has_prefix ~prefix s =
 
 let is_ok s = s = "OK" || has_prefix ~prefix:"OK " s || s = pong
 let is_err s = s = "ERR" || has_prefix ~prefix:"ERR " s
+let is_busy s = s = "BUSY" || has_prefix ~prefix:"BUSY " s
 
 let payload s =
   match String.index_opt s ' ' with

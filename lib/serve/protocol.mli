@@ -17,6 +17,7 @@
     STATS
     METRICS
     HEALTH
+    SHARDS
     SLOWLOG [<count>]
     SHUTDOWN
     v}
@@ -64,6 +65,12 @@
     against the declared latency and q-error SLOs, cache hit rates and
     per-model accuracy — see {!Server}.
 
+    [SHARDS] answers a multi-line view of the shard-per-domain layout:
+    a header with the domain count, admission budget and listener
+    backlog, then one line per shard with its live connection count,
+    total accepted connections, request total and per-shard cache
+    sizes — the introspection surface for the sharded server.
+
     [SLOWLOG \[<count>\]] dumps the newest [count] (default 10) entries
     of the tail-sampled slow-log: requests whose latency crossed the
     quantile-derived threshold or whose [TRUTH] q-error crossed the
@@ -110,6 +117,7 @@ type request =
   | Stats
   | Metrics  (** Prometheus text exposition (multi-line response). *)
   | Health  (** SLO report: per-verb quantiles, budget burn (multi-line). *)
+  | Shards  (** Shard layout and per-shard load (multi-line response). *)
   | Slowlog of { n : int option }
       (** Newest [n] (default 10) tail-sampled slow-log entries
           (multi-line response). *)
@@ -128,6 +136,12 @@ val err : string -> string
 (** Response constructors; [err] flattens newlines so a response is always
     exactly one line. *)
 
+val busy : string -> string
+(** [BUSY <reason>] — the 503-style admission-control rejection an
+    overloaded server writes before closing the connection.  Distinct
+    from [ERR]: the request was never looked at, retrying later is the
+    right client response. *)
+
 val ok_multiline : string -> string
 (** [ok_multiline payload]: the [OK lines=<k>] header followed by the
     payload's lines verbatim (a trailing newline is dropped first). *)
@@ -141,6 +155,9 @@ val pong : string
 val is_ok : string -> bool
 val is_err : string -> bool
 (** [is_ok] accepts [PONG] too — it is [PING]'s success response. *)
+
+val is_busy : string -> bool
+(** Recognize an admission-control [BUSY] rejection. *)
 
 val payload : string -> string
 (** The response text after the status word ([""] when none). *)

@@ -5,33 +5,74 @@ type entry = {
   fingerprint : string;
 }
 
+(* An immutable registry generation: the association list is MRU-first
+   (most recently (re)loaded name at the head), and nothing in it is
+   ever mutated after publication.  Readers that pin a snapshot see one
+   consistent world — every (name, version, fingerprint, model) tuple
+   in it was published together, so torn version/model pairs are
+   impossible by construction. *)
+type snapshot = {
+  epoch : int;
+  entries : (string * entry) list; (* MRU-first, no duplicate names *)
+}
+
 type t = {
   schema : Selest_db.Schema.t;
   fingerprint : string;
-  entries : (string, entry) Hashtbl.t;
-  mutable order : string list;  (* most recently (re)loaded first *)
+  current : snapshot Atomic.t;
+  write_lock : Mutex.t; (* serializes writers only; never on the read path *)
 }
+
+let empty_snapshot = { epoch = 0; entries = [] }
 
 let create ~schema =
   {
     schema;
     fingerprint = Selest_prm.Serialize.schema_fingerprint schema;
-    entries = Hashtbl.create 8;
-    order = [];
+    current = Atomic.make empty_snapshot;
+    write_lock = Mutex.create ();
   }
 
 let schema_fingerprint t = t.fingerprint
 
+module Epoch = struct
+  type nonrec snapshot = snapshot
+
+  let pin t = Atomic.get t.current
+  let epoch (s : snapshot) = s.epoch
+  let current_epoch t = (Atomic.get t.current).epoch
+  let find (s : snapshot) name = List.assoc_opt name s.entries
+
+  let default (s : snapshot) =
+    match s.entries with [] -> None | (name, e) :: _ -> Some (name, e)
+
+  let names (s : snapshot) = List.map fst s.entries
+  let size (s : snapshot) = List.length s.entries
+  let entries (s : snapshot) = s.entries
+end
+
+(* Writers build the successor snapshot under [write_lock] and publish
+   it with a single [Atomic.set] — readers holding the old snapshot keep
+   a fully consistent view and the old generation is reclaimed by the GC
+   once the last pinned reference drops (the grace period is implicit:
+   a snapshot lives exactly as long as some request still points at
+   it). *)
 let install t ~name ~source model =
-  let version =
-    match Hashtbl.find_opt t.entries name with
-    | Some e -> e.version + 1
-    | None -> 1
-  in
-  let entry = { model; source; version; fingerprint = t.fingerprint } in
-  Hashtbl.replace t.entries name entry;
-  t.order <- name :: List.filter (fun n -> n <> name) t.order;
-  entry
+  Mutex.lock t.write_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.write_lock)
+    (fun () ->
+      let prev = Atomic.get t.current in
+      let version =
+        match List.assoc_opt name prev.entries with
+        | Some e -> e.version + 1
+        | None -> 1
+      in
+      let entry = { model; source; version; fingerprint = t.fingerprint } in
+      let rest = List.filter (fun (n, _) -> n <> name) prev.entries in
+      let next = { epoch = prev.epoch + 1; entries = (name, entry) :: rest } in
+      Atomic.set t.current next;
+      entry)
 
 let load t ~name ~path =
   let model = Selest_prm.Serialize.load path ~schema:t.schema in
@@ -42,12 +83,8 @@ let register t ~name model =
   then invalid_arg "Registry.register: model schema does not match this registry";
   install t ~name ~source:"<memory>" model
 
-let find t name = Hashtbl.find_opt t.entries name
-
-let default t =
-  match t.order with
-  | [] -> None
-  | name :: _ -> Some (name, Hashtbl.find t.entries name)
-
-let names t = t.order
-let size t = Hashtbl.length t.entries
+(* Conveniences that pin internally — each is one Atomic.get, no lock. *)
+let find t name = Epoch.find (Epoch.pin t) name
+let default t = Epoch.default (Epoch.pin t)
+let names t = Epoch.names (Epoch.pin t)
+let size t = Epoch.size (Epoch.pin t)

@@ -1,4 +1,5 @@
-(** Named, versioned PRM models held by a running estimation service.
+(** Named, versioned PRM models held by a running estimation service,
+    published as immutable epoch-stamped snapshots.
 
     The paper's architecture learns models offline and consults them
     online; a long-lived server therefore needs a place where models
@@ -8,11 +9,23 @@
     validates the stored fingerprint), so a request can never be answered
     by a model learned for a different database layout.
 
+    {b Concurrency model.}  The registry holds one {e immutable}
+    snapshot behind an [Atomic.t].  Readers pin the current snapshot
+    with a single atomic load ({!Epoch.pin}) and then work entirely on
+    immutable data — EST/ESTBATCH never take a lock, and the
+    (name, version, fingerprint, model) tuple they see can never tear,
+    because it was published as one value.  Writers (LOAD / register)
+    serialize on an internal mutex {e off} the request path, build the
+    successor snapshot, and publish it with one atomic store.  Requests
+    still holding the previous snapshot finish against it; the old
+    generation is reclaimed by the GC once the last pinned reference
+    drops (the grace period is implicit in snapshot lifetime).
+
     Replacing a name bumps its version.  Versions matter beyond
     book-keeping: the server builds cache keys as
     [name#version|canonical-query], so reloading a model implicitly
     invalidates all of its cached estimates — stale entries can never be
-    returned and simply age out of the LRU. *)
+    returned and simply age out of each shard's LRU. *)
 
 type entry = {
   model : Selest_prm.Model.t;
@@ -29,10 +42,37 @@ val schema_fingerprint : t -> string
 (** The fingerprint every loadable model must carry
     ({!Selest_prm.Serialize.schema_fingerprint} of the registry schema). *)
 
+(** Epoch-published snapshot access — the lock-free read plane. *)
+module Epoch : sig
+  type snapshot
+  (** One immutable registry generation.  Everything reachable from a
+      snapshot is frozen at publication time. *)
+
+  val pin : t -> snapshot
+  (** The current generation: one [Atomic.get], no lock.  A request
+      pins once and resolves names against the pinned value so its view
+      cannot change mid-request. *)
+
+  val epoch : snapshot -> int
+  (** Generation number: 0 for the empty registry, +1 per publish. *)
+
+  val current_epoch : t -> int
+  (** [epoch (pin t)]. *)
+
+  val find : snapshot -> string -> entry option
+  val default : snapshot -> (string * entry) option
+  val names : snapshot -> string list
+  val size : snapshot -> int
+
+  val entries : snapshot -> (string * entry) list
+  (** All entries, most recently (re)loaded first. *)
+end
+
 val load : t -> name:string -> path:string -> entry
 (** Load (or hot-reload) a model file under [name].  Raises
     {!Selest_prm.Serialize.Error} on an unreadable, malformed or
-    schema-mismatched file; the registry is unchanged in that case. *)
+    schema-mismatched file; the published snapshot is unchanged in that
+    case. *)
 
 val register : t -> name:string -> Selest_prm.Model.t -> entry
 (** Install an in-memory model (e.g. learned at server start-up) under
@@ -41,6 +81,8 @@ val register : t -> name:string -> Selest_prm.Model.t -> entry
     the registry's. *)
 
 val find : t -> string -> entry option
+(** [Epoch.find (Epoch.pin t)] — fine for one-shot lookups; requests
+    that touch the registry more than once should pin explicitly. *)
 
 val default : t -> (string * entry) option
 (** The most recently loaded or registered name — what an [EST] request

@@ -6,19 +6,36 @@ let log = Logs.Src.create "selest.serve" ~doc:"selectivity-estimation server"
 
 module Log = (val Logs.src_log log : Logs.LOG)
 
+(* One executor shard's domain-local state.  Nothing in here is shared
+   with another shard on the request path: the estimate cache and plan
+   cache are private to the owning domain (the plan cache is created
+   unsynchronized whenever the server has more than one shard), and the
+   admission counters are single-word atomics shared only with the
+   listener.  The registry and telemetry are shared but lock-free —
+   epoch-pinned snapshots and per-domain DLS shards respectively — so a
+   whole EST request acquires zero mutexes. *)
+type sstate = {
+  sid : int;
+  scache : Lru.t;
+  splans : Plan_cache.t;
+  inflight : int Atomic.t;  (* live connections owned by this shard *)
+  accepted : int Atomic.t;  (* connections ever handed to this shard *)
+  req_counter : string;  (* precomputed "shard.<sid>.requests" *)
+}
+
 type t = {
   db : Database.t;
   sizes : int array;
   socket : string;
+  tcp : (string * int) option;
+  max_inflight : int;  (* admission budget, per shard *)
+  backlog : int;  (* listen(2) backlog for both listeners *)
   registry : Registry.t;
-  cache : Lru.t;
-  plans : Plan_cache.t;
+  shards : sstate array;
   metrics : Metrics.t;
-  qerrors : (string, Obs.Qerror.t) Hashtbl.t;  (* per-model accuracy *)
-  qerrors_mutex : Mutex.t;
   pool_size : int option;
   mutable pool : Selest_util.Pool.t option;
-  mutable avi : Selest_est.Estimator.t option;
+  avi : Selest_est.Estimator.t option Atomic.t;
       (* lazily-built AVI baseline: EXPLAINPLAN's fallback oracle for
          sub-queries the model cannot price *)
   (* ---- telemetry / SLO surface ---- *)
@@ -31,9 +48,14 @@ type t = {
   responses : int Atomic.t;  (* drives threshold refresh + capture rate limit *)
   slow_threshold : int Atomic.t;  (* ns; max_int until warmed up *)
   last_capture : int Atomic.t;  (* [responses] value at the last capture *)
-  mutable health_prev : Obs.Telemetry.snapshot option;
+  health_prev : Obs.Telemetry.snapshot option Atomic.t;
       (* previous HEALTH snapshot: the base of the burn window (epoch /
          delta semantics of {!Obs.Telemetry.Snapshot.delta}) *)
+  stop_flag : bool Atomic.t;  (* latched by SHUTDOWN / {!shutdown} *)
+  waker : (unit -> unit) Atomic.t;
+      (* how {!shutdown} interrupts [run]: before [run] installs its
+         stop-pipe waker this just latches [stop_flag], which the accept
+         loop checks before its first select *)
 }
 
 (* Tail-sampling knobs.  The latency threshold is recomputed from the
@@ -48,20 +70,39 @@ let capture_min_gap = 256
 
 let create ?(cache_bytes = 1 lsl 20) ?pool_size ?(slowlog_capacity = 128)
     ?(slow_quantile = 0.99) ?(qerror_gate = 100.0) ?(slo_p99_us = 10_000.0)
-    ?(slo_qerror = 100.0) ~db ~socket () =
+    ?(slo_qerror = 100.0) ?(domains = 1) ?tcp ?(max_inflight = 1024)
+    ?(backlog = 128) ~db ~socket () =
+  if domains < 1 then invalid_arg "Server.create: domains must be >= 1";
+  if max_inflight < 1 then invalid_arg "Server.create: max_inflight must be >= 1";
+  if backlog < 1 then invalid_arg "Server.create: backlog must be >= 1";
+  let shards =
+    Array.init domains (fun sid ->
+        {
+          sid;
+          scache = Lru.create ~capacity_bytes:cache_bytes;
+          (* A single-shard server still fans ESTBATCH misses across the
+             domain pool, whose workers share this plan cache — keep the
+             mutex there.  With >1 shards the cache is domain-private
+             and the request path must stay lock-free. *)
+          splans = Plan_cache.create ~synchronized:(domains = 1) ();
+          inflight = Atomic.make 0;
+          accepted = Atomic.make 0;
+          req_counter = Metrics.shard_key sid "requests";
+        })
+  in
   {
     db;
     sizes = Selest_plan.Estimate.sizes_of_db db;
     socket;
+    tcp;
+    max_inflight;
+    backlog;
     registry = Registry.create ~schema:(Database.schema db);
-    cache = Lru.create ~capacity_bytes:cache_bytes;
-    plans = Plan_cache.create ();
+    shards;
     metrics = Metrics.create ();
-    qerrors = Hashtbl.create 4;
-    qerrors_mutex = Mutex.create ();
     pool_size;
     pool = None;
-    avi = None;
+    avi = Atomic.make None;
     slowlog = Obs.Slowlog.create ~capacity:slowlog_capacity ();
     slow_quantile;
     qerror_gate;
@@ -71,34 +112,51 @@ let create ?(cache_bytes = 1 lsl 20) ?pool_size ?(slowlog_capacity = 128)
     responses = Atomic.make 0;
     slow_threshold = Atomic.make max_int;
     last_capture = Atomic.make (-capture_min_gap);
-    health_prev = None;
+    health_prev = Atomic.make None;
+    stop_flag = Atomic.make false;
+    waker = Atomic.make (fun () -> ());
   }
 
 let registry t = t.registry
 let metrics t = t.metrics
-let cache t = t.cache
-let plan_cache t = t.plans
+let n_domains t = Array.length t.shards
+let max_inflight t = t.max_inflight
+let backlog t = t.backlog
+let tcp_endpoint t = t.tcp
+
+(* Shard 0's caches double as "the" caches for embedded single-shard use
+   (and for the transport-free [handle_line] entry point, which always
+   dispatches on shard 0). *)
+let cache t = t.shards.(0).scache
+let plan_cache t = t.shards.(0).splans
+
+let shard_cache t i = t.shards.(i).scache
+let shard_plan_cache t i = t.shards.(i).splans
 let socket_path t = t.socket
 let slowlog t = t.slowlog
 
-let qerror_table t name =
-  Mutex.lock t.qerrors_mutex;
-  let qe =
-    match Hashtbl.find_opt t.qerrors name with
-    | Some qe -> qe
-    | None ->
-      let qe = Obs.Qerror.create () in
-      Hashtbl.add t.qerrors name qe;
-      qe
-  in
-  Mutex.unlock t.qerrors_mutex;
-  qe
+(* Per-model accuracy tables ride the telemetry core since the
+   qerrors_mutex fold-in: writes land on the calling domain's shard
+   (lock-free after the slot exists), reads merge shards on demand. *)
+let qerror_table t name = Metrics.qerror_shard t.metrics name
+let qerror_tables t = Metrics.qerror_tables t.metrics
 
-let qerror_tables t =
-  Mutex.lock t.qerrors_mutex;
-  let r = Hashtbl.fold (fun name qe acc -> (name, qe) :: acc) t.qerrors [] in
-  Mutex.unlock t.qerrors_mutex;
-  List.sort compare r
+(* Aggregates across shards — the STATS / METRICS / HEALTH view. *)
+let sum_shards t f = Array.fold_left (fun acc st -> acc + f st) 0 t.shards
+let cache_hits t = sum_shards t (fun st -> Lru.hits st.scache)
+let cache_misses t = sum_shards t (fun st -> Lru.misses st.scache)
+let cache_evictions t = sum_shards t (fun st -> Lru.evictions st.scache)
+let cache_entries t = sum_shards t (fun st -> Lru.length st.scache)
+let cache_bytes t = sum_shards t (fun st -> Lru.bytes st.scache)
+
+let plan_stats t =
+  Array.fold_left
+    (fun (h, m, e) st ->
+      let h', m', e' = Plan_cache.stats st.splans in
+      (h + h', m + m', e + e'))
+    (0, 0, 0) t.shards
+
+let plan_entries t = sum_shards t (fun st -> Plan_cache.length st.splans)
 
 (* The domain pool is spawned on the first ESTBATCH, so servers that never
    batch never pay for idle domains. *)
@@ -131,14 +189,19 @@ let handle_load t ~name ~path =
     Metrics.incr t.metrics "load_errors";
     Protocol.err msg
 
+(* Resolve against a pinned snapshot: one atomic load, then pure reads
+   on immutable data.  The (name, version, fingerprint, model) tuple the
+   request sees was published together — a concurrent LOAD can only flip
+   the pointer for *later* requests, never tear this one. *)
 let resolve_model t model =
+  let snap = Registry.Epoch.pin t.registry in
   match model with
   | Some name -> (
-    match Registry.find t.registry name with
+    match Registry.Epoch.find snap name with
     | Some e -> Ok (name, e)
     | None -> Error (Printf.sprintf "no model named %S (use LOAD)" name))
   | None -> (
-    match Registry.default t.registry with
+    match Registry.Epoch.default snap with
     | Some (name, e) -> Ok (name, e)
     | None -> Error "no model loaded (use LOAD)")
 
@@ -160,14 +223,16 @@ let cache_key name (e : Registry.entry) q =
 
 (* The plan cache keys on the binding-independent half of the same split:
    model name and version plus the query's skeleton.  Hot-reloading bumps
-   the version, so a stale model's plans can never be fetched again. *)
+   the version, so a stale model's plans can never be fetched again —
+   on every shard, since every shard's keys carry the version. *)
 let plan_key name (e : Registry.entry) q =
   Printf.sprintf "%s#%d|%s" name e.Registry.version (Canon.skeleton_key q)
 
-let plan_for t ~name ~(entry : Registry.entry) q =
+let plan_for t st ~name ~(entry : Registry.entry) q =
+  ignore t;
   Obs.Span.with_ "plan.fetch" (fun sp ->
       let plan, status =
-        Plan_cache.find_or_compile t.plans
+        Plan_cache.find_or_compile st.splans
           ~key:(plan_key name entry q)
           ~compile:(fun () -> Plan.compile entry.Registry.model q)
       in
@@ -192,24 +257,27 @@ let roll_hotpath t (d : Obs.Hotpath.t) =
 
 (* Run inference for one parsed query — fetch (or compile) the skeleton's
    plan, then execute it — measuring the hot-path work and rolling it into
-   the metrics; fills the estimate cache on success. *)
-let infer_measured t ~name ~(entry : Registry.entry) ~key q =
+   the metrics; fills the shard's estimate cache on success. *)
+let infer_measured t st ~name ~(entry : Registry.entry) ~key q =
   match
     Obs.Hotpath.measure (fun () ->
-        let plan, status = plan_for t ~name ~entry q in
+        let plan, status = plan_for t st ~name ~entry q in
         (Plan.estimate plan ~sizes:t.sizes q, plan, status))
   with
   | (estimate, plan, status), d ->
-    Lru.add t.cache key estimate;
+    Lru.add st.scache key estimate;
     Metrics.incr t.metrics (Printf.sprintf "infer.%s" name);
     roll_hotpath t d;
     Ok (estimate, d, plan, status)
   | exception exn -> Error (Printexc.to_string exn)
 
 (* The transport-free EST core shared by the text handler and the binary
-   frame handler: resolve, parse, cache probe, measured inference.  Bumps
-   [est_errors] on every failure; the caller formats the result. *)
-let est_core t ~model ~body =
+   frame handler: pin a registry snapshot, parse, probe the shard's
+   cache, measured inference.  Zero mutex acquisitions end to end: the
+   snapshot pin is one atomic load, the caches are domain-local, and the
+   telemetry writes land on the domain's own shard.  Bumps [est_errors]
+   on every failure; the caller formats the result. *)
+let est_core t st ~model ~body =
   match resolve_model t model with
   | Error msg ->
     Metrics.incr t.metrics "est_errors";
@@ -221,24 +289,24 @@ let est_core t ~model ~body =
       Error msg
     | Ok q -> (
       let key = cache_key name e q in
-      match Obs.Span.with_ "est.cache" (fun _ -> Lru.find t.cache key) with
+      match Obs.Span.with_ "est.cache" (fun _ -> Lru.find st.scache key) with
       | Some estimate -> Ok estimate
       | None -> (
-        match infer_measured t ~name ~entry:e ~key q with
+        match infer_measured t st ~name ~entry:e ~key q with
         | Ok (estimate, _, _, _) -> Ok estimate
         | Error msg ->
           Metrics.incr t.metrics "est_errors";
           Error msg)))
 
-let handle_est t ~model ~body =
+let handle_est t st ~model ~body =
   Obs.Span.with_ "est" (fun _ ->
-      match est_core t ~model ~body with
+      match est_core t st ~model ~body with
       | Ok estimate ->
         Obs.Span.with_ "est.respond" (fun _ ->
             Protocol.ok (Printf.sprintf "%.17g" estimate))
       | Error msg -> Protocol.err msg)
 
-(* ESTBATCH: parse and cache-probe every body on the dispatcher thread,
+(* ESTBATCH: parse and cache-probe every body on the dispatching shard,
    fan only the distinct cache misses across the domain pool, then answer
    in request order.  All-or-nothing: any parse or inference failure turns
    the whole batch into one ERR, so clients never have to pair partial
@@ -261,7 +329,7 @@ let batch_chunk_threshold = 8
 
 (* Transport-free like [est_core]: answers in request order, or the
    first failure as [Error]. *)
-let estbatch_core t ~model ~bodies =
+let estbatch_core t st ~model ~bodies =
   match resolve_model t model with
   | Error msg ->
     Metrics.incr t.metrics "est_errors";
@@ -291,7 +359,7 @@ let estbatch_core t ~model ~bodies =
       let miss_order = ref [] in
       List.iter
         (fun (key, q) ->
-          if Lru.find t.cache key = None && not (Hashtbl.mem misses key) then begin
+          if Lru.find st.scache key = None && not (Hashtbl.mem misses key) then begin
             Hashtbl.add misses key q;
             miss_order := (key, q) :: !miss_order
           end)
@@ -300,22 +368,27 @@ let estbatch_core t ~model ~bodies =
       let sizes = t.sizes in
       let infer_one (key, q) =
         (* measure inside the worker: hot-path counters are domain-local;
-           the plan cache and each plan's schedule memo are mutex-guarded,
-           so workers share compiled plans instead of recompiling *)
+           in the single-shard pool configuration the plan cache and each
+           plan's schedule memo are mutex-guarded, so workers share
+           compiled plans instead of recompiling *)
         let v, d =
           Obs.Hotpath.measure (fun () ->
-              let plan, _ = plan_for t ~name ~entry:e q in
+              let plan, _ = plan_for t st ~name ~entry:e q in
               Plan.estimate plan ~sizes q)
         in
         (key, v, d)
       in
       match
         (* Fan out only when domains can help: enough distinct misses to
-           amortize scheduling, and spare cores to run them on.  The
-           inline path raises the first failure by request order, same as
-           [Pool.map]'s first-exception contract. *)
+           amortize scheduling, spare cores to run them on, and a
+           single-shard server — a sharded server's shards already are
+           the parallelism, and its per-domain plan caches must not be
+           shared with pool workers.  The inline path raises the first
+           failure by request order, same as [Pool.map]'s
+           first-exception contract. *)
         if
-          effective_pool_size t > 1
+          Array.length t.shards = 1
+          && effective_pool_size t > 1
           && List.length miss_order >= batch_chunk_threshold
         then Selest_util.Pool.map (pool t) infer_one miss_order
         else List.map infer_one miss_order
@@ -326,7 +399,7 @@ let estbatch_core t ~model ~bodies =
       | computed ->
         List.iter
           (fun (key, v, d) ->
-            Lru.add t.cache key v;
+            Lru.add st.scache key v;
             Metrics.incr t.metrics (Printf.sprintf "infer.%s" name);
             roll_hotpath t d)
           computed;
@@ -335,13 +408,13 @@ let estbatch_core t ~model ~bodies =
         Ok
           (List.map
              (fun (key, _) ->
-               match Lru.find t.cache key with
+               match Lru.find st.scache key with
                | Some v -> v
                | None -> Hashtbl.find fresh key)
              keyed)))
 
-let handle_estbatch t ~model ~bodies =
-  match estbatch_core t ~model ~bodies with
+let handle_estbatch t st ~model ~bodies =
+  match estbatch_core t st ~model ~bodies with
   | Ok answers ->
     Protocol.ok (String.concat " " (List.map (Printf.sprintf "%.17g") answers))
   | Error msg -> Protocol.err msg
@@ -399,7 +472,7 @@ let span_attr records span_name key =
       else None)
     records
 
-let handle_explain t ~model ~body =
+let handle_explain t st ~model ~body =
   match resolve_model t model with
   | Error msg ->
     Metrics.incr t.metrics "est_errors";
@@ -413,9 +486,9 @@ let handle_explain t ~model ~body =
               | Ok q -> (
                 let key = cache_key name e q in
                 let cached =
-                  Obs.Span.with_ "est.cache" (fun _ -> Lru.find t.cache key)
+                  Obs.Span.with_ "est.cache" (fun _ -> Lru.find st.scache key)
                 in
-                match infer_measured t ~name ~entry:e ~key q with
+                match infer_measured t st ~name ~entry:e ~key q with
                 | Error msg -> Error msg
                 | Ok (estimate, d, plan, plan_status) ->
                   let rendered =
@@ -487,14 +560,18 @@ let handle_explain t ~model ~body =
    enumeration. *)
 
 let avi_fallback t =
-  match t.avi with
+  match Atomic.get t.avi with
   | Some e -> e.Selest_est.Estimator.estimate
   | None ->
     let e = Selest_est.Avi.build t.db in
-    t.avi <- Some e;
-    e.Selest_est.Estimator.estimate
+    (* A concurrent duplicate build is harmless (same deterministic
+       baseline); the first publisher wins and everyone reads it. *)
+    ignore (Atomic.compare_and_set t.avi None (Some e));
+    (match Atomic.get t.avi with
+     | Some e -> e.Selest_est.Estimator.estimate
+     | None -> e.Selest_est.Estimator.estimate)
 
-let handle_explainplan t ~model ~body =
+let handle_explainplan t st ~model ~body =
   match resolve_model t model with
   | Error msg ->
     Metrics.incr t.metrics "est_errors";
@@ -506,7 +583,7 @@ let handle_explainplan t ~model ~body =
       Protocol.err msg
     | Ok q -> (
       let model_cost sub =
-        let plan, _ = plan_for t ~name ~entry:e sub in
+        let plan, _ = plan_for t st ~name ~entry:e sub in
         Plan.estimate plan ~sizes:t.sizes sub
       in
       let fallback = avi_fallback t in
@@ -542,7 +619,8 @@ let handle_explainplan t ~model ~body =
 
    Ground truth for one query: compute the estimate through the same
    cache-then-infer path as EST, record the q-error into the model's
-   rolling histogram, and echo both. *)
+   rolling histogram (on the calling domain's telemetry shard — the
+   TRUTH path no longer serializes domains), and echo both. *)
 
 (* ---- tail-sampled slow-log -------------------------------------------------- *)
 
@@ -563,7 +641,7 @@ let refresh_slow_threshold t =
    est.parse / est.canon / plan.fetch / ve.* tree.  Returns the
    canonical query text and the span tree; the raw body and an empty
    tree when the body no longer parses. *)
-let replay_spans t ~model ~body =
+let replay_spans t st ~model ~body =
   let outcome, records =
     Obs.Span.collect (fun () ->
         Obs.Span.with_ "est" (fun _ ->
@@ -573,7 +651,7 @@ let replay_spans t ~model ~body =
               match parse_query t body with
               | Error _ -> None
               | Ok q -> (
-                let plan, _ = plan_for t ~name ~entry:e q in
+                let plan, _ = plan_for t st ~name ~entry:e q in
                 match Plan.estimate plan ~sizes:t.sizes q with
                 | (_ : float) -> Some (Canon.key q)
                 | exception _ -> Some (Canon.key q)))))
@@ -582,11 +660,11 @@ let replay_spans t ~model ~body =
   | Some canon -> (canon, records)
   | None -> (body, records)
 
-let capture t ~verb ~reason ?model ?body ?qerror ~lat_ns () =
+let capture t st ~verb ~reason ?model ?body ?qerror ~lat_ns () =
   let query, spans =
     match body with
     | None -> (verb, [])
-    | Some b -> replay_spans t ~model ~body:b
+    | Some b -> replay_spans t st ~model ~body:b
   in
   Metrics.incr t.metrics "slowlog_captures";
   ignore
@@ -598,7 +676,7 @@ let capture t ~verb ~reason ?model ?body ?qerror ~lat_ns () =
    work a replay reproduces pass a body (EST / EXPLAIN / TRUTH): an
    ESTBATCH latency is N requests wide and would always cross a
    per-request threshold, and the STATS-family verbs carry no query. *)
-let observe_response t ~verb ?model ?body ~dt_ns () =
+let observe_response t st ~verb ?model ?body ~dt_ns () =
   Metrics.observe_verb_ns t.metrics ~verb dt_ns;
   let seen = Atomic.fetch_and_add t.responses 1 in
   if seen land refresh_mask = refresh_mask then refresh_slow_threshold t;
@@ -610,10 +688,11 @@ let observe_response t ~verb ?model ?body ~dt_ns () =
       && seen - Atomic.get t.last_capture >= capture_min_gap
     then begin
       Atomic.set t.last_capture seen;
-      capture t ~verb ~reason:Obs.Slowlog.Latency ?model ?body ~lat_ns:dt_ns ()
+      capture t st ~verb ~reason:Obs.Slowlog.Latency ?model ?body ~lat_ns:dt_ns
+        ()
     end
 
-let handle_truth t ~model ~truth ~body ~t0 =
+let handle_truth t st ~model ~truth ~body ~t0 =
   match resolve_model t model with
   | Error msg ->
     Metrics.incr t.metrics "est_errors";
@@ -626,31 +705,30 @@ let handle_truth t ~model ~truth ~body ~t0 =
     | Ok q -> (
       let key = cache_key name e q in
       let computed =
-        match Lru.find t.cache key with
+        match Lru.find st.scache key with
         | Some estimate -> Ok estimate
         | None ->
           Result.map
             (fun (est, _, _, _) -> est)
-            (infer_measured t ~name ~entry:e ~key q)
+            (infer_measured t st ~name ~entry:e ~key q)
       in
       match computed with
       | Error msg ->
         Metrics.incr t.metrics "est_errors";
         Protocol.err msg
       | Ok estimate ->
-        let qe = qerror_table t name in
-        Obs.Qerror.observe qe ~est:estimate ~truth;
+        Metrics.observe_qerror t.metrics name ~est:estimate ~truth;
         let qv = Obs.Qerror.value ~est:estimate ~truth in
         (* Accuracy gate: an estimate this wrong is captured with its
            span tree regardless of how fast it was computed. *)
         if qv >= t.qerror_gate then
-          capture t ~verb:"truth" ~reason:Obs.Slowlog.Qerror ?model ~body
+          capture t st ~verb:"truth" ~reason:Obs.Slowlog.Qerror ?model ~body
             ~qerror:qv
             ~lat_ns:(Obs.Clock.now_ns () - t0)
             ();
         Protocol.ok
           (Printf.sprintf "qerror=%.6g estimate=%.17g n=%d" qv estimate
-             (Obs.Qerror.count qe))))
+             (Obs.Qerror.count (Metrics.qerror_merged t.metrics name)))))
 
 (* ---- STATS / METRICS ------------------------------------------------------- *)
 
@@ -681,20 +759,24 @@ let handle_stats t =
   let pairs =
     with_program_counters t (Metrics.report t.metrics)
     @ [
-        ("cache_hits", string_of_int (Lru.hits t.cache));
-        ("cache_misses", string_of_int (Lru.misses t.cache));
-        ("cache_evictions", string_of_int (Lru.evictions t.cache));
-        ("cache_entries", string_of_int (Lru.length t.cache));
-        ("cache_bytes", string_of_int (Lru.bytes t.cache));
+        ("cache_hits", string_of_int (cache_hits t));
+        ("cache_misses", string_of_int (cache_misses t));
+        ("cache_evictions", string_of_int (cache_evictions t));
+        ("cache_entries", string_of_int (cache_entries t));
+        ("cache_bytes", string_of_int (cache_bytes t));
       ]
-    @ (let hits, misses, evictions = Plan_cache.stats t.plans in
+    @ (let hits, misses, evictions = plan_stats t in
        [
          ("plan_cache_hits", string_of_int hits);
          ("plan_cache_misses", string_of_int misses);
          ("plan_cache_evictions", string_of_int evictions);
-         ("plan_cache_entries", string_of_int (Plan_cache.length t.plans));
+         ("plan_cache_entries", string_of_int (plan_entries t));
        ])
-    @ [ ("models", string_of_int (Registry.size t.registry)) ]
+    @ [
+        ("models", string_of_int (Registry.size t.registry));
+        ("registry_epoch", string_of_int (Registry.Epoch.current_epoch t.registry));
+        ("domains", string_of_int (Array.length t.shards));
+      ]
     @ qerror_stats_fields t
   in
   Protocol.ok (String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) pairs))
@@ -733,11 +815,11 @@ let threshold_us_string ns =
 let handle_health t =
   let snap = Obs.Telemetry.snapshot (Metrics.telemetry t.metrics) in
   let window =
-    match t.health_prev with
+    match Atomic.get t.health_prev with
     | Some prev -> Obs.Telemetry.Snapshot.delta ~prev snap
     | None -> snap
   in
-  t.health_prev <- Some snap;
+  Atomic.set t.health_prev (Some snap);
   let buf = Buffer.create 1024 in
   let line fmt =
     Printf.ksprintf
@@ -810,14 +892,23 @@ let handle_health t =
     if tot = 0 then 0.0 else float_of_int h /. float_of_int tot
   in
   line "cache=estimate hits=%d misses=%d hit_rate=%.3f entries=%d"
-    (Lru.hits t.cache) (Lru.misses t.cache)
-    (rate (Lru.hits t.cache) (Lru.misses t.cache))
-    (Lru.length t.cache);
-  let plan_hits, plan_misses, _ = Plan_cache.stats t.plans in
+    (cache_hits t) (cache_misses t)
+    (rate (cache_hits t) (cache_misses t))
+    (cache_entries t);
+  let plan_hits, plan_misses, _ = plan_stats t in
   line "cache=plan hits=%d misses=%d hit_rate=%.3f entries=%d" plan_hits
     plan_misses
     (rate plan_hits plan_misses)
-    (Plan_cache.length t.plans);
+    (plan_entries t);
+  (* shard identity: one line per executor shard, so a hot or wedged
+     shard is visible from the same probe as everything else *)
+  Array.iter
+    (fun st ->
+      line "shard id=%d inflight=%d accepted=%d requests=%d cache_entries=%d"
+        st.sid (Atomic.get st.inflight) (Atomic.get st.accepted)
+        (Metrics.get t.metrics st.req_counter)
+        (Lru.length st.scache))
+    t.shards;
   List.iter
     (fun (name, qe) ->
       let s = Obs.Qerror.summarize qe in
@@ -832,6 +923,39 @@ let handle_health t =
     (Obs.Slowlog.capacity t.slowlog)
     (threshold_us_string (Atomic.get t.slow_threshold))
     t.slow_quantile t.qerror_gate;
+  Protocol.ok_multiline (Buffer.contents buf)
+
+(* ---- SHARDS ----------------------------------------------------------------- *)
+
+(* The shard-per-domain introspection surface: layout first (domain
+   count, admission budget, backlog, endpoints), then one line per shard
+   with its live admission state and domain-local cache counters. *)
+let handle_shards t =
+  let buf = Buffer.create 256 in
+  let line fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string buf s;
+        Buffer.add_char buf '\n')
+      fmt
+  in
+  line "domains=%d max_inflight=%d backlog=%d socket=%s tcp=%s epoch=%d"
+    (Array.length t.shards) t.max_inflight t.backlog t.socket
+    (match t.tcp with
+    | None -> "-"
+    | Some (host, port) -> Printf.sprintf "%s:%d" host port)
+    (Registry.Epoch.current_epoch t.registry);
+  Array.iter
+    (fun st ->
+      let ph, pm, _ = Plan_cache.stats st.splans in
+      line
+        "shard id=%d inflight=%d accepted=%d requests=%d cache_entries=%d cache_hits=%d cache_misses=%d plan_entries=%d plan_hits=%d plan_misses=%d lock_free=%b"
+        st.sid (Atomic.get st.inflight) (Atomic.get st.accepted)
+        (Metrics.get t.metrics st.req_counter)
+        (Lru.length st.scache) (Lru.hits st.scache) (Lru.misses st.scache)
+        (Plan_cache.length st.splans) ph pm
+        (not (Plan_cache.synchronized st.splans)))
+    t.shards;
   Protocol.ok_multiline (Buffer.contents buf)
 
 (* ---- SLOWLOG ---------------------------------------------------------------- *)
@@ -969,21 +1093,45 @@ let prometheus_metrics t =
             (burn_of ~violations:viol ~n))
         (qerror_tables t)
   in
+  let shard_metrics =
+    [ gauge ~help:"executor shards (domains)" "selest_domains"
+        (Array.length t.shards) ]
+    @ (Array.to_list t.shards
+      |> List.concat_map (fun st ->
+             let sid = string_of_int st.sid in
+             [ Gauge
+                 {
+                   name = "selest_shard_inflight";
+                   help = "live connections per shard";
+                   labels = [ ("shard", sid) ];
+                   value = float_of_int (Atomic.get st.inflight);
+                 };
+               Counter
+                 {
+                   name = "selest_shard_accepted_total";
+                   help = "connections handed to each shard";
+                   labels = [ ("shard", sid) ];
+                   value = float_of_int (Atomic.get st.accepted);
+                 } ]))
+  in
   let cache_metrics =
     [ counter ~help:"estimate cache hits" "selest_cache_hits_total"
-        (Lru.hits t.cache);
+        (cache_hits t);
       counter ~help:"estimate cache misses" "selest_cache_misses_total"
-        (Lru.misses t.cache);
+        (cache_misses t);
       counter ~help:"estimate cache evictions" "selest_cache_evictions_total"
-        (Lru.evictions t.cache);
+        (cache_evictions t);
       gauge ~help:"estimate cache entries" "selest_cache_entries"
-        (Lru.length t.cache);
+        (cache_entries t);
       gauge ~help:"estimate cache bytes" "selest_cache_bytes"
-        (Lru.bytes t.cache);
-      gauge ~help:"loaded models" "selest_models" (Registry.size t.registry)
+        (cache_bytes t);
+      gauge ~help:"loaded models" "selest_models" (Registry.size t.registry);
+      gauge ~help:"registry snapshot epoch (bumps on LOAD)"
+        "selest_registry_epoch"
+        (Registry.Epoch.current_epoch t.registry)
     ]
   in
-  let plan_hits, plan_misses, plan_evictions = Plan_cache.stats t.plans in
+  let plan_hits, plan_misses, plan_evictions = plan_stats t in
   let plan_metrics =
     [ counter ~help:"compiled-plan cache hits" "selest_plan_cache_hits_total"
         plan_hits;
@@ -992,7 +1140,7 @@ let prometheus_metrics t =
       counter ~help:"compiled-plan cache evictions"
         "selest_plan_cache_evictions_total" plan_evictions;
       gauge ~help:"compiled-plan cache entries" "selest_plan_cache_entries"
-        (Plan_cache.length t.plans) ]
+        (plan_entries t) ]
   in
   let qerror_metrics =
     List.map
@@ -1013,19 +1161,21 @@ let prometheus_metrics t =
   in
   plain_metrics @ infer_metrics @ program_metrics
   @ (latency :: verb_latency)
-  @ cache_metrics @ plan_metrics @ qerror_metrics @ slo_metrics
+  @ cache_metrics @ plan_metrics @ shard_metrics @ qerror_metrics
+  @ slo_metrics
 
 let handle_metrics t =
   Protocol.ok_multiline (Obs.Prometheus.render (prometheus_metrics t))
 
-let handle_line t line =
+let handle_line_st t st line =
   Metrics.incr t.metrics "requests";
+  Metrics.incr t.metrics st.req_counter;
   let t0 = Obs.Clock.now_ns () in
   (* The handler has already run when [finish] fires (argument order):
      it records the verb's latency and feeds the tail sampler.  Only
      verbs a replay reproduces pass [?body] — see [observe_response]. *)
   let finish ~verb ?model ?body (r, action) =
-    observe_response t ~verb ?model ?body
+    observe_response t st ~verb ?model ?body
       ~dt_ns:(Obs.Clock.now_ns () - t0)
       ();
     (r, action)
@@ -1039,37 +1189,40 @@ let handle_line t line =
     finish ~verb:"load" (handle_load t ~name ~path, `Continue)
   | Ok (Protocol.Est { model; body }) ->
     Metrics.incr t.metrics "est_requests";
-    finish ~verb:"est" ?model ~body (handle_est t ~model ~body, `Continue)
+    finish ~verb:"est" ?model ~body (handle_est t st ~model ~body, `Continue)
   | Ok (Protocol.Estbatch { model; bodies }) ->
     Metrics.incr t.metrics "estbatch_requests";
     List.iter (fun _ -> Metrics.incr t.metrics "est_requests") bodies;
-    finish ~verb:"estbatch" (handle_estbatch t ~model ~bodies, `Continue)
+    finish ~verb:"estbatch" (handle_estbatch t st ~model ~bodies, `Continue)
   | Ok (Protocol.Explain { model; body }) ->
     Metrics.incr t.metrics "explain_requests";
     finish ~verb:"explain" ?model ~body
-      (handle_explain t ~model ~body, `Continue)
+      (handle_explain t st ~model ~body, `Continue)
   | Ok (Protocol.Explainplan { model; body }) ->
     Metrics.incr t.metrics "explainplan_requests";
-    finish ~verb:"explainplan" (handle_explainplan t ~model ~body, `Continue)
+    finish ~verb:"explainplan"
+      (handle_explainplan t st ~model ~body, `Continue)
   | Ok (Protocol.Truth { model; truth; body }) ->
     Metrics.incr t.metrics "truth_requests";
     finish ~verb:"truth" ?model ~body
-      (handle_truth t ~model ~truth ~body ~t0, `Continue)
+      (handle_truth t st ~model ~truth ~body ~t0, `Continue)
   | Ok Protocol.Stats -> finish ~verb:"stats" (handle_stats t, `Continue)
   | Ok Protocol.Metrics -> finish ~verb:"metrics" (handle_metrics t, `Continue)
   | Ok Protocol.Health -> finish ~verb:"health" (handle_health t, `Continue)
+  | Ok Protocol.Shards -> finish ~verb:"shards" (handle_shards t, `Continue)
   | Ok (Protocol.Slowlog { n }) ->
     finish ~verb:"slowlog" (handle_slowlog t n, `Continue)
   | Ok Protocol.Shutdown -> finish ~verb:"shutdown" (Protocol.ok "bye", `Stop)
 
 (* One binary frame, transport-free: decode, dispatch to the shared EST
    cores, encode.  Same request/latency/error accounting as
-   [handle_line], minus the text formatting. *)
-let handle_frame t payload =
+   [handle_line_st], minus the text formatting. *)
+let handle_frame_st t st payload =
   Metrics.incr t.metrics "requests";
+  Metrics.incr t.metrics st.req_counter;
   let t0 = Obs.Clock.now_ns () in
   let finish ~verb ?model ?body r =
-    observe_response t ~verb ?model ?body
+    observe_response t st ~verb ?model ?body
       ~dt_ns:(Obs.Clock.now_ns () - t0)
       ();
     Protocol.Bin.encode_response r
@@ -1080,74 +1233,155 @@ let handle_frame t payload =
     finish ~verb:"error" (Protocol.Bin.Berr msg)
   | Ok (Protocol.Bin.Best { model; body }) -> (
     Metrics.incr t.metrics "est_requests";
-    match Obs.Span.with_ "est" (fun _ -> est_core t ~model ~body) with
+    match Obs.Span.with_ "est" (fun _ -> est_core t st ~model ~body) with
     | Ok estimate -> finish ~verb:"est" ?model ~body (Protocol.Bin.Bvalue estimate)
     | Error msg -> finish ~verb:"est" ?model ~body (Protocol.Bin.Berr msg))
   | Ok (Protocol.Bin.Bestbatch { model; bodies }) -> (
     Metrics.incr t.metrics "estbatch_requests";
     List.iter (fun _ -> Metrics.incr t.metrics "est_requests") bodies;
-    match estbatch_core t ~model ~bodies with
+    match estbatch_core t st ~model ~bodies with
     | Ok answers -> finish ~verb:"estbatch" (Protocol.Bin.Bvalues answers)
     | Error msg -> finish ~verb:"estbatch" (Protocol.Bin.Berr msg))
 
-(* ---- socket loop ----------------------------------------------------------- *)
+(* Transport-free entry points.  [handle_line]/[handle_frame] dispatch
+   on shard 0 (embedded single-shard use, tests, benches);
+   [handle_line_shard] picks an explicit shard so transport-free callers
+   can drive the per-shard state the way the listener would. *)
+let handle_line t line = handle_line_st t t.shards.(0) line
+let handle_frame t payload = handle_frame_st t t.shards.(0) payload
 
-(* After the BIN hello the connection speaks length-prefixed frames until
-   EOF.  An oversized length announcement cannot be resynchronized, so it
-   is answered and the connection dropped. *)
-let serve_binary t ic oc running =
-  let conn_open = ref true in
-  while !conn_open && !running do
-    match Protocol.Bin.read_frame ic with
-    | `Eof -> conn_open := false
-    | `Oversized len ->
-      Metrics.incr t.metrics "protocol_errors";
-      Protocol.Bin.write_frame oc
-        (Protocol.Bin.encode_response
-           (Protocol.Bin.Berr
-              (Printf.sprintf "bin: frame length %d exceeds %d" len
-                 Protocol.Bin.max_frame)));
-      conn_open := false
-    | `Frame payload -> Protocol.Bin.write_frame oc (handle_frame t payload)
+let handle_line_shard t ~shard line =
+  if shard < 0 || shard >= Array.length t.shards then
+    invalid_arg "Server.handle_line_shard: shard out of range";
+  handle_line_st t t.shards.(shard) line
+
+(* ---- listener + shard event loops ------------------------------------------ *)
+
+let write_all_fd fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
   done
 
-let serve_connection t ic oc running =
-  let conn_open = ref true in
-  while !conn_open && !running do
-    match input_line ic with
-    | exception End_of_file -> conn_open := false
-    | line when String.uppercase_ascii (String.trim line) = Protocol.Bin.hello ->
-      (* Upgrade: acknowledge in text, then switch framing for the rest
-         of the connection.  The hello itself is not a counted request. *)
-      output_string oc Protocol.Bin.hello_ok;
-      output_char oc '\n';
-      flush oc;
-      serve_binary t ic oc running;
-      conn_open := false
-    | line ->
-      let response, action = handle_line t line in
-      output_string oc response;
-      output_char oc '\n';
-      flush oc;
-      if action = `Stop then running := false
-  done
+let resolve_tcp host port =
+  match
+    Unix.getaddrinfo host (string_of_int port)
+      [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM; Unix.AI_FAMILY Unix.PF_INET ]
+  with
+  | ai :: _ -> ai.Unix.ai_addr
+  | [] -> Unix.ADDR_INET (Unix.inet_addr_of_string host, port)
 
+(* The accept loop: select over the Unix-domain and (optional) TCP
+   listening sockets plus a stop pipe, round-robin accepted fds into
+   shard mailboxes, and reject with BUSY when every shard is at its
+   admission budget.  Handoff synchronizes once per connection; requests
+   never cross this thread again. *)
 let run t =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   if Sys.file_exists t.socket then (try Unix.unlink t.socket with Unix.Unix_error _ -> ());
-  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Unix.bind sock (Unix.ADDR_UNIX t.socket);
-  Unix.listen sock 16;
-  Log.info (fun m -> m "listening on %s" t.socket);
-  let running = ref true in
-  while !running do
-    let fd, _ = Unix.accept sock in
-    let ic = Unix.in_channel_of_descr fd and oc = Unix.out_channel_of_descr fd in
-    (try serve_connection t ic oc running
-     with Sys_error _ | Unix.Unix_error _ -> ());
-    (try Unix.close fd with Unix.Unix_error _ -> ())
+  let unix_sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind unix_sock (Unix.ADDR_UNIX t.socket);
+  Unix.listen unix_sock t.backlog;
+  let tcp_sock =
+    match t.tcp with
+    | None -> None
+    | Some (host, port) ->
+      let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt s Unix.SO_REUSEADDR true;
+      Unix.bind s (resolve_tcp host port);
+      Unix.listen s t.backlog;
+      Some s
+  in
+  Log.info (fun m ->
+      m "listening on %s%s (%d domain%s, max_inflight %d/shard, backlog %d)"
+        t.socket
+        (match t.tcp with
+        | None -> ""
+        | Some (h, p) -> Printf.sprintf " and tcp %s:%d" h p)
+        (Array.length t.shards)
+        (if Array.length t.shards = 1 then "" else "s")
+        t.max_inflight t.backlog);
+  let stop = t.stop_flag in
+  let rts = Array.map (fun st -> Shard.create ~sid:st.sid) t.shards in
+  let stop_r, stop_w = Unix.pipe () in
+  Unix.set_nonblock stop_w;
+  let request_stop () =
+    (* Unconditional: a duplicate wake is a harmless extra pipe byte
+       (EAGAIN swallowed), and guarding on an exchange would let an
+       external {!shutdown} that latched the flag first skip the wake. *)
+    Atomic.set stop true;
+    (try ignore (Unix.write stop_w (Bytes.make 1 '!') 0 1)
+     with Unix.Unix_error _ -> ());
+    Array.iter Shard.wake rts
+  in
+  Atomic.set t.waker request_stop;
+  let workers =
+    Array.mapi
+      (fun i rt ->
+        let st = t.shards.(i) in
+        Domain.spawn (fun () ->
+            Shard.run rt ~stop ~request_stop
+              ~on_line:(fun line -> handle_line_st t st line)
+              ~on_frame:(fun payload -> handle_frame_st t st payload)
+              ~on_close:(fun () ->
+                ignore (Atomic.fetch_and_add st.inflight (-1)))
+              ~on_protocol_error:(fun () ->
+                Metrics.incr t.metrics "protocol_errors")
+              ()))
+      rts
+  in
+  let listeners = unix_sock :: Option.to_list tcp_sock in
+  let nshards = Array.length t.shards in
+  let next = ref 0 in
+  let dispatch fd =
+    (* Round-robin with a linear probe past shards at their budget, so a
+       slow shard sheds to its neighbours before anyone is rejected. *)
+    let rec pick k =
+      if k = nshards then None
+      else
+        let i = (!next + k) mod nshards in
+        if Atomic.get t.shards.(i).inflight < t.max_inflight then Some i
+        else pick (k + 1)
+    in
+    match pick 0 with
+    | Some i ->
+      next := (i + 1) mod nshards;
+      Atomic.incr t.shards.(i).inflight;
+      Atomic.incr t.shards.(i).accepted;
+      Shard.submit rts.(i) fd
+    | None ->
+      Metrics.incr t.metrics "admission_rejected";
+      (try
+         write_all_fd fd
+           (Protocol.busy
+              (Printf.sprintf "all %d shards at max_inflight=%d — retry later"
+                 nshards t.max_inflight)
+           ^ "\n")
+       with Unix.Unix_error _ | Sys_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+  in
+  while not (Atomic.get stop) do
+    match Unix.select (stop_r :: listeners) [] [] 0.5 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | readable, _, _ ->
+      List.iter
+        (fun lsock ->
+          if List.memq lsock readable then
+            match Unix.accept lsock with
+            | exception Unix.Unix_error _ -> ()
+            | fd, _ -> dispatch fd)
+        listeners
   done;
-  (try Unix.close sock with Unix.Unix_error _ -> ());
+  Array.iter Shard.wake rts;
+  Array.iter Domain.join workers;
+  Array.iter Shard.destroy rts;
+  List.iter
+    (fun s -> try Unix.close s with Unix.Unix_error _ -> ())
+    listeners;
+  (try Unix.close stop_r with Unix.Unix_error _ -> ());
+  (try Unix.close stop_w with Unix.Unix_error _ -> ());
   (try Unix.unlink t.socket with Unix.Unix_error _ -> ());
   shutdown_pool t;
   (* Drain the JSONL trace sink before the final report: a SHUTDOWN must
@@ -1156,3 +1390,10 @@ let run t =
   Log.info (fun m ->
       m "shut down after %d requests@.%a" (Metrics.get t.metrics "requests") Metrics.pp
         t.metrics)
+
+let shutdown t =
+  (* Latch first so a [run] that has not yet installed its waker still
+     observes the flag before its first select; then kick the installed
+     waker (no-op pre-[run], stop-pipe write + shard wakes after). *)
+  Atomic.set t.stop_flag true;
+  (Atomic.get t.waker) ()

@@ -1,31 +1,57 @@
-(** The long-lived estimation server.
+(** The long-lived estimation server — shard-per-domain since PR 9.
 
     Holds together the pieces the online phase needs: the database context
     (schema, value codings and table sizes used to parse queries and scale
-    probabilities), a model {!Registry}, an {!Lru} estimate cache and
-    {!Metrics}.  {!run} listens on a Unix-domain socket and speaks
-    {!Protocol}; {!handle_line} is the transport-free request dispatcher,
-    exposed so tests and benchmarks can exercise the full request path —
-    parse, canonicalize, cache, infer — without sockets.
+    probabilities), a model {!Registry} published as epoch-pinned
+    immutable snapshots, per-shard {!Lru} estimate caches and
+    {!Plan_cache}s, and {!Metrics}.  {!run} listens on a Unix-domain
+    socket (and optionally TCP) and speaks {!Protocol}; {!handle_line} is
+    the transport-free request dispatcher, exposed so tests and
+    benchmarks can exercise the full request path — parse, canonicalize,
+    cache, infer — without sockets.
 
-    An [EST] request is answered as follows: parse the body against the
-    database ({!Selest_db.Qparse}); canonicalize ({!Canon}); look up
-    [name#version|key] in the estimate cache; on a miss fetch the
-    skeleton's compiled plan from the {!Plan_cache} (compiling it with
+    {2 Shard-per-domain architecture}
+
+    [create ~domains:n] builds [n] executor shards.  {!run} spawns one
+    domain per shard; each domain owns a disjoint set of connections and
+    multiplexes them over a [select] loop ({!Shard}).  The listener
+    thread only accepts: each accepted fd is handed to a shard mailbox
+    round-robin (one mutex touch per {e connection}, never per request)
+    with a linear probe past shards at their admission budget.  When
+    every shard is at [max_inflight] live connections the listener
+    answers [BUSY ...], closes the connection and bumps the
+    [admission_rejected] counter ([selest_admission_rejected_total]).
+
+    On the [EST] hot path a shard acquires {e zero} mutexes: the
+    registry read is one atomic snapshot pin, the estimate cache and
+    plan cache are domain-local (the plan cache is created
+    unsynchronized whenever [domains > 1]), and telemetry writes land on
+    the domain's own lock-free shard.  Estimates are bit-identical
+    across shard counts — every shard executes the same compiled plan
+    for the same query.
+
+    A concurrent [LOAD] publishes a whole new registry snapshot with an
+    atomic pointer flip: in-flight requests keep the snapshot they
+    pinned (never a torn version/fingerprint), later requests see the
+    new one, and because every cache key carries the model version, each
+    shard's cached estimates and plans for the old version simply stop
+    being reachable.  Old snapshots are reclaimed by the GC.
+
+    An [EST] request is answered as follows: pin the registry snapshot;
+    parse the body against the database ({!Selest_db.Qparse});
+    canonicalize ({!Canon}); look up [name#version|key] in the shard's
+    estimate cache; on a miss fetch the skeleton's compiled plan from
+    the shard's {!Plan_cache} (compiling it with
     {!Selest_plan.Plan.compile} on a cold skeleton), bind the query and
-    execute, then fill the estimate cache.  Because the model version is
-    part of both keys, a hot-reloaded model never serves another
-    version's cached answers or plans.
+    execute, then fill the estimate cache.
 
-    The dispatcher is single-threaded and handles connections
-    sequentially, but an [ESTBATCH] request fans its cache misses across a
-    {!Selest_util.Pool} of worker domains: probes and cache fills stay on
-    the dispatcher (the {!Lru} is not shared across domains), inference —
-    the expensive, side-effect-free part — runs in parallel.  The plan
-    cache and each plan's schedule memo are mutex-guarded, so workers
-    share compiled plans.  Estimates are bit-identical to sequential
-    [EST] answers: the same plan executes per query either way, and
-    results are re-ordered deterministically.
+    An [ESTBATCH] request on a {e single-shard} server fans its cache
+    misses across a {!Selest_util.Pool} of worker domains (probes and
+    cache fills stay on the dispatcher; the single-shard plan cache is
+    mutex-guarded so workers share compiled plans).  A sharded server
+    batches inline — its shards already are the parallelism, and its
+    plan caches are unsynchronized and must stay domain-private.
+    Estimates are bit-identical to sequential [EST] answers either way.
 
     {2 Observability}
 
@@ -60,9 +86,15 @@
 
     [TRUTH <true-size> <query>] records accuracy: the estimate is
     computed through the normal cache-then-infer path and the q-error
-    against the supplied truth lands in a per-model rolling histogram
-    ({!Selest_obs.Qerror}), summarized in [STATS] ([qerr.<model>.*]
-    fields) and exported by [METRICS].
+    against the supplied truth lands in the calling domain's shard of a
+    per-model rolling histogram ({!Selest_obs.Qerror} via
+    {!Metrics.observe_qerror} — lock-free, merged on read), summarized
+    in [STATS] ([qerr.<model>.*] fields) and exported by [METRICS].
+
+    [SHARDS] answers the shard layout: one header line ([domains],
+    [max_inflight], [backlog], endpoints, registry [epoch]) then one
+    line per shard with its live admission state ([inflight],
+    [accepted]), request count and domain-local cache counters.
 
     [METRICS] answers the whole picture as Prometheus text exposition
     ({!Selest_obs.Prometheus}): counters ([selest_*_total], with
@@ -70,10 +102,13 @@
     program-memo pair [selest_program_memo_hits]/[_misses]), the
     request-latency histogram ([selest_request_latency_us]) plus
     per-verb [selest_verb_latency_us{verb="..."}], estimate-cache and
-    registry gauges, plan-cache counters and gauge
-    ([selest_plan_cache_*]), per-model [selest_qerror] histograms,
-    slow-log counters and the SLO burn gauges
-    ([selest_slo_latency_burn], [selest_slo_qerror_burn{model="..."}]).
+    registry gauges (including [selest_registry_epoch]), plan-cache
+    counters and gauge ([selest_plan_cache_*]), shard gauges
+    ([selest_domains], [selest_shard_inflight{shard="..."}],
+    [selest_shard_accepted_total{shard="..."}]), per-model
+    [selest_qerror] histograms, slow-log counters and the SLO burn
+    gauges ([selest_slo_latency_burn],
+    [selest_slo_qerror_burn{model="..."}]).
 
     All counters and latency histograms live in a sharded, lock-free
     {!Selest_obs.Telemetry} core (one shard per domain, merged on read),
@@ -82,11 +117,12 @@
     [HEALTH] answers a multi-line SLO report: per-verb latency quantiles
     (p50/p95/p99/p999, computed over the window since the previous
     HEALTH via snapshot deltas), error-budget burn against the declared
-    latency and q-error SLOs, cache hit rates, per-model accuracy and
-    the slow-log state.  [SLOWLOG \[n\]] dumps the newest tail-sampled
-    captures — requests over the quantile-derived latency threshold or
-    TRUTHs over the q-error gate — each with its canonical query and a
-    replayed span tree. *)
+    latency and q-error SLOs, cache hit rates, per-shard identity lines
+    ([shard id=... inflight=... accepted=... requests=...]), per-model
+    accuracy and the slow-log state.  [SLOWLOG \[n\]] dumps the newest
+    tail-sampled captures — requests over the quantile-derived latency
+    threshold or TRUTHs over the q-error gate — each with its canonical
+    query and a replayed span tree. *)
 
 type t
 
@@ -98,14 +134,28 @@ val create :
   ?qerror_gate:float ->
   ?slo_p99_us:float ->
   ?slo_qerror:float ->
+  ?domains:int ->
+  ?tcp:string * int ->
+  ?max_inflight:int ->
+  ?backlog:int ->
   db:Selest_db.Database.t ->
   socket:string ->
   unit ->
   t
-(** [cache_bytes] defaults to 1 MiB.  [pool_size] is the number of worker
-    domains for [ESTBATCH] (default [Domain.recommended_domain_count - 1];
-    [0] forces inline sequential batching); the pool is spawned lazily on
-    the first batch request.  No socket is bound until {!run}.
+(** [cache_bytes] defaults to 1 MiB {e per shard}.  [pool_size] is the
+    number of worker domains for single-shard [ESTBATCH] (default
+    [Domain.recommended_domain_count - 1]; [0] forces inline sequential
+    batching); the pool is spawned lazily on the first batch request.
+    No socket is bound until {!run}.
+
+    Sharding knobs: [domains] (default 1) is the number of executor
+    shards {!run} spawns; [tcp] is an optional [(host, port)] endpoint
+    to listen on in addition to the Unix socket; [max_inflight]
+    (default 1024) is the per-shard admission budget in live
+    connections — when every shard is full new connections are answered
+    [BUSY] and closed; [backlog] (default 128) is the [listen(2)]
+    backlog used for both listeners.  Raises [Invalid_argument] when
+    [domains], [max_inflight] or [backlog] is below 1.
 
     Telemetry knobs: [slowlog_capacity] (default 128) bounds the
     slow-log ring; [slow_quantile] (default 0.99) sets the latency
@@ -119,13 +169,34 @@ val create :
 
 val registry : t -> Registry.t
 val metrics : t -> Metrics.t
+
+val n_domains : t -> int
+(** Number of executor shards (the [?domains] argument). *)
+
+val max_inflight : t -> int
+val backlog : t -> int
+
+val tcp_endpoint : t -> (string * int) option
+(** The optional TCP listen endpoint ([?tcp] argument). *)
+
 val cache : t -> Lru.t
+(** Shard 0's estimate cache — "the" cache for embedded single-shard
+    use and the transport-free {!handle_line} entry point (which always
+    dispatches on shard 0). *)
 
 val plan_cache : t -> Plan_cache.t
-(** The compiled-plan cache, keyed by (model name, version, query
+(** Shard 0's compiled-plan cache, keyed by (model name, version, query
     skeleton).  Exposed so tests and benchmarks can inspect or clear it;
     normal clients only see its hit/miss/eviction counters in [STATS] and
     [METRICS]. *)
+
+val shard_cache : t -> int -> Lru.t
+(** A specific shard's estimate cache (tests/benchmarks). *)
+
+val shard_plan_cache : t -> int -> Plan_cache.t
+(** A specific shard's plan cache.  On a sharded server
+    [Plan_cache.synchronized] is [false] for every shard — the lock-free
+    hot-path property tests assert on. *)
 
 val socket_path : t -> string
 
@@ -134,26 +205,38 @@ val slowlog : t -> Selest_obs.Slowlog.t
     so tests can assert on captures without re-parsing the text dump. *)
 
 val qerror_table : t -> string -> Selest_obs.Qerror.t
-(** The rolling q-error histogram for a model name, created on first
-    use.  [TRUTH] records into it; exposed so a workload replay can feed
-    ground truth directly. *)
+(** The calling domain's shard-local rolling q-error histogram for a
+    model name, created on first use.  [TRUTH] records into it; exposed
+    so a workload replay can feed ground truth directly.  Merged across
+    domains by {!qerror_tables} and the STATS/HEALTH/METRICS surfaces. *)
+
+val qerror_tables : t -> (string * Selest_obs.Qerror.t) list
+(** Every model with q-error observations — fresh merged copies, sorted
+    by model name. *)
 
 val handle_line : t -> string -> string * [ `Continue | `Stop ]
-(** Dispatch one request line to one response.  Never raises: every
-    failure (parse error, unknown model, bad model file, inference error)
-    becomes an [ERR] response and [`Continue]; only [SHUTDOWN] returns
-    [`Stop].  Every response is a single line except [METRICS],
-    [EXPLAINPLAN], [HEALTH] and [SLOWLOG], which return the
-    [OK lines=<k>] multi-line frame ({!Protocol.extra_lines}). *)
+(** Dispatch one request line to one response, on shard 0.  Never
+    raises: every failure (parse error, unknown model, bad model file,
+    inference error) becomes an [ERR] response and [`Continue]; only
+    [SHUTDOWN] returns [`Stop].  Every response is a single line except
+    [METRICS], [EXPLAINPLAN], [HEALTH], [SHARDS] and [SLOWLOG], which
+    return the [OK lines=<k>] multi-line frame
+    ({!Protocol.extra_lines}). *)
+
+val handle_line_shard : t -> shard:int -> string -> string * [ `Continue | `Stop ]
+(** {!handle_line} against an explicit shard's domain-local state, so
+    transport-free callers (tests, benches) can drive per-shard caches
+    the way the listener's dispatch would.  Raises [Invalid_argument]
+    when [shard] is out of range. *)
 
 val handle_frame : t -> bytes -> string
 (** Dispatch one binary request payload ({!Protocol.Bin}, length prefix
-    already stripped) to one encoded response frame.  The binary twin of
-    {!handle_line} for [EST]/[ESTBATCH], sharing its request, latency and
-    error accounting — exposed transport-free for the same reason.  A
-    connection enters binary mode by sending the text line [BIN], which
-    {!run}'s connection loop answers with [OK bin] before switching to
-    length-prefixed frames until EOF. *)
+    already stripped) to one encoded response frame, on shard 0.  The
+    binary twin of {!handle_line} for [EST]/[ESTBATCH], sharing its
+    request, latency and error accounting — exposed transport-free for
+    the same reason.  A connection enters binary mode by sending the
+    text line [BIN], which the shard connection loop answers with
+    [OK bin] before switching to length-prefixed frames until EOF. *)
 
 val shutdown_pool : t -> unit
 (** Stop and join the worker domains (if any were spawned).  {!run} calls
@@ -161,8 +244,18 @@ val shutdown_pool : t -> unit
     [ESTBATCH] requests should call it when done. *)
 
 val run : t -> unit
-(** Bind the socket (unlinking a stale file first), accept connections
-    sequentially, serve each until EOF, and return once a [SHUTDOWN]
-    request has been answered.  The socket file is removed on exit, the
-    domain pool is shut down and the final metrics are logged at info
-    level. *)
+(** Bind the Unix socket (unlinking a stale file first) and the optional
+    TCP endpoint with the configured [backlog], spawn one executor
+    domain per shard, and accept connections, handing each to a shard
+    mailbox round-robin under the [max_inflight] admission budget
+    (rejected connections get one [BUSY] line).  Returns once a
+    [SHUTDOWN] request has been answered: the shard domains are joined,
+    the socket file is removed, the domain pool is shut down and the
+    final metrics are logged at info level. *)
+
+val shutdown : t -> unit
+(** Ask a running {!run} to stop, from any thread — the programmatic
+    equivalent of the [SHUTDOWN] verb.  Idempotent; safe before [run]
+    starts (it will exit before accepting) and after it returns.  Use it
+    in cleanup paths so a harness never blocks joining a server whose
+    [SHUTDOWN] request was lost to an earlier failure. *)

@@ -1,0 +1,244 @@
+(* One executor shard's connection event loop.
+
+   The listener hands accepted fds to a shard through a small
+   mutex-guarded mailbox — the only synchronized structure here, and it
+   is touched once per *connection*, never per request.  From then on
+   the shard owns the connection exclusively: its [select] loop reads
+   whatever bytes are available, slices complete protocol messages out
+   of a per-connection buffer (text lines or length-prefixed binary
+   frames after the BIN upgrade), and calls back into the server's
+   dispatch with no locking whatsoever — the shard's caches, telemetry
+   shard and arena are all domain-local.
+
+   A self-pipe wakes the loop out of [select] when the listener
+   enqueues a connection or a shutdown is requested; the short select
+   timeout is belt-and-braces so a lost wakeup can only delay, never
+   hang, the loop. *)
+
+type conn = {
+  fd : Unix.file_descr;
+  mutable inbuf : Bytes.t;
+  mutable start : int;  (* first unconsumed byte *)
+  mutable len : int;  (* end of valid data *)
+  mutable mode : [ `Text | `Bin ];
+  mutable alive : bool;
+}
+
+type t = {
+  sid : int;
+  mailbox : Unix.file_descr Queue.t;
+  mb_lock : Mutex.t;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+}
+
+let create ~sid =
+  let wake_r, wake_w = Unix.pipe () in
+  Unix.set_nonblock wake_w;
+  {
+    sid;
+    mailbox = Queue.create ();
+    mb_lock = Mutex.create ();
+    wake_r;
+    wake_w;
+  }
+
+let sid t = t.sid
+
+let wake t =
+  (* A full pipe already guarantees a pending wakeup; EAGAIN is fine. *)
+  try ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1)
+  with Unix.Unix_error _ -> ()
+
+let submit t fd =
+  Mutex.lock t.mb_lock;
+  Queue.push fd t.mailbox;
+  Mutex.unlock t.mb_lock;
+  wake t
+
+let drain_mailbox t =
+  Mutex.lock t.mb_lock;
+  let fds = Queue.fold (fun acc fd -> fd :: acc) [] t.mailbox in
+  Queue.clear t.mailbox;
+  Mutex.unlock t.mb_lock;
+  List.rev fds
+
+let drain_wake_pipe t =
+  let scratch = Bytes.create 64 in
+  let rec go () =
+    match Unix.read t.wake_r scratch 0 64 with
+    | 64 -> go ()
+    | _ -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  go ()
+
+let new_conn fd =
+  { fd; inbuf = Bytes.create 4096; start = 0; len = 0; mode = `Text;
+    alive = true }
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+let write_line fd s =
+  write_all fd (s ^ "\n")
+
+(* Ensure room for one more read chunk, compacting the consumed prefix
+   first and growing only when a single message spans the whole buffer. *)
+let chunk = 4096
+
+let ensure_room c =
+  if c.start > 0 then begin
+    Bytes.blit c.inbuf c.start c.inbuf 0 (c.len - c.start);
+    c.len <- c.len - c.start;
+    c.start <- 0
+  end;
+  if Bytes.length c.inbuf - c.len < chunk then begin
+    let grown = Bytes.create (2 * Bytes.length c.inbuf) in
+    Bytes.blit c.inbuf 0 grown 0 c.len;
+    c.inbuf <- grown
+  end
+
+let close_conn c =
+  c.alive <- false;
+  (try Unix.close c.fd with Unix.Unix_error _ -> ())
+
+(* Extract one complete text line if the buffer holds one ('\n'
+   terminated, optional '\r' stripped). *)
+let take_line c =
+  let rec find i = if i >= c.len then None
+    else if Bytes.get c.inbuf i = '\n' then Some i
+    else find (i + 1)
+  in
+  match find c.start with
+  | None -> None
+  | Some nl ->
+    let stop = if nl > c.start && Bytes.get c.inbuf (nl - 1) = '\r' then nl - 1 else nl in
+    let line = Bytes.sub_string c.inbuf c.start (stop - c.start) in
+    c.start <- nl + 1;
+    Some line
+
+(* Extract one complete binary frame payload if buffered.  [`Oversized]
+   is unrecoverable — the stream cannot be resynchronized. *)
+let take_frame c =
+  if c.len - c.start < 4 then `Incomplete
+  else
+    let flen =
+      Int32.to_int (Bytes.get_int32_be c.inbuf c.start) land 0xffffffff
+    in
+    if flen > Protocol.Bin.max_frame then `Oversized flen
+    else if c.len - c.start - 4 < flen then `Incomplete
+    else begin
+      let payload = Bytes.sub c.inbuf (c.start + 4) flen in
+      c.start <- c.start + 4 + flen;
+      `Frame payload
+    end
+
+(* Process every complete message currently buffered on [c].  Returns
+   [`Stop] when a handler requested server shutdown (its response has
+   already been written). *)
+let process_conn c ~on_line ~on_frame ~on_protocol_error =
+  let result = ref `Continue in
+  (try
+     let progress = ref true in
+     while c.alive && !result = `Continue && !progress do
+       progress := false;
+       match c.mode with
+       | `Text -> (
+         match take_line c with
+         | None -> ()
+         | Some line ->
+           progress := true;
+           if String.uppercase_ascii (String.trim line) = Protocol.Bin.hello
+           then begin
+             (* Upgrade: acknowledge in text, switch framing.  The hello
+                itself is not a counted request. *)
+             write_line c.fd Protocol.Bin.hello_ok;
+             c.mode <- `Bin
+           end
+           else begin
+             let response, action = on_line line in
+             write_line c.fd response;
+             if action = `Stop then begin
+               result := `Stop;
+               close_conn c
+             end
+           end)
+       | `Bin -> (
+         match take_frame c with
+         | `Incomplete -> ()
+         | `Oversized flen ->
+           on_protocol_error ();
+           write_all c.fd
+             (Protocol.Bin.encode_response
+                (Protocol.Bin.Berr
+                   (Printf.sprintf "bin: frame length %d exceeds %d" flen
+                      Protocol.Bin.max_frame)));
+           close_conn c
+         | `Frame payload ->
+           progress := true;
+           write_all c.fd (on_frame payload))
+     done
+   with Unix.Unix_error _ | Sys_error _ -> close_conn c);
+  !result
+
+(* Read whatever is available on [c]; 0 bytes means the peer closed. *)
+let read_into c =
+  ensure_room c;
+  match Unix.read c.fd c.inbuf c.len chunk with
+  | 0 -> close_conn c
+  | n -> c.len <- c.len + n
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    -> ()
+  | exception Unix.Unix_error _ -> close_conn c
+
+let run t ~stop ~request_stop ~on_line ~on_frame ~on_close ~on_protocol_error
+    () =
+  let conns = ref [] in
+  let reap () =
+    let live, dead = List.partition (fun c -> c.alive) !conns in
+    List.iter (fun _ -> on_close ()) dead;
+    conns := live
+  in
+  while not (Atomic.get stop) do
+    let fds = t.wake_r :: List.map (fun c -> c.fd) !conns in
+    match Unix.select fds [] [] 0.25 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | readable, _, _ ->
+      if List.memq t.wake_r readable then begin
+        drain_wake_pipe t;
+        List.iter
+          (fun fd -> conns := new_conn fd :: !conns)
+          (drain_mailbox t)
+      end;
+      List.iter
+        (fun c ->
+          if c.alive && List.memq c.fd readable then begin
+            read_into c;
+            if c.alive then
+              match process_conn c ~on_line ~on_frame ~on_protocol_error with
+              | `Continue -> ()
+              | `Stop -> request_stop ()
+          end)
+        !conns;
+      reap ()
+  done;
+  (* Shutdown: close every owned connection and anything still queued. *)
+  List.iter (fun c -> if c.alive then close_conn c) !conns;
+  List.iter (fun _ -> on_close ()) !conns;
+  conns := [];
+  List.iter
+    (fun fd ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      on_close ())
+    (drain_mailbox t)
+
+let destroy t =
+  (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+  (try Unix.close t.wake_w with Unix.Unix_error _ -> ())

@@ -1,0 +1,55 @@
+(** One executor shard's connection event loop.
+
+    A shard-per-domain server spawns one domain per shard; each domain
+    runs {!run}, which multiplexes every connection the listener has
+    handed it over a [select] loop.  The listener→shard handoff is a
+    small mutex-guarded mailbox plus a self-pipe wakeup — synchronized
+    once per {e connection}, never per request — and from then on the
+    connection is owned exclusively by the shard: message extraction,
+    dispatch and the reply write all happen on the shard's domain with
+    no locks.
+
+    The loop understands both wire formats of {!Protocol}: newline-
+    terminated text lines, and, after a connection sends the [BIN]
+    hello, length-prefixed binary frames.  Partial reads are buffered
+    per connection; a frame announcing more than
+    {!Protocol.Bin.max_frame} bytes is answered with a binary error and
+    the connection dropped (the stream cannot be resynchronized). *)
+
+type t
+
+val create : sid:int -> t
+(** A shard runtime with an empty mailbox and a fresh wakeup pipe. *)
+
+val sid : t -> int
+
+val submit : t -> Unix.file_descr -> unit
+(** Hand an accepted connection to this shard (listener side): enqueue
+    the fd and wake the loop.  The shard now owns closing it. *)
+
+val wake : t -> unit
+(** Wake the loop out of [select] (used to propagate a stop request). *)
+
+val run :
+  t ->
+  stop:bool Atomic.t ->
+  request_stop:(unit -> unit) ->
+  on_line:(string -> string * [ `Continue | `Stop ]) ->
+  on_frame:(bytes -> string) ->
+  on_close:(unit -> unit) ->
+  on_protocol_error:(unit -> unit) ->
+  unit ->
+  unit
+(** Run the event loop until [stop] is set.  [on_line] handles one text
+    request and returns the response plus whether the server should
+    stop ([`Stop] triggers [request_stop] {e after} the response is
+    written, so a SHUTDOWN client sees its acknowledgement).
+    [on_frame] handles one binary request payload and returns the
+    encoded response frame.  [on_close] fires exactly once per
+    connection this shard ever owned — the listener's admission
+    accounting decrements on it.  [on_protocol_error] fires on
+    unrecoverable framing errors (oversized frame announcements).
+    On exit every owned or still-queued connection is closed. *)
+
+val destroy : t -> unit
+(** Close the wakeup pipe (after {!run} has returned). *)

@@ -495,6 +495,7 @@ let test_socket_round_trip () =
   let thread = Thread.create Server.run server in
   Fun.protect
     ~finally:(fun () ->
+      Server.shutdown server;
       Thread.join thread;
       Sys.remove model_path)
     (fun () ->
@@ -559,6 +560,7 @@ let test_socket_slowlog_capture () =
   let thread = Thread.create Server.run server in
   Fun.protect
     ~finally:(fun () ->
+      Server.shutdown server;
       Thread.join thread;
       Sys.remove model_path)
     (fun () ->
@@ -605,6 +607,374 @@ let test_socket_slowlog_capture () =
             (List.exists (fun l -> contains l "slo=qerror model=tb") hlines);
           Alcotest.(check bool) "slowlog summary counts capture" true
             (List.exists (fun l -> contains l "slowlog captured=1") hlines);
+          Alcotest.(check string) "shutdown" "OK bye" (Client.request c "SHUTDOWN")))
+
+(* ---- shard-per-domain ------------------------------------------------------------- *)
+
+let contains line sub =
+  let n = String.length sub in
+  let rec probe i =
+    i + n <= String.length line && (String.sub line i n = sub || probe (i + 1))
+  in
+  probe 0
+
+(* Epoch publication: a pinned snapshot is immutable — a concurrent (or
+   later) install can only affect later pins, never a snapshot already
+   in hand. *)
+let test_registry_epoch_pin () =
+  let db0 = Lazy.force db in
+  let m = Lazy.force model in
+  let r = Registry.create ~schema:(Database.schema db0) in
+  let s0 = Registry.Epoch.pin r in
+  Alcotest.(check int) "empty epoch" 0 (Registry.Epoch.epoch s0);
+  Alcotest.(check int) "empty size" 0 (Registry.Epoch.size s0);
+  let e1 = Registry.register r ~name:"tb" m in
+  let s1 = Registry.Epoch.pin r in
+  Alcotest.(check int) "epoch bumped" 1 (Registry.Epoch.epoch s1);
+  Alcotest.(check int) "old pin unchanged" 0 (Registry.Epoch.epoch s0);
+  Alcotest.(check bool) "old pin still empty" true (Registry.Epoch.find s0 "tb" = None);
+  (match Registry.Epoch.find s1 "tb" with
+  | Some e -> Alcotest.(check int) "pinned version" e1.Registry.version e.Registry.version
+  | None -> Alcotest.fail "entry missing from pinned snapshot");
+  ignore (Registry.register r ~name:"tb" m);
+  ignore (Registry.register r ~name:"other" m);
+  let s2 = Registry.Epoch.pin r in
+  Alcotest.(check int) "epoch counts installs" 3 (Registry.Epoch.epoch s2);
+  Alcotest.(check int) "current_epoch agrees" 3 (Registry.Epoch.current_epoch r);
+  (* the earlier pin still reads the version it was published with *)
+  (match Registry.Epoch.find s1 "tb" with
+  | Some e -> Alcotest.(check int) "old pin keeps version 1" 1 e.Registry.version
+  | None -> Alcotest.fail "entry vanished from old snapshot");
+  (* default is MRU: the most recently installed name *)
+  (match Registry.Epoch.default s2 with
+  | Some ("other", _) -> ()
+  | _ -> Alcotest.fail "default should be the most recent install");
+  Alcotest.(check (list string)) "names, MRU first" [ "other"; "tb" ]
+    (Registry.Epoch.names s2)
+
+let test_plan_cache_sync_modes () =
+  let sync = Plan_cache.create () in
+  Alcotest.(check bool) "default synchronized" true (Plan_cache.synchronized sync);
+  let unsync = Plan_cache.create ~synchronized:false () in
+  Alcotest.(check bool) "opt-out unsynchronized" false
+    (Plan_cache.synchronized unsync);
+  (* both modes implement the same cache contract *)
+  let m = Lazy.force model in
+  let q = tb_query [ "p.USBorn=1" ] in
+  List.iter
+    (fun pc ->
+      let compile () = Selest_plan.Plan.compile m q in
+      let _, s1 = Plan_cache.find_or_compile pc ~key:"k" ~compile in
+      let _, s2 = Plan_cache.find_or_compile pc ~key:"k" ~compile in
+      Alcotest.(check bool) "miss then hit" true (s1 = `Miss && s2 = `Hit);
+      let hits, misses, _ = Plan_cache.stats pc in
+      Alcotest.(check (pair int int)) "stats" (1, 1) (hits, misses))
+    [ sync; unsync ]
+
+(* q-error tables shard per domain and merge on read. *)
+let test_qerror_shard_merge () =
+  let mtr = Metrics.create () in
+  Metrics.observe_qerror mtr "m" ~est:10.0 ~truth:100.0;
+  Metrics.observe_qerror mtr "m" ~est:100.0 ~truth:10.0;
+  (* writes from another domain land on that domain's shard *)
+  let d =
+    Domain.spawn (fun () -> Metrics.observe_qerror mtr "m" ~est:5.0 ~truth:50.0)
+  in
+  Domain.join d;
+  let merged = Metrics.qerror_merged mtr "m" in
+  Alcotest.(check int) "merged count sees both shards" 3
+    (Selest_obs.Qerror.count merged);
+  check_float "merged mean" 10.0 (Selest_obs.Qerror.mean merged);
+  (* the calling domain's shard only holds its own writes *)
+  Alcotest.(check int) "shard-local count" 2
+    (Selest_obs.Qerror.count (Metrics.qerror_shard mtr "m"));
+  Alcotest.(check bool) "shard tables are unsynchronized" false
+    (Selest_obs.Qerror.synchronized (Metrics.qerror_shard mtr "m"));
+  match Metrics.qerror_tables mtr with
+  | [ ("m", qe) ] -> Alcotest.(check int) "tables merged" 3 (Selest_obs.Qerror.count qe)
+  | _ -> Alcotest.fail "expected exactly one merged table"
+
+let test_client_backoff_schedule () =
+  check_float "attempt 0" 0.01 (Client.backoff_delay 0);
+  check_float "attempt 1" 0.02 (Client.backoff_delay 1);
+  check_float "attempt 3" 0.08 (Client.backoff_delay 3);
+  check_float "attempt 6 hits the cap" 0.64 (Client.backoff_delay 6);
+  check_float "capped thereafter" 0.64 (Client.backoff_delay 20)
+
+(* SHARDS verb + per-shard dispatch, transport-free. *)
+let test_shards_verb () =
+  let db0 = Lazy.force db in
+  let server = Server.create ~domains:3 ~max_inflight:7 ~backlog:33 ~db:db0
+      ~socket:"(test: unused)" ()
+  in
+  ignore (Registry.register (Server.registry server) ~name:"default" (Lazy.force model));
+  Alcotest.(check int) "n_domains" 3 (Server.n_domains server);
+  let body = "c=contact, p=patient ; c.patient=p ; p.USBorn=1" in
+  (* drive each shard's domain-local cache explicitly *)
+  for shard = 0 to 2 do
+    let r, _ = Server.handle_line_shard server ~shard ("EST " ^ body) in
+    Alcotest.(check bool) "est ok on every shard" true (Protocol.is_ok r)
+  done;
+  let reply = fst (Server.handle_line server "SHARDS") in
+  Alcotest.(check bool) "shards ok" true (Protocol.is_ok reply);
+  let lines = String.split_on_char '\n' reply in
+  Alcotest.(check bool) "header lists the layout" true
+    (List.exists
+       (fun l -> contains l "domains=3" && contains l "max_inflight=7" && contains l "backlog=33")
+       lines);
+  List.iter
+    (fun sid ->
+      (* every shard ran exactly one EST (one domain-local miss, lock-free
+         plan cache); shard 0 additionally served the SHARDS request *)
+      let requests = if sid = 0 then 2 else 1 in
+      Alcotest.(check bool)
+        (Printf.sprintf "shard %d line" sid)
+        true
+        (List.exists
+           (fun l ->
+             contains l (Printf.sprintf "shard id=%d" sid)
+             && contains l (Printf.sprintf "requests=%d" requests)
+             && contains l "cache_misses=1"
+             && contains l "lock_free=true")
+           lines))
+    [ 0; 1; 2 ];
+  (* multi-shard plan caches are unsynchronized; shard 0 accessors alias *)
+  Alcotest.(check bool) "plan caches lock-free" false
+    (Plan_cache.synchronized (Server.shard_plan_cache server 1));
+  Alcotest.(check bool) "cache is shard 0's" true
+    (Server.cache server == Server.shard_cache server 0);
+  Alcotest.(check bool) "out of range" true
+    (try
+       ignore (Server.handle_line_shard server ~shard:3 "PING");
+       false
+     with Invalid_argument _ -> true)
+
+(* Bit-identity across shard counts: the same query answered by a
+   1-domain server and by every shard of a 3-domain server must print
+   the same %.17g payload — string equality is bit equality. *)
+let test_sharded_bit_identity () =
+  let db0 = Lazy.force db in
+  let bodies =
+    [
+      "c=contact, p=patient ; c.patient=p ; p.USBorn=1";
+      "c=contact, p=patient ; c.patient=p ; c.Contype=2, p.USBorn=0";
+      "p=patient ; ; p.Age=1..3";
+    ]
+  in
+  let single = Server.create ~db:db0 ~socket:"(test: unused)" () in
+  ignore (Registry.register (Server.registry single) ~name:"default" (Lazy.force model));
+  let reference =
+    List.map
+      (fun b -> Protocol.payload (fst (Server.handle_line single ("EST " ^ b))))
+      bodies
+  in
+  let sharded = Server.create ~domains:3 ~db:db0 ~socket:"(test: unused)" () in
+  ignore (Registry.register (Server.registry sharded) ~name:"default" (Lazy.force model));
+  for shard = 0 to 2 do
+    List.iter2
+      (fun b expected ->
+        let r, _ = Server.handle_line_shard sharded ~shard ("EST " ^ b) in
+        Alcotest.(check string)
+          (Printf.sprintf "shard %d bit-identical" shard)
+          expected (Protocol.payload r))
+      bodies reference
+  done
+
+(* End-to-end over the socket with 2 executor domains: every connection
+   is served by some shard, answers stay bit-identical to the
+   transport-free reference, and SHARDS shows the round-robin spread. *)
+let test_socket_multidomain_round_trip () =
+  let db0 = Lazy.force db in
+  let reference = Server.create ~db:db0 ~socket:"(test: unused)" () in
+  ignore (Registry.register (Server.registry reference) ~name:"default" (Lazy.force model));
+  let body = "c=contact, p=patient ; c.patient=p ; p.USBorn=1, c.Contype=2" in
+  let expected = Protocol.payload (fst (Server.handle_line reference ("EST " ^ body))) in
+  let socket = Filename.temp_file "selest" ".sock" in
+  Sys.remove socket;
+  let server = Server.create ~domains:2 ~db:db0 ~socket () in
+  ignore (Registry.register (Server.registry server) ~name:"default" (Lazy.force model));
+  let thread = Thread.create Server.run server in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.shutdown server;
+      Thread.join thread)
+    (fun () ->
+      (* several short-lived connections: round-robin spreads them *)
+      for _ = 1 to 4 do
+        Client.with_connection ~retries:100 ~socket (fun c ->
+            Alcotest.(check string) "bit-identical over the socket" expected
+              (Protocol.payload (Client.request c ("EST " ^ body))))
+      done;
+      Client.with_connection ~retries:100 ~socket (fun c ->
+          let sh = Client.request c "SHARDS" in
+          Alcotest.(check bool) "shards ok" true (Protocol.is_ok sh);
+          let lines = String.split_on_char '\n' sh in
+          Alcotest.(check bool) "two shard lines" true
+            (List.exists (fun l -> contains l "shard id=0") lines
+            && List.exists (fun l -> contains l "shard id=1") lines);
+          (* 5 connections round-robined over 2 shards: both accepted some *)
+          Alcotest.(check bool) "both shards accepted connections" true
+            (List.for_all
+               (fun sid ->
+                 List.exists
+                   (fun l ->
+                     contains l (Printf.sprintf "shard id=%d" sid)
+                     && not (contains l "accepted=0 "))
+                   lines)
+               [ 0; 1 ]);
+          let h = Client.request c "HEALTH" in
+          Alcotest.(check bool) "health lists shards" true
+            (List.exists
+               (fun l -> contains l "shard id=1")
+               (String.split_on_char '\n' h));
+          Alcotest.(check string) "shutdown" "OK bye" (Client.request c "SHUTDOWN")));
+  Alcotest.(check bool) "socket removed after join" false (Sys.file_exists socket)
+
+(* TCP listener: same protocol, same answers, over --tcp. *)
+let test_tcp_round_trip () =
+  let db0 = Lazy.force db in
+  let port = 20_000 + (Unix.getpid () mod 10_000) in
+  let socket = Filename.temp_file "selest" ".sock" in
+  Sys.remove socket;
+  let server =
+    Server.create ~domains:2 ~tcp:("127.0.0.1", port) ~db:db0 ~socket ()
+  in
+  ignore (Registry.register (Server.registry server) ~name:"default" (Lazy.force model));
+  let thread = Thread.create Server.run server in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.shutdown server;
+      Thread.join thread)
+    (fun () ->
+      let body = "c=contact, p=patient ; c.patient=p ; p.USBorn=1" in
+      (* reference over the Unix socket, then the same over TCP *)
+      let expected =
+        Client.with_connection ~retries:100 ~socket (fun c ->
+            Protocol.payload (Client.request c ("EST " ^ body)))
+      in
+      Client.with_tcp_connection ~retries:100 ~host:"127.0.0.1" ~port (fun c ->
+          Alcotest.(check string) "ping over tcp" "PONG" (Client.request c "PING");
+          Alcotest.(check string) "tcp answer bit-identical" expected
+            (Protocol.payload (Client.request c ("EST " ^ body)));
+          (* binary upgrade works over TCP too *)
+          Client.upgrade c;
+          match Client.est_bin c body with
+          | Ok v ->
+            Alcotest.(check int64) "tcp bin bit-identical"
+              (Int64.bits_of_float (float_of_string expected))
+              (Int64.bits_of_float v)
+          | Error msg -> Alcotest.fail ("tcp est_bin: " ^ msg));
+      Client.with_connection ~retries:100 ~socket (fun c ->
+          Alcotest.(check string) "shutdown" "OK bye" (Client.request c "SHUTDOWN")))
+
+(* Admission control: with one shard at max_inflight=1, a second live
+   connection is answered BUSY and closed, and the rejection is counted. *)
+let test_admission_busy () =
+  let db0 = Lazy.force db in
+  let socket = Filename.temp_file "selest" ".sock" in
+  Sys.remove socket;
+  let server = Server.create ~max_inflight:1 ~db:db0 ~socket () in
+  ignore (Registry.register (Server.registry server) ~name:"default" (Lazy.force model));
+  let thread = Thread.create Server.run server in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.shutdown server;
+      Thread.join thread)
+    (fun () ->
+      Client.with_connection ~retries:100 ~socket (fun c1 ->
+          (* c1 occupies the only admission slot *)
+          Alcotest.(check string) "first connection serves" "PONG"
+            (Client.request c1 "PING");
+          let c2 = Client.connect ~socket () in
+          let busy =
+            Fun.protect
+              ~finally:(fun () -> Client.close c2)
+              (fun () -> Client.request c2 "PING")
+          in
+          Alcotest.(check bool) "second connection is rejected" true
+            (Protocol.is_busy busy);
+          Alcotest.(check bool) "reply names the budget" true
+            (contains busy "max_inflight=1");
+          (* the admitted connection is unaffected and sees the counter *)
+          let stats = Client.request c1 "STATS" in
+          Alcotest.(check (option string)) "rejection counted" (Some "1")
+            (Protocol.stats_field stats "admission_rejected");
+          Alcotest.(check string) "shutdown" "OK bye" (Client.request c1 "SHUTDOWN")))
+
+(* Hot reload under fire (satellite 4): concurrent EST traffic while the
+   model is repeatedly re-LOADed.  Every answer must be exactly one of
+   the two versions' estimates (a torn snapshot would produce neither),
+   and once the dust settles a fresh EST serves the latest version. *)
+let test_hot_reload_under_fire () =
+  let db0 = Lazy.force db in
+  let m1 = Lazy.force model in
+  let m2 = Selest_prm.Learn.learn_prm ~budget_bytes:1_024 ~seed:11 db0 in
+  let body = "c=contact, p=patient ; c.patient=p ; p.USBorn=1, c.Contype=2" in
+  (* reference strings per model, through the same request path *)
+  let answer_of m =
+    let s = Server.create ~db:db0 ~socket:"(test: unused)" () in
+    ignore (Registry.register (Server.registry s) ~name:"tb" m);
+    Protocol.payload (fst (Server.handle_line s ("EST " ^ body)))
+  in
+  let a1 = answer_of m1 and a2 = answer_of m2 in
+  Alcotest.(check bool) "models disagree (test is not vacuous)" false (a1 = a2);
+  let p1 = Filename.temp_file "selest" ".prm"
+  and p2 = Filename.temp_file "selest" ".prm" in
+  Selest_prm.Serialize.save p1 m1;
+  Selest_prm.Serialize.save p2 m2;
+  let socket = Filename.temp_file "selest" ".sock" in
+  Sys.remove socket;
+  let server = Server.create ~domains:2 ~db:db0 ~socket () in
+  let thread = Thread.create Server.run server in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.shutdown server;
+      Thread.join thread;
+      Sys.remove p1;
+      Sys.remove p2)
+    (fun () ->
+      Client.with_connection ~retries:100 ~socket (fun c ->
+          Alcotest.(check bool) "initial load" true
+            (Protocol.is_ok (Client.request c (Printf.sprintf "LOAD tb %s" p1))));
+      let torn = Atomic.make 0 and served = Atomic.make 0 in
+      let firing =
+        List.init 3 (fun _ ->
+            Thread.create
+              (fun () ->
+                Client.with_connection ~retries:100 ~socket (fun c ->
+                    for _ = 1 to 40 do
+                      let r = Client.request c ("EST " ^ body) in
+                      if Protocol.is_ok r then begin
+                        Atomic.incr served;
+                        let p = Protocol.payload r in
+                        if p <> a1 && p <> a2 then Atomic.incr torn
+                      end
+                      else Atomic.incr torn
+                    done))
+              ())
+      in
+      (* reload back and forth while the EST threads hammer the server *)
+      Client.with_connection ~retries:100 ~socket (fun c ->
+          for _ = 1 to 10 do
+            Alcotest.(check bool) "reload v2" true
+              (Protocol.is_ok (Client.request c (Printf.sprintf "LOAD tb %s" p2)));
+            Thread.yield ();
+            Alcotest.(check bool) "reload v1" true
+              (Protocol.is_ok (Client.request c (Printf.sprintf "LOAD tb %s" p1)))
+          done);
+      List.iter Thread.join firing;
+      Alcotest.(check int) "no torn or failed answers" 0 (Atomic.get torn);
+      Alcotest.(check int) "all requests served" 120 (Atomic.get served);
+      (* quiesced: the final LOAD wins on every shard — version-carrying
+         cache keys make stale per-domain entries unreachable *)
+      Client.with_connection ~retries:100 ~socket (fun c ->
+          Alcotest.(check bool) "final load v2" true
+            (Protocol.is_ok (Client.request c (Printf.sprintf "LOAD tb %s" p2)));
+          for _ = 1 to 4 do
+            Client.with_connection ~retries:100 ~socket (fun c' ->
+                Alcotest.(check string) "post-reload answers are v2" a2
+                  (Protocol.payload (Client.request c' ("EST " ^ body))))
+          done;
           Alcotest.(check string) "shutdown" "OK bye" (Client.request c "SHUTDOWN")))
 
 (* ---- binary frames (Protocol.Bin) ------------------------------------------------- *)
@@ -760,7 +1130,9 @@ let test_bin_socket_round_trip () =
   ignore (Registry.register (Server.registry server) ~name:"default" (Lazy.force model));
   let thread = Thread.create Server.run server in
   Fun.protect
-    ~finally:(fun () -> Thread.join thread)
+    ~finally:(fun () ->
+      Server.shutdown server;
+      Thread.join thread)
     (fun () ->
       let body = "c=contact, p=patient ; c.patient=p ; p.USBorn=1, c.Contype=2" in
       (* text connection first: the reference answer *)
@@ -842,6 +1214,21 @@ let () =
             test_socket_slowlog_capture;
           Alcotest.test_case "contradiction on the compiled path" `Quick
             test_server_bytecode_contradiction_regression;
+        ] );
+      ( "shards",
+        [
+          Alcotest.test_case "registry epoch pin" `Quick test_registry_epoch_pin;
+          Alcotest.test_case "plan cache sync modes" `Quick test_plan_cache_sync_modes;
+          Alcotest.test_case "qerror shard merge" `Quick test_qerror_shard_merge;
+          Alcotest.test_case "client backoff schedule" `Quick test_client_backoff_schedule;
+          Alcotest.test_case "SHARDS verb" `Quick test_shards_verb;
+          Alcotest.test_case "bit identity across shard counts" `Quick
+            test_sharded_bit_identity;
+          Alcotest.test_case "multi-domain socket round trip" `Quick
+            test_socket_multidomain_round_trip;
+          Alcotest.test_case "tcp round trip" `Quick test_tcp_round_trip;
+          Alcotest.test_case "admission BUSY" `Quick test_admission_busy;
+          Alcotest.test_case "hot reload under fire" `Quick test_hot_reload_under_fire;
         ] );
       ( "bin-properties",
         List.map QCheck_alcotest.to_alcotest
