@@ -18,7 +18,7 @@ bench: build
 # many) is bit-identical to the one-shot path and that a warm execute is
 # no slower than recompiling per request, emitting BENCH_plan.json.
 # The obs figure then runs a traced estimate (asserting tracing overhead
-# < 5% and EXPLAIN stage-sum fidelity), emits BENCH_obs.json, and its
+# < 8% / < 150ns per span and EXPLAIN stage-sum fidelity), emits BENCH_obs.json, and its
 # normalized EXPLAIN/METRICS shape is diffed against the checked-in
 # golden so response-format regressions fail CI.
 # The opt figure runs the plan-regret harness (exact-oracle regret must
@@ -33,6 +33,14 @@ bench: build
 # zero-allocation gate (Gc.minor_words delta must be exactly 0 across
 # 10k warm load+run pairs) and binary-frame EST throughput >= text, and
 # emits BENCH_exec.json.
+# The frontend figure gates the allocation-free request front-end: the
+# zero-copy parser must agree with the reference pipeline on every TB
+# body and run >= 2x faster, compiled range/set predicates must be
+# bit-identical to the generic engine and Ve.Reference, a warm served
+# EST round trip (socket read -> answer write, text and binary framing)
+# must allocate exactly zero minor words, and transport-free QPS must
+# hold the BENCH_exec.json baselines (so it runs after the exec
+# figure); emits BENCH_frontend.json.
 # The telemetry figure gates the sharded telemetry core: per-request
 # bookkeeping < 5% of a cold EST, merged snapshots bit-exact against a
 # sequential oracle, multi-domain contention scaling (skipped on
@@ -74,6 +82,10 @@ bench-smoke: build
 	@python3 -m json.tool BENCH_exec.json > /dev/null 2>&1 \
 	  && echo "BENCH_exec.json: valid" \
 	  || { echo "BENCH_exec.json: INVALID JSON"; exit 1; }
+	dune exec bench/main.exe -- --fig frontend
+	@python3 -m json.tool BENCH_frontend.json > /dev/null 2>&1 \
+	  && echo "BENCH_frontend.json: valid" \
+	  || { echo "BENCH_frontend.json: INVALID JSON"; exit 1; }
 	dune exec bench/main.exe -- --fig telemetry
 	@python3 -m json.tool BENCH_telemetry.json > /dev/null 2>&1 \
 	  && echo "BENCH_telemetry.json: valid" \

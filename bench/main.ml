@@ -26,7 +26,7 @@ let known_figs =
   [
     "sanity"; "4a"; "4b"; "4c"; "5a"; "5b"; "5c"; "6a"; "6b"; "6c"; "7a"; "7b"; "7c";
     "range"; "structure"; "ablation-score"; "ablation-join"; "serve-cache"; "inference";
-    "plan"; "exec"; "learn"; "obs"; "opt"; "telemetry"; "serve"; "bechamel";
+    "plan"; "exec"; "frontend"; "learn"; "obs"; "opt"; "telemetry"; "serve"; "bechamel";
   ]
 
 let parse_args () =
@@ -1262,6 +1262,309 @@ let fig_exec () =
     exit 1
   end
 
+(* ---- allocation-free request front-end (BENCH_frontend.json) ----------------------------- *)
+
+(* Gates the request front-end: (1) the zero-copy parse + canon + hash
+   pipeline answers exactly like the reference split/Qparse/validate/
+   normalize pipeline and beats it >= 2x on a warm miss; (2) range and
+   set predicates lower into the bytecode executor bit-identically to
+   the generic engine and Ve.Reference; (3) a warm served EST allocates
+   zero minor-heap words end to end — socket read to answer write — in
+   both text and binary framing, driven through the true shard
+   message-extraction loop (Shard.Loopback); (4) transport-free served
+   QPS holds the BENCH_exec.json baselines. *)
+
+let read_json_field file field =
+  match open_in (at_root file) with
+  | exception Sys_error _ -> None
+  | ic ->
+    let needle = Printf.sprintf "%S:" field in
+    let rec scan () =
+      match input_line ic with
+      | exception End_of_file ->
+        close_in ic;
+        None
+      | line -> (
+        match String.index_opt line ':' with
+        | Some _ when String.length (String.trim line) > String.length needle
+                      && String.sub (String.trim line) 0 (String.length needle) = needle ->
+          let v = String.trim line in
+          let v = String.sub v (String.length needle) (String.length v - String.length needle) in
+          let v = String.trim v in
+          let v =
+            if String.length v > 0 && v.[String.length v - 1] = ',' then
+              String.sub v 0 (String.length v - 1)
+            else v
+          in
+          close_in ic;
+          float_of_string_opt (String.trim v)
+        | _ -> scan ())
+    in
+    scan ()
+
+let fig_frontend () =
+  section "F1: allocation-free front-end — zero-copy parse, hash keys, range/set bytecode";
+  let json = ref [] in
+  let jfield name v = json := (name, v) :: !json in
+  let failures = ref [] in
+  let check name ok detail =
+    Printf.printf "%-46s %-4s %s\n" name (if ok then "ok" else "FAIL") detail;
+    if not ok then failures := name :: !failures
+  in
+  let db = Lazy.force tb in
+  let model = learn_prm ~budget_bytes:4_500 ~seed:cfg.seed db in
+  let schema = Db.Database.schema db in
+  let card t a =
+    Db.Value.card (Db.Schema.attr (Db.Schema.find_table schema t) a).Db.Schema.domain
+  in
+  let triples =
+    List.concat
+      (List.init (card "contact" "Contype") (fun i ->
+           List.concat
+             (List.init (card "patient" "Age") (fun j ->
+                  List.init (card "strain" "DrugResist") (fun k -> (i, j, k))))))
+  in
+  let body (i, j, k) =
+    Printf.sprintf
+      "c=contact, p=patient, s=strain; c.patient=p, p.strain=s; \
+       c.Contype=%d, p.Age=%d, s.DrugResist=%d"
+      i j k
+  in
+  let bodies = Array.of_list (List.map body triples) in
+  let n = Array.length bodies in
+
+  (* --- gate 1: zero-copy pipeline ≡ reference pipeline, >= 2x faster -------- *)
+  let scratch = Db.Squery.create (Db.Squery.Symtab.of_schema schema) in
+  let bufs = Array.map Bytes.of_string bodies in
+  let reference_front b =
+    let tvars, joins, selects = Serve.Protocol.split_sections b in
+    let q = Db.Qparse.parse db ~tvars ~joins ~selects () in
+    Db.Exec.validate db q;
+    (* Canon.key normalizes internally — the old front-end's whole
+       miss-path key derivation in one call *)
+    Serve.Canon.key q
+  in
+  let zero_copy_front buf =
+    Db.Squery.parse scratch buf ~off:0 ~len:(Bytes.length buf);
+    Db.Squery.canon scratch;
+    Db.Squery.hash scratch
+  in
+  let divergent = ref 0 in
+  Array.iteri
+    (fun i b ->
+      let tvars, joins, selects = Serve.Protocol.split_sections b in
+      let q = Db.Qparse.parse db ~tvars ~joins ~selects () in
+      Db.Exec.validate db q;
+      let q = Serve.Canon.normalize q in
+      Db.Squery.parse scratch bufs.(i) ~off:0 ~len:(Bytes.length bufs.(i));
+      Db.Squery.canon scratch;
+      if Db.Squery.to_query scratch <> q then incr divergent)
+    bodies;
+  check "zero-copy parse ≡ reference pipeline" (!divergent = 0)
+    (Printf.sprintf "%d/%d bodies" (n - !divergent) n);
+  jfield "parse_agreement" (if !divergent = 0 then "true" else "false");
+  let time_front reps f =
+    f ();
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int (reps * n) *. 1e6
+  in
+  let ref_us =
+    time_front 20 (fun () ->
+        Array.iter (fun b -> ignore (Sys.opaque_identity (reference_front b))) bodies)
+  in
+  let zc_us =
+    time_front 20 (fun () ->
+        Array.iter (fun b -> ignore (Sys.opaque_identity (zero_copy_front b))) bufs)
+  in
+  let front_speedup = ref_us /. zc_us in
+  Printf.printf "warm-miss front-end: reference %.3fus | zero-copy %.3fus (%.1fx)\n"
+    ref_us zc_us front_speedup;
+  check "zero-copy front-end >= 2x reference" (front_speedup >= 2.0)
+    (Printf.sprintf "%.3fus vs %.3fus (%.1fx)" zc_us ref_us front_speedup);
+  jfield "frontend_reference_us" (Printf.sprintf "%.4f" ref_us);
+  jfield "frontend_zero_copy_us" (Printf.sprintf "%.4f" zc_us);
+  jfield "frontend_speedup" (Printf.sprintf "%.2f" front_speedup);
+
+  (* --- gate 2: range/set predicates through the bytecode executor ----------- *)
+  let rng = Util.Rng.create (cfg.seed lxor 0xF0E) in
+  let cc = card "contact" "Contype"
+  and ca = card "patient" "Age"
+  and cd = card "strain" "DrugResist" in
+  let sel tv attr cardv =
+    match Util.Rng.int rng 3 with
+    | 0 -> Db.Query.eq tv attr (Util.Rng.int rng cardv)
+    | 1 ->
+      let a = Util.Rng.int rng cardv and b = Util.Rng.int rng cardv in
+      Db.Query.range tv attr (min a b) (max a b)
+    | _ ->
+      let k = 1 + Util.Rng.int rng (min 3 cardv) in
+      Db.Query.in_set tv attr (List.init k (fun _ -> Util.Rng.int rng cardv))
+  in
+  let n_masked = 200 in
+  let masked_queries =
+    List.init n_masked (fun _ ->
+        Db.Query.with_selects tb_skeleton3
+          [ sel "c" "Contype" cc; sel "p" "Age" ca; sel "s" "DrugResist" cd ])
+  in
+  let mplan = Plan.compile model (List.hd masked_queries) in
+  let mfactors = Plan.factors mplan and mjev = Plan.join_evidence mplan in
+  let div_gen = ref 0 and div_ref = ref 0 in
+  List.iter
+    (fun q ->
+      let b = Plan.bind mplan q in
+      let byte = Plan.execute mplan b in
+      let generic = Plan.execute_generic mplan b in
+      let oracle = Bn.Ve.Reference.prob_of_evidence mfactors (b @ mjev) in
+      if Int64.bits_of_float byte <> Int64.bits_of_float generic then incr div_gen;
+      if Int64.bits_of_float byte <> Int64.bits_of_float oracle then incr div_ref)
+    masked_queries;
+  check "range/set bytecode ≡ generic engine" (!div_gen = 0)
+    (Printf.sprintf "%d/%d queries" (n_masked - !div_gen) n_masked);
+  check "range/set bytecode ≡ Ve.Reference" (!div_ref = 0)
+    (Printf.sprintf "%d/%d queries" (n_masked - !div_ref) n_masked);
+  jfield "masked_queries" (string_of_int n_masked);
+  jfield "masked_bit_identical_generic" (if !div_gen = 0 then "true" else "false");
+  jfield "masked_bit_identical_reference" (if !div_ref = 0 then "true" else "false");
+
+  (* --- gate 3: zero allocation end to end over a real socket ---------------- *)
+  let server = Serve.Server.create ~db ~socket:"(bench: loopback)" () in
+  ignore (Serve.Registry.register (Serve.Server.registry server) ~name:"default" model);
+  let on_line_fast, on_frame_fast = Serve.Server.fast_handlers server ~shard:0 in
+  let on_line l = Serve.Server.handle_line server l in
+  let on_frame p = Serve.Server.handle_frame server p in
+  let client, srv = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let conn = Serve.Shard.Loopback.connect srv in
+  let step () =
+    Serve.Shard.Loopback.step conn ~on_line_fast ~on_frame_fast ~on_line ~on_frame
+  in
+  let rbuf = Bytes.create 65536 in
+  let drain () = ignore (Unix.read client rbuf 0 (Bytes.length rbuf)) in
+  let requests = Array.map (fun b -> "EST " ^ b ^ "\n") bodies in
+  let round () =
+    for i = 0 to n - 1 do
+      let r = Array.unsafe_get requests i in
+      ignore (Unix.write_substring client r 0 (String.length r));
+      step ();
+      drain ()
+    done
+  in
+  (* first pass fills the cache through the fast path's miss handling *)
+  round ();
+  let alloc_reps = 4 in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to alloc_reps do
+    round ()
+  done;
+  let w1 = Gc.minor_words () in
+  let text_delta = w1 -. w0 in
+  check "warm text EST round trip allocates zero words" (text_delta = 0.0)
+    (Printf.sprintf "%.0f words / %d round trips" text_delta (alloc_reps * n));
+  jfield "text_warm_minor_words_delta" (Printf.sprintf "%.0f" text_delta);
+  let best f =
+    let m = ref 0.0 in
+    for _ = 1 to 5 do
+      let v = f () in
+      if v > !m then m := v
+    done;
+    !m
+  in
+  let loop_text_qps =
+    best (fun () ->
+        let t0 = Unix.gettimeofday () in
+        round ();
+        float_of_int n /. (Unix.gettimeofday () -. t0))
+  in
+  (* binary framing over the same connection *)
+  ignore (Unix.write_substring client "BIN\n" 0 4);
+  step ();
+  drain ();
+  let frames =
+    Array.map
+      (fun b ->
+        Serve.Protocol.Bin.encode_request
+          (Serve.Protocol.Bin.Best { model = None; body = b }))
+      bodies
+  in
+  let bround () =
+    for i = 0 to n - 1 do
+      let f = Array.unsafe_get frames i in
+      ignore (Unix.write_substring client f 0 (String.length f));
+      step ();
+      drain ()
+    done
+  in
+  bround ();
+  let w0 = Gc.minor_words () in
+  for _ = 1 to alloc_reps do
+    bround ()
+  done;
+  let w1 = Gc.minor_words () in
+  let bin_delta = w1 -. w0 in
+  check "warm binary EST round trip allocates zero words" (bin_delta = 0.0)
+    (Printf.sprintf "%.0f words / %d round trips" bin_delta (alloc_reps * n));
+  jfield "bin_warm_minor_words_delta" (Printf.sprintf "%.0f" bin_delta);
+  jfield "alloc_gate_round_trips" (string_of_int (alloc_reps * n));
+  let loop_bin_qps =
+    best (fun () ->
+        let t0 = Unix.gettimeofday () in
+        bround ();
+        float_of_int n /. (Unix.gettimeofday () -. t0))
+  in
+  Printf.printf "loopback EST (warm): text %8.0f q/s | binary %8.0f q/s\n"
+    loop_text_qps loop_bin_qps;
+  jfield "loopback_text_qps" (Printf.sprintf "%.1f" loop_text_qps);
+  jfield "loopback_bin_qps" (Printf.sprintf "%.1f" loop_bin_qps);
+  Unix.close client;
+  (try Unix.close srv with Unix.Unix_error _ -> ());
+
+  (* --- gate 4: transport-free QPS holds the exec-figure baselines ----------- *)
+  let lines = Array.map (fun b -> "EST " ^ b) bodies in
+  let payloads =
+    Array.map
+      (fun f -> Bytes.of_string (String.sub f 4 (String.length f - 4)))
+      frames
+  in
+  Array.iter (fun l -> ignore (Serve.Server.handle_line server l)) lines;
+  let text_qps =
+    best (fun () ->
+        let t0 = Unix.gettimeofday () in
+        Array.iter (fun l -> ignore (Serve.Server.handle_line server l)) lines;
+        float_of_int n /. (Unix.gettimeofday () -. t0))
+  in
+  let bin_qps =
+    best (fun () ->
+        let t0 = Unix.gettimeofday () in
+        Array.iter (fun p -> ignore (Serve.Server.handle_frame server p)) payloads;
+        float_of_int n /. (Unix.gettimeofday () -. t0))
+  in
+  Printf.printf "transport-free EST (warm): text %8.0f q/s | binary %8.0f q/s\n"
+    text_qps bin_qps;
+  jfield "serve_text_qps" (Printf.sprintf "%.1f" text_qps);
+  jfield "serve_bin_qps" (Printf.sprintf "%.1f" bin_qps);
+  (* 10% tolerance absorbs scheduler noise between the two figures' runs *)
+  (match read_json_field "BENCH_exec.json" "serve_text_qps" with
+  | None -> Printf.printf "BENCH_exec.json absent — QPS baseline check skipped\n"
+  | Some base_text ->
+    check "text QPS holds the exec baseline" (text_qps >= 0.9 *. base_text)
+      (Printf.sprintf "%.0f vs baseline %.0f q/s" text_qps base_text);
+    jfield "baseline_text_qps" (Printf.sprintf "%.1f" base_text));
+  (match read_json_field "BENCH_exec.json" "serve_bin_qps" with
+  | None -> ()
+  | Some base_bin ->
+    check "binary QPS holds the exec baseline" (bin_qps >= 0.9 *. base_bin)
+      (Printf.sprintf "%.0f vs baseline %.0f q/s" bin_qps base_bin);
+    jfield "baseline_bin_qps" (Printf.sprintf "%.1f" base_bin));
+
+  write_json "BENCH_frontend.json" (List.rev !json);
+  if !failures <> [] then begin
+    Printf.eprintf "frontend checks FAILED: %s\n"
+      (String.concat ", " (List.rev !failures));
+    exit 1
+  end
+
 (* ---- incremental structure learning (BENCH_learn.json) ----------------------------------- *)
 
 (* Measures the incremental hill-climber (delta move cache + Depgraph
@@ -1336,7 +1639,8 @@ let fig_learn () =
    against test/golden/obs_golden.txt:
 
      - EST throughput with the default no-op sink vs with a global span
-       sink installed, cold caches: tracing overhead must stay < 5%;
+       sink installed, cold caches: tracing overhead must stay < 8% of
+       the (PR 10-accelerated) request and < 150ns per span;
      - EXPLAIN stage times must sum to within 10% of the request's own
        end-to-end wall time (the "est" container span);
      - METRICS must parse as Prometheus text exposition and agree with
@@ -1440,14 +1744,26 @@ let fig_obs () =
   Printf.printf "EST no-op sink:  %8.0f queries/s (sum of per-query minima over %d passes)\n"
     noop n_passes;
   Printf.printf "EST traced:      %8.0f queries/s (%d span records)\n" traced !sink_records;
-  check "tracing overhead < 5%" (overhead_pct < 5.0)
+  (* The original <5% gate was set against a ~12us cold EST; PR 10's
+     front-end cut the request to ~8us while the absolute span cost
+     (~0.5us/request, ~6 spans) is unchanged, so the same tracing work
+     is a larger share of a faster request.  Gate the ratio with the
+     new denominator (8%) and the absolute per-span cost (<150ns). *)
+  let traced_ns_per_span =
+    (1e9 /. traced -. 1e9 /. noop)
+    /. (float_of_int !sink_records /. float_of_int (n_passes * n_queries))
+  in
+  check "tracing overhead < 8%" (overhead_pct < 8.0)
     (Printf.sprintf "%.2f%%" overhead_pct);
+  check "tracing cost < 150ns per span" (traced_ns_per_span < 150.0)
+    (Printf.sprintf "%.0fns" traced_ns_per_span);
   check "traced pass emitted spans" (!sink_records > 0)
     (string_of_int !sink_records);
   jfield "est_queries" (string_of_int (List.length est_lines));
   jfield "est_qps_noop" (Printf.sprintf "%.1f" noop);
   jfield "est_qps_traced" (Printf.sprintf "%.1f" traced);
   jfield "trace_overhead_pct" (Printf.sprintf "%.2f" overhead_pct);
+  jfield "traced_ns_per_span" (Printf.sprintf "%.1f" traced_ns_per_span);
 
   (* Disabled-sink cost relative to the pre-instrumentation baseline can't
      be measured against code this binary no longer contains, so calibrate
@@ -1539,6 +1855,28 @@ let fig_obs () =
   jfield "qerror_p90" (Printf.sprintf "%.3f" qsum.Obs.Qerror.p90);
   jfield "qerror_max" (Printf.sprintf "%.3f" qsum.Obs.Qerror.max_q);
 
+  (* --- fast path: loopback EST round trips through the zero-copy front-end
+     so the selest_frontend_* counters — elided from snapshots while zero —
+     carry values into the METRICS exposition below ------------------------- *)
+  let fp_on_line_fast, fp_on_frame_fast =
+    Serve.Server.fast_handlers server ~shard:0
+  in
+  let fp_client, fp_srv = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let fp_conn = Serve.Shard.Loopback.connect fp_srv in
+  let fp_buf = Bytes.create 65536 in
+  List.iter
+    (fun tr ->
+      let r = "EST " ^ body tr ^ "\n" in
+      ignore (Unix.write_substring fp_client r 0 (String.length r));
+      Serve.Shard.Loopback.step fp_conn ~on_line_fast:fp_on_line_fast
+        ~on_frame_fast:fp_on_frame_fast
+        ~on_line:(Serve.Server.handle_line server)
+        ~on_frame:(Serve.Server.handle_frame server);
+      ignore (Unix.read fp_client fp_buf 0 (Bytes.length fp_buf)))
+    explain_triples;
+  Unix.close fp_client;
+  (try Unix.close fp_srv with Unix.Unix_error _ -> ());
+
   (* --- METRICS: must parse as Prometheus and agree with the counters ------ *)
   ignore (ask server "PING");
   ignore
@@ -1567,6 +1905,11 @@ let fig_obs () =
     (Obs.Prometheus.find_sample samples ~name:"selest_qerror_count"
        ~labels:[ ("model", "default") ] ()
     = Some (float_of_int qsum.Obs.Qerror.n))
+    "";
+  check "frontend stage counters exported"
+    (sample "selest_frontend_parse_ns_total" <> None
+    && sample "selest_frontend_canon_ns_total" <> None
+    && sample "selest_frontend_key_ns_total" <> None)
     "";
   jfield "metrics_families" (string_of_int (List.length types));
   jfield "metrics_samples" (string_of_int (List.length samples));
@@ -2344,6 +2687,7 @@ let () =
   if wants "obs" then fig_obs ();
   if wants "opt" then fig_opt ();
   if wants "exec" then fig_exec ();
+  if wants "frontend" then fig_frontend ();
   if wants "telemetry" then fig_telemetry ();
   if wants "serve" then fig_serve ();
   if wants "bechamel" then bechamel_suite ();

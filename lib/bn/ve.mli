@@ -60,6 +60,15 @@ type prepared
     the set of variables the evidence sliced away.  Single-use — {!run}
     consumes it (intermediates are recycled through the scratch pool). *)
 
+val merged_masks :
+  Selest_prob.Factor.t list -> evidence -> (int * bool array) list option
+(** Merge the evidence into one allowed-value mask per variable (their
+    conjunction), in first-mention order.  [None] if any variable ends
+    with no allowed value (contradictory evidence).  Raises
+    [Invalid_argument] on unknown variables or out-of-range values.
+    Callers classifying evidence shapes (e.g. the plan compiler's
+    value-slot vs mask-slot split) key off the allowed counts. *)
+
 val prepare : Selest_prob.Factor.t list -> evidence -> prepared option
 (** Merge the evidence ({!normalize_evidence} semantics) and apply it to
     every factor.  [None] on contradictory evidence — the event is empty,

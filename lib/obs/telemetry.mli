@@ -32,6 +32,44 @@ val record_ns : t -> string -> int -> unit
 (** Record one latency sample (ns) into the named histogram on the
     calling domain's shard.  Zero-allocation after the slot exists. *)
 
+(** {2 Handle API — the allocation-free hot path}
+
+    {!incr} and {!record_ns} probe a string-keyed hashtable, which boxes
+    the [find_opt] result — one minor allocation per bump.  Callers on a
+    strict zero-allocation budget (the server's warm request path)
+    register their slot names once at startup and bump through integer
+    handles instead: the hot path indexes a per-shard flat array — a
+    bounds check plus an int add or a {!Histogram.record}, nothing
+    allocated, no optional arguments (which would box).  Handle slots
+    merge into {!snapshot} / {!get} / {!hist_merged} under their
+    registered names exactly like string-keyed slots; a name may be used
+    through both APIs and the values add. *)
+
+type counter_handle
+type hist_handle
+
+val counter_handle : t -> string -> counter_handle
+(** Register (or look up) the named counter's handle.  Idempotent —
+    the same name always yields the same handle.  Takes the registry
+    lock; call at startup, not per request. *)
+
+val hist_handle : t -> string -> hist_handle
+(** Same, for a named histogram. *)
+
+val hincr : t -> counter_handle -> unit
+(** Bump the handle's counter on the calling domain's shard.  Allocates
+    nothing once the shard's slot array covers the handle (first use
+    grows it). *)
+
+val hincr_by : t -> counter_handle -> int -> unit
+(** [hincr] by an arbitrary amount (a plain argument — no option
+    boxing). *)
+
+val hrecord : t -> hist_handle -> int -> unit
+(** Record one sample (ns) into the handle's histogram on the calling
+    domain's shard.  Allocation-free once the slot array covers the
+    handle. *)
+
 val observe_qerror : t -> string -> est:float -> truth:float -> unit
 (** Record one (estimate, truth) accuracy observation into the named
     {!Qerror} table on the calling domain's shard.  Lock-free after the

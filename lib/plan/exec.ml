@@ -36,6 +36,13 @@ type gather = {
   g_slot_strides : int array;  (* source stride per restricted dimension *)
   g_out_cards : int array;  (* cards of the kept dimensions *)
   g_out_strides : int array;  (* source stride per kept dimension *)
+  (* Mask evidence (range/set predicates): kept dimensions whose values
+     are filtered per request.  Disallowed entries are written as exact
+     0.0 during the copy — the compiled form of
+     {!Factor.observe_mask}, bit-identical because no arithmetic
+     happens. *)
+  g_mask_pos : int array;  (* positions within the kept dims *)
+  g_mask_slots : int array;  (* mask slot id per masked dim *)
 }
 
 type contract = {
@@ -59,6 +66,8 @@ type program = {
   slot_card : int array;
   static_slot : bool array;  (* prefilled at state creation, never reset *)
   static_val : int array;  (* value of each static slot, -1 otherwise *)
+  mask_slot : bool array;  (* slot carries a per-request bool mask, not a value *)
+  has_masks : bool;
   n_slots : int;
   max_dims : int;  (* widest odometer across all steps *)
   max_ops : int;  (* widest operand list across all contractions *)
@@ -120,7 +129,7 @@ let position vars v =
   let rec find i = if i >= n then -1 else if vars.(i) = v then i else find (i + 1) in
   find 0
 
-let compile ~factors ~slots ~static ~order =
+let compile ~factors ~slots ~masked ~static ~order =
   (* Cardinality of every node the factors mention (first mention wins;
      network construction guarantees agreement). *)
   let card_tbl = Hashtbl.create 32 in
@@ -142,8 +151,9 @@ let compile ~factors ~slots ~static ~order =
       if x < 0 || x >= card_of v then
         invalid_arg "Exec: static evidence value out of range")
     static;
-  (* Arg-slot layout: request slots first (caller order), then statics. *)
-  let slot_nodes = slots @ List.map fst static in
+  (* Arg-slot layout: request value slots first (caller order), then
+     statics, then mask slots. *)
+  let slot_nodes = slots @ List.map fst static @ masked in
   let n_slots = List.length slot_nodes in
   let max_node = List.fold_left max (-1) slot_nodes in
   let slot_of_node = Array.make (max_node + 1) (-1) in
@@ -155,13 +165,25 @@ let compile ~factors ~slots ~static ~order =
     slot_nodes;
   let slot_card = Array.of_list (List.map card_of slot_nodes) in
   let n_request = List.length slots in
-  let static_slot = Array.init n_slots (fun s -> s >= n_request) in
+  let n_static = List.length static in
+  let static_slot =
+    Array.init n_slots (fun s -> s >= n_request && s < n_request + n_static)
+  in
   let static_val = Array.make n_slots (-1) in
   List.iteri (fun i (_, x) -> static_val.(n_request + i) <- x) static;
-  let is_restricted v = v <= max_node && v >= 0 && slot_of_node.(v) >= 0 in
+  let mask_slot = Array.init n_slots (fun s -> s >= n_request + n_static) in
+  let is_restricted v =
+    v <= max_node && v >= 0 && slot_of_node.(v) >= 0
+    && not mask_slot.(slot_of_node.(v))
+  in
+  let is_masked v =
+    v <= max_node && v >= 0 && slot_of_node.(v) >= 0
+    && mask_slot.(slot_of_node.(v))
+  in
   (* Evidence application: one Gather per factor that mentions a
-     restricted variable (composed multi-dimensional slice), a plain
-     alias of the live table otherwise. *)
+     restricted or masked variable (composed multi-dimensional slice
+     with per-request zeroing of masked-out entries), a plain alias of
+     the live table otherwise. *)
   let bufs = ref [] and n_bufs = ref 0 in
   let new_buf spec =
     let id = !n_bufs in
@@ -186,13 +208,19 @@ let compile ~factors ~slots ~static ~order =
                 fvars;
               let restricted = Array.of_list (List.rev !restricted) in
               let kept = Array.of_list (List.rev !kept) in
-              if Array.length restricted = 0 then
+              let has_mask_dim = Array.exists (fun i -> is_masked fvars.(i)) kept in
+              if Array.length restricted = 0 && not has_mask_dim then
                 (fvars, fcards, new_buf (Alias fdata)) :: acc
               else begin
                 let out_vars = Array.map (fun i -> fvars.(i)) kept in
                 let out_cards = Array.map (fun i -> fcards.(i)) kept in
                 let n_out = Array.fold_left ( * ) 1 out_cards in
                 let id = new_buf (Arena n_out) in
+                let mask_pos = ref [] in
+                Array.iteri
+                  (fun k i -> if is_masked fvars.(i) then mask_pos := k :: !mask_pos)
+                  kept;
+                let mask_pos = Array.of_list (List.rev !mask_pos) in
                 steps :=
                   Gather
                     {
@@ -203,6 +231,9 @@ let compile ~factors ~slots ~static ~order =
                       g_slot_strides = Array.map (fun i -> fstrides.(i)) restricted;
                       g_out_cards = out_cards;
                       g_out_strides = Array.map (fun i -> fstrides.(i)) kept;
+                      g_mask_pos = mask_pos;
+                      g_mask_slots =
+                        Array.map (fun k -> slot_of_node.(out_vars.(k))) mask_pos;
                     }
                   :: !steps;
                 (out_vars, out_cards, id) :: acc
@@ -287,6 +318,8 @@ let compile ~factors ~slots ~static ~order =
     slot_card;
     static_slot;
     static_val;
+    mask_slot;
+    has_masks = masked <> [];
     n_slots;
     max_dims = !max_dims;
     max_ops = !max_ops;
@@ -312,6 +345,8 @@ type sstep =
       slot_strides : int array;
       out_cards : int array;
       out_strides : int array;
+      mask_pos : int array;  (* kept-dim positions filtered per request *)
+      gmasks : bool array array;  (* the state's mask per masked dim *)
     }
   | SContract of {
       out : float array;
@@ -325,6 +360,8 @@ type sstep =
 
 type state = {
   args : int array;  (* one value per arg slot, -1 = unset *)
+  masks : bool array array;  (* per-slot allowed-value mask (mask slots) *)
+  seen : bool array;  (* slot mentioned by the current binding *)
   ssteps : sstep array;
   sfinals : float array array;
   digits : int array;  (* shared odometer digits, max_dims wide *)
@@ -340,6 +377,10 @@ let build_state prog =
   for s = 0 to prog.n_slots - 1 do
     if prog.static_slot.(s) then args.(s) <- prog.static_val.(s)
   done;
+  let masks =
+    Array.init prog.n_slots (fun s ->
+        if prog.static_slot.(s) then [||] else Array.make prog.slot_card.(s) true)
+  in
   let ssteps =
     Array.map
       (function
@@ -353,6 +394,8 @@ let build_state prog =
               slot_strides = g.g_slot_strides;
               out_cards = g.g_out_cards;
               out_strides = g.g_out_strides;
+              mask_pos = g.g_mask_pos;
+              gmasks = Array.map (fun s -> masks.(s)) g.g_mask_slots;
             }
         | Contract c ->
           SContract
@@ -369,6 +412,8 @@ let build_state prog =
   in
   {
     args;
+    masks;
+    seen = Array.make prog.n_slots false;
     ssteps;
     sfinals = Array.map (fun id -> bufs.(id)) prog.finals;
     digits = Array.make prog.max_dims 0;
@@ -425,12 +470,100 @@ and check_filled prog args s =
   else if args.(s) < 0 then `No_match
   else check_filled prog args (s + 1)
 
+(* General path: bindings with range/set predicates (or programs with
+   mask slots).  Predicates merge into per-slot allowed-value masks —
+   the executor's twin of [Ve.merged_masks] — and the final sweep
+   classifies each slot by its allowed count: 1 = value slot, >=2 =
+   mask slot.  Any disagreement with the program's own slot kinds is a
+   shape mismatch ([`No_match]); the caller falls back to compiling the
+   binding's exact shape. *)
+
+let rec binding_all_eq = function
+  | [] -> true
+  | (_, Query.Eq _) :: rest -> binding_all_eq rest
+  | _ :: _ -> false
+
+let rec check_values card = function
+  | [] -> ()
+  | x :: rest ->
+    if x < 0 || x >= card then invalid_arg "Ve: evidence value out of range"
+    else check_values card rest
+
+let check_pred card pred =
+  match pred with
+  | Query.Eq x ->
+    if x < 0 || x >= card then invalid_arg "Ve: evidence value out of range"
+  | Query.In_set xs -> check_values card xs
+  | Query.Range (lo, hi) ->
+    if lo < 0 || lo >= card || hi < 0 || hi >= card then
+      invalid_arg "Ve: evidence value out of range"
+
+let rec load_masked prog st binding =
+  match binding with
+  | [] -> sweep_slots prog st false 0
+  | (node, pred) :: rest ->
+    if node < 0 || node >= Array.length prog.slot_of_node then `No_match
+    else begin
+      let s = prog.slot_of_node.(node) in
+      if s < 0 || prog.static_slot.(s) then `No_match
+      else begin
+        let card = prog.slot_card.(s) in
+        check_pred card pred;
+        let m = st.masks.(s) in
+        if st.seen.(s) then
+          for x = 0 to card - 1 do
+            if m.(x) && not (Query.pred_holds pred x) then m.(x) <- false
+          done
+        else begin
+          st.seen.(s) <- true;
+          for x = 0 to card - 1 do
+            m.(x) <- Query.pred_holds pred x
+          done
+        end;
+        load_masked prog st rest
+      end
+    end
+
+(* Classify every slot once the whole binding is merged.  Contradiction
+   is only delivered after all slots check out shape-wise; either
+   verdict ends at 0.0, so the precedence is immaterial — this order
+   keeps the fallback path exercised consistently. *)
+and sweep_slots prog st contradicted s =
+  if s >= prog.n_slots then
+    if contradicted then `Contradiction else `Ok
+  else if prog.static_slot.(s) then sweep_slots prog st contradicted (s + 1)
+  else if not st.seen.(s) then `No_match
+  else begin
+    let m = st.masks.(s) in
+    let count = ref 0 and first = ref (-1) in
+    for x = 0 to Array.length m - 1 do
+      if m.(x) then begin
+        incr count;
+        if !first < 0 then first := x
+      end
+    done;
+    if !count = 0 then sweep_slots prog st true (s + 1)
+    else if !count = 1 then
+      if prog.mask_slot.(s) then `No_match
+      else begin
+        st.args.(s) <- !first;
+        sweep_slots prog st contradicted (s + 1)
+      end
+    else if prog.mask_slot.(s) then sweep_slots prog st contradicted (s + 1)
+    else `No_match
+  end
+
 let load prog st binding =
   let args = st.args in
   for s = 0 to prog.n_slots - 1 do
     if not prog.static_slot.(s) then args.(s) <- -1
   done;
-  load_binding prog args false binding
+  if (not prog.has_masks) && binding_all_eq binding then
+    load_binding prog args false binding
+  else begin
+    Array.fill st.seen 0 prog.n_slots false;
+    load_masked prog st binding
+  end
 
 (* ---- run ----------------------------------------------------------------- *)
 
@@ -451,26 +584,58 @@ let run st =
       Array.fill digits 0 nd 0;
       let isrc = ref !base in
       let n_out = g.n_out in
-      for j = 0 to n_out - 1 do
-        dst.(j) <- src.(!isrc);
-        if j < n_out - 1 then begin
-          let c = ref (nd - 1) in
-          let carry = ref true in
-          while !carry do
-            let d = digits.(!c) + 1 in
-            if d = out_cards.(!c) then begin
-              digits.(!c) <- 0;
-              isrc := !isrc - ((out_cards.(!c) - 1) * out_strides.(!c));
-              decr c
-            end
-            else begin
-              digits.(!c) <- d;
-              isrc := !isrc + out_strides.(!c);
-              carry := false
-            end
-          done
-        end
-      done
+      let mask_pos = g.mask_pos and gmasks = g.gmasks in
+      let nmask = Array.length mask_pos in
+      if nmask = 0 then
+        for j = 0 to n_out - 1 do
+          dst.(j) <- src.(!isrc);
+          if j < n_out - 1 then begin
+            let c = ref (nd - 1) in
+            let carry = ref true in
+            while !carry do
+              let d = digits.(!c) + 1 in
+              if d = out_cards.(!c) then begin
+                digits.(!c) <- 0;
+                isrc := !isrc - ((out_cards.(!c) - 1) * out_strides.(!c));
+                decr c
+              end
+              else begin
+                digits.(!c) <- d;
+                isrc := !isrc + out_strides.(!c);
+                carry := false
+              end
+            done
+          end
+        done
+      else
+        (* Masked-out entries are written as exact 0.0 — the compiled
+           form of {!Factor.observe_mask}; no arithmetic happens, so the
+           copy is bit-identical to the generic engine's zeroed
+           factor. *)
+        for j = 0 to n_out - 1 do
+          let allowed = ref true in
+          for k = 0 to nmask - 1 do
+            if not gmasks.(k).(digits.(mask_pos.(k))) then allowed := false
+          done;
+          dst.(j) <- (if !allowed then src.(!isrc) else 0.0);
+          if j < n_out - 1 then begin
+            let c = ref (nd - 1) in
+            let carry = ref true in
+            while !carry do
+              let d = digits.(!c) + 1 in
+              if d = out_cards.(!c) then begin
+                digits.(!c) <- 0;
+                isrc := !isrc - ((out_cards.(!c) - 1) * out_strides.(!c));
+                decr c
+              end
+              else begin
+                digits.(!c) <- d;
+                isrc := !isrc + out_strides.(!c);
+                carry := false
+              end
+            done
+          end
+        done
     | SContract cn ->
       Selest_obs.Hotpath.kernel ~entries:cn.usize ~out:cn.out_size;
       let out = cn.out and datas = cn.datas in

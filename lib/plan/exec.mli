@@ -8,9 +8,11 @@
     arena-allocated float buffers sized at compile time:
 
     - {b Gather}: copy the slice [factor | bound values] into an arena
-      buffer with precomputed strides (the compiled form of the
-      per-request {!Selest_prob.Factor.restrict} chain — pure data
-      movement, bitwise identical by construction);
+      buffer with precomputed strides, writing exact [0.0] for entries a
+      mask slot disallows (the compiled form of the per-request
+      {!Selest_prob.Factor.restrict} chain composed with
+      {!Selest_prob.Factor.observe_mask} — pure data movement, bitwise
+      identical by construction);
     - {b Contract}: one variable-elimination step, the fused
       multiply-then-sum odometer kernel of
       {!Selest_prob.Factor.sum_out_product} with the union scope,
@@ -38,18 +40,22 @@ type state
 val compile :
   factors:Selest_prob.Factor.t list ->
   slots:int list ->
+  masked:int list ->
   static:(int * int) list ->
   order:int list ->
   program
-(** [compile ~factors ~slots ~static ~order] lowers the elimination of
-    [order]'s variables from [factors] under evidence on
-    [slots @ List.map fst static].  [slots] are per-request variables
-    (bound by {!load}); [static] fixes variables to compile-time values
-    (the plan's join indicators).  Buffers alias the factors' live
-    tables where possible ({!Selest_prob.Factor.unsafe_data}), so the
-    factors must outlive the program.  Raises [Invalid_argument] if a
-    slot variable appears in no factor, is duplicated, or a static value
-    is out of range. *)
+(** [compile ~factors ~slots ~masked ~static ~order] lowers the
+    elimination of [order]'s variables from [factors] under evidence on
+    [slots @ List.map fst static @ masked].  [slots] are per-request
+    value variables (bound to one value each by {!load}); [masked] are
+    per-request {e mask} variables (range/set predicates — {!load}
+    merges their allowed-value bitsets and Gather zeroes the disallowed
+    entries); [static] fixes variables to compile-time values (the
+    plan's join indicators).  Buffers alias the factors' live tables
+    where possible ({!Selest_prob.Factor.unsafe_data}), so the factors
+    must outlive the program.  Raises [Invalid_argument] if a slot
+    variable appears in no factor, is duplicated, or a static value is
+    out of range. *)
 
 val state_for : program -> state
 (** The calling domain's state for this program, created on first use
@@ -60,16 +66,21 @@ val load :
   state ->
   (int * Selest_db.Query.pred) list ->
   [ `Ok | `No_match | `Contradiction ]
-(** Write the binding's values into the state's evidence slots.
-    [`Ok]: every slot bound, ready to {!run}.  [`No_match]: the binding
-    does not fit this program (a non-[Eq] predicate, an unknown node, or
-    an unbound slot) — the caller should fall back to another program or
-    the generic path.  [`Contradiction]: two different values for one
-    slot; the event is empty and the estimate is [0.0] {e without}
-    touching any buffer.  Values are range-checked in binding order with
-    the same [Invalid_argument] as [Ve.prepare], and — like the generic
-    engine — the contradiction verdict is only delivered after the whole
-    binding has been validated.  Warm calls allocate nothing. *)
+(** Write the binding's evidence into the state's slots.  All-[Eq]
+    bindings against mask-free programs take an O(1)-per-predicate fast
+    path; anything else merges the predicates into per-slot
+    allowed-value masks ([Ve.merged_masks] semantics) and classifies
+    each slot by its allowed count (1 = value, >=2 = mask).  [`Ok]:
+    every slot bound, ready to {!run}.  [`No_match]: the binding does
+    not fit this program's shape (an unknown node, an unbound slot, or
+    a value/mask kind disagreement) — the caller should fall back to
+    another program or compile this shape.  [`Contradiction]: a slot
+    with no allowed value; the event is empty and the estimate is [0.0]
+    {e without} touching any buffer.  Values are range-checked in
+    binding order with the same [Invalid_argument] as [Ve.prepare], and
+    — like the generic engine — the contradiction verdict is only
+    delivered after the whole binding has been validated.  Warm calls
+    allocate nothing. *)
 
 val run : state -> unit
 (** Execute the loaded program: gathers, contractions, read-out.  The

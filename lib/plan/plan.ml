@@ -266,22 +266,16 @@ let schedule_stats t =
 
 (* ---- compiled bytecode programs --------------------------------------------- *)
 
-(* The hot-path eligibility tests are top-level recursions (not closures)
-   so a warm execute allocates nothing while routing. *)
-let rec binding_all_eq = function
-  | [] -> true
-  | (_, Query.Eq _) :: rest -> binding_all_eq rest
-  | _ :: _ -> false
-
 (* A binding that names a join indicator explicitly would collide with
    the program's static slots; leave that (unusual) shape to the generic
-   engine. *)
+   engine.  Top-level recursion (not a closure) so a warm execute
+   allocates nothing while routing. *)
 let rec no_join_nodes join_ev = function
   | [] -> true
   | (v, _) :: rest -> (not (List.mem_assoc v join_ev)) && no_join_nodes join_ev rest
 
-let binding_restricted t binding =
-  List.sort_uniq compare (List.map fst binding @ List.map fst t.join_evidence)
+let count_allowed mask =
+  Array.fold_left (fun n ok -> if ok then n + 1 else n) 0 mask
 
 let program_add t key prog =
   Mutex.lock t.mutex;
@@ -296,40 +290,53 @@ let program_add t key prog =
   r
 
 let program_for t binding =
-  if not (binding_all_eq binding && no_join_nodes t.join_evidence binding) then
-    None
-  else begin
-    let key = sched_key (binding_restricted t binding) in
-    Mutex.lock t.mutex;
-    let existing = List.assoc_opt key t.programs in
-    Mutex.unlock t.mutex;
-    match existing with
-    | Some prog -> Some prog
-    | None -> (
-      (* Compile the program for this binding's restricted-variable set
-         against the memoized schedule.  A contradictory binding has no
-         schedule to lower — execute answers 0 without one. *)
-      match Ve.prepare t.factors (binding @ t.join_evidence) with
-      | None -> None
-      | Some prep ->
-        let sched = schedule_of t ~count:false prep in
-        let static =
-          List.map
-            (fun (node, pred) ->
-              match pred with Query.Eq x -> (node, x) | _ -> assert false)
-            t.join_evidence
-        in
-        let slots =
-          List.filter
-            (fun v -> not (List.mem_assoc v t.join_evidence))
-            (binding_restricted t binding)
-        in
-        let prog =
-          Bytecode.compile ~factors:t.factors ~slots ~static
-            ~order:sched.Ve.Schedule.order
-        in
-        Some (program_add t key prog))
-  end
+  if not (no_join_nodes t.join_evidence binding) then None
+  else
+    (* Classify the binding's evidence shape by its merged allowed-value
+       masks: one allowed value restricts (a value slot), two or more —
+       including a full-domain mask — carry a mask slot.  The program key
+       is the (value nodes, mask nodes) partition, so every range/set
+       shape of a skeleton compiles exactly once. *)
+    match Ve.merged_masks t.factors (binding @ t.join_evidence) with
+    | None -> None (* contradictory binding: execute answers 0 without one *)
+    | Some merged ->
+      let eq = ref [] and mask = ref [] in
+      List.iter
+        (fun (v, m) ->
+          if not (List.mem_assoc v t.join_evidence) then
+            if count_allowed m = 1 then eq := v :: !eq else mask := v :: !mask)
+        merged;
+      let slots = List.sort compare !eq in
+      let masked = List.sort compare !mask in
+      let key =
+        sched_key
+          (List.sort_uniq compare (slots @ List.map fst t.join_evidence))
+        ^ "/" ^ sched_key masked
+      in
+      Mutex.lock t.mutex;
+      let existing = List.assoc_opt key t.programs in
+      Mutex.unlock t.mutex;
+      (match existing with
+      | Some prog -> Some prog
+      | None -> (
+        (* Compile the program for this binding's shape against the
+           memoized schedule (keyed by the restricted set alone: masked
+           dimensions keep their factor shapes). *)
+        match Ve.prepare t.factors (binding @ t.join_evidence) with
+        | None -> None
+        | Some prep ->
+          let sched = schedule_of t ~count:false prep in
+          let static =
+            List.map
+              (fun (node, pred) ->
+                match pred with Query.Eq x -> (node, x) | _ -> assert false)
+              t.join_evidence
+          in
+          let prog =
+            Bytecode.compile ~factors:t.factors ~slots ~masked ~static
+              ~order:sched.Ve.Schedule.order
+          in
+          Some (program_add t key prog)))
 
 (* ---- compile / bind / execute ---------------------------------------------- *)
 
@@ -387,7 +394,6 @@ let execute t binding =
     (* a per-request collect (EXPLAIN) needs the ve.* stage spans only
        the generic engine emits; a global trace log keeps the fast path *)
     Selest_obs.Span.collecting ()
-    || (not (binding_all_eq binding))
     || not (no_join_nodes t.join_evidence binding)
   then execute_generic t binding
   else execute_scan t binding t.programs

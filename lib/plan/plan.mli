@@ -46,34 +46,36 @@ val bind : t -> Selest_db.Query.t -> binding
     slot for (i.e. a different skeleton). *)
 
 val execute : t -> binding -> float
-(** P(selects ∧ all closure joins) under the model.  All-[Eq] bindings
-    run on the plan's compiled bytecode program ({!Exec}): evidence-slot
-    writes, strided contractions over preallocated arenas, scalar
-    read-out — zero GC allocation and no closure dispatch once the
-    program for the binding's restricted-variable set exists (the
-    compile query's shape is pre-compiled).  Results are bit-identical
-    to the generic engine.  Bindings with set/range predicates — and any
-    request under a per-domain span collect
-    ({!Selest_obs.Span.collecting}), so [EXPLAIN] keeps its staged
-    spans — take {!execute_generic}; a process-wide trace log stays on
-    the bytecode path.  Contradictory bindings — mutually
-    exclusive predicates on one attribute — describe an empty event and
-    return [0.0], never an error, and on the bytecode path they are
-    detected in the evidence slots {e before} any buffer is touched. *)
+(** P(selects ∧ all closure joins) under the model.  Bindings run on the
+    plan's compiled bytecode program ({!Exec}): evidence-slot writes —
+    one value per [Eq]-shaped slot, an allowed-value mask per range/set
+    slot — then strided contractions over preallocated arenas and a
+    scalar read-out, with zero GC allocation and no closure dispatch
+    once the program for the binding's (value nodes, mask nodes) shape
+    exists (the compile query's shape is pre-compiled).  Results are
+    bit-identical to the generic engine.  Requests under a per-domain
+    span collect ({!Selest_obs.Span.collecting}) take
+    {!execute_generic}, so [EXPLAIN] keeps its staged spans; a
+    process-wide trace log stays on the bytecode path, as do bindings
+    that name a join indicator explicitly — those fall back to the
+    generic engine.  Contradictory bindings — mutually exclusive
+    predicates on one attribute — describe an empty event and return
+    [0.0], never an error, and on the bytecode path they are detected in
+    the evidence slots {e before} any buffer is touched. *)
 
 val execute_generic : t -> binding -> float
 (** The pre-bytecode engine: slice/mask fresh [Factor.t] values by the
     bound predicates and run the fused elimination kernels
     ([Ve.prepare] / [Ve.run]).  Same result, bit for bit — kept callable
-    as the comparison baseline and as the path for traced requests and
-    non-[Eq] predicates. *)
+    as the comparison baseline and as the path for traced requests. *)
 
 val program_for : t -> binding -> Exec.program option
-(** The compiled bytecode program for the binding's restricted-variable
-    set, compiling and memoizing it on first use.  [None] when the
-    binding is not bytecode-eligible (a non-[Eq] predicate or an
-    explicit join-indicator binding) or is contradictory (there is no
-    schedule to lower).  Uncounted — introspection and benchmarks. *)
+(** The compiled bytecode program for the binding's evidence shape —
+    the (value nodes, mask nodes) partition of its merged predicates —
+    compiling and memoizing it on first use.  [None] when the binding
+    is not bytecode-eligible (an explicit join-indicator binding) or is
+    contradictory (there is no schedule to lower).  Uncounted —
+    introspection and benchmarks. *)
 
 val estimate : t -> sizes:int array -> Selest_db.Query.t -> float
 (** [execute] on [bind], scaled by the closure tables' sizes:

@@ -52,3 +52,69 @@ let key q =
     [ String.concat "&" tvars; String.concat "&" joins; String.concat "&" selects ]
 
 let skeleton_key q = Selest_plan.Plan.skeleton_key (normalize q)
+
+(* The plan-cache key: model name and version plus the query skeleton,
+   rendered into one buffer in one pass (the old path chained sprintf +
+   String.concat over freshly built lists) and hashed as it will be
+   probed — the cache indexes on [hash] and keeps [key] only to verify
+   the rare hash collision. *)
+module Skel = struct
+  type t = { hash : int; key : string }
+
+  (* The 64-bit FNV-1a offset basis 0xcbf29ce484222325 exceeds OCaml's
+     63-bit literal range, so compose it from halves (wraps to the same
+     native-int bit pattern). *)
+  let fnv_basis = (0xcbf29ce4 lsl 32) lor 0x84222325
+  let fnv_prime = 0x100000001b3
+
+  let fnv_string h s =
+    let h = ref h in
+    for i = 0 to String.length s - 1 do
+      h := (!h lxor Char.code (String.unsafe_get s i)) * fnv_prime
+    done;
+    !h
+
+  let make ~name ~version (q : Query.t) =
+    let buf = Buffer.create 96 in
+    Buffer.add_string buf name;
+    Buffer.add_char buf '#';
+    Buffer.add_string buf (string_of_int version);
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i (tv, tbl) ->
+        if i > 0 then Buffer.add_char buf ';';
+        Buffer.add_string buf tv;
+        Buffer.add_char buf ':';
+        Buffer.add_string buf tbl)
+      q.Query.tvars;
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i j ->
+        if i > 0 then Buffer.add_char buf ';';
+        Buffer.add_string buf j.Query.child_tv;
+        Buffer.add_char buf '.';
+        Buffer.add_string buf j.Query.fk;
+        Buffer.add_char buf '=';
+        Buffer.add_string buf j.Query.parent_tv)
+      q.Query.joins;
+    Buffer.add_char buf '|';
+    (* [q] is canonical, so selects are sorted by (tv, attr, pred);
+       adjacent duplicates collapse because the skeleton ignores
+       predicate values. *)
+    let prev = ref ("", "") in
+    let first = ref true in
+    List.iter
+      (fun s ->
+        let id = (s.Query.sel_tv, s.Query.sel_attr) in
+        if !first || id <> !prev then begin
+          if not !first then Buffer.add_char buf ';';
+          first := false;
+          prev := id;
+          Buffer.add_string buf s.Query.sel_tv;
+          Buffer.add_char buf '.';
+          Buffer.add_string buf s.Query.sel_attr
+        end)
+      q.Query.selects;
+    let key = Buffer.contents buf in
+    { hash = fnv_string fnv_basis key land max_int; key }
+end

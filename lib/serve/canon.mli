@@ -31,3 +31,16 @@ val skeleton_key : Selest_db.Query.t -> string
     binding-independent half of the key split: queries differing only in
     predicate values share this key (and hence one cached plan), while
     {!key} still distinguishes them for the estimate cache. *)
+
+(** The plan-cache key, built in a single buffer pass with its FNV-1a
+    hash: [name#version|tvars|joins|select-attrs].  {!Plan_cache}
+    indexes on the hash; the rendered key is stored beside the entry
+    and compared only to disambiguate a hash collision. *)
+module Skel : sig
+  type t = { hash : int;  (** 63-bit non-negative FNV-1a of [key] *)
+             key : string }
+
+  val make : name:string -> version:int -> Selest_db.Query.t -> t
+  (** [q] must already be canonical ({!normalize}): its select order is
+      what collapses duplicate attributes in one pass. *)
+end

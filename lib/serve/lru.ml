@@ -1,106 +1,137 @@
 open Selest_util
+open Selest_db
 
-(* Classic hashtable + doubly-linked recency list; every operation is
-   O(1) apart from the eviction sweep, which is amortized O(1). *)
+(* Hashtable + sentinel-ring recency list, indexed on the 63-bit
+   canonical query hash the zero-copy front-end computes.  Every warm
+   operation is allocation-free: the ring uses direct node pointers (no
+   [option] boxing on promote), a hit returns the resident [entry]
+   record, and a miss raises the preallocated [Not_found].  Entries
+   carry pre-rendered text and binary responses plus the canonical
+   snapshot ({!Selest_db.Squery.Vec}) the server verifies hash hits
+   against — full-key comparison happens only when a probe's hash
+   matches, so the fast path never rebuilds a key string. *)
+
+type entry = {
+  est : float;
+  text : string;  (* full text response, trailing newline included *)
+  bin : string;  (* full encoded binary value frame *)
+  vec : Squery.Vec.t;  (* canonical query, for collision verification *)
+  model : string;
+  version : int;
+}
 
 type node = {
-  key : string;
-  mutable value : float;
-  mutable prev : node option;  (* towards the hot (most recent) end *)
-  mutable next : node option;  (* towards the cold end *)
+  mutable hash : int;
+  mutable entry : entry;
+  mutable prev : node;  (* towards the hot (most recent) end *)
+  mutable next : node;  (* towards the cold end *)
 }
 
 type t = {
   capacity : int;
-  tbl : (string, node) Hashtbl.t;
-  mutable hot : node option;
-  mutable cold : node option;
+  tbl : (int, node) Hashtbl.t;
+  head : node;  (* sentinel: [head.next] hottest, [head.prev] coldest *)
   mutable bytes : int;
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable collisions : int;
 }
+
+let dummy_entry =
+  { est = 0.0; text = ""; bin = ""; vec = Squery.Vec.empty; model = "";
+    version = 0 }
 
 let create ~capacity_bytes =
   if capacity_bytes <= 0 then
     invalid_arg "Lru.create: capacity_bytes must be positive";
+  let rec head =
+    { hash = min_int; entry = dummy_entry; prev = head; next = head }
+  in
   {
     capacity = capacity_bytes;
     tbl = Hashtbl.create 256;
-    hot = None;
-    cold = None;
+    head;
     bytes = 0;
     hits = 0;
     misses = 0;
     evictions = 0;
+    collisions = 0;
   }
 
-let entry_bytes key = String.length key + Bytesize.per_param
+(* Byte accounting: the hash key is one word; the payload is the vec
+   snapshot, the two rendered responses, the model name, and one stored
+   parameter for the estimate itself. *)
+let entry_bytes e =
+  Squery.Vec.bytes e.vec + String.length e.text + String.length e.bin
+  + String.length e.model + Bytesize.per_param
 
-let unlink t n =
-  (match n.prev with Some p -> p.next <- n.next | None -> t.hot <- n.next);
-  (match n.next with Some s -> s.prev <- n.prev | None -> t.cold <- n.prev);
-  n.prev <- None;
-  n.next <- None
+let unlink n =
+  n.prev.next <- n.next;
+  n.next.prev <- n.prev
 
 let push_hot t n =
-  n.next <- t.hot;
-  n.prev <- None;
-  (match t.hot with Some h -> h.prev <- Some n | None -> t.cold <- Some n);
-  t.hot <- Some n
+  n.next <- t.head.next;
+  n.prev <- t.head;
+  t.head.next.prev <- n;
+  t.head.next <- n
 
 let evict_cold t =
-  match t.cold with
-  | None -> ()
-  | Some n ->
-    unlink t n;
-    Hashtbl.remove t.tbl n.key;
-    t.bytes <- t.bytes - entry_bytes n.key;
+  let n = t.head.prev in
+  if n != t.head then begin
+    unlink n;
+    Hashtbl.remove t.tbl n.hash;
+    t.bytes <- t.bytes - entry_bytes n.entry;
     t.evictions <- t.evictions + 1
+  end
 
-let find t key =
-  match Hashtbl.find_opt t.tbl key with
-  | Some n ->
+let find t hash =
+  match Hashtbl.find t.tbl hash with
+  | n ->
     t.hits <- t.hits + 1;
-    unlink t n;
+    unlink n;
     push_hot t n;
-    Some n.value
-  | None ->
+    n.entry
+  | exception Not_found ->
     t.misses <- t.misses + 1;
-    None
+    raise Not_found
 
-let add t key value =
-  (match Hashtbl.find_opt t.tbl key with
+let collision t =
+  t.hits <- t.hits - 1;
+  t.misses <- t.misses + 1;
+  t.collisions <- t.collisions + 1
+
+let add t hash entry =
+  (match Hashtbl.find_opt t.tbl hash with
   | Some n ->
-    n.value <- value;
-    unlink t n;
+    t.bytes <- t.bytes - entry_bytes n.entry + entry_bytes entry;
+    n.entry <- entry;
+    unlink n;
     push_hot t n
   | None ->
-    let n = { key; value; prev = None; next = None } in
-    Hashtbl.add t.tbl key n;
+    let n = { hash; entry; prev = t.head; next = t.head } in
+    Hashtbl.replace t.tbl hash n;
     push_hot t n;
-    t.bytes <- t.bytes + entry_bytes key);
-  while t.bytes > t.capacity && t.cold <> None do
+    t.bytes <- t.bytes + entry_bytes entry);
+  while t.bytes > t.capacity && t.head.prev != t.head do
     evict_cold t
   done
 
-let mem t key = Hashtbl.mem t.tbl key
+let mem t hash = Hashtbl.mem t.tbl hash
 let length t = Hashtbl.length t.tbl
 let bytes t = t.bytes
 let capacity_bytes t = t.capacity
 let hits t = t.hits
 let misses t = t.misses
 let evictions t = t.evictions
+let collisions t = t.collisions
 
-let keys_hot_first t =
-  let rec go acc = function
-    | None -> List.rev acc
-    | Some n -> go (n.key :: acc) n.next
-  in
-  go [] t.hot
+let hashes_hot_first t =
+  let rec go acc n = if n == t.head then List.rev acc else go (n.hash :: acc) n.next in
+  go [] t.head.next
 
 let clear t =
   Hashtbl.reset t.tbl;
-  t.hot <- None;
-  t.cold <- None;
+  t.head.next <- t.head;
+  t.head.prev <- t.head;
   t.bytes <- 0

@@ -1,31 +1,63 @@
-(** Byte-budgeted LRU cache of query estimates.
+(** Byte-budgeted LRU cache of query estimates, indexed on the 63-bit
+    canonical query hash.
 
-    Optimizers re-cost the same predicates against many join orders, so a
-    serving layer sees heavy repetition; a hit answers in a hash lookup
-    instead of a variable-elimination pass.  Capacity is expressed in bytes
-    under the library-wide storage accounting ({!Selest_util.Bytesize}):
-    each entry is charged one byte per key character plus one stored
-    parameter for the cached estimate.  When an insertion pushes the total
-    over the budget, least-recently-used entries are evicted until it fits
-    (an entry larger than the whole budget is evicted immediately).
+    Optimizers re-cost the same predicates against many join orders, so
+    a serving layer sees heavy repetition; a hit answers in one integer
+    hashtable probe and hands back {e pre-rendered} responses — the
+    text line and the binary value frame were formatted when the entry
+    was filled, so the warm path writes bytes straight to the socket.
+    Keys are the hashes the zero-copy front-end
+    ({!Selest_db.Squery.hash} mixed with model name and version)
+    computes without allocating; each entry carries the canonical query
+    snapshot ({!Selest_db.Squery.Vec}) plus its model identity so the
+    server can verify a hash hit against the live scratch — full-key
+    comparison only ever runs on a hash match, never to {e build} a
+    key.  A verification failure is a {!collision}: the caller recounts
+    the probe as a miss and overwrites the entry on {!add}.
 
-    Hit, miss and eviction counts are tracked here so {!Metrics} can report
-    them without wrapping every call site. *)
+    Every warm operation is allocation-free: the recency list is a
+    sentinel ring of direct node pointers, a miss raises the
+    preallocated [Not_found], and byte accounting is plain field
+    arithmetic.  Capacity is expressed in bytes under the library-wide
+    storage accounting ({!Selest_util.Bytesize}): each entry is charged
+    its vec snapshot, both rendered responses, the model name and one
+    stored parameter.  When an insertion pushes the total over the
+    budget, least-recently-used entries are evicted until it fits.
+
+    Hit, miss, eviction and collision counts are tracked here so
+    {!Metrics} can report them without wrapping every call site. *)
+
+type entry = {
+  est : float;  (** the estimate *)
+  text : string;  (** full text response, trailing newline included *)
+  bin : string;  (** full encoded binary value frame *)
+  vec : Selest_db.Squery.Vec.t;  (** canonical query snapshot *)
+  model : string;  (** model name the estimate was computed under *)
+  version : int;  (** model version ditto *)
+}
 
 type t
 
 val create : capacity_bytes:int -> t
 (** Raises [Invalid_argument] on a non-positive capacity. *)
 
-val find : t -> string -> float option
-(** Looks up a key; a hit promotes the entry to most-recently-used and is
-    counted, a miss is counted. *)
+val find : t -> int -> entry
+(** Look up a hash; a hit promotes the entry to most-recently-used and
+    is counted, a miss counts and raises [Not_found].  Allocation-free
+    either way.  The caller must verify the entry against its request
+    ([Squery.Vec.matches] + model name/version) and call {!collision}
+    if the verification fails. *)
 
-val add : t -> string -> float -> unit
-(** Inserts or refreshes an entry (refreshing promotes it), then evicts
+val collision : t -> unit
+(** Recount the last {!find} hit as a miss: the hash matched but the
+    full key did not.  Also bumps the collision counter. *)
+
+val add : t -> int -> entry -> unit
+(** Insert or overwrite the entry under a hash (overwriting is how a
+    collision resolves — newest query wins), promote it, then evict
     from the cold end until the byte budget holds. *)
 
-val mem : t -> string -> bool
+val mem : t -> int -> bool
 (** Pure query: no promotion, no counter update. *)
 
 val length : t -> int
@@ -36,8 +68,13 @@ val hits : t -> int
 val misses : t -> int
 val evictions : t -> int
 
-val keys_hot_first : t -> string list
-(** Keys in recency order, most recent first (for tests and debugging). *)
+val collisions : t -> int
+(** Hash hits whose full-key verification failed; 0 in any realistic
+    workload (63-bit FNV). *)
+
+val hashes_hot_first : t -> int list
+(** Keys in recency order, most recent first (for tests and
+    debugging). *)
 
 val clear : t -> unit
 (** Drops all entries; counters are preserved. *)

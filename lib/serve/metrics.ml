@@ -7,7 +7,23 @@ module Obs = Selest_obs
 let lat_all = "lat"
 let verb_prefix = "lat."
 
-type t = { tel : Obs.Telemetry.t }
+(* Pre-registered telemetry handles for the allocation-free request
+   front-end: the warm EST fast path bumps these by integer id — no
+   string hashing, no [find_opt] boxing — while everything else keeps
+   the string-keyed API.  The four [frontend.*] counters accumulate
+   nanoseconds (parse / canonicalize / key-hash) and the count of
+   estimate-cache hash hits whose full-key verification failed. *)
+type t = {
+  tel : Obs.Telemetry.t;
+  h_lat : Obs.Telemetry.hist_handle;  (* the aggregate "lat" histogram *)
+  h_lat_est : Obs.Telemetry.hist_handle;  (* "lat.est" *)
+  c_requests : Obs.Telemetry.counter_handle;
+  c_est_requests : Obs.Telemetry.counter_handle;
+  c_frontend_parse : Obs.Telemetry.counter_handle;
+  c_frontend_canon : Obs.Telemetry.counter_handle;
+  c_frontend_key : Obs.Telemetry.counter_handle;
+  c_frontend_collisions : Obs.Telemetry.counter_handle;
+}
 
 (* Layout constants kept for dashboards that re-bucket from [lat_hist]:
    the raw buckets are now the HDR layout of {!Selest_obs.Histogram} —
@@ -16,11 +32,44 @@ type t = { tel : Obs.Telemetry.t }
 let n_buckets = Obs.Histogram.n_buckets
 let bucket_base = 1.0 +. (1.0 /. float_of_int Obs.Histogram.half)
 
-let create () = { tel = Obs.Telemetry.create () }
+let create () =
+  let tel = Obs.Telemetry.create () in
+  {
+    tel;
+    h_lat = Obs.Telemetry.hist_handle tel lat_all;
+    h_lat_est = Obs.Telemetry.hist_handle tel (verb_prefix ^ "est");
+    c_requests = Obs.Telemetry.counter_handle tel "requests";
+    c_est_requests = Obs.Telemetry.counter_handle tel "est_requests";
+    c_frontend_parse = Obs.Telemetry.counter_handle tel "frontend.parse_ns";
+    c_frontend_canon = Obs.Telemetry.counter_handle tel "frontend.canon_ns";
+    c_frontend_key = Obs.Telemetry.counter_handle tel "frontend.key_ns";
+    c_frontend_collisions =
+      Obs.Telemetry.counter_handle tel "frontend.collisions";
+  }
+
 let telemetry t = t.tel
 
 let incr ?(by = 1) t name = Obs.Telemetry.incr ~by t.tel name
 let get t name = Obs.Telemetry.get t.tel name
+
+(* ---- allocation-free fast-path bumps --------------------------------------- *)
+
+let counter_handle t name = Obs.Telemetry.counter_handle t.tel name
+let bump t h = Obs.Telemetry.hincr t.tel h
+let bump_by t h n = Obs.Telemetry.hincr_by t.tel h n
+
+let fast_est_request t =
+  Obs.Telemetry.hincr t.tel t.c_requests;
+  Obs.Telemetry.hincr t.tel t.c_est_requests
+
+let fast_est_latency_ns t ns =
+  Obs.Telemetry.hrecord t.tel t.h_lat ns;
+  Obs.Telemetry.hrecord t.tel t.h_lat_est ns
+
+let frontend_parse_ns t ns = Obs.Telemetry.hincr_by t.tel t.c_frontend_parse ns
+let frontend_canon_ns t ns = Obs.Telemetry.hincr_by t.tel t.c_frontend_canon ns
+let frontend_key_ns t ns = Obs.Telemetry.hincr_by t.tel t.c_frontend_key ns
+let frontend_collision t = Obs.Telemetry.hincr t.tel t.c_frontend_collisions
 
 let counters t = (Obs.Telemetry.snapshot t.tel).Obs.Telemetry.counters
 

@@ -53,6 +53,43 @@ val get : t -> string -> int
 val counters : t -> (string * int) list
 (** All counters, merged and sorted by name. *)
 
+(** {2 Allocation-free fast path}
+
+    The warm EST front-end is gated on zero GC allocation end to end, so
+    its per-request accounting goes through pre-registered
+    {!Selest_obs.Telemetry} handles (integer-indexed shard slots)
+    instead of string-keyed lookups.  All of these are allocation-free
+    once the calling domain's slot arrays are warm. *)
+
+val counter_handle : t -> string -> Selest_obs.Telemetry.counter_handle
+(** Register (or look up) a named counter's handle on the underlying
+    telemetry — for callers with their own per-shard counters (the
+    server's ["shard.<sid>.requests"]).  Startup-time only. *)
+
+val bump : t -> Selest_obs.Telemetry.counter_handle -> unit
+val bump_by : t -> Selest_obs.Telemetry.counter_handle -> int -> unit
+
+val fast_est_request : t -> unit
+(** Count one EST request: bumps [requests] and [est_requests]. *)
+
+val fast_est_latency_ns : t -> int -> unit
+(** Record one EST latency into the aggregate and ["lat.est"]
+    histograms (the handle twin of {!observe_verb_ns} [~verb:"est"]). *)
+
+val frontend_parse_ns : t -> int -> unit
+(** Accumulate zero-copy parse time into [frontend.parse_ns]. *)
+
+val frontend_canon_ns : t -> int -> unit
+(** Accumulate in-place canonicalization time into
+    [frontend.canon_ns]. *)
+
+val frontend_key_ns : t -> int -> unit
+(** Accumulate cache-key hashing time into [frontend.key_ns]. *)
+
+val frontend_collision : t -> unit
+(** Count one estimate-cache hash hit whose full-key verification
+    failed ([frontend.collisions]). *)
+
 val observe : t -> float -> unit
 (** Record one request latency, in seconds, into the aggregate
     histogram. *)

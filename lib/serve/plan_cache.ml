@@ -1,13 +1,24 @@
 (* Entry-count LRU of compiled plans, same hashtable + recency-list
-   structure as {!Lru} but generic in the payload.  Two modes: the
-   default mutex-guarded one (the ESTBATCH worker pool of a single-shard
-   server shares one instance, and a miss compiles under the lock so one
-   skeleton never compiles twice concurrently), and an unsynchronized
-   one for shard-per-domain servers where each executor domain owns a
-   private instance and the request path must stay lock-free. *)
+   structure as {!Lru} but generic in the payload.  Since the
+   allocation-free front-end, the table indexes on the caller's
+   precomputed 64-bit key hash ({!Canon.Skel}); the rendered key string
+   is stored beside each entry and compared only when a probe's hash
+   matches — i.e. full-key verification happens exactly once per lookup
+   that could be a collision, never as part of key construction.  A true
+   collision (equal hashes, different keys) evicts the resident entry:
+   with 63-bit FNV over short keys this is a theoretical case, and
+   keeping one chain per hash keeps the probe branch-free.
+
+   Two modes: the default mutex-guarded one (the ESTBATCH worker pool of
+   a single-shard server shares one instance, and a miss compiles under
+   the lock so one skeleton never compiles twice concurrently), and an
+   unsynchronized one for shard-per-domain servers where each executor
+   domain owns a private instance and the request path must stay
+   lock-free. *)
 
 type node = {
-  key : string;
+  hash : int;
+  key : string;  (* full rendered key, for collision verification *)
   plan : Selest_plan.Plan.t;
   mutable prev : node option;  (* towards the hot (most recent) end *)
   mutable next : node option;  (* towards the cold end *)
@@ -15,7 +26,7 @@ type node = {
 
 type t = {
   capacity : int;
-  tbl : (string, node) Hashtbl.t;
+  tbl : (int, node) Hashtbl.t;
   mutex : Mutex.t;
   sync : bool;
   mutable hot : node option;
@@ -23,6 +34,7 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable collisions : int;
 }
 
 let create ?(capacity = 256) ?(synchronized = true) () =
@@ -37,6 +49,7 @@ let create ?(capacity = 256) ?(synchronized = true) () =
     hits = 0;
     misses = 0;
     evictions = 0;
+    collisions = 0;
   }
 
 let synchronized t = t.sync
@@ -65,29 +78,39 @@ let evict_cold t =
   | None -> ()
   | Some n ->
     unlink t n;
-    Hashtbl.remove t.tbl n.key;
+    Hashtbl.remove t.tbl n.hash;
     t.evictions <- t.evictions + 1
 
-let find_or_compile t ~key ~compile =
+let insert t ~hash ~key ~compile =
+  t.misses <- t.misses + 1;
+  let plan = compile () in
+  let n = { hash; key; plan; prev = None; next = None } in
+  Hashtbl.replace t.tbl hash n;
+  push_hot t n;
+  while Hashtbl.length t.tbl > t.capacity do
+    evict_cold t
+  done;
+  (plan, `Miss)
+
+let find_or_compile t ~hash ~key ~compile =
   locked t (fun () ->
-      match Hashtbl.find_opt t.tbl key with
-      | Some n ->
+      match Hashtbl.find_opt t.tbl hash with
+      | Some n when String.equal n.key key ->
         t.hits <- t.hits + 1;
         unlink t n;
         push_hot t n;
         (n.plan, `Hit)
-      | None ->
-        t.misses <- t.misses + 1;
-        let plan = compile () in
-        let n = { key; plan; prev = None; next = None } in
-        Hashtbl.add t.tbl key n;
-        push_hot t n;
-        while Hashtbl.length t.tbl > t.capacity do
-          evict_cold t
-        done;
-        (plan, `Miss))
+      | Some n ->
+        (* hash collision: evict the resident entry, compile ours *)
+        t.collisions <- t.collisions + 1;
+        unlink t n;
+        Hashtbl.remove t.tbl n.hash;
+        t.evictions <- t.evictions + 1;
+        insert t ~hash ~key ~compile
+      | None -> insert t ~hash ~key ~compile)
 
 let stats t = locked t (fun () -> (t.hits, t.misses, t.evictions))
+let collisions t = locked t (fun () -> t.collisions)
 
 let length t = locked t (fun () -> Hashtbl.length t.tbl)
 

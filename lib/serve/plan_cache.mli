@@ -29,13 +29,23 @@ val synchronized : t -> bool
 (** Whether this cache locks around every operation. *)
 
 val find_or_compile :
-  t -> key:string -> compile:(unit -> Selest_plan.Plan.t) ->
+  t -> hash:int -> key:string -> compile:(unit -> Selest_plan.Plan.t) ->
   Selest_plan.Plan.t * [ `Hit | `Miss ]
-(** Return the cached plan for [key], or run [compile], cache and return
-    it (evicting the least-recently-used entry when full). *)
+(** Return the cached plan for the key, or run [compile], cache and
+    return it (evicting the least-recently-used entry when full).  The
+    table indexes on [hash] (precompute it with {!Canon.Skel} — one
+    buffer pass, one FNV fold); [key] is the full rendered key, stored
+    beside the entry and string-compared only when a probe's hash
+    matches.  A probe whose hash matches a {e different} resident key —
+    a true collision — counts a miss, evicts the resident and caches
+    the new plan. *)
 
 val stats : t -> int * int * int
 (** (hits, misses, evictions) since creation. *)
+
+val collisions : t -> int
+(** Probes whose hash matched a different full key (evicted and
+    recompiled); 0 in any realistic workload. *)
 
 val length : t -> int
 

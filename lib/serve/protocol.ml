@@ -370,3 +370,89 @@ module Bin = struct
     output_string oc encoded;
     flush oc
 end
+
+(* ---- zero-copy request recognition ---------------------------------------- *)
+
+(* Slice recognizers for the allocation-free front-end.  Each fills a
+   reusable scratch record with (offset, length) slices into the
+   caller's buffer instead of materializing strings.  They recognize a
+   strict subset of what [parse_request] / [Bin.decode_request] accept
+   — exact uppercase "EST", well-formed [@model], non-empty body — and
+   answer [false] for everything else, so a caller can always fall back
+   to the allocating reference parsers and get identical behavior
+   (including error messages) on the cold path. *)
+module Slice = struct
+  type t = {
+    mutable model_off : int;
+    mutable model_len : int;  (* 0 = default model *)
+    mutable body_off : int;
+    mutable body_len : int;
+  }
+
+  let create () = { model_off = 0; model_len = 0; body_off = 0; body_len = 0 }
+
+  (* The whitespace set [String.trim] strips — the reference parser
+     trims the line, the model/body split, and the body with it. *)
+  let is_ws c = c = ' ' || c = '\t' || c = '\n' || c = '\r' || c = '\012'
+
+  let est_line sl buf ~off ~len =
+    let stop = off + len in
+    let i = ref off in
+    while !i < stop && is_ws (Bytes.unsafe_get buf !i) do incr i done;
+    let i0 = !i in
+    (* The reference splits the command word at ' ' only, so anything
+       but "EST " here is some other (or malformed) command. *)
+    if
+      i0 + 4 > stop
+      || Bytes.unsafe_get buf i0 <> 'E'
+      || Bytes.unsafe_get buf (i0 + 1) <> 'S'
+      || Bytes.unsafe_get buf (i0 + 2) <> 'T'
+      || Bytes.unsafe_get buf (i0 + 3) <> ' '
+    then false
+    else begin
+      let j = ref (i0 + 4) in
+      while !j < stop && is_ws (Bytes.unsafe_get buf !j) do incr j done;
+      let ok_model =
+        if !j < stop && Bytes.unsafe_get buf !j = '@' then begin
+          (* Model token runs to the first ' ' (reference semantics);
+             a bare '@' is an error the slow path reports. *)
+          let m0 = !j + 1 in
+          let k = ref m0 in
+          while !k < stop && Bytes.unsafe_get buf !k <> ' ' do incr k done;
+          sl.model_off <- m0;
+          sl.model_len <- !k - m0;
+          j := !k;
+          while !j < stop && is_ws (Bytes.unsafe_get buf !j) do incr j done;
+          sl.model_len > 0
+        end
+        else begin
+          sl.model_off <- 0;
+          sl.model_len <- 0;
+          true
+        end
+      in
+      ok_model
+      && !j < stop
+      &&
+      let e = ref stop in
+      while !e > !j && is_ws (Bytes.unsafe_get buf (!e - 1)) do decr e done;
+      sl.body_off <- !j;
+      sl.body_len <- !e - !j;
+      sl.body_len > 0
+    end
+
+  let bin_est sl buf ~off ~len =
+    len >= 3
+    && Bytes.get_uint8 buf off = Bin.op_est
+    &&
+    let mlen = Bytes.get_uint16_be buf (off + 1) in
+    3 + mlen <= len
+    &&
+    begin
+      sl.model_off <- off + 3;
+      sl.model_len <- mlen;
+      sl.body_off <- off + 3 + mlen;
+      sl.body_len <- len - 3 - mlen;
+      sl.body_len > 0
+    end
+end

@@ -229,3 +229,34 @@ module Bin : sig
   val write_frame : out_channel -> string -> unit
   (** Write an encoded frame and flush. *)
 end
+
+(** Zero-copy request recognition for the allocation-free front-end.
+
+    A slice scratch is filled with (offset, length) pairs into the
+    caller's buffer — no strings are built.  The recognizers accept a
+    strict {e subset} of the reference parsers ({!parse_request},
+    {!Bin.decode_request}): exact uppercase [EST], a well-formed
+    [@model] token, a non-empty body.  They answer [false] for
+    everything else, so callers fall back to the reference path and
+    keep identical observable behavior (error messages included) off
+    the fast path. *)
+module Slice : sig
+  type t = {
+    mutable model_off : int;
+    mutable model_len : int;  (** [0] selects the default model. *)
+    mutable body_off : int;
+    mutable body_len : int;
+  }
+
+  val create : unit -> t
+
+  val est_line : t -> Bytes.t -> off:int -> len:int -> bool
+  (** Recognize [EST [@model] <body>] in [buf[off..off+len)] (one text
+      line, newline already stripped) and fill the slices.
+      Allocation-free. *)
+
+  val bin_est : t -> Bytes.t -> off:int -> len:int -> bool
+  (** Recognize a {!Bin} [EST] request payload (opcode [0x01]) in
+      [buf[off..off+len)] — the frame body, length prefix already
+      stripped.  Allocation-free. *)
+end

@@ -18,6 +18,10 @@ type sstate = {
   sid : int;
   scache : Lru.t;
   splans : Plan_cache.t;
+  scratch : Squery.t;  (* reusable zero-copy parse target *)
+  slice : Protocol.Slice.t;  (* reusable request-slice scratch *)
+  c_req : Selest_obs.Telemetry.counter_handle;
+      (* handle for "shard.<sid>.requests" — the fast path bumps by id *)
   inflight : int Atomic.t;  (* live connections owned by this shard *)
   accepted : int Atomic.t;  (* connections ever handed to this shard *)
   req_counter : string;  (* precomputed "shard.<sid>.requests" *)
@@ -26,6 +30,7 @@ type sstate = {
 type t = {
   db : Database.t;
   sizes : int array;
+  symtab : Squery.Symtab.t;  (* interned schema symbols, shared ro *)
   socket : string;
   tcp : (string * int) option;
   max_inflight : int;  (* admission budget, per shard *)
@@ -75,8 +80,11 @@ let create ?(cache_bytes = 1 lsl 20) ?pool_size ?(slowlog_capacity = 128)
   if domains < 1 then invalid_arg "Server.create: domains must be >= 1";
   if max_inflight < 1 then invalid_arg "Server.create: max_inflight must be >= 1";
   if backlog < 1 then invalid_arg "Server.create: backlog must be >= 1";
+  let metrics = Metrics.create () in
+  let symtab = Squery.Symtab.of_schema (Database.schema db) in
   let shards =
     Array.init domains (fun sid ->
+        let req_counter = Metrics.shard_key sid "requests" in
         {
           sid;
           scache = Lru.create ~capacity_bytes:cache_bytes;
@@ -85,21 +93,25 @@ let create ?(cache_bytes = 1 lsl 20) ?pool_size ?(slowlog_capacity = 128)
              mutex there.  With >1 shards the cache is domain-private
              and the request path must stay lock-free. *)
           splans = Plan_cache.create ~synchronized:(domains = 1) ();
+          scratch = Squery.create symtab;
+          slice = Protocol.Slice.create ();
+          c_req = Metrics.counter_handle metrics req_counter;
           inflight = Atomic.make 0;
           accepted = Atomic.make 0;
-          req_counter = Metrics.shard_key sid "requests";
+          req_counter;
         })
   in
   {
     db;
     sizes = Selest_plan.Estimate.sizes_of_db db;
+    symtab;
     socket;
     tcp;
     max_inflight;
     backlog;
     registry = Registry.create ~schema:(Database.schema db);
     shards;
-    metrics = Metrics.create ();
+    metrics;
     pool_size;
     pool = None;
     avi = Atomic.make None;
@@ -148,6 +160,8 @@ let cache_misses t = sum_shards t (fun st -> Lru.misses st.scache)
 let cache_evictions t = sum_shards t (fun st -> Lru.evictions st.scache)
 let cache_entries t = sum_shards t (fun st -> Lru.length st.scache)
 let cache_bytes t = sum_shards t (fun st -> Lru.bytes st.scache)
+let cache_collisions t = sum_shards t (fun st -> Lru.collisions st.scache)
+let plan_collisions t = sum_shards t (fun st -> Plan_cache.collisions st.splans)
 
 let plan_stats t =
   Array.fold_left
@@ -205,35 +219,84 @@ let resolve_model t model =
     | Some (name, e) -> Ok (name, e)
     | None -> Error "no model loaded (use LOAD)")
 
-(* Parse and canonicalize one query body; errors become messages.  The
+(* Parse and canonicalize one query body into the shard's scratch query
+   ({!Selest_db.Squery}): symbols are interned, predicates land in
+   reusable int arrays, and the warm path never builds an intermediate
+   string or list.  Acceptance agrees with the reference pipeline
+   ([Qparse.parse] + [Canon.normalize]); errors become messages.  The
    two stages get their own spans so EXPLAIN can price them apart. *)
-let parse_query t body =
+let parse_scratch st body =
   match
     Obs.Span.with_ "est.parse" (fun _ ->
-        let tvars, joins, selects = Protocol.split_sections body in
-        Qparse.parse t.db ~tvars ~joins ~selects ())
+        Squery.parse st.scratch
+          (Bytes.unsafe_of_string body)
+          ~off:0 ~len:(String.length body))
   with
   | exception Failure msg -> Error msg
   | exception Not_found -> Error "unknown table, tuple variable or attribute in query"
   | exception Invalid_argument msg -> Error msg
-  | q -> Ok (Obs.Span.with_ "est.canon" (fun _ -> Canon.normalize q))
+  | () ->
+    Obs.Span.with_ "est.canon" (fun _ -> Squery.canon st.scratch);
+    Ok ()
 
-let cache_key name (e : Registry.entry) q =
-  Printf.sprintf "%s#%d|%s" name e.Registry.version (Canon.key q)
+(* The estimate cache keys on a 63-bit hash: the canonical scratch hash
+   folded with the model name and version (FNV-1a), so a hot-reload
+   invalidates every cached estimate without touching the cache.  The
+   full key never exists as a string — hash hits are verified against
+   the resident entry's canonical snapshot instead. *)
+let fnv_prime = 0x100000001b3
 
-(* The plan cache keys on the binding-independent half of the same split:
-   model name and version plus the query's skeleton.  Hot-reloading bumps
+let est_hash st ~name ~version =
+  let h = ref (Squery.hash st.scratch) in
+  for i = 0 to String.length name - 1 do
+    h := (!h lxor Char.code (String.unsafe_get name i)) * fnv_prime
+  done;
+  h := (!h lxor version) * fnv_prime;
+  !h land max_int
+
+(* Probe the shard cache for the scratch's current query.  Returns the
+   verified resident entry or raises the preallocated [Not_found]; a
+   hash hit whose full-key verification fails — a true collision — is
+   recounted as a miss and surfaced in the telemetry, then treated as a
+   miss (the subsequent {!Lru.add} overwrites the resident).
+   Allocation-free either way. *)
+let probe t st ~name ~version hash =
+  let entry = Lru.find st.scache hash in
+  if
+    entry.Lru.version = version
+    && String.equal entry.Lru.model name
+    && Squery.Vec.matches entry.Lru.vec st.scratch
+  then entry
+  else begin
+    Lru.collision st.scache;
+    Metrics.frontend_collision t.metrics;
+    raise Not_found
+  end
+
+(* Pre-render both wire responses when an entry is filled, so warm hits
+   write stored bytes straight to the socket. *)
+let make_entry ~name ~version ~vec est =
+  {
+    Lru.est;
+    text = Protocol.ok (Printf.sprintf "%.17g" est) ^ "\n";
+    bin = Protocol.Bin.encode_response (Protocol.Bin.Bvalue est);
+    vec;
+    model = name;
+    version;
+  }
+
+(* The plan cache keys on the binding-independent half of the same
+   split: model name and version plus the query's skeleton, rendered
+   and hashed in one buffer pass ({!Canon.Skel}).  Hot-reloading bumps
    the version, so a stale model's plans can never be fetched again —
    on every shard, since every shard's keys carry the version. *)
-let plan_key name (e : Registry.entry) q =
-  Printf.sprintf "%s#%d|%s" name e.Registry.version (Canon.skeleton_key q)
-
 let plan_for t st ~name ~(entry : Registry.entry) q =
   ignore t;
   Obs.Span.with_ "plan.fetch" (fun sp ->
+      let skel = Canon.Skel.make ~name ~version:entry.Registry.version q in
       let plan, status =
-        Plan_cache.find_or_compile st.splans
-          ~key:(plan_key name entry q)
+        Plan_cache.find_or_compile st.splans ~hash:skel.Canon.Skel.hash
+          ~key:skel.Canon.Skel.key
           ~compile:(fun () -> Plan.compile entry.Registry.model q)
       in
       if Obs.Span.live sp then
@@ -257,43 +320,57 @@ let roll_hotpath t (d : Obs.Hotpath.t) =
 
 (* Run inference for one parsed query — fetch (or compile) the skeleton's
    plan, then execute it — measuring the hot-path work and rolling it into
-   the metrics; fills the shard's estimate cache on success. *)
-let infer_measured t st ~name ~(entry : Registry.entry) ~key q =
+   the metrics; fills the shard's estimate cache with a fully rendered
+   entry on success (the scratch must still hold the query, it provides
+   the entry's canonical snapshot).  Returns the resident entry. *)
+let infer_measured t st ~name ~(entry : Registry.entry) ~hash q =
   match
     Obs.Hotpath.measure (fun () ->
         let plan, status = plan_for t st ~name ~entry q in
         (Plan.estimate plan ~sizes:t.sizes q, plan, status))
   with
   | (estimate, plan, status), d ->
-    Lru.add st.scache key estimate;
+    let le =
+      make_entry ~name ~version:entry.Registry.version
+        ~vec:(Squery.Vec.of_scratch st.scratch)
+        estimate
+    in
+    Lru.add st.scache hash le;
     Metrics.incr t.metrics (Printf.sprintf "infer.%s" name);
     roll_hotpath t d;
-    Ok (estimate, d, plan, status)
+    Ok (le, d, plan, status)
   | exception exn -> Error (Printexc.to_string exn)
 
 (* The transport-free EST core shared by the text handler and the binary
-   frame handler: pin a registry snapshot, parse, probe the shard's
-   cache, measured inference.  Zero mutex acquisitions end to end: the
-   snapshot pin is one atomic load, the caches are domain-local, and the
-   telemetry writes land on the domain's own shard.  Bumps [est_errors]
-   on every failure; the caller formats the result. *)
+   frame handler: pin a registry snapshot, parse into the shard scratch,
+   probe the shard's cache by hash, measured inference.  Zero mutex
+   acquisitions end to end: the snapshot pin is one atomic load, the
+   caches are domain-local, and the telemetry writes land on the
+   domain's own shard.  Bumps [est_errors] on every failure; the caller
+   formats the result. *)
 let est_core t st ~model ~body =
   match resolve_model t model with
   | Error msg ->
     Metrics.incr t.metrics "est_errors";
     Error msg
   | Ok (name, e) -> (
-    match parse_query t body with
+    match parse_scratch st body with
     | Error msg ->
       Metrics.incr t.metrics "est_errors";
       Error msg
-    | Ok q -> (
-      let key = cache_key name e q in
-      match Obs.Span.with_ "est.cache" (fun _ -> Lru.find st.scache key) with
-      | Some estimate -> Ok estimate
-      | None -> (
-        match infer_measured t st ~name ~entry:e ~key q with
-        | Ok (estimate, _, _, _) -> Ok estimate
+    | Ok () -> (
+      let version = e.Registry.version in
+      let hash = est_hash st ~name ~version in
+      match
+        Obs.Span.with_ "est.cache" (fun _ -> probe t st ~name ~version hash)
+      with
+      | entry -> Ok entry.Lru.est
+      | exception Not_found -> (
+        match
+          infer_measured t st ~name ~entry:e ~hash
+            (Squery.to_query st.scratch)
+        with
+        | Ok (le, _, _, _) -> Ok le.Lru.est
         | Error msg ->
           Metrics.incr t.metrics "est_errors";
           Error msg)))
@@ -335,13 +412,27 @@ let estbatch_core t st ~model ~bodies =
     Metrics.incr t.metrics "est_errors";
     Error msg
   | Ok (name, e) -> (
+    let version = e.Registry.version in
+    (* Parse, canonicalize and cache-probe every body on the dispatching
+       shard.  The scratch query is shard-local and each body overwrites
+       it, so a hit is verified (and a miss materialized into an owned
+       [Query.t] + snapshot for the workers) before the next body is
+       parsed. *)
     let parsed =
       List.mapi
         (fun i body ->
-          match parse_query t body with
-          | Ok q ->
-            Ok (Printf.sprintf "%s#%d|%s" name e.Registry.version (Canon.key q), q)
-          | Error msg -> Error (Printf.sprintf "query %d: %s" (i + 1) msg))
+          match parse_scratch st body with
+          | Error msg -> Error (Printf.sprintf "query %d: %s" (i + 1) msg)
+          | Ok () -> (
+            let hash = est_hash st ~name ~version in
+            match probe t st ~name ~version hash with
+            | entry -> Ok (hash, `Hit entry.Lru.est)
+            | exception Not_found ->
+              Ok
+                ( hash,
+                  `Miss
+                    ( Squery.to_query st.scratch,
+                      Squery.Vec.of_scratch st.scratch ) )))
         bodies
     in
     match
@@ -354,19 +445,23 @@ let estbatch_core t st ~model ~bodies =
       let keyed =
         List.map (function Ok kq -> kq | Error _ -> assert false) parsed
       in
-      (* Probe the cache here; collect each distinct missing key once. *)
+      (* Collect each distinct missing hash once (repeats within one
+         batch answer from the first computation). *)
       let misses = Hashtbl.create 16 in
       let miss_order = ref [] in
       List.iter
-        (fun (key, q) ->
-          if Lru.find st.scache key = None && not (Hashtbl.mem misses key) then begin
-            Hashtbl.add misses key q;
-            miss_order := (key, q) :: !miss_order
-          end)
+        (fun (hash, outcome) ->
+          match outcome with
+          | `Hit _ -> ()
+          | `Miss (q, vec) ->
+            if not (Hashtbl.mem misses hash) then begin
+              Hashtbl.add misses hash ();
+              miss_order := (hash, q, vec) :: !miss_order
+            end)
         keyed;
       let miss_order = List.rev !miss_order in
       let sizes = t.sizes in
-      let infer_one (key, q) =
+      let infer_one (hash, q, vec) =
         (* measure inside the worker: hot-path counters are domain-local;
            in the single-shard pool configuration the plan cache and each
            plan's schedule memo are mutex-guarded, so workers share
@@ -376,7 +471,7 @@ let estbatch_core t st ~model ~bodies =
               let plan, _ = plan_for t st ~name ~entry:e q in
               Plan.estimate plan ~sizes q)
         in
-        (key, v, d)
+        (hash, vec, v, d)
       in
       match
         (* Fan out only when domains can help: enough distinct misses to
@@ -397,20 +492,23 @@ let estbatch_core t st ~model ~bodies =
         Metrics.incr t.metrics "est_errors";
         Error (Printexc.to_string exn)
       | computed ->
+        (* Cache fills stay on the dispatcher (the shard cache is not
+           synchronized); answers for misses come from this batch's own
+           results, immune to a concurrent eviction. *)
+        let fresh = Hashtbl.create 16 in
         List.iter
-          (fun (key, v, d) ->
-            Lru.add st.scache key v;
+          (fun (hash, vec, v, d) ->
+            Lru.add st.scache hash (make_entry ~name ~version ~vec v);
+            Hashtbl.replace fresh hash v;
             Metrics.incr t.metrics (Printf.sprintf "infer.%s" name);
             roll_hotpath t d)
           computed;
-        let fresh = Hashtbl.create 16 in
-        List.iter (fun (key, v, _) -> Hashtbl.replace fresh key v) computed;
         Ok
           (List.map
-             (fun (key, _) ->
-               match Lru.find st.scache key with
-               | Some v -> v
-               | None -> Hashtbl.find fresh key)
+             (fun (hash, outcome) ->
+               match outcome with
+               | `Hit est -> est
+               | `Miss _ -> Hashtbl.find fresh hash)
              keyed)))
 
 let handle_estbatch t st ~model ~bodies =
@@ -481,19 +579,24 @@ let handle_explain t st ~model ~body =
     let outcome, records =
       Obs.Span.collect (fun () ->
           Obs.Span.with_ "est" (fun _ ->
-              match parse_query t body with
+              match parse_scratch st body with
               | Error msg -> Error msg
-              | Ok q -> (
-                let key = cache_key name e q in
+              | Ok () -> (
+                let version = e.Registry.version in
+                let hash = est_hash st ~name ~version in
                 let cached =
-                  Obs.Span.with_ "est.cache" (fun _ -> Lru.find st.scache key)
+                  Obs.Span.with_ "est.cache" (fun _ ->
+                      match probe t st ~name ~version hash with
+                      | (_ : Lru.entry) -> true
+                      | exception Not_found -> false)
                 in
-                match infer_measured t st ~name ~entry:e ~key q with
+                let q = Squery.to_query st.scratch in
+                match infer_measured t st ~name ~entry:e ~hash q with
                 | Error msg -> Error msg
-                | Ok (estimate, d, plan, plan_status) ->
+                | Ok (le, d, plan, plan_status) ->
                   let rendered =
                     Obs.Span.with_ "est.respond" (fun _ ->
-                        Printf.sprintf "%.17g" estimate)
+                        Printf.sprintf "%.17g" le.Lru.est)
                   in
                   Ok (rendered, cached, d, plan, plan_status, q))))
     in
@@ -522,8 +625,7 @@ let handle_explain t st ~model ~body =
         stages;
       Buffer.add_string buf (Printf.sprintf " stage_sum_us=%.1f" stage_sum);
       Buffer.add_string buf
-        (Printf.sprintf " cache=%s"
-           (match cached with Some _ -> "hit" | None -> "miss"));
+        (Printf.sprintf " cache=%s" (if cached then "hit" else "miss"));
       Buffer.add_string buf
         (Printf.sprintf " plan_cache=%s"
            (match plan_status with `Hit -> "hit" | `Miss -> "miss"));
@@ -577,11 +679,12 @@ let handle_explainplan t st ~model ~body =
     Metrics.incr t.metrics "est_errors";
     Protocol.err msg
   | Ok (name, e) -> (
-    match parse_query t body with
+    match parse_scratch st body with
     | Error msg ->
       Metrics.incr t.metrics "est_errors";
       Protocol.err msg
-    | Ok q -> (
+    | Ok () -> (
+      let q = Squery.to_query st.scratch in
       let model_cost sub =
         let plan, _ = plan_for t st ~name ~entry:e sub in
         Plan.estimate plan ~sizes:t.sizes sub
@@ -648,9 +751,10 @@ let replay_spans t st ~model ~body =
             match resolve_model t model with
             | Error _ -> None
             | Ok (name, e) -> (
-              match parse_query t body with
+              match parse_scratch st body with
               | Error _ -> None
-              | Ok q -> (
+              | Ok () -> (
+                let q = Squery.to_query st.scratch in
                 let plan, _ = plan_for t st ~name ~entry:e q in
                 match Plan.estimate plan ~sizes:t.sizes q with
                 | (_ : float) -> Some (Canon.key q)
@@ -698,19 +802,21 @@ let handle_truth t st ~model ~truth ~body ~t0 =
     Metrics.incr t.metrics "est_errors";
     Protocol.err msg
   | Ok (name, e) -> (
-    match parse_query t body with
+    match parse_scratch st body with
     | Error msg ->
       Metrics.incr t.metrics "est_errors";
       Protocol.err msg
-    | Ok q -> (
-      let key = cache_key name e q in
+    | Ok () -> (
+      let version = e.Registry.version in
+      let hash = est_hash st ~name ~version in
       let computed =
-        match Lru.find st.scache key with
-        | Some estimate -> Ok estimate
-        | None ->
+        match probe t st ~name ~version hash with
+        | entry -> Ok entry.Lru.est
+        | exception Not_found ->
           Result.map
-            (fun (est, _, _, _) -> est)
-            (infer_measured t st ~name ~entry:e ~key q)
+            (fun (le, _, _, _) -> le.Lru.est)
+            (infer_measured t st ~name ~entry:e ~hash
+               (Squery.to_query st.scratch))
       in
       match computed with
       | Error msg ->
@@ -764,6 +870,7 @@ let handle_stats t =
         ("cache_evictions", string_of_int (cache_evictions t));
         ("cache_entries", string_of_int (cache_entries t));
         ("cache_bytes", string_of_int (cache_bytes t));
+        ("cache_collisions", string_of_int (cache_collisions t));
       ]
     @ (let hits, misses, evictions = plan_stats t in
        [
@@ -771,6 +878,7 @@ let handle_stats t =
          ("plan_cache_misses", string_of_int misses);
          ("plan_cache_evictions", string_of_int evictions);
          ("plan_cache_entries", string_of_int (plan_entries t));
+         ("plan_cache_collisions", string_of_int (plan_collisions t));
        ])
     @ [
         ("models", string_of_int (Registry.size t.registry));
@@ -1121,6 +1229,9 @@ let prometheus_metrics t =
         (cache_misses t);
       counter ~help:"estimate cache evictions" "selest_cache_evictions_total"
         (cache_evictions t);
+      counter
+        ~help:"estimate cache hash hits whose full-key verification failed"
+        "selest_cache_collisions_total" (cache_collisions t);
       gauge ~help:"estimate cache entries" "selest_cache_entries"
         (cache_entries t);
       gauge ~help:"estimate cache bytes" "selest_cache_bytes"
@@ -1139,6 +1250,9 @@ let prometheus_metrics t =
         "selest_plan_cache_misses_total" plan_misses;
       counter ~help:"compiled-plan cache evictions"
         "selest_plan_cache_evictions_total" plan_evictions;
+      counter
+        ~help:"plan cache hash hits whose full-key verification failed"
+        "selest_plan_cache_collisions_total" (plan_collisions t);
       gauge ~help:"compiled-plan cache entries" "selest_plan_cache_entries"
         (plan_entries t) ]
   in
@@ -1243,6 +1357,131 @@ let handle_frame_st t st payload =
     | Ok answers -> finish ~verb:"estbatch" (Protocol.Bin.Bvalues answers)
     | Error msg -> finish ~verb:"estbatch" (Protocol.Bin.Berr msg))
 
+(* ---- allocation-free fast path ---------------------------------------------
+
+   The warm EST round trip — socket read to answer write — touches the
+   heap zero times.  A request is recognized as a slice of the
+   connection buffer ({!Protocol.Slice}), lexed into the shard's
+   reusable scratch query, canonicalized, hashed and probed against the
+   shard cache; a verified hit writes the entry's pre-rendered response
+   bytes straight to the socket.  Misses and inference errors are
+   handled inline too (allocation is fine there — the cold half is
+   gated on latency, not allocation), so once a request commits to the
+   fast path the reference path never re-runs it and nothing is counted
+   twice.
+
+   The commit point is a successful scratch parse: before it the fast
+   path has no observable effect, so returning [false] (unknown model,
+   parse error, non-EST line) hands the request to the reference path
+   with its exact error messages and accounting.  Span collection
+   disables the fast path entirely ([Obs.Span.enabled]) so tracing
+   always sees the instrumented path.  Tail sampling is skipped: a warm
+   hit is answered far under any realistic capture threshold, and
+   slow-path responses keep the threshold fresh. *)
+
+let write_all_fd fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+(* Does the slice equal [s], byte for byte?  Allocation-free. *)
+let slice_eq buf ~off ~len s =
+  String.length s = len
+  &&
+  let rec go i =
+    i = len
+    || (Bytes.unsafe_get buf (off + i) = String.unsafe_get s i && go (i + 1))
+  in
+  go 0
+
+(* Resolve the sliced model name against a pinned snapshot without
+   allocating: the default model is the MRU head, a named model is the
+   entry whose name equals the slice.  Raises [Not_found] when the
+   registry is empty or the name unknown — the reference path then
+   reports the error. *)
+let resolve_slice snap (sl : Protocol.Slice.t) buf =
+  let entries = Registry.Epoch.entries snap in
+  if sl.Protocol.Slice.model_len = 0 then
+    match entries with [] -> raise Not_found | hd :: _ -> hd
+  else
+    let rec named = function
+      | [] -> raise Not_found
+      | ((name, _) as hd) :: rest ->
+        if
+          slice_eq buf ~off:sl.Protocol.Slice.model_off
+            ~len:sl.Protocol.Slice.model_len name
+        then hd
+        else named rest
+    in
+    named entries
+
+(* Serve one recognized EST slice ([st.slice] already filled): parse →
+   canon → hash → probe → write.  [bin] selects which pre-rendered
+   response is written.  Returns [false] with no observable effect when
+   the fast path cannot own the request, [true] once the response —
+   hit, miss or inference error — is on the wire. *)
+let fast_est t st fd buf ~bin =
+  let sl = st.slice in
+  if Obs.Span.enabled () then false
+  else
+    match resolve_slice (Registry.Epoch.pin t.registry) sl buf with
+    | exception Not_found -> false
+    | name, e -> (
+      let t0 = Obs.Clock.now_ns () in
+      match
+        Squery.parse st.scratch buf ~off:sl.Protocol.Slice.body_off
+          ~len:sl.Protocol.Slice.body_len
+      with
+      | exception (Failure _ | Not_found | Invalid_argument _) -> false
+      | () ->
+        (* Committed: from here the fast path owns the request. *)
+        let t1 = Obs.Clock.now_ns () in
+        Squery.canon st.scratch;
+        let t2 = Obs.Clock.now_ns () in
+        let version = e.Registry.version in
+        let hash = est_hash st ~name ~version in
+        let t3 = Obs.Clock.now_ns () in
+        Metrics.fast_est_request t.metrics;
+        Metrics.bump t.metrics st.c_req;
+        Metrics.frontend_parse_ns t.metrics (t1 - t0);
+        Metrics.frontend_canon_ns t.metrics (t2 - t1);
+        Metrics.frontend_key_ns t.metrics (t3 - t2);
+        (match probe t st ~name ~version hash with
+        | entry -> write_all_fd fd (if bin then entry.Lru.bin else entry.Lru.text)
+        | exception Not_found -> (
+          match
+            infer_measured t st ~name ~entry:e ~hash
+              (Squery.to_query st.scratch)
+          with
+          | Ok (le, _, _, _) ->
+            write_all_fd fd (if bin then le.Lru.bin else le.Lru.text)
+          | Error msg ->
+            Metrics.incr t.metrics "est_errors";
+            write_all_fd fd
+              (if bin then
+                 Protocol.Bin.encode_response (Protocol.Bin.Berr msg)
+               else Protocol.err msg ^ "\n")));
+        Metrics.fast_est_latency_ns t.metrics (Obs.Clock.now_ns () - t0);
+        true)
+
+let fast_line t st fd buf ~off ~len =
+  Protocol.Slice.est_line st.slice buf ~off ~len
+  && fast_est t st fd buf ~bin:false
+
+let fast_frame t st fd buf ~off ~len =
+  Protocol.Slice.bin_est st.slice buf ~off ~len
+  && fast_est t st fd buf ~bin:true
+
+let fast_handlers t ~shard =
+  if shard < 0 || shard >= Array.length t.shards then
+    invalid_arg "Server.fast_handlers: shard out of range";
+  let st = t.shards.(shard) in
+  ( (fun fd buf ~off ~len -> fast_line t st fd buf ~off ~len),
+    (fun fd buf ~off ~len -> fast_frame t st fd buf ~off ~len) )
+
 (* Transport-free entry points.  [handle_line]/[handle_frame] dispatch
    on shard 0 (embedded single-shard use, tests, benches);
    [handle_line_shard] picks an explicit shard so transport-free callers
@@ -1256,14 +1495,6 @@ let handle_line_shard t ~shard line =
   handle_line_st t t.shards.(shard) line
 
 (* ---- listener + shard event loops ------------------------------------------ *)
-
-let write_all_fd fd s =
-  let b = Bytes.unsafe_of_string s in
-  let n = Bytes.length b in
-  let off = ref 0 in
-  while !off < n do
-    off := !off + Unix.write fd b !off (n - !off)
-  done
 
 let resolve_tcp host port =
   match
@@ -1323,6 +1554,10 @@ let run t =
         let st = t.shards.(i) in
         Domain.spawn (fun () ->
             Shard.run rt ~stop ~request_stop
+              ~on_line_fast:(fun fd buf ~off ~len ->
+                fast_line t st fd buf ~off ~len)
+              ~on_frame_fast:(fun fd buf ~off ~len ->
+                fast_frame t st fd buf ~off ~len)
               ~on_line:(fun line -> handle_line_st t st line)
               ~on_frame:(fun payload -> handle_frame_st t st payload)
               ~on_close:(fun () ->

@@ -38,12 +38,22 @@
     being reachable.  Old snapshots are reclaimed by the GC.
 
     An [EST] request is answered as follows: pin the registry snapshot;
-    parse the body against the database ({!Selest_db.Qparse});
-    canonicalize ({!Canon}); look up [name#version|key] in the shard's
-    estimate cache; on a miss fetch the skeleton's compiled plan from
-    the shard's {!Plan_cache} (compiling it with
-    {!Selest_plan.Plan.compile} on a cold skeleton), bind the query and
-    execute, then fill the estimate cache.
+    lex the body straight out of the request buffer into the shard's
+    reusable scratch query ({!Selest_db.Squery} — interned symbols, no
+    intermediate strings); canonicalize in place; derive the 63-bit
+    estimate-cache hash (scratch hash mixed with model name and
+    version) and probe the shard's estimate cache, verifying a hash hit
+    against the entry's canonical snapshot; on a miss fetch the
+    skeleton's compiled plan from the shard's {!Plan_cache} (compiling
+    it with {!Selest_plan.Plan.compile} on a cold skeleton), bind the
+    query and execute, then fill the estimate cache with pre-rendered
+    text and binary responses.  On the wire ({!run}) a warm EST is
+    recognized and served entirely from buffer slices
+    ({!fast_handlers}): the whole round trip from socket read to answer
+    write allocates nothing.  Requests the fast path cannot own —
+    errors, other verbs, span-collected traces — take the reference
+    path ({!Protocol.parse_request} + [handle_line]) with identical
+    observable behavior.
 
     An [ESTBATCH] request on a {e single-shard} server fans its cache
     misses across a {!Selest_util.Pool} of worker domains (probes and
@@ -228,6 +238,22 @@ val handle_line_shard : t -> shard:int -> string -> string * [ `Continue | `Stop
     transport-free callers (tests, benches) can drive per-shard caches
     the way the listener's dispatch would.  Raises [Invalid_argument]
     when [shard] is out of range. *)
+
+val fast_handlers :
+  t ->
+  shard:int ->
+  (Unix.file_descr -> Bytes.t -> off:int -> len:int -> bool)
+  * (Unix.file_descr -> Bytes.t -> off:int -> len:int -> bool)
+(** The shard's allocation-free fast-path handlers [(on_line_fast,
+    on_frame_fast)], exactly as {!run} wires them into the connection
+    loop ({!Shard.run}).  Each recognizes a warm [EST] request as a
+    slice of the connection buffer, answers it end to end (zero-copy
+    parse into the shard scratch, hash probe, pre-rendered response
+    write — no heap allocation on a verified hit) and returns [true];
+    anything else returns [false] with no observable effect so the
+    reference handlers take over.  Exposed so the front-end benchmark
+    can drive the true socket path through {!Shard.Loopback}.  Raises
+    [Invalid_argument] when [shard] is out of range. *)
 
 val handle_frame : t -> bytes -> string
 (** Dispatch one binary request payload ({!Protocol.Bin}, length prefix

@@ -109,84 +109,122 @@ let close_conn c =
   c.alive <- false;
   (try Unix.close c.fd with Unix.Unix_error _ -> ())
 
-(* Extract one complete text line if the buffer holds one ('\n'
-   terminated, optional '\r' stripped). *)
-let take_line c =
-  let rec find i = if i >= c.len then None
-    else if Bytes.get c.inbuf i = '\n' then Some i
-    else find (i + 1)
-  in
-  match find c.start with
-  | None -> None
-  | Some nl ->
-    let stop = if nl > c.start && Bytes.get c.inbuf (nl - 1) = '\r' then nl - 1 else nl in
-    let line = Bytes.sub_string c.inbuf c.start (stop - c.start) in
-    c.start <- nl + 1;
-    Some line
+(* Index of the next '\n' in the buffered data, or -1.  Top-level
+   recursion: an inner [let rec] would close over [c] and allocate on
+   every scan. *)
+let rec find_nl_from c i =
+  if i >= c.len then -1
+  else if Bytes.unsafe_get c.inbuf i = '\n' then i
+  else find_nl_from c (i + 1)
 
-(* Extract one complete binary frame payload if buffered.  [`Oversized]
-   is unrecoverable — the stream cannot be resynchronized. *)
-let take_frame c =
-  if c.len - c.start < 4 then `Incomplete
-  else
-    let flen =
-      Int32.to_int (Bytes.get_int32_be c.inbuf c.start) land 0xffffffff
-    in
-    if flen > Protocol.Bin.max_frame then `Oversized flen
-    else if c.len - c.start - 4 < flen then `Incomplete
-    else begin
-      let payload = Bytes.sub c.inbuf (c.start + 4) flen in
-      c.start <- c.start + 4 + flen;
-      `Frame payload
-    end
+let find_nl c = find_nl_from c c.start
+
+(* Frame-length read without the [Int32] box [Bytes.get_int32_be]
+   would allocate — the warm binary path must not touch the heap. *)
+let read_u32_be b i =
+  (Bytes.get_uint16_be b i lsl 16) lor Bytes.get_uint16_be b (i + 2)
 
 (* Process every complete message currently buffered on [c].  Returns
    [`Stop] when a handler requested server shutdown (its response has
-   already been written). *)
-let process_conn c ~on_line ~on_frame ~on_protocol_error =
-  let result = ref `Continue in
-  (try
-     let progress = ref true in
-     while c.alive && !result = `Continue && !progress do
-       progress := false;
-       match c.mode with
-       | `Text -> (
-         match take_line c with
-         | None -> ()
-         | Some line ->
-           progress := true;
-           if String.uppercase_ascii (String.trim line) = Protocol.Bin.hello
-           then begin
-             (* Upgrade: acknowledge in text, switch framing.  The hello
-                itself is not a counted request. *)
-             write_line c.fd Protocol.Bin.hello_ok;
-             c.mode <- `Bin
-           end
-           else begin
-             let response, action = on_line line in
-             write_line c.fd response;
-             if action = `Stop then begin
-               result := `Stop;
-               close_conn c
-             end
-           end)
-       | `Bin -> (
-         match take_frame c with
-         | `Incomplete -> ()
-         | `Oversized flen ->
-           on_protocol_error ();
-           write_all c.fd
-             (Protocol.Bin.encode_response
-                (Protocol.Bin.Berr
-                   (Printf.sprintf "bin: frame length %d exceeds %d" flen
-                      Protocol.Bin.max_frame)));
-           close_conn c
-         | `Frame payload ->
-           progress := true;
-           write_all c.fd (on_frame payload))
-     done
-   with Unix.Unix_error _ | Sys_error _ -> close_conn c);
-  !result
+   already been written).
+
+   Each message is first offered to the fast handler as a slice of the
+   connection buffer — [on_line_fast] / [on_frame_fast] get the fd and
+   (buffer, off, len) and return [true] when they recognized, served
+   and answered the request without any string ever being built.  Only
+   on [false] is the line / frame payload copied out for the reference
+   handlers.  The fast handlers only match [EST] requests, so the [BIN]
+   hello and every other verb always reach the reference path.  Written
+   as a tail recursion over constant constructors: the warm loop itself
+   allocates nothing. *)
+(* Top-level recursion with the handlers threaded as plain arguments: a
+   [let rec go ()] closure inside [process_conn] would capture six
+   values and be rebuilt on every call — the warm loop must not touch
+   the heap. *)
+let rec process_go c on_line_fast on_frame_fast on_line on_frame
+    on_protocol_error =
+  if not c.alive then `Continue
+  else
+    match c.mode with
+    | `Text ->
+      let nl = find_nl c in
+      if nl < 0 then `Continue
+      else begin
+        let stop =
+          if nl > c.start && Bytes.unsafe_get c.inbuf (nl - 1) = '\r' then
+            nl - 1
+          else nl
+        in
+        let off = c.start and len = stop - c.start in
+        if on_line_fast c.fd c.inbuf ~off ~len then begin
+          c.start <- nl + 1;
+          process_go c on_line_fast on_frame_fast on_line on_frame
+            on_protocol_error
+        end
+        else begin
+          let line = Bytes.sub_string c.inbuf off len in
+          c.start <- nl + 1;
+          if String.uppercase_ascii (String.trim line) = Protocol.Bin.hello
+          then begin
+            (* Upgrade: acknowledge in text, switch framing.  The hello
+               itself is not a counted request. *)
+            write_line c.fd Protocol.Bin.hello_ok;
+            c.mode <- `Bin;
+            process_go c on_line_fast on_frame_fast on_line on_frame
+              on_protocol_error
+          end
+          else begin
+            let response, action = on_line line in
+            write_line c.fd response;
+            if action = `Stop then begin
+              close_conn c;
+              `Stop
+            end
+            else
+              process_go c on_line_fast on_frame_fast on_line on_frame
+                on_protocol_error
+          end
+        end
+      end
+    | `Bin ->
+      if c.len - c.start < 4 then `Continue
+      else begin
+        let flen = read_u32_be c.inbuf c.start in
+        if flen > Protocol.Bin.max_frame then begin
+          (* Unrecoverable: the stream cannot be resynchronized. *)
+          on_protocol_error ();
+          write_all c.fd
+            (Protocol.Bin.encode_response
+               (Protocol.Bin.Berr
+                  (Printf.sprintf "bin: frame length %d exceeds %d" flen
+                     Protocol.Bin.max_frame)));
+          close_conn c;
+          `Continue
+        end
+        else if c.len - c.start - 4 < flen then `Continue
+        else begin
+          let off = c.start + 4 in
+          if on_frame_fast c.fd c.inbuf ~off ~len:flen then begin
+            c.start <- c.start + 4 + flen;
+            process_go c on_line_fast on_frame_fast on_line on_frame
+              on_protocol_error
+          end
+          else begin
+            let payload = Bytes.sub c.inbuf off flen in
+            c.start <- c.start + 4 + flen;
+            write_all c.fd (on_frame payload);
+            process_go c on_line_fast on_frame_fast on_line on_frame
+              on_protocol_error
+          end
+        end
+      end
+
+let process_conn c ~on_line_fast ~on_frame_fast ~on_line ~on_frame
+    ~on_protocol_error =
+  try process_go c on_line_fast on_frame_fast on_line on_frame on_protocol_error
+  with Unix.Unix_error _ | Sys_error _ ->
+    close_conn c;
+    `Continue
 
 (* Read whatever is available on [c]; 0 bytes means the peer closed. *)
 let read_into c =
@@ -198,8 +236,8 @@ let read_into c =
     -> ()
   | exception Unix.Unix_error _ -> close_conn c
 
-let run t ~stop ~request_stop ~on_line ~on_frame ~on_close ~on_protocol_error
-    () =
+let run t ~stop ~request_stop ~on_line_fast ~on_frame_fast ~on_line ~on_frame
+    ~on_close ~on_protocol_error () =
   let conns = ref [] in
   let reap () =
     let live, dead = List.partition (fun c -> c.alive) !conns in
@@ -222,7 +260,10 @@ let run t ~stop ~request_stop ~on_line ~on_frame ~on_close ~on_protocol_error
           if c.alive && List.memq c.fd readable then begin
             read_into c;
             if c.alive then
-              match process_conn c ~on_line ~on_frame ~on_protocol_error with
+              match
+                process_conn c ~on_line_fast ~on_frame_fast ~on_line ~on_frame
+                  ~on_protocol_error
+              with
               | `Continue -> ()
               | `Stop -> request_stop ()
           end)
@@ -242,3 +283,25 @@ let run t ~stop ~request_stop ~on_line ~on_frame ~on_close ~on_protocol_error
 let destroy t =
   (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
   (try Unix.close t.wake_w with Unix.Unix_error _ -> ())
+
+(* ---- loopback harness ----------------------------------------------------- *)
+
+(* Drive one connection synchronously over an fd the caller already
+   owns (a socketpair end): no mailbox, no [select], no domain.  The
+   front-end benchmark and the tests use this to measure the true
+   socket-read → answer-write path — fast handlers included — without
+   standing up a listener. *)
+module Loopback = struct
+  type nonrec conn = conn
+
+  let connect fd = new_conn fd
+  let upgrade_bin c = c.mode <- `Bin
+  let alive c = c.alive
+
+  let step c ~on_line_fast ~on_frame_fast ~on_line ~on_frame =
+    read_into c;
+    if c.alive then
+      ignore
+        (process_conn c ~on_line_fast ~on_frame_fast ~on_line ~on_frame
+           ~on_protocol_error:ignore)
+end

@@ -1,10 +1,12 @@
 (* Differential suite for the bytecode executor (Selest_plan.Exec): random
-   factor bags × random equality evidence against the naive Ve.Reference
-   oracle, bit-exact.  The generator deliberately covers the executor's
-   edge set — contradictory duplicates, empty evidence, single-variable
-   models, static (join-indicator style) slots — and the tests also pin
-   the `No_match routing contract and arena-reuse hygiene (a contradiction
-   must not corrupt the state a later request reads). *)
+   factor bags × random evidence (equality, and the range/set mix that
+   lowers to mask slots) against the naive Ve.Reference oracle, bit-exact.
+   The generators deliberately cover the executor's edge set —
+   contradictory duplicates, empty evidence, single-variable models,
+   static (join-indicator style) slots, full-domain and empty masks — and
+   the tests also pin the `No_match routing contract and arena/mask-reuse
+   hygiene (a contradiction must not corrupt the state a later request
+   reads). *)
 
 open Selest_db
 open Selest_bn
@@ -57,19 +59,51 @@ let gen_evidence n_vars cards =
      let* x = int_range 0 (cards.(v) - 1) in
      return (v, Query.Eq x))
 
+(* Mixed-predicate evidence: equality, ranges (possibly empty or
+   full-domain) and sets, duplicates allowed so conjunctions of
+   different predicate kinds on one variable are exercised. *)
+let gen_pred card =
+  let open QCheck2.Gen in
+  oneof
+    [
+      (let* x = int_range 0 (card - 1) in
+       return (Query.Eq x));
+      (let* lo = int_range 0 (card - 1) in
+       let* hi = int_range 0 (card - 1) in
+       return (Query.Range (min lo hi, max lo hi)));
+      (let* xs = list_size (int_range 1 card) (int_range 0 (card - 1)) in
+       return (Query.In_set xs));
+    ]
+
+let gen_masked_evidence n_vars cards =
+  let open QCheck2.Gen in
+  list_size (int_range 0 5)
+    (let* v = int_range 0 (n_vars - 1) in
+     let* p = gen_pred cards.(v) in
+     return (v, p))
+
 let gen_case =
   let open QCheck2.Gen in
   let* n_vars, cards, factors = gen_model in
   let* binding = gen_evidence n_vars cards in
   return (factors, binding)
 
+let gen_masked_case =
+  let open QCheck2.Gen in
+  let* n_vars, cards, factors = gen_model in
+  let* binding = gen_masked_evidence n_vars cards in
+  return (factors, binding)
+
+let pred_str = function
+  | Query.Eq x -> Printf.sprintf "=%d" x
+  | Query.Range (lo, hi) -> Printf.sprintf "=%d..%d" lo hi
+  | Query.In_set xs ->
+    Printf.sprintf "={%s}" (String.concat "," (List.map string_of_int xs))
+
 let print_case (factors, binding) =
   Printf.sprintf "%d factors; evidence [%s]" (List.length factors)
     (String.concat "; "
-       (List.map
-          (fun (v, p) ->
-            match p with Query.Eq x -> Printf.sprintf "%d=%d" v x | _ -> "?")
-          binding))
+       (List.map (fun (v, p) -> Printf.sprintf "%d%s" v (pred_str p)) binding))
 
 (* First-occurrence dedup: the consistent "shape" binding a program is
    compiled from, even when the binding under test is contradictory. *)
@@ -79,17 +113,28 @@ let dedup binding =
        (fun acc (v, p) -> if List.mem_assoc v acc then acc else (v, p) :: acc)
        [] binding)
 
-(* Compile a program for [shape]'s restricted set (with [static] split
-   out), exactly as Plan.program_for does at the PRM level. *)
+(* Compile a program for [shape]'s evidence shape (with [static] split
+   out), exactly as Plan.program_for does at the PRM level: merged
+   allowed-value masks classify each node as a value slot (one allowed
+   value) or a mask slot (two or more). *)
 let program_of factors shape static =
   match Ve.prepare factors shape with
   | None -> Alcotest.fail "exec test: shape binding cannot be contradictory"
   | Some prep ->
-    let restricted = Ve.restricted_vars prep in
     let order = Ve.plan_order ~keep:[||] (Ve.prepared_factors prep) in
     let static_vars = List.map fst static in
-    let slots = List.filter (fun v -> not (List.mem v static_vars)) restricted in
-    Exec.compile ~factors ~slots ~static ~order
+    let eq = ref [] and masked = ref [] in
+    (match Ve.merged_masks factors shape with
+    | None -> Alcotest.fail "exec test: shape binding cannot be contradictory"
+    | Some merged ->
+      List.iter
+        (fun (v, m) ->
+          if not (List.mem v static_vars) then
+            let n = Array.fold_left (fun n ok -> if ok then n + 1 else n) 0 m in
+            if n = 1 then eq := v :: !eq else masked := v :: !masked)
+        merged);
+    let slots = List.sort compare !eq and masked = List.sort compare !masked in
+    Exec.compile ~factors ~slots ~masked ~static ~order
 
 (* ---- oracle properties ------------------------------------------------------------ *)
 
@@ -142,6 +187,59 @@ let prop_no_match_on_missing_slot =
         (match Exec.load prog st rest with
         | `No_match -> true
         | `Ok | `Contradiction -> false))
+
+(* Range/set predicates lower to mask slots; the Gather-time zeroing
+   must answer bit-identically to the reference engine's
+   observe/restrict pipeline for every predicate mix. *)
+let prop_masked_matches_reference =
+  QCheck2.Test.make
+    ~name:"bytecode mask slots ≡ Ve.Reference (range/set evidence)" ~count:500
+    ~print:print_case gen_masked_case (fun (factors, binding) ->
+      let oracle = Ve.Reference.prob_of_evidence factors binding in
+      match Ve.merged_masks factors binding with
+      | None ->
+        (* nothing to compile — Plan.execute answers 0 without a program *)
+        bits oracle = bits 0.0
+      | Some _ -> (
+        let prog = program_of factors binding [] in
+        let st = Exec.state_for prog in
+        match Exec.load prog st binding with
+        | `Ok ->
+          Exec.run st;
+          bits (Exec.result st) = bits oracle
+        | `Contradiction -> bits oracle = bits 0.0
+        | `No_match -> false))
+
+(* Mask-state hygiene: one program serving two bindings of the same
+   shape but different mask values must answer each bit-identically —
+   the per-slot masks are fully rewritten between loads. *)
+let prop_mask_reload_no_residue =
+  QCheck2.Test.make ~name:"mask reload ≡ fresh state" ~count:300
+    ~print:(fun (c, _) -> print_case c)
+    QCheck2.Gen.(
+      let* n_vars, cards, factors = gen_model in
+      let* b1 = gen_masked_evidence n_vars cards in
+      let* b2 = gen_masked_evidence n_vars cards in
+      return ((factors, b1), b2))
+    (fun ((factors, b1), b2) ->
+      match Ve.merged_masks factors b1 with
+      | None -> true
+      | Some _ -> (
+        let prog = program_of factors b1 [] in
+        let st = Exec.state_for prog in
+        let run_one b =
+          match Exec.load prog st b with
+          | `Ok ->
+            Exec.run st;
+            Some (bits (Exec.result st))
+          | `Contradiction -> Some (bits 0.0)
+          | `No_match -> None
+        in
+        ignore (run_one b2);
+        (* b1 compiled this program, so it can never be `No_match *)
+        match run_one b1 with
+        | Some got -> got = bits (Ve.Reference.prob_of_evidence factors b1)
+        | None -> false))
 
 (* Arena hygiene: loading a contradictory binding (detected before any
    buffer write) and then a valid one must answer exactly what a fresh
@@ -245,6 +343,8 @@ let () =
             prop_exec_matches_reference;
             prop_static_slots;
             prop_no_match_on_missing_slot;
+            prop_masked_matches_reference;
+            prop_mask_reload_no_residue;
             prop_contradiction_leaves_no_residue;
           ] );
       ( "edges",

@@ -101,14 +101,17 @@ let prop_canon_order_insensitive =
 
 (* ---- Lru ------------------------------------------------------------------- *)
 
-(* Each "kNN" key costs 3 + Bytesize.per_param = 7 bytes. *)
-let k i = Printf.sprintf "k%02d" i
+(* A minimal entry: empty vec snapshot, 3-byte text response, no binary
+   frame or model name — each costs 3 + Bytesize.per_param = 7 bytes. *)
+let ent ?(text = "abc") v =
+  { Lru.est = v; text; bin = ""; vec = Squery.Vec.empty; model = ""; version = 1 }
 
 let test_lru_hit_miss_counters () =
   let c = Lru.create ~capacity_bytes:1_000 in
-  Alcotest.(check (option (float 0.0))) "empty" None (Lru.find c (k 0));
-  Lru.add c (k 0) 42.0;
-  Alcotest.(check (option (float 0.0))) "hit" (Some 42.0) (Lru.find c (k 0));
+  Alcotest.(check bool) "empty" true
+    (match Lru.find c 0 with _ -> false | exception Not_found -> true);
+  Lru.add c 0 (ent 42.0);
+  check_float "hit" 42.0 (Lru.find c 0).Lru.est;
   Alcotest.(check int) "hits" 1 (Lru.hits c);
   Alcotest.(check int) "misses" 1 (Lru.misses c);
   Alcotest.(check int) "no evictions" 0 (Lru.evictions c)
@@ -116,37 +119,51 @@ let test_lru_hit_miss_counters () =
 let test_lru_eviction_order () =
   (* capacity for exactly three 7-byte entries *)
   let c = Lru.create ~capacity_bytes:21 in
-  Lru.add c (k 1) 1.0;
-  Lru.add c (k 2) 2.0;
-  Lru.add c (k 3) 3.0;
-  (* touch k1 so k2 is now the coldest *)
-  ignore (Lru.find c (k 1));
-  Lru.add c (k 4) 4.0;
-  Alcotest.(check bool) "k2 evicted" false (Lru.mem c (k 2));
-  Alcotest.(check bool) "k1 kept (recently used)" true (Lru.mem c (k 1));
-  Alcotest.(check bool) "k3 kept" true (Lru.mem c (k 3));
+  Lru.add c 1 (ent 1.0);
+  Lru.add c 2 (ent 2.0);
+  Lru.add c 3 (ent 3.0);
+  (* touch 1 so 2 is now the coldest *)
+  ignore (Lru.find c 1);
+  Lru.add c 4 (ent 4.0);
+  Alcotest.(check bool) "2 evicted" false (Lru.mem c 2);
+  Alcotest.(check bool) "1 kept (recently used)" true (Lru.mem c 1);
+  Alcotest.(check bool) "3 kept" true (Lru.mem c 3);
   Alcotest.(check int) "one eviction" 1 (Lru.evictions c);
-  Alcotest.(check (list string)) "recency order" [ k 4; k 1; k 3 ] (Lru.keys_hot_first c)
+  Alcotest.(check (list int)) "recency order" [ 4; 1; 3 ] (Lru.hashes_hot_first c)
 
 let test_lru_byte_budget () =
   let c = Lru.create ~capacity_bytes:21 in
   for i = 0 to 9 do
-    Lru.add c (k i) (float_of_int i)
+    Lru.add c i (ent (float_of_int i))
   done;
   Alcotest.(check bool) "within budget" true (Lru.bytes c <= Lru.capacity_bytes c);
   Alcotest.(check int) "three entries fit" 3 (Lru.length c);
   Alcotest.(check int) "bytes accounted" 21 (Lru.bytes c);
   Alcotest.(check int) "seven evictions" 7 (Lru.evictions c);
-  (* refreshing an existing key must not change accounting *)
-  Lru.add c (k 9) 99.0;
+  (* refreshing an existing hash must not change accounting *)
+  Lru.add c 9 (ent 99.0);
   Alcotest.(check int) "refresh is byte-neutral" 21 (Lru.bytes c);
-  Alcotest.(check (option (float 0.0))) "refresh updates value" (Some 99.0) (Lru.find c (k 9))
+  check_float "refresh updates value" 99.0 (Lru.find c 9).Lru.est
 
 let test_lru_oversized_entry () =
   let c = Lru.create ~capacity_bytes:8 in
-  Lru.add c "a-key-larger-than-the-whole-budget" 1.0;
+  Lru.add c 7 (ent ~text:"a-response-larger-than-the-whole-budget" 1.0);
   Alcotest.(check int) "immediately evicted" 0 (Lru.length c);
   Alcotest.(check int) "bytes zero" 0 (Lru.bytes c)
+
+let test_lru_collision_recount () =
+  let c = Lru.create ~capacity_bytes:1_000 in
+  Lru.add c 5 (ent 1.0);
+  ignore (Lru.find c 5);
+  (* the server found the hash but full-key verification failed *)
+  Lru.collision c;
+  Alcotest.(check int) "hit recounted away" 0 (Lru.hits c);
+  Alcotest.(check int) "counted as miss" 1 (Lru.misses c);
+  Alcotest.(check int) "collision recorded" 1 (Lru.collisions c);
+  (* the colliding query overwrites the resident entry *)
+  Lru.add c 5 (ent 2.0);
+  check_float "newest wins" 2.0 (Lru.find c 5).Lru.est;
+  Alcotest.(check int) "still one entry" 1 (Lru.length c)
 
 (* ---- Metrics ---------------------------------------------------------------- *)
 
@@ -664,11 +681,15 @@ let test_plan_cache_sync_modes () =
   List.iter
     (fun pc ->
       let compile () = Selest_plan.Plan.compile m q in
-      let _, s1 = Plan_cache.find_or_compile pc ~key:"k" ~compile in
-      let _, s2 = Plan_cache.find_or_compile pc ~key:"k" ~compile in
+      let _, s1 = Plan_cache.find_or_compile pc ~hash:17 ~key:"k" ~compile in
+      let _, s2 = Plan_cache.find_or_compile pc ~hash:17 ~key:"k" ~compile in
       Alcotest.(check bool) "miss then hit" true (s1 = `Miss && s2 = `Hit);
       let hits, misses, _ = Plan_cache.stats pc in
-      Alcotest.(check (pair int int)) "stats" (1, 1) (hits, misses))
+      Alcotest.(check (pair int int)) "stats" (1, 1) (hits, misses);
+      (* same hash, different full key: detected, evicted, recompiled *)
+      let _, s3 = Plan_cache.find_or_compile pc ~hash:17 ~key:"other" ~compile in
+      Alcotest.(check bool) "collision is a miss" true (s3 = `Miss);
+      Alcotest.(check int) "collision counted" 1 (Plan_cache.collisions pc))
     [ sync; unsync ]
 
 (* q-error tables shard per domain and merge on read. *)
@@ -1164,6 +1185,299 @@ let test_bin_socket_round_trip () =
           Alcotest.(check string) "shutdown" "OK bye" (Client.request c "SHUTDOWN")));
   Alcotest.(check bool) "socket removed after join" false (Sys.file_exists socket)
 
+(* ---- zero-copy front-end -----------------------------------------------------
+
+   The allocation-free request front-end shadows two allocating
+   reference parsers and must agree with them exactly: the scratch
+   parser ({!Selest_db.Squery}) with the section-split + Qparse +
+   validate + normalize pipeline, and the slice recognizers
+   ({!Protocol.Slice}) with [Protocol.parse_request] /
+   [Protocol.Bin.decode_request].  Random request text — valid,
+   out-of-schema and mutilated — drives both sides of each pair. *)
+
+let frontend_scratch =
+  lazy (Squery.create (Squery.Symtab.of_schema (Database.schema (Lazy.force db))))
+
+let reference_parse db0 body =
+  match
+    let tvars, joins, selects = Protocol.split_sections body in
+    let q = Qparse.parse db0 ~tvars ~joins ~selects () in
+    Exec.validate db0 q;
+    q
+  with
+  | q -> Ok (Canon.normalize q)
+  | exception Failure msg -> Error msg
+  | exception Invalid_argument msg -> Error msg
+  | exception Not_found -> Error "Not_found"
+
+let scratch_parse body =
+  let scratch = Lazy.force frontend_scratch in
+  match
+    Squery.parse scratch (Bytes.of_string body) ~off:0 ~len:(String.length body)
+  with
+  | () ->
+    Squery.canon scratch;
+    Ok (Squery.to_query scratch)
+  | exception Failure msg -> Error msg
+  | exception Invalid_argument msg -> Error msg
+  | exception Not_found -> Error "Not_found"
+
+(* Bodies over the TB schema: mostly well-formed (with whitespace and
+   label variations), salted with unknown tables/attributes/values, and
+   a third of the time mutilated — truncated, a random char spliced in,
+   or extra section separators appended. *)
+let gen_frontend_body =
+  let open QCheck2.Gen in
+  let gen_attr =
+    oneofl
+      [ "c.Contype"; "c.Age"; "p.Age"; "p.USBorn"; "s.DrugResist"; "p.Zz"; "x.Age" ]
+  in
+  let gen_sel =
+    let* a = gen_attr in
+    oneof
+      [
+        (int_range 0 3 >|= fun v -> Printf.sprintf "%s=%d" a v);
+        (pair (int_range 0 3) (int_range 0 4) >|= fun (lo, hi) ->
+          Printf.sprintf "%s=%d..%d" a lo hi);
+        (list_size (int_range 1 3) (int_range 0 3) >|= fun vs ->
+          Printf.sprintf "%s={%s}" a
+            (String.concat "," (List.map string_of_int vs)));
+        pure (a ^ "={household,roommate}");
+        pure (a ^ "=99");
+      ]
+  in
+  let gen_tvars =
+    oneofl
+      [
+        "c=contact, p=patient, s=strain";
+        "c=contact, p=patient";
+        "c = contact , p = patient";
+        "p=patient";
+        "patient";
+        "z=zebra, p=patient";
+        "c=contact, c=patient";
+      ]
+  in
+  let gen_joins =
+    oneofl
+      [ "c.patient=p, p.strain=s"; "c.patient=p"; ""; "p.strain=s"; "c.nope=p";
+        "c.patient=x" ]
+  in
+  let* tv = gen_tvars in
+  let* j = gen_joins in
+  let* sels = list_size (int_range 0 3) gen_sel in
+  let body = tv ^ "; " ^ j ^ "; " ^ String.concat ", " sels in
+  let* mutation = int_range 0 9 in
+  if mutation <= 6 then return body
+  else if mutation = 7 then
+    let* k = int_range 0 (String.length body) in
+    return (String.sub body 0 k)
+  else if mutation = 8 then
+    let* k = int_range 0 (String.length body) in
+    let* c = oneofl [ ';'; ','; '{'; '}'; '='; '.'; '@'; 'x'; '9'; ' ' ] in
+    return
+      (String.sub body 0 k ^ String.make 1 c
+      ^ String.sub body k (String.length body - k))
+  else return (body ^ " ;;")
+
+let prop_squery_matches_reference =
+  QCheck2.Test.make ~name:"zero-copy parser ≡ Qparse+validate+normalize"
+    ~count:1500 ~print:String.escaped gen_frontend_body (fun body ->
+      let db0 = Lazy.force db in
+      match (reference_parse db0 body, scratch_parse body) with
+      | Ok qr, Ok qs -> qr = qs && Canon.key qr = Canon.key qs
+      | Error _, Error _ -> true
+      | Ok _, Error _ | Error _, Ok _ -> false)
+
+let frontend_slice = Protocol.Slice.create ()
+
+let slice_model_body buf =
+  let sl = frontend_slice in
+  let model =
+    if sl.Protocol.Slice.model_len = 0 then None
+    else
+      Some
+        (Bytes.sub_string buf sl.Protocol.Slice.model_off
+           sl.Protocol.Slice.model_len)
+  in
+  (model, Bytes.sub_string buf sl.Protocol.Slice.body_off sl.Protocol.Slice.body_len)
+
+(* Request lines assembled from independently varied fragments, so the
+   recognizer sees every combination of case, separator, model prefix
+   and trailing whitespace the reference parser distinguishes. *)
+let gen_request_line =
+  let open QCheck2.Gen in
+  let* lead = oneofl [ ""; " "; "\t " ] in
+  let* cmd = oneofl [ "EST"; "est"; "Est"; "ESTBATCH"; "PING"; "ES"; "" ] in
+  let* sep = oneofl [ " "; "  "; "\t"; "" ] in
+  let* model = oneofl [ ""; "@m "; "@"; "@ "; "@default "; "@m\tx " ] in
+  let* body = oneofl [ "p=patient ; ; p.USBorn=1"; "c=contact"; ""; "{"; "a b" ] in
+  let* trail = oneofl [ ""; " "; "  \t" ] in
+  return (lead ^ cmd ^ sep ^ model ^ body ^ trail)
+
+(* A [true] from the recognizer claims the request: the reference parser
+   must then see an EST whose model and body equal the slices exactly.
+   ([false] is always allowed — the slow path reproduces behavior.) *)
+let prop_slice_est_line_agrees =
+  QCheck2.Test.make ~name:"Slice.est_line ⇒ parse_request agreement"
+    ~count:2000 ~print:String.escaped gen_request_line (fun line ->
+      let buf = Bytes.of_string line in
+      if Protocol.Slice.est_line frontend_slice buf ~off:0 ~len:(Bytes.length buf)
+      then
+        match Protocol.parse_request line with
+        | Ok (Protocol.Est { model; body }) ->
+          let smodel, sbody = slice_model_body buf in
+          model = smodel && body = sbody
+        | _ -> false
+      else true)
+
+(* Valid EST frames (optionally mutilated: truncated, opcode flipped, a
+   length byte corrupted) against the total binary decoder. *)
+let gen_bin_est_frame =
+  let open QCheck2.Gen in
+  let* model = oneofl [ None; Some "m"; Some "default"; Some "" ] in
+  let* body = oneofl [ "p=patient ; ; p.USBorn=1"; "c=contact"; "" ] in
+  let base =
+    strip_prefix (Protocol.Bin.encode_request (Protocol.Bin.Best { model; body }))
+  in
+  let* mutation = int_range 0 5 in
+  if mutation <= 2 then return base
+  else if mutation = 3 then
+    let* k = int_range 0 (Bytes.length base) in
+    return (Bytes.sub base 0 k)
+  else if mutation = 4 then (
+    let b = Bytes.copy base in
+    (* flip the opcode to ESTBATCH (0x02) *)
+    Bytes.set_uint8 b 0 2;
+    return b)
+  else (
+    let b = Bytes.copy base in
+    let* k = int_range 0 (Bytes.length b - 1) in
+    let* v = int_range 0 255 in
+    Bytes.set_uint8 b k v;
+    return b)
+
+let prop_slice_bin_est_agrees =
+  QCheck2.Test.make ~name:"Slice.bin_est ⇒ Bin.decode_request agreement"
+    ~count:2000
+    ~print:(fun b -> String.escaped (Bytes.to_string b))
+    gen_bin_est_frame (fun payload ->
+      if
+        Protocol.Slice.bin_est frontend_slice payload ~off:0
+          ~len:(Bytes.length payload)
+      then
+        match Protocol.Bin.decode_request payload with
+        | Ok (Protocol.Bin.Best { model; body }) ->
+          let smodel, sbody = slice_model_body payload in
+          model = smodel && body = sbody
+        | _ -> false
+      else true)
+
+(* Coverage direction: the canonical warm forms must be claimed (the
+   whole fast path hinges on it), and non-EST traffic must not be. *)
+let test_slice_recognizes_warm_forms () =
+  let sl = frontend_slice in
+  let accepts line = Protocol.Slice.est_line sl (Bytes.of_string line) ~off:0 ~len:(String.length line) in
+  let buf = Bytes.of_string "EST p=patient ; ; p.USBorn=1" in
+  Alcotest.(check bool) "plain EST" true
+    (Protocol.Slice.est_line sl buf ~off:0 ~len:(Bytes.length buf));
+  Alcotest.(check (pair (option string) string)) "plain slices"
+    (None, "p=patient ; ; p.USBorn=1") (slice_model_body buf);
+  let buf = Bytes.of_string "EST @m p=patient" in
+  Alcotest.(check bool) "named model" true
+    (Protocol.Slice.est_line sl buf ~off:0 ~len:(Bytes.length buf));
+  Alcotest.(check (pair (option string) string)) "named slices"
+    (Some "m", "p=patient") (slice_model_body buf);
+  List.iter
+    (fun line -> Alcotest.(check bool) (String.escaped line) false (accepts line))
+    [ "PING"; "est p=patient"; "ESTBATCH p=patient"; "EST"; "EST "; "EST @ x";
+      "EST @m"; "EST\tp=patient"; "" ];
+  let frame =
+    strip_prefix
+      (Protocol.Bin.encode_request (Protocol.Bin.Best { model = None; body = "p=patient" }))
+  in
+  Alcotest.(check bool) "bin EST frame" true
+    (Protocol.Slice.bin_est sl frame ~off:0 ~len:(Bytes.length frame));
+  Alcotest.(check (pair (option string) string)) "bin slices"
+    (None, "p=patient") (slice_model_body frame)
+
+(* End-to-end fast path over a real socketpair: the loopback harness
+   drives the exact shard message-extraction code with the server's fast
+   handlers installed.  Warm and cold EST (text and binary) answer
+   bit-identically to the transport-free reference path; every other
+   verb falls back byte-identically. *)
+let test_fast_path_loopback () =
+  let server = fresh_server () in
+  let client, srv = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let conn = Shard.Loopback.connect srv in
+  let on_line_fast, on_frame_fast = Server.fast_handlers server ~shard:0 in
+  let on_line l = Server.handle_line server l in
+  let on_frame p = Server.handle_frame server p in
+  let buf = Bytes.create 65536 in
+  let step () =
+    Shard.Loopback.step conn ~on_line_fast ~on_frame_fast ~on_line ~on_frame
+  in
+  let read_response () =
+    let n = Unix.read client buf 0 (Bytes.length buf) in
+    Bytes.sub_string buf 0 n
+  in
+  let ask line =
+    let msg = line ^ "\n" in
+    ignore (Unix.write_substring client msg 0 (String.length msg));
+    step ();
+    read_response ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close client with Unix.Unix_error _ -> ());
+      if Shard.Loopback.alive conn then Unix.close srv)
+    (fun () ->
+      let body = "c=contact, p=patient ; c.patient=p ; p.USBorn=1, c.Contype=2" in
+      (* non-EST verbs fall back to the reference path *)
+      Alcotest.(check string) "fallback PING" "PONG\n" (ask "PING");
+      (* cold EST commits to the fast path and serves the miss inline *)
+      let cold = ask ("EST " ^ body) in
+      Alcotest.(check bool) "cold est ok" true (Protocol.is_ok (String.trim cold));
+      (* warm repeat: pre-rendered response, identical bytes *)
+      Alcotest.(check string) "warm repeat identical" cold (ask ("EST " ^ body));
+      (* the transport-free reference path sees the same cache entry *)
+      let direct, _ = Server.handle_line server ("EST " ^ body) in
+      Alcotest.(check string) "matches handle_line" (direct ^ "\n") cold;
+      (* error paths are untouched: unknown model and bad query fall
+         back to the reference handler's exact messages *)
+      let bad_model = ask "EST @nope p=patient" in
+      Alcotest.(check string) "unknown model via fallback"
+        (fst (Server.handle_line server "EST @nope p=patient") ^ "\n")
+        bad_model;
+      let bad_query = ask "EST z=zebra" in
+      Alcotest.(check string) "bad query via fallback"
+        (fst (Server.handle_line server "EST z=zebra") ^ "\n")
+        bad_query;
+      (* binary upgrade, then warm frames served by the fast path *)
+      Alcotest.(check string) "bin hello" (Protocol.Bin.hello_ok ^ "\n") (ask "BIN");
+      let frame = Protocol.Bin.encode_request (Protocol.Bin.Best { model = None; body }) in
+      ignore (Unix.write_substring client frame 0 (String.length frame));
+      step ();
+      let resp = read_response () in
+      (match
+         Protocol.Bin.decode_response
+           (Bytes.of_string (String.sub resp 4 (String.length resp - 4)))
+       with
+      | Ok (Protocol.Bin.Bvalue v) ->
+        let expected = float_of_string (Protocol.payload (String.trim cold)) in
+        Alcotest.(check int64) "bin bit-identical to text"
+          (Int64.bits_of_float expected) (Int64.bits_of_float v)
+      | _ -> Alcotest.fail "expected Bvalue over the binary fast path");
+      (* the fast path moved the front-end telemetry *)
+      let m = Server.metrics server in
+      Alcotest.(check bool) "frontend parse ns counted" true
+        (Metrics.get m "frontend.parse_ns" > 0);
+      Alcotest.(check bool) "frontend canon ns counted" true
+        (Metrics.get m "frontend.canon_ns" > 0);
+      Alcotest.(check bool) "frontend key ns counted" true
+        (Metrics.get m "frontend.key_ns" > 0);
+      Alcotest.(check int) "no collisions" 0 (Metrics.get m "frontend.collisions"))
+
 (* ---- suite ------------------------------------------------------------------------ *)
 
 let () =
@@ -1183,6 +1497,7 @@ let () =
           Alcotest.test_case "eviction order" `Quick test_lru_eviction_order;
           Alcotest.test_case "byte budget" `Quick test_lru_byte_budget;
           Alcotest.test_case "oversized entry" `Quick test_lru_oversized_entry;
+          Alcotest.test_case "collision recount" `Quick test_lru_collision_recount;
         ] );
       ( "metrics",
         [
@@ -1243,4 +1558,16 @@ let () =
           Alcotest.test_case "handle_frame" `Quick test_server_bin_frames;
           Alcotest.test_case "binary socket round trip" `Quick test_bin_socket_round_trip;
         ] );
+      ( "frontend",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_squery_matches_reference;
+            prop_slice_est_line_agrees;
+            prop_slice_bin_est_agrees;
+          ]
+        @ [
+            Alcotest.test_case "slice warm forms" `Quick
+              test_slice_recognizes_warm_forms;
+            Alcotest.test_case "fast path loopback" `Quick test_fast_path_loopback;
+          ] );
     ]
